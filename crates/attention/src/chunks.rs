@@ -1,0 +1,263 @@
+//! The *sliding chunks* implementation of window attention — the GPU state
+//! of the art the paper compares against (Figure 2b).
+//!
+//! Sliding chunks tiles the diagonal band into dense `2w × 2w` blocks with
+//! stride `w`, so every block maps onto a dense GEMM that vector hardware
+//! executes efficiently. The price is redundancy: consecutive blocks overlap
+//! by `w` and the block corners fall outside the band, so the fraction of
+//! wasted multiply-accumulates approaches ½ as the sequence grows (the
+//! paper gives `1/2 − 1/(4·|chunks|)`).
+//!
+//! This module computes window attention through that exact blocking, and
+//! reports both executed and useful FLOPs so the redundancy is *measured*,
+//! not assumed.
+
+use crate::counters::OpCounts;
+use swat_tensor::{ops, Matrix};
+
+/// Result of a sliding-chunks run.
+#[derive(Debug, Clone)]
+pub struct ChunksRun {
+    /// Attention output (identical to exact window attention up to
+    /// floating-point rounding).
+    pub output: Matrix<f32>,
+    /// Executed vs useful FLOPs and memory traffic.
+    pub counts: OpCounts,
+    /// Number of diagonal chunks processed.
+    pub num_chunks: usize,
+    /// Chunk edge length, `2w`.
+    pub chunk_size: usize,
+}
+
+/// The paper's closed-form redundancy ratio `1/2 − 1/(4·|chunks|)`.
+///
+/// Approaches 50% rapidly as the number of chunks grows.
+///
+/// # Panics
+///
+/// Panics if `num_chunks == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use swat_attention::chunks::redundancy_ratio;
+///
+/// assert!((redundancy_ratio(1) - 0.25).abs() < 1e-12);
+/// assert!(redundancy_ratio(1024) > 0.499);
+/// ```
+pub fn redundancy_ratio(num_chunks: usize) -> f64 {
+    assert!(num_chunks > 0, "chunk count must be positive");
+    0.5 - 1.0 / (4.0 * num_chunks as f64)
+}
+
+/// Window attention computed via sliding chunks.
+///
+/// Row `i` attends `[i−w, i+w−1]` (the crate-level window convention); the
+/// band is covered by chunks `t` spanning rows/columns
+/// `[t·w, t·w + 2w) ∩ [0, n)`. Within each chunk the full dense score block
+/// is computed (that is the point of the technique — and the source of the
+/// redundancy); band entries are owned by the first chunk containing them
+/// so nothing is double-counted.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `w == 0`.
+pub fn sliding_chunks_attention(
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+    w: usize,
+    scale: f32,
+) -> ChunksRun {
+    assert!(w > 0, "window half-width must be positive");
+    assert_eq!(q.cols(), k.cols(), "q and k must share the head dimension");
+    assert_eq!(k.rows(), v.rows(), "k and v must have one row per position");
+    assert_eq!(q.rows(), k.rows(), "self-attention shapes required");
+
+    let n = q.rows();
+    let h = q.cols();
+    let hv = v.cols();
+    let mut counts = OpCounts::new();
+    let elem = 4u64;
+
+    // Band storage: for each row, the (column, score) pairs produced by the
+    // owning chunk. Capacity 2w per row.
+    let mut band: Vec<Vec<(usize, f32)>> = vec![Vec::with_capacity(2 * w); n];
+
+    let num_chunks = n.div_ceil(w);
+    for t in 0..num_chunks {
+        let lo = t * w;
+        let hi = (t * w + 2 * w).min(n);
+        let rows = hi - lo;
+
+        // Dense score block: the full rows×rows product is executed on the
+        // GPU regardless of how much of it lies in the band.
+        let mut useful = 0u64;
+        for i in lo..hi {
+            for j in lo..hi {
+                let in_band = {
+                    let wlo = i.saturating_sub(w);
+                    let whi = (i + w).min(n);
+                    (wlo..whi).contains(&j)
+                };
+                let owned = in_band && i.min(j) / w == t;
+                if owned {
+                    let s = ops::dot_f32_acc(q.row(i), k.row(j)) * scale;
+                    band[i].push((j, s));
+                    useful += 1;
+                }
+            }
+        }
+        let computed_pairs = (rows * rows) as u64;
+        counts.record_macs_partial(computed_pairs * h as u64, useful * h as u64);
+
+        // SV side executes the same dense block shape against V.
+        counts.record_macs_partial(computed_pairs * hv as u64, useful * hv as u64);
+
+        // Traffic: each chunk reads its 2w rows of Q, K and V, and writes /
+        // re-reads the materialised block scores (the chunked implementation
+        // keeps the masked band in memory between the three kernels).
+        counts.record_read((3 * rows * h) as u64 * elem);
+        counts.record_write(computed_pairs * elem);
+        counts.record_read(computed_pairs * elem);
+    }
+
+    // Softmax + weighted sum over the gathered band (the masked-softmax
+    // kernel of the chunked implementation).
+    let mut out = Matrix::<f32>::zeros(n, hv);
+    for i in 0..n {
+        band[i].sort_unstable_by_key(|&(j, _)| j);
+        let mut scores: Vec<f32> = band[i].iter().map(|&(_, s)| s).collect();
+        counts.record_unary(3 * scores.len() as u64);
+        swat_numeric::softmax::softmax_stable_in_place(&mut scores);
+        let row = out.row_mut(i);
+        for (p, &(j, _)) in scores.iter().zip(&band[i]) {
+            for (o, &vj) in row.iter_mut().zip(v.row(j)) {
+                *o += p * vj;
+            }
+        }
+    }
+    counts.record_write((n * hv) as u64 * elem);
+
+    ChunksRun {
+        output: out,
+        counts,
+        num_chunks,
+        chunk_size: 2 * w,
+    }
+}
+
+/// Peak memory (bytes) the chunked implementation holds for score blocks:
+/// `num_chunks · (2w)² · elem_bytes` materialised band storage — linear in
+/// the sequence length, unlike the dense `n²` score matrix. This is the
+/// quantity plotted in the right panel of Figure 3.
+pub fn chunks_score_memory_bytes(n: usize, w: usize, elem_bytes: usize) -> u64 {
+    let num_chunks = n.div_ceil(w) as u64;
+    num_chunks * (2 * w as u64) * (2 * w as u64) * elem_bytes as u64
+}
+
+/// Peak score memory of the dense implementation: `n² · elem_bytes`.
+pub fn dense_score_memory_bytes(n: usize, elem_bytes: usize) -> u64 {
+    n as u64 * n as u64 * elem_bytes as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::window_attention;
+    use swat_numeric::SplitMix64;
+
+    fn random_qkv(n: usize, h: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0);
+        (
+            Matrix::from_fn(n, h, &mut gen),
+            Matrix::from_fn(n, h, &mut gen),
+            Matrix::from_fn(n, h, &mut gen),
+        )
+    }
+
+    #[test]
+    fn matches_exact_window_attention() {
+        for (n, w) in [(32, 4), (64, 8), (100, 7), (48, 16)] {
+            let (q, k, v) = random_qkv(n, 8, n as u64);
+            let chunked = sliding_chunks_attention(&q, &k, &v, w, 0.354);
+            let exact = window_attention(&q, &k, &v, w, 0.354);
+            assert!(
+                chunked.output.max_abs_diff(&exact.output) < 1e-4,
+                "n={n} w={w}: chunked diverges from exact"
+            );
+        }
+    }
+
+    #[test]
+    fn redundancy_approaches_half() {
+        let (q, k, v) = random_qkv(1024, 4, 30);
+        let run = sliding_chunks_attention(&q, &k, &v, 16, 1.0);
+        let r = run.counts.redundancy();
+        assert!(r > 0.40 && r < 0.55, "measured redundancy {r}");
+    }
+
+    #[test]
+    fn redundancy_grows_with_chunk_count() {
+        let (q1, k1, v1) = random_qkv(128, 4, 31);
+        let (q2, k2, v2) = random_qkv(1024, 4, 31);
+        let r1 = sliding_chunks_attention(&q1, &k1, &v1, 32, 1.0).counts.redundancy();
+        let r2 = sliding_chunks_attention(&q2, &k2, &v2, 32, 1.0).counts.redundancy();
+        assert!(r2 > r1, "more chunks, more redundancy: {r1} -> {r2}");
+    }
+
+    #[test]
+    fn paper_formula_behaviour() {
+        assert!((redundancy_ratio(1) - 0.25).abs() < 1e-12);
+        assert!((redundancy_ratio(2) - 0.375).abs() < 1e-12);
+        let mut prev = 0.0;
+        for c in 1..100 {
+            let r = redundancy_ratio(c);
+            assert!(r > prev && r < 0.5);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn executed_flops_roughly_double_useful() {
+        let (q, k, v) = random_qkv(2048, 8, 32);
+        let chunked = sliding_chunks_attention(&q, &k, &v, 32, 1.0);
+        let exact = window_attention(&q, &k, &v, 32, 1.0);
+        let ratio = chunked.counts.flops as f64 / exact.counts.flops as f64;
+        assert!(
+            (1.7..2.3).contains(&ratio),
+            "chunked executes ~2x the useful FLOPs, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn score_memory_linear_vs_dense_quadratic() {
+        let m1 = chunks_score_memory_bytes(4096, 256, 4);
+        let m2 = chunks_score_memory_bytes(8192, 256, 4);
+        assert!((m2 as f64 / m1 as f64 - 2.0).abs() < 0.1);
+        let d1 = dense_score_memory_bytes(4096, 4);
+        let d2 = dense_score_memory_bytes(8192, 4);
+        assert_eq!(d2 / d1, 4);
+        assert!(m1 < d1);
+    }
+
+    #[test]
+    fn chunk_count_is_ceil_n_over_w() {
+        let (q, k, v) = random_qkv(100, 4, 33);
+        let run = sliding_chunks_attention(&q, &k, &v, 16, 1.0);
+        assert_eq!(run.num_chunks, 7); // ceil(100/16)
+        assert_eq!(run.chunk_size, 32);
+    }
+
+    #[test]
+    fn small_sequence_single_chunk() {
+        let (q, k, v) = random_qkv(8, 4, 34);
+        let run = sliding_chunks_attention(&q, &k, &v, 8, 1.0);
+        // n <= w: a single chunk covers everything; window w=8 over n=8 is
+        // nearly dense, redundancy small.
+        assert_eq!(run.num_chunks, 1);
+        let exact = window_attention(&q, &k, &v, 8, 1.0);
+        assert!(run.output.max_abs_diff(&exact.output) < 1e-5);
+    }
+}

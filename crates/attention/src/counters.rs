@@ -1,0 +1,156 @@
+//! Operation and traffic accounting shared by all attention kernels.
+//!
+//! Figure 1 of the paper breaks transformer cost into floating-point
+//! operations (FLOPs) and memory operations (MOPs); Figures 2b and 3 hinge
+//! on *redundant* FLOPs and off-chip traffic. Every kernel in this crate
+//! reports an [`OpCounts`] so those quantities come from the actual
+//! computation rather than a separate estimate.
+
+/// Operation counts produced by running a kernel.
+///
+/// # Examples
+///
+/// ```
+/// use swat_attention::OpCounts;
+///
+/// let mut c = OpCounts::default();
+/// c.record_macs(100);
+/// assert_eq!(c.flops, 200); // one MAC = multiply + add
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Total floating-point operations executed (multiplies, adds,
+    /// exponentials, divisions each count as one).
+    pub flops: u64,
+    /// FLOPs that contribute to the final output. `flops - useful_flops`
+    /// is the redundant work (the grey/dashed regions in Figure 2b).
+    pub useful_flops: u64,
+    /// Bytes read from off-chip memory.
+    pub bytes_read: u64,
+    /// Bytes written to off-chip memory.
+    pub bytes_written: u64,
+}
+
+impl OpCounts {
+    /// Creates a zeroed counter.
+    pub fn new() -> OpCounts {
+        OpCounts::default()
+    }
+
+    /// Records `n` multiply-accumulate operations (2 FLOPs each), all
+    /// useful.
+    pub fn record_macs(&mut self, n: u64) {
+        self.flops += 2 * n;
+        self.useful_flops += 2 * n;
+    }
+
+    /// Records `n` multiply-accumulates of which only `useful` contribute
+    /// to the output.
+    pub fn record_macs_partial(&mut self, n: u64, useful: u64) {
+        debug_assert!(useful <= n);
+        self.flops += 2 * n;
+        self.useful_flops += 2 * useful;
+    }
+
+    /// Records `n` single-FLOP operations (exp, div, compare), all useful.
+    pub fn record_unary(&mut self, n: u64) {
+        self.flops += n;
+        self.useful_flops += n;
+    }
+
+    /// Records an off-chip read of `bytes`.
+    pub fn record_read(&mut self, bytes: u64) {
+        self.bytes_read += bytes;
+    }
+
+    /// Records an off-chip write of `bytes`.
+    pub fn record_write(&mut self, bytes: u64) {
+        self.bytes_written += bytes;
+    }
+
+    /// Total off-chip traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Fraction of executed FLOPs that were redundant, in `[0, 1]`.
+    pub fn redundancy(&self) -> f64 {
+        if self.flops == 0 {
+            0.0
+        } else {
+            1.0 - self.useful_flops as f64 / self.flops as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &OpCounts) {
+        self.flops += other.flops;
+        self.useful_flops += other.useful_flops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+impl core::ops::Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        let mut out = self;
+        out.merge(&rhs);
+        out
+    }
+}
+
+impl core::iter::Sum for OpCounts {
+    fn sum<I: Iterator<Item = OpCounts>>(iter: I) -> OpCounts {
+        iter.fold(OpCounts::default(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_count_two_flops() {
+        let mut c = OpCounts::new();
+        c.record_macs(10);
+        assert_eq!(c.flops, 20);
+        assert_eq!(c.useful_flops, 20);
+        assert_eq!(c.redundancy(), 0.0);
+    }
+
+    #[test]
+    fn partial_macs_track_redundancy() {
+        let mut c = OpCounts::new();
+        c.record_macs_partial(100, 50);
+        assert!((c.redundancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut c = OpCounts::new();
+        c.record_read(128);
+        c.record_write(64);
+        assert_eq!(c.total_bytes(), 192);
+    }
+
+    #[test]
+    fn merge_and_add_agree() {
+        let mut a = OpCounts::new();
+        a.record_macs(5);
+        a.record_read(10);
+        let mut b = OpCounts::new();
+        b.record_unary(3);
+        b.record_write(7);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, a + b);
+        let summed: OpCounts = [a, b].into_iter().sum();
+        assert_eq!(summed, merged);
+    }
+
+    #[test]
+    fn empty_counter_has_no_redundancy() {
+        assert_eq!(OpCounts::new().redundancy(), 0.0);
+    }
+}

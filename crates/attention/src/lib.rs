@@ -1,0 +1,59 @@
+//! Attention patterns and kernels for the SWAT reproduction.
+//!
+//! This crate implements every attention algorithm the paper discusses:
+//!
+//! - [`reference`]: dense softmax attention and pattern-masked attention,
+//!   the golden references everything else is validated against;
+//! - [`pattern`]: static sparsity patterns — sliding window, global tokens,
+//!   static random tokens (BigBird), their composition, and a butterfly
+//!   pattern for the baseline comparison;
+//! - [`window`]: direct sliding-window attention (the mathematical object
+//!   SWAT accelerates);
+//! - [`chunks`]: the *sliding chunks* implementation (Hugging Face
+//!   Longformer, the GPU state of the art in the paper) including its
+//!   redundant-computation accounting (Figure 2b);
+//! - [`fused`]: the fused, row-major, FIFO-buffered streaming kernel of
+//!   Equation 1 — the exact algorithm SWAT's hardware executes, generic
+//!   over precision so it runs in binary16 like the FPGA datapath;
+//! - [`multihead`]: multi-head attention built on the kernels above;
+//! - [`counters`]: FLOP and memory-traffic accounting shared by all
+//!   kernels.
+//!
+//! # Window convention
+//!
+//! The paper instantiates `2w` attention cores and a `2w`-deep K/V FIFO for
+//! a window "width" of `2w = 512`. We therefore define the attention window
+//! of row `i` as the `2w` positions `{j : i−w ≤ j ≤ i+w−1}` (clamped to the
+//! sequence), which includes `i` itself. Boundary rows attend fewer
+//! positions. Every kernel in this crate uses this convention, so they are
+//! mutually comparable; the ±1 asymmetry relative to Figure 4a of the paper
+//! is immaterial to all results.
+//!
+//! # Examples
+//!
+//! ```
+//! use swat_attention::{fused, reference, pattern::SparsityPattern};
+//! use swat_tensor::Matrix;
+//!
+//! let n = 32;
+//! let h = 8;
+//! let q = Matrix::from_fn(n, h, |i, j| ((i + j) % 5) as f32 * 0.1);
+//! let k = q.clone();
+//! let v = Matrix::from_fn(n, h, |i, j| ((i * j) % 3) as f32 * 0.2);
+//!
+//! let exact = reference::masked_attention(&q, &k, &v, &SparsityPattern::sliding_window(n, 4), 1.0);
+//! let streamed = fused::fused_window_attention(&q, &k, &v, 4, 1.0);
+//! assert!(exact.max_abs_diff(&streamed.output) < 1e-4);
+//! ```
+
+pub mod chunks;
+pub mod counters;
+pub mod fused;
+pub mod multihead;
+pub mod pattern;
+pub mod reference;
+pub mod stable;
+pub mod window;
+
+pub use counters::OpCounts;
+pub use pattern::SparsityPattern;

@@ -1,0 +1,173 @@
+//! Multi-head attention built on the single-head kernels.
+//!
+//! SWAT processes one head at a time (total attention time is proportional
+//! to the per-head time × heads ÷ pipelines, Section 5.3); this module
+//! provides the functional multi-head computation used by the transformer
+//! layer substrate and the end-to-end examples.
+
+use crate::counters::OpCounts;
+use crate::pattern::SparsityPattern;
+use crate::window;
+use swat_tensor::{ops, Matrix};
+
+/// Weights of one multi-head attention block (no biases, as in the paper's
+/// cost model).
+#[derive(Debug, Clone)]
+pub struct MultiHeadWeights {
+    /// Query projection, `d_model × d_model`.
+    pub wq: Matrix<f32>,
+    /// Key projection, `d_model × d_model`.
+    pub wk: Matrix<f32>,
+    /// Value projection, `d_model × d_model`.
+    pub wv: Matrix<f32>,
+    /// Output projection, `d_model × d_model`.
+    pub wo: Matrix<f32>,
+    /// Number of attention heads; must divide `d_model`.
+    pub heads: usize,
+}
+
+impl MultiHeadWeights {
+    /// Random small-magnitude weights for testing and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `d_model`.
+    pub fn random(d_model: usize, heads: usize, seed: u64) -> MultiHeadWeights {
+        assert!(heads > 0 && d_model % heads == 0, "heads must divide d_model");
+        let mut rng = swat_numeric::SplitMix64::new(seed);
+        let std = 1.0 / (d_model as f32).sqrt();
+        let mut mk = |salt: u64| {
+            let mut r = swat_numeric::SplitMix64::new(seed ^ salt ^ rng.next_u64());
+            Matrix::from_fn(d_model, d_model, |_, _| r.next_gaussian() * std)
+        };
+        MultiHeadWeights {
+            wq: mk(0x51),
+            wk: mk(0x4B),
+            wv: mk(0x56),
+            wo: mk(0x4F),
+            heads,
+        }
+    }
+
+    /// Head dimensionality `H = d_model / heads`.
+    pub fn head_dim(&self) -> usize {
+        self.wq.cols() / self.heads
+    }
+}
+
+/// Output of a multi-head attention run.
+#[derive(Debug, Clone)]
+pub struct MultiHeadRun {
+    /// `seq_len × d_model` output.
+    pub output: Matrix<f32>,
+    /// Aggregated operation counts across projections and heads.
+    pub counts: OpCounts,
+}
+
+/// Multi-head attention with a per-head sparsity pattern.
+///
+/// Projects `x` to Q/K/V, slices the projections into `heads` heads, runs
+/// pattern attention per head with scale `1/√H`, concatenates and applies
+/// the output projection.
+///
+/// # Panics
+///
+/// Panics if `x.cols()` differs from the weight dimension or the pattern
+/// length differs from `x.rows()`.
+pub fn multi_head_attention(
+    x: &Matrix<f32>,
+    weights: &MultiHeadWeights,
+    pattern: &SparsityPattern,
+) -> MultiHeadRun {
+    let d_model = weights.wq.rows();
+    assert_eq!(x.cols(), d_model, "input width must match weights");
+    assert_eq!(pattern.seq_len(), x.rows(), "pattern length mismatch");
+    let n = x.rows();
+    let heads = weights.heads;
+    let h = weights.head_dim();
+    let scale = 1.0 / (h as f32).sqrt();
+
+    let mut counts = OpCounts::new();
+    let q = ops::gemm(x, &weights.wq);
+    let k = ops::gemm(x, &weights.wk);
+    let v = ops::gemm(x, &weights.wv);
+    counts.record_macs(3 * (n * d_model * d_model) as u64);
+
+    let slice_head = |m: &Matrix<f32>, head: usize| {
+        Matrix::from_fn(n, h, |i, j| m.get(i, head * h + j))
+    };
+
+    let mut concat = Matrix::<f32>::zeros(n, d_model);
+    for head in 0..heads {
+        let qh = slice_head(&q, head);
+        let kh = slice_head(&k, head);
+        let vh = slice_head(&v, head);
+        let run = window::pattern_attention(&qh, &kh, &vh, pattern, scale);
+        counts.merge(&run.counts);
+        for i in 0..n {
+            for j in 0..h {
+                concat.set(i, head * h + j, run.output.get(i, j));
+            }
+        }
+    }
+
+    let output = ops::gemm(&concat, &weights.wo);
+    counts.record_macs((n * d_model * d_model) as u64);
+
+    MultiHeadRun { output, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(n: usize, d: usize, seed: u64) -> Matrix<f32> {
+        let mut rng = swat_numeric::SplitMix64::new(seed);
+        Matrix::from_fn(n, d, |_, _| rng.next_f32_in(-0.5, 0.5))
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let x = input(24, 16, 40);
+        let w = MultiHeadWeights::random(16, 4, 7);
+        assert_eq!(w.head_dim(), 4);
+        let p = SparsityPattern::sliding_window(24, 3);
+        let a = multi_head_attention(&x, &w, &p);
+        let b = multi_head_attention(&x, &w, &p);
+        assert_eq!(a.output.shape(), (24, 16));
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn window_and_dense_agree_when_window_covers_everything() {
+        let x = input(8, 8, 41);
+        let w = MultiHeadWeights::random(8, 2, 8);
+        let dense = multi_head_attention(&x, &w, &SparsityPattern::dense(8));
+        let wide = multi_head_attention(&x, &w, &SparsityPattern::sliding_window(8, 8));
+        assert!(dense.output.max_abs_diff(&wide.output) < 1e-4);
+    }
+
+    #[test]
+    fn sparse_pattern_costs_fewer_flops() {
+        let x = input(128, 16, 42);
+        let w = MultiHeadWeights::random(16, 4, 9);
+        let dense = multi_head_attention(&x, &w, &SparsityPattern::dense(128));
+        let sparse = multi_head_attention(&x, &w, &SparsityPattern::sliding_window(128, 4));
+        assert!(sparse.counts.flops < dense.counts.flops);
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide")]
+    fn invalid_head_count_rejected() {
+        let _ = MultiHeadWeights::random(10, 3, 0);
+    }
+
+    #[test]
+    fn output_changes_with_pattern() {
+        let x = input(32, 8, 43);
+        let w = MultiHeadWeights::random(8, 2, 10);
+        let a = multi_head_attention(&x, &w, &SparsityPattern::sliding_window(32, 2));
+        let b = multi_head_attention(&x, &w, &SparsityPattern::dense(32));
+        assert!(a.output.max_abs_diff(&b.output) > 1e-6);
+    }
+}

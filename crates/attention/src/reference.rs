@@ -1,0 +1,239 @@
+//! Golden-reference attention kernels.
+//!
+//! These are the straightforward three-step implementations (S = Q·Kᵀ,
+//! S' = softmax(S), Z = S'·V) in `f32` with numerically stable softmax.
+//! Every optimised kernel in this crate and every hardware simulation in
+//! the `swat` crate is validated against them.
+
+use crate::counters::OpCounts;
+use crate::pattern::SparsityPattern;
+use swat_tensor::{ops, Matrix};
+
+/// Dense softmax attention: `Z = softmax(scale · Q·Kᵀ) · V`.
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent (`q`, `k`, `v` must have the same
+/// number of columns, and `k`, `v` the same number of rows).
+///
+/// # Examples
+///
+/// ```
+/// use swat_tensor::Matrix;
+/// use swat_attention::reference::dense_attention;
+///
+/// let q = Matrix::from_fn(4, 2, |i, _| i as f32 * 0.1);
+/// let z = dense_attention(&q, &q, &q, 1.0);
+/// assert_eq!(z.shape(), (4, 2));
+/// ```
+pub fn dense_attention(q: &Matrix<f32>, k: &Matrix<f32>, v: &Matrix<f32>, scale: f32) -> Matrix<f32> {
+    check_shapes(q, k, v);
+    let s = ops::gemm_bt(q, k).scale(scale);
+    let p = ops::softmax_rows_stable(&s);
+    ops::gemm(&p, v)
+}
+
+/// Dense attention with operation counting (used by the cost analyses).
+pub fn dense_attention_counted(
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+    scale: f32,
+) -> (Matrix<f32>, OpCounts) {
+    check_shapes(q, k, v);
+    let (n, h) = q.shape();
+    let m = k.rows();
+    let mut counts = OpCounts::new();
+    // QK^T: n*m dot products of length h.
+    counts.record_macs(n as u64 * m as u64 * h as u64);
+    // Softmax: exp + add per score, div per score.
+    counts.record_unary(3 * n as u64 * m as u64);
+    // S'V: n*h dot products of length m.
+    counts.record_macs(n as u64 * h as u64 * m as u64);
+    // Traffic: read Q,K,V; write Z; plus the S/S' round trip that the
+    // *unfused* three-step implementation spills to memory.
+    let elem = 4u64; // f32
+    counts.record_read((n * h + 2 * m * h) as u64 * elem);
+    counts.record_write((n * h) as u64 * elem);
+    counts.record_write(n as u64 * m as u64 * elem); // spill S
+    counts.record_read(n as u64 * m as u64 * elem); // reload S for softmax/SV
+    (dense_attention(q, k, v, scale), counts)
+}
+
+/// Pattern-masked softmax attention: scores outside the pattern are `-inf`
+/// before the (stable) softmax, so masked positions receive zero
+/// probability.
+///
+/// This is the mathematical definition of sparse attention that both the
+/// sliding-chunks implementation and the SWAT hardware must reproduce.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `pattern.seq_len()` differs from
+/// the number of rows of `q`.
+pub fn masked_attention(
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+    pattern: &SparsityPattern,
+    scale: f32,
+) -> Matrix<f32> {
+    check_shapes(q, k, v);
+    assert_eq!(
+        pattern.seq_len(),
+        q.rows(),
+        "pattern length must match sequence length"
+    );
+    assert_eq!(
+        q.rows(),
+        k.rows(),
+        "masked attention requires self-attention shapes"
+    );
+    let n = q.rows();
+    let h = q.cols();
+    let mut out = Matrix::zeros(n, h);
+    for i in 0..n {
+        let targets = pattern.row_targets(i);
+        if targets.is_empty() {
+            continue;
+        }
+        let mut scores: Vec<f32> = targets
+            .iter()
+            .map(|&j| ops::dot_f32_acc(q.row(i), k.row(j)) * scale)
+            .collect();
+        swat_numeric::softmax::softmax_stable_in_place(&mut scores);
+        let row = out.row_mut(i);
+        for (p, &j) in scores.iter().zip(&targets) {
+            for (o, &vj) in row.iter_mut().zip(v.row(j)) {
+                *o += p * vj;
+            }
+        }
+    }
+    out
+}
+
+fn check_shapes(q: &Matrix<f32>, k: &Matrix<f32>, v: &Matrix<f32>) {
+    assert_eq!(q.cols(), k.cols(), "q and k must share the head dimension");
+    assert_eq!(k.rows(), v.rows(), "k and v must have one row per position");
+    assert!(v.cols() > 0 && q.cols() > 0, "empty head dimension");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_numeric::SplitMix64;
+
+    fn random_qkv(n: usize, h: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0);
+        let q = Matrix::from_fn(n, h, &mut gen);
+        let k = Matrix::from_fn(n, h, &mut gen);
+        let v = Matrix::from_fn(n, h, &mut gen);
+        (q, k, v)
+    }
+
+    #[test]
+    fn uniform_scores_average_values() {
+        // With identical K rows, attention output is the mean of V rows.
+        let n = 8;
+        let h = 4;
+        let q = Matrix::from_fn(n, h, |_, _| 0.3);
+        let k = Matrix::from_fn(n, h, |_, _| 0.5);
+        let v = Matrix::from_fn(n, h, |i, _| i as f32);
+        let z = dense_attention(&q, &k, &v, 1.0);
+        let mean = (0..n).sum::<usize>() as f32 / n as f32;
+        for i in 0..n {
+            for j in 0..h {
+                assert!((z.get(i, j) - mean).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        let (q, k, v) = random_qkv(16, 8, 1);
+        let z = dense_attention(&q, &k, &v, 0.35);
+        let vmin = v.as_slice().iter().copied().fold(f32::INFINITY, f32::min);
+        let vmax = v.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for x in z.as_slice() {
+            assert!(*x >= vmin - 1e-5 && *x <= vmax + 1e-5);
+        }
+    }
+
+    #[test]
+    fn masked_with_dense_pattern_equals_dense() {
+        let (q, k, v) = random_qkv(12, 6, 2);
+        let p = SparsityPattern::dense(12);
+        let a = dense_attention(&q, &k, &v, 0.408);
+        let b = masked_attention(&q, &k, &v, &p, 0.408);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn masked_window_ignores_distant_values() {
+        let (q, k, _) = random_qkv(32, 4, 3);
+        // Put a huge value far outside every window; it must not leak.
+        let mut v = Matrix::from_fn(32, 4, |_, _| 0.1);
+        for j in 0..4 {
+            v.set(31, j, 1e6);
+        }
+        let p = SparsityPattern::sliding_window(32, 2);
+        let z = masked_attention(&q, &k, &v, &p, 1.0);
+        for i in 0..28 {
+            for j in 0..4 {
+                assert!(z.get(i, j).abs() < 1.0, "row {i} leaked the distant value");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_changes_sharpness() {
+        let (q, k, v) = random_qkv(8, 4, 4);
+        let soft = dense_attention(&q, &k, &v, 0.01);
+        let sharp = dense_attention(&q, &k, &v, 10.0);
+        // At near-zero scale every output row approaches the V mean; at
+        // high scale rows diverge toward individual V rows.
+        let mean_row: Vec<f32> = (0..4)
+            .map(|j| (0..8).map(|i| v.get(i, j)).sum::<f32>() / 8.0)
+            .collect();
+        let soft_err: f32 = (0..8)
+            .map(|i| {
+                soft.row(i)
+                    .iter()
+                    .zip(&mean_row)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f32::max)
+            })
+            .fold(0.0, f32::max);
+        let sharp_err: f32 = (0..8)
+            .map(|i| {
+                sharp
+                    .row(i)
+                    .iter()
+                    .zip(&mean_row)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f32::max)
+            })
+            .fold(0.0, f32::max);
+        assert!(soft_err < sharp_err);
+    }
+
+    #[test]
+    fn counted_flops_are_quadratic() {
+        let (q1, k1, v1) = random_qkv(64, 8, 5);
+        let (q2, k2, v2) = random_qkv(128, 8, 5);
+        let (_, c1) = dense_attention_counted(&q1, &k1, &v1, 1.0);
+        let (_, c2) = dense_attention_counted(&q2, &k2, &v2, 1.0);
+        let ratio = c2.flops as f64 / c1.flops as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "head dimension")]
+    fn mismatched_heads_panic() {
+        let q = Matrix::<f32>::zeros(4, 3);
+        let k = Matrix::<f32>::zeros(4, 2);
+        let v = Matrix::<f32>::zeros(4, 2);
+        let _ = dense_attention(&q, &k, &v, 1.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Numerically stable streaming attention with an online running maximum —
+//! the FlashAttention-style rescaling variant, implemented as an
+//! *extension* of SWAT's fused kernel.
+//!
+//! SWAT's deferred-denominator fusion (Equation 1) takes raw exponentials:
+//! cheap in hardware, but `Σ exp(s)` overflows binary16 once scores exceed
+//! ~11 or the window grows large. FlashAttention [Dao et al., 2022 — the
+//! paper's reference 5] solves this with an online max: on seeing a new
+//! score `s > m`, rescale the partial sums by `exp(m − s)`. This module
+//! implements that variant in the same row-major FIFO dataflow, so the two
+//! designs can be compared head-to-head:
+//!
+//! - **cost**: one extra compare + (occasional) rescale multiply per
+//!   position — in SWAT's pipeline this would add a rescale multiplier to
+//!   every attention core and a max-reduction tree (roughly duplicating
+//!   ROWSUM), which the paper avoids by relying on layer-norm-scaled
+//!   inputs;
+//! - **benefit**: no overflow for any input, even in binary16.
+//!
+//! The `overflow_study` test and the `swat-bench` `stability` binary
+//! quantify the trade-off.
+
+use crate::counters::OpCounts;
+use swat_tensor::{Matrix, Scalar};
+
+/// Result of a stable streaming run.
+#[derive(Debug, Clone)]
+pub struct StableRun {
+    /// Attention output (widened to `f32`).
+    pub output: Matrix<f32>,
+    /// Operation counts, including the extra rescaling work.
+    pub counts: OpCounts,
+    /// Number of rescale events (running-max updates after the first
+    /// position of each row).
+    pub rescales: u64,
+}
+
+/// Streaming sliding-window attention with online-max rescaling, in
+/// precision `T`.
+///
+/// Functionally equals exact window attention for all inputs, including
+/// those whose raw exponentials overflow `T`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `w == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use swat_tensor::Matrix;
+/// use swat_numeric::F16;
+/// use swat_attention::stable::stable_window_attention_in;
+///
+/// // Scores around 40: raw binary16 exponentials overflow, the stable
+/// // kernel does not.
+/// let x = Matrix::from_fn(16, 4, |_, _| 3.2f32);
+/// let run = stable_window_attention_in::<F16>(&x, &x, &x, 2, 1.0);
+/// assert!(run.output.as_slice().iter().all(|v| v.is_finite()));
+/// ```
+pub fn stable_window_attention_in<T: Scalar>(
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+    w: usize,
+    scale: f32,
+) -> StableRun {
+    assert!(w > 0, "window half-width must be positive");
+    assert_eq!(q.cols(), k.cols(), "q and k must share the head dimension");
+    assert_eq!(k.rows(), v.rows(), "k and v must have one row per position");
+    assert_eq!(q.rows(), k.rows(), "self-attention shapes required");
+
+    let n = q.rows();
+    let h = q.cols();
+    let hv = v.cols();
+    let scale_t = T::from_f32(scale);
+    let qt = q.map(T::from_f32);
+    let kt = k.map(T::from_f32);
+    let vt = v.map(T::from_f32);
+
+    let mut counts = OpCounts::new();
+    let mut rescales = 0u64;
+    let mut out = Matrix::<f32>::zeros(n, hv);
+    let elem = T::BYTES as u64;
+
+    for i in 0..n {
+        let lo = i.saturating_sub(w);
+        let hi = (i + w).min(n);
+        let qi = qt.row(i);
+
+        // Online state: running max m, rescaled row sum l, rescaled z.
+        let mut m: Option<T> = None;
+        let mut l = T::ZERO;
+        let mut z = vec![T::ZERO; hv];
+
+        for j in lo..hi {
+            let mut s = T::ZERO;
+            for (a, b) in qi.iter().zip(kt.row(j)) {
+                s = s.add(a.mul(*b));
+            }
+            counts.record_macs(h as u64);
+            let s = s.mul(scale_t);
+
+            let m_old = m;
+            let m_new = match m_old {
+                None => s,
+                Some(prev) => prev.max(s),
+            };
+            counts.record_unary(1); // the compare
+
+            // Rescale previous partials if the max moved.
+            if let Some(prev) = m_old {
+                if m_new.to_f32() > prev.to_f32() {
+                    let factor = prev.sub(m_new).exp();
+                    l = l.mul(factor);
+                    for zi in z.iter_mut() {
+                        *zi = zi.mul(factor);
+                    }
+                    counts.record_unary(1 + hv as u64);
+                    rescales += 1;
+                }
+            }
+            m = Some(m_new);
+
+            let e = s.sub(m_new).exp();
+            counts.record_unary(1);
+            l = l.add(e);
+            for (zi, vj) in z.iter_mut().zip(vt.row(j)) {
+                *zi = zi.add(e.mul(*vj));
+            }
+            counts.record_macs(hv as u64);
+        }
+
+        let row = out.row_mut(i);
+        if l.to_f32() > 0.0 {
+            for (o, zi) in row.iter_mut().zip(&z) {
+                *o = zi.div(l).to_f32();
+            }
+            counts.record_unary(hv as u64);
+        }
+        counts.record_write(hv as u64 * elem);
+    }
+    counts.record_read((3 * n * h) as u64 * elem);
+
+    StableRun {
+        output: out,
+        counts,
+        rescales,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fused::fused_window_attention_in;
+    use crate::reference;
+    use crate::SparsityPattern;
+    use swat_numeric::{SplitMix64, F16};
+
+    fn qkv(n: usize, h: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0);
+        (
+            Matrix::from_fn(n, h, &mut gen),
+            Matrix::from_fn(n, h, &mut gen),
+            Matrix::from_fn(n, h, &mut gen),
+        )
+    }
+
+    #[test]
+    fn stable_equals_reference_for_normal_inputs() {
+        let (q, k, v) = qkv(64, 8, 300);
+        let run = stable_window_attention_in::<f32>(&q, &k, &v, 8, 0.354);
+        let p = SparsityPattern::sliding_window(64, 8);
+        let expect = reference::masked_attention(&q, &k, &v, &p, 0.354);
+        assert!(run.output.max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn overflow_study_raw_fails_stable_survives() {
+        // Scores ~ 16 * 3.2^2 = 164: exp overflows binary16 (max ~11.09)
+        // and even binary32 would overflow around 88.
+        let x = Matrix::from_fn(32, 16, |_, _| 3.2f32);
+        let raw = fused_window_attention_in::<F16>(&x, &x, &x, 4, 1.0);
+        let stable = stable_window_attention_in::<F16>(&x, &x, &x, 4, 1.0);
+        assert!(
+            raw.output.as_slice().iter().any(|v| !v.is_finite()),
+            "raw exponentials must overflow on this input"
+        );
+        assert!(
+            stable.output.as_slice().iter().all(|v| v.is_finite()),
+            "online-max rescaling must survive"
+        );
+        // With identical rows, attention output = the value row itself.
+        for val in stable.output.as_slice() {
+            assert!((val - 3.2).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn stable_and_raw_agree_on_wellscaled_inputs() {
+        let (q, k, v) = qkv(48, 16, 301);
+        let raw = fused_window_attention_in::<F16>(&q, &k, &v, 8, 0.25);
+        let stable = stable_window_attention_in::<F16>(&q, &k, &v, 8, 0.25);
+        let diff = raw.output.max_abs_diff(&stable.output);
+        assert!(diff < 0.01, "diff {diff}");
+    }
+
+    #[test]
+    fn rescales_are_bounded_by_positions() {
+        let (q, k, v) = qkv(100, 8, 302);
+        let run = stable_window_attention_in::<f32>(&q, &k, &v, 10, 1.0);
+        // At most one rescale per attended position after the first.
+        assert!(run.rescales <= 100 * 20);
+        assert!(run.rescales > 0, "random scores must move the max sometimes");
+    }
+
+    #[test]
+    fn stable_costs_more_flops_than_raw() {
+        let (q, k, v) = qkv(64, 8, 303);
+        let raw = fused_window_attention_in::<f32>(&q, &k, &v, 8, 1.0);
+        let stable = stable_window_attention_in::<f32>(&q, &k, &v, 8, 1.0);
+        assert!(
+            stable.counts.flops > raw.counts.flops,
+            "the compare/rescale overhead is the price of stability"
+        );
+        // ... but within ~2x.
+        assert!((stable.counts.flops as f64) < 2.0 * raw.counts.flops as f64);
+    }
+}

@@ -1,0 +1,238 @@
+//! Cross-kernel equivalence properties: every optimised implementation must
+//! agree with the masked-softmax reference on arbitrary inputs.
+
+use proptest::prelude::*;
+use swat_attention::{chunks, fused, pattern::SparsityPattern, reference, window};
+use swat_numeric::{SplitMix64, F16};
+use swat_tensor::Matrix;
+
+fn qkv(n: usize, h: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0);
+    (
+        Matrix::from_fn(n, h, &mut gen),
+        Matrix::from_fn(n, h, &mut gen),
+        Matrix::from_fn(n, h, &mut gen),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fused streaming kernel (SWAT's algorithm) equals the masked
+    /// reference for any window and sequence length.
+    #[test]
+    fn fused_equals_reference(
+        n in 2usize..96,
+        h in 1usize..16,
+        w_raw in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let w = w_raw.min(n);
+        let (q, k, v) = qkv(n, h, seed);
+        let scale = 1.0 / (h as f32).sqrt();
+        let run = fused::fused_window_attention(&q, &k, &v, w, scale);
+        let p = SparsityPattern::sliding_window(n, w);
+        let exact = reference::masked_attention(&q, &k, &v, &p, scale);
+        prop_assert!(run.output.max_abs_diff(&exact) < 1e-4,
+            "diff {}", run.output.max_abs_diff(&exact));
+        // 100% transfer efficiency: each K/V row loaded exactly once.
+        prop_assert_eq!(run.kv_loads, n as u64);
+    }
+
+    /// Sliding chunks equals exact window attention for any geometry.
+    #[test]
+    fn chunks_equal_window(
+        n in 2usize..80,
+        h in 1usize..12,
+        w_raw in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let w = w_raw.min(n);
+        let (q, k, v) = qkv(n, h, seed);
+        let chunked = chunks::sliding_chunks_attention(&q, &k, &v, w, 0.3);
+        let exact = window::window_attention(&q, &k, &v, w, 0.3);
+        prop_assert!(chunked.output.max_abs_diff(&exact.output) < 1e-4);
+        // Chunked always executes at least as many FLOPs as the exact band.
+        prop_assert!(chunked.counts.flops >= exact.counts.flops);
+    }
+
+    /// The F16 fused kernel stays within a binary16-scale envelope of the
+    /// f32 reference for attention-scale inputs.
+    #[test]
+    fn fused_f16_error_bounded(
+        n in 4usize..48,
+        w_raw in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let w = w_raw.min(n);
+        let h = 8;
+        let (q, k, v) = qkv(n, h, seed);
+        let scale = 1.0 / (h as f32).sqrt();
+        let run = fused::fused_window_attention_in::<F16>(&q, &k, &v, w, scale);
+        let p = SparsityPattern::sliding_window(n, w);
+        let exact = reference::masked_attention(&q, &k, &v, &p, scale);
+        // Outputs are convex combinations of V (|V| <= 1), so absolute
+        // error of a few dozen binary16 ULPs at magnitude 1 is the bound.
+        prop_assert!(run.output.max_abs_diff(&exact) < 0.05,
+            "diff {}", run.output.max_abs_diff(&exact));
+    }
+
+    /// BigBird pattern: fused kernel equals reference; row budget holds.
+    #[test]
+    fn fused_bigbird_equals_reference(
+        n in 16usize..64,
+        seed in any::<u64>(),
+    ) {
+        let (q, k, v) = qkv(n, 8, seed);
+        let p = SparsityPattern::bigbird(n, 2, 2, 2, seed);
+        let run = fused::fused_pattern_attention_in::<f32>(&q, &k, &v, &p, 0.354);
+        let exact = reference::masked_attention(&q, &k, &v, &p, 0.354);
+        prop_assert!(run.output.max_abs_diff(&exact) < 1e-4);
+    }
+
+    /// Pattern algebra: the BigBird pattern contains its window, global and
+    /// random components.
+    #[test]
+    fn bigbird_contains_components(n in 16usize..96, seed in any::<u64>()) {
+        let w = 3;
+        let ng = 4.min(n / 4);
+        let nr = 2;
+        let p = SparsityPattern::bigbird(n, w, ng, nr, seed);
+        let window = SparsityPattern::sliding_window(n, w);
+        for i in 0..n {
+            for j in 0..n {
+                if window.attends(i, j) || j < ng || i < ng {
+                    prop_assert!(p.attends(i, j), "bigbird must contain ({i},{j})");
+                }
+            }
+            for &j in p.random_targets(i) {
+                prop_assert!(p.attends(i, j));
+            }
+        }
+    }
+
+    /// Attention outputs are convex combinations of the attended V rows:
+    /// each output coordinate lies within the min/max of V over the
+    /// attended set.
+    #[test]
+    fn outputs_are_convex_combinations(
+        n in 4usize..40,
+        w_raw in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let w = w_raw.min(n);
+        let (q, k, v) = qkv(n, 4, seed);
+        let run = window::window_attention(&q, &k, &v, w, 1.0);
+        for i in 0..n {
+            let lo = i.saturating_sub(w);
+            let hi = (i + w).min(n);
+            for c in 0..4 {
+                let vmin = (lo..hi).map(|j| v.get(j, c)).fold(f32::INFINITY, f32::min);
+                let vmax = (lo..hi).map(|j| v.get(j, c)).fold(f32::NEG_INFINITY, f32::max);
+                let z = run.output.get(i, c);
+                prop_assert!(z >= vmin - 1e-4 && z <= vmax + 1e-4,
+                    "row {} col {}: {} outside [{}, {}]", i, c, z, vmin, vmax);
+            }
+        }
+    }
+
+    /// The online-max stable kernel equals the masked reference for any
+    /// window, including inputs whose raw exponentials overflow.
+    #[test]
+    fn stable_equals_reference(
+        n in 4usize..64,
+        w_raw in 1usize..16,
+        amp in 0.5f32..6.0,
+        seed in any::<u64>(),
+    ) {
+        let w = w_raw.min(n);
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0) * amp;
+        let q = Matrix::from_fn(n, 8, &mut gen);
+        let k = Matrix::from_fn(n, 8, &mut gen);
+        let v = Matrix::from_fn(n, 8, &mut gen);
+        let run = swat_attention::stable::stable_window_attention_in::<f32>(&q, &k, &v, w, 0.354);
+        let p = SparsityPattern::sliding_window(n, w);
+        let exact = reference::masked_attention(&q, &k, &v, &p, 0.354);
+        prop_assert!(run.output.max_abs_diff(&exact) < 1e-3 * amp,
+            "diff {}", run.output.max_abs_diff(&exact));
+        prop_assert!(run.output.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    /// Causal windows never attend the future, and interior rows use the
+    /// full 2w budget.
+    #[test]
+    fn causal_window_laws(n in 8usize..128, w in 1usize..16) {
+        let p = SparsityPattern::causal_window(n, w);
+        for i in 0..n {
+            let t = p.row_targets(i);
+            prop_assert!(t.iter().all(|&j| j <= i), "row {} attends the future", i);
+            prop_assert!(t.contains(&i));
+            if i + 1 >= 2 * w {
+                prop_assert_eq!(t.len(), 2 * w);
+            }
+        }
+    }
+
+    /// Dilated windows keep the 2w budget and contain the plain window's
+    /// reach scaled by the dilation.
+    #[test]
+    fn dilated_window_laws(n in 16usize..96, w in 1usize..8, d in 1usize..5) {
+        let p = SparsityPattern::dilated_window(n, w, d);
+        for i in 0..n {
+            let t = p.row_targets(i);
+            prop_assert!(t.len() <= 2 * w);
+            for &j in &t {
+                let delta = j as isize - i as isize;
+                prop_assert_eq!(delta.rem_euclid(d as isize), 0,
+                    "target {} of row {} off the dilation grid", j, i);
+                prop_assert!(delta >= -((w * d) as isize) && delta < (w * d) as isize);
+            }
+        }
+    }
+
+    /// NaN inputs propagate to (at most) the affected rows' outputs and
+    /// never panic the kernels.
+    #[test]
+    fn nan_injection_is_contained(
+        n in 8usize..32,
+        bad_row in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let (q, k, v) = qkv(n, 4, seed);
+        let mut q = q;
+        let bad = bad_row.min(n - 1);
+        q.set(bad, 0, f32::NAN);
+        let w = 2;
+        let run = fused::fused_window_attention(&q, &k, &v, w, 1.0);
+        // Rows whose Q is clean stay clean: the fault does not spread
+        // across rows (each row's computation is independent).
+        for i in 0..n {
+            if i != bad {
+                for c in 0..4 {
+                    prop_assert!(run.output.get(i, c).is_finite(),
+                        "row {} corrupted by NaN in row {}", i, bad);
+                }
+            }
+        }
+    }
+
+    /// Permuting V columns permutes the output columns identically
+    /// (attention is equivariant over the value feature axis).
+    #[test]
+    fn value_column_equivariance(n in 4usize..32, seed in any::<u64>()) {
+        let (q, k, v) = qkv(n, 6, seed);
+        let run = window::window_attention(&q, &k, &v, 3, 0.5);
+        // Swap V columns 0 and 5.
+        let vp = Matrix::from_fn(n, 6, |i, j| {
+            let jj = match j { 0 => 5, 5 => 0, other => other };
+            v.get(i, jj)
+        });
+        let runp = window::window_attention(&q, &k, &vp, 3, 0.5);
+        for i in 0..n {
+            prop_assert!((run.output.get(i, 0) - runp.output.get(i, 5)).abs() < 1e-6);
+            prop_assert!((run.output.get(i, 5) - runp.output.get(i, 0)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Analytic model of the Butterfly FPGA accelerator (Fan et al., MICRO-55)
+//! in the BTF-1/BTF-2 hybrid configurations the paper compares against.
+//!
+//! Butterfly carries two engines:
+//!
+//! - **FFT-BTF** approximates attention with Fourier transforms —
+//!   `O(n·log n)` work per layer, fast but lossy;
+//! - **ATTN-BTF** computes vanilla softmax attention — `O(n²)` work per
+//!   layer, accurate but quadratic.
+//!
+//! BTF-k runs `k` softmax layers and `L−k` FFT layers. Following the
+//! paper's methodology (Section 5.3), the device's resources are split
+//! between the engines in the ratio that minimises total time: giving a
+//! fraction `ρ` of resources to ATTN-BTF scales its time by `1/ρ`, so
+//!
+//! `T(n) = min_ρ [ k·a·n²/ρ + (L−k)·b·n·log₂n/(1−ρ) ]
+//!       = (√(k·a·n²) + √((L−k)·b·n·log₂n))²`.
+//!
+//! The engine coefficients `a` (ATTN cycles per token²) and `b` (FFT cycles
+//! per token·log-token) are fitted to the paper's anchor points — SWAT is
+//! 6.7×/12.2× faster than BTF-1/BTF-2 at 4096 tokens and 22× faster than
+//! BTF-1 at 16384 — and validated against the 11.4×/21.9× energy ratios.
+
+use swat_hw::resources::Utilization;
+use swat_hw::{ClockDomain, FpgaDevice, PowerModel, Resources};
+
+/// Engine cost coefficients (cycles, at the common 450 MHz fabric clock).
+mod calib {
+    /// ATTN-BTF: cycles per n² with the full device.
+    pub const ATTN_CYCLES_PER_N2: f64 = 1.6649;
+    /// FFT-BTF: cycles per n·log₂n with the full device.
+    pub const FFT_CYCLES_PER_NLOGN: f64 = 5.358;
+    /// Average toggle activity of the hybrid design: at any instant only
+    /// the engine matching the current layer type is switching, and within
+    /// it utilisation is partial. Fitted to the paper's 11.4× energy ratio
+    /// at 16 K tokens.
+    pub const ACTIVITY: f64 = 0.1407;
+}
+
+/// The Butterfly accelerator in a BTF-k configuration.
+///
+/// # Examples
+///
+/// ```
+/// use swat_baselines::ButterflyAccelerator;
+///
+/// let btf1 = ButterflyAccelerator::btf(1);
+/// let btf2 = ButterflyAccelerator::btf(2);
+/// // More softmax layers -> slower (but more accurate).
+/// assert!(btf2.model_attention_seconds(4096) > btf1.model_attention_seconds(4096));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ButterflyAccelerator {
+    /// Total transformer layers in the model (the LRA-standard 8 in the
+    /// paper's accuracy study).
+    pub total_layers: usize,
+    /// Layers computed with vanilla softmax attention (the `k` in BTF-k).
+    pub softmax_layers: usize,
+    /// Fabric clock (shared with SWAT for a fair comparison).
+    pub clock: ClockDomain,
+}
+
+impl ButterflyAccelerator {
+    /// Standard model depth used in the paper's Butterfly comparison.
+    pub const DEFAULT_LAYERS: usize = 8;
+
+    /// Builds a BTF-k configuration over the standard 8-layer model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 8`.
+    pub fn btf(k: usize) -> ButterflyAccelerator {
+        assert!(k <= Self::DEFAULT_LAYERS, "at most {} softmax layers", Self::DEFAULT_LAYERS);
+        ButterflyAccelerator {
+            total_layers: Self::DEFAULT_LAYERS,
+            softmax_layers: k,
+            clock: ClockDomain::default_fpga(),
+        }
+    }
+
+    /// The full-FFT configuration (the one Butterfly's own evaluation
+    /// used; fast but least accurate — see Table 3).
+    pub fn full_fft() -> ButterflyAccelerator {
+        ButterflyAccelerator::btf(0)
+    }
+
+    /// Optimal resource fraction given to the ATTN engine at length `n`.
+    /// Returns 0 for BTF-0 and 1 if all layers are softmax.
+    pub fn optimal_attn_fraction(&self, n: usize) -> f64 {
+        let k = self.softmax_layers as f64;
+        let l = self.total_layers as f64;
+        if self.softmax_layers == 0 {
+            return 0.0;
+        }
+        if self.softmax_layers == self.total_layers {
+            return 1.0;
+        }
+        let nf = n as f64;
+        let attn = (k * calib::ATTN_CYCLES_PER_N2 * nf * nf).sqrt();
+        let fft = ((l - k) * calib::FFT_CYCLES_PER_NLOGN * nf * nf.log2()).sqrt();
+        attn / (attn + fft)
+    }
+
+    /// Cycles for the attention of the *whole model* (all `total_layers`
+    /// layers) at the optimal resource split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (log₂ undefined below that).
+    pub fn model_attention_cycles(&self, n: usize) -> f64 {
+        assert!(n >= 2, "need at least 2 tokens");
+        let k = self.softmax_layers as f64;
+        let l = self.total_layers as f64;
+        let nf = n as f64;
+        let attn = (k * calib::ATTN_CYCLES_PER_N2 * nf * nf).sqrt();
+        let fft = ((l - k) * calib::FFT_CYCLES_PER_NLOGN * nf * nf.log2()).sqrt();
+        let combined = attn + fft;
+        combined * combined
+    }
+
+    /// Seconds for the whole model's attention.
+    pub fn model_attention_seconds(&self, n: usize) -> f64 {
+        self.model_attention_cycles(n) / self.clock.hz()
+    }
+
+    /// Post-synthesis utilisation on the VCU128 from Table 2 (the FP16
+    /// 120-butterfly-engine design).
+    pub fn utilization() -> Utilization {
+        Utilization {
+            dsp: 0.32,
+            lut: 0.79,
+            ff: 0.63,
+            bram: 0.49,
+            uram: 0.0,
+        }
+    }
+
+    /// Absolute resources on the VCU128.
+    pub fn resources() -> Resources {
+        Resources::from_utilization(&Self::utilization(), &FpgaDevice::vcu128().fabric)
+    }
+
+    /// Sustained power with the calibrated hybrid-engine activity.
+    pub fn power_watts(&self) -> f64 {
+        PowerModel::ultrascale_plus().power_watts(&Self::resources(), calib::ACTIVITY, &self.clock)
+    }
+
+    /// Energy for the whole model's attention, in joules.
+    pub fn model_attention_energy(&self, n: usize) -> f64 {
+        PowerModel::energy_joules(self.power_watts(), self.model_attention_seconds(n))
+    }
+}
+
+/// Speedup of a SWAT design over this Butterfly configuration for a whole
+/// model's attention (Figure 8). `swat_per_head_seconds` is SWAT's one-head
+/// latency at the same length; SWAT runs every layer as window attention,
+/// and per-head time × layers is the model total (head count cancels in the
+/// ratio as both sides scale with it).
+pub fn swat_speedup(
+    btf: &ButterflyAccelerator,
+    swat_per_head_seconds: f64,
+    n: usize,
+) -> f64 {
+    let swat_model = swat_per_head_seconds * btf.total_layers as f64;
+    btf.model_attention_seconds(n) / swat_model
+}
+
+/// Energy-efficiency ratio of SWAT over Butterfly (Figure 9):
+/// Butterfly joules ÷ SWAT joules for the same model attention.
+pub fn swat_energy_ratio(
+    btf: &ButterflyAccelerator,
+    swat_per_head_seconds: f64,
+    swat_power_watts: f64,
+    n: usize,
+) -> f64 {
+    let swat_energy = swat_power_watts * swat_per_head_seconds * btf.total_layers as f64;
+    btf.model_attention_energy(n) / swat_energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SWAT FP16 per-head seconds at the shared clock (201 cycles/row).
+    fn swat_seconds(n: usize) -> f64 {
+        201.0 * n as f64 / ClockDomain::default_fpga().hz()
+    }
+
+    /// SWAT FP16 calibrated power (tested in the `swat` crate).
+    const SWAT_FP16_WATTS: f64 = 40.0;
+
+    #[test]
+    fn speedup_anchors_at_4096() {
+        // Paper: "At the standard Longformer configuration of 4096 input
+        // tokens, SWAT performs 6.7x and 12.2x better over BTF-1 and
+        // BTF-2."
+        let s1 = swat_speedup(&ButterflyAccelerator::btf(1), swat_seconds(4096), 4096);
+        let s2 = swat_speedup(&ButterflyAccelerator::btf(2), swat_seconds(4096), 4096);
+        assert!((6.2..7.2).contains(&s1), "BTF-1 speedup {s1}");
+        assert!((11.0..13.0).contains(&s2), "BTF-2 speedup {s2}");
+    }
+
+    #[test]
+    fn speedup_anchor_at_16384() {
+        // Abstract: "22x improvement in latency ... compared to the
+        // baseline FPGA-based accelerator (with 16384 tokens)".
+        let s1 = swat_speedup(&ButterflyAccelerator::btf(1), swat_seconds(16384), 16384);
+        assert!((21.0..23.0).contains(&s1), "BTF-1 speedup {s1}");
+        let s2 = swat_speedup(&ButterflyAccelerator::btf(2), swat_seconds(16384), 16384);
+        assert!((38.0..43.0).contains(&s2), "BTF-2 speedup {s2}");
+    }
+
+    #[test]
+    fn speedup_grows_with_length() {
+        let btf = ButterflyAccelerator::btf(1);
+        let mut prev = 0.0;
+        for n in [1024usize, 2048, 4096, 8192, 16384] {
+            let s = swat_speedup(&btf, swat_seconds(n), n);
+            assert!(s > prev, "speedup must grow with n: {s} at {n}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn energy_anchors_at_16384() {
+        // Paper: "attaining 11.4x and 21.9x over BTF-1 and BTF-2 at 16384
+        // context length".
+        let e1 = swat_energy_ratio(
+            &ButterflyAccelerator::btf(1),
+            swat_seconds(16384),
+            SWAT_FP16_WATTS,
+            16384,
+        );
+        let e2 = swat_energy_ratio(
+            &ButterflyAccelerator::btf(2),
+            swat_seconds(16384),
+            SWAT_FP16_WATTS,
+            16384,
+        );
+        assert!((10.4..12.4).contains(&e1), "BTF-1 energy ratio {e1}");
+        assert!((19.9..23.9).contains(&e2), "BTF-2 energy ratio {e2}");
+    }
+
+    #[test]
+    fn optimal_split_shifts_toward_attn_with_length() {
+        let btf = ButterflyAccelerator::btf(1);
+        let short = btf.optimal_attn_fraction(1024);
+        let long = btf.optimal_attn_fraction(16384);
+        assert!(long > short, "quadratic engine needs more resources as n grows");
+        assert!(short > 0.0 && long < 1.0);
+        assert_eq!(ButterflyAccelerator::full_fft().optimal_attn_fraction(4096), 0.0);
+    }
+
+    #[test]
+    fn full_fft_scales_nearly_linearly() {
+        let btf = ButterflyAccelerator::full_fft();
+        let t1 = btf.model_attention_seconds(4096);
+        let t2 = btf.model_attention_seconds(8192);
+        let ratio = t2 / t1;
+        // n log n doubling: slightly above 2.
+        assert!((2.0..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn more_softmax_layers_cost_more() {
+        let n = 8192;
+        let t0 = ButterflyAccelerator::btf(0).model_attention_seconds(n);
+        let t1 = ButterflyAccelerator::btf(1).model_attention_seconds(n);
+        let t2 = ButterflyAccelerator::btf(2).model_attention_seconds(n);
+        assert!(t0 < t1 && t1 < t2);
+    }
+
+    #[test]
+    fn butterfly_power_below_swat_fp16() {
+        // The calibrated hybrid activity puts Butterfly's sustained power
+        // around half of SWAT's fully-toggling pipeline.
+        let p = ButterflyAccelerator::btf(1).power_watts();
+        assert!((18.0..24.0).contains(&p), "butterfly power {p} W");
+    }
+
+    #[test]
+    fn table2_row_matches_paper() {
+        let u = ButterflyAccelerator::utilization();
+        assert_eq!(u.dsp, 0.32);
+        assert_eq!(u.lut, 0.79);
+        assert_eq!(u.ff, 0.63);
+        assert_eq!(u.bram, 0.49);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8")]
+    fn too_many_softmax_layers_rejected() {
+        let _ = ButterflyAccelerator::btf(9);
+    }
+}

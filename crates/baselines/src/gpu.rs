@@ -1,0 +1,260 @@
+//! Roofline-with-floors cost model of attention on an AMD MI210.
+//!
+//! The measured GPU behaviour the paper reports (Figures 3 and 9) has
+//! three regimes, all captured by `t_kernel(work) = max(t_floor,
+//! work / effective_flops)` per kernel launch:
+//!
+//! 1. **Launch/underutilisation floor** — below ~4 K tokens a single-batch
+//!    attention cannot fill the device; execution time is flat.
+//! 2. **Roofline** — past ~8 K tokens the dense kernels hit the effective
+//!    compute throughput and time grows quadratically.
+//! 3. **Small-kernel regime** — sliding chunks replaces one big kernel by
+//!    `3·⌈n/w⌉` small ones, each of which is floor-bound, which is why its
+//!    total time tracks the dense implementation despite doing far less
+//!    useful work (the paper's observation in Section 1).
+//!
+//! Calibration anchors (see DESIGN.md): effective FP32 attention throughput
+//! 4.64 TFLOP/s (≈20% of the MI210's 22.6 TFLOP/s vector peak), dense
+//! kernel floor 700 µs, chunk kernel floor 75 µs. These reproduce the
+//! paper's ~2.2 ms flat region, the ≈15 ms dense time at 16 K tokens, and
+//! the 20×/4.2×/8.4× FP32 energy-efficiency trajectory.
+
+/// Hardware constants of the GPU being modelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Device name.
+    pub name: &'static str,
+    /// Board power used for energy accounting (the paper uses the MI210's
+    /// 300 W).
+    pub tdp_watts: f64,
+    /// Effective sustained FP32 throughput on attention kernels, FLOP/s.
+    pub effective_flops_fp32: f64,
+    /// Minimum wall-clock time of one large (dense) kernel launch.
+    pub dense_kernel_floor_s: f64,
+    /// Minimum wall-clock time of one small (per-chunk) kernel launch.
+    pub chunk_kernel_floor_s: f64,
+    /// HBM2e bandwidth in bytes/s.
+    pub mem_bytes_per_sec: f64,
+}
+
+impl GpuSpec {
+    /// The AMD MI210 as calibrated for this reproduction.
+    pub fn mi210() -> GpuSpec {
+        GpuSpec {
+            name: "AMD MI210",
+            tdp_watts: 300.0,
+            effective_flops_fp32: 4.64e12,
+            dense_kernel_floor_s: 700e-6,
+            chunk_kernel_floor_s: 75e-6,
+            mem_bytes_per_sec: 1.6e12,
+        }
+    }
+}
+
+/// Which attention implementation runs on the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuKernel {
+    /// Naïve dense attention: one QK GEMM, one softmax, one SV GEMM.
+    Dense,
+    /// Hugging Face sliding chunks with window half-width `w`: three
+    /// kernels per diagonal chunk.
+    SlidingChunks {
+        /// Window half-width (`2w` tokens attended per row).
+        w: usize,
+    },
+}
+
+/// Cost estimate for one attention (one head) on the GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCost {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Energy in joules (TDP × time).
+    pub energy_joules: f64,
+    /// FLOPs executed (including the chunked implementation's redundant
+    /// work).
+    pub flops: f64,
+    /// Peak memory footprint of the score matrices in bytes (the right
+    /// panel of Figure 3).
+    pub score_memory_bytes: u64,
+    /// Number of kernel launches.
+    pub kernel_launches: u64,
+}
+
+/// The analytic GPU cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCostModel {
+    spec: GpuSpec,
+}
+
+impl GpuCostModel {
+    /// Builds a model over a GPU spec.
+    pub fn new(spec: GpuSpec) -> GpuCostModel {
+        GpuCostModel { spec }
+    }
+
+    /// The calibrated MI210 model.
+    pub fn mi210() -> GpuCostModel {
+        GpuCostModel::new(GpuSpec::mi210())
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Time of one kernel: launch/utilisation floor or roofline, whichever
+    /// binds.
+    fn kernel_seconds(&self, flops: f64, floor: f64) -> f64 {
+        (flops / self.spec.effective_flops_fp32).max(floor)
+    }
+
+    /// Cost of one attention over `n` tokens with head dimension `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `h == 0`, or if a chunked window is zero.
+    pub fn attention_cost(&self, kernel: GpuKernel, n: usize, h: usize) -> GpuCost {
+        assert!(n > 0 && h > 0, "n and h must be positive");
+        let nf = n as f64;
+        let hf = h as f64;
+        match kernel {
+            GpuKernel::Dense => {
+                let qk = 2.0 * nf * nf * hf;
+                let softmax = 5.0 * nf * nf;
+                let sv = 2.0 * nf * nf * hf;
+                let floor = self.spec.dense_kernel_floor_s;
+                let seconds = self.kernel_seconds(qk, floor)
+                    + self.kernel_seconds(softmax, floor)
+                    + self.kernel_seconds(sv, floor);
+                GpuCost {
+                    seconds,
+                    energy_joules: self.spec.tdp_watts * seconds,
+                    flops: qk + softmax + sv,
+                    score_memory_bytes: (n as u64) * (n as u64) * 4,
+                    kernel_launches: 3,
+                }
+            }
+            GpuKernel::SlidingChunks { w } => {
+                assert!(w > 0, "window half-width must be positive");
+                let chunks = n.div_ceil(w).max(1) as u64;
+                let edge = (2 * w).min(n) as f64;
+                let qk = 2.0 * edge * edge * hf;
+                let softmax = 5.0 * edge * edge;
+                let sv = 2.0 * edge * edge * hf;
+                let floor = self.spec.chunk_kernel_floor_s;
+                let per_chunk = self.kernel_seconds(qk, floor)
+                    + self.kernel_seconds(softmax, floor)
+                    + self.kernel_seconds(sv, floor);
+                let seconds = per_chunk * chunks as f64;
+                GpuCost {
+                    seconds,
+                    energy_joules: self.spec.tdp_watts * seconds,
+                    flops: (qk + softmax + sv) * chunks as f64,
+                    score_memory_bytes: chunks * (edge as u64) * (edge as u64) * 4,
+                    kernel_launches: 3 * chunks,
+                }
+            }
+        }
+    }
+
+    /// Convenience: seconds for one attention.
+    pub fn attention_seconds(&self, kernel: GpuKernel, n: usize, h: usize) -> f64 {
+        self.attention_cost(kernel, n, h).seconds
+    }
+
+    /// Convenience: joules for one attention.
+    pub fn attention_energy(&self, kernel: GpuKernel, n: usize, h: usize) -> f64 {
+        self.attention_cost(kernel, n, h).energy_joules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: usize = 64;
+
+    #[test]
+    fn dense_is_flat_then_quadratic() {
+        let gpu = GpuCostModel::mi210();
+        let t512 = gpu.attention_seconds(GpuKernel::Dense, 512, H);
+        let t4k = gpu.attention_seconds(GpuKernel::Dense, 4096, H);
+        let t8k = gpu.attention_seconds(GpuKernel::Dense, 8192, H);
+        let t16k = gpu.attention_seconds(GpuKernel::Dense, 16384, H);
+        // Flat (floor-bound) region: 512 and 4096 within ~30%.
+        assert!(t4k / t512 < 1.5, "flat region: {t512} -> {t4k}");
+        // Steep region: 8k -> 16k grows nearly 4x (quadratic, saturated).
+        let growth = t16k / t8k;
+        assert!((3.0..4.2).contains(&growth), "growth {growth}");
+        // Absolute anchors from Figure 3: ~2 ms flat region, ~15 ms at 16K.
+        assert!((1.5e-3..3.0e-3).contains(&t512), "floor {t512}");
+        assert!((13e-3..17e-3).contains(&t16k), "16K dense {t16k}");
+    }
+
+    #[test]
+    fn chunks_track_dense_time_at_long_lengths() {
+        // The paper's point: despite ~2x fewer useful FLOPs, sliding chunks
+        // is not faster than dense, because its small kernels are
+        // launch-bound.
+        let gpu = GpuCostModel::mi210();
+        let w = 256;
+        for n in [8192usize, 16384] {
+            let dense = gpu.attention_seconds(GpuKernel::Dense, n, H);
+            let chunks = gpu.attention_seconds(GpuKernel::SlidingChunks { w }, n, H);
+            let ratio = chunks / dense;
+            assert!((0.5..2.0).contains(&ratio), "n={n}: chunks/dense = {ratio}");
+        }
+    }
+
+    #[test]
+    fn chunks_memory_is_linear_dense_quadratic() {
+        let gpu = GpuCostModel::mi210();
+        let w = 256;
+        let c8 = gpu.attention_cost(GpuKernel::SlidingChunks { w }, 8192, H);
+        let c16 = gpu.attention_cost(GpuKernel::SlidingChunks { w }, 16384, H);
+        let ratio = c16.score_memory_bytes as f64 / c8.score_memory_bytes as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "chunks memory ratio {ratio}");
+
+        let d8 = gpu.attention_cost(GpuKernel::Dense, 8192, H);
+        let d16 = gpu.attention_cost(GpuKernel::Dense, 16384, H);
+        assert_eq!(d16.score_memory_bytes / d8.score_memory_bytes, 4);
+        // Figure 3 anchor: dense at 16K uses ~1 GB for scores.
+        assert_eq!(d16.score_memory_bytes, 16384 * 16384 * 4);
+        assert!(c16.score_memory_bytes < d16.score_memory_bytes / 5);
+    }
+
+    #[test]
+    fn chunk_launch_count_grows_linearly() {
+        let gpu = GpuCostModel::mi210();
+        let c = gpu.attention_cost(GpuKernel::SlidingChunks { w: 256 }, 16384, H);
+        assert_eq!(c.kernel_launches, 3 * 64);
+        let d = gpu.attention_cost(GpuKernel::Dense, 16384, H);
+        assert_eq!(d.kernel_launches, 3);
+    }
+
+    #[test]
+    fn energy_is_tdp_times_time() {
+        let gpu = GpuCostModel::mi210();
+        let c = gpu.attention_cost(GpuKernel::Dense, 2048, H);
+        assert!((c.energy_joules - 300.0 * c.seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunked_flops_redundancy_about_2x_useful() {
+        let gpu = GpuCostModel::mi210();
+        let n = 16384;
+        let w = 256;
+        let chunked = gpu.attention_cost(GpuKernel::SlidingChunks { w }, n, H).flops;
+        // Useful band work: 4*n*2w*h MACs -> flops.
+        let useful = 4.0 * n as f64 * (2 * w) as f64 * H as f64;
+        let ratio = chunked / useful;
+        assert!((1.5..2.5).contains(&ratio), "redundancy ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_tokens_rejected() {
+        let _ = GpuCostModel::mi210().attention_cost(GpuKernel::Dense, 0, 64);
+    }
+}

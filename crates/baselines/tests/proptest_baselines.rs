@@ -1,0 +1,95 @@
+//! Property tests for the baseline cost models.
+
+use proptest::prelude::*;
+use swat_baselines::butterfly::ButterflyAccelerator;
+use swat_baselines::{GpuCostModel, GpuKernel};
+
+proptest! {
+    /// GPU dense time and energy are monotone in sequence length and never
+    /// below the kernel floors.
+    #[test]
+    fn gpu_dense_monotone(n1 in 64usize..16384, n2 in 64usize..16384) {
+        let gpu = GpuCostModel::mi210();
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let t_lo = gpu.attention_seconds(GpuKernel::Dense, lo, 64);
+        let t_hi = gpu.attention_seconds(GpuKernel::Dense, hi, 64);
+        prop_assert!(t_hi >= t_lo);
+        prop_assert!(t_lo >= 3.0 * gpu.spec().dense_kernel_floor_s - 1e-12);
+        let c = gpu.attention_cost(GpuKernel::Dense, lo, 64);
+        prop_assert!((c.energy_joules - gpu.spec().tdp_watts * c.seconds).abs() < 1e-9);
+    }
+
+    /// Chunked time is linear in n once n >> w (launch-bound regime):
+    /// doubling n doubles time within tolerance.
+    #[test]
+    fn gpu_chunks_linear(exp in 12u32..14, w in 64usize..512) {
+        let gpu = GpuCostModel::mi210();
+        let n = 1usize << exp;
+        let t1 = gpu.attention_seconds(GpuKernel::SlidingChunks { w }, n, 64);
+        let t2 = gpu.attention_seconds(GpuKernel::SlidingChunks { w }, 2 * n, 64);
+        let ratio = t2 / t1;
+        prop_assert!((1.8..2.2).contains(&ratio), "ratio {}", ratio);
+    }
+
+    /// Chunked score memory is linear in n; dense is quadratic.
+    #[test]
+    fn memory_scaling(exp in 10u32..13) {
+        let gpu = GpuCostModel::mi210();
+        let n = 1usize << exp;
+        let w = 256;
+        let c1 = gpu.attention_cost(GpuKernel::SlidingChunks { w }, n, 64).score_memory_bytes;
+        let c2 = gpu.attention_cost(GpuKernel::SlidingChunks { w }, 2 * n, 64).score_memory_bytes;
+        prop_assert!((c2 as f64 / c1 as f64 - 2.0).abs() < 0.2);
+        let d1 = gpu.attention_cost(GpuKernel::Dense, n, 64).score_memory_bytes;
+        let d2 = gpu.attention_cost(GpuKernel::Dense, 2 * n, 64).score_memory_bytes;
+        prop_assert_eq!(d2 / d1, 4);
+    }
+
+    /// The Butterfly closed-form optimal split really is optimal: no
+    /// explicitly evaluated resource split beats it.
+    #[test]
+    fn butterfly_split_optimality(
+        k in 1usize..8,
+        exp in 10u32..15,
+        rho in 0.01f64..0.99,
+    ) {
+        let n = 1usize << exp;
+        let btf = ButterflyAccelerator::btf(k);
+        let closed = btf.model_attention_cycles(n);
+        // Explicit split: attn engine gets rho, fft engine 1-rho.
+        let kf = k as f64;
+        let lf = btf.total_layers as f64;
+        let nf = n as f64;
+        let a = 1.6649;
+        let b = 5.358;
+        let explicit = kf * a * nf * nf / rho + (lf - kf) * b * nf * nf.log2() / (1.0 - rho);
+        prop_assert!(
+            closed <= explicit * (1.0 + 1e-9),
+            "closed form {} must not exceed explicit split {} (rho={})",
+            closed, explicit, rho
+        );
+    }
+
+    /// Butterfly time is monotone in n and in the number of softmax
+    /// layers.
+    #[test]
+    fn butterfly_monotone(k in 0usize..7, exp in 10u32..14) {
+        let n = 1usize << exp;
+        let t = ButterflyAccelerator::btf(k).model_attention_seconds(n);
+        let t_more_layers = ButterflyAccelerator::btf(k + 1).model_attention_seconds(n);
+        let t_longer = ButterflyAccelerator::btf(k).model_attention_seconds(2 * n);
+        prop_assert!(t_more_layers >= t);
+        prop_assert!(t_longer > t);
+    }
+
+    /// The optimal ATTN-engine fraction is in [0, 1] and grows with n.
+    #[test]
+    fn butterfly_fraction_bounds(k in 1usize..7, exp in 10u32..14) {
+        let btf = ButterflyAccelerator::btf(k);
+        let n = 1usize << exp;
+        let f1 = btf.optimal_attn_fraction(n);
+        let f2 = btf.optimal_attn_fraction(2 * n);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!(f2 >= f1, "quadratic engine demands more resources as n grows");
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the attention kernels themselves (the
+//! software substrate; the paper's figures come from the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swat_attention::{chunks, fused, window};
+use swat_numeric::{SplitMix64, F16};
+use swat_tensor::{ops, Matrix};
+use swat_workloads::fourier::{fft, Complex};
+
+fn qkv(n: usize, h: usize) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+    let mut rng = SplitMix64::new(0xBE7C);
+    let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0);
+    (
+        Matrix::from_fn(n, h, &mut gen),
+        Matrix::from_fn(n, h, &mut gen),
+        Matrix::from_fn(n, h, &mut gen),
+    )
+}
+
+fn bench_attention_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_kernels");
+    for &n in &[256usize, 1024] {
+        let w = 32;
+        let h = 64;
+        let (q, k, v) = qkv(n, h);
+        group.bench_with_input(BenchmarkId::new("window_exact", n), &n, |b, _| {
+            b.iter(|| window::window_attention(&q, &k, &v, w, 0.125))
+        });
+        group.bench_with_input(BenchmarkId::new("sliding_chunks", n), &n, |b, _| {
+            b.iter(|| chunks::sliding_chunks_attention(&q, &k, &v, w, 0.125))
+        });
+        group.bench_with_input(BenchmarkId::new("fused_f32", n), &n, |b, _| {
+            b.iter(|| fused::fused_window_attention(&q, &k, &v, w, 0.125))
+        });
+        group.bench_with_input(BenchmarkId::new("fused_f16", n), &n, |b, _| {
+            b.iter(|| fused::fused_window_attention_in::<F16>(&q, &k, &v, w, 0.125))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let n = 128;
+    let a32 = Matrix::from_fn(n, n, |i, j| ((i * 31 + j) % 17) as f32 * 0.1);
+    let b32 = Matrix::from_fn(n, n, |i, j| ((i * 13 + j) % 11) as f32 * 0.1);
+    let a16 = a32.map(F16::from_f32);
+    let b16 = b32.map(F16::from_f32);
+    group.bench_function("f32_naive_128", |b| b.iter(|| ops::gemm(&a32, &b32)));
+    group.bench_function("f32_blocked_128", |b| b.iter(|| ops::gemm_blocked(&a32, &b32, 32)));
+    group.bench_function("f16_naive_128", |b| b.iter(|| ops::gemm(&a16, &b16)));
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[1024usize, 4096] {
+        let mut rng = SplitMix64::new(1);
+        let signal: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.next_gaussian(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut data = signal.clone();
+                fft(&mut data);
+                data
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention_kernels, bench_gemm, bench_fft);
+criterion_main!(benches);

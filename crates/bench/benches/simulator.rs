@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the SWAT simulator itself: the cost
+//! models are used inside sweeps, so their own speed matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swat::timing::StageTimings;
+use swat::trace::simulate_schedule;
+use swat::{SwatAccelerator, SwatConfig};
+use swat_baselines::butterfly::ButterflyAccelerator;
+use swat_baselines::{GpuCostModel, GpuKernel};
+
+fn bench_cost_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_models");
+    let swat = SwatAccelerator::new(SwatConfig::longformer_fp16()).expect("valid");
+    let gpu = GpuCostModel::mi210();
+    let btf = ButterflyAccelerator::btf(1);
+    group.bench_function("swat_latency_sweep", |b| {
+        b.iter(|| {
+            (9..15)
+                .map(|p| swat.latency_seconds(1 << p))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("gpu_cost_sweep", |b| {
+        b.iter(|| {
+            (9..15)
+                .map(|p| gpu.attention_seconds(GpuKernel::Dense, 1 << p, 64))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("butterfly_sweep", |b| {
+        b.iter(|| {
+            (9..15)
+                .map(|p| btf.model_attention_seconds(1 << p))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_schedule_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    let pipeline = StageTimings::for_config(&SwatConfig::longformer_fp16()).to_pipeline(false);
+    for &rows in &[1024usize, 16384] {
+        group.bench_with_input(BenchmarkId::new("simulate", rows), &rows, |b, &rows| {
+            b.iter(|| simulate_schedule(&pipeline, rows))
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_run");
+    group.sample_size(10);
+    let cfg = SwatConfig {
+        window_tokens: 64,
+        ..SwatConfig::longformer_fp16()
+    };
+    let accel = SwatAccelerator::new(cfg).expect("valid");
+    let x = swat_tensor::Matrix::from_fn(512, 64, |i, j| ((i * 7 + j) % 13) as f32 * 0.05);
+    group.bench_function("fp16_512rows_w32", |b| {
+        b.iter(|| accel.run(&x, &x, &x).expect("run succeeds"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cost_models,
+    bench_schedule_simulation,
+    bench_functional_run
+);
+criterion_main!(benches);

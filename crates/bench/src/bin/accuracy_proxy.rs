@@ -1,0 +1,65 @@
+//! The trained accuracy proxy behind Table 3: frozen attention + ridge
+//! readout on synthetic tasks with controlled information pathways.
+//!
+//! Unlike the fidelity experiment (`table3`), this one reports *task
+//! accuracy*, so "window attention cannot retrieve distant needles" and
+//! "Fourier mixing cannot see local coherence" become measured numbers.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin accuracy_proxy
+//! ```
+
+use swat_bench::{banner, print_table};
+use swat_workloads::readout::{evaluate, standard_mechanisms, Mechanism};
+use swat_workloads::tasks::Task;
+
+fn main() {
+    let seq_len = 64;
+    let dim = 8;
+    let train = 96;
+    let test = 64;
+
+    banner("Accuracy proxy — frozen attention + ridge readout (chance = 0.50)");
+    println!("({seq_len} tokens, d={dim}, {train} train / {test} test problems per cell)");
+    println!();
+
+    let mechanisms = standard_mechanisms(seq_len);
+    let mut rows = Vec::new();
+    for &m in &mechanisms {
+        let mut row = vec![m.name().to_string()];
+        for task in Task::ALL {
+            let r = evaluate(m, task, seq_len, dim, train, test, 42);
+            row.push(format!("{:.2}", r.accuracy));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["mechanism"];
+    headers.extend(Task::ALL.iter().map(|t| t.name()));
+    print_table(&headers, &rows);
+
+    println!();
+    println!("Reading (maps onto Table 3's columns):");
+    let get = |m: Mechanism, t: Task| evaluate(m, t, seq_len, dim, train, test, 42).accuracy;
+    let window = mechanisms[1];
+    let bigbird = mechanisms[2];
+    let fourier = mechanisms[4];
+    println!(
+        "  - local coherence (LRA Image regime): window {:.2} vs fourier {:.2} — the",
+        get(window, Task::LocalCoherence),
+        get(fourier, Task::LocalCoherence)
+    );
+    println!("    +15% Image gain of Longformer over full-FFT Butterfly, mechanised.");
+    println!(
+        "  - needle retrieval (long-range regime): dense {:.2} vs window {:.2}; BigBird's",
+        get(mechanisms[0], Task::NeedleRetrieval),
+        get(window, Task::NeedleRetrieval)
+    );
+    println!(
+        "    random links recover part of it ({:.2}) — why BigBird beats Longformer on",
+        get(bigbird, Task::NeedleRetrieval)
+    );
+    println!("    ListOps in Table 3.");
+    println!(
+        "  - random control: all mechanisms near 0.50 (no leakage through the harness)."
+    );
+}

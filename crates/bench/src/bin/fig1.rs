@@ -1,0 +1,67 @@
+//! Reproduces **Figure 1**: FLOPs and MOPs breakdown (Linear / Attention /
+//! FFN) of one transformer encoder layer as the input length grows.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin fig1
+//! ```
+
+use swat_bench::{banner, print_table};
+use swat_model::flops::{layer_costs, AttentionKind, FIGURE1_LENGTHS};
+use swat_model::ModelConfig;
+
+fn main() {
+    let cfg = ModelConfig::longformer_base();
+    banner(format!(
+        "Figure 1 — FLOPs/MOPs breakdown per layer ({}: d={}, {} heads, dense attention)",
+        cfg.name, cfg.d_model, cfg.heads
+    ));
+
+    let mut rows = Vec::new();
+    for &n in &FIGURE1_LENGTHS {
+        let c = layer_costs(&cfg, n, AttentionKind::Dense);
+        let (lf, af, ff) = c.flops_shares();
+        let (lm, am, fm) = c.mops_shares();
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.3}", lf),
+            format!("{:.3}", af),
+            format!("{:.3}", ff),
+            format!("{:.3}", lm),
+            format!("{:.3}", am),
+            format!("{:.3}", fm),
+        ]);
+    }
+    print_table(
+        &[
+            "len", "FLOP:lin", "FLOP:attn", "FLOP:ffn", "MOP:lin", "MOP:attn", "MOP:ffn",
+        ],
+        &rows,
+    );
+
+    println!();
+    println!("Shape checks (the paper's reading of Figure 1):");
+    let short = layer_costs(&cfg, 128, AttentionKind::Dense);
+    let long = layer_costs(&cfg, 16384, AttentionKind::Dense);
+    println!(
+        "  attention FLOPs share grows {:.1}% -> {:.1}%",
+        short.attention_flops_share() * 100.0,
+        long.attention_flops_share() * 100.0
+    );
+    println!(
+        "  attention MOPs share grows {:.1}% -> {:.1}%",
+        short.attention_mops_share() * 100.0,
+        long.attention_mops_share() * 100.0
+    );
+
+    banner("Same model with sliding-window attention (2w = 512): linear scaling");
+    let mut rows = Vec::new();
+    for &n in &FIGURE1_LENGTHS {
+        let c = layer_costs(&cfg, n, AttentionKind::Window);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2e}", c.attention_flops as f64),
+            format!("{:.3}", c.attention_flops_share()),
+        ]);
+    }
+    print_table(&["len", "attn FLOPs", "attn share"], &rows);
+}

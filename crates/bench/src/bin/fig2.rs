@@ -1,0 +1,44 @@
+//! Reproduces **Figure 2**'s quantitative content: the sliding-chunks
+//! redundancy. The figure itself is illustrative; its claim is the
+//! formula `1/2 − 1/(4·|chunks|)` and the overlap/corner structure, which
+//! we verify against the *measured* redundancy of the actual chunked
+//! implementation.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin fig2
+//! ```
+
+use swat_attention::chunks::{redundancy_ratio, sliding_chunks_attention};
+use swat_bench::{banner, print_table};
+use swat_numeric::SplitMix64;
+use swat_tensor::Matrix;
+
+fn main() {
+    banner("Figure 2 — sliding-chunks redundancy: paper formula vs measured");
+    let w = 16;
+    let h = 8;
+    println!("(window half-width w={w}, chunks of 2w={} with stride w)", 2 * w);
+    println!();
+
+    let mut rows = Vec::new();
+    for &n in &[64usize, 128, 256, 512, 1024, 4096] {
+        let mut rng = SplitMix64::new(2);
+        let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0);
+        let q = Matrix::from_fn(n, h, &mut gen);
+        let k = Matrix::from_fn(n, h, &mut gen);
+        let v = Matrix::from_fn(n, h, &mut gen);
+        let run = sliding_chunks_attention(&q, &k, &v, w, 1.0);
+        rows.push(vec![
+            n.to_string(),
+            run.num_chunks.to_string(),
+            format!("{:.4}", redundancy_ratio(run.num_chunks)),
+            format!("{:.4}", run.counts.redundancy()),
+        ]);
+    }
+    print_table(&["len", "chunks", "formula 1/2-1/(4c)", "measured"], &rows);
+
+    println!();
+    println!("Both converge to 50% wasted work as the chunk count grows — the overlap");
+    println!("(grey) and corner (dashed) regions of Figure 2b. SWAT's per-row dataflow");
+    println!("computes the band exactly and wastes nothing (redundancy 0 by construction).");
+}

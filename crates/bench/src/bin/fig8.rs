@@ -1,0 +1,45 @@
+//! Reproduces **Figure 8**: speedup of SWAT (Longformer/BigBird
+//! configuration) over the Butterfly accelerator in BTF-1 and BTF-2
+//! configurations, across input lengths 1024…16384.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin fig8
+//! ```
+
+use swat::{SwatAccelerator, SwatConfig};
+use swat_baselines::butterfly::{swat_speedup, ButterflyAccelerator};
+use swat_bench::{banner, fmt_ratio, print_table, SWEEP_LENGTHS};
+
+fn main() {
+    let swat = SwatAccelerator::new(SwatConfig::longformer_fp16()).expect("valid config");
+    let btf1 = ButterflyAccelerator::btf(1);
+    let btf2 = ButterflyAccelerator::btf(2);
+
+    banner("Figure 8 — normalized speedup of SWAT over Butterfly");
+    let mut rows = Vec::new();
+    for &n in &SWEEP_LENGTHS {
+        let t = swat.latency_seconds(n);
+        rows.push(vec![
+            n.to_string(),
+            fmt_ratio(swat_speedup(&btf1, t, n)),
+            fmt_ratio(swat_speedup(&btf2, t, n)),
+            format!("{:.2}", btf1.optimal_attn_fraction(n)),
+        ]);
+    }
+    print_table(
+        &["len", "SWAT vs BTF-1", "SWAT vs BTF-2", "BTF-1 attn-engine share"],
+        &rows,
+    );
+
+    println!();
+    println!("Paper anchors:");
+    println!(
+        "  @4096:  BTF-1 {:.1}x (paper 6.7x), BTF-2 {:.1}x (paper 12.2x)",
+        swat_speedup(&btf1, swat.latency_seconds(4096), 4096),
+        swat_speedup(&btf2, swat.latency_seconds(4096), 4096),
+    );
+    println!(
+        "  @16384: BTF-1 {:.1}x (paper abstract: 22x latency vs baseline FPGA)",
+        swat_speedup(&btf1, swat.latency_seconds(16384), 16384),
+    );
+}

@@ -1,0 +1,74 @@
+//! Reproduces **Figure 9**: energy efficiency of SWAT against the
+//! Butterfly accelerator (BTF-1/BTF-2) and the MI210 GPU (dense and
+//! sliding chunks), in both FP16 and FP32.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin fig9
+//! ```
+
+use swat::{SwatAccelerator, SwatConfig};
+use swat_baselines::butterfly::{swat_energy_ratio, ButterflyAccelerator};
+use swat_baselines::{GpuCostModel, GpuKernel};
+use swat_bench::{banner, fmt_ratio, print_table, SWEEP_LENGTHS};
+
+fn main() {
+    let h = 64;
+    let w = 256;
+    let gpu = GpuCostModel::mi210();
+    let swat16 = SwatAccelerator::new(SwatConfig::longformer_fp16()).expect("valid config");
+    let swat32 = SwatAccelerator::new(SwatConfig::longformer_fp32()).expect("valid config");
+    let btf1 = ButterflyAccelerator::btf(1);
+    let btf2 = ButterflyAccelerator::btf(2);
+
+    banner("Figure 9 — energy efficiency of SWAT (ratio of baseline energy to SWAT energy)");
+    let mut rows = Vec::new();
+    for &n in &SWEEP_LENGTHS {
+        let t16 = swat16.latency_seconds(n);
+        let e16 = swat16.energy_per_attention(n);
+        let e32 = swat32.energy_per_attention(n);
+        let gpu_dense = gpu.attention_energy(GpuKernel::Dense, n, h);
+        let gpu_chunks = gpu.attention_energy(GpuKernel::SlidingChunks { w }, n, h);
+        rows.push(vec![
+            n.to_string(),
+            fmt_ratio(swat_energy_ratio(&btf1, t16, swat16.power_watts(), n)),
+            fmt_ratio(swat_energy_ratio(&btf2, t16, swat16.power_watts(), n)),
+            fmt_ratio(gpu_dense / e16),
+            fmt_ratio(gpu_chunks / e16),
+            fmt_ratio(gpu_dense / e32),
+            fmt_ratio(gpu_chunks / e32),
+        ]);
+    }
+    print_table(
+        &[
+            "len",
+            "FP16 vs BTF-1",
+            "FP16 vs BTF-2",
+            "FP16 vs GPU dense",
+            "FP16 vs GPU chunks",
+            "FP32 vs GPU dense",
+            "FP32 vs GPU chunks",
+        ],
+        &rows,
+    );
+
+    println!();
+    println!("Paper anchors:");
+    let t16k = swat16.latency_seconds(16384);
+    println!(
+        "  @16384 vs BTF-1: {:.1}x (paper 11.4x), vs BTF-2: {:.1}x (paper 21.9x)",
+        swat_energy_ratio(&btf1, t16k, swat16.power_watts(), 16384),
+        swat_energy_ratio(&btf2, t16k, swat16.power_watts(), 16384),
+    );
+    let r = |n: usize| gpu.attention_energy(GpuKernel::Dense, n, h) / swat32.energy_per_attention(n);
+    println!(
+        "  FP32 vs GPU dense: {:.1}x @1K (paper ~20x), {:.1}x @8K (paper 4.2x min), {:.1}x @16K (paper 8.4x)",
+        r(1024),
+        r(8192),
+        r(16384),
+    );
+    let r16 = |n: usize| gpu.attention_energy(GpuKernel::Dense, n, h) / swat16.energy_per_attention(n);
+    println!(
+        "  FP16 vs GPU dense @16K: {:.1}x (paper headline: ~15x energy efficiency vs GPU)",
+        r16(16384),
+    );
+}

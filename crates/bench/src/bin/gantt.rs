@@ -1,0 +1,56 @@
+//! ASCII Gantt view of the SWAT pipeline schedule — makes the Table 1
+//! balance visible: after the fill, a new row completes every II cycles
+//! and the QK stage never goes idle.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin gantt
+//! ```
+
+use swat::timing::StageTimings;
+use swat::trace::simulate_schedule;
+use swat::SwatConfig;
+use swat_bench::banner;
+
+fn main() {
+    let cfg = SwatConfig::longformer_fp16();
+    let timings = StageTimings::for_config(&cfg);
+    let pipeline = timings.to_pipeline(false);
+    let rows = 8;
+    let sched = simulate_schedule(&pipeline, rows);
+
+    banner(format!(
+        "Pipeline schedule, first {rows} rows (FP16, II={} cycles, '#' = 50 cycles busy)",
+        pipeline.initiation_interval()
+    ));
+
+    let cycles_per_char = 50u64;
+    let width = sched.total_cycles.div_ceil(cycles_per_char) as usize;
+
+    for stage in pipeline.stages() {
+        let mut line = vec![b' '; width];
+        for iv in sched.intervals.iter().filter(|iv| iv.stage == stage.name) {
+            let a = (iv.start / cycles_per_char) as usize;
+            let b = (iv.end.div_ceil(cycles_per_char) as usize).min(width);
+            let glyph = b'0' + (iv.row % 10) as u8;
+            for c in line.iter_mut().take(b).skip(a) {
+                *c = glyph;
+            }
+        }
+        println!("{:>8} |{}|", stage.name, String::from_utf8_lossy(&line));
+    }
+
+    println!();
+    println!("(digits are row indices flowing left to right; QK back-to-back = the II)");
+    println!();
+    println!("Totals: {} cycles for {rows} rows; closed form {}; conflict-free: {}",
+        sched.total_cycles,
+        pipeline.total_cycles(rows as u64),
+        sched.is_conflict_free()
+    );
+    println!("Steady-state utilisation over 4096 rows:");
+    let long = simulate_schedule(&pipeline, 4096);
+    for (name, u) in long.stage_utilization() {
+        let bars = (u * 40.0).round() as usize;
+        println!("  {name:>8} {:>5.1}% |{}|", u * 100.0, "=".repeat(bars));
+    }
+}

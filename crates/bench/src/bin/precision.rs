@@ -1,0 +1,96 @@
+//! Extension study: why SWAT chose FP16 over fixed point.
+//!
+//! A fixed-point MAC is cheaper (one DSP at II=1 vs the FP16 MAC's II=3),
+//! but softmax's exponential spans a huge dynamic range. This study runs
+//! the same fused window attention in binary16 and in three Q-formats and
+//! measures accuracy plus saturation events.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin precision
+//! ```
+
+use swat_attention::fused::fused_window_attention_in;
+use swat_attention::{reference, SparsityPattern};
+use swat_bench::{banner, print_table};
+use swat_numeric::fixed::fixed_point_window_attention;
+use swat_numeric::{SplitMix64, F16};
+use swat_tensor::Matrix;
+
+fn main() {
+    let n = 128;
+    let h = 16;
+    let w = 16;
+    let scale = 1.0 / (h as f32).sqrt();
+
+    banner("Datapath precision study — binary16 vs Q-format fixed point on fused window attention");
+    println!("({n} tokens, H={h}, 2w={}, per-row max |error| vs f32 reference)", 2 * w);
+    println!();
+
+    let mut rows = Vec::new();
+    for &input_scale in &[0.25f32, 0.5, 1.0, 2.0, 3.0, 4.0] {
+        let mut rng = SplitMix64::new(7);
+        let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0) * input_scale;
+        let q = Matrix::from_fn(n, h, &mut gen);
+        let k = Matrix::from_fn(n, h, &mut gen);
+        let v = Matrix::from_fn(n, h, &mut gen);
+        let exact = reference::masked_attention(
+            &q,
+            &k,
+            &v,
+            &SparsityPattern::sliding_window(n, w),
+            scale,
+        );
+
+        let f16 = fused_window_attention_in::<F16>(&q, &k, &v, w, scale);
+        let f16_err = if f16.output.as_slice().iter().all(|x| x.is_finite()) {
+            format!("{:.2e}", f16.output.max_abs_diff(&exact))
+        } else {
+            "OVERFLOW".to_string()
+        };
+
+        let fx = |frac: &str, out: Vec<f32>, sats: u64| -> String {
+            let m = Matrix::from_vec(n, h, out);
+            let _ = frac;
+            let finite = m.as_slice().iter().all(|x| x.is_finite());
+            if finite {
+                format!("{:.2e} ({sats} sat)", m.max_abs_diff(&exact))
+            } else {
+                format!("NaN ({sats} sat)")
+            }
+        };
+        let (o20, s20) = fixed_point_window_attention::<20>(
+            q.as_slice(), k.as_slice(), v.as_slice(), n, h, w, scale,
+        );
+        let (o16, s16) = fixed_point_window_attention::<16>(
+            q.as_slice(), k.as_slice(), v.as_slice(), n, h, w, scale,
+        );
+        let (o10, s10) = fixed_point_window_attention::<10>(
+            q.as_slice(), k.as_slice(), v.as_slice(), n, h, w, scale,
+        );
+
+        rows.push(vec![
+            format!("{input_scale:.2}"),
+            f16_err,
+            fx("20", o20, s20),
+            fx("16", o16, s16),
+            fx("10", o10, s10),
+        ]);
+    }
+    print_table(
+        &["input scale", "binary16", "Q11.20", "Q15.16", "Q21.10"],
+        &rows,
+    );
+
+    println!();
+    println!("Reading:");
+    println!("  - at layer-norm scales (<=1) every format works; 32-bit fixed point is even");
+    println!("    more accurate than binary16 — but it doubles the K/V BRAM footprint and");
+    println!("    off-chip traffic (32b vs 16b), i.e. it costs the FP32 row of Table 2;");
+    println!("  - as scores grow, the exponential's range defeats everyone: the Q-formats");
+    println!("    saturate (gracefully — bounded error, counted above) and binary16");
+    println!("    overflows to infinity. A *16-bit* Q-format would have to split 16 bits");
+    println!("    between exp's range and the scores' resolution and loses both ways;");
+    println!("    binary16's 5 exponent bits cover the whole usable range in 16 bits.");
+    println!("    That is the trade SWAT makes: FP16 semantics at II=3, half the memory");
+    println!("    of a fixed-point design with comparable robustness (Section 4).");
+}

@@ -1,0 +1,72 @@
+//! Reproduces **Table 1**: per-stage pipeline timing of the SWAT design
+//! (default configuration H=64, 2w=512, FP16), from the timing model,
+//! side-by-side with the paper's HLS report. Also prints the FP32 variant
+//! and a cycle-accurate schedule cross-check.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin table1
+//! ```
+
+use swat::timing::StageTimings;
+use swat::trace::simulate_schedule;
+use swat::SwatConfig;
+use swat_bench::{banner, print_table};
+
+fn main() {
+    let cfg16 = SwatConfig::longformer_fp16();
+    let cfg32 = SwatConfig::longformer_fp32();
+    let model16 = StageTimings::for_config(&cfg16);
+    let model32 = StageTimings::for_config(&cfg32);
+    let paper = StageTimings::paper_table1();
+
+    banner("Table 1 — pipeline stage timing in cycles (H=64, 2w=512)");
+    let stage_rows: Vec<(&str, u64, u64, u64)> = vec![
+        ("LOAD", paper.load, model16.load, model32.load),
+        ("LOAD (random)", paper.load_random, model16.load_random, model32.load_random),
+        ("QK", paper.qk, model16.qk, model32.qk),
+        ("SV", paper.sv, model16.sv, model32.sv),
+        ("ZRED1", paper.zred1, model16.zred1, model32.zred1),
+        ("ZRED2", paper.zred2, model16.zred2, model32.zred2),
+        ("ROWSUM1", paper.rowsum1, model16.rowsum1, model32.rowsum1),
+        ("ROWSUM2", paper.rowsum2, model16.rowsum2, model32.rowsum2),
+        ("DIV&OUT", paper.div_out, model16.div_out, model32.div_out),
+    ];
+    let rows: Vec<Vec<String>> = stage_rows
+        .iter()
+        .map(|(name, p, m16, m32)| {
+            vec![
+                name.to_string(),
+                p.to_string(),
+                m16.to_string(),
+                if m16 == p { "yes".into() } else { "NO".into() },
+                m32.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["stage", "paper FP16", "model FP16", "match", "model FP32"], &rows);
+
+    println!();
+    println!(
+        "Pipeline II: FP16 {} cycles (paper: 201), FP32 {} cycles (paper: 264)",
+        model16.initiation_interval(false),
+        model32.initiation_interval(false)
+    );
+
+    banner("Cycle-accurate schedule cross-check");
+    let pipeline = model16.to_pipeline(false);
+    for rows_n in [1usize, 16, 4096] {
+        let sched = simulate_schedule(&pipeline, rows_n);
+        println!(
+            "  {rows_n:>5} rows: simulated {} cycles, closed-form {} cycles, conflict-free: {}",
+            sched.total_cycles,
+            pipeline.total_cycles(rows_n as u64),
+            sched.is_conflict_free()
+        );
+    }
+    println!();
+    println!("Stage utilisation over 4096 rows (pipeline balance):");
+    let sched = simulate_schedule(&pipeline, 4096);
+    for (name, u) in sched.stage_utilization() {
+        println!("  {name:<8} {:.1}%", u * 100.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Reproduces **Table 2**: resource usage on the U55C/VCU128 for the four
+//! SWAT configurations plus the Butterfly baseline row.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin table2
+//! ```
+
+use swat::resources::{paper_table2, utilization};
+use swat::SwatConfig;
+use swat_baselines::ButterflyAccelerator;
+use swat_bench::{banner, print_table};
+
+fn main() {
+    banner("Table 2 — resource usage on U55C/VCU128 (estimated vs paper)");
+
+    let configs = [
+        SwatConfig::longformer_fp16(),
+        SwatConfig::bigbird_fp16(),
+        SwatConfig::bigbird_dual_fp16(),
+        SwatConfig::longformer_fp32(),
+    ];
+    let paper = paper_table2();
+
+    let pct = |x: f64| format!("{:.0}%", x * 100.0);
+    let mut rows = Vec::new();
+    for (cfg, (name, expected)) in configs.iter().zip(&paper) {
+        let u = utilization(cfg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{} ({})", pct(u.dsp), pct(expected.dsp)),
+            format!("{} ({})", pct(u.lut), pct(expected.lut)),
+            format!("{} ({})", pct(u.ff), pct(expected.ff)),
+            format!("{} ({})", pct(u.bram), pct(expected.bram)),
+        ]);
+    }
+    let btf = ButterflyAccelerator::utilization();
+    rows.push(vec![
+        "Butterfly (FP16, 120-BE)".to_string(),
+        format!("{} (paper)", pct(btf.dsp)),
+        format!("{} (paper)", pct(btf.lut)),
+        format!("{} (paper)", pct(btf.ff)),
+        format!("{} (paper)", pct(btf.bram)),
+    ]);
+
+    print_table(
+        &["design", "DSP est(paper)", "LUT est(paper)", "FF est(paper)", "BRAM est(paper)"],
+        &rows,
+    );
+
+    println!();
+    println!("Derived power at 450 MHz (calibrated XPE-style model):");
+    for (cfg, (name, _)) in configs.iter().zip(&paper) {
+        let accel = swat::SwatAccelerator::new(cfg.clone()).expect("valid config");
+        println!("  {name:<28} {:>6.1} W", accel.power_watts());
+    }
+    println!(
+        "  {:<28} {:>6.1} W (hybrid-engine activity)",
+        "Butterfly (BTF-1)",
+        ButterflyAccelerator::btf(1).power_watts()
+    );
+}

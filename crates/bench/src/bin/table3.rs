@@ -1,0 +1,88 @@
+//! Reproduces **Table 3**: LRA accuracy gains of window-attention models
+//! over the full-FFT Butterfly model (the paper's published numbers), and
+//! runs this reproduction's *attention-fidelity proxy* showing the same
+//! qualitative ordering without training (see DESIGN.md's substitution
+//! table).
+//!
+//! ```text
+//! cargo run -p swat-bench --bin table3
+//! ```
+
+use swat_bench::{banner, print_table};
+use swat_workloads::fidelity::{run_experiment, Approximation};
+use swat_workloads::generators::Workload;
+use swat_workloads::records::table3;
+
+fn main() {
+    banner("Table 3 (recorded) — accuracy gain over full-FFT Butterfly on LRA, percentage points");
+    let rows: Vec<Vec<String>> = table3()
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.to_string(),
+                format!("{:+.2}", r.image),
+                format!("{:+.2}", r.pathfinder),
+                format!("{:+.2}", r.text),
+                format!("{:+.2}", r.listops),
+                format!("{:+.2}", r.average),
+            ]
+        })
+        .collect();
+    print_table(&["model", "Image", "PathFinder", "Text", "ListOps", "AVG"], &rows);
+
+    banner("Fidelity proxy (this reproduction) — how well each pattern reconstructs dense softmax attention");
+    println!("(fidelity = 1/(1+relative error) vs full attention; sequences of 256 tokens, 3 seeds)");
+    println!();
+    let scores = run_experiment(256, 16, 3);
+    let names: Vec<&str> = vec!["window", "bigbird", "butterfly-pattern", "fourier-mix"];
+    let mut rows = Vec::new();
+    for name in &names {
+        let mut row = vec![name.to_string()];
+        let mut sum = 0.0;
+        for wl in Workload::ALL {
+            let s = scores
+                .iter()
+                .find(|s| s.approximation.name() == *name && s.workload == wl)
+                .expect("experiment covers the grid");
+            row.push(format!("{:.3}", s.fidelity()));
+            sum += s.fidelity();
+        }
+        row.push(format!("{:.3}", sum / Workload::ALL.len() as f64));
+        rows.push(row);
+    }
+    let mut headers = vec!["pattern"];
+    let workload_names: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
+    headers.extend(workload_names.iter());
+    headers.push("AVG");
+    print_table(&headers, &rows);
+
+    println!();
+    println!("Qualitative claims carried by the proxy:");
+    let avg = |name: &str| -> f64 {
+        scores
+            .iter()
+            .filter(|s| s.approximation.name() == name)
+            .map(|s| s.fidelity())
+            .sum::<f64>()
+            / Workload::ALL.len() as f64
+    };
+    println!(
+        "  window-family patterns beat FFT mixing on average: window {:.3} / bigbird {:.3} vs fourier {:.3}",
+        avg("window"),
+        avg("bigbird"),
+        avg("fourier-mix")
+    );
+    let local = |a: &str| {
+        scores
+            .iter()
+            .find(|s| s.approximation.name() == a && s.workload == Workload::LocalTexture)
+            .unwrap()
+            .fidelity()
+    };
+    println!(
+        "  largest margin on vision-like local tasks (Table 3's Image column): window {:.3} vs fourier {:.3}",
+        local("window"),
+        local("fourier-mix")
+    );
+    let _ = Approximation::FourierMix; // referenced for doc purposes
+}

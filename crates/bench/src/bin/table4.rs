@@ -1,0 +1,57 @@
+//! Reproduces **Table 4**: ImageNet-1K Top-1 accuracy of ViL (window
+//! attention, SWAT-supported) vs Pixelfly (butterfly) — the paper's
+//! published records, with the parameter-efficiency analysis the paper
+//! draws from them.
+//!
+//! ```text
+//! cargo run -p swat-bench --bin table4
+//! ```
+
+use swat_bench::{banner, print_table};
+use swat_workloads::records::table4;
+
+fn main() {
+    banner("Table 4 (recorded) — ImageNet-1K Top-1: ViL (window) vs Pixelfly (butterfly)");
+    let rows: Vec<Vec<String>> = table4()
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.to_string(),
+                format!("{:.1}M", r.params_millions),
+                format!("{:.1}%", r.top1),
+                if r.window_based { "window (SWAT)" } else { "butterfly" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["model", "params", "Top-1", "attention"], &rows);
+
+    println!();
+    println!("Analysis (the paper's reading):");
+    let t = table4();
+    let best_window = t
+        .iter()
+        .filter(|r| r.window_based)
+        .max_by(|a, b| a.top1.partial_cmp(&b.top1).unwrap())
+        .unwrap();
+    let best_butterfly = t
+        .iter()
+        .filter(|r| !r.window_based)
+        .max_by(|a, b| a.top1.partial_cmp(&b.top1).unwrap())
+        .unwrap();
+    println!(
+        "  best window model: {} ({:.1}% @ {:.1}M params)",
+        best_window.model, best_window.top1, best_window.params_millions
+    );
+    println!(
+        "  best butterfly model: {} ({:.1}% @ {:.1}M params)",
+        best_butterfly.model, best_butterfly.top1, best_butterfly.params_millions
+    );
+    // Accuracy per parameter at matched scale.
+    let vil_tiny = &t[0];
+    let pixelfly_ms = &t[1];
+    println!(
+        "  at matched ~6M params: {} {:.1}% vs {} {:.1}% (+{:.1} pts for window attention)",
+        vil_tiny.model, vil_tiny.top1, pixelfly_ms.model, pixelfly_ms.top1,
+        vil_tiny.top1 - pixelfly_ms.top1
+    );
+}

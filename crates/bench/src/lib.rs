@@ -1,0 +1,117 @@
+//! Shared plumbing for the table/figure reproduction binaries.
+//!
+//! Every table and figure in the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it:
+//!
+//! | Binary    | Reproduces |
+//! |-----------|------------|
+//! | `fig1`    | Figure 1 — FLOPs/MOPs breakdown vs input length |
+//! | `fig2`    | Figure 2 — sliding-chunks redundancy, formula vs measured |
+//! | `fig3`    | Figure 3 — execution time & memory vs GPU dense / sliding chunks |
+//! | `fig8`    | Figure 8 — speedup of SWAT over BTF-1/BTF-2 |
+//! | `fig9`    | Figure 9 — energy efficiency vs Butterfly and GPU |
+//! | `table1`  | Table 1 — pipeline stage timing |
+//! | `table2`  | Table 2 — FPGA resource utilisation |
+//! | `table3`  | Table 3 — LRA accuracy gains + the fidelity proxy |
+//! | `table4`  | Table 4 — ImageNet Top-1 records |
+//! | `ablations` | DESIGN.md §6 — dataflow ablation study |
+//! | `stability` | extension — raw-exp fusion vs online-max softmax in FP16 |
+//! | `precision` | extension — binary16 vs Q-format fixed point |
+//! | `accuracy_proxy` | extension — trained ridge-readout accuracy per pattern |
+//! | `gantt`   | ASCII pipeline-occupancy view of the Table 1 schedule |
+//!
+//! Criterion micro-benchmarks of the actual kernels live in `benches/`.
+
+use std::fmt::Display;
+
+/// Prints a right-aligned table: a header row then data rows, columns sized
+/// to fit.
+pub fn print_table<R: AsRef<[String]>>(headers: &[&str], rows: &[R]) {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.as_ref().iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("| {} |", joined.join(" | "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    let total: usize = widths.iter().sum::<usize>() + 3 * ncols + 1;
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row.as_ref().to_vec());
+    }
+}
+
+/// Formats a float with engineering-style precision for tables.
+pub fn fmt_val(x: impl Into<f64>) -> String {
+    let x: f64 = x.into();
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Formats seconds as milliseconds.
+pub fn fmt_ms(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e3)
+}
+
+/// Formats bytes as mebibytes.
+pub fn fmt_mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a ratio as "12.3x".
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+/// The input-length sweep used by Figures 3, 8 and 9.
+pub const SWEEP_LENGTHS: [usize; 5] = [1024, 2048, 4096, 8192, 16384];
+
+/// The extended sweep of Figure 3 (starts at 512).
+pub const FIG3_LENGTHS: [usize; 6] = [512, 1024, 2048, 4096, 8192, 16384];
+
+/// Prints a section banner.
+pub fn banner(title: impl Display) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_val(0.0), "0");
+        assert_eq!(fmt_val(123.4), "123");
+        assert_eq!(fmt_val(1.234), "1.23");
+        assert_eq!(fmt_val(0.1234), "0.1234");
+        assert_eq!(fmt_ms(0.0015), "1.500");
+        assert_eq!(fmt_mib(1024 * 1024), "1.0");
+        assert_eq!(fmt_ratio(6.66), "6.7x");
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Ablations of SWAT's three dataflow decisions.
+//!
+//! DESIGN.md calls out three design choices whose benefit the paper argues
+//! qualitatively; these models quantify each by *removing* it:
+//!
+//! - [`Ablation::NoFusion`]: unfused three-step attention spills the `S`
+//!   and `S'` tiles off-chip (Section 3.1's motivation for kernel fusion);
+//! - [`Ablation::NoFifo`]: without the input-stationary FIFO, the whole
+//!   K/V window is re-streamed for every query row (Section 3.2's
+//!   motivation for data reuse);
+//! - [`Ablation::MonolithicReduction`]: a single-phase Z reduction whose
+//!   latency `≈ 3·2w` would dominate the initiation interval (Section 4's
+//!   motivation for the ZRED1/ZRED2 split);
+//! - [`Ablation::DdrNoFifo`]: the FIFO ablation on a DDR4 channel instead
+//!   of HBM, showing the dataflow is what makes slow memory survivable.
+
+use crate::config::SwatConfig;
+use crate::timing::StageTimings;
+use swat_hw::{MemoryInterface, Pipeline, PipelineStage};
+
+/// A design decision to remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// The full SWAT design (baseline).
+    None,
+    /// No kernel fusion: S/S' round-trip to off-chip memory.
+    NoFusion,
+    /// No K/V FIFO: the window is re-loaded for every row.
+    NoFifo,
+    /// Single-phase Z reduction instead of ZRED1/ZRED2.
+    MonolithicReduction,
+    /// No FIFO *and* DDR4 instead of HBM.
+    DdrNoFifo,
+}
+
+impl Ablation {
+    /// All variants, for sweeps.
+    pub const ALL: [Ablation; 5] = [
+        Ablation::None,
+        Ablation::NoFusion,
+        Ablation::NoFifo,
+        Ablation::MonolithicReduction,
+        Ablation::DdrNoFifo,
+    ];
+
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ablation::None => "baseline",
+            Ablation::NoFusion => "no-fusion",
+            Ablation::NoFifo => "no-fifo",
+            Ablation::MonolithicReduction => "monolithic-zred",
+            Ablation::DdrNoFifo => "no-fifo+ddr",
+        }
+    }
+}
+
+/// Cost of a design variant on one head of `seq_len` rows.
+#[derive(Debug, Clone)]
+pub struct AblationOutcome {
+    /// Which ablation this is.
+    pub ablation: Ablation,
+    /// Compute-side seconds (pipeline model).
+    pub compute_seconds: f64,
+    /// Memory-side seconds (traffic / bandwidth).
+    pub memory_seconds: f64,
+    /// Effective seconds with compute/transfer overlap: `max` of the two.
+    pub seconds: f64,
+    /// Off-chip bytes moved.
+    pub traffic_bytes: u64,
+    /// Steady-state cycles per row.
+    pub initiation_interval: u64,
+}
+
+impl AblationOutcome {
+    /// True if the variant is limited by memory bandwidth.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_seconds > self.compute_seconds
+    }
+}
+
+/// Evaluates one ablation on one head of `seq_len` rows.
+///
+/// # Panics
+///
+/// Panics if `seq_len == 0`.
+pub fn evaluate(cfg: &SwatConfig, seq_len: usize, ablation: Ablation) -> AblationOutcome {
+    assert!(seq_len > 0, "sequence length must be positive");
+    let timings = StageTimings::for_config(cfg);
+    let has_random = cfg.random_tokens > 0;
+    let n = seq_len as u64;
+    let h = cfg.head_dim as u64;
+    let elem = cfg.precision.bytes() as u64;
+    let cores = cfg.attention_cores() as u64;
+
+    // Baseline traffic: Q, K, V streamed once; Z written once.
+    let mut traffic = 4 * n * h * elem;
+    let mut pipeline = timings.to_pipeline(has_random);
+    let mut memory = MemoryInterface::hbm2();
+
+    match ablation {
+        Ablation::None => {}
+        Ablation::NoFusion => {
+            // S and S' tiles (n × cores scores each) written then re-read.
+            traffic += 2 * 2 * n * cores * elem;
+        }
+        Ablation::NoFifo | Ablation::DdrNoFifo => {
+            // K and V windows re-streamed per row instead of once total.
+            traffic = (n * h + 2 * n * cores * h + n * h) * elem;
+            // LOAD must now fetch the whole window per row: the stage
+            // stops being a single-row refresh and scales with 2w.
+            let load = cores * h / 16 + 2; // 16 elements/beat from HBM
+            let mut stages: Vec<PipelineStage> = pipeline.stages().to_vec();
+            stages[0] = PipelineStage::new("LOAD", load.max(1));
+            pipeline = Pipeline::new(stages);
+            if ablation == Ablation::DdrNoFifo {
+                memory = MemoryInterface::ddr4_channel();
+            }
+        }
+        Ablation::MonolithicReduction => {
+            // Z reduction in one phase: ~3·2w + 3 cycles (paper: "approx
+            // 3×2w, which is 8x that of QK and SV stages").
+            let mono = cfg.precision.mac_ii() * cores + 3;
+            let mut stages: Vec<PipelineStage> = pipeline.stages().to_vec();
+            stages[3] = PipelineStage::new("RED1", mono);
+            pipeline = Pipeline::new(stages);
+        }
+    }
+
+    let compute_seconds = cfg.clock.seconds(pipeline.total_cycles(n));
+    let memory_seconds = memory.transfer_seconds(traffic);
+    AblationOutcome {
+        ablation,
+        compute_seconds,
+        memory_seconds,
+        seconds: compute_seconds.max(memory_seconds),
+        traffic_bytes: traffic,
+        initiation_interval: pipeline.initiation_interval(),
+    }
+}
+
+/// Evaluates every ablation, baseline first.
+pub fn sweep(cfg: &SwatConfig, seq_len: usize) -> Vec<AblationOutcome> {
+    Ablation::ALL
+        .iter()
+        .map(|&a| evaluate(cfg, seq_len, a))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SwatConfig {
+        SwatConfig::longformer_fp16()
+    }
+
+    #[test]
+    fn baseline_is_compute_bound() {
+        let o = evaluate(&cfg(), 16384, Ablation::None);
+        assert!(!o.memory_bound(), "SWAT's dataflow keeps HBM idle enough");
+        assert_eq!(o.initiation_interval, 201);
+    }
+
+    #[test]
+    fn no_fusion_multiplies_traffic() {
+        let base = evaluate(&cfg(), 8192, Ablation::None);
+        let nf = evaluate(&cfg(), 8192, Ablation::NoFusion);
+        // S/S' round trip adds 4·n·2w elements on top of 4·n·H: with
+        // 2w/H = 8 that is a 9x total-traffic blowup.
+        assert!(nf.traffic_bytes > 8 * base.traffic_bytes);
+        assert!(nf.seconds >= base.seconds);
+    }
+
+    #[test]
+    fn no_fifo_multiplies_traffic_by_window() {
+        let base = evaluate(&cfg(), 8192, Ablation::None);
+        let nf = evaluate(&cfg(), 8192, Ablation::NoFifo);
+        let ratio = nf.traffic_bytes as f64 / base.traffic_bytes as f64;
+        // 2·n·2w·H vs 4·n·H: ratio ≈ w = 256.
+        assert!(ratio > 200.0 && ratio < 300.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ddr_without_fifo_is_memory_bound() {
+        let o = evaluate(&cfg(), 8192, Ablation::DdrNoFifo);
+        assert!(o.memory_bound());
+        let base = evaluate(&cfg(), 8192, Ablation::None);
+        assert!(o.seconds > 5.0 * base.seconds);
+    }
+
+    #[test]
+    fn monolithic_reduction_inflates_ii_about_8x() {
+        let base = evaluate(&cfg(), 4096, Ablation::None);
+        let mono = evaluate(&cfg(), 4096, Ablation::MonolithicReduction);
+        let ratio = mono.initiation_interval as f64 / base.initiation_interval as f64;
+        assert!((6.0..9.0).contains(&ratio), "II ratio {ratio}");
+        assert!(mono.seconds > 5.0 * base.seconds);
+    }
+
+    #[test]
+    fn sweep_covers_all_and_baseline_is_fastest() {
+        let outcomes = sweep(&cfg(), 8192);
+        assert_eq!(outcomes.len(), Ablation::ALL.len());
+        let base = outcomes[0].seconds;
+        for o in &outcomes[1..] {
+            assert!(
+                o.seconds >= base * 0.999,
+                "{}: ablation cannot beat the full design",
+                o.ablation.name()
+            );
+        }
+    }
+}

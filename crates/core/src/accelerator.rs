@@ -1,0 +1,294 @@
+//! The SWAT accelerator: functional datapath + temporal model in one
+//! object.
+
+use crate::config::{ConfigError, Precision, SwatConfig};
+use crate::report::RunReport;
+use crate::resources;
+use crate::timing::{self, StageTimings};
+use swat_attention::fused::{fused_pattern_attention_in, FusedRun};
+use swat_hw::{PowerModel, Resources};
+use swat_numeric::F16;
+use swat_tensor::Matrix;
+
+/// A validated SWAT design, ready to simulate.
+///
+/// Construction validates the configuration and checks it fits the Alveo
+/// U55C. [`run`](SwatAccelerator::run) executes the functional datapath in
+/// the configured precision and attaches the temporal/energy model's
+/// verdict; the pure cost accessors ([`latency_seconds`]
+/// (SwatAccelerator::latency_seconds), [`energy_per_attention`]
+/// (SwatAccelerator::energy_per_attention)) answer without computing
+/// numerics, which is what the benchmark harness uses for 16 K-token
+/// sweeps.
+#[derive(Debug, Clone)]
+pub struct SwatAccelerator {
+    cfg: SwatConfig,
+    timings: StageTimings,
+    used: Resources,
+}
+
+impl SwatAccelerator {
+    /// Builds and validates an accelerator instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is structurally invalid
+    /// or does not fit the target device.
+    pub fn new(cfg: SwatConfig) -> Result<SwatAccelerator, ConfigError> {
+        cfg.validate()?;
+        resources::check_fits(&cfg)?;
+        let timings = StageTimings::for_config(&cfg);
+        let used = resources::estimate(&cfg);
+        Ok(SwatAccelerator { cfg, timings, used })
+    }
+
+    /// The configuration this instance was built from.
+    pub fn config(&self) -> &SwatConfig {
+        &self.cfg
+    }
+
+    /// The per-stage cycle timings in effect.
+    pub fn stage_timings(&self) -> &StageTimings {
+        &self.timings
+    }
+
+    /// Estimated fabric resources.
+    pub fn resources(&self) -> Resources {
+        self.used
+    }
+
+    /// Steady-state cycles per row.
+    pub fn initiation_interval(&self) -> u64 {
+        self.timings.initiation_interval(self.cfg.random_tokens > 0)
+    }
+
+    /// Total cycles for one head over `seq_len` rows.
+    pub fn latency_cycles(&self, seq_len: usize) -> u64 {
+        timing::attention_cycles(&self.cfg, seq_len)
+    }
+
+    /// Wall-clock seconds for one head over `seq_len` rows.
+    pub fn latency_seconds(&self, seq_len: usize) -> f64 {
+        self.cfg.clock.seconds(self.latency_cycles(seq_len))
+    }
+
+    /// Seconds for a full model's attention: `heads` heads × `layers`
+    /// layers, with `pipelines` heads running concurrently.
+    pub fn model_latency_seconds(&self, seq_len: usize, heads: usize, layers: usize) -> f64 {
+        self.cfg
+            .clock
+            .seconds(timing::model_attention_cycles(&self.cfg, seq_len, heads, layers))
+    }
+
+    /// Estimated sustained power (activity 1.0: the pipeline is fully
+    /// busy in steady state — that is the point of the balanced design).
+    pub fn power_watts(&self) -> f64 {
+        PowerModel::ultrascale_plus().power_watts(&self.used, 1.0, &self.cfg.clock)
+    }
+
+    /// Energy in joules for one head over `seq_len` rows.
+    pub fn energy_per_attention(&self, seq_len: usize) -> f64 {
+        PowerModel::energy_joules(self.power_watts(), self.latency_seconds(seq_len))
+    }
+
+    /// Peak on-chip K/V buffer footprint in bytes: `cores × 2 rows × H`.
+    /// Grows with the window, *not* with the sequence — the "linear scaling
+    /// of memory use" of Figure 3 refers to off-chip working set; on-chip
+    /// state is constant.
+    pub fn kv_buffer_bytes(&self) -> u64 {
+        (self.cfg.attention_cores() * 2 * self.cfg.head_dim * self.cfg.precision.bytes()) as u64
+            * self.cfg.pipelines as u64
+    }
+
+    /// Off-chip working-set bytes for one head over `seq_len` rows
+    /// (Q, K, V in; Z out — each element moved exactly once).
+    pub fn offchip_bytes(&self, seq_len: usize) -> u64 {
+        (4 * seq_len * self.cfg.head_dim * self.cfg.precision.bytes()) as u64
+    }
+
+    /// Runs the functional datapath on one head and returns the full
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the sequence is too short for the
+    /// configured pattern (fewer positions than global + random tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`, `k`, `v` shapes are inconsistent or the head
+    /// dimension differs from the configuration.
+    pub fn run(
+        &self,
+        q: &Matrix<f32>,
+        k: &Matrix<f32>,
+        v: &Matrix<f32>,
+    ) -> Result<RunReport, ConfigError> {
+        assert_eq!(
+            q.cols(),
+            self.cfg.head_dim,
+            "input head dimension must match the configuration"
+        );
+        let n = q.rows();
+        if n < self.cfg.global_tokens + self.cfg.random_tokens {
+            return Err(ConfigError::new(format!(
+                "sequence of {n} rows is shorter than the {} global + {} random tokens",
+                self.cfg.global_tokens, self.cfg.random_tokens
+            )));
+        }
+
+        let pattern = self.cfg.pattern_for(n);
+        let run: FusedRun = match self.cfg.precision {
+            Precision::Fp16 => {
+                fused_pattern_attention_in::<F16>(q, k, v, &pattern, self.cfg.scale)
+            }
+            Precision::Fp32 => {
+                fused_pattern_attention_in::<f32>(q, k, v, &pattern, self.cfg.scale)
+            }
+        };
+
+        let cycles = self.latency_cycles(n);
+        let seconds = self.cfg.clock.seconds(cycles);
+        let power = self.power_watts();
+        Ok(RunReport {
+            output: run.output,
+            cycles,
+            seconds,
+            power_watts: power,
+            energy_joules: PowerModel::energy_joules(power, seconds),
+            counts: run.counts,
+            kv_loads: run.kv_loads,
+            kv_reloads: run.kv_reloads,
+            stage_timings: self.timings,
+            initiation_interval: self.initiation_interval(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_attention::reference;
+    use swat_numeric::SplitMix64;
+
+    fn qkv(n: usize, h: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0);
+        (
+            Matrix::from_fn(n, h, &mut gen),
+            Matrix::from_fn(n, h, &mut gen),
+            Matrix::from_fn(n, h, &mut gen),
+        )
+    }
+
+    fn small_window_cfg(precision: Precision) -> SwatConfig {
+        SwatConfig {
+            window_tokens: 32,
+            precision,
+            ..SwatConfig::longformer_fp16()
+        }
+    }
+
+    #[test]
+    fn fp32_run_matches_masked_reference() {
+        let cfg = small_window_cfg(Precision::Fp32);
+        let accel = SwatAccelerator::new(cfg.clone()).unwrap();
+        let (q, k, v) = qkv(128, 64, 100);
+        let report = accel.run(&q, &k, &v).unwrap();
+        let pattern = cfg.pattern_for(128);
+        let expect = reference::masked_attention(&q, &k, &v, &pattern, cfg.scale);
+        assert!(
+            report.output.max_abs_diff(&expect) < 1e-4,
+            "diff {}",
+            report.output.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn fp16_run_close_to_reference() {
+        let cfg = small_window_cfg(Precision::Fp16);
+        let accel = SwatAccelerator::new(cfg.clone()).unwrap();
+        let (q, k, v) = qkv(96, 64, 101);
+        let report = accel.run(&q, &k, &v).unwrap();
+        let pattern = cfg.pattern_for(96);
+        let expect = reference::masked_attention(&q, &k, &v, &pattern, cfg.scale);
+        assert!(
+            report.output.max_abs_diff(&expect) < 0.05,
+            "diff {}",
+            report.output.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn report_has_consistent_energy() {
+        let accel = SwatAccelerator::new(SwatConfig::longformer_fp16()).unwrap();
+        let (q, k, v) = qkv(600, 64, 102);
+        let r = accel.run(&q, &k, &v).unwrap();
+        assert!((r.energy_joules - r.power_watts * r.seconds).abs() < 1e-12);
+        assert_eq!(r.cycles, accel.latency_cycles(600));
+        assert_eq!(r.kv_loads, 600);
+        assert_eq!(r.transfer_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn latency_is_linear_and_fp32_slower() {
+        let f16 = SwatAccelerator::new(SwatConfig::longformer_fp16()).unwrap();
+        let f32_ = SwatAccelerator::new(SwatConfig::longformer_fp32()).unwrap();
+        let t16 = f16.latency_seconds(8192);
+        let t32 = f32_.latency_seconds(8192);
+        assert!((t32 / t16 - 264.0 / 201.0).abs() < 0.01);
+        assert!((f16.latency_seconds(16384) / t16 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn power_matches_calibration_targets() {
+        let f16 = SwatAccelerator::new(SwatConfig::longformer_fp16()).unwrap();
+        let f32_ = SwatAccelerator::new(SwatConfig::longformer_fp32()).unwrap();
+        assert!((39.0..41.0).contains(&f16.power_watts()), "{}", f16.power_watts());
+        assert!((53.0..57.0).contains(&f32_.power_watts()), "{}", f32_.power_watts());
+    }
+
+    #[test]
+    fn bigbird_run_reports_reloads() {
+        let cfg = SwatConfig {
+            window_tokens: 16,
+            global_tokens: 4,
+            random_tokens: 8,
+            ..SwatConfig::longformer_fp16()
+        };
+        let accel = SwatAccelerator::new(cfg.clone()).unwrap();
+        let (q, k, v) = qkv(64, 64, 103);
+        let r = accel.run(&q, &k, &v).unwrap();
+        assert!(r.kv_reloads > 0);
+        assert!(r.transfer_efficiency() < 1.0);
+        // Functional equivalence still holds.
+        let pattern = cfg.pattern_for(64);
+        let expect = reference::masked_attention(&q, &k, &v, &pattern, cfg.scale);
+        assert!(r.output.max_abs_diff(&expect) < 0.05);
+    }
+
+    #[test]
+    fn too_short_sequence_is_an_error() {
+        let accel = SwatAccelerator::new(SwatConfig::bigbird_fp16()).unwrap();
+        let (q, k, v) = qkv(64, 64, 104); // < 128 globals + 192 randoms
+        assert!(accel.run(&q, &k, &v).is_err());
+    }
+
+    #[test]
+    fn kv_buffers_constant_in_sequence_length() {
+        let accel = SwatAccelerator::new(SwatConfig::longformer_fp16()).unwrap();
+        // 512 cores x 2 rows x 64 x 2B = 128 KiB regardless of n.
+        assert_eq!(accel.kv_buffer_bytes(), 512 * 2 * 64 * 2);
+        assert!(accel.offchip_bytes(2048) < accel.offchip_bytes(4096));
+    }
+
+    #[test]
+    fn dual_pipeline_doubles_power_but_halves_model_time() {
+        let single = SwatAccelerator::new(SwatConfig::bigbird_fp16()).unwrap();
+        let dual = SwatAccelerator::new(SwatConfig::bigbird_dual_fp16()).unwrap();
+        assert!(dual.power_watts() > 1.5 * single.power_watts() - 12.0);
+        let t1 = single.model_latency_seconds(4096, 12, 12);
+        let t2 = dual.model_latency_seconds(4096, 12, 12);
+        assert!((t1 / t2 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,281 @@
+//! SWAT accelerator configurations (the "design-time parameters" of
+//! Figure 7) and their validation.
+
+use core::fmt;
+use swat_hw::{ClockDomain, FpgaDevice};
+
+/// Floating-point precision of the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// IEEE binary16; the FP16 MAC pipelines at an initiation interval of
+    /// 3 cycles on the U55C (Section 4).
+    Fp16,
+    /// IEEE binary32; the MAC initiation interval rises to 4 cycles and the
+    /// overall pipeline to 264 cycles (Section 5.4).
+    Fp32,
+}
+
+impl Precision {
+    /// Initiation interval of one multiply-accumulate in this precision.
+    pub fn mac_ii(self) -> u64 {
+        match self {
+            Precision::Fp16 => 3,
+            Precision::Fp32 => 4,
+        }
+    }
+
+    /// Bytes per element.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Fp16 => 2,
+            Precision::Fp32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Precision::Fp16 => "FP16",
+            Precision::Fp32 => "FP32",
+        })
+    }
+}
+
+/// A SWAT design point.
+///
+/// The total number of attention cores is
+/// `window_tokens + global_tokens + random_tokens` per pipeline; the
+/// standard configurations instantiate 512.
+///
+/// # Examples
+///
+/// ```
+/// use swat::config::SwatConfig;
+///
+/// let cfg = SwatConfig::bigbird_fp16();
+/// assert_eq!(cfg.attention_cores(), 512);
+/// assert_eq!(cfg.window_tokens, 192);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwatConfig {
+    /// Head dimensionality `H` (64 in every configuration the paper
+    /// evaluates).
+    pub head_dim: usize,
+    /// Window tokens per row, `2w`. Cores dedicated to the sliding window.
+    pub window_tokens: usize,
+    /// Cores with fixed, pre-loaded K/V buffers for global tokens.
+    pub global_tokens: usize,
+    /// Cores that reload K/V per row for static random attention.
+    pub random_tokens: usize,
+    /// Datapath precision.
+    pub precision: Precision,
+    /// Parallel pipelines (2 = the dual-pipeline configuration of Table 2,
+    /// which processes two heads concurrently).
+    pub pipelines: usize,
+    /// Fabric clock.
+    pub clock: ClockDomain,
+    /// Seed for the static random-attention indices.
+    pub pattern_seed: u64,
+    /// Softmax scale applied to scores (`1/√H` by default).
+    pub scale: f32,
+}
+
+impl SwatConfig {
+    /// The standard Longformer setup: pure window attention, `2w = 512`,
+    /// `H = 64`, FP16, one pipeline (Table 2 row 1).
+    pub fn longformer_fp16() -> SwatConfig {
+        SwatConfig {
+            head_dim: 64,
+            window_tokens: 512,
+            global_tokens: 0,
+            random_tokens: 0,
+            precision: Precision::Fp16,
+            pipelines: 1,
+            clock: ClockDomain::default_fpga(),
+            pattern_seed: 0x5374,
+            scale: 1.0 / 8.0, // 1/sqrt(64)
+        }
+    }
+
+    /// The BigBird configuration of Table 2 row 2: 192 window + 128 global
+    /// + 192 random tokens, FP16.
+    pub fn bigbird_fp16() -> SwatConfig {
+        SwatConfig {
+            window_tokens: 192,
+            global_tokens: 128,
+            random_tokens: 192,
+            ..SwatConfig::longformer_fp16()
+        }
+    }
+
+    /// The dual-pipeline BigBird configuration of Table 2 row 3 (two heads
+    /// in parallel; also demonstrates 1024 tokens/row capacity).
+    pub fn bigbird_dual_fp16() -> SwatConfig {
+        SwatConfig {
+            pipelines: 2,
+            ..SwatConfig::bigbird_fp16()
+        }
+    }
+
+    /// The FP32 variant used for the GPU comparison (Table 2 row 4).
+    pub fn longformer_fp32() -> SwatConfig {
+        SwatConfig {
+            precision: Precision::Fp32,
+            ..SwatConfig::longformer_fp16()
+        }
+    }
+
+    /// Attention cores per pipeline.
+    pub fn attention_cores(&self) -> usize {
+        self.window_tokens + self.global_tokens + self.random_tokens
+    }
+
+    /// Window half-width `w`.
+    pub fn window_half_width(&self) -> usize {
+        self.window_tokens / 2
+    }
+
+    /// Validates the configuration (dimension constraints only; resource
+    /// feasibility is checked against a device by
+    /// [`crate::resources::check_fits`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if a structural constraint is violated.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.head_dim == 0 {
+            return Err(ConfigError::new("head_dim must be positive"));
+        }
+        if self.window_tokens == 0 && self.global_tokens == 0 && self.random_tokens == 0 {
+            return Err(ConfigError::new("at least one attention core is required"));
+        }
+        if self.window_tokens % 2 != 0 {
+            return Err(ConfigError::new("window_tokens (2w) must be even"));
+        }
+        if self.pipelines == 0 {
+            return Err(ConfigError::new("at least one pipeline is required"));
+        }
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(ConfigError::new("scale must be positive and finite"));
+        }
+        Ok(())
+    }
+
+    /// Builds the sparsity pattern this design computes for a sequence of
+    /// length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token budgets are inconsistent with `n` (e.g. more
+    /// global+random tokens than positions).
+    pub fn pattern_for(&self, n: usize) -> swat_attention::SparsityPattern {
+        use swat_attention::SparsityPattern;
+        let w = self.window_half_width().max(1);
+        if self.global_tokens == 0 && self.random_tokens == 0 {
+            SparsityPattern::sliding_window(n, w.min(n))
+        } else {
+            SparsityPattern::bigbird(n, w.min(n), self.global_tokens, self.random_tokens, self.pattern_seed)
+        }
+    }
+
+    /// The device every configuration in the paper targets.
+    pub fn device(&self) -> FpgaDevice {
+        FpgaDevice::alveo_u55c()
+    }
+}
+
+/// Error returned when a [`SwatConfig`] is structurally invalid or does not
+/// fit the target device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> ConfigError {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SWAT configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for cfg in [
+            SwatConfig::longformer_fp16(),
+            SwatConfig::bigbird_fp16(),
+            SwatConfig::bigbird_dual_fp16(),
+            SwatConfig::longformer_fp32(),
+        ] {
+            cfg.validate().unwrap();
+            assert_eq!(cfg.attention_cores(), 512, "{:?}", cfg);
+            assert_eq!(cfg.head_dim, 64);
+        }
+    }
+
+    #[test]
+    fn mac_ii_matches_paper() {
+        assert_eq!(Precision::Fp16.mac_ii(), 3);
+        assert_eq!(Precision::Fp32.mac_ii(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = SwatConfig::longformer_fp16();
+        cfg.head_dim = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SwatConfig::longformer_fp16();
+        cfg.window_tokens = 0;
+        cfg.global_tokens = 0;
+        cfg.random_tokens = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SwatConfig::longformer_fp16();
+        cfg.window_tokens = 511;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SwatConfig::longformer_fp16();
+        cfg.pipelines = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SwatConfig::longformer_fp16();
+        cfg.scale = f32::NAN;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn pattern_for_longformer_is_window() {
+        let cfg = SwatConfig::longformer_fp16();
+        let p = cfg.pattern_for(2048);
+        assert_eq!(p.window_half_width(), Some(256));
+        assert!(p.globals().is_empty());
+    }
+
+    #[test]
+    fn pattern_for_bigbird_has_components() {
+        let cfg = SwatConfig::bigbird_fp16();
+        let p = cfg.pattern_for(2048);
+        assert_eq!(p.globals().len(), 128);
+        assert_eq!(p.random_targets(1000).len(), 192);
+    }
+
+    #[test]
+    fn error_displays_reason() {
+        let e = ConfigError::new("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Cycle-level simulator of **SWAT**, the window-attention FPGA accelerator
+//! of Bai et al., DAC 2024.
+//!
+//! SWAT is an input-stationary array of *attention cores*: each core holds
+//! one K row and one V row in BRAM, and an eight-stage pipeline streams Q
+//! rows past them (Figure 6 of the paper). Three dataflow ideas make it
+//! fast: softmax kernel fusion with a deferred denominator (Equation 1),
+//! row-major processing, and FIFO-managed K/V buffers that load each input
+//! element exactly once.
+//!
+//! This crate reproduces the accelerator at two coupled levels:
+//!
+//! - **functional**: the exact arithmetic the datapath performs, in the
+//!   configured precision (binary16 or binary32), via the fused streaming
+//!   kernel of [`swat_attention::fused`] — validated against the masked
+//!   softmax reference;
+//! - **temporal**: per-stage cycle counts ([`timing`]) reproducing the
+//!   Vitis HLS report in Table 1, composed into pipeline latency, plus
+//!   resource ([`resources`], Table 2) and power estimates.
+//!
+//! The two levels meet in [`accelerator::SwatAccelerator`], whose
+//! [`run`](accelerator::SwatAccelerator::run) returns both the numeric
+//! output and a [`report::RunReport`] with cycles, seconds, joules and
+//! traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use swat::accelerator::SwatAccelerator;
+//! use swat::config::SwatConfig;
+//! use swat_tensor::Matrix;
+//!
+//! let accel = SwatAccelerator::new(SwatConfig::longformer_fp16())?;
+//! let n = 1024;
+//! let x = Matrix::from_fn(n, 64, |i, j| ((i * 31 + j) % 7) as f32 * 0.05);
+//! let report = accel.run(&x, &x, &x)?;
+//! assert_eq!(report.output.shape(), (n, 64));
+//! assert!(report.seconds > 0.0);
+//! # Ok::<(), swat::config::ConfigError>(())
+//! ```
+
+pub mod ablation;
+pub mod accelerator;
+pub mod config;
+pub mod microarch;
+pub mod report;
+pub mod resources;
+pub mod schedule;
+pub mod timing;
+pub mod trace;
+
+pub use accelerator::SwatAccelerator;
+pub use config::{Precision, SwatConfig};
+pub use report::RunReport;

@@ -1,0 +1,505 @@
+//! Structural microarchitecture simulation: the explicit attention-core
+//! array of Figures 5 and 6.
+//!
+//! Where [`crate::accelerator`] computes the datapath through the fused
+//! streaming kernel (algorithm-level), this module instantiates the
+//! hardware structure itself: an array of [`AttentionCore`]s, each owning
+//! a K-row and V-row BRAM, stepped stage by stage:
+//!
+//! ```text
+//! LOAD -> QK -> SV -> { ZRED1 -> ZRED2 | ROWSUM1 -> ROWSUM2 } -> DIV&OUT
+//! ```
+//!
+//! Crucially, the reductions follow the *hardware's* summation order —
+//! cores grouped by `H` with per-group accumulation channels (ZRED1) and
+//! a combine phase (ZRED2) — not an arbitrary software order, so binary16
+//! rounding behaves exactly as the silicon would. The structural and the
+//! algorithmic simulators are cross-validated in the test suite; both are
+//! validated against the masked softmax reference.
+
+use crate::config::{Precision, SwatConfig};
+use crate::resources::CoreRole;
+use swat_numeric::F16;
+use swat_tensor::{Matrix, Scalar};
+
+/// One attention core: K/V row buffers plus the per-row datapath state.
+#[derive(Debug, Clone)]
+pub struct AttentionCore<T> {
+    /// What kind of buffer-control this core carries.
+    pub role: CoreRole,
+    /// Resident K row (one BRAM half).
+    k_buf: Vec<T>,
+    /// Resident V row (the other BRAM half).
+    v_buf: Vec<T>,
+    /// Sequence position currently resident, if any.
+    tag: Option<usize>,
+    /// S value after the QK stage.
+    s: T,
+    /// exp(S) after the SV stage's EXP unit.
+    e: T,
+    /// The Z slice (e · V row) after the SV stage.
+    z_slice: Vec<T>,
+    /// Whether this core participates in the current row.
+    active: bool,
+}
+
+impl<T: Scalar> AttentionCore<T> {
+    fn new(role: CoreRole, head_dim: usize) -> AttentionCore<T> {
+        AttentionCore {
+            role,
+            k_buf: vec![T::ZERO; head_dim],
+            v_buf: vec![T::ZERO; head_dim],
+            tag: None,
+            s: T::ZERO,
+            e: T::ZERO,
+            z_slice: vec![T::ZERO; head_dim],
+            active: false,
+        }
+    }
+
+    /// The resident sequence position, if loaded.
+    pub fn tag(&self) -> Option<usize> {
+        self.tag
+    }
+
+    fn load(&mut self, j: usize, k_row: &[T], v_row: &[T]) {
+        self.k_buf.copy_from_slice(k_row);
+        self.v_buf.copy_from_slice(v_row);
+        self.tag = Some(j);
+    }
+}
+
+/// Counters the structural simulation maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MicroarchStats {
+    /// Window-core BRAM refreshes (each K/V row exactly once).
+    pub window_loads: u64,
+    /// Random-core refreshes (per query row).
+    pub random_loads: u64,
+    /// Global-core pre-loads (once, before the run).
+    pub global_preloads: u64,
+    /// Total core-activations across all rows (QK/SV executions).
+    pub core_activations: u64,
+    /// Rows processed.
+    pub rows: u64,
+}
+
+/// The attention-core array plus reduction/divide back end of Figure 6.
+#[derive(Debug, Clone)]
+pub struct CoreArray<T> {
+    head_dim: usize,
+    window_cores: Vec<AttentionCore<T>>,
+    global_cores: Vec<AttentionCore<T>>,
+    random_cores: Vec<AttentionCore<T>>,
+    stats: MicroarchStats,
+    scale: T,
+}
+
+impl<T: Scalar> CoreArray<T> {
+    /// Builds the array for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid (use
+    /// [`SwatConfig::validate`] first).
+    pub fn new(cfg: &SwatConfig) -> CoreArray<T> {
+        cfg.validate().expect("configuration must be valid");
+        CoreArray {
+            head_dim: cfg.head_dim,
+            window_cores: (0..cfg.window_tokens)
+                .map(|_| AttentionCore::new(CoreRole::Window, cfg.head_dim))
+                .collect(),
+            global_cores: (0..cfg.global_tokens)
+                .map(|_| AttentionCore::new(CoreRole::Global, cfg.head_dim))
+                .collect(),
+            random_cores: (0..cfg.random_tokens)
+                .map(|_| AttentionCore::new(CoreRole::Random, cfg.head_dim))
+                .collect(),
+            stats: MicroarchStats::default(),
+            scale: T::from_f32(cfg.scale),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MicroarchStats {
+        self.stats
+    }
+
+    /// Pre-loads the global cores (done once before computation starts;
+    /// "these buffers are pre-loaded prior to the attention computation",
+    /// Section 4.1).
+    pub fn preload_globals(&mut self, globals: &[usize], k: &Matrix<T>, v: &Matrix<T>) {
+        assert!(
+            globals.len() <= self.global_cores.len(),
+            "more global tokens than global cores"
+        );
+        for (core, &g) in self.global_cores.iter_mut().zip(globals) {
+            core.load(g, k.row(g), v.row(g));
+            self.stats.global_preloads += 1;
+        }
+    }
+
+    /// LOAD stage for query row `i`: refresh at most one window core (the
+    /// FIFO policy `slot = j mod 2w`), and re-gather every random core.
+    fn stage_load(
+        &mut self,
+        i: usize,
+        window_targets: &[usize],
+        random_targets: &[usize],
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) {
+        let n_window = self.window_cores.len();
+        for &j in window_targets {
+            let slot = j % n_window;
+            if self.window_cores[slot].tag != Some(j) {
+                self.window_cores[slot].load(j, k.row(j), v.row(j));
+                self.stats.window_loads += 1;
+            }
+        }
+        assert!(
+            random_targets.len() <= self.random_cores.len(),
+            "row {i}: more random targets than random cores"
+        );
+        for (core, &j) in self.random_cores.iter_mut().zip(random_targets) {
+            core.load(j, k.row(j), v.row(j));
+            self.stats.random_loads += 1;
+        }
+        // Mark activity: window cores active iff their tag is a target.
+        for core in &mut self.window_cores {
+            core.active = core.tag.is_some_and(|t| window_targets.contains(&t));
+        }
+        // Global cores deactivate when their position already sits in the
+        // current window — exactly one core owns each attended position.
+        for core in &mut self.global_cores {
+            core.active = core.tag.is_some_and(|t| !window_targets.contains(&t));
+        }
+        for (idx, core) in self.random_cores.iter_mut().enumerate() {
+            core.active = idx < random_targets.len();
+        }
+    }
+
+    /// QK stage: every active core computes `S = Q_i · K_j` with per-op
+    /// rounding in `T` (the FP16 MAC at II=3).
+    fn stage_qk(&mut self, q_row: &[T]) {
+        let scale = self.scale;
+        for core in self.cores_mut() {
+            if !core.active {
+                continue;
+            }
+            let mut s = T::ZERO;
+            for (a, b) in q_row.iter().zip(&core.k_buf) {
+                s = s.add(a.mul(*b));
+            }
+            core.s = s.mul(scale);
+        }
+    }
+
+    /// SV stage: `e = exp(S)`, `Z_slice = e · V_j` inside each core.
+    fn stage_sv(&mut self) {
+        let mut activations = 0;
+        for core in self.cores_mut() {
+            if !core.active {
+                continue;
+            }
+            core.e = core.s.exp();
+            for (z, vv) in core.z_slice.iter_mut().zip(&core.v_buf) {
+                *z = core.e.mul(*vv);
+            }
+            activations += 1;
+        }
+        self.stats.core_activations += activations;
+    }
+
+    /// ZRED1 + ZRED2: sum the Z slices in the hardware's grouped order —
+    /// groups of `H` cores reduced by per-group accumulation channels,
+    /// then the group partials combined.
+    fn stage_zred(&self) -> Vec<T> {
+        let h = self.head_dim;
+        let active: Vec<&AttentionCore<T>> = self.cores().filter(|c| c.active).collect();
+        let mut group_partials: Vec<Vec<T>> = Vec::new();
+        for group in active.chunks(h) {
+            let mut partial = vec![T::ZERO; h];
+            for core in group {
+                for (p, z) in partial.iter_mut().zip(&core.z_slice) {
+                    *p = p.add(*z);
+                }
+            }
+            group_partials.push(partial);
+        }
+        // ZRED2: combine group outputs.
+        let mut z = vec![T::ZERO; h];
+        for partial in &group_partials {
+            for (acc, p) in z.iter_mut().zip(partial) {
+                *acc = acc.add(*p);
+            }
+        }
+        z
+    }
+
+    /// ROWSUM1 + ROWSUM2 with the same grouping.
+    fn stage_rowsum(&self) -> T {
+        let h = self.head_dim;
+        let active: Vec<&AttentionCore<T>> = self.cores().filter(|c| c.active).collect();
+        let mut total = T::ZERO;
+        for group in active.chunks(h) {
+            let mut partial = T::ZERO;
+            for core in group {
+                partial = partial.add(core.e);
+            }
+            total = total.add(partial);
+        }
+        total
+    }
+
+    /// DIV&OUT: the deferred division.
+    fn stage_div(&self, z: Vec<T>, row_sum: T) -> Vec<T> {
+        if row_sum.to_f32() > 0.0 {
+            z.into_iter().map(|x| x.div(row_sum)).collect()
+        } else {
+            z
+        }
+    }
+
+    /// Processes one query row through all stages and returns the output
+    /// row.
+    pub fn process_row(
+        &mut self,
+        i: usize,
+        q_row: &[T],
+        window_targets: &[usize],
+        random_targets: &[usize],
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Vec<T> {
+        assert_eq!(q_row.len(), self.head_dim, "query row dimension mismatch");
+        self.stage_load(i, window_targets, random_targets, k, v);
+        self.stage_qk(q_row);
+        self.stage_sv();
+        let z = self.stage_zred();
+        let row_sum = self.stage_rowsum();
+        self.stats.rows += 1;
+        self.stage_div(z, row_sum)
+    }
+
+    fn cores(&self) -> impl Iterator<Item = &AttentionCore<T>> {
+        self.window_cores
+            .iter()
+            .chain(&self.global_cores)
+            .chain(&self.random_cores)
+    }
+
+    fn cores_mut(&mut self) -> impl Iterator<Item = &mut AttentionCore<T>> {
+        self.window_cores
+            .iter_mut()
+            .chain(&mut self.global_cores)
+            .chain(&mut self.random_cores)
+    }
+}
+
+/// Runs a whole head through the structural simulator.
+///
+/// Returns the output (widened to `f32`) and the load/activation
+/// statistics. Global rows (which attend every position) are outside the
+/// core array's reach, as in the real design where Longformer computes
+/// them separately; this driver computes them with a dense streaming pass
+/// over all positions.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or if the pattern needs more cores than the
+/// configuration provides.
+pub fn run_structural<T: Scalar>(
+    cfg: &SwatConfig,
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+) -> (Matrix<f32>, MicroarchStats) {
+    assert_eq!(q.cols(), cfg.head_dim, "head dimension mismatch");
+    assert_eq!(q.shape(), k.shape(), "q/k shape mismatch");
+    assert_eq!(k.shape(), v.shape(), "k/v shape mismatch");
+    let n = q.rows();
+    let pattern = cfg.pattern_for(n);
+
+    let qt = q.map(T::from_f32);
+    let kt = k.map(T::from_f32);
+    let vt = v.map(T::from_f32);
+
+    let mut array = CoreArray::<T>::new(cfg);
+    let globals = pattern.globals().to_vec();
+    array.preload_globals(&globals, &kt, &vt);
+
+    let w = cfg.window_half_width();
+    let mut out = Matrix::<f32>::zeros(n, cfg.head_dim);
+    for i in 0..n {
+        if globals.binary_search(&i).is_ok() || pattern.is_dense() {
+            // Dense pass for global rows, outside the core array.
+            let mut acc = swat_numeric::softmax::DeferredSoftmax::new(cfg.head_dim);
+            for j in 0..n {
+                let mut s = T::ZERO;
+                for (a, b) in qt.row(i).iter().zip(kt.row(j)) {
+                    s = s.add(a.mul(*b));
+                }
+                let vj: Vec<f32> = vt.row(j).iter().map(|x| x.to_f32()).collect();
+                acc.accumulate(s.mul(T::from_f32(cfg.scale)).to_f32(), &vj);
+            }
+            for (c, x) in acc.finish().into_iter().enumerate() {
+                out.set(i, c, x);
+            }
+            continue;
+        }
+        let window_targets: Vec<usize> = if cfg.window_tokens > 0 {
+            let lo = i.saturating_sub(w.max(1).min(n));
+            let hi = (i + w.max(1)).min(n);
+            (lo..hi).collect()
+        } else {
+            Vec::new()
+        };
+        let random_targets = pattern.random_targets(i).to_vec();
+        let row = array.process_row(i, qt.row(i), &window_targets, &random_targets, &kt, &vt);
+        for (c, x) in row.into_iter().enumerate() {
+            out.set(i, c, x.to_f32());
+        }
+    }
+    (out, array.stats())
+}
+
+/// Convenience: dispatch on the configuration's precision.
+pub fn run_structural_auto(
+    cfg: &SwatConfig,
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+) -> (Matrix<f32>, MicroarchStats) {
+    match cfg.precision {
+        Precision::Fp16 => run_structural::<F16>(cfg, q, k, v),
+        Precision::Fp32 => run_structural::<f32>(cfg, q, k, v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_attention::reference;
+    use swat_numeric::SplitMix64;
+
+    fn qkv(n: usize, h: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0);
+        (
+            Matrix::from_fn(n, h, &mut gen),
+            Matrix::from_fn(n, h, &mut gen),
+            Matrix::from_fn(n, h, &mut gen),
+        )
+    }
+
+    fn window_cfg(precision: Precision) -> SwatConfig {
+        SwatConfig {
+            window_tokens: 32,
+            precision,
+            ..SwatConfig::longformer_fp16()
+        }
+    }
+
+    #[test]
+    fn structural_equals_masked_reference_fp32() {
+        let cfg = window_cfg(Precision::Fp32);
+        let (q, k, v) = qkv(128, 64, 200);
+        let (out, stats) = run_structural::<f32>(&cfg, &q, &k, &v);
+        let expect = reference::masked_attention(&q, &k, &v, &cfg.pattern_for(128), cfg.scale);
+        assert!(
+            out.max_abs_diff(&expect) < 1e-4,
+            "diff {}",
+            out.max_abs_diff(&expect)
+        );
+        assert_eq!(stats.window_loads, 128, "each K/V row refreshed once");
+        assert_eq!(stats.rows, 128);
+    }
+
+    #[test]
+    fn structural_equals_fused_kernel_fp16_bitwise_tolerance() {
+        // The structural simulator uses the hardware's grouped reduction
+        // order; the fused kernel reduces sequentially. In binary16 the
+        // two can differ by reassociation rounding only.
+        let cfg = window_cfg(Precision::Fp16);
+        let (q, k, v) = qkv(96, 64, 201);
+        let (structural, _) = run_structural::<F16>(&cfg, &q, &k, &v);
+        let accel = crate::SwatAccelerator::new(cfg.clone()).unwrap();
+        let fused = accel.run(&q, &k, &v).unwrap();
+        let diff = structural.max_abs_diff(&fused.output);
+        assert!(diff < 5e-3, "structural vs fused: {diff}");
+    }
+
+    #[test]
+    fn structural_bigbird_with_global_and_random_cores() {
+        let cfg = SwatConfig {
+            window_tokens: 16,
+            global_tokens: 4,
+            random_tokens: 8,
+            precision: Precision::Fp32,
+            ..SwatConfig::longformer_fp16()
+        };
+        let (q, k, v) = qkv(96, 64, 202);
+        let (out, stats) = run_structural::<f32>(&cfg, &q, &k, &v);
+        let expect = reference::masked_attention(&q, &k, &v, &cfg.pattern_for(96), cfg.scale);
+        assert!(
+            out.max_abs_diff(&expect) < 1e-4,
+            "diff {}",
+            out.max_abs_diff(&expect)
+        );
+        assert_eq!(stats.global_preloads, 4);
+        // Random cores reload per (non-global) row: 8 per row.
+        assert_eq!(stats.random_loads, (96 - 4) * 8);
+    }
+
+    #[test]
+    fn window_core_fifo_refreshes_one_core_per_interior_row() {
+        let cfg = window_cfg(Precision::Fp32);
+        let (q, k, v) = qkv(64, 64, 203);
+        let mut array = CoreArray::<f32>::new(&cfg);
+        let w = cfg.window_half_width();
+        let mut per_row_loads = Vec::new();
+        let mut last = 0;
+        for i in 0..64usize {
+            let lo = i.saturating_sub(w);
+            let hi = (i + w).min(64);
+            let targets: Vec<usize> = (lo..hi).collect();
+            array.process_row(i, q.row(i), &targets, &[], &k, &v);
+            per_row_loads.push(array.stats().window_loads - last);
+            last = array.stats().window_loads;
+        }
+        // Row 0 fills the initial window (w entries); interior rows load
+        // exactly one new K/V pair; trailing rows load none.
+        assert_eq!(per_row_loads[0] as usize, w);
+        for (i, &l) in per_row_loads.iter().enumerate().skip(1) {
+            assert!(l <= 1, "row {i} loaded {l} rows");
+        }
+        assert_eq!(array.stats().window_loads, 64);
+    }
+
+    #[test]
+    fn grouped_reduction_matches_sequential_in_f32() {
+        // In f32 the grouped (ZRED1/ZRED2) order and a plain sequential
+        // sum agree to rounding noise — the split is a *timing* fix, not
+        // a numerics change (Section 4).
+        let cfg = SwatConfig {
+            window_tokens: 256,
+            precision: Precision::Fp32,
+            ..SwatConfig::longformer_fp16()
+        };
+        let (q, k, v) = qkv(300, 64, 204);
+        let (structural, _) = run_structural::<f32>(&cfg, &q, &k, &v);
+        let accel = crate::SwatAccelerator::new(cfg).unwrap();
+        let fused = accel.run(&q, &k, &v).unwrap();
+        assert!(structural.max_abs_diff(&fused.output) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "more random targets than random cores")]
+    fn too_many_random_targets_rejected() {
+        let cfg = window_cfg(Precision::Fp32);
+        let (q, k, v) = qkv(16, 64, 205);
+        let mut array = CoreArray::<f32>::new(&cfg);
+        array.process_row(0, q.row(0), &[0, 1], &[2, 3], &k, &v);
+    }
+}

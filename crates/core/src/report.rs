@@ -1,0 +1,111 @@
+//! Run reports: what one simulated attention execution produced and cost.
+
+use crate::timing::StageTimings;
+use core::fmt;
+use swat_attention::OpCounts;
+use swat_tensor::Matrix;
+
+/// Everything a [`crate::SwatAccelerator::run`] call produces.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The attention output (widened to `f32`).
+    pub output: Matrix<f32>,
+    /// Total cycles for this head, from the pipeline model.
+    pub cycles: u64,
+    /// Wall-clock seconds at the configured fabric clock.
+    pub seconds: f64,
+    /// Estimated sustained power in watts.
+    pub power_watts: f64,
+    /// Energy for this head in joules.
+    pub energy_joules: f64,
+    /// FLOPs and off-chip traffic measured by the functional kernel.
+    pub counts: OpCounts,
+    /// K/V rows fetched once through the FIFO.
+    pub kv_loads: u64,
+    /// K/V rows re-fetched by random-attention cores.
+    pub kv_reloads: u64,
+    /// The per-stage cycle timings in effect.
+    pub stage_timings: StageTimings,
+    /// Steady-state cycles per processed row.
+    pub initiation_interval: u64,
+}
+
+impl RunReport {
+    /// Rows processed per second in steady state.
+    pub fn rows_per_second(&self) -> f64 {
+        self.output.rows() as f64 / self.seconds
+    }
+
+    /// Off-chip transfer efficiency: unique input/output elements over
+    /// total elements moved (1.0 = each element crosses the interface
+    /// exactly once, the paper's claim for pure window attention).
+    pub fn transfer_efficiency(&self) -> f64 {
+        let loads = self.kv_loads + self.kv_reloads;
+        if loads == 0 {
+            1.0
+        } else {
+            self.kv_loads as f64 / loads as f64
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SWAT run: {} rows in {} cycles ({:.3} ms) | II={} | {:.1} W | {:.4} J",
+            self.output.rows(),
+            self.cycles,
+            self.seconds * 1e3,
+            self.initiation_interval,
+            self.power_watts,
+            self.energy_joules
+        )?;
+        write!(
+            f,
+            "  traffic: {} B read, {} B written | kv loads {} (+{} reloads) | {:.0}% transfer efficiency",
+            self.counts.bytes_read,
+            self.counts.bytes_written,
+            self.kv_loads,
+            self.kv_reloads,
+            self.transfer_efficiency() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> RunReport {
+        RunReport {
+            output: Matrix::zeros(10, 4),
+            cycles: 2010,
+            seconds: 1e-5,
+            power_watts: 40.0,
+            energy_joules: 4e-4,
+            counts: OpCounts::default(),
+            kv_loads: 10,
+            kv_reloads: 0,
+            stage_timings: StageTimings::paper_table1(),
+            initiation_interval: 201,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = dummy();
+        assert!((r.rows_per_second() - 1e6).abs() < 1.0);
+        assert_eq!(r.transfer_efficiency(), 1.0);
+        let mut with_reloads = dummy();
+        with_reloads.kv_reloads = 10;
+        assert!((with_reloads.transfer_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = format!("{}", dummy());
+        assert!(s.contains("II=201"));
+        assert!(s.contains("40.0 W"));
+    }
+}

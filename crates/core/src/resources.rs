@@ -1,0 +1,221 @@
+//! Post-synthesis resource estimation, reproducing Table 2 of the paper.
+//!
+//! The estimator is structural: per-attention-core costs (the FP16/FP32
+//! MAC, the EXP unit, the K/V BRAM pair, and the pattern-specific buffer
+//! control logic) multiplied by the core count, plus the shared reduction
+//! trees, divider and control. The per-primitive constants are fitted once
+//! against the four synthesized configurations in Table 2 and reproduce all
+//! of them to within one percentage point of device utilisation.
+
+use crate::config::{ConfigError, Precision, SwatConfig};
+use swat_hw::resources::Utilization;
+use swat_hw::Resources;
+
+/// Role of an attention core, which determines its buffer-control logic
+/// (Figure 7): window cores carry the FIFO replacement logic, global cores
+/// have fixed buffers, random cores carry gather/reload control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreRole {
+    /// Sliding-window core: K/V refreshed by the `i mod 2w` FIFO policy.
+    Window,
+    /// Global-token core: K/V pre-loaded, never refreshed.
+    Global,
+    /// Random-attention core: K/V re-gathered per row.
+    Random,
+}
+
+/// Fitted per-core and shared resource constants.
+mod calib {
+    /// FP16 per-core DSP (MAC + EXP + SV multiplier).
+    pub const CORE_DSP_FP16: u64 = 3;
+    /// FP32 per-core DSP.
+    pub const CORE_DSP_FP32: u64 = 8;
+    /// FP16 per-core flip-flops.
+    pub const CORE_FF_FP16: u64 = 500;
+    /// FP32 per-core flip-flops.
+    pub const CORE_FF_FP32: u64 = 1100;
+    /// Per-core LUTs by role, FP16.
+    pub const CORE_LUT_WINDOW_FP16: u64 = 920;
+    pub const CORE_LUT_GLOBAL_FP16: u64 = 680;
+    pub const CORE_LUT_RANDOM_FP16: u64 = 740;
+    /// FP32 LUT scale factor relative to FP16 (wider datapaths).
+    pub const LUT_FP32_SCALE_NUM: u64 = 1804;
+    pub const LUT_FP32_SCALE_DEN: u64 = 1000;
+    /// Each core's K and V buffers occupy one 36Kb BRAM equivalent
+    /// (two 18Kb halves — a full H-element row each, Section 4 LOAD).
+    pub const CORE_BRAM: u64 = 1;
+    /// Shared (per-pipeline) reduction trees, divider, control.
+    pub const SHARED_DSP_FP16: u64 = 178;
+    pub const SHARED_DSP_FP32: u64 = 326;
+    pub const SHARED_LUT: u64 = 24_000;
+    pub const SHARED_FF_FP16: u64 = 31_000;
+    pub const SHARED_FF_FP32: u64 = 37_000;
+}
+
+/// Resources of a single attention core.
+pub fn core_resources(precision: Precision, role: CoreRole) -> Resources {
+    let lut16 = match role {
+        CoreRole::Window => calib::CORE_LUT_WINDOW_FP16,
+        CoreRole::Global => calib::CORE_LUT_GLOBAL_FP16,
+        CoreRole::Random => calib::CORE_LUT_RANDOM_FP16,
+    };
+    match precision {
+        Precision::Fp16 => Resources::new(calib::CORE_DSP_FP16, lut16, calib::CORE_FF_FP16, calib::CORE_BRAM),
+        Precision::Fp32 => Resources::new(
+            calib::CORE_DSP_FP32,
+            lut16 * calib::LUT_FP32_SCALE_NUM / calib::LUT_FP32_SCALE_DEN,
+            calib::CORE_FF_FP32,
+            calib::CORE_BRAM,
+        ),
+    }
+}
+
+/// Shared per-pipeline resources (Z-reduction, row-sum, divider, control).
+pub fn shared_resources(precision: Precision) -> Resources {
+    match precision {
+        Precision::Fp16 => Resources::new(calib::SHARED_DSP_FP16, calib::SHARED_LUT, calib::SHARED_FF_FP16, 0),
+        Precision::Fp32 => Resources::new(calib::SHARED_DSP_FP32, calib::SHARED_LUT, calib::SHARED_FF_FP32, 0),
+    }
+}
+
+/// Total estimated resources of a SWAT design.
+pub fn estimate(cfg: &SwatConfig) -> Resources {
+    let per_pipeline = core_resources(cfg.precision, CoreRole::Window) * cfg.window_tokens as u64
+        + core_resources(cfg.precision, CoreRole::Global) * cfg.global_tokens as u64
+        + core_resources(cfg.precision, CoreRole::Random) * cfg.random_tokens as u64
+        + shared_resources(cfg.precision);
+    per_pipeline * cfg.pipelines as u64
+}
+
+/// Device utilisation of a design on its target board.
+pub fn utilization(cfg: &SwatConfig) -> Utilization {
+    estimate(cfg).utilization(&cfg.device().fabric)
+}
+
+/// Checks that the design fits its target device.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] naming the over-subscribed design if it does
+/// not fit.
+pub fn check_fits(cfg: &SwatConfig) -> Result<(), ConfigError> {
+    let used = estimate(cfg);
+    let device = cfg.device();
+    if used.fits_within(&device.fabric) {
+        Ok(())
+    } else {
+        Err(ConfigError::new(format!(
+            "design needs {used} but {} provides {}",
+            device.name, device.fabric
+        )))
+    }
+}
+
+/// The utilisation percentages published in Table 2 (for tests and the
+/// table-reproduction binary).
+pub fn paper_table2() -> Vec<(&'static str, Utilization)> {
+    let u = |dsp: f64, lut: f64, ff: f64, bram: f64| Utilization {
+        dsp,
+        lut,
+        ff,
+        bram,
+        uram: 0.0,
+    };
+    vec![
+        ("FP16 (512 attn)", u(0.19, 0.38, 0.11, 0.25)),
+        ("FP16 (BigBird 512 attn)", u(0.19, 0.33, 0.11, 0.25)),
+        ("FP16 (BigBird 2 x 512 attn)", u(0.38, 0.66, 0.22, 0.50)),
+        ("FP32 (512 attn)", u(0.49, 0.67, 0.23, 0.25)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(got: f64, want: f64, label: &str) {
+        assert!(
+            (got - want).abs() <= 0.01,
+            "{label}: estimated {got:.3} vs paper {want:.3}"
+        );
+    }
+
+    fn check_config(cfg: &SwatConfig, expected: &Utilization, name: &str) {
+        let u = utilization(cfg);
+        assert_close(u.dsp, expected.dsp, &format!("{name} DSP"));
+        assert_close(u.lut, expected.lut, &format!("{name} LUT"));
+        assert_close(u.ff, expected.ff, &format!("{name} FF"));
+        assert_close(u.bram, expected.bram, &format!("{name} BRAM"));
+    }
+
+    #[test]
+    fn table2_fp16_longformer() {
+        let paper = paper_table2();
+        check_config(&SwatConfig::longformer_fp16(), &paper[0].1, paper[0].0);
+    }
+
+    #[test]
+    fn table2_fp16_bigbird() {
+        let paper = paper_table2();
+        check_config(&SwatConfig::bigbird_fp16(), &paper[1].1, paper[1].0);
+    }
+
+    #[test]
+    fn table2_fp16_bigbird_dual() {
+        let paper = paper_table2();
+        check_config(&SwatConfig::bigbird_dual_fp16(), &paper[2].1, paper[2].0);
+    }
+
+    #[test]
+    fn table2_fp32_longformer() {
+        let paper = paper_table2();
+        check_config(&SwatConfig::longformer_fp32(), &paper[3].1, paper[3].0);
+    }
+
+    #[test]
+    fn every_published_config_fits_the_u55c() {
+        for cfg in [
+            SwatConfig::longformer_fp16(),
+            SwatConfig::bigbird_fp16(),
+            SwatConfig::bigbird_dual_fp16(),
+            SwatConfig::longformer_fp32(),
+        ] {
+            check_fits(&cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn oversized_design_is_rejected() {
+        let mut cfg = SwatConfig::longformer_fp32();
+        cfg.pipelines = 4; // 4x FP32 cannot fit
+        let err = check_fits(&cfg).unwrap_err();
+        assert!(err.to_string().contains("provides"));
+    }
+
+    #[test]
+    fn window_cores_cost_more_lut_than_global() {
+        let w = core_resources(Precision::Fp16, CoreRole::Window);
+        let g = core_resources(Precision::Fp16, CoreRole::Global);
+        let r = core_resources(Precision::Fp16, CoreRole::Random);
+        assert!(w.lut > r.lut && r.lut > g.lut);
+        assert_eq!(w.dsp, g.dsp);
+        assert_eq!(w.bram, 1);
+    }
+
+    #[test]
+    fn fp32_cores_cost_more_than_fp16() {
+        let f16 = core_resources(Precision::Fp16, CoreRole::Window);
+        let f32_ = core_resources(Precision::Fp32, CoreRole::Window);
+        assert!(f32_.dsp > f16.dsp);
+        assert!(f32_.lut > f16.lut);
+        assert!(f32_.ff > f16.ff);
+        assert_eq!(f32_.bram, f16.bram, "row buffers stay one BRAM pair");
+    }
+
+    #[test]
+    fn resources_scale_linearly_with_pipelines() {
+        let single = estimate(&SwatConfig::bigbird_fp16());
+        let dual = estimate(&SwatConfig::bigbird_dual_fp16());
+        assert_eq!(dual, single * 2);
+    }
+}

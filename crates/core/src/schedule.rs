@@ -1,0 +1,186 @@
+//! Workload scheduling: mapping a model's (batch × layer × head) attention
+//! jobs onto SWAT's pipelines.
+//!
+//! Section 5.3 of the paper: "total attention time is proportional to the
+//! execution time of a single head" — heads, layers and batches are
+//! independent jobs streamed through the pipeline(s) back to back, and the
+//! dual-pipeline configuration (Table 2 row 3) processes two heads
+//! concurrently. This module makes that mapping explicit and checks the
+//! off-chip interface keeps up when multiple pipelines stream at once.
+
+use crate::config::SwatConfig;
+use crate::timing::StageTimings;
+use swat_hw::MemoryInterface;
+
+/// One attention job: a single head of a single layer for one sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Batch element index.
+    pub batch: usize,
+    /// Layer index.
+    pub layer: usize,
+    /// Head index.
+    pub head: usize,
+}
+
+/// The placement of one job on a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// The job.
+    pub job: Job,
+    /// Pipeline the job runs on.
+    pub pipeline: usize,
+    /// Start time, seconds from workload start.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// A scheduled workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSchedule {
+    /// All placements in dispatch order.
+    pub placements: Vec<Placement>,
+    /// Total wall-clock seconds (makespan).
+    pub makespan: f64,
+    /// Aggregate off-chip bandwidth demand while all pipelines stream,
+    /// bytes/s.
+    pub peak_bandwidth_demand: f64,
+    /// Whether HBM sustains the demand.
+    pub memory_feasible: bool,
+}
+
+/// Schedules `batch × layers × heads` attention jobs of `seq_len` tokens
+/// onto the configuration's pipelines (greedy round-robin; all jobs are
+/// identical so this is optimal).
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn schedule_model(
+    cfg: &SwatConfig,
+    seq_len: usize,
+    batch: usize,
+    layers: usize,
+    heads: usize,
+) -> WorkloadSchedule {
+    assert!(batch > 0 && layers > 0 && heads > 0 && seq_len > 0, "empty workload");
+    let per_job = cfg
+        .clock
+        .seconds(StageTimings::for_config(cfg).to_pipeline(cfg.random_tokens > 0).total_cycles(seq_len as u64));
+
+    let pipelines = cfg.pipelines;
+    let mut next_free = vec![0.0f64; pipelines];
+    let mut placements = Vec::with_capacity(batch * layers * heads);
+    let mut i = 0usize;
+    for b in 0..batch {
+        for l in 0..layers {
+            for h in 0..heads {
+                let p = i % pipelines;
+                let start = next_free[p];
+                let end = start + per_job;
+                next_free[p] = end;
+                placements.push(Placement {
+                    job: Job { batch: b, layer: l, head: h },
+                    pipeline: p,
+                    start,
+                    end,
+                });
+                i += 1;
+            }
+        }
+    }
+    let makespan = next_free.iter().copied().fold(0.0, f64::max);
+
+    // Streaming bandwidth per pipeline: Q, K, V in and Z out over the
+    // job's duration.
+    let bytes_per_job = (4 * seq_len * cfg.head_dim * cfg.precision.bytes()) as f64;
+    let per_pipeline_bw = bytes_per_job / per_job;
+    let peak = per_pipeline_bw * pipelines as f64;
+    let hbm = MemoryInterface::hbm2();
+
+    WorkloadSchedule {
+        placements,
+        makespan,
+        peak_bandwidth_demand: peak,
+        memory_feasible: peak <= hbm.bytes_per_sec(),
+    }
+}
+
+impl WorkloadSchedule {
+    /// Pipeline utilisation: busy time over makespan, averaged.
+    pub fn pipeline_utilization(&self, pipelines: usize) -> f64 {
+        if self.makespan == 0.0 {
+            return 1.0;
+        }
+        let busy: f64 = self.placements.iter().map(|p| p.end - p.start).sum();
+        busy / (self.makespan * pipelines as f64)
+    }
+
+    /// No two jobs overlap on the same pipeline.
+    pub fn is_conflict_free(&self) -> bool {
+        let mut last_end: Vec<f64> = Vec::new();
+        for p in &self.placements {
+            if p.pipeline >= last_end.len() {
+                last_end.resize(p.pipeline + 1, 0.0);
+            }
+            if p.start < last_end[p.pipeline] - 1e-12 {
+                return false;
+            }
+            last_end[p.pipeline] = p.end;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pipeline_serialises_everything() {
+        let cfg = SwatConfig::longformer_fp16();
+        let s = schedule_model(&cfg, 4096, 1, 12, 12);
+        assert_eq!(s.placements.len(), 144);
+        assert!(s.is_conflict_free());
+        let per_job = s.placements[0].end - s.placements[0].start;
+        assert!((s.makespan - 144.0 * per_job).abs() < 1e-9);
+        assert!((s.pipeline_utilization(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_pipeline_halves_makespan() {
+        let single = schedule_model(&SwatConfig::bigbird_fp16(), 4096, 1, 12, 12);
+        let dual = schedule_model(&SwatConfig::bigbird_dual_fp16(), 4096, 1, 12, 12);
+        assert!((single.makespan / dual.makespan - 2.0).abs() < 1e-9);
+        assert!(dual.is_conflict_free());
+        assert!((dual.pipeline_utilization(2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_demand_is_far_below_hbm() {
+        // The paper's dataflow point: even two pipelines streaming flat out
+        // need a small fraction of HBM's 460 GB/s.
+        let s = schedule_model(&SwatConfig::bigbird_dual_fp16(), 16384, 4, 12, 12);
+        assert!(s.memory_feasible);
+        assert!(
+            s.peak_bandwidth_demand < 0.01 * swat_hw::MemoryInterface::hbm2().bytes_per_sec(),
+            "demand {} B/s",
+            s.peak_bandwidth_demand
+        );
+    }
+
+    #[test]
+    fn batches_scale_makespan_linearly() {
+        let cfg = SwatConfig::longformer_fp16();
+        let one = schedule_model(&cfg, 2048, 1, 2, 4);
+        let four = schedule_model(&cfg, 2048, 4, 2, 4);
+        assert!((four.makespan / one.makespan - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn empty_workload_rejected() {
+        let _ = schedule_model(&SwatConfig::longformer_fp16(), 128, 0, 1, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the SWAT simulator: timing, resources, energy, and
+//! functional equivalence between the algorithmic (fused) and structural
+//! (core-array) datapaths.
+
+use proptest::prelude::*;
+use swat::microarch::run_structural;
+use swat::timing::{attention_cycles, StageTimings};
+use swat::trace::simulate_schedule;
+use swat::{Precision, SwatAccelerator, SwatConfig};
+use swat_numeric::SplitMix64;
+use swat_tensor::Matrix;
+
+fn small_config() -> impl Strategy<Value = SwatConfig> {
+    (1usize..8, 0usize..4, 0usize..4, prop_oneof![Just(Precision::Fp16), Just(Precision::Fp32)])
+        .prop_map(|(w_pairs, globals, randoms, precision)| SwatConfig {
+            window_tokens: 2 * w_pairs.max(1) * 4, // 8..56, even
+            global_tokens: globals,
+            random_tokens: randoms,
+            precision,
+            ..SwatConfig::longformer_fp16()
+        })
+}
+
+fn qkv(n: usize, h: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut gen = |_: usize, _: usize| rng.next_f32_in(-0.6, 0.6);
+    (
+        Matrix::from_fn(n, h, &mut gen),
+        Matrix::from_fn(n, h, &mut gen),
+        Matrix::from_fn(n, h, &mut gen),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Stage timings are monotone in head dimension, and the II never
+    /// decreases when precision widens.
+    #[test]
+    fn timing_monotonicity(h1 in 8usize..256, h2 in 8usize..256) {
+        let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        let mk = |h: usize, p: Precision| {
+            StageTimings::for_config(&SwatConfig { head_dim: h, precision: p, ..SwatConfig::longformer_fp16() })
+        };
+        let t_lo = mk(lo, Precision::Fp16);
+        let t_hi = mk(hi, Precision::Fp16);
+        prop_assert!(t_hi.qk >= t_lo.qk);
+        prop_assert!(t_hi.sv >= t_lo.sv);
+        prop_assert!(t_hi.load >= t_lo.load);
+        let t32 = mk(lo, Precision::Fp32);
+        prop_assert!(t32.initiation_interval(false) >= t_lo.initiation_interval(false));
+    }
+
+    /// Total latency is affine in the sequence length:
+    /// cycles(n) - cycles(n-1) == II for every n > 1.
+    #[test]
+    fn latency_is_affine(cfg in small_config(), n in 2usize..500) {
+        let c_n = attention_cycles(&cfg, n);
+        let c_prev = attention_cycles(&cfg, n - 1);
+        let ii = StageTimings::for_config(&cfg).initiation_interval(cfg.random_tokens > 0);
+        prop_assert_eq!(c_n - c_prev, ii);
+    }
+
+    /// The simulated schedule agrees with the closed form for every SWAT
+    /// configuration.
+    #[test]
+    fn schedule_matches_formula(cfg in small_config(), rows in 1usize..300) {
+        let t = StageTimings::for_config(&cfg);
+        let p = t.to_pipeline(cfg.random_tokens > 0);
+        let sched = simulate_schedule(&p, rows);
+        prop_assert_eq!(sched.total_cycles, p.total_cycles(rows as u64));
+        prop_assert!(sched.is_conflict_free());
+    }
+
+    /// Resources scale additively with pipelines; power and energy stay
+    /// consistent (energy = power × seconds).
+    #[test]
+    fn resource_and_energy_consistency(cfg in small_config(), n in 64usize..2048) {
+        let accel = SwatAccelerator::new(cfg.clone()).unwrap();
+        let e = accel.energy_per_attention(n);
+        prop_assert!((e - accel.power_watts() * accel.latency_seconds(n)).abs() < 1e-9);
+        let mut dual = cfg;
+        dual.pipelines = 2;
+        let r1 = swat::resources::estimate(&SwatConfig { pipelines: 1, ..dual.clone() });
+        let r2 = swat::resources::estimate(&dual);
+        prop_assert_eq!(r2, r1 * 2);
+    }
+
+    /// The structural core-array simulator and the fused-kernel simulator
+    /// compute the same function (FP32: tight tolerance).
+    #[test]
+    fn structural_equals_algorithmic(
+        seed in any::<u64>(),
+        w_pairs in 2usize..10,
+        n in 32usize..128,
+    ) {
+        let cfg = SwatConfig {
+            window_tokens: 2 * w_pairs,
+            precision: Precision::Fp32,
+            ..SwatConfig::longformer_fp16()
+        };
+        let (q, k, v) = qkv(n, cfg.head_dim, seed);
+        let (structural, stats) = run_structural::<f32>(&cfg, &q, &k, &v);
+        let accel = SwatAccelerator::new(cfg).unwrap();
+        let fused = accel.run(&q, &k, &v).unwrap();
+        prop_assert!(structural.max_abs_diff(&fused.output) < 1e-4,
+            "diff {}", structural.max_abs_diff(&fused.output));
+        // Both count each K/V row loaded exactly once.
+        prop_assert_eq!(stats.window_loads, n as u64);
+        prop_assert_eq!(fused.kv_loads, n as u64);
+    }
+
+    /// FP16 hardware output stays within a binary16 envelope of the FP32
+    /// hardware output on well-scaled inputs.
+    #[test]
+    fn precision_envelope(seed in any::<u64>(), n in 32usize..96) {
+        let base = SwatConfig { window_tokens: 16, ..SwatConfig::longformer_fp16() };
+        let f16 = SwatAccelerator::new(SwatConfig { precision: Precision::Fp16, ..base.clone() }).unwrap();
+        let f32_ = SwatAccelerator::new(SwatConfig { precision: Precision::Fp32, ..base }).unwrap();
+        let (q, k, v) = qkv(n, 64, seed);
+        let a = f16.run(&q, &k, &v).unwrap();
+        let b = f32_.run(&q, &k, &v).unwrap();
+        prop_assert!(a.output.max_abs_diff(&b.output) < 0.05,
+            "precision gap {}", a.output.max_abs_diff(&b.output));
+    }
+
+    /// Ablations never beat the full design.
+    #[test]
+    fn ablations_are_upper_bounds(n in 256usize..8192) {
+        use swat::ablation::{evaluate, Ablation};
+        let cfg = SwatConfig::longformer_fp16();
+        let base = evaluate(&cfg, n, Ablation::None).seconds;
+        for a in [Ablation::NoFusion, Ablation::NoFifo, Ablation::MonolithicReduction, Ablation::DdrNoFifo] {
+            prop_assert!(evaluate(&cfg, n, a).seconds >= base * 0.999, "{:?}", a);
+        }
+    }
+}

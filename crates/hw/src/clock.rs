@@ -1,0 +1,107 @@
+//! Clock domains: cycles ↔ seconds conversion.
+
+/// A clock domain with a fixed frequency.
+///
+/// The paper does not state SWAT's achieved clock; this reproduction uses a
+/// calibrated 450 MHz default (see the crate-level calibration note), which
+/// together with Table 1's cycle counts reproduces the absolute latency
+/// range of Figure 3.
+///
+/// # Examples
+///
+/// ```
+/// use swat_hw::ClockDomain;
+///
+/// let clk = ClockDomain::from_mhz(450.0);
+/// assert!((clk.seconds(450_000_000) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomain {
+    hz: f64,
+}
+
+impl ClockDomain {
+    /// The calibrated default clock for the FPGA designs in this
+    /// reproduction.
+    pub const DEFAULT_MHZ: f64 = 450.0;
+
+    /// Creates a clock domain from a frequency in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not strictly positive and finite.
+    pub fn from_hz(hz: f64) -> ClockDomain {
+        assert!(hz.is_finite() && hz > 0.0, "clock frequency must be positive");
+        ClockDomain { hz }
+    }
+
+    /// Creates a clock domain from a frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not strictly positive and finite.
+    pub fn from_mhz(mhz: f64) -> ClockDomain {
+        ClockDomain::from_hz(mhz * 1e6)
+    }
+
+    /// The calibrated default (450 MHz).
+    pub fn default_fpga() -> ClockDomain {
+        ClockDomain::from_mhz(Self::DEFAULT_MHZ)
+    }
+
+    /// Frequency in Hz.
+    pub fn hz(&self) -> f64 {
+        self.hz
+    }
+
+    /// Frequency in MHz.
+    pub fn mhz(&self) -> f64 {
+        self.hz / 1e6
+    }
+
+    /// Wall-clock duration of `cycles` cycles, in seconds.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz
+    }
+
+    /// Number of whole cycles in `seconds` (rounded to nearest, so that
+    /// `cycles(seconds(n)) == n` despite floating-point noise).
+    pub fn cycles(&self, seconds: f64) -> u64 {
+        (seconds * self.hz).round() as u64
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> ClockDomain {
+        ClockDomain::default_fpga()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_and_cycles_invert() {
+        let clk = ClockDomain::from_mhz(300.0);
+        let t = clk.seconds(3000);
+        assert!((t - 1e-5).abs() < 1e-12);
+        assert_eq!(clk.cycles(t), 3000);
+    }
+
+    #[test]
+    fn mhz_accessor() {
+        assert!((ClockDomain::from_mhz(225.0).mhz() - 225.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_frequency_rejected() {
+        let _ = ClockDomain::from_hz(0.0);
+    }
+
+    #[test]
+    fn default_is_calibrated_450mhz() {
+        assert!((ClockDomain::default().mhz() - 450.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Device catalog for the boards used in the paper.
+
+use crate::resources::Resources;
+
+/// An FPGA board: fabric capacity plus off-chip memory bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use swat_hw::FpgaDevice;
+///
+/// let u55c = FpgaDevice::alveo_u55c();
+/// assert_eq!(u55c.fabric.dsp, 9024);
+/// assert!(u55c.hbm_bytes_per_sec > 400e9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    /// Marketing name of the board.
+    pub name: &'static str,
+    /// Total fabric resources.
+    pub fabric: Resources,
+    /// Aggregate HBM bandwidth in bytes per second (0 if the board has no
+    /// HBM).
+    pub hbm_bytes_per_sec: f64,
+    /// DDR bandwidth in bytes per second (0 if none).
+    pub ddr_bytes_per_sec: f64,
+}
+
+impl FpgaDevice {
+    /// The AMD/Xilinx Alveo U55C — the board SWAT is synthesised for.
+    ///
+    /// Virtex UltraScale+ XCU55C: 9 024 DSP48E2, 1 303 680 LUTs,
+    /// 2 607 360 FFs, 2 016 BRAM36 blocks, 960 URAMs, 16 GB HBM2 at
+    /// 460 GB/s.
+    pub fn alveo_u55c() -> FpgaDevice {
+        FpgaDevice {
+            name: "Alveo U55C",
+            fabric: Resources {
+                dsp: 9024,
+                lut: 1_303_680,
+                ff: 2_607_360,
+                bram: 2016,
+                uram: 960,
+            },
+            hbm_bytes_per_sec: 460e9,
+            ddr_bytes_per_sec: 0.0,
+        }
+    }
+
+    /// The VCU128 evaluation board — the Butterfly accelerator's platform.
+    ///
+    /// The paper notes (footnote 3) that the U55C and VCU128 carry the same
+    /// number of logical resources, which makes the FP16 comparison fair.
+    pub fn vcu128() -> FpgaDevice {
+        FpgaDevice {
+            name: "VCU128",
+            fabric: Resources {
+                dsp: 9024,
+                lut: 1_303_680,
+                ff: 2_607_360,
+                bram: 2016,
+                uram: 960,
+            },
+            hbm_bytes_per_sec: 460e9,
+            ddr_bytes_per_sec: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boards_have_equal_logical_resources() {
+        // Footnote 3 of the paper: the comparison platforms match.
+        assert_eq!(FpgaDevice::alveo_u55c().fabric, FpgaDevice::vcu128().fabric);
+    }
+
+    #[test]
+    fn u55c_capacity_sanity() {
+        let d = FpgaDevice::alveo_u55c();
+        assert_eq!(d.fabric.lut, 1_303_680);
+        assert_eq!(d.fabric.bram, 2016);
+        assert_eq!(d.fabric.uram, 960);
+    }
+}

@@ -1,0 +1,41 @@
+//! FPGA hardware-modeling primitives for the SWAT reproduction.
+//!
+//! The paper's performance and energy claims rest on four hardware-level
+//! models, which this crate provides independently of any particular
+//! accelerator:
+//!
+//! - [`resources`]: FPGA resource vectors (DSP slices, LUTs, flip-flops,
+//!   BRAM/URAM blocks) and utilisation arithmetic (Table 2);
+//! - [`device`]: device catalogs for the boards in the paper — the Alveo
+//!   U55C (SWAT) and the VCU128 (Butterfly), which carry the same logical
+//!   resources (footnote 3 of the paper);
+//! - [`clock`] and [`pipeline`]: initiation-interval algebra for stage-
+//!   balanced pipelines (Table 1);
+//! - [`memory`]: off-chip bandwidth/traffic models (HBM2 on both boards);
+//! - [`power`]: a Xilinx-Power-Estimator-style model — static power plus
+//!   per-resource dynamic coefficients scaled by clock and activity.
+//!
+//! # Calibration
+//!
+//! Absolute watts and nanoseconds are calibrated, not measured: the paper
+//! reports neither its clock frequency nor XPE's raw output, so the
+//! coefficients in [`power`] are fitted so that the *published* derived
+//! quantities come out right (SWAT FP16 ≈ 40 W, FP32 ≈ 55 W at 450 MHz —
+//! the values implied by the paper's energy-efficiency ratios against a
+//! 300 W MI210). All cross-design *ratios*, which are what the paper's
+//! figures plot, follow from the models.
+
+pub mod clock;
+pub mod device;
+pub mod hbm;
+pub mod memory;
+pub mod pipeline;
+pub mod power;
+pub mod resources;
+
+pub use clock::ClockDomain;
+pub use device::FpgaDevice;
+pub use memory::MemoryInterface;
+pub use pipeline::{Pipeline, PipelineStage};
+pub use power::PowerModel;
+pub use resources::Resources;

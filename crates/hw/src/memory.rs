@@ -1,0 +1,109 @@
+//! Off-chip memory interfaces and traffic accounting.
+
+/// An off-chip memory interface with a fixed sustained bandwidth.
+///
+/// SWAT streams K/V/Q rows from HBM; the dataflow guarantees each element
+/// crosses the interface once, so a bandwidth × bytes model suffices — no
+/// bank conflicts or row-buffer modelling is needed for the paper's claims
+/// (the compute pipeline, not memory, is the bottleneck; see
+/// [`MemoryInterface::is_compute_bound`]).
+///
+/// # Examples
+///
+/// ```
+/// use swat_hw::MemoryInterface;
+///
+/// let hbm = MemoryInterface::hbm2();
+/// let t = hbm.transfer_seconds(460_000_000_000);
+/// assert!((t - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryInterface {
+    bytes_per_sec: f64,
+}
+
+impl MemoryInterface {
+    /// Creates an interface with the given sustained bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive and finite.
+    pub fn new(bytes_per_sec: f64) -> MemoryInterface {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        MemoryInterface { bytes_per_sec }
+    }
+
+    /// HBM2 on the U55C/VCU128: 460 GB/s aggregate.
+    pub fn hbm2() -> MemoryInterface {
+        MemoryInterface::new(460e9)
+    }
+
+    /// A single DDR4-2400 channel (19.2 GB/s), for the ablation that runs
+    /// SWAT from DRAM instead of HBM.
+    pub fn ddr4_channel() -> MemoryInterface {
+        MemoryInterface::new(19.2e9)
+    }
+
+    /// Sustained bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Seconds to move `bytes` at the sustained bandwidth.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bytes_per_sec
+    }
+
+    /// Whether a kernel that moves `bytes` while computing for
+    /// `compute_seconds` is compute-bound on this interface.
+    pub fn is_compute_bound(&self, bytes: u64, compute_seconds: f64) -> bool {
+        self.transfer_seconds(bytes) <= compute_seconds
+    }
+
+    /// The effective time of an overlapped transfer+compute phase:
+    /// `max(transfer, compute)` — the standard double-buffering bound.
+    pub fn overlapped_seconds(&self, bytes: u64, compute_seconds: f64) -> f64 {
+        self.transfer_seconds(bytes).max(compute_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let m = MemoryInterface::new(1e9);
+        assert!((m.transfer_seconds(2_000_000_000) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_check() {
+        let m = MemoryInterface::hbm2();
+        // Moving 1 KB in a millisecond of compute: trivially compute-bound.
+        assert!(m.is_compute_bound(1024, 1e-3));
+        // Moving 460 GB in a microsecond is not.
+        assert!(!m.is_compute_bound(460_000_000_000, 1e-6));
+    }
+
+    #[test]
+    fn overlap_takes_max() {
+        let m = MemoryInterface::new(1e9);
+        assert!((m.overlapped_seconds(500_000_000, 0.1) - 0.5).abs() < 1e-9);
+        assert!((m.overlapped_seconds(500_000_000, 0.9) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = MemoryInterface::new(0.0);
+    }
+
+    #[test]
+    fn ddr_is_slower_than_hbm() {
+        assert!(MemoryInterface::ddr4_channel().bytes_per_sec() < MemoryInterface::hbm2().bytes_per_sec());
+    }
+}

@@ -1,0 +1,208 @@
+//! Initiation-interval algebra for stage-balanced pipelines.
+//!
+//! SWAT's architecture (Figure 6 / Table 1) is a chain of pipeline stages,
+//! each taking a fixed number of cycles per input row. A new row enters
+//! every *initiation interval* (the longest stage); the full pipeline
+//! drains after the sum of all stage latencies. These two numbers determine
+//! the accelerator's throughput and latency, and the paper's ZRED1/ZRED2
+//! split exists precisely to keep the maximum stage (and hence the II)
+//! small.
+
+use core::fmt;
+
+/// One pipeline stage: a name and its per-row latency in cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStage {
+    /// Stage name as in Table 1 (e.g. "QK", "ZRED1").
+    pub name: String,
+    /// Cycles this stage needs per input row.
+    pub cycles: u64,
+}
+
+impl PipelineStage {
+    /// Creates a stage.
+    pub fn new(name: impl Into<String>, cycles: u64) -> PipelineStage {
+        PipelineStage {
+            name: name.into(),
+            cycles,
+        }
+    }
+}
+
+/// A linear pipeline of stages processing a stream of rows.
+///
+/// Stages that run in parallel (like Z-reduction and row-sum in SWAT) should
+/// be modelled as a single stage whose latency is their maximum.
+///
+/// # Examples
+///
+/// ```
+/// use swat_hw::{Pipeline, PipelineStage};
+///
+/// let p = Pipeline::new(vec![
+///     PipelineStage::new("LOAD", 66),
+///     PipelineStage::new("QK", 201),
+///     PipelineStage::new("SV", 197),
+/// ]);
+/// assert_eq!(p.initiation_interval(), 201);
+/// assert_eq!(p.total_cycles(1), 66 + 201 + 197);
+/// assert_eq!(p.total_cycles(2), 66 + 201 + 197 + 201);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    stages: Vec<PipelineStage>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline from its stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty or any stage has zero cycles.
+    pub fn new(stages: Vec<PipelineStage>) -> Pipeline {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        assert!(
+            stages.iter().all(|s| s.cycles > 0),
+            "stages must take at least one cycle"
+        );
+        Pipeline { stages }
+    }
+
+    /// The stages in order.
+    pub fn stages(&self) -> &[PipelineStage] {
+        &self.stages
+    }
+
+    /// The initiation interval: a new row enters every this-many cycles.
+    /// Equals the longest stage latency.
+    pub fn initiation_interval(&self) -> u64 {
+        self.stages.iter().map(|s| s.cycles).max().unwrap_or(0)
+    }
+
+    /// The fill (drain) latency: cycles for a single row to traverse the
+    /// whole pipeline.
+    pub fn fill_latency(&self) -> u64 {
+        self.stages.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Total cycles to process `rows` rows: fill latency for the first row
+    /// plus one initiation interval per additional row.
+    ///
+    /// Returns 0 for zero rows.
+    pub fn total_cycles(&self, rows: u64) -> u64 {
+        if rows == 0 {
+            0
+        } else {
+            self.fill_latency() + (rows - 1) * self.initiation_interval()
+        }
+    }
+
+    /// Per-stage utilisation: the fraction of each initiation interval the
+    /// stage is busy. The paper's "well balanced" claim means these are all
+    /// close to 1.
+    pub fn stage_utilization(&self) -> Vec<(String, f64)> {
+        let ii = self.initiation_interval() as f64;
+        self.stages
+            .iter()
+            .map(|s| (s.name.clone(), s.cycles as f64 / ii))
+            .collect()
+    }
+
+    /// Average stage utilisation (1.0 = perfectly balanced pipeline).
+    pub fn balance(&self) -> f64 {
+        let u = self.stage_utilization();
+        u.iter().map(|(_, x)| x).sum::<f64>() / u.len() as f64
+    }
+
+    /// The name of the longest (II-determining) stage.
+    pub fn bottleneck(&self) -> &str {
+        self.stages
+            .iter()
+            .max_by_key(|s| s.cycles)
+            .map(|s| s.name.as_str())
+            .unwrap_or("")
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{}[{}]", s.name, s.cycles)?;
+        }
+        write!(f, " (II={})", self.initiation_interval())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Pipeline {
+        Pipeline::new(vec![
+            PipelineStage::new("A", 10),
+            PipelineStage::new("B", 30),
+            PipelineStage::new("C", 20),
+        ])
+    }
+
+    #[test]
+    fn ii_is_max_stage() {
+        assert_eq!(sample().initiation_interval(), 30);
+        assert_eq!(sample().bottleneck(), "B");
+    }
+
+    #[test]
+    fn fill_is_sum() {
+        assert_eq!(sample().fill_latency(), 60);
+    }
+
+    #[test]
+    fn total_cycles_formula() {
+        let p = sample();
+        assert_eq!(p.total_cycles(0), 0);
+        assert_eq!(p.total_cycles(1), 60);
+        assert_eq!(p.total_cycles(10), 60 + 9 * 30);
+    }
+
+    #[test]
+    fn throughput_dominated_by_ii_for_long_streams() {
+        let p = sample();
+        let n = 100_000u64;
+        let per_row = p.total_cycles(n) as f64 / n as f64;
+        assert!((per_row - 30.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn utilization_and_balance() {
+        let p = sample();
+        let u = p.stage_utilization();
+        assert_eq!(u[1], ("B".to_string(), 1.0));
+        assert!((u[0].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!(p.balance() < 1.0);
+        let balanced = Pipeline::new(vec![
+            PipelineStage::new("X", 5),
+            PipelineStage::new("Y", 5),
+        ]);
+        assert!((balanced.balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_rejected() {
+        let _ = Pipeline::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_cycle_stage_rejected() {
+        let _ = Pipeline::new(vec![PipelineStage::new("Z", 0)]);
+    }
+
+    #[test]
+    fn display_mentions_ii() {
+        assert!(format!("{}", sample()).contains("II=30"));
+    }
+}

@@ -1,0 +1,254 @@
+//! FPGA resource vectors and utilisation arithmetic.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul};
+
+/// A vector of FPGA fabric resources.
+///
+/// Counts are absolute (numbers of primitives), matching post-synthesis
+/// utilisation reports. BRAM is counted in 36 Kb blocks.
+///
+/// # Examples
+///
+/// ```
+/// use swat_hw::Resources;
+///
+/// let core = Resources { dsp: 3, lut: 900, ff: 500, bram: 1, uram: 0 };
+/// let array = core * 512;
+/// assert_eq!(array.bram, 512);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Resources {
+    /// DSP slices (DSP48E2 on UltraScale+).
+    pub dsp: u64,
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops (registers).
+    pub ff: u64,
+    /// Block RAM, in 36 Kb blocks.
+    pub bram: u64,
+    /// UltraRAM blocks (288 Kb).
+    pub uram: u64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources {
+        dsp: 0,
+        lut: 0,
+        ff: 0,
+        bram: 0,
+        uram: 0,
+    };
+
+    /// Creates a resource vector (URAM defaults to zero in the shorthand).
+    pub const fn new(dsp: u64, lut: u64, ff: u64, bram: u64) -> Resources {
+        Resources {
+            dsp,
+            lut,
+            ff,
+            bram,
+            uram: 0,
+        }
+    }
+
+    /// Returns `true` if every component of `self` fits within `budget`.
+    pub fn fits_within(&self, budget: &Resources) -> bool {
+        self.dsp <= budget.dsp
+            && self.lut <= budget.lut
+            && self.ff <= budget.ff
+            && self.bram <= budget.bram
+            && self.uram <= budget.uram
+    }
+
+    /// Component-wise utilisation of `self` against `capacity`, as
+    /// fractions in `[0, ∞)` (values above 1 mean over-subscription).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity component is zero while the corresponding
+    /// usage is non-zero.
+    pub fn utilization(&self, capacity: &Resources) -> Utilization {
+        let frac = |used: u64, cap: u64| -> f64 {
+            if used == 0 {
+                0.0
+            } else {
+                assert!(cap > 0, "capacity component is zero");
+                used as f64 / cap as f64
+            }
+        };
+        Utilization {
+            dsp: frac(self.dsp, capacity.dsp),
+            lut: frac(self.lut, capacity.lut),
+            ff: frac(self.ff, capacity.ff),
+            bram: frac(self.bram, capacity.bram),
+            uram: frac(self.uram, capacity.uram),
+        }
+    }
+
+    /// Builds the usage vector corresponding to fractional utilisation of a
+    /// capacity vector (inverse of [`Resources::utilization`]).
+    pub fn from_utilization(u: &Utilization, capacity: &Resources) -> Resources {
+        Resources {
+            dsp: (u.dsp * capacity.dsp as f64).round() as u64,
+            lut: (u.lut * capacity.lut as f64).round() as u64,
+            ff: (u.ff * capacity.ff as f64).round() as u64,
+            bram: (u.bram * capacity.bram as f64).round() as u64,
+            uram: (u.uram * capacity.uram as f64).round() as u64,
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            dsp: self.dsp + rhs.dsp,
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            bram: self.bram + rhs.bram,
+            uram: self.uram + rhs.uram,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, rhs: u64) -> Resources {
+        Resources {
+            dsp: self.dsp * rhs,
+            lut: self.lut * rhs,
+            ff: self.ff * rhs,
+            bram: self.bram * rhs,
+            uram: self.uram * rhs,
+        }
+    }
+}
+
+impl core::iter::Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DSP {} | LUT {} | FF {} | BRAM {} | URAM {}",
+            self.dsp, self.lut, self.ff, self.bram, self.uram
+        )
+    }
+}
+
+/// Fractional utilisation per resource class (the percentages of Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Utilization {
+    /// DSP fraction in `[0, ∞)`.
+    pub dsp: f64,
+    /// LUT fraction.
+    pub lut: f64,
+    /// Flip-flop fraction.
+    pub ff: f64,
+    /// BRAM fraction.
+    pub bram: f64,
+    /// URAM fraction.
+    pub uram: f64,
+}
+
+impl Utilization {
+    /// The maximum over the components — the binding constraint.
+    pub fn max_component(&self) -> f64 {
+        self.dsp.max(self.lut).max(self.ff).max(self.bram).max(self.uram)
+    }
+
+    /// Returns `true` if nothing exceeds the device (all components ≤ 1).
+    pub fn feasible(&self) -> bool {
+        self.max_component() <= 1.0
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DSP {:.0}% | LUT {:.0}% | FF {:.0}% | BRAM {:.0}%",
+            self.dsp * 100.0,
+            self.lut * 100.0,
+            self.ff * 100.0,
+            self.bram * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Resources::new(1, 10, 100, 2);
+        let b = Resources::new(2, 20, 200, 3);
+        assert_eq!(a + b, Resources::new(3, 30, 300, 5));
+        assert_eq!(a * 3, Resources::new(3, 30, 300, 6));
+        let s: Resources = [a, b].into_iter().sum();
+        assert_eq!(s, a + b);
+    }
+
+    #[test]
+    fn fits_within_checks_every_component() {
+        let budget = Resources::new(10, 10, 10, 10);
+        assert!(Resources::new(10, 10, 10, 10).fits_within(&budget));
+        assert!(!Resources::new(11, 1, 1, 1).fits_within(&budget));
+        let mut with_uram = Resources::new(1, 1, 1, 1);
+        with_uram.uram = 5;
+        assert!(!with_uram.fits_within(&budget));
+    }
+
+    #[test]
+    fn utilization_roundtrip() {
+        let cap = Resources::new(9024, 1_303_680, 2_607_360, 2016);
+        let used = Resources::new(1715, 495_398, 286_810, 504);
+        let u = used.utilization(&cap);
+        assert!((u.dsp - 0.19).abs() < 0.005);
+        assert!((u.lut - 0.38).abs() < 0.005);
+        assert!((u.bram - 0.25).abs() < 0.005);
+        let back = Resources::from_utilization(&u, &cap);
+        assert_eq!(back, used);
+    }
+
+    #[test]
+    fn zero_usage_of_zero_capacity_is_fine() {
+        let cap = Resources::new(10, 10, 10, 10); // uram capacity 0
+        let u = Resources::new(1, 1, 1, 1).utilization(&cap);
+        assert_eq!(u.uram, 0.0);
+        assert!(u.feasible());
+    }
+
+    #[test]
+    fn max_component_finds_binding_constraint() {
+        let u = Utilization {
+            dsp: 0.2,
+            lut: 0.7,
+            ff: 0.1,
+            bram: 0.3,
+            uram: 0.0,
+        };
+        assert_eq!(u.max_component(), 0.7);
+        assert!(u.feasible());
+        let over = Utilization { lut: 1.2, ..u };
+        assert!(!over.feasible());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = Resources::new(1, 2, 3, 4);
+        assert!(format!("{r}").contains("DSP 1"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the hardware-modeling primitives.
+
+use proptest::prelude::*;
+use swat_hw::{ClockDomain, Pipeline, PipelineStage, PowerModel, Resources};
+
+fn resources() -> impl Strategy<Value = Resources> {
+    (0u64..10_000, 0u64..2_000_000, 0u64..4_000_000, 0u64..4_000).prop_map(
+        |(dsp, lut, ff, bram)| Resources {
+            dsp,
+            lut,
+            ff,
+            bram,
+            uram: 0,
+        },
+    )
+}
+
+fn pipeline() -> impl Strategy<Value = Pipeline> {
+    proptest::collection::vec(1u64..500, 1..10).prop_map(|cycles| {
+        Pipeline::new(
+            cycles
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| PipelineStage::new(format!("S{i}"), c))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// Resource addition is commutative and associative; scaling
+    /// distributes over addition.
+    #[test]
+    fn resource_algebra(a in resources(), b in resources(), c in resources(), k in 0u64..16) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a + b) * k, a * k + b * k);
+        prop_assert_eq!(a + Resources::ZERO, a);
+    }
+
+    /// `fits_within` is a partial order: reflexive and transitive.
+    #[test]
+    fn fits_within_partial_order(a in resources(), b in resources(), c in resources()) {
+        prop_assert!(a.fits_within(&a));
+        if a.fits_within(&b) && b.fits_within(&c) {
+            prop_assert!(a.fits_within(&c));
+        }
+        // Adding anything can only grow needs.
+        prop_assert!(a.fits_within(&(a + b)));
+    }
+
+    /// Utilisation round-trips through from_utilization.
+    #[test]
+    fn utilization_roundtrip(used in resources()) {
+        let cap = Resources { dsp: 10_000, lut: 2_000_000, ff: 4_000_000, bram: 4_000, uram: 1 };
+        let u = used.utilization(&cap);
+        let back = Resources::from_utilization(&u, &cap);
+        prop_assert_eq!(back, used);
+    }
+
+    /// Pipeline invariants: II = max stage <= fill = sum of stages;
+    /// total(n) matches the explicit dependency recurrence.
+    #[test]
+    fn pipeline_laws(p in pipeline(), n in 1u64..200) {
+        let ii = p.initiation_interval();
+        let fill = p.fill_latency();
+        prop_assert!(ii <= fill);
+        prop_assert_eq!(p.total_cycles(1), fill);
+        prop_assert_eq!(p.total_cycles(n), fill + (n - 1) * ii);
+        // Brute-force recurrence (flow shop with identical jobs).
+        let stages: Vec<u64> = p.stages().iter().map(|s| s.cycles).collect();
+        let mut prev_end = vec![0u64; stages.len()];
+        let mut done = 0u64;
+        for _row in 0..n {
+            let mut t = 0u64;
+            for (s, &c) in stages.iter().enumerate() {
+                let start = t.max(prev_end[s]);
+                let end = start + c;
+                prev_end[s] = end;
+                t = end;
+            }
+            done = done.max(t);
+        }
+        prop_assert_eq!(done, p.total_cycles(n));
+    }
+
+    /// Stage utilisation is in (0, 1] and the bottleneck is fully used.
+    #[test]
+    fn pipeline_utilization_bounds(p in pipeline()) {
+        let util = p.stage_utilization();
+        let mut saw_full = false;
+        for (_, u) in &util {
+            prop_assert!(*u > 0.0 && *u <= 1.0 + 1e-12);
+            if (*u - 1.0).abs() < 1e-12 {
+                saw_full = true;
+            }
+        }
+        prop_assert!(saw_full, "the II-setting stage is 100% utilised");
+        prop_assert!(p.balance() <= 1.0 + 1e-12);
+    }
+
+    /// Power is monotone in resources, activity and clock; energy is
+    /// bilinear in power and time.
+    #[test]
+    fn power_monotonicity(
+        a in resources(),
+        b in resources(),
+        act in 0.0f64..1.0,
+        mhz in 50.0f64..900.0,
+    ) {
+        let m = PowerModel::ultrascale_plus();
+        let clk = ClockDomain::from_mhz(mhz);
+        let p_a = m.power_watts(&a, act, &clk);
+        let p_ab = m.power_watts(&(a + b), act, &clk);
+        prop_assert!(p_ab >= p_a - 1e-12);
+        prop_assert!(p_a >= m.static_watts - 1e-12);
+        // Doubling activity doubles the dynamic component.
+        if act <= 0.5 {
+            let p2 = m.power_watts(&a, act * 2.0, &clk);
+            let dyn1 = p_a - m.static_watts;
+            let dyn2 = p2 - m.static_watts;
+            prop_assert!((dyn2 - 2.0 * dyn1).abs() < 1e-9);
+        }
+        prop_assert!((PowerModel::energy_joules(p_a, 2.0) - 2.0 * p_a).abs() < 1e-12);
+    }
+
+    /// Clock conversions invert each other.
+    #[test]
+    fn clock_roundtrip(mhz in 1.0f64..2000.0, cycles in 0u64..1_000_000_000) {
+        let clk = ClockDomain::from_mhz(mhz);
+        prop_assert_eq!(clk.cycles(clk.seconds(cycles)), cycles);
+    }
+}

@@ -1,0 +1,215 @@
+//! Named transformer model configurations.
+
+use swat_attention::SparsityPattern;
+
+/// The attention pattern family a model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// Full quadratic attention.
+    Dense,
+    /// Sliding window only (Longformer without globals).
+    Window,
+    /// Window + global + static random (BigBird).
+    BigBird,
+}
+
+/// Dimensions and sparsity parameters of a transformer model.
+///
+/// # Examples
+///
+/// ```
+/// use swat_model::ModelConfig;
+///
+/// let cfg = ModelConfig::longformer_base();
+/// assert_eq!(cfg.head_dim(), 64);
+/// assert_eq!(cfg.window_tokens, 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Model (embedding) dimension `d`.
+    pub d_model: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// FFN expansion factor (4 in the standard transformer).
+    pub ffn_mult: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Attention pattern family.
+    pub pattern: PatternKind,
+    /// Window tokens per row (`2w` in the paper; 0 for dense).
+    pub window_tokens: usize,
+    /// Global tokens (BigBird/Longformer classification tokens).
+    pub global_tokens: usize,
+    /// Static random tokens per row (BigBird).
+    pub random_tokens: usize,
+}
+
+impl ModelConfig {
+    /// Longformer-base with the paper's standard setup: `d = 768`, 12 heads
+    /// (`H = 64`), window `2w = 512`, 12 layers.
+    pub fn longformer_base() -> ModelConfig {
+        ModelConfig {
+            name: "Longformer-base",
+            d_model: 768,
+            heads: 12,
+            ffn_mult: 4,
+            layers: 12,
+            pattern: PatternKind::Window,
+            window_tokens: 512,
+            global_tokens: 0,
+            random_tokens: 0,
+        }
+    }
+
+    /// BigBird-base in the paper's Table 2 configuration: 192 window
+    /// tokens, 128 global tokens, 192 random tokens (512 attended tokens
+    /// per row in total).
+    pub fn bigbird_base() -> ModelConfig {
+        ModelConfig {
+            name: "BigBird-base",
+            d_model: 768,
+            heads: 12,
+            ffn_mult: 4,
+            layers: 12,
+            pattern: PatternKind::BigBird,
+            window_tokens: 192,
+            global_tokens: 128,
+            random_tokens: 192,
+        }
+    }
+
+    /// A vanilla dense transformer with Longformer-base dimensions, used as
+    /// the dense baseline in Figures 1 and 3.
+    pub fn dense_base() -> ModelConfig {
+        ModelConfig {
+            name: "Dense-base",
+            d_model: 768,
+            heads: 12,
+            ffn_mult: 4,
+            layers: 12,
+            pattern: PatternKind::Dense,
+            window_tokens: 0,
+            global_tokens: 0,
+            random_tokens: 0,
+        }
+    }
+
+    /// Vision Longformer (ViL-Tiny scale) as referenced by Table 4 — a
+    /// smaller-dimension window-attention model.
+    pub fn vil_tiny() -> ModelConfig {
+        ModelConfig {
+            name: "ViL-Tiny",
+            d_model: 192,
+            heads: 3,
+            ffn_mult: 4,
+            layers: 12,
+            pattern: PatternKind::Window,
+            window_tokens: 144,
+            global_tokens: 1,
+            random_tokens: 0,
+        }
+    }
+
+    /// Head dimensionality `H = d_model / heads` (64 in the paper's default
+    /// configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `d_model`.
+    pub fn head_dim(&self) -> usize {
+        assert!(
+            self.heads > 0 && self.d_model % self.heads == 0,
+            "heads must divide d_model"
+        );
+        self.d_model / self.heads
+    }
+
+    /// Window half-width `w` (`window_tokens / 2`).
+    pub fn window_half_width(&self) -> usize {
+        self.window_tokens / 2
+    }
+
+    /// Tokens attended per row in the interior of the sequence.
+    pub fn attended_per_row(&self, seq_len: usize) -> usize {
+        match self.pattern {
+            PatternKind::Dense => seq_len,
+            PatternKind::Window => self.window_tokens.min(seq_len),
+            PatternKind::BigBird => {
+                (self.window_tokens + self.global_tokens + self.random_tokens).min(seq_len)
+            }
+        }
+    }
+
+    /// Builds the concrete [`SparsityPattern`] for a given sequence length.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sparse configurations whose token budgets exceed
+    /// `seq_len`.
+    pub fn pattern_for(&self, seq_len: usize, seed: u64) -> SparsityPattern {
+        match self.pattern {
+            PatternKind::Dense => SparsityPattern::dense(seq_len),
+            PatternKind::Window => {
+                if self.global_tokens > 0 {
+                    let globals: Vec<usize> = (0..self.global_tokens).collect();
+                    SparsityPattern::longformer(seq_len, self.window_half_width().max(1), &globals)
+                } else {
+                    SparsityPattern::sliding_window(seq_len, self.window_half_width().max(1))
+                }
+            }
+            PatternKind::BigBird => SparsityPattern::bigbird(
+                seq_len,
+                self.window_half_width().max(1),
+                self.global_tokens,
+                self.random_tokens,
+                seed,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longformer_dimensions() {
+        let cfg = ModelConfig::longformer_base();
+        assert_eq!(cfg.head_dim(), 64);
+        assert_eq!(cfg.window_half_width(), 256);
+        assert_eq!(cfg.attended_per_row(4096), 512);
+        // Short sequences clamp.
+        assert_eq!(cfg.attended_per_row(128), 128);
+    }
+
+    #[test]
+    fn bigbird_budget_is_512() {
+        let cfg = ModelConfig::bigbird_base();
+        assert_eq!(
+            cfg.window_tokens + cfg.global_tokens + cfg.random_tokens,
+            512
+        );
+        assert_eq!(cfg.attended_per_row(4096), 512);
+    }
+
+    #[test]
+    fn patterns_materialize() {
+        let n = 2048;
+        let lf = ModelConfig::longformer_base().pattern_for(n, 1);
+        assert_eq!(lf.seq_len(), n);
+        assert_eq!(lf.row_targets(1024).len(), 512);
+
+        let bb = ModelConfig::bigbird_base().pattern_for(n, 1);
+        assert_eq!(bb.row_targets(1024).len(), 512);
+
+        let dense = ModelConfig::dense_base().pattern_for(64, 0);
+        assert!(dense.is_dense());
+    }
+
+    #[test]
+    fn vil_head_dim() {
+        assert_eq!(ModelConfig::vil_tiny().head_dim(), 64);
+    }
+}

@@ -1,0 +1,206 @@
+//! Analytic FLOPs/MOPs breakdown of a transformer encoder layer (Figure 1).
+//!
+//! Conventions (matching the paper's coarse accounting):
+//!
+//! - one multiply-accumulate = 2 FLOPs; exp/div in softmax = 1 FLOP each;
+//! - MOPs count *elements moved to or from off-chip memory*, assuming the
+//!   straightforward (unfused) implementation that materialises the
+//!   attention score matrix.
+
+use crate::config::ModelConfig;
+
+/// Which attention implementation the breakdown assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttentionKind {
+    /// Full `n²` attention (the curve plotted in Figure 1).
+    Dense,
+    /// Sliding-window attention with the model's window budget.
+    Window,
+}
+
+/// FLOPs and MOPs of one encoder layer, split by component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCosts {
+    /// Q/K/V/output projections.
+    pub linear_flops: u64,
+    /// Attention proper (QK, softmax, SV).
+    pub attention_flops: u64,
+    /// Feed-forward network.
+    pub ffn_flops: u64,
+    /// Memory operations (elements moved) for the projections.
+    pub linear_mops: u64,
+    /// Memory operations for attention, including the S/S' round trip of
+    /// the unfused implementation.
+    pub attention_mops: u64,
+    /// Memory operations for the FFN.
+    pub ffn_mops: u64,
+}
+
+impl LayerCosts {
+    /// Total FLOPs of the layer.
+    pub fn total_flops(&self) -> u64 {
+        self.linear_flops + self.attention_flops + self.ffn_flops
+    }
+
+    /// Total MOPs of the layer.
+    pub fn total_mops(&self) -> u64 {
+        self.linear_mops + self.attention_mops + self.ffn_mops
+    }
+
+    /// Attention's share of layer FLOPs, in `[0, 1]`.
+    pub fn attention_flops_share(&self) -> f64 {
+        self.attention_flops as f64 / self.total_flops() as f64
+    }
+
+    /// Attention's share of layer MOPs, in `[0, 1]`.
+    pub fn attention_mops_share(&self) -> f64 {
+        self.attention_mops as f64 / self.total_mops() as f64
+    }
+
+    /// `(linear, attention, ffn)` FLOPs shares.
+    pub fn flops_shares(&self) -> (f64, f64, f64) {
+        let t = self.total_flops() as f64;
+        (
+            self.linear_flops as f64 / t,
+            self.attention_flops as f64 / t,
+            self.ffn_flops as f64 / t,
+        )
+    }
+
+    /// `(linear, attention, ffn)` MOPs shares.
+    pub fn mops_shares(&self) -> (f64, f64, f64) {
+        let t = self.total_mops() as f64;
+        (
+            self.linear_mops as f64 / t,
+            self.attention_mops as f64 / t,
+            self.ffn_mops as f64 / t,
+        )
+    }
+}
+
+/// Computes the per-layer cost breakdown for sequence length `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn layer_costs(cfg: &ModelConfig, n: usize, attention: AttentionKind) -> LayerCosts {
+    assert!(n > 0, "sequence length must be positive");
+    let n = n as u64;
+    let d = cfg.d_model as u64;
+    let heads = cfg.heads as u64;
+    let m = cfg.ffn_mult as u64;
+
+    // Attended positions per row.
+    let a = match attention {
+        AttentionKind::Dense => n,
+        AttentionKind::Window => (cfg.window_tokens as u64).min(n).max(1),
+    };
+
+    // --- Linear projections: Wq, Wk, Wv, Wo, each d×d over n tokens.
+    let linear_flops = 4 * 2 * n * d * d;
+    // Weights + input/outputs: 4 weight matrices, read x, write q/k/v,
+    // read concat, write out.
+    let linear_mops = 4 * d * d + 6 * n * d;
+
+    // --- Attention: per head, QK (n·a dot products of length H), softmax,
+    // SV. Σ over heads: head_dim · heads = d.
+    let attention_flops = 2 * n * a * d  // QK
+        + 3 * n * a * heads              // softmax exp/sum/div
+        + 2 * n * a * d; // SV
+    // Q, K, V read; S written + read twice (softmax, SV) in the unfused
+    // three-kernel implementation; Z written.
+    let attention_mops = 3 * n * d + 3 * n * a * heads + n * d;
+
+    // --- FFN: d -> m·d -> d.
+    let ffn_flops = 2 * 2 * n * d * (m * d);
+    let ffn_mops = 2 * m * d * d + 2 * n * d + 2 * n * m * d;
+
+    LayerCosts {
+        linear_flops,
+        attention_flops,
+        ffn_flops,
+        linear_mops,
+        attention_mops,
+        ffn_mops,
+    }
+}
+
+/// The input lengths plotted in Figure 1.
+pub const FIGURE1_LENGTHS: [usize; 8] = [128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_share_grows_with_length() {
+        let cfg = ModelConfig::longformer_base();
+        let mut prev = 0.0;
+        for &n in &FIGURE1_LENGTHS {
+            let c = layer_costs(&cfg, n, AttentionKind::Dense);
+            let share = c.attention_flops_share();
+            assert!(share > prev, "share must grow: {share} at n={n}");
+            prev = share;
+        }
+        // At 16K tokens attention dominates (Figure 1's headline).
+        assert!(prev > 0.7, "attention share at 16K is {prev}");
+    }
+
+    #[test]
+    fn attention_mops_dominate_at_long_lengths() {
+        let cfg = ModelConfig::longformer_base();
+        let c = layer_costs(&cfg, 16384, AttentionKind::Dense);
+        assert!(c.attention_mops_share() > 0.9);
+        let c_short = layer_costs(&cfg, 128, AttentionKind::Dense);
+        assert!(c_short.attention_mops_share() < 0.5);
+    }
+
+    #[test]
+    fn window_attention_is_linear_in_n() {
+        let cfg = ModelConfig::longformer_base();
+        let c1 = layer_costs(&cfg, 4096, AttentionKind::Window);
+        let c2 = layer_costs(&cfg, 8192, AttentionKind::Window);
+        let ratio = c2.attention_flops as f64 / c1.attention_flops as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        // Dense grows 4x over the same doubling.
+        let d1 = layer_costs(&cfg, 4096, AttentionKind::Dense);
+        let d2 = layer_costs(&cfg, 8192, AttentionKind::Dense);
+        let dratio = d2.attention_flops as f64 / d1.attention_flops as f64;
+        assert!((dratio - 4.0).abs() < 0.01, "dense ratio {dratio}");
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let cfg = ModelConfig::longformer_base();
+        let c = layer_costs(&cfg, 1024, AttentionKind::Dense);
+        let (l, a, f) = c.flops_shares();
+        assert!((l + a + f - 1.0).abs() < 1e-12);
+        let (lm, am, fm) = c.mops_shares();
+        assert!((lm + am + fm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ffn_dominates_at_short_lengths() {
+        // The classic picture: at 128 tokens the FFN is the biggest FLOPs
+        // consumer, not attention.
+        let cfg = ModelConfig::longformer_base();
+        let c = layer_costs(&cfg, 128, AttentionKind::Dense);
+        assert!(c.ffn_flops > c.attention_flops);
+        assert!(c.ffn_flops > c.linear_flops);
+    }
+
+    #[test]
+    fn window_caps_attended_positions() {
+        let cfg = ModelConfig::longformer_base();
+        // Below the window size, window and dense coincide.
+        let w = layer_costs(&cfg, 256, AttentionKind::Window);
+        let d = layer_costs(&cfg, 256, AttentionKind::Dense);
+        assert_eq!(w.attention_flops, d.attention_flops);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_length_rejected() {
+        let _ = layer_costs(&ModelConfig::longformer_base(), 0, AttentionKind::Dense);
+    }
+}

@@ -1,0 +1,208 @@
+//! A functional transformer encoder layer.
+//!
+//! Pre-norm architecture: `x + MHA(LN(x))`, then `y + FFN(LN(y))` with GELU
+//! activation. This is the substrate the end-to-end examples run: the
+//! attention inside can be dense, Longformer-window or BigBird, and can be
+//! swapped for the SWAT-simulated kernel in integration tests.
+
+use swat_attention::multihead::{multi_head_attention, MultiHeadWeights};
+use swat_attention::{OpCounts, SparsityPattern};
+use swat_tensor::{ops, Matrix};
+
+/// Weights of one encoder layer.
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    /// Multi-head attention weights.
+    pub attention: MultiHeadWeights,
+    /// FFN first linear, `d × (mult·d)`.
+    pub ffn_up: Matrix<f32>,
+    /// FFN second linear, `(mult·d) × d`.
+    pub ffn_down: Matrix<f32>,
+}
+
+impl EncoderLayer {
+    /// Random small-magnitude weights for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `d_model` or `ffn_mult == 0`.
+    pub fn random(d_model: usize, heads: usize, ffn_mult: usize, seed: u64) -> EncoderLayer {
+        assert!(ffn_mult > 0, "ffn_mult must be positive");
+        let mut rng = swat_numeric::SplitMix64::new(seed ^ 0xFFEE);
+        let std_up = 1.0 / (d_model as f32).sqrt();
+        let std_down = 1.0 / ((ffn_mult * d_model) as f32).sqrt();
+        EncoderLayer {
+            attention: MultiHeadWeights::random(d_model, heads, seed),
+            ffn_up: Matrix::from_fn(d_model, ffn_mult * d_model, |_, _| {
+                rng.next_gaussian() * std_up
+            }),
+            ffn_down: Matrix::from_fn(ffn_mult * d_model, d_model, |_, _| {
+                rng.next_gaussian() * std_down
+            }),
+        }
+    }
+
+    /// Model dimension `d`.
+    pub fn d_model(&self) -> usize {
+        self.attention.wq.rows()
+    }
+
+    /// Forward pass over `x` (`seq_len × d`), attending with `pattern`.
+    ///
+    /// Returns the output and aggregated operation counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&self, x: &Matrix<f32>, pattern: &SparsityPattern) -> (Matrix<f32>, OpCounts) {
+        let mut counts = OpCounts::new();
+
+        // Attention sublayer with residual.
+        let normed = layer_norm(x);
+        let attn = multi_head_attention(&normed, &self.attention, pattern);
+        counts.merge(&attn.counts);
+        let y = x.add(&attn.output);
+
+        // FFN sublayer with residual.
+        let normed = layer_norm(&y);
+        let up = ops::gemm(&normed, &self.ffn_up);
+        let act = up.map(gelu);
+        let down = ops::gemm(&act, &self.ffn_down);
+        let n = x.rows() as u64;
+        let d = self.d_model() as u64;
+        let m = self.ffn_up.cols() as u64;
+        counts.record_macs(n * d * m + n * m * d);
+        counts.record_unary(n * m); // activation
+        let out = y.add(&down);
+
+        (out, counts)
+    }
+}
+
+/// Row-wise layer normalisation (no learned scale/shift; the cost model
+/// ignores them and they do not affect any experiment).
+pub fn layer_norm(x: &Matrix<f32>) -> Matrix<f32> {
+    let d = x.cols();
+    Matrix::from_fn(x.rows(), d, |i, j| {
+        let row = x.row(i);
+        let mean: f32 = row.iter().sum::<f32>() / d as f32;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        (x.get(i, j) - mean) / (var + 1e-5).sqrt()
+    })
+}
+
+/// The GELU activation (tanh approximation).
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((2.0 / core::f32::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// A stack of encoder layers sharing one sparsity pattern.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    /// The layers, applied in order.
+    pub layers: Vec<EncoderLayer>,
+}
+
+impl Encoder {
+    /// Builds an encoder of `n_layers` randomly-initialised layers.
+    pub fn random(
+        d_model: usize,
+        heads: usize,
+        ffn_mult: usize,
+        n_layers: usize,
+        seed: u64,
+    ) -> Encoder {
+        Encoder {
+            layers: (0..n_layers)
+                .map(|l| EncoderLayer::random(d_model, heads, ffn_mult, seed + l as u64))
+                .collect(),
+        }
+    }
+
+    /// Runs all layers; returns the final activations and total counts.
+    pub fn forward(&self, x: &Matrix<f32>, pattern: &SparsityPattern) -> (Matrix<f32>, OpCounts) {
+        let mut counts = OpCounts::new();
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let (next, c) = layer.forward(&h, pattern);
+            counts.merge(&c);
+            h = next;
+        }
+        (h, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(n: usize, d: usize, seed: u64) -> Matrix<f32> {
+        let mut rng = swat_numeric::SplitMix64::new(seed);
+        Matrix::from_fn(n, d, |_, _| rng.next_f32_in(-1.0, 1.0))
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let x = input(6, 32, 50);
+        let ln = layer_norm(&x);
+        for i in 0..6 {
+            let row = ln.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 32.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 32.0;
+            assert!(mean.abs() < 1e-4, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {i} var {var}");
+        }
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.841).abs() < 0.01);
+        assert!(gelu(-10.0).abs() < 1e-3);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let layer = EncoderLayer::random(16, 4, 2, 60);
+        let x = input(24, 16, 61);
+        let p = SparsityPattern::sliding_window(24, 3);
+        let (a, ca) = layer.forward(&x, &p);
+        let (b, _) = layer.forward(&x, &p);
+        assert_eq!(a.shape(), (24, 16));
+        assert_eq!(a, b);
+        assert!(ca.flops > 0);
+        assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn residual_keeps_output_near_input_scale() {
+        let layer = EncoderLayer::random(16, 2, 2, 62);
+        let x = input(12, 16, 63);
+        let p = SparsityPattern::dense(12);
+        let (y, _) = layer.forward(&x, &p);
+        // Residual connections keep the magnitude in a sane range.
+        assert!(y.frobenius_norm() < 50.0 * x.frobenius_norm());
+        assert!(y.frobenius_norm() > 0.05 * x.frobenius_norm());
+    }
+
+    #[test]
+    fn encoder_stacks_layers() {
+        let enc = Encoder::random(8, 2, 2, 3, 70);
+        let x = input(10, 8, 71);
+        let p = SparsityPattern::sliding_window(10, 2);
+        let (y, counts) = enc.forward(&x, &p);
+        assert_eq!(y.shape(), (10, 8));
+        let single = enc.layers[0].forward(&x, &p).1;
+        assert!(counts.flops > 2 * single.flops);
+    }
+
+    #[test]
+    fn sparse_encoder_costs_less_than_dense() {
+        let enc = Encoder::random(16, 4, 2, 1, 72);
+        let x = input(64, 16, 73);
+        let sparse = enc.forward(&x, &SparsityPattern::sliding_window(64, 4)).1;
+        let dense = enc.forward(&x, &SparsityPattern::dense(64)).1;
+        assert!(sparse.flops < dense.flops);
+    }
+}

@@ -1,0 +1,32 @@
+//! Transformer-model substrate: layer forward passes and analytic cost
+//! models.
+//!
+//! The paper motivates SWAT with a cost breakdown of a transformer layer
+//! (Figure 1): as the input grows, attention FLOPs and memory operations
+//! dominate the linear projections and the FFN. This crate provides:
+//!
+//! - [`config`]: named model configurations (Longformer-base, BigBird-base,
+//!   and the ViL variants of Table 4);
+//! - [`flops`]: the analytic FLOPs/MOPs breakdown per layer component that
+//!   regenerates Figure 1;
+//! - [`layer`]: a functional encoder layer (multi-head attention + FFN +
+//!   layer norm + residuals) for end-to-end examples and integration tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use swat_model::config::ModelConfig;
+//! use swat_model::flops::layer_costs;
+//!
+//! let cfg = ModelConfig::longformer_base();
+//! let short = layer_costs(&cfg, 128, swat_model::flops::AttentionKind::Dense);
+//! let long = layer_costs(&cfg, 16384, swat_model::flops::AttentionKind::Dense);
+//! // Attention's share of FLOPs grows with input length (Figure 1).
+//! assert!(long.attention_flops_share() > short.attention_flops_share());
+//! ```
+
+pub mod config;
+pub mod flops;
+pub mod layer;
+
+pub use config::ModelConfig;

@@ -1,0 +1,76 @@
+//! Property tests for the transformer substrate and cost models.
+
+use proptest::prelude::*;
+use swat_attention::SparsityPattern;
+use swat_model::flops::{layer_costs, AttentionKind};
+use swat_model::layer::{layer_norm, EncoderLayer};
+use swat_model::ModelConfig;
+use swat_tensor::Matrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Layer costs are monotone in sequence length for both attention
+    /// kinds, and dense always costs at least as much as windowed.
+    #[test]
+    fn costs_monotone(n1 in 1usize..16384, n2 in 1usize..16384) {
+        let cfg = ModelConfig::longformer_base();
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        for kind in [AttentionKind::Dense, AttentionKind::Window] {
+            let c_lo = layer_costs(&cfg, lo, kind);
+            let c_hi = layer_costs(&cfg, hi, kind);
+            prop_assert!(c_hi.total_flops() >= c_lo.total_flops());
+            prop_assert!(c_hi.total_mops() >= c_lo.total_mops());
+        }
+        let dense = layer_costs(&cfg, hi, AttentionKind::Dense);
+        let window = layer_costs(&cfg, hi, AttentionKind::Window);
+        prop_assert!(dense.attention_flops >= window.attention_flops);
+    }
+
+    /// FLOPs shares always sum to one and each lies in [0, 1].
+    #[test]
+    fn shares_are_probabilities(n in 1usize..20000) {
+        let cfg = ModelConfig::bigbird_base();
+        let c = layer_costs(&cfg, n, AttentionKind::Dense);
+        let (l, a, f) = c.flops_shares();
+        prop_assert!((l + a + f - 1.0).abs() < 1e-9);
+        for x in [l, a, f] {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    /// Layer norm output rows have zero mean and unit variance for any
+    /// non-constant input.
+    #[test]
+    fn layer_norm_properties(seed in any::<u64>(), n in 1usize..16, d in 4usize..64) {
+        let mut rng = swat_numeric::SplitMix64::new(seed);
+        let x = Matrix::from_fn(n, d, |_, _| rng.next_gaussian());
+        let ln = layer_norm(&x);
+        for i in 0..n {
+            let row = ln.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            prop_assert!(mean.abs() < 1e-3, "mean {}", mean);
+            prop_assert!((var - 1.0).abs() < 0.05, "var {}", var);
+        }
+    }
+
+    /// Encoder layers are deterministic and produce finite outputs for
+    /// any pattern choice.
+    #[test]
+    fn layer_forward_total(seed in any::<u64>(), n in 8usize..32) {
+        let layer = EncoderLayer::random(16, 4, 2, seed);
+        let mut rng = swat_numeric::SplitMix64::new(seed ^ 1);
+        let x = Matrix::from_fn(n, 16, |_, _| rng.next_f32_in(-1.0, 1.0));
+        for pattern in [
+            SparsityPattern::dense(n),
+            SparsityPattern::sliding_window(n, 2),
+            SparsityPattern::causal_window(n, 2),
+        ] {
+            let (y, counts) = layer.forward(&x, &pattern);
+            prop_assert_eq!(y.shape(), (n, 16));
+            prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
+            prop_assert!(counts.flops > 0);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Numeric error metrics used to validate hardware-style kernels against
+//! software references.
+
+use crate::f16::F16;
+
+/// Distance in units-in-the-last-place between two `f32` values.
+///
+/// Returns `u32::MAX` if either input is NaN. Signed zeros are considered
+/// equal. This is the standard sign-magnitude-to-two's-complement mapping.
+///
+/// # Examples
+///
+/// ```
+/// use swat_numeric::ulp_distance_f32;
+///
+/// assert_eq!(ulp_distance_f32(1.0, 1.0), 0);
+/// assert_eq!(ulp_distance_f32(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+/// ```
+pub fn ulp_distance_f32(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    let key = |x: f32| -> i64 {
+        let bits = x.to_bits();
+        if bits & 0x8000_0000 != 0 {
+            -((bits & 0x7FFF_FFFF) as i64)
+        } else {
+            (bits & 0x7FFF_FFFF) as i64
+        }
+    };
+    (key(a) - key(b)).unsigned_abs() as u32
+}
+
+/// Distance in binary16 ULPs between two [`F16`] values.
+///
+/// Returns `u16::MAX as u32` if either input is NaN.
+pub fn ulp_distance_f16(a: F16, b: F16) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::from(u16::MAX);
+    }
+    let key = |x: F16| -> i32 {
+        let bits = x.to_bits();
+        if bits & 0x8000 != 0 {
+            -i32::from(bits & 0x7FFF)
+        } else {
+            i32::from(bits & 0x7FFF)
+        }
+    };
+    (key(a) - key(b)).unsigned_abs()
+}
+
+/// Maximum absolute element-wise difference between two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Maximum element-wise relative error `|a-b| / max(|b|, floor)` with a small
+/// absolute floor so near-zero references do not blow up the metric.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_rel_error(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    const FLOOR: f32 = 1e-6;
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / y.abs().max(FLOOR))
+        .fold(0.0, f32::max)
+}
+
+/// Root-mean-square error between two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rms_error(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "rms_error of empty slices");
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = f64::from(x - y);
+            d * d
+        })
+        .sum();
+    ((sum / a.len() as f64).sqrt()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_zero_for_equal() {
+        assert_eq!(ulp_distance_f32(1.5, 1.5), 0);
+        assert_eq!(ulp_distance_f32(0.0, -0.0), 0);
+    }
+
+    #[test]
+    fn ulp_adjacent_values() {
+        let a = 1.0f32;
+        let b = f32::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_distance_f32(a, b), 1);
+        assert_eq!(ulp_distance_f32(b, a), 1);
+    }
+
+    #[test]
+    fn ulp_across_zero() {
+        let a = f32::from_bits(1); // smallest positive subnormal
+        let b = -f32::from_bits(1);
+        assert_eq!(ulp_distance_f32(a, b), 2);
+    }
+
+    #[test]
+    fn ulp_nan_is_max() {
+        assert_eq!(ulp_distance_f32(f32::NAN, 1.0), u32::MAX);
+    }
+
+    #[test]
+    fn ulp_f16_adjacent() {
+        let a = F16::ONE;
+        let b = F16::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_distance_f16(a, b), 1);
+        assert_eq!(ulp_distance_f16(a, a), 0);
+        assert_eq!(ulp_distance_f16(F16::NAN, a), u32::from(u16::MAX));
+    }
+
+    #[test]
+    fn abs_and_rel_errors() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.1f32, 2.0, 2.9];
+        assert!((max_abs_diff(&a, &b) - 0.1).abs() < 1e-6);
+        assert!(max_rel_error(&a, &b) > 0.03);
+        assert!(rms_error(&a, &b) > 0.0);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = max_abs_diff(&[1.0], &[1.0, 2.0]);
+    }
+}

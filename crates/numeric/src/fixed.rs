@@ -1,0 +1,339 @@
+//! Signed fixed-point arithmetic (Q-format), the classic FPGA datapath
+//! alternative to floating point.
+//!
+//! SWAT chose FP16 (Section 4), accepting the II=3 MAC, rather than fixed
+//! point. This module lets the reproduction *quantify* that choice: a
+//! fixed-point MAC maps to one DSP at II=1, but softmax's exponential has
+//! enormous dynamic range, which fixed point handles poorly. The
+//! `precision` benchmark compares binary16 against Q-formats on the fused
+//! attention kernel.
+
+use core::fmt;
+
+/// A signed fixed-point number with a compile-time fractional bit count,
+/// stored in 32 bits with saturating arithmetic.
+///
+/// `FRAC` fractional bits give a resolution of 2⁻ᶠᴿᴬᶜ and a range of
+/// roughly ±2³¹⁻ᶠᴿᴬᶜ.
+///
+/// # Examples
+///
+/// ```
+/// use swat_numeric::fixed::Fixed;
+///
+/// type Q16 = Fixed<16>; // Q15.16
+/// let a = Q16::from_f32(1.5);
+/// let b = Q16::from_f32(2.25);
+/// assert_eq!((a * b).to_f32(), 3.375);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed<const FRAC: u32>(i32);
+
+impl<const FRAC: u32> Fixed<FRAC> {
+    /// Zero.
+    pub const ZERO: Fixed<FRAC> = Fixed(0);
+    /// One.
+    pub const ONE: Fixed<FRAC> = Fixed(1i32 << FRAC);
+    /// Largest representable value.
+    pub const MAX: Fixed<FRAC> = Fixed(i32::MAX);
+    /// Smallest representable value.
+    pub const MIN: Fixed<FRAC> = Fixed(i32::MIN);
+
+    /// Creates a value from raw fixed-point bits.
+    pub const fn from_bits(bits: i32) -> Fixed<FRAC> {
+        Fixed(bits)
+    }
+
+    /// The raw bits.
+    pub const fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from `f32`, rounding to nearest and saturating at the
+    /// format's range.
+    pub fn from_f32(x: f32) -> Fixed<FRAC> {
+        let scaled = f64::from(x) * (1i64 << FRAC) as f64;
+        if scaled >= f64::from(i32::MAX) {
+            Fixed(i32::MAX)
+        } else if scaled <= f64::from(i32::MIN) {
+            Fixed(i32::MIN)
+        } else {
+            Fixed(scaled.round_ties_even() as i32)
+        }
+    }
+
+    /// Converts to `f32` (exact for formats with ≤ 24 significant bits in
+    /// play; otherwise rounded).
+    pub fn to_f32(self) -> f32 {
+        (f64::from(self.0) / (1i64 << FRAC) as f64) as f32
+    }
+
+    /// Saturating addition (what an FPGA accumulator with saturation logic
+    /// does on overflow).
+    pub fn sat_add(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        Fixed(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn sat_sub(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        Fixed(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication with round-to-nearest on the dropped
+    /// fractional bits (a DSP multiply followed by a shift).
+    pub fn sat_mul(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        let wide = i64::from(self.0) * i64::from(rhs.0);
+        let rounded = (wide + (1i64 << (FRAC - 1))) >> FRAC;
+        if rounded > i64::from(i32::MAX) {
+            Fixed(i32::MAX)
+        } else if rounded < i64::from(i32::MIN) {
+            Fixed(i32::MIN)
+        } else {
+            Fixed(rounded as i32)
+        }
+    }
+
+    /// Whether the value sits at a saturation rail.
+    pub fn is_saturated(self) -> bool {
+        self.0 == i32::MAX || self.0 == i32::MIN
+    }
+
+    /// Fixed-point exponential via conversion through `f32` — models a
+    /// lookup-table EXP unit whose *output* is quantised to this format
+    /// (the input range a LUT covers is bounded; beyond ±2¹⁵⁻... the
+    /// result saturates like the table would clip).
+    pub fn exp(self) -> Fixed<FRAC> {
+        Fixed::from_f32(self.to_f32().exp())
+    }
+
+    /// The format's resolution, 2⁻ᶠᴿᴬᶜ.
+    pub fn resolution() -> f32 {
+        (1.0f64 / (1i64 << FRAC) as f64) as f32
+    }
+}
+
+impl<const FRAC: u32> core::ops::Add for Fixed<FRAC> {
+    type Output = Fixed<FRAC>;
+    fn add(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        self.sat_add(rhs)
+    }
+}
+
+impl<const FRAC: u32> core::ops::Sub for Fixed<FRAC> {
+    type Output = Fixed<FRAC>;
+    fn sub(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        self.sat_sub(rhs)
+    }
+}
+
+impl<const FRAC: u32> core::ops::Mul for Fixed<FRAC> {
+    type Output = Fixed<FRAC>;
+    fn mul(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        self.sat_mul(rhs)
+    }
+}
+
+impl<const FRAC: u32> core::ops::Neg for Fixed<FRAC> {
+    type Output = Fixed<FRAC>;
+    fn neg(self) -> Fixed<FRAC> {
+        Fixed(self.0.saturating_neg())
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Fixed<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}({})", 31 - FRAC, FRAC, self.to_f32())
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Fixed<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+/// Fused window attention computed entirely in the fixed-point format —
+/// the ablation datapath compared against binary16 in the `precision`
+/// benchmark. Returns the output row-major as `f32` plus the number of
+/// saturation events (each one is silent numerical corruption on real
+/// hardware).
+pub fn fixed_point_window_attention<const FRAC: u32>(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    scale: f32,
+) -> (Vec<f32>, u64) {
+    assert_eq!(q.len(), n * h, "q must be n*h row-major");
+    assert_eq!(k.len(), n * h, "k must be n*h row-major");
+    assert_eq!(v.len(), n * h, "v must be n*h row-major");
+    assert!(w > 0, "window half-width must be positive");
+
+    let qf: Vec<Fixed<FRAC>> = q.iter().map(|&x| Fixed::from_f32(x)).collect();
+    let kf: Vec<Fixed<FRAC>> = k.iter().map(|&x| Fixed::from_f32(x)).collect();
+    let vf: Vec<Fixed<FRAC>> = v.iter().map(|&x| Fixed::from_f32(x)).collect();
+    let scale_f = Fixed::<FRAC>::from_f32(scale);
+
+    let mut out = vec![0.0f32; n * h];
+    let mut saturations = 0u64;
+    for i in 0..n {
+        let lo = i.saturating_sub(w);
+        let hi = (i + w).min(n);
+        let mut z = vec![Fixed::<FRAC>::ZERO; h];
+        let mut row_sum = Fixed::<FRAC>::ZERO;
+        for j in lo..hi {
+            let mut s = Fixed::<FRAC>::ZERO;
+            for c in 0..h {
+                s = s.sat_add(qf[i * h + c].sat_mul(kf[j * h + c]));
+            }
+            let e = s.sat_mul(scale_f).exp();
+            if e.is_saturated() {
+                saturations += 1;
+            }
+            row_sum = row_sum.sat_add(e);
+            for c in 0..h {
+                z[c] = z[c].sat_add(e.sat_mul(vf[j * h + c]));
+            }
+        }
+        if row_sum.is_saturated() {
+            saturations += 1;
+        }
+        let rs = row_sum.to_f32();
+        for c in 0..h {
+            out[i * h + c] = if rs > 0.0 { z[c].to_f32() / rs } else { 0.0 };
+        }
+    }
+    (out, saturations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q16 = Fixed<16>;
+    type Q8 = Fixed<8>;
+
+    #[test]
+    fn roundtrip_and_resolution() {
+        assert_eq!(Q16::from_f32(1.5).to_f32(), 1.5);
+        assert_eq!(Q16::from_f32(-0.25).to_f32(), -0.25);
+        assert_eq!(Q16::resolution(), 2.0f32.powi(-16));
+        assert_eq!(Q8::resolution(), 2.0f32.powi(-8));
+        // Below resolution rounds to zero (ties to even).
+        assert_eq!(Q8::from_f32(2.0f32.powi(-10)).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Q16::from_f32(2.5);
+        let b = Q16::from_f32(-1.25);
+        assert_eq!((a + b).to_f32(), 1.25);
+        assert_eq!((a - b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), -3.125);
+        assert_eq!((-a).to_f32(), -2.5);
+        assert_eq!(Q16::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let big = Q16::from_f32(30000.0);
+        let sum = big + big;
+        assert!(sum.is_saturated());
+        assert!((sum.to_f32() - 32768.0).abs() < 1.0);
+        // from_f32 saturates out-of-range inputs too.
+        assert!(Q16::from_f32(1e9).is_saturated());
+        assert!(Q16::from_f32(-1e9).is_saturated());
+    }
+
+    #[test]
+    fn mul_rounds_to_nearest() {
+        // 2^-8 * 2^-8 = 2^-16: exactly representable in Q.16.
+        let x = Q16::from_f32(2.0f32.powi(-8));
+        assert_eq!((x * x).to_f32(), 2.0f32.powi(-16));
+        // 2^-9 * 2^-9 = 2^-18: rounds to nearest (0 or 2^-16... -> ties).
+        let y = Q16::from_f32(2.0f32.powi(-9));
+        let p = (y * y).to_f32();
+        assert!(p == 0.0 || p == 2.0f32.powi(-16));
+    }
+
+    #[test]
+    fn exp_saturates_on_large_inputs() {
+        // Q15.16's max is ~32768; exp(11) ≈ 59874 saturates.
+        assert!(Q16::from_f32(11.0).exp().is_saturated());
+        assert!(!Q16::from_f32(5.0).exp().is_saturated());
+    }
+
+    #[test]
+    fn fixed_attention_tracks_reference_on_small_scores() {
+        use swat_numeric_reference::*;
+        mod swat_numeric_reference {
+            pub fn window_reference(
+                q: &[f32],
+                k: &[f32],
+                v: &[f32],
+                n: usize,
+                h: usize,
+                w: usize,
+                scale: f32,
+            ) -> Vec<f32> {
+                let mut out = vec![0.0f32; n * h];
+                for i in 0..n {
+                    let lo = i.saturating_sub(w);
+                    let hi = (i + w).min(n);
+                    let mut scores: Vec<f32> = (lo..hi)
+                        .map(|j| {
+                            (0..h).map(|c| q[i * h + c] * k[j * h + c]).sum::<f32>() * scale
+                        })
+                        .collect();
+                    crate::softmax::softmax_stable_in_place(&mut scores);
+                    for (p, j) in scores.iter().zip(lo..hi) {
+                        for c in 0..h {
+                            out[i * h + c] += p * v[j * h + c];
+                        }
+                    }
+                }
+                out
+            }
+        }
+
+        let mut rng = crate::SplitMix64::new(5);
+        let n = 32;
+        let h = 8;
+        let mk = |rng: &mut crate::SplitMix64| -> Vec<f32> {
+            (0..n * h).map(|_| rng.next_f32_in(-0.5, 0.5)).collect()
+        };
+        let q = mk(&mut rng);
+        let k = mk(&mut rng);
+        let v = mk(&mut rng);
+        let (fixed, sats) = fixed_point_window_attention::<16>(&q, &k, &v, n, h, 4, 0.353);
+        let reference = window_reference(&q, &k, &v, n, h, 4, 0.353);
+        let max_err = fixed
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert_eq!(sats, 0, "well-scaled inputs must not saturate Q15.16");
+        assert!(max_err < 1e-3, "max error {max_err}");
+    }
+
+    #[test]
+    fn fixed_attention_saturates_where_f16_overflows_gracelessly_too() {
+        // Large scores: the Q-format exp rails. The saturation *count*
+        // makes the corruption observable, unlike silent wraparound.
+        let n = 16;
+        let h = 8;
+        let x: Vec<f32> = vec![2.0; n * h];
+        let (_, sats) = fixed_point_window_attention::<16>(&x, &x, &x, n, h, 4, 1.0);
+        assert!(sats > 0, "exp(32) must saturate Q15.16");
+    }
+
+    #[test]
+    fn ordering_matches_value_order() {
+        let vals = [-3.0f32, -0.5, 0.0, 0.125, 7.5];
+        for w in vals.windows(2) {
+            assert!(Q16::from_f32(w[0]) < Q16::from_f32(w[1]));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Numeric foundations for the SWAT reproduction.
+//!
+//! The SWAT accelerator (DAC 2024) computes attention in IEEE-754 binary16
+//! ("half precision", FP16) on FPGA DSP slices, with an FP32 variant for the
+//! GPU comparison. This crate provides:
+//!
+//! - [`F16`]: a software implementation of IEEE-754 binary16 with
+//!   round-to-nearest-even conversions, so the functional simulator performs
+//!   arithmetic with exactly the precision the hardware datapath has;
+//! - [`softmax`]: the softmax kernels used throughout the project, including
+//!   the *deferred-denominator* formulation (Equation 1 of the paper) that
+//!   enables kernel fusion;
+//! - [`error`]: numeric error metrics (ULP distance, relative error) used to
+//!   validate the fused kernels against references;
+//! - [`rng`]: a tiny deterministic RNG used where reproducibility matters
+//!   more than statistical quality.
+//!
+//! # Examples
+//!
+//! ```
+//! use swat_numeric::F16;
+//!
+//! let a = F16::from_f32(1.5);
+//! let b = F16::from_f32(2.25);
+//! assert_eq!((a + b).to_f32(), 3.75);
+//! // Half precision rounds: 1/3 is not representable.
+//! let third = F16::from_f32(1.0 / 3.0);
+//! assert!((third.to_f32() - 1.0 / 3.0).abs() > 0.0);
+//! ```
+
+pub mod error;
+pub mod f16;
+pub mod fixed;
+pub mod rng;
+pub mod softmax;
+
+pub use error::{max_abs_diff, max_rel_error, ulp_distance_f32};
+pub use f16::F16;
+pub use rng::SplitMix64;

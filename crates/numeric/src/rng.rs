@@ -1,0 +1,174 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The reproduction must be bit-for-bit repeatable across runs (the paper's
+//! "random attention" pattern in BigBird is *statically* random: indices are
+//! chosen once at design time). [`SplitMix64`] is a small, well-understood
+//! generator that is plenty for generating synthetic workloads and static
+//! random patterns without pulling `rand` into the lowest-level crate.
+
+/// The SplitMix64 generator of Steele, Lea & Flood (2014).
+///
+/// # Examples
+///
+/// ```
+/// use swat_numeric::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 high-quality bits -> exactly representable in f32.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn next_f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid range");
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// A uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// rejection-free approximation (bias is negligible for bound « 2⁶⁴).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Standard-normal sample via Box–Muller (one value per call; the
+    /// companion value is discarded for simplicity).
+    pub fn next_gaussian(&mut self) -> f32 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.next_f32().max(1e-7);
+        let u2 = self.next_f32();
+        (-2.0 * u1.ln()).sqrt() * (core::f32::consts::TAU * u2).cos()
+    }
+
+    /// Fills `out` with distinct indices drawn uniformly from `[0, n)`,
+    /// in ascending order (partial Fisher–Yates over a virtual range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        // Floyd's algorithm: O(k) expected insertions.
+        let mut chosen = std::collections::BTreeSet::new();
+        for j in (n - k)..n {
+            let t = self.next_below(j as u64 + 1) as usize;
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        chosen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f32_in_range() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = rng.next_f32_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(5);
+        for bound in [1u64, 2, 7, 100, 1 << 33] {
+            for _ in 0..100 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = SplitMix64::new(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = SplitMix64::new(17);
+        for _ in 0..50 {
+            let sample = rng.sample_distinct(100, 10);
+            assert_eq!(sample.len(), 10);
+            assert!(sample.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            assert!(sample.iter().all(|&i| i < 100));
+        }
+        // Degenerate cases.
+        assert_eq!(rng.sample_distinct(5, 5).len(), 5);
+        assert!(rng.sample_distinct(5, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_rejects_oversample() {
+        SplitMix64::new(0).sample_distinct(3, 4);
+    }
+}

@@ -1,0 +1,250 @@
+//! Softmax kernels, including the deferred-denominator formulation that
+//! enables SWAT's kernel fusion (Equation 1 of the paper).
+//!
+//! The standard softmax over a row `s` is
+//! `softmax(s)_j = exp(s_j) / Σ_l exp(s_l)`.
+//!
+//! The denominator couples every element of the row, which blocks fusing the
+//! QK → softmax → SV chain. SWAT's observation: treat the denominator as a
+//! scaling factor applied *after* the SV product,
+//!
+//! `Z_i = (1 / Σ_l exp(S_il)) · Σ_n exp(S_in) · V_n`
+//!
+//! so the exponentials stream through the pipeline row-major and a single
+//! division finishes the row. [`DeferredSoftmax`] implements that streaming
+//! accumulator; [`softmax_in_place`] and [`softmax_stable_in_place`] are the
+//! reference kernels.
+
+/// Computes softmax over `row` in place, *without* max-subtraction.
+///
+/// This mirrors what the SWAT hardware does (no running-max rescaling):
+/// exponentials are taken of raw scores. Attention scores are dot products
+/// of normalised embeddings and stay small in practice; tests cover the
+/// overflow behaviour explicitly.
+///
+/// # Examples
+///
+/// ```
+/// let mut row = [0.0f32, 0.0, 0.0, 0.0];
+/// swat_numeric::softmax::softmax_in_place(&mut row);
+/// assert!((row[0] - 0.25).abs() < 1e-6);
+/// ```
+pub fn softmax_in_place(row: &mut [f32]) {
+    let mut denom = 0.0f32;
+    for x in row.iter_mut() {
+        *x = x.exp();
+        denom += *x;
+    }
+    if denom > 0.0 {
+        let inv = 1.0 / denom;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Numerically stable softmax (subtracts the row maximum first).
+///
+/// Used as the golden reference when validating the hardware-style kernels:
+/// for inputs in the representable range both agree to rounding error, and
+/// the stable version never overflows.
+pub fn softmax_stable_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        // Empty row or all -inf: define the output as all zeros.
+        for x in row.iter_mut() {
+            *x = 0.0;
+        }
+        return;
+    }
+    let mut denom = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        denom += *x;
+    }
+    let inv = 1.0 / denom;
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Streaming accumulator implementing the deferred-denominator softmax of
+/// SWAT's fused kernel (Equation 1).
+///
+/// Feed `(score, value_row)` pairs with [`DeferredSoftmax::accumulate`];
+/// [`DeferredSoftmax::finish`] applies the single division that the DIV&OUT
+/// pipeline stage performs. The result equals
+/// `Σ_n softmax(s)_n · v_n` up to floating-point rounding.
+///
+/// # Examples
+///
+/// ```
+/// use swat_numeric::softmax::DeferredSoftmax;
+///
+/// let mut acc = DeferredSoftmax::new(2);
+/// acc.accumulate(0.0, &[1.0, 0.0]);
+/// acc.accumulate(0.0, &[0.0, 1.0]);
+/// let z = acc.finish();
+/// assert!((z[0] - 0.5).abs() < 1e-6 && (z[1] - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeferredSoftmax {
+    z: Vec<f32>,
+    row_sum: f32,
+}
+
+impl DeferredSoftmax {
+    /// Creates an accumulator for output vectors of dimension `dim`
+    /// (the head dimensionality `H` in the paper).
+    pub fn new(dim: usize) -> DeferredSoftmax {
+        DeferredSoftmax {
+            z: vec![0.0; dim],
+            row_sum: 0.0,
+        }
+    }
+
+    /// Accumulates one attended position: `z += exp(score) · v`,
+    /// `row_sum += exp(score)`. This is exactly what one attention core
+    /// contributes during the SV stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the accumulator dimension.
+    pub fn accumulate(&mut self, score: f32, v: &[f32]) {
+        assert_eq!(v.len(), self.z.len(), "value row dimension mismatch");
+        let e = score.exp();
+        self.row_sum += e;
+        for (zi, vi) in self.z.iter_mut().zip(v) {
+            *zi += e * vi;
+        }
+    }
+
+    /// The running Σ exp(s) (the ROWSUM pipeline output).
+    pub fn row_sum(&self) -> f32 {
+        self.row_sum
+    }
+
+    /// The unnormalised accumulator (the ZRED pipeline output).
+    pub fn partial(&self) -> &[f32] {
+        &self.z
+    }
+
+    /// Applies the deferred division and returns the attention output row.
+    ///
+    /// If nothing was accumulated the result is all zeros (an empty
+    /// attention window attends to nothing).
+    pub fn finish(self) -> Vec<f32> {
+        let mut z = self.z;
+        if self.row_sum > 0.0 {
+            let inv = 1.0 / self.row_sum;
+            for zi in &mut z {
+                *zi *= inv;
+            }
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn softmax_uniform() {
+        let mut row = [1.0f32; 8];
+        softmax_in_place(&mut row);
+        for x in row {
+            assert!((x - 0.125).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut row = [0.3f32, -1.2, 2.5, 0.0, 1.1];
+        softmax_in_place(&mut row);
+        let s: f32 = row.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stable_matches_unstable_for_moderate_inputs() {
+        let mut a = [0.5f32, -0.25, 1.75, 3.0, -2.0];
+        let mut b = a;
+        softmax_in_place(&mut a);
+        softmax_stable_in_place(&mut b);
+        assert_close(&a, &b, 1e-6);
+    }
+
+    #[test]
+    fn stable_survives_large_inputs() {
+        let mut row = [100.0f32, 99.0, 98.0];
+        softmax_stable_in_place(&mut row);
+        let s: f32 = row.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(row[0] > row[1] && row[1] > row[2]);
+    }
+
+    #[test]
+    fn deferred_equals_explicit_softmax_then_matmul() {
+        let scores = [0.3f32, -0.7, 1.2, 0.05];
+        let values = [
+            [1.0f32, 2.0, -1.0],
+            [0.5, -0.5, 0.25],
+            [-2.0, 1.0, 0.0],
+            [0.0, 0.0, 3.0],
+        ];
+
+        let mut acc = DeferredSoftmax::new(3);
+        for (s, v) in scores.iter().zip(&values) {
+            acc.accumulate(*s, v);
+        }
+        let fused = acc.finish();
+
+        let mut probs = scores;
+        softmax_in_place(&mut probs);
+        let mut reference = [0.0f32; 3];
+        for (p, v) in probs.iter().zip(&values) {
+            for (r, vi) in reference.iter_mut().zip(v) {
+                *r += p * vi;
+            }
+        }
+        assert_close(&fused, &reference, 1e-6);
+    }
+
+    #[test]
+    fn deferred_intermediate_accessors() {
+        let mut acc = DeferredSoftmax::new(1);
+        acc.accumulate(0.0, &[2.0]);
+        acc.accumulate(0.0, &[4.0]);
+        assert!((acc.row_sum() - 2.0).abs() < 1e-6);
+        assert!((acc.partial()[0] - 6.0).abs() < 1e-6);
+        assert!((acc.finish()[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deferred_empty_window_is_zero() {
+        let acc = DeferredSoftmax::new(4);
+        assert_eq!(acc.finish(), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn deferred_rejects_wrong_dim() {
+        let mut acc = DeferredSoftmax::new(2);
+        acc.accumulate(0.0, &[1.0]);
+    }
+
+    #[test]
+    fn empty_row_softmax_is_noop() {
+        let mut row: [f32; 0] = [];
+        softmax_in_place(&mut row);
+        softmax_stable_in_place(&mut row);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the binary16 implementation and softmax kernels.
+
+use proptest::prelude::*;
+use swat_numeric::f16::{f16_bits_to_f32, f32_to_f16_bits};
+use swat_numeric::softmax::{softmax_in_place, softmax_stable_in_place, DeferredSoftmax};
+use swat_numeric::{ulp_distance_f32, F16};
+
+/// Strategy for f32 values that fit comfortably inside binary16's range.
+fn in_range_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -60000.0f32..60000.0f32,
+        -1.0f32..1.0f32,
+        -1e-3f32..1e-3f32,
+    ]
+}
+
+/// Strategy for attention-score-like values (softmax inputs).
+fn score() -> impl Strategy<Value = f32> {
+    -8.0f32..8.0f32
+}
+
+proptest! {
+    /// f16 -> f32 -> f16 is the identity for every non-NaN value.
+    #[test]
+    fn widen_narrow_roundtrip(bits in any::<u16>()) {
+        let x = F16::from_bits(bits);
+        prop_assume!(!x.is_nan());
+        prop_assert_eq!(F16::from_f32(x.to_f32()).to_bits(), bits);
+    }
+
+    /// Conversion from f32 is monotone: a <= b implies f16(a) <= f16(b).
+    #[test]
+    fn conversion_is_monotone(a in in_range_f32(), b in in_range_f32()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo) <= F16::from_f32(hi));
+    }
+
+    /// Round-to-nearest: the f16 result is within half an f16 ULP of the
+    /// original value (for values in the normal range).
+    #[test]
+    fn conversion_is_nearest(x in -60000.0f32..60000.0f32) {
+        let r = F16::from_f32(x).to_f32();
+        let next = F16::from_bits(f32_to_f16_bits(x).wrapping_add(1));
+        // r is representable, and no other representable value is closer.
+        let err = (r - x).abs();
+        if next.is_finite() {
+            prop_assert!(err <= (next.to_f32() - r).abs().max(f32::EPSILON));
+        }
+    }
+
+    /// Addition is commutative (it rounds, but symmetrically).
+    #[test]
+    fn addition_commutes(a in in_range_f32(), b in in_range_f32()) {
+        let (x, y) = (F16::from_f32(a), F16::from_f32(b));
+        let lhs = x + y;
+        let rhs = y + x;
+        if !lhs.is_nan() {
+            prop_assert_eq!(lhs.to_bits() & 0x7FFF, rhs.to_bits() & 0x7FFF);
+        }
+    }
+
+    /// Multiplication by one is exact.
+    #[test]
+    fn mul_identity(a in in_range_f32()) {
+        let x = F16::from_f32(a);
+        prop_assert_eq!((x * F16::ONE).to_bits(), x.to_bits());
+    }
+
+    /// Negation is an exact involution.
+    #[test]
+    fn neg_involution(bits in any::<u16>()) {
+        let x = F16::from_bits(bits);
+        prop_assert_eq!((-(-x)).to_bits(), bits);
+    }
+
+    /// |x| is non-negative and idempotent.
+    #[test]
+    fn abs_properties(bits in any::<u16>()) {
+        let x = F16::from_bits(bits);
+        prop_assert!(x.abs().is_sign_positive());
+        prop_assert_eq!(x.abs().abs().to_bits(), x.abs().to_bits());
+    }
+
+    /// The exact bit conversion round trips through the helper functions.
+    #[test]
+    fn bit_helpers_agree_with_type(x in in_range_f32()) {
+        prop_assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(x)),
+            F16::from_f32(x).to_f32()
+        );
+    }
+
+    /// total_cmp is a total order consistent with partial_cmp on numbers.
+    #[test]
+    fn total_cmp_consistent(a in in_range_f32(), b in in_range_f32()) {
+        let (x, y) = (F16::from_f32(a), F16::from_f32(b));
+        if x < y {
+            prop_assert_eq!(x.total_cmp(y), std::cmp::Ordering::Less);
+        } else if x > y {
+            prop_assert_eq!(x.total_cmp(y), std::cmp::Ordering::Greater);
+        }
+    }
+
+    /// Softmax outputs are a probability distribution.
+    #[test]
+    fn softmax_is_distribution(row in proptest::collection::vec(score(), 1..64)) {
+        let mut r = row.clone();
+        softmax_in_place(&mut r);
+        let sum: f32 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {}", sum);
+        prop_assert!(r.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    /// Stable and plain softmax agree for in-range scores.
+    #[test]
+    fn softmax_stable_agrees(row in proptest::collection::vec(score(), 1..64)) {
+        let mut a = row.clone();
+        let mut b = row.clone();
+        softmax_in_place(&mut a);
+        softmax_stable_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+        }
+    }
+
+    /// Softmax is invariant under a constant shift of the scores.
+    #[test]
+    fn softmax_shift_invariant(
+        row in proptest::collection::vec(score(), 1..32),
+        shift in -4.0f32..4.0f32,
+    ) {
+        let mut a = row.clone();
+        let mut b: Vec<f32> = row.iter().map(|x| x + shift).collect();
+        softmax_stable_in_place(&mut a);
+        softmax_stable_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// The deferred-denominator accumulator (Equation 1) matches softmax
+    /// followed by the weighted sum, for any scores and values.
+    #[test]
+    fn deferred_softmax_equals_reference(
+        pairs in proptest::collection::vec((score(), proptest::collection::vec(-2.0f32..2.0, 4)), 1..48)
+    ) {
+        let mut acc = DeferredSoftmax::new(4);
+        for (s, v) in &pairs {
+            acc.accumulate(*s, v);
+        }
+        let fused = acc.finish();
+
+        let mut probs: Vec<f32> = pairs.iter().map(|(s, _)| *s).collect();
+        softmax_in_place(&mut probs);
+        let mut reference = vec![0.0f32; 4];
+        for (p, (_, v)) in probs.iter().zip(&pairs) {
+            for (r, vi) in reference.iter_mut().zip(v) {
+                *r += p * vi;
+            }
+        }
+        for (f, r) in fused.iter().zip(&reference) {
+            prop_assert!((f - r).abs() < 1e-4, "{} vs {}", f, r);
+        }
+    }
+
+    /// ULP distance is symmetric and zero iff bitwise-equal (mod signed zero).
+    #[test]
+    fn ulp_symmetric(a in in_range_f32(), b in in_range_f32()) {
+        prop_assert_eq!(ulp_distance_f32(a, b), ulp_distance_f32(b, a));
+        prop_assert_eq!(ulp_distance_f32(a, a), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! A minimal row-major matrix library with precision-aware GEMM.
+//!
+//! The SWAT reproduction needs exactly the linear algebra an attention
+//! accelerator exercises: dense matrix products (`Q·Kᵀ`, `S'·V`, linear
+//! layers), row-wise softmax, transposes, and element-wise maps — over both
+//! `f32` and software binary16 ([`swat_numeric::F16`]). Nothing more, so we
+//! build it rather than pull in a tensor framework.
+//!
+//! Precision handling matters here: the FPGA's FP16 MAC accumulates in
+//! binary16 (rounding after every multiply and every add), while a software
+//! reference accumulates in `f32`/`f64`. [`ops::gemm`] follows the element
+//! type (hardware-faithful); [`ops::gemm_f32_acc`] accumulates in `f32`
+//! regardless of the element type (software-reference behaviour).
+//!
+//! # Examples
+//!
+//! ```
+//! use swat_tensor::{Matrix, ops};
+//!
+//! let a = Matrix::from_rows(&[&[1.0f32, 2.0][..], &[3.0, 4.0][..]]);
+//! let b = Matrix::identity(2);
+//! let c = ops::gemm(&a, &b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod matrix;
+pub mod ops;
+pub mod scalar;
+pub mod solve;
+
+pub use matrix::Matrix;
+pub use scalar::Scalar;

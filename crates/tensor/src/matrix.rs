@@ -1,0 +1,364 @@
+//! Dense row-major matrices.
+
+use crate::scalar::Scalar;
+use core::fmt;
+
+/// A dense, row-major matrix over a [`Scalar`] element type.
+///
+/// Row-major layout is deliberate: SWAT's entire dataflow is row-major
+/// (Section 3.2 of the paper), so `Q`, `K`, `V` rows are contiguous slices
+/// that map directly onto the accelerator's per-row streaming.
+///
+/// # Examples
+///
+/// ```
+/// use swat_tensor::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix<T> {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Matrix<T> {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, T::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Matrix<T> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[T]]) -> Matrix<T> {
+        let cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has inconsistent length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix taking ownership of a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Matrix<T> {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: T) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Row `i` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(i < self.rows, "row {i} out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        assert!(i < self.rows, "row {i} out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns the row-major storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Element-wise map into a (possibly different) scalar type.
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Converts every element to `f32` (lossless for f32/F16 sources).
+    pub fn to_f32(&self) -> Matrix<f32> {
+        self.map(|x| x.to_f32())
+    }
+
+    /// Rounds every element through binary16 and back, staying in this
+    /// scalar type. Used to model loading full-precision data into FP16
+    /// hardware buffers.
+    pub fn quantize_f16(&self) -> Matrix<T> {
+        self.map(|x| T::from_f32(swat_numeric::F16::from_f32(x.to_f32()).to_f32()))
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a.add(b))
+                .collect(),
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: T) -> Matrix<T> {
+        self.map(|x| x.mul(s))
+    }
+
+    /// Maximum absolute element-wise difference, computed in `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix<T>) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f32() - b.to_f32()).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Frobenius norm, computed in `f64`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|x| {
+                let v = f64::from(x.to_f32());
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix<{}> {}x{} [", T::NAME, self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for i in 0..show_rows {
+            let row = self.row(i);
+            let shown: Vec<f32> = row.iter().take(8).map(|x| x.to_f32()).collect();
+            let ellipsis = if self.cols > 8 { ", ..." } else { "" };
+            writeln!(f, "  {shown:?}{ellipsis}")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ... ({} more rows)", self.rows - show_rows)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_numeric::F16;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as f32);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.get(2, 3), 23.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn identity_has_ones_on_diagonal() {
+        let id = Matrix::<f32>::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(id.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_and_from_vec_agree() {
+        let a = Matrix::from_rows(&[&[1.0f32, 2.0][..], &[3.0, 4.0][..]]);
+        let b = Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0f32, 2.0][..], &[3.0][..]]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn set_and_row_mut() {
+        let mut m = Matrix::<f32>::zeros(2, 2);
+        m.set(0, 1, 7.0);
+        m.row_mut(1)[0] = 3.0;
+        assert_eq!(m.get(0, 1), 7.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let b = a.scale(2.0);
+        assert_eq!(b.get(1, 1), 8.0);
+        let c = a.add(&a);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn quantize_f16_rounds() {
+        let a = Matrix::from_vec(1, 2, vec![1.0f32 / 3.0, 1.0]);
+        let q = a.quantize_f16();
+        assert_eq!(q.get(0, 0), F16::from_f32(1.0 / 3.0).to_f32());
+        assert_eq!(q.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn f16_matrix_roundtrip() {
+        let m = Matrix::from_fn(2, 2, |i, j| F16::from_f32((i + j) as f32 * 0.5));
+        let f = m.to_f32();
+        assert_eq!(f.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn iter_rows_covers_all() {
+        let m = Matrix::from_fn(4, 2, |i, _| i as f32);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3], &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let a = Matrix::from_vec(1, 2, vec![3.0f32, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-9);
+        let b = Matrix::from_vec(1, 2, vec![3.0f32, 4.5]);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = Matrix::<f32>::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let m = Matrix::<f32>::zeros(10, 10);
+        let s = format!("{m:?}");
+        assert!(s.contains("10x10"));
+        assert!(s.contains("more rows"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Matrix kernels: GEMM variants, dot products and row-wise softmax.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Dot product accumulated in the element precision `T`.
+///
+/// For `T = F16` this rounds after every multiply and every add — the exact
+/// behaviour of SWAT's FP16 MAC in the QK stage.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(T::ZERO, |acc, (&x, &y)| acc.add(x.mul(y)))
+}
+
+/// Dot product accumulated in `f32` (software-reference behaviour).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_f32_acc<T: Scalar>(a: &[T], b: &[T]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |acc, (&x, &y)| acc + x.to_f32() * y.to_f32())
+}
+
+/// `A · B` with accumulation in the element precision.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
+    // Transpose b so both operands stream row-major.
+    let bt = b.transpose();
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| dot(a.row(i), bt.row(j)))
+}
+
+/// `A · B` with `f32` accumulation regardless of element type.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm_f32_acc<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<f32> {
+    assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
+    let bt = b.transpose();
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| dot_f32_acc(a.row(i), bt.row(j)))
+}
+
+/// `A · Bᵀ` with accumulation in the element precision.
+///
+/// This is the natural operation for attention scores `S = Q · Kᵀ`: both `Q`
+/// and `K` are stored row-major, so no transpose materialisation is needed.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn gemm_bt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.cols(), "gemm_bt inner dimension mismatch");
+    Matrix::from_fn(a.rows(), b.rows(), |i, j| dot(a.row(i), b.row(j)))
+}
+
+/// Row-wise softmax (no max-subtraction, matching the hardware datapath),
+/// computed in the element precision.
+pub fn softmax_rows<T: Scalar>(m: &Matrix<T>) -> Matrix<T> {
+    let mut out = m.clone();
+    for i in 0..m.rows() {
+        let row = out.row_mut(i);
+        let mut denom = T::ZERO;
+        for x in row.iter_mut() {
+            *x = x.exp();
+            denom = denom.add(*x);
+        }
+        if denom.to_f32() > 0.0 {
+            for x in row.iter_mut() {
+                *x = x.div(denom);
+            }
+        }
+    }
+    out
+}
+
+/// Numerically stable row-wise softmax computed in `f32`, for golden
+/// references.
+pub fn softmax_rows_stable(m: &Matrix<f32>) -> Matrix<f32> {
+    let mut out = m.clone();
+    for i in 0..m.rows() {
+        swat_numeric::softmax::softmax_stable_in_place(out.row_mut(i));
+    }
+    out
+}
+
+/// Blocked GEMM with `f32` accumulation; same result as [`gemm_f32_acc`] up
+/// to floating-point reassociation, but cache-friendly for the larger
+/// matrices in the benchmark harness.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm_blocked(a: &Matrix<f32>, b: &Matrix<f32>, block: usize) -> Matrix<f32> {
+    assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
+    assert!(block > 0, "block size must be positive");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    for i0 in (0..m).step_by(block) {
+        for k0 in (0..k).step_by(block) {
+            for j0 in (0..n).step_by(block) {
+                for i in i0..(i0 + block).min(m) {
+                    let arow = a.row(i);
+                    for kk in k0..(k0 + block).min(k) {
+                        let aik = arow[kk];
+                        let brow = b.row(kk);
+                        let orow = &mut out[i * n..(i + 1) * n];
+                        for j in j0..(j0 + block).min(n) {
+                            orow[j] += aik * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_vec(m, n, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_numeric::F16;
+
+    fn small() -> (Matrix<f32>, Matrix<f32>) {
+        let a = Matrix::from_rows(&[&[1.0f32, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]);
+        let b = Matrix::from_rows(&[
+            &[7.0f32, 8.0][..],
+            &[9.0, 10.0][..],
+            &[11.0, 12.0][..],
+        ]);
+        (a, b)
+    }
+
+    #[test]
+    fn gemm_known_result() {
+        let (a, b) = small();
+        let c = gemm(&a, &b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let (a, _) = small();
+        let id = Matrix::identity(3);
+        assert_eq!(gemm(&a, &id), a);
+    }
+
+    #[test]
+    fn gemm_bt_matches_explicit_transpose() {
+        let (a, b) = small();
+        let bt = b.transpose();
+        assert_eq!(gemm_bt(&a, &bt), gemm(&a, &b));
+    }
+
+    #[test]
+    fn gemm_f32_acc_matches_for_f32() {
+        let (a, b) = small();
+        assert_eq!(gemm_f32_acc(&a, &b), gemm(&a, &b));
+    }
+
+    #[test]
+    fn gemm_blocked_matches_naive() {
+        let a = Matrix::from_fn(17, 13, |i, j| ((i * 13 + j) % 7) as f32 - 3.0);
+        let b = Matrix::from_fn(13, 19, |i, j| ((i * 19 + j) % 5) as f32 - 2.0);
+        let naive = gemm(&a, &b);
+        for block in [1, 2, 4, 8, 64] {
+            let blocked = gemm_blocked(&a, &b, block);
+            assert!(naive.max_abs_diff(&blocked) < 1e-4, "block {block}");
+        }
+    }
+
+    #[test]
+    fn f16_gemm_rounds_accumulation() {
+        // Accumulating 4096 ones overflows nothing but loses precision after
+        // 2048 in binary16 (ULP grows to 2 at 2048): 2048 + 1 -> 2048.
+        let n = 4096;
+        let a = Matrix::from_fn(1, n, |_, _| F16::ONE);
+        let b = Matrix::from_fn(n, 1, |_, _| F16::ONE);
+        let c = gemm(&a, &b);
+        assert_eq!(c.get(0, 0).to_f32(), 2048.0, "f16 accumulator saturates");
+        let c32 = gemm_f32_acc(&a, &b);
+        assert_eq!(c32.get(0, 0), n as f32, "f32 accumulator is exact");
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let m = Matrix::from_fn(5, 9, |i, j| ((i + j) % 4) as f32 * 0.7 - 1.0);
+        let s = softmax_rows(&m);
+        for i in 0..s.rows() {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn stable_softmax_agrees_with_plain() {
+        let m = Matrix::from_fn(3, 7, |i, j| (i as f32 - j as f32) * 0.3);
+        let a = softmax_rows(&m);
+        let b = softmax_rows_stable(&m);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_shape_mismatch_panics() {
+        let a = Matrix::<f32>::zeros(2, 3);
+        let b = Matrix::<f32>::zeros(2, 3);
+        let _ = gemm(&a, &b);
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0f32, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot_f32_acc(&[1.0f32, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let a = Matrix::<f32>::zeros(0, 5);
+        let b = Matrix::<f32>::zeros(5, 0);
+        let c = gemm(&a, &b);
+        assert_eq!(c.shape(), (0, 0));
+    }
+}

@@ -1,0 +1,233 @@
+//! The [`Scalar`] trait: the numeric element types the simulator supports.
+
+use swat_numeric::F16;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for swat_numeric::F16 {}
+}
+
+/// Element type of a [`crate::Matrix`].
+///
+/// Sealed: the set of supported scalars (`f32`, `f64`, [`F16`]) is fixed by
+/// this crate, mirroring the datatypes the SWAT hardware configurations
+/// support (FP16 and FP32; `f64` exists for golden references).
+///
+/// All arithmetic goes through these methods so that binary16 rounds after
+/// every operation, exactly like the FPGA datapath.
+///
+/// # Examples
+///
+/// ```
+/// use swat_tensor::Scalar;
+///
+/// fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+///     a.iter().zip(b).fold(T::ZERO, |acc, (&x, &y)| acc.add(x.mul(y)))
+/// }
+/// assert_eq!(dot(&[1.0f32, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub trait Scalar: Copy + PartialEq + PartialOrd + core::fmt::Debug + Send + Sync + 'static + sealed::Sealed {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Human-readable name of the precision ("fp16", "fp32", "fp64").
+    const NAME: &'static str;
+    /// Bytes occupied by one element in memory traffic accounting.
+    const BYTES: usize;
+
+    /// Converts from `f32`, rounding if necessary.
+    fn from_f32(x: f32) -> Self;
+    /// Converts to `f32` (exact for f32 and F16; rounds for f64).
+    fn to_f32(self) -> f32;
+    /// Addition in this precision.
+    fn add(self, rhs: Self) -> Self;
+    /// Subtraction in this precision.
+    fn sub(self, rhs: Self) -> Self;
+    /// Multiplication in this precision.
+    fn mul(self, rhs: Self) -> Self;
+    /// Division in this precision.
+    fn div(self, rhs: Self) -> Self;
+    /// Exponential in this precision.
+    fn exp(self) -> Self;
+    /// Maximum (NaN loses).
+    fn max(self, rhs: Self) -> Self;
+    /// Returns `true` if the value is finite.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f32 {
+    const ZERO: f32 = 0.0;
+    const ONE: f32 = 1.0;
+    const NAME: &'static str = "fp32";
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn from_f32(x: f32) -> f32 {
+        x
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn add(self, rhs: f32) -> f32 {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: f32) -> f32 {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: f32) -> f32 {
+        self * rhs
+    }
+    #[inline]
+    fn div(self, rhs: f32) -> f32 {
+        self / rhs
+    }
+    #[inline]
+    fn exp(self) -> f32 {
+        f32::exp(self)
+    }
+    #[inline]
+    fn max(self, rhs: f32) -> f32 {
+        f32::max(self, rhs)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    const NAME: &'static str = "fp64";
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn from_f32(x: f32) -> f64 {
+        f64::from(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn add(self, rhs: f64) -> f64 {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: f64) -> f64 {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: f64) -> f64 {
+        self * rhs
+    }
+    #[inline]
+    fn div(self, rhs: f64) -> f64 {
+        self / rhs
+    }
+    #[inline]
+    fn exp(self) -> f64 {
+        f64::exp(self)
+    }
+    #[inline]
+    fn max(self, rhs: f64) -> f64 {
+        f64::max(self, rhs)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for F16 {
+    const ZERO: F16 = F16::ZERO;
+    const ONE: F16 = F16::ONE;
+    const NAME: &'static str = "fp16";
+    const BYTES: usize = 2;
+
+    #[inline]
+    fn from_f32(x: f32) -> F16 {
+        F16::from_f32(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        F16::to_f32(self)
+    }
+    #[inline]
+    fn add(self, rhs: F16) -> F16 {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: F16) -> F16 {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: F16) -> F16 {
+        self * rhs
+    }
+    #[inline]
+    fn div(self, rhs: F16) -> F16 {
+        self / rhs
+    }
+    #[inline]
+    fn exp(self) -> F16 {
+        F16::exp(self)
+    }
+    #[inline]
+    fn max(self, rhs: F16) -> F16 {
+        F16::max(self, rhs)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        F16::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<T: Scalar>() {
+        assert_eq!(T::ZERO.add(T::ONE).to_f32(), 1.0);
+        assert_eq!(T::ONE.mul(T::ONE).to_f32(), 1.0);
+        assert_eq!(T::ONE.sub(T::ONE).to_f32(), 0.0);
+        assert_eq!(T::ONE.div(T::ONE).to_f32(), 1.0);
+        assert!((T::ZERO.exp().to_f32() - 1.0).abs() < 1e-6);
+        assert_eq!(T::ZERO.max(T::ONE).to_f32(), 1.0);
+        assert!(T::ONE.is_finite());
+        assert!(!T::NAME.is_empty());
+        assert!(T::BYTES >= 2);
+    }
+
+    #[test]
+    fn all_scalars_behave() {
+        exercise::<f32>();
+        exercise::<f64>();
+        exercise::<F16>();
+    }
+
+    #[test]
+    fn f16_scalar_rounds() {
+        let big = F16::from_f32(1024.0);
+        let tiny = F16::from_f32(0.125);
+        // 1024 + 0.125 rounds back to 1024 in binary16 (ULP at 1024 is 1.0,
+        // and 0.125 < half an ULP).
+        assert_eq!(Scalar::add(big, tiny).to_f32(), 1024.0);
+        // ...but not in f32.
+        assert_ne!(1024.0f32 + 0.125, 1024.0);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(<F16 as Scalar>::BYTES, 2);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+    }
+}

@@ -1,0 +1,257 @@
+//! Symmetric positive-definite linear solves (Cholesky), used by the
+//! closed-form ridge-regression readout in the accuracy-proxy experiments.
+
+use crate::matrix::Matrix;
+use core::fmt;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefiniteError {
+    /// The pivot index where factorisation failed.
+    pub pivot: usize,
+}
+
+impl fmt::Display for NotPositiveDefiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefiniteError {}
+
+/// Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix, computed in `f64` for robustness.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] if a pivot is non-positive.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn cholesky(a: &Matrix<f64>) -> Result<Matrix<f64>, NotPositiveDefiniteError> {
+    assert_eq!(a.rows(), a.cols(), "cholesky needs a square matrix");
+    let n = a.rows();
+    let mut l = Matrix::<f64>::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(NotPositiveDefiniteError { pivot: i });
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A·x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] if `A` is not positive definite.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn solve_spd(a: &Matrix<f64>, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefiniteError> {
+    assert_eq!(a.rows(), b.len(), "rhs length must match matrix size");
+    let l = cholesky(a)?;
+    let n = b.len();
+    // Forward substitution: L·y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * y[k];
+        }
+        y[i] = sum / l.get(i, i);
+    }
+    // Back substitution: Lᵀ·x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Ridge regression: solves `(XᵀX + λI)·w = Xᵀ·y` in `f64`.
+///
+/// Rows of `x` are samples; `y` is one target per sample. Returns the
+/// weight vector `w` with `x.cols()` entries.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] if the regularised normal matrix
+/// is numerically singular (practically impossible for `lambda > 0`).
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.rows()` or `lambda < 0`.
+pub fn ridge_fit(
+    x: &Matrix<f32>,
+    y: &[f32],
+    lambda: f64,
+) -> Result<Vec<f64>, NotPositiveDefiniteError> {
+    assert_eq!(x.rows(), y.len(), "one target per sample");
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    let (n, d) = x.shape();
+    // Normal matrix XᵀX + λI in f64.
+    let mut gram = Matrix::<f64>::zeros(d, d);
+    for s in 0..n {
+        let row = x.row(s);
+        for i in 0..d {
+            let xi = f64::from(row[i]);
+            for j in 0..=i {
+                let v = gram.get(i, j) + xi * f64::from(row[j]);
+                gram.set(i, j, v);
+            }
+        }
+    }
+    for i in 0..d {
+        for j in (i + 1)..d {
+            gram.set(i, j, gram.get(j, i));
+        }
+        gram.set(i, i, gram.get(i, i) + lambda);
+    }
+    // Xᵀy.
+    let mut rhs = vec![0.0f64; d];
+    for s in 0..n {
+        let row = x.row(s);
+        for i in 0..d {
+            rhs[i] += f64::from(row[i]) * f64::from(y[s]);
+        }
+    }
+    solve_spd(&gram, &rhs)
+}
+
+/// Applies a ridge weight vector: `x · w`.
+///
+/// # Panics
+///
+/// Panics if `w.len() != x.cols()`.
+pub fn ridge_predict(x: &Matrix<f32>, w: &[f64]) -> Vec<f64> {
+    assert_eq!(x.cols(), w.len(), "weight dimension mismatch");
+    (0..x.rows())
+        .map(|i| {
+            x.row(i)
+                .iter()
+                .zip(w)
+                .map(|(a, b)| f64::from(*a) * b)
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_numeric::SplitMix64;
+
+    fn spd(n: usize, seed: u64) -> Matrix<f64> {
+        // A = B·Bᵀ + n·I is SPD for any B.
+        let mut rng = SplitMix64::new(seed);
+        let b = Matrix::<f64>::from_fn(n, n, |_, _| f64::from(rng.next_gaussian()));
+        let mut a = Matrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b.get(i, k) * b.get(j, k);
+                }
+                a.set(i, j, s + if i == j { n as f64 } else { 0.0 });
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(8, 1);
+        let l = cholesky(&a).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut s = 0.0;
+                for k in 0..8 {
+                    s += l.get(i, k) * l.get(j, k);
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-9, "({i},{j})");
+            }
+            // L is lower triangular.
+            for j in (i + 1)..8 {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(6, 2);
+        let x_true: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let b: Vec<f64> = (0..6)
+            .map(|i| (0..6).map(|j| a.get(i, j) * x_true[j]).sum())
+            .collect();
+        let x = solve_spd(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let mut a = Matrix::<f64>::identity(3);
+        a.set(2, 2, -1.0);
+        assert!(cholesky(&a).is_err());
+        assert_eq!(cholesky(&a).unwrap_err().pivot, 2);
+    }
+
+    #[test]
+    fn ridge_fits_a_linear_function() {
+        let mut rng = SplitMix64::new(3);
+        let n = 200;
+        let d = 5;
+        let w_true = [0.5f32, -1.0, 2.0, 0.0, 0.25];
+        let x = Matrix::from_fn(n, d, |_, _| rng.next_gaussian());
+        let y: Vec<f32> = (0..n)
+            .map(|i| {
+                x.row(i).iter().zip(&w_true).map(|(a, b)| a * b).sum::<f32>()
+                    + 0.01 * rng.next_gaussian()
+            })
+            .collect();
+        let w = ridge_fit(&x, &y, 1e-3).unwrap();
+        for (got, want) in w.iter().zip(&w_true) {
+            assert!((got - f64::from(*want)).abs() < 0.05, "{got} vs {want}");
+        }
+        // Predictions track targets.
+        let pred = ridge_predict(&x, &w);
+        let mse: f64 = pred
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - f64::from(*t)).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mse < 1e-3, "mse {mse}");
+    }
+
+    #[test]
+    fn ridge_regularization_shrinks_weights() {
+        let mut rng = SplitMix64::new(4);
+        let x = Matrix::from_fn(50, 3, |_, _| rng.next_gaussian());
+        let y: Vec<f32> = (0..50).map(|i| x.get(i, 0)).collect();
+        let w_small = ridge_fit(&x, &y, 1e-6).unwrap();
+        let w_big = ridge_fit(&x, &y, 1e3).unwrap();
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(&w_big) < norm(&w_small));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the matrix kernels.
+
+use proptest::prelude::*;
+use swat_numeric::F16;
+use swat_tensor::{ops, Matrix};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) up to floating-point tolerance.
+    #[test]
+    fn gemm_associative(
+        (m, k, n) in dims(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = swat_numeric::SplitMix64::new(seed);
+        let a = Matrix::from_fn(m, k, |_, _| rng.next_f32_in(-1.0, 1.0));
+        let b = Matrix::from_fn(k, n, |_, _| rng.next_f32_in(-1.0, 1.0));
+        let c = Matrix::from_fn(n, 3, |_, _| rng.next_f32_in(-1.0, 1.0));
+        let left = ops::gemm(&ops::gemm(&a, &b), &c);
+        let right = ops::gemm(&a, &ops::gemm(&b, &c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    /// GEMM is linear in its first argument: (A + A')·B == A·B + A'·B.
+    #[test]
+    fn gemm_distributes(seed in any::<u64>(), (m, k, n) in dims()) {
+        let mut rng = swat_numeric::SplitMix64::new(seed);
+        let a1 = Matrix::from_fn(m, k, |_, _| rng.next_f32_in(-1.0, 1.0));
+        let a2 = Matrix::from_fn(m, k, |_, _| rng.next_f32_in(-1.0, 1.0));
+        let b = Matrix::from_fn(k, n, |_, _| rng.next_f32_in(-1.0, 1.0));
+        let lhs = ops::gemm(&a1.add(&a2), &b);
+        let rhs = ops::gemm(&a1, &b).add(&ops::gemm(&a2, &b));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    /// Transposition anti-commutes with multiplication: (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn gemm_transpose_law(a in matrix(5, 4), b in matrix(4, 6)) {
+        let lhs = ops::gemm(&a, &b).transpose();
+        let rhs = ops::gemm(&b.transpose(), &a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-5);
+    }
+
+    /// gemm_bt(A, B) == A · Bᵀ.
+    #[test]
+    fn gemm_bt_definition(a in matrix(5, 7), b in matrix(6, 7)) {
+        let lhs = ops::gemm_bt(&a, &b);
+        let rhs = ops::gemm(&a, &b.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-5);
+    }
+
+    /// Blocked GEMM agrees with the naive kernel for arbitrary block sizes.
+    #[test]
+    fn blocked_gemm_agrees(a in matrix(9, 8), b in matrix(8, 7), block in 1usize..16) {
+        let naive = ops::gemm(&a, &b);
+        let blocked = ops::gemm_blocked(&a, &b, block);
+        prop_assert!(naive.max_abs_diff(&blocked) < 1e-4);
+    }
+
+    /// F16 GEMM is within the rounding envelope of the f32 reference:
+    /// the per-element error is bounded by k * eps_f16 * magnitude bound.
+    #[test]
+    fn f16_gemm_close_to_f32(seed in any::<u64>(), (m, k, n) in dims()) {
+        let mut rng = swat_numeric::SplitMix64::new(seed);
+        let a32 = Matrix::from_fn(m, k, |_, _| rng.next_f32_in(-1.0, 1.0));
+        let b32 = Matrix::from_fn(k, n, |_, _| rng.next_f32_in(-1.0, 1.0));
+        let a16 = a32.map(F16::from_f32);
+        let b16 = b32.map(F16::from_f32);
+        let exact = ops::gemm(&a32.quantize_f16(), &b32.quantize_f16());
+        let half = ops::gemm(&a16, &b16).to_f32();
+        // Error bound: each of the k MACs can lose at most ~1 ULP of the
+        // running magnitude (<= k), so eps * k^2 is a safe envelope.
+        let bound = (k as f32) * (k as f32) * (2.0f32.powi(-11)) + 1e-4;
+        prop_assert!(exact.max_abs_diff(&half) <= bound,
+            "diff {} > bound {}", exact.max_abs_diff(&half), bound);
+    }
+
+    /// Softmax rows sum to one for any finite input.
+    #[test]
+    fn softmax_rows_distribution(m in matrix(4, 10)) {
+        let s = ops::softmax_rows(&m);
+        for i in 0..s.rows() {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! A small radix-2 FFT, used by the FNet-style Fourier-mixing baseline in
+//! the fidelity experiment (the algorithmic core of the Butterfly
+//! accelerator's FFT-BTF engine).
+
+/// A complex number, kept minimal on purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub const fn new(re: f32, im: f32) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(&self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use swat_workloads::fourier::{fft, Complex};
+///
+/// let mut data = vec![Complex::new(1.0, 0.0); 8];
+/// fft(&mut data);
+/// // FFT of a constant: all energy in bin 0.
+/// assert!((data[0].re - 8.0).abs() < 1e-5);
+/// assert!(data[1].norm_sq() < 1e-9);
+/// ```
+pub fn fft(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (includes the 1/n normalisation).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f32;
+    for x in data.iter_mut() {
+        x.re /= n;
+        x.im /= n;
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly stages — the literal structure the Butterfly accelerator's
+    // FFT engines implement in hardware.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * core::f32::consts::TAU / len as f32;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let t = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(t);
+                data[start + k + len / 2] = u.sub(t);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// FNet-style Fourier token mixing: FFT along the sequence axis for every
+/// feature column, keeping the real part (Lee-Thorp et al., the mechanism
+/// the Butterfly baseline approximates SoftMax attention with).
+///
+/// # Panics
+///
+/// Panics if the number of rows is not a power of two.
+pub fn fourier_mix(x: &swat_tensor::Matrix<f32>) -> swat_tensor::Matrix<f32> {
+    let n = x.rows();
+    let d = x.cols();
+    let mut out = swat_tensor::Matrix::<f32>::zeros(n, d);
+    let mut column = vec![Complex::default(); n];
+    for j in 0..d {
+        for i in 0..n {
+            column[i] = Complex::new(x.get(i, j), 0.0);
+        }
+        fft(&mut column);
+        for i in 0..n {
+            out.set(i, j, column[i].re / (n as f32).sqrt());
+        }
+    }
+    out
+}
+
+/// Naive O(n²) DFT, used only to validate the FFT in tests.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (j, x) in input.iter().enumerate() {
+                let angle = -core::f32::consts::TAU * (k * j) as f32 / n as f32;
+                acc = acc.add(x.mul(Complex::new(angle.cos(), angle.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_numeric::SplitMix64;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| Complex::new(rng.next_gaussian(), rng.next_gaussian()))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            let signal = random_signal(n, n as u64);
+            let expect = dft_naive(&signal);
+            let mut got = signal.clone();
+            fft(&mut got);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(
+                    (g.re - e.re).abs() < 1e-2 && (g.im - e.im).abs() < 1e-2,
+                    "n={n}: {g:?} vs {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let signal = random_signal(128, 7);
+        let mut data = signal.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (g, e) in data.iter().zip(&signal) {
+            assert!((g.re - e.re).abs() < 1e-4 && (g.im - e.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let signal = random_signal(64, 9);
+        let time_energy: f32 = signal.iter().map(Complex::norm_sq).sum();
+        let mut freq = signal.clone();
+        fft(&mut freq);
+        let freq_energy: f32 = freq.iter().map(Complex::norm_sq).sum::<f32>() / 64.0;
+        assert!(
+            (time_energy - freq_energy).abs() / time_energy < 1e-4,
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut data = vec![Complex::default(); 16];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data);
+        for x in &data {
+            assert!((x.re - 1.0).abs() < 1e-5 && x.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fourier_mix_shapes_and_determinism() {
+        let x = swat_tensor::Matrix::from_fn(32, 4, |i, j| ((i + j) % 5) as f32);
+        let a = fourier_mix(&x);
+        let b = fourier_mix(&x);
+        assert_eq!(a.shape(), (32, 4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::default(); 12];
+        fft(&mut data);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic workloads, fidelity experiments and recorded accuracy tables
+//! for the SWAT reproduction.
+//!
+//! The paper's accuracy evaluation (Tables 3 and 4) trains Longformer,
+//! BigBird and Butterfly models on LRA and ImageNet-1K. Training those
+//! models is outside the scope of a systems reproduction, so this crate
+//! substitutes two things (documented in DESIGN.md):
+//!
+//! - [`records`]: the paper's published accuracy numbers as typed data, so
+//!   the table-reproduction binaries regenerate Tables 3 and 4 verbatim
+//!   and downstream analyses (e.g. "window attention beats FFT attention
+//!   on vision tasks") can be asserted against them;
+//! - [`fidelity`]: a synthetic *attention-fidelity* experiment that
+//!   measures, on sequences with controlled locality structure, how well
+//!   each sparse pattern (sliding window, BigBird, butterfly connectivity,
+//!   FNet-style Fourier mixing) reconstructs the full softmax attention
+//!   output. This proxy exhibits the same qualitative ordering that drives
+//!   Table 3 — window-based patterns preserve softmax attention on
+//!   locality-dominated tasks far better than FFT-based approximations.
+//!
+//! Supporting substrates: [`generators`] builds the synthetic sequences
+//! and Q/K/V sets; [`fourier`] is a small radix-2 FFT used by the
+//! FNet-style baseline.
+
+pub mod fidelity;
+pub mod fourier;
+pub mod generators;
+pub mod readout;
+pub mod records;
+pub mod tasks;

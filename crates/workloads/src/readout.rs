@@ -1,0 +1,229 @@
+//! The trained accuracy proxy: frozen attention + closed-form ridge
+//! readout, measured as classification accuracy — the second half of the
+//! Table 3 substitution (see DESIGN.md).
+//!
+//! For each attention mechanism under test we compute the attention output
+//! `Z` of every problem, pool it into a fixed-size feature vector
+//! (per-dimension mean and second moment — the information attention
+//! *adds* lives in these statistics), fit a ridge classifier on a training
+//! split and report accuracy on a held-out split. No gradient descent, no
+//! tuning: any accuracy above chance is information the attention
+//! mechanism preserved.
+
+use crate::fidelity::Approximation;
+use crate::fourier;
+use crate::tasks::{LabeledProblem, Task};
+use swat_attention::pattern::{butterfly_pairs, SparsityPattern};
+use swat_attention::reference;
+use swat_tensor::solve::{ridge_fit, ridge_predict};
+use swat_tensor::Matrix;
+
+/// Result of evaluating one mechanism on one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadoutResult {
+    /// The attention mechanism evaluated.
+    pub approximation: Approximation,
+    /// The task.
+    pub task: Task,
+    /// Held-out accuracy in `[0, 1]` (chance = 0.5).
+    pub accuracy: f64,
+}
+
+/// Computes the attention output of `problem` under `approximation`.
+fn apply(approximation: Approximation, p: &LabeledProblem, scale: f32) -> Matrix<f32> {
+    let n = p.q.rows();
+    match approximation {
+        Approximation::Window { w } => {
+            let pat = SparsityPattern::sliding_window(n, w.max(1));
+            reference::masked_attention(&p.q, &p.k, &p.v, &pat, scale)
+        }
+        Approximation::BigBird { w, globals, random } => {
+            let pat = SparsityPattern::bigbird(n, w.max(1), globals, random, 0xB16B);
+            reference::masked_attention(&p.q, &p.k, &p.v, &pat, scale)
+        }
+        Approximation::ButterflyPattern => {
+            let mut rows = vec![Vec::new(); n];
+            for (i, j) in butterfly_pairs(n) {
+                rows[i].push(j);
+            }
+            let pat = SparsityPattern::from_row_targets(rows);
+            reference::masked_attention(&p.q, &p.k, &p.v, &pat, scale)
+        }
+        Approximation::FourierMix => fourier::fourier_mix(&p.v),
+    }
+}
+
+/// Dense attention, the upper-bound mechanism.
+fn apply_dense(p: &LabeledProblem, scale: f32) -> Matrix<f32> {
+    reference::dense_attention(&p.q, &p.k, &p.v, scale)
+}
+
+/// Pools an attention output into `2·dim + 1` features: per-dimension mean,
+/// per-dimension second moment, and a bias term.
+fn pool_features(z: &Matrix<f32>) -> Vec<f32> {
+    let (n, d) = z.shape();
+    let mut out = Vec::with_capacity(2 * d + 1);
+    for c in 0..d {
+        let mean: f32 = (0..n).map(|i| z.get(i, c)).sum::<f32>() / n as f32;
+        out.push(mean);
+    }
+    for c in 0..d {
+        let m2: f32 = (0..n).map(|i| z.get(i, c) * z.get(i, c)).sum::<f32>() / n as f32;
+        out.push(m2);
+    }
+    out.push(1.0);
+    out
+}
+
+/// The mechanism set the experiment compares. `None` entries in the name
+/// mean the dense upper bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Full softmax attention (upper bound).
+    Dense,
+    /// A sparse or mixing approximation.
+    Approx(Approximation),
+}
+
+impl Mechanism {
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mechanism::Dense => "dense",
+            Mechanism::Approx(a) => a.name(),
+        }
+    }
+}
+
+/// Runs the readout experiment for one mechanism on one task.
+///
+/// # Panics
+///
+/// Panics if `train + test < 8` or dimensions are degenerate.
+pub fn evaluate(
+    mechanism: Mechanism,
+    task: Task,
+    seq_len: usize,
+    dim: usize,
+    train: usize,
+    test: usize,
+    seed: u64,
+) -> ReadoutResult {
+    assert!(train >= 4 && test >= 4, "need a non-trivial split");
+    let scale = 2.0 / (dim as f32).sqrt();
+    let data = task.dataset(train + test, seq_len, dim, seed);
+
+    let features: Vec<Vec<f32>> = data
+        .iter()
+        .map(|p| {
+            let z = match mechanism {
+                Mechanism::Dense => apply_dense(p, scale),
+                Mechanism::Approx(a) => apply(a, p, scale),
+            };
+            pool_features(&z)
+        })
+        .collect();
+    let dim_f = features[0].len();
+
+    let x_train = Matrix::from_fn(train, dim_f, |i, j| features[i][j]);
+    let y_train: Vec<f32> = data[..train].iter().map(|p| p.label).collect();
+    let w = ridge_fit(&x_train, &y_train, 1e-2).expect("ridge system is SPD");
+
+    let x_test = Matrix::from_fn(test, dim_f, |i, j| features[train + i][j]);
+    let pred = ridge_predict(&x_test, &w);
+    let correct = pred
+        .iter()
+        .zip(&data[train..])
+        .filter(|(p, d)| (p.signum() as f32) == d.label.signum())
+        .count();
+
+    ReadoutResult {
+        approximation: match mechanism {
+            Mechanism::Dense => Approximation::Window { w: seq_len }, // placeholder, dense == full window
+            Mechanism::Approx(a) => a,
+        },
+        task,
+        accuracy: correct as f64 / test as f64,
+    }
+}
+
+/// The standard mechanism set with budgets matched to `seq_len / 8`
+/// attended tokens per row (mirroring the fidelity experiment).
+pub fn standard_mechanisms(seq_len: usize) -> Vec<Mechanism> {
+    let budget = (seq_len / 8).max(4);
+    vec![
+        Mechanism::Dense,
+        Mechanism::Approx(Approximation::Window { w: budget / 2 }),
+        Mechanism::Approx(Approximation::BigBird {
+            w: (budget / 4).max(1),
+            globals: budget / 8,
+            random: budget * 3 / 8,
+        }),
+        Mechanism::Approx(Approximation::ButterflyPattern),
+        Mechanism::Approx(Approximation::FourierMix),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 64;
+    const D: usize = 8;
+    const TRAIN: usize = 96;
+    const TEST: usize = 64;
+
+    fn acc(mechanism: Mechanism, task: Task) -> f64 {
+        evaluate(mechanism, task, N, D, TRAIN, TEST, 42).accuracy
+    }
+
+    #[test]
+    fn dense_solves_needle_retrieval() {
+        let a = acc(Mechanism::Dense, Task::NeedleRetrieval);
+        assert!(a > 0.8, "dense accuracy {a}");
+    }
+
+    #[test]
+    fn window_is_blind_to_distant_needles() {
+        let a = acc(
+            Mechanism::Approx(Approximation::Window { w: 4 }),
+            Task::NeedleRetrieval,
+        );
+        assert!(a < 0.7, "window should be near chance, got {a}");
+        // And dense clearly beats it.
+        assert!(acc(Mechanism::Dense, Task::NeedleRetrieval) > a + 0.15);
+    }
+
+    #[test]
+    fn window_beats_fourier_on_local_coherence() {
+        let w = acc(
+            Mechanism::Approx(Approximation::Window { w: 4 }),
+            Task::LocalCoherence,
+        );
+        let f = acc(
+            Mechanism::Approx(Approximation::FourierMix),
+            Task::LocalCoherence,
+        );
+        assert!(w > 0.7, "window accuracy {w}");
+        assert!(w > f + 0.1, "window {w} must beat fourier {f}");
+    }
+
+    #[test]
+    fn everything_is_at_chance_on_the_control() {
+        for m in [
+            Mechanism::Dense,
+            Mechanism::Approx(Approximation::Window { w: 4 }),
+            Mechanism::Approx(Approximation::FourierMix),
+        ] {
+            let a = acc(m, Task::Random);
+            assert!((0.3..0.7).contains(&a), "{}: leakage? accuracy {a}", m.name());
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = evaluate(Mechanism::Dense, Task::LocalCoherence, N, D, 32, 16, 7);
+        let b = evaluate(Mechanism::Dense, Task::LocalCoherence, N, D, 32, 16, 7);
+        assert_eq!(a, b);
+    }
+}

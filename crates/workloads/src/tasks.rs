@@ -1,0 +1,218 @@
+//! Synthetic classification tasks whose labels are recoverable *through
+//! attention* but not from raw token pooling — the basis of the trained
+//! accuracy proxy (`readout` module) that complements the fidelity
+//! experiment for Table 3.
+//!
+//! Each task emits explicit (Q, K, V) so the information pathway is
+//! controlled:
+//!
+//! - [`Task::NeedleRetrieval`] — a query token must retrieve a matching
+//!   "needle" key planted far away (beyond any window). Dense attention
+//!   solves it; window attention is blind to it; BigBird's random links
+//!   catch it occasionally. The LRA *ListOps/retrieval* regime.
+//! - [`Task::LocalCoherence`] — the label is whether similar tokens are
+//!   *adjacent* (a coherent local segment) or scattered. Window attention
+//!   separates the classes through its sharpening of local similarity;
+//!   position-blind Fourier mixing cannot. The LRA *Image* regime.
+//! - [`Task::Random`] — labels are independent coin flips; every method
+//!   must sit at chance (a leakage control).
+
+use swat_numeric::SplitMix64;
+use swat_tensor::Matrix;
+
+/// One labelled attention problem.
+#[derive(Debug, Clone)]
+pub struct LabeledProblem {
+    /// Query matrix, `seq_len × dim`.
+    pub q: Matrix<f32>,
+    /// Key matrix.
+    pub k: Matrix<f32>,
+    /// Value matrix.
+    pub v: Matrix<f32>,
+    /// Binary label encoded ±1.
+    pub label: f32,
+}
+
+/// A synthetic task family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Long-range key retrieval (window-defeating).
+    NeedleRetrieval,
+    /// Local-similarity structure (window-friendly, FFT-defeating).
+    LocalCoherence,
+    /// No signal at all (control).
+    Random,
+}
+
+impl Task {
+    /// All tasks, for sweeps.
+    pub const ALL: [Task; 3] = [Task::NeedleRetrieval, Task::LocalCoherence, Task::Random];
+
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Task::NeedleRetrieval => "needle-retrieval",
+            Task::LocalCoherence => "local-coherence",
+            Task::Random => "random-control",
+        }
+    }
+
+    /// Samples one labelled problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_len < 16` or `dim < 4`.
+    pub fn sample(&self, seq_len: usize, dim: usize, seed: u64) -> LabeledProblem {
+        assert!(seq_len >= 16, "need at least 16 positions");
+        assert!(dim >= 4, "need at least 4 feature dimensions");
+        let mut rng = SplitMix64::new(seed ^ 0x7A5C);
+        let label = if rng.next_below(2) == 0 { 1.0f32 } else { -1.0 };
+        let noise = |rng: &mut SplitMix64| 0.3 * rng.next_gaussian();
+
+        match self {
+            Task::NeedleRetrieval => {
+                let mut q = Matrix::from_fn(seq_len, dim, |_, _| noise(&mut rng));
+                let mut k = Matrix::from_fn(seq_len, dim, |_, _| noise(&mut rng));
+                let mut v = Matrix::from_fn(seq_len, dim, |_, _| noise(&mut rng));
+                // A random query pattern f on the first dim/2 axes, scaled
+                // so a matching dot product is sharply above the noise.
+                let f: Vec<f32> = (0..dim).map(|c| if c < dim / 2 { rng.next_gaussian() } else { 0.0 }).collect();
+                let scale = 4.0 / (f.iter().map(|x| x * x).sum::<f32>()).sqrt();
+                // A handful of query tokens in the first quarter; the
+                // needle in the last eighth — always farther than any
+                // realistic window.
+                let n_queries = 4.min(seq_len / 16).max(1);
+                let queries: Vec<usize> = rng.sample_distinct(seq_len / 4, n_queries);
+                let ni = seq_len - 1 - rng.next_below((seq_len / 8) as u64) as usize;
+                for &qi in &queries {
+                    for c in 0..dim {
+                        q.set(qi, c, f[c] * scale);
+                    }
+                }
+                // The needle key matches f for label +1, or is an
+                // equal-norm pattern on the *other* axes (orthogonal) for
+                // label −1. The needle's value flag is present either way,
+                // so pooling raw V leaks nothing.
+                let g: Vec<f32> = (0..dim).map(|c| if c >= dim / 2 { rng.next_gaussian() } else { 0.0 }).collect();
+                let gscale = 4.0 / (g.iter().map(|x| x * x).sum::<f32>()).sqrt();
+                for c in 0..dim {
+                    let matched = f[c] * scale;
+                    let orthogonal = g[c] * gscale;
+                    k.set(ni, c, if label > 0.0 { matched } else { orthogonal });
+                }
+                v.set(ni, dim - 1, 8.0); // the retrievable flag
+                LabeledProblem { q, k, v, label }
+            }
+            Task::LocalCoherence => {
+                // A set of `m` near-identical "motif" tokens. Label +1:
+                // contiguous block; label −1: same tokens scattered.
+                // The token *multiset* is identical, so raw pooling and any
+                // position-blind mixer see the same distribution.
+                let m = seq_len / 8;
+                let motif: Vec<f32> = (0..dim).map(|_| rng.next_gaussian()).collect();
+                let mnorm = (motif.iter().map(|x| x * x).sum::<f32>()).sqrt();
+                let motif: Vec<f32> = motif.iter().map(|x| 1.5 * x / mnorm * (dim as f32).sqrt() / 2.0).collect();
+                let start = rng.next_below((seq_len - m) as u64) as usize;
+                let positions: Vec<usize> = if label > 0.0 {
+                    (start..start + m).collect()
+                } else {
+                    rng.sample_distinct(seq_len, m)
+                };
+                let mut x = Matrix::from_fn(seq_len, dim, |_, _| noise(&mut rng));
+                for &p in &positions {
+                    for c in 0..dim {
+                        x.set(p, c, motif[c] + 0.1 * rng.next_gaussian());
+                    }
+                }
+                LabeledProblem {
+                    q: x.clone(),
+                    k: x.clone(),
+                    v: x,
+                    label,
+                }
+            }
+            Task::Random => {
+                let mk = |rng: &mut SplitMix64| {
+                    let mut gen = |_: usize, _: usize| 0.3 * rng.next_gaussian();
+                    Matrix::from_fn(seq_len, dim, &mut gen)
+                };
+                LabeledProblem {
+                    q: mk(&mut rng),
+                    k: mk(&mut rng),
+                    v: mk(&mut rng),
+                    label,
+                }
+            }
+        }
+    }
+
+    /// Samples a balanced dataset of `count` problems.
+    pub fn dataset(&self, count: usize, seq_len: usize, dim: usize, seed: u64) -> Vec<LabeledProblem> {
+        (0..count)
+            .map(|i| self.sample(seq_len, dim, seed.wrapping_mul(0x9E37).wrapping_add(i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_deterministic_and_labeled() {
+        for task in Task::ALL {
+            let a = task.sample(64, 8, 5);
+            let b = task.sample(64, 8, 5);
+            assert_eq!(a.q, b.q, "{}", task.name());
+            assert!(a.label == 1.0 || a.label == -1.0);
+            assert_eq!(a.q.shape(), (64, 8));
+        }
+    }
+
+    #[test]
+    fn dataset_is_roughly_balanced() {
+        let data = Task::NeedleRetrieval.dataset(200, 32, 8, 1);
+        let pos = data.iter().filter(|p| p.label > 0.0).count();
+        assert!((60..140).contains(&pos), "positives {pos}");
+    }
+
+    #[test]
+    fn needle_value_flag_present_in_both_classes() {
+        // The flag must not leak the label through raw pooling.
+        for seed in 0..20 {
+            let p = Task::NeedleRetrieval.sample(64, 8, seed);
+            let flag_max = (0..64).map(|i| p.v.get(i, 7)).fold(f32::MIN, f32::max);
+            assert!(flag_max > 7.0, "flag missing (label {})", p.label);
+        }
+    }
+
+    #[test]
+    fn coherence_token_multiset_is_label_independent() {
+        // Compare the sorted per-token norms of the two classes: both
+        // contain m motif tokens, so the norm histograms match closely.
+        let mut seeds_pos = None;
+        let mut seeds_neg = None;
+        for seed in 0..50 {
+            let p = Task::LocalCoherence.sample(64, 8, seed);
+            let mut norms: Vec<f32> = (0..64)
+                .map(|i| p.q.row(i).iter().map(|x| x * x).sum::<f32>().sqrt())
+                .collect();
+            norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let big = norms.iter().filter(|&&x| x > 2.0).count();
+            if p.label > 0.0 && seeds_pos.is_none() {
+                seeds_pos = Some(big);
+            }
+            if p.label < 0.0 && seeds_neg.is_none() {
+                seeds_neg = Some(big);
+            }
+        }
+        let (p, n) = (seeds_pos.unwrap(), seeds_neg.unwrap());
+        assert!((p as i64 - n as i64).abs() <= 3, "motif count differs: {p} vs {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16 positions")]
+    fn tiny_sequences_rejected() {
+        let _ = Task::Random.sample(8, 8, 0);
+    }
+}

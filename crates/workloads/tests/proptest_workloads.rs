@@ -1,0 +1,90 @@
+//! Property tests for the workload generators and proxy experiments.
+
+use proptest::prelude::*;
+use swat_workloads::fidelity::{score, Approximation};
+use swat_workloads::fourier::{fft, ifft, Complex};
+use swat_workloads::generators::Workload;
+use swat_workloads::tasks::Task;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generators produce finite values of the requested shape for every
+    /// workload family and geometry.
+    #[test]
+    fn generators_well_formed(
+        n in 1usize..200,
+        d in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        for wl in Workload::ALL {
+            let x = wl.generate(n, d, seed);
+            prop_assert_eq!(x.shape(), (n, d));
+            prop_assert!(x.as_slice().iter().all(|v| v.is_finite()), "{}", wl.name());
+        }
+    }
+
+    /// FFT then inverse FFT is the identity for any power-of-two signal.
+    #[test]
+    fn fft_roundtrip(exp in 1u32..10, seed in any::<u64>()) {
+        let n = 1usize << exp;
+        let mut rng = swat_numeric::SplitMix64::new(seed);
+        let signal: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.next_gaussian(), rng.next_gaussian()))
+            .collect();
+        let mut data = signal.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (g, e) in data.iter().zip(&signal) {
+            prop_assert!((g.re - e.re).abs() < 1e-3 && (g.im - e.im).abs() < 1e-3);
+        }
+    }
+
+    /// FFT is linear: FFT(a + b) == FFT(a) + FFT(b).
+    #[test]
+    fn fft_linearity(exp in 1u32..8, seed in any::<u64>()) {
+        let n = 1usize << exp;
+        let mut rng = swat_numeric::SplitMix64::new(seed);
+        let mut mk = || -> Vec<Complex> {
+            (0..n).map(|_| Complex::new(rng.next_gaussian(), 0.0)).collect()
+        };
+        let a = mk();
+        let b = mk();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| Complex::new(x.re + y.re, x.im + y.im)).collect();
+        let (mut fa, mut fb, mut fs) = (a, b, sum);
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fs);
+        for i in 0..n {
+            prop_assert!((fs[i].re - fa[i].re - fb[i].re).abs() < 1e-2);
+            prop_assert!((fs[i].im - fa[i].im - fb[i].im).abs() < 1e-2);
+        }
+    }
+
+    /// Fidelity scores are in (0, 1] and the full window is always exact.
+    #[test]
+    fn fidelity_bounds(exp in 5u32..8, seed in any::<u64>()) {
+        let n = 1usize << exp;
+        let s = score(Approximation::Window { w: n }, Workload::LocalTexture, n, 8, seed);
+        prop_assert!(s.fidelity() > 0.999, "full window must be exact: {}", s.fidelity());
+        let partial = score(Approximation::Window { w: 2 }, Workload::LocalTexture, n, 8, seed);
+        prop_assert!(partial.fidelity() > 0.0 && partial.fidelity() <= 1.0);
+        prop_assert!(partial.fidelity() <= s.fidelity() + 1e-9);
+    }
+
+    /// Task problems are well-formed: consistent shapes, ±1 labels,
+    /// finite values.
+    #[test]
+    fn tasks_well_formed(n in 16usize..128, d in 4usize..16, seed in any::<u64>()) {
+        for task in Task::ALL {
+            let p = task.sample(n, d, seed);
+            prop_assert_eq!(p.q.shape(), (n, d));
+            prop_assert_eq!(p.k.shape(), (n, d));
+            prop_assert_eq!(p.v.shape(), (n, d));
+            prop_assert!(p.label == 1.0 || p.label == -1.0);
+            prop_assert!(p.q.as_slice().iter().all(|v| v.is_finite()));
+            prop_assert!(p.k.as_slice().iter().all(|v| v.is_finite()));
+            prop_assert!(p.v.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+}

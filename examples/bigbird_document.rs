@@ -1,0 +1,74 @@
+//! BigBird-style attention (window + global + random) on SWAT's
+//! parameterised design: demonstrates the Figure 7 core roles — global
+//! cores pre-loaded, random cores reloading per row — and validates the
+//! numerics against the reference.
+//!
+//! ```text
+//! cargo run --example bigbird_document
+//! ```
+
+use swat::{Precision, SwatAccelerator, SwatConfig};
+use swat_attention::reference;
+use swat_tensor::Matrix;
+use swat_workloads::generators::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down BigBird design so the functional run is quick:
+    // 32 window + 8 global + 16 random tokens per row.
+    let cfg = SwatConfig {
+        window_tokens: 32,
+        global_tokens: 8,
+        random_tokens: 16,
+        precision: Precision::Fp16,
+        ..SwatConfig::longformer_fp16()
+    };
+    let accel = SwatAccelerator::new(cfg.clone())?;
+    println!(
+        "BigBird design: {} window + {} global + {} random cores ({} total)",
+        cfg.window_tokens, cfg.global_tokens, cfg.random_tokens, cfg.attention_cores()
+    );
+
+    // Scattered-dependency workload: the regime random attention targets.
+    // Note the 0.35 normalisation: SWAT's fused datapath takes raw
+    // exponentials (no max-subtraction — that is what makes the kernel
+    // fusion possible), so like the real hardware it relies on inputs
+    // being layer-norm scaled. Unnormalised gaussians overflow binary16's
+    // 65504 range in the row-sum.
+    let n = 512;
+    let (q, k, v) = Workload::ScatteredDependencies.generate_qkv(n, cfg.head_dim, 3);
+    let q = q.scale(0.35);
+    let k = k.scale(0.35);
+    let report = accel.run(&q, &k, &v)?;
+    println!("\n{report}");
+
+    // Load accounting mirrors the hardware's core roles.
+    println!("\ncore-role behaviour (Figure 7):");
+    println!("  window K/V rows loaded once each: {}", report.kv_loads);
+    println!("  random-core reloads (per-row gathers): {}", report.kv_reloads);
+    println!(
+        "  LOAD stage: {} cycles (vs {} for a pure-window design)",
+        report.stage_timings.effective_load(true),
+        report.stage_timings.load
+    );
+    println!(
+        "  ...but the II stays {} — the pipeline absorbs the slower gather",
+        report.initiation_interval
+    );
+
+    // Validate the numerics.
+    let pattern = cfg.pattern_for(n);
+    let expect = reference::masked_attention(&q, &k, &v, &pattern, cfg.scale);
+    let err = report.output.max_abs_diff(&expect);
+    println!("\nmax |simulated - reference| = {err:.5}");
+    assert!(err < 0.05);
+
+    // Compare with the paper's full BigBird configuration for cost.
+    let full = SwatAccelerator::new(SwatConfig::bigbird_fp16())?;
+    println!(
+        "\nfull BigBird config (192+128+192): {:.3} ms per 4K-token head, {}",
+        full.latency_seconds(4096) * 1e3,
+        full.resources()
+    );
+    let _ = Matrix::<f32>::zeros(1, 1);
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! A full Longformer encoder layer on long documents: the software layer
+//! runs end-to-end, and the attention inside is costed on SWAT vs the GPU
+//! baselines — the scenario the paper's introduction motivates
+//! (document-level tasks with long context).
+//!
+//! ```text
+//! cargo run --example longformer_layer
+//! ```
+
+use swat::{SwatAccelerator, SwatConfig};
+use swat_baselines::{GpuCostModel, GpuKernel};
+use swat_model::layer::EncoderLayer;
+use swat_model::ModelConfig;
+use swat_tensor::Matrix;
+use swat_workloads::generators::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelConfig::longformer_base();
+    println!(
+        "model: {} (d={}, {} heads, H={}, window {} tokens, {} layers)",
+        model.name, model.d_model, model.heads, model.head_dim(),
+        model.window_tokens, model.layers
+    );
+
+    // A functional forward pass on a (scaled-down) document so the example
+    // finishes in seconds: 512 tokens, d=64.
+    let n = 512;
+    let d = 64;
+    let layer = EncoderLayer::random(d, 4, 4, 42);
+    let x = Workload::TopicSegments.generate(n, d, 1);
+    let pattern = swat_attention::SparsityPattern::sliding_window(n, 32);
+    let (y, counts) = layer.forward(&x, &pattern);
+    println!(
+        "\nfunctional forward pass: {n} tokens -> output {:?}, {:.2e} FLOPs, all finite: {}",
+        y.shape(),
+        counts.flops as f64,
+        y.as_slice().iter().all(|v| v.is_finite())
+    );
+    let _ = Matrix::<f32>::zeros(1, 1);
+
+    // Cost the *full-size* model's attention on SWAT vs the GPU baselines.
+    let accel = SwatAccelerator::new(SwatConfig::longformer_fp16())?;
+    let gpu = GpuCostModel::mi210();
+    let w = model.window_half_width();
+    println!("\nattention time for the full {}-layer, {}-head model:", model.layers, model.heads);
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>12}",
+        "tokens", "SWAT fp16", "GPU dense", "GPU chunks"
+    );
+    for exp in [11u32, 12, 13, 14] {
+        let len = 1usize << exp;
+        let swat_s = accel.model_latency_seconds(len, model.heads, model.layers);
+        let per_head = model.heads as f64 * model.layers as f64;
+        let gpu_dense = gpu.attention_seconds(GpuKernel::Dense, len, model.head_dim()) * per_head;
+        let gpu_chunks =
+            gpu.attention_seconds(GpuKernel::SlidingChunks { w }, len, model.head_dim()) * per_head;
+        println!(
+            "{len:>8} | {:>10.1} ms | {:>10.1} ms | {:>10.1} ms",
+            swat_s * 1e3,
+            gpu_dense * 1e3,
+            gpu_chunks * 1e3
+        );
+    }
+
+    println!(
+        "\nenergy per 16K-token model attention: SWAT {:.2} J vs GPU dense {:.2} J",
+        accel.power_watts() * accel.model_latency_seconds(16384, model.heads, model.layers),
+        300.0
+            * gpu.attention_seconds(GpuKernel::Dense, 16384, model.head_dim())
+            * (model.heads * model.layers) as f64,
+    );
+    Ok(())
+}

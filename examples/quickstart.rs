@@ -1,0 +1,49 @@
+//! Quickstart: simulate one attention head on SWAT and validate it against
+//! the software reference.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use swat::{SwatAccelerator, SwatConfig};
+use swat_attention::reference;
+use swat_numeric::SplitMix64;
+use swat_tensor::Matrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the accelerator in the paper's standard configuration:
+    //    pure window attention, 2w = 512 tokens, H = 64, FP16.
+    let cfg = SwatConfig::longformer_fp16();
+    let accel = SwatAccelerator::new(cfg.clone())?;
+    println!("SWAT instance: {} attention cores, {} pipeline(s), {}",
+        cfg.attention_cores(), cfg.pipelines, cfg.precision);
+    println!("resources: {}", accel.resources());
+    println!("power: {:.1} W at {:.0} MHz\n", accel.power_watts(), cfg.clock.mhz());
+
+    // 2. Make a synthetic head: 2048 tokens, head dimension 64.
+    let n = 2048;
+    let mut rng = SplitMix64::new(7);
+    let mut gen = |_: usize, _: usize| rng.next_f32_in(-1.0, 1.0);
+    let q = Matrix::from_fn(n, cfg.head_dim, &mut gen);
+    let k = Matrix::from_fn(n, cfg.head_dim, &mut gen);
+    let v = Matrix::from_fn(n, cfg.head_dim, &mut gen);
+
+    // 3. Run the functional + temporal simulation.
+    let report = accel.run(&q, &k, &v)?;
+    println!("{report}\n");
+
+    // 4. Validate against the exact masked-softmax reference.
+    let pattern = cfg.pattern_for(n);
+    let expect = reference::masked_attention(&q, &k, &v, &pattern, cfg.scale);
+    let err = report.output.max_abs_diff(&expect);
+    println!("max |simulated - reference| = {err:.5} (binary16 datapath)");
+    assert!(err < 0.05, "the FP16 datapath must stay close to the reference");
+
+    // 5. The headline scaling property: latency is linear in input length.
+    println!("\nlatency scaling (one head):");
+    for exp in [10u32, 12, 14] {
+        let len = 1usize << exp;
+        println!("  {len:>6} tokens: {:>8.3} ms", accel.latency_seconds(len) * 1e3);
+    }
+    Ok(())
+}

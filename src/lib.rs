@@ -1,0 +1,34 @@
+//! Umbrella crate for the SWAT (DAC 2024) reproduction.
+//!
+//! Re-exports every member crate under one roof for the examples and
+//! cross-crate integration tests. Library users should usually depend on
+//! the member crates directly:
+//!
+//! - [`swat`] — the accelerator simulator (the paper's contribution);
+//! - [`swat_attention`] — attention patterns and kernels;
+//! - [`swat_baselines`] — Butterfly and GPU cost models;
+//! - [`swat_model`] — transformer layer substrate and cost breakdowns;
+//! - [`swat_hw`] — FPGA resource/pipeline/power modelling;
+//! - [`swat_tensor`] / [`swat_numeric`] — matrix kernels and binary16;
+//! - [`swat_workloads`] — synthetic workloads and recorded results.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for the one-minute tour:
+//!
+//! ```
+//! use swat::{SwatAccelerator, SwatConfig};
+//!
+//! let accel = SwatAccelerator::new(SwatConfig::longformer_fp16())?;
+//! println!("one 4K-token head takes {:.3} ms", accel.latency_seconds(4096) * 1e3);
+//! # Ok::<(), swat::config::ConfigError>(())
+//! ```
+
+pub use swat;
+pub use swat_attention;
+pub use swat_baselines;
+pub use swat_hw;
+pub use swat_model;
+pub use swat_numeric;
+pub use swat_tensor;
+pub use swat_workloads;
