@@ -62,6 +62,7 @@ pub fn redundancy_ratio(num_chunks: usize) -> f64 {
 /// # Panics
 ///
 /// Panics if shapes are inconsistent or `w == 0`.
+#[allow(clippy::needless_range_loop)] // per-row band gathering indexes `band` by row
 pub fn sliding_chunks_attention(
     q: &Matrix<f32>,
     k: &Matrix<f32>,
@@ -202,8 +203,12 @@ mod tests {
     fn redundancy_grows_with_chunk_count() {
         let (q1, k1, v1) = random_qkv(128, 4, 31);
         let (q2, k2, v2) = random_qkv(1024, 4, 31);
-        let r1 = sliding_chunks_attention(&q1, &k1, &v1, 32, 1.0).counts.redundancy();
-        let r2 = sliding_chunks_attention(&q2, &k2, &v2, 32, 1.0).counts.redundancy();
+        let r1 = sliding_chunks_attention(&q1, &k1, &v1, 32, 1.0)
+            .counts
+            .redundancy();
+        let r2 = sliding_chunks_attention(&q2, &k2, &v2, 32, 1.0)
+            .counts
+            .redundancy();
         assert!(r2 > r1, "more chunks, more redundancy: {r1} -> {r2}");
     }
 

@@ -21,6 +21,9 @@ use crate::counters::OpCounts;
 use crate::pattern::SparsityPattern;
 use swat_tensor::{Matrix, Scalar};
 
+/// One FIFO slot: `(position, k_row, v_row)`; `None` until first fill.
+type KvSlot<T> = Option<(usize, Vec<T>, Vec<T>)>;
+
 /// Fixed-capacity K/V buffer with modulo-indexed replacement.
 ///
 /// Slot `j mod capacity` holds position `j` while `j` is in the window;
@@ -29,8 +32,7 @@ use swat_tensor::{Matrix, Scalar};
 #[derive(Debug, Clone)]
 pub struct KvFifo<T> {
     capacity: usize,
-    /// `(position, k_row, v_row)` per slot; `None` until first fill.
-    slots: Vec<Option<(usize, Vec<T>, Vec<T>)>>,
+    slots: Vec<KvSlot<T>>,
     loads: u64,
     evictions: u64,
 }
@@ -183,7 +185,11 @@ pub fn fused_pattern_attention_in<T: Scalar>(
     assert_eq!(q.cols(), k.cols(), "q and k must share the head dimension");
     assert_eq!(k.rows(), v.rows(), "k and v must have one row per position");
     assert_eq!(q.rows(), k.rows(), "self-attention shapes required");
-    assert_eq!(pattern.seq_len(), q.rows(), "pattern/sequence length mismatch");
+    assert_eq!(
+        pattern.seq_len(),
+        q.rows(),
+        "pattern/sequence length mismatch"
+    );
 
     let n = q.rows();
     let h = q.cols();
@@ -230,32 +236,28 @@ pub fn fused_pattern_attention_in<T: Scalar>(
         let mut z = vec![T::ZERO; hv];
         let mut row_sum = T::ZERO;
 
-        let attend = |j: usize,
-                          kj: &[T],
-                          vj: &[T],
-                          counts: &mut OpCounts,
-                          z: &mut [T],
-                          row_sum: &mut T| {
-            debug_assert_eq!(kj.len(), h);
-            // QK stage: dot product with per-op rounding in T.
-            let mut s = T::ZERO;
-            for (a, b) in qi.iter().zip(kj) {
-                s = s.add(a.mul(*b));
-            }
-            counts.record_macs(h as u64);
-            let s = s.mul(scale_t);
-            // SV stage: exponential and multiply with the co-resident V row.
-            let e = s.exp();
-            counts.record_unary(1);
-            for (zi, vi) in z.iter_mut().zip(vj) {
-                *zi = zi.add(e.mul(*vi));
-            }
-            counts.record_macs(hv as u64);
-            // ROWSUM.
-            *row_sum = row_sum.add(e);
-            counts.record_unary(1);
-            let _ = j;
-        };
+        let attend =
+            |j: usize, kj: &[T], vj: &[T], counts: &mut OpCounts, z: &mut [T], row_sum: &mut T| {
+                debug_assert_eq!(kj.len(), h);
+                // QK stage: dot product with per-op rounding in T.
+                let mut s = T::ZERO;
+                for (a, b) in qi.iter().zip(kj) {
+                    s = s.add(a.mul(*b));
+                }
+                counts.record_macs(h as u64);
+                let s = s.mul(scale_t);
+                // SV stage: exponential and multiply with the co-resident V row.
+                let e = s.exp();
+                counts.record_unary(1);
+                for (zi, vi) in z.iter_mut().zip(vj) {
+                    *zi = zi.add(e.mul(*vi));
+                }
+                counts.record_macs(hv as u64);
+                // ROWSUM.
+                *row_sum = row_sum.add(e);
+                counts.record_unary(1);
+                let _ = j;
+            };
 
         if is_global_row || pattern.is_dense() {
             // Dense pass for this row (global rows attend everything).

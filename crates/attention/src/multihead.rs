@@ -33,7 +33,10 @@ impl MultiHeadWeights {
     ///
     /// Panics if `heads` does not divide `d_model`.
     pub fn random(d_model: usize, heads: usize, seed: u64) -> MultiHeadWeights {
-        assert!(heads > 0 && d_model % heads == 0, "heads must divide d_model");
+        assert!(
+            heads > 0 && d_model.is_multiple_of(heads),
+            "heads must divide d_model"
+        );
         let mut rng = swat_numeric::SplitMix64::new(seed);
         let std = 1.0 / (d_model as f32).sqrt();
         let mut mk = |salt: u64| {
@@ -93,9 +96,8 @@ pub fn multi_head_attention(
     let v = ops::gemm(x, &weights.wv);
     counts.record_macs(3 * (n * d_model * d_model) as u64);
 
-    let slice_head = |m: &Matrix<f32>, head: usize| {
-        Matrix::from_fn(n, h, |i, j| m.get(i, head * h + j))
-    };
+    let slice_head =
+        |m: &Matrix<f32>, head: usize| Matrix::from_fn(n, h, |i, j| m.get(i, head * h + j));
 
     let mut concat = Matrix::<f32>::zeros(n, d_model);
     for head in 0..heads {

@@ -278,7 +278,9 @@ impl SparsityPattern {
         if self.globals.binary_search(&i).is_ok() || self.globals.binary_search(&j).is_ok() {
             return true;
         }
-        self.random.get(i).is_some_and(|r| r.binary_search(&j).is_ok())
+        self.random
+            .get(i)
+            .is_some_and(|r| r.binary_search(&j).is_ok())
     }
 
     /// The sorted set of columns attended by row `i`.
@@ -473,7 +475,11 @@ mod tests {
         let m = p.to_additive_mask();
         for i in 0..12 {
             for j in 0..12 {
-                let expect = if p.attends(i, j) { 0.0 } else { f32::NEG_INFINITY };
+                let expect = if p.attends(i, j) {
+                    0.0
+                } else {
+                    f32::NEG_INFINITY
+                };
                 assert_eq!(m.get(i, j), expect);
             }
         }

@@ -26,7 +26,12 @@ use swat_tensor::{ops, Matrix};
 /// let z = dense_attention(&q, &q, &q, 1.0);
 /// assert_eq!(z.shape(), (4, 2));
 /// ```
-pub fn dense_attention(q: &Matrix<f32>, k: &Matrix<f32>, v: &Matrix<f32>, scale: f32) -> Matrix<f32> {
+pub fn dense_attention(
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+    scale: f32,
+) -> Matrix<f32> {
     check_shapes(q, k, v);
     let s = ops::gemm_bt(q, k).scale(scale);
     let p = ops::softmax_rows_stable(&s);
@@ -154,7 +159,11 @@ mod tests {
         let (q, k, v) = random_qkv(16, 8, 1);
         let z = dense_attention(&q, &k, &v, 0.35);
         let vmin = v.as_slice().iter().copied().fold(f32::INFINITY, f32::min);
-        let vmax = v.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let vmax = v
+            .as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
         for x in z.as_slice() {
             assert!(*x >= vmin - 1e-5 && *x <= vmax + 1e-5);
         }

@@ -212,7 +212,10 @@ mod tests {
         let run = stable_window_attention_in::<f32>(&q, &k, &v, 10, 1.0);
         // At most one rescale per attended position after the first.
         assert!(run.rescales <= 100 * 20);
-        assert!(run.rescales > 0, "random scores must move the max sometimes");
+        assert!(
+            run.rescales > 0,
+            "random scores must move the max sometimes"
+        );
     }
 
     #[test]

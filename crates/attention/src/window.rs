@@ -82,7 +82,10 @@ pub fn window_attention(
     counts.record_read((3 * n * h) as u64 * elem);
     counts.record_write((n * v.cols()) as u64 * elem);
 
-    WindowRun { output: out, counts }
+    WindowRun {
+        output: out,
+        counts,
+    }
 }
 
 /// Exact attention for an arbitrary [`SparsityPattern`], with counting.

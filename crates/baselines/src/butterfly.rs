@@ -70,7 +70,11 @@ impl ButterflyAccelerator {
     ///
     /// Panics if `k > 8`.
     pub fn btf(k: usize) -> ButterflyAccelerator {
-        assert!(k <= Self::DEFAULT_LAYERS, "at most {} softmax layers", Self::DEFAULT_LAYERS);
+        assert!(
+            k <= Self::DEFAULT_LAYERS,
+            "at most {} softmax layers",
+            Self::DEFAULT_LAYERS
+        );
         ButterflyAccelerator {
             total_layers: Self::DEFAULT_LAYERS,
             softmax_layers: k,
@@ -156,11 +160,7 @@ impl ButterflyAccelerator {
 /// latency at the same length; SWAT runs every layer as window attention,
 /// and per-head time × layers is the model total (head count cancels in the
 /// ratio as both sides scale with it).
-pub fn swat_speedup(
-    btf: &ButterflyAccelerator,
-    swat_per_head_seconds: f64,
-    n: usize,
-) -> f64 {
+pub fn swat_speedup(btf: &ButterflyAccelerator, swat_per_head_seconds: f64, n: usize) -> f64 {
     let swat_model = swat_per_head_seconds * btf.total_layers as f64;
     btf.model_attention_seconds(n) / swat_model
 }
@@ -246,9 +246,15 @@ mod tests {
         let btf = ButterflyAccelerator::btf(1);
         let short = btf.optimal_attn_fraction(1024);
         let long = btf.optimal_attn_fraction(16384);
-        assert!(long > short, "quadratic engine needs more resources as n grows");
+        assert!(
+            long > short,
+            "quadratic engine needs more resources as n grows"
+        );
         assert!(short > 0.0 && long < 1.0);
-        assert_eq!(ButterflyAccelerator::full_fft().optimal_attn_fraction(4096), 0.0);
+        assert_eq!(
+            ButterflyAccelerator::full_fft().optimal_attn_fraction(4096),
+            0.0
+        );
     }
 
     #[test]

@@ -245,7 +245,9 @@ mod tests {
         let gpu = GpuCostModel::mi210();
         let n = 16384;
         let w = 256;
-        let chunked = gpu.attention_cost(GpuKernel::SlidingChunks { w }, n, H).flops;
+        let chunked = gpu
+            .attention_cost(GpuKernel::SlidingChunks { w }, n, H)
+            .flops;
         // Useful band work: 4*n*2w*h MACs -> flops.
         let useful = 4.0 * n as f64 * (2 * w) as f64 * H as f64;
         let ratio = chunked / useful;

@@ -47,7 +47,9 @@ fn bench_gemm(c: &mut Criterion) {
     let a16 = a32.map(F16::from_f32);
     let b16 = b32.map(F16::from_f32);
     group.bench_function("f32_naive_128", |b| b.iter(|| ops::gemm(&a32, &b32)));
-    group.bench_function("f32_blocked_128", |b| b.iter(|| ops::gemm_blocked(&a32, &b32, 32)));
+    group.bench_function("f32_blocked_128", |b| {
+        b.iter(|| ops::gemm_blocked(&a32, &b32, 32))
+    });
     group.bench_function("f16_naive_128", |b| b.iter(|| ops::gemm(&a16, &b16)));
     group.finish();
 }

@@ -14,11 +14,7 @@ fn bench_cost_models(c: &mut Criterion) {
     let gpu = GpuCostModel::mi210();
     let btf = ButterflyAccelerator::btf(1);
     group.bench_function("swat_latency_sweep", |b| {
-        b.iter(|| {
-            (9..15)
-                .map(|p| swat.latency_seconds(1 << p))
-                .sum::<f64>()
-        })
+        b.iter(|| (9..15).map(|p| swat.latency_seconds(1 << p)).sum::<f64>())
     });
     group.bench_function("gpu_cost_sweep", |b| {
         b.iter(|| {

@@ -29,12 +29,26 @@ fn main() {
                     format!("{:.1}", o.traffic_bytes as f64 / (1024.0 * 1024.0)),
                     o.initiation_interval.to_string(),
                     format!("{:.2}x", o.seconds / base),
-                    if o.memory_bound() { "memory" } else { "compute" }.to_string(),
+                    if o.memory_bound() {
+                        "memory"
+                    } else {
+                        "compute"
+                    }
+                    .to_string(),
                 ]
             })
             .collect();
         print_table(
-            &["variant", "total ms", "compute ms", "memory ms", "MiB moved", "II", "slowdown", "bound"],
+            &[
+                "variant",
+                "total ms",
+                "compute ms",
+                "memory ms",
+                "MiB moved",
+                "II",
+                "slowdown",
+                "bound",
+            ],
             &rows,
         );
         println!();

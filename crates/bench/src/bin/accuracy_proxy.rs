@@ -59,7 +59,5 @@ fn main() {
         get(bigbird, Task::NeedleRetrieval)
     );
     println!("    ListOps in Table 3.");
-    println!(
-        "  - random control: all mechanisms near 0.50 (no leakage through the harness)."
-    );
+    println!("  - random control: all mechanisms near 0.50 (no leakage through the harness).");
 }

@@ -33,7 +33,13 @@ fn main() {
     }
     print_table(
         &[
-            "len", "FLOP:lin", "FLOP:attn", "FLOP:ffn", "MOP:lin", "MOP:attn", "MOP:ffn",
+            "len",
+            "FLOP:lin",
+            "FLOP:attn",
+            "FLOP:ffn",
+            "MOP:lin",
+            "MOP:attn",
+            "MOP:ffn",
         ],
         &rows,
     );

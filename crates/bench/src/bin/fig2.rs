@@ -17,7 +17,10 @@ fn main() {
     banner("Figure 2 — sliding-chunks redundancy: paper formula vs measured");
     let w = 16;
     let h = 8;
-    println!("(window half-width w={w}, chunks of 2w={} with stride w)", 2 * w);
+    println!(
+        "(window half-width w={w}, chunks of 2w={} with stride w)",
+        2 * w
+    );
     println!();
 
     let mut rows = Vec::new();

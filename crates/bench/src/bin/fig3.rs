@@ -29,7 +29,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["len", "Dense (GPU|FP32)", "Chunks (GPU|FP32)", "SWAT (FPGA|FP16)", "SWAT (FPGA|FP32)"],
+        &[
+            "len",
+            "Dense (GPU|FP32)",
+            "Chunks (GPU|FP32)",
+            "SWAT (FPGA|FP16)",
+            "SWAT (FPGA|FP32)",
+        ],
         &rows,
     );
 

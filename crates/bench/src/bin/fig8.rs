@@ -27,7 +27,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["len", "SWAT vs BTF-1", "SWAT vs BTF-2", "BTF-1 attn-engine share"],
+        &[
+            "len",
+            "SWAT vs BTF-1",
+            "SWAT vs BTF-2",
+            "BTF-1 attn-engine share",
+        ],
         &rows,
     );
 

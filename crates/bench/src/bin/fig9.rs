@@ -59,14 +59,16 @@ fn main() {
         swat_energy_ratio(&btf1, t16k, swat16.power_watts(), 16384),
         swat_energy_ratio(&btf2, t16k, swat16.power_watts(), 16384),
     );
-    let r = |n: usize| gpu.attention_energy(GpuKernel::Dense, n, h) / swat32.energy_per_attention(n);
+    let r =
+        |n: usize| gpu.attention_energy(GpuKernel::Dense, n, h) / swat32.energy_per_attention(n);
     println!(
         "  FP32 vs GPU dense: {:.1}x @1K (paper ~20x), {:.1}x @8K (paper 4.2x min), {:.1}x @16K (paper 8.4x)",
         r(1024),
         r(8192),
         r(16384),
     );
-    let r16 = |n: usize| gpu.attention_energy(GpuKernel::Dense, n, h) / swat16.energy_per_attention(n);
+    let r16 =
+        |n: usize| gpu.attention_energy(GpuKernel::Dense, n, h) / swat16.energy_per_attention(n);
     println!(
         "  FP16 vs GPU dense @16K: {:.1}x (paper headline: ~15x energy efficiency vs GPU)",
         r16(16384),

@@ -42,7 +42,8 @@ fn main() {
     println!();
     println!("(digits are row indices flowing left to right; QK back-to-back = the II)");
     println!();
-    println!("Totals: {} cycles for {rows} rows; closed form {}; conflict-free: {}",
+    println!(
+        "Totals: {} cycles for {rows} rows; closed form {}; conflict-free: {}",
         sched.total_cycles,
         pipeline.total_cycles(rows as u64),
         sched.is_conflict_free()

@@ -23,7 +23,10 @@ fn main() {
     let scale = 1.0 / (h as f32).sqrt();
 
     banner("Datapath precision study — binary16 vs Q-format fixed point on fused window attention");
-    println!("({n} tokens, H={h}, 2w={}, per-row max |error| vs f32 reference)", 2 * w);
+    println!(
+        "({n} tokens, H={h}, 2w={}, per-row max |error| vs f32 reference)",
+        2 * w
+    );
     println!();
 
     let mut rows = Vec::new();
@@ -33,13 +36,8 @@ fn main() {
         let q = Matrix::from_fn(n, h, &mut gen);
         let k = Matrix::from_fn(n, h, &mut gen);
         let v = Matrix::from_fn(n, h, &mut gen);
-        let exact = reference::masked_attention(
-            &q,
-            &k,
-            &v,
-            &SparsityPattern::sliding_window(n, w),
-            scale,
-        );
+        let exact =
+            reference::masked_attention(&q, &k, &v, &SparsityPattern::sliding_window(n, w), scale);
 
         let f16 = fused_window_attention_in::<F16>(&q, &k, &v, w, scale);
         let f16_err = if f16.output.as_slice().iter().all(|x| x.is_finite()) {
@@ -59,13 +57,31 @@ fn main() {
             }
         };
         let (o20, s20) = fixed_point_window_attention::<20>(
-            q.as_slice(), k.as_slice(), v.as_slice(), n, h, w, scale,
+            q.as_slice(),
+            k.as_slice(),
+            v.as_slice(),
+            n,
+            h,
+            w,
+            scale,
         );
         let (o16, s16) = fixed_point_window_attention::<16>(
-            q.as_slice(), k.as_slice(), v.as_slice(), n, h, w, scale,
+            q.as_slice(),
+            k.as_slice(),
+            v.as_slice(),
+            n,
+            h,
+            w,
+            scale,
         );
         let (o10, s10) = fixed_point_window_attention::<10>(
-            q.as_slice(), k.as_slice(), v.as_slice(), n, h, w, scale,
+            q.as_slice(),
+            k.as_slice(),
+            v.as_slice(),
+            n,
+            h,
+            w,
+            scale,
         );
 
         rows.push(vec![

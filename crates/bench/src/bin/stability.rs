@@ -21,7 +21,10 @@ fn main() {
     let h = 16;
     let w = 16;
     banner("Binary16 accuracy: raw-exponential fusion (SWAT) vs online-max (FlashAttention-style)");
-    println!("({n} tokens, H={h}, window 2w={}, inputs scaled to sweep the score magnitude)", 2 * w);
+    println!(
+        "({n} tokens, H={h}, window 2w={}, inputs scaled to sweep the score magnitude)",
+        2 * w
+    );
     println!();
 
     let mut rows = Vec::new();
@@ -33,13 +36,8 @@ fn main() {
         let v = Matrix::from_fn(n, h, &mut gen);
         let scale = 1.0 / (h as f32).sqrt();
 
-        let exact = reference::masked_attention(
-            &q,
-            &k,
-            &v,
-            &SparsityPattern::sliding_window(n, w),
-            scale,
-        );
+        let exact =
+            reference::masked_attention(&q, &k, &v, &SparsityPattern::sliding_window(n, w), scale);
         let raw = fused_window_attention_in::<F16>(&q, &k, &v, w, scale);
         let stable = stable_window_attention_in::<F16>(&q, &k, &v, w, scale);
 
@@ -62,7 +60,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["input scale", "score mag", "raw-exp err", "online-max err", "FLOP ratio", "rescales"],
+        &[
+            "input scale",
+            "score mag",
+            "raw-exp err",
+            "online-max err",
+            "FLOP ratio",
+            "rescales",
+        ],
         &rows,
     );
 

@@ -22,7 +22,12 @@ fn main() {
     banner("Table 1 — pipeline stage timing in cycles (H=64, 2w=512)");
     let stage_rows: Vec<(&str, u64, u64, u64)> = vec![
         ("LOAD", paper.load, model16.load, model32.load),
-        ("LOAD (random)", paper.load_random, model16.load_random, model32.load_random),
+        (
+            "LOAD (random)",
+            paper.load_random,
+            model16.load_random,
+            model32.load_random,
+        ),
         ("QK", paper.qk, model16.qk, model32.qk),
         ("SV", paper.sv, model16.sv, model32.sv),
         ("ZRED1", paper.zred1, model16.zred1, model32.zred1),
@@ -43,7 +48,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["stage", "paper FP16", "model FP16", "match", "model FP32"], &rows);
+    print_table(
+        &["stage", "paper FP16", "model FP16", "match", "model FP32"],
+        &rows,
+    );
 
     println!();
     println!(

@@ -43,7 +43,13 @@ fn main() {
     ]);
 
     print_table(
-        &["design", "DSP est(paper)", "LUT est(paper)", "FF est(paper)", "BRAM est(paper)"],
+        &[
+            "design",
+            "DSP est(paper)",
+            "LUT est(paper)",
+            "FF est(paper)",
+            "BRAM est(paper)",
+        ],
         &rows,
     );
 

@@ -28,10 +28,15 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["model", "Image", "PathFinder", "Text", "ListOps", "AVG"], &rows);
+    print_table(
+        &["model", "Image", "PathFinder", "Text", "ListOps", "AVG"],
+        &rows,
+    );
 
     banner("Fidelity proxy (this reproduction) — how well each pattern reconstructs dense softmax attention");
-    println!("(fidelity = 1/(1+relative error) vs full attention; sequences of 256 tokens, 3 seeds)");
+    println!(
+        "(fidelity = 1/(1+relative error) vs full attention; sequences of 256 tokens, 3 seeds)"
+    );
     println!();
     let scores = run_experiment(256, 16, 3);
     let names: Vec<&str> = vec!["window", "bigbird", "butterfly-pattern", "fourier-mix"];

@@ -19,7 +19,12 @@ fn main() {
                 r.model.to_string(),
                 format!("{:.1}M", r.params_millions),
                 format!("{:.1}%", r.top1),
-                if r.window_based { "window (SWAT)" } else { "butterfly" }.to_string(),
+                if r.window_based {
+                    "window (SWAT)"
+                } else {
+                    "butterfly"
+                }
+                .to_string(),
             ]
         })
         .collect();
@@ -51,7 +56,10 @@ fn main() {
     let pixelfly_ms = &t[1];
     println!(
         "  at matched ~6M params: {} {:.1}% vs {} {:.1}% (+{:.1} pts for window attention)",
-        vil_tiny.model, vil_tiny.top1, pixelfly_ms.model, pixelfly_ms.top1,
+        vil_tiny.model,
+        vil_tiny.top1,
+        pixelfly_ms.model,
+        pixelfly_ms.top1,
         vil_tiny.top1 - pixelfly_ms.top1
     );
 }

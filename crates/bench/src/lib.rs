@@ -19,6 +19,7 @@
 //! | `precision` | extension — binary16 vs Q-format fixed point |
 //! | `accuracy_proxy` | extension — trained ridge-readout accuracy per pattern |
 //! | `gantt`   | ASCII pipeline-occupancy view of the Table 1 schedule |
+//! | `serve_sweep` | extension — multi-card request-serving sweep, emits `BENCH_serve.json` |
 //!
 //! Criterion micro-benchmarks of the actual kernels live in `benches/`.
 
@@ -109,9 +110,6 @@ mod tests {
 
     #[test]
     fn table_printer_does_not_panic() {
-        print_table(
-            &["a", "bb"],
-            &[vec!["1".to_string(), "2".to_string()]],
-        );
+        print_table(&["a", "bb"], &[vec!["1".to_string(), "2".to_string()]]);
     }
 }

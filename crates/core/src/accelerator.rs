@@ -75,9 +75,9 @@ impl SwatAccelerator {
     /// Seconds for a full model's attention: `heads` heads × `layers`
     /// layers, with `pipelines` heads running concurrently.
     pub fn model_latency_seconds(&self, seq_len: usize, heads: usize, layers: usize) -> f64 {
-        self.cfg
-            .clock
-            .seconds(timing::model_attention_cycles(&self.cfg, seq_len, heads, layers))
+        self.cfg.clock.seconds(timing::model_attention_cycles(
+            &self.cfg, seq_len, heads, layers,
+        ))
     }
 
     /// Estimated sustained power (activity 1.0: the pipeline is fully
@@ -139,12 +139,8 @@ impl SwatAccelerator {
 
         let pattern = self.cfg.pattern_for(n);
         let run: FusedRun = match self.cfg.precision {
-            Precision::Fp16 => {
-                fused_pattern_attention_in::<F16>(q, k, v, &pattern, self.cfg.scale)
-            }
-            Precision::Fp32 => {
-                fused_pattern_attention_in::<f32>(q, k, v, &pattern, self.cfg.scale)
-            }
+            Precision::Fp16 => fused_pattern_attention_in::<F16>(q, k, v, &pattern, self.cfg.scale),
+            Precision::Fp32 => fused_pattern_attention_in::<f32>(q, k, v, &pattern, self.cfg.scale),
         };
 
         let cycles = self.latency_cycles(n);
@@ -244,8 +240,16 @@ mod tests {
     fn power_matches_calibration_targets() {
         let f16 = SwatAccelerator::new(SwatConfig::longformer_fp16()).unwrap();
         let f32_ = SwatAccelerator::new(SwatConfig::longformer_fp32()).unwrap();
-        assert!((39.0..41.0).contains(&f16.power_watts()), "{}", f16.power_watts());
-        assert!((53.0..57.0).contains(&f32_.power_watts()), "{}", f32_.power_watts());
+        assert!(
+            (39.0..41.0).contains(&f16.power_watts()),
+            "{}",
+            f16.power_watts()
+        );
+        assert!(
+            (53.0..57.0).contains(&f32_.power_watts()),
+            "{}",
+            f32_.power_watts()
+        );
     }
 
     #[test]

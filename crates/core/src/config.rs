@@ -150,7 +150,7 @@ impl SwatConfig {
         if self.window_tokens == 0 && self.global_tokens == 0 && self.random_tokens == 0 {
             return Err(ConfigError::new("at least one attention core is required"));
         }
-        if self.window_tokens % 2 != 0 {
+        if !self.window_tokens.is_multiple_of(2) {
             return Err(ConfigError::new("window_tokens (2w) must be even"));
         }
         if self.pipelines == 0 {
@@ -175,7 +175,13 @@ impl SwatConfig {
         if self.global_tokens == 0 && self.random_tokens == 0 {
             SparsityPattern::sliding_window(n, w.min(n))
         } else {
-            SparsityPattern::bigbird(n, w.min(n), self.global_tokens, self.random_tokens, self.pattern_seed)
+            SparsityPattern::bigbird(
+                n,
+                w.min(n),
+                self.global_tokens,
+                self.random_tokens,
+                self.pattern_seed,
+            )
         }
     }
 
@@ -193,7 +199,10 @@ pub struct ConfigError {
 }
 
 impl ConfigError {
-    pub(crate) fn new(message: impl Into<String>) -> ConfigError {
+    /// Creates an error with the given reason. Public so downstream crates
+    /// composing SWAT designs (e.g. `swat-serve` fleets) can report their
+    /// own configuration failures in the same type.
+    pub fn new(message: impl Into<String>) -> ConfigError {
         ConfigError {
             message: message.into(),
         }

@@ -60,7 +60,12 @@ pub fn core_resources(precision: Precision, role: CoreRole) -> Resources {
         CoreRole::Random => calib::CORE_LUT_RANDOM_FP16,
     };
     match precision {
-        Precision::Fp16 => Resources::new(calib::CORE_DSP_FP16, lut16, calib::CORE_FF_FP16, calib::CORE_BRAM),
+        Precision::Fp16 => Resources::new(
+            calib::CORE_DSP_FP16,
+            lut16,
+            calib::CORE_FF_FP16,
+            calib::CORE_BRAM,
+        ),
         Precision::Fp32 => Resources::new(
             calib::CORE_DSP_FP32,
             lut16 * calib::LUT_FP32_SCALE_NUM / calib::LUT_FP32_SCALE_DEN,
@@ -73,8 +78,18 @@ pub fn core_resources(precision: Precision, role: CoreRole) -> Resources {
 /// Shared per-pipeline resources (Z-reduction, row-sum, divider, control).
 pub fn shared_resources(precision: Precision) -> Resources {
     match precision {
-        Precision::Fp16 => Resources::new(calib::SHARED_DSP_FP16, calib::SHARED_LUT, calib::SHARED_FF_FP16, 0),
-        Precision::Fp32 => Resources::new(calib::SHARED_DSP_FP32, calib::SHARED_LUT, calib::SHARED_FF_FP32, 0),
+        Precision::Fp16 => Resources::new(
+            calib::SHARED_DSP_FP16,
+            calib::SHARED_LUT,
+            calib::SHARED_FF_FP16,
+            0,
+        ),
+        Precision::Fp32 => Resources::new(
+            calib::SHARED_DSP_FP32,
+            calib::SHARED_LUT,
+            calib::SHARED_FF_FP32,
+            0,
+        ),
     }
 }
 

@@ -50,6 +50,121 @@ pub struct WorkloadSchedule {
     pub memory_feasible: bool,
 }
 
+/// Incremental job admission onto a set of pipelines.
+///
+/// [`schedule_model`] plans a whole batch at once, which is the right tool
+/// for one-shot runs; a *serving* system instead admits jobs as requests
+/// arrive. `PipelineAgenda` keeps one `next_free` horizon per pipeline and
+/// places jobs one at a time, never moving a job once placed, so schedules
+/// built through it are conflict-free by construction.
+///
+/// # Examples
+///
+/// ```
+/// use swat::schedule::{Job, PipelineAgenda};
+///
+/// let mut agenda = PipelineAgenda::new(2);
+/// let a = agenda.admit(Job { batch: 0, layer: 0, head: 0 }, 0.0, 1.0);
+/// let b = agenda.admit(Job { batch: 0, layer: 0, head: 1 }, 0.0, 1.0);
+/// assert_ne!(a.pipeline, b.pipeline); // both start immediately
+/// assert_eq!(agenda.horizon(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineAgenda {
+    next_free: Vec<f64>,
+}
+
+impl PipelineAgenda {
+    /// An agenda over `pipelines` initially idle pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipelines == 0`.
+    pub fn new(pipelines: usize) -> PipelineAgenda {
+        assert!(pipelines > 0, "at least one pipeline is required");
+        PipelineAgenda {
+            next_free: vec![0.0; pipelines],
+        }
+    }
+
+    /// Number of pipelines managed.
+    pub fn pipelines(&self) -> usize {
+        self.next_free.len()
+    }
+
+    /// Per-pipeline drain times (`next_free[p]` is when pipeline `p`
+    /// finishes its last admitted job).
+    pub fn drain_times(&self) -> &[f64] {
+        &self.next_free
+    }
+
+    /// The pipeline that frees up first, and when.
+    pub fn earliest_free(&self) -> (usize, f64) {
+        let mut best = 0;
+        for (p, &t) in self.next_free.iter().enumerate() {
+            if t < self.next_free[best] {
+                best = p;
+            }
+        }
+        (best, self.next_free[best])
+    }
+
+    /// When the last admitted job drains (0.0 while idle).
+    pub fn horizon(&self) -> f64 {
+        self.next_free.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Pipelines idle at time `now`.
+    pub fn idle_pipelines(&self, now: f64) -> usize {
+        self.next_free.iter().filter(|&&t| t <= now).count()
+    }
+
+    /// Total committed work beyond `now`, in pipeline-seconds.
+    pub fn backlog_seconds(&self, now: f64) -> f64 {
+        self.next_free.iter().map(|&t| (t - now).max(0.0)).sum()
+    }
+
+    /// Admits one job of `duration` seconds onto the earliest-free
+    /// pipeline, no sooner than `not_before`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive and finite.
+    pub fn admit(&mut self, job: Job, not_before: f64, duration: f64) -> Placement {
+        let (p, _) = self.earliest_free();
+        self.admit_on(p, job, not_before, duration)
+    }
+
+    /// Admits one job onto a specific pipeline (serving policies that pin
+    /// jobs, e.g. head affinity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline index is out of range or `duration` is not
+    /// positive and finite.
+    pub fn admit_on(
+        &mut self,
+        pipeline: usize,
+        job: Job,
+        not_before: f64,
+        duration: f64,
+    ) -> Placement {
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "job duration must be positive"
+        );
+        let start = self.next_free[pipeline].max(not_before);
+        let end = start + duration;
+        self.next_free[pipeline] = end;
+        Placement {
+            job,
+            pipeline,
+            start,
+            end,
+        }
+    }
+}
+
 /// Schedules `batch × layers × heads` attention jobs of `seq_len` tokens
 /// onto the configuration's pipelines (greedy round-robin; all jobs are
 /// identical so this is optimal).
@@ -64,33 +179,42 @@ pub fn schedule_model(
     layers: usize,
     heads: usize,
 ) -> WorkloadSchedule {
-    assert!(batch > 0 && layers > 0 && heads > 0 && seq_len > 0, "empty workload");
-    let per_job = cfg
-        .clock
-        .seconds(StageTimings::for_config(cfg).to_pipeline(cfg.random_tokens > 0).total_cycles(seq_len as u64));
+    assert!(
+        batch > 0 && layers > 0 && heads > 0 && seq_len > 0,
+        "empty workload"
+    );
+    let per_job = cfg.clock.seconds(
+        StageTimings::for_config(cfg)
+            .to_pipeline(cfg.random_tokens > 0)
+            .total_cycles(seq_len as u64),
+    );
 
     let pipelines = cfg.pipelines;
-    let mut next_free = vec![0.0f64; pipelines];
+    let mut agenda = PipelineAgenda::new(pipelines);
     let mut placements = Vec::with_capacity(batch * layers * heads);
     let mut i = 0usize;
     for b in 0..batch {
         for l in 0..layers {
             for h in 0..heads {
+                // Round-robin matches earliest-free here because every job
+                // has the same duration; keep the explicit rotation so the
+                // placement order is stable.
                 let p = i % pipelines;
-                let start = next_free[p];
-                let end = start + per_job;
-                next_free[p] = end;
-                placements.push(Placement {
-                    job: Job { batch: b, layer: l, head: h },
-                    pipeline: p,
-                    start,
-                    end,
-                });
+                placements.push(agenda.admit_on(
+                    p,
+                    Job {
+                        batch: b,
+                        layer: l,
+                        head: h,
+                    },
+                    0.0,
+                    per_job,
+                ));
                 i += 1;
             }
         }
     }
-    let makespan = next_free.iter().copied().fold(0.0, f64::max);
+    let makespan = agenda.horizon();
 
     // Streaming bandwidth per pipeline: Q, K, V in and Z out over the
     // job's duration.
@@ -182,5 +306,67 @@ mod tests {
     #[should_panic(expected = "empty workload")]
     fn empty_workload_rejected() {
         let _ = schedule_model(&SwatConfig::longformer_fp16(), 128, 0, 1, 1);
+    }
+
+    #[test]
+    fn agenda_admits_incrementally() {
+        let mut agenda = PipelineAgenda::new(2);
+        let job = |head| Job {
+            batch: 0,
+            layer: 0,
+            head,
+        };
+        let a = agenda.admit(job(0), 0.0, 2.0);
+        let b = agenda.admit(job(1), 0.0, 1.0);
+        // Two idle pipelines: both start at t=0 on different pipelines.
+        assert_eq!((a.start, b.start), (0.0, 0.0));
+        assert_ne!(a.pipeline, b.pipeline);
+        // Third job lands on the pipeline that frees first (b's).
+        let c = agenda.admit(job(2), 0.0, 1.0);
+        assert_eq!(c.pipeline, b.pipeline);
+        assert_eq!((c.start, c.end), (1.0, 2.0));
+        assert_eq!(agenda.horizon(), 2.0);
+        assert_eq!(agenda.idle_pipelines(2.0), 2);
+        assert!((agenda.backlog_seconds(0.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agenda_respects_not_before() {
+        let mut agenda = PipelineAgenda::new(1);
+        let p = agenda.admit(
+            Job {
+                batch: 0,
+                layer: 0,
+                head: 0,
+            },
+            5.0,
+            1.0,
+        );
+        assert_eq!((p.start, p.end), (5.0, 6.0));
+        // A job arriving earlier still queues behind the horizon.
+        let q = agenda.admit(
+            Job {
+                batch: 0,
+                layer: 0,
+                head: 1,
+            },
+            0.0,
+            1.0,
+        );
+        assert_eq!(q.start, 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn agenda_rejects_zero_duration() {
+        PipelineAgenda::new(1).admit(
+            Job {
+                batch: 0,
+                layer: 0,
+                head: 0,
+            },
+            0.0,
+            0.0,
+        );
     }
 }

@@ -162,7 +162,12 @@ pub fn attention_cycles(cfg: &SwatConfig, seq_len: usize) -> u64 {
 /// Heads are processed sequentially per pipeline; `pipelines` heads run
 /// concurrently (Section 5.3: "total attention time is proportional to the
 /// execution time of a single head").
-pub fn model_attention_cycles(cfg: &SwatConfig, seq_len: usize, heads: usize, layers: usize) -> u64 {
+pub fn model_attention_cycles(
+    cfg: &SwatConfig,
+    seq_len: usize,
+    heads: usize,
+    layers: usize,
+) -> u64 {
     let per_head = attention_cycles(cfg, seq_len);
     let rounds = (heads as u64).div_ceil(cfg.pipelines as u64);
     per_head * rounds * layers as u64

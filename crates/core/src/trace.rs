@@ -149,10 +149,7 @@ mod tests {
 
     #[test]
     fn dependencies_are_respected() {
-        let p = Pipeline::new(vec![
-            PipelineStage::new("A", 5),
-            PipelineStage::new("B", 3),
-        ]);
+        let p = Pipeline::new(vec![PipelineStage::new("A", 5), PipelineStage::new("B", 3)]);
         let sched = simulate_schedule(&p, 3);
         // Row r stage B starts after row r stage A ends.
         for row in 0..3 {

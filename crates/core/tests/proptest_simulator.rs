@@ -11,7 +11,12 @@ use swat_numeric::SplitMix64;
 use swat_tensor::Matrix;
 
 fn small_config() -> impl Strategy<Value = SwatConfig> {
-    (1usize..8, 0usize..4, 0usize..4, prop_oneof![Just(Precision::Fp16), Just(Precision::Fp32)])
+    (
+        1usize..8,
+        0usize..4,
+        0usize..4,
+        prop_oneof![Just(Precision::Fp16), Just(Precision::Fp32)],
+    )
         .prop_map(|(w_pairs, globals, randoms, precision)| SwatConfig {
             window_tokens: 2 * w_pairs.max(1) * 4, // 8..56, even
             global_tokens: globals,

@@ -31,7 +31,10 @@ impl ClockDomain {
     ///
     /// Panics if `hz` is not strictly positive and finite.
     pub fn from_hz(hz: f64) -> ClockDomain {
-        assert!(hz.is_finite() && hz > 0.0, "clock frequency must be positive");
+        assert!(
+            hz.is_finite() && hz > 0.0,
+            "clock frequency must be positive"
+        );
         ClockDomain { hz }
     }
 

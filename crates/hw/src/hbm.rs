@@ -133,8 +133,7 @@ impl HbmReport {
     /// perfectly balanced).
     pub fn imbalance(&self) -> f64 {
         let max = self.per_channel_bytes.iter().copied().max().unwrap_or(0) as f64;
-        let mean =
-            self.total_bytes as f64 / self.per_channel_bytes.len().max(1) as f64;
+        let mean = self.total_bytes as f64 / self.per_channel_bytes.len().max(1) as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -160,13 +159,21 @@ mod tests {
         let hbm = HbmModel::u55c();
         let report = hbm.service_stream(0, 16384, 128, 128);
         assert_eq!(report.total_bytes, 16384 * 128);
-        assert!(report.efficiency() > 0.4, "efficiency {}", report.efficiency());
+        assert!(
+            report.efficiency() > 0.4,
+            "efficiency {}",
+            report.efficiency()
+        );
         assert!(report.imbalance() < 1.1, "imbalance {}", report.imbalance());
         // ...but the stream is contiguous, so the AXI master coalesces it
         // into long bursts and recovers near-ideal bandwidth.
         let coalesced = hbm.service_stream(0, 16384 * 128 / 4096, 4096, 4096);
         assert_eq!(coalesced.total_bytes, report.total_bytes);
-        assert!(coalesced.efficiency() > 0.85, "efficiency {}", coalesced.efficiency());
+        assert!(
+            coalesced.efficiency() > 0.85,
+            "efficiency {}",
+            coalesced.efficiency()
+        );
     }
 
     #[test]
@@ -178,14 +185,21 @@ mod tests {
         let busy_channels = report.per_channel_bytes.iter().filter(|&&b| b > 0).count();
         assert_eq!(busy_channels, 1);
         // ~32x slower than the balanced ideal.
-        assert!(report.efficiency() < 0.05, "efficiency {}", report.efficiency());
+        assert!(
+            report.efficiency() < 0.05,
+            "efficiency {}",
+            report.efficiency()
+        );
     }
 
     #[test]
     fn bursts_split_across_granule_boundaries() {
         let hbm = HbmModel::u55c();
         // A 512 B burst starting mid-granule touches 3 granules / channels.
-        let report = hbm.service(&[Transaction { addr: 128, bytes: 512 }]);
+        let report = hbm.service(&[Transaction {
+            addr: 128,
+            bytes: 512,
+        }]);
         let busy: Vec<usize> = report
             .per_channel_bytes
             .iter()

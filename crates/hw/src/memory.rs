@@ -47,6 +47,12 @@ impl MemoryInterface {
         MemoryInterface::new(19.2e9)
     }
 
+    /// PCIe Gen4 ×16 host link (32 GB/s raw, ~25 GB/s sustained): the path
+    /// model weights take when a serving card switches model families.
+    pub fn pcie4_x16() -> MemoryInterface {
+        MemoryInterface::new(25e9)
+    }
+
     /// Sustained bandwidth in bytes per second.
     pub fn bytes_per_sec(&self) -> f64 {
         self.bytes_per_sec
@@ -67,6 +73,38 @@ impl MemoryInterface {
     /// `max(transfer, compute)` — the standard double-buffering bound.
     pub fn overlapped_seconds(&self, bytes: u64, compute_seconds: f64) -> f64 {
         self.transfer_seconds(bytes).max(compute_seconds)
+    }
+
+    /// Contention of `streams` equal readers sharing this interface, each
+    /// demanding `per_stream_bytes_per_sec`: the factor by which every
+    /// stream's transfer stretches. 1.0 while aggregate demand fits the
+    /// sustained bandwidth; `demand / bandwidth` once it saturates (fair
+    /// sharing — HBM's channel arbitration round-robins among masters).
+    ///
+    /// SWAT's pipelines demand well under 1% of HBM2 each, so on-card
+    /// contention is 1.0 in every paper configuration; the serving layer
+    /// uses this to model down-binned cards (e.g. DDR4) and future designs
+    /// with many more pipelines per card.
+    pub fn contention_factor(&self, streams: usize, per_stream_bytes_per_sec: f64) -> f64 {
+        assert!(
+            per_stream_bytes_per_sec.is_finite() && per_stream_bytes_per_sec >= 0.0,
+            "per-stream demand must be non-negative"
+        );
+        let demand = streams as f64 * per_stream_bytes_per_sec;
+        (demand / self.bytes_per_sec).max(1.0)
+    }
+
+    /// Service seconds for one stream moving `bytes` while `streams`
+    /// streams (itself included) share the interface: the isolated
+    /// transfer time stretched by [`contention_factor`]
+    /// (MemoryInterface::contention_factor).
+    pub fn contended_transfer_seconds(
+        &self,
+        bytes: u64,
+        streams: usize,
+        per_stream_bytes_per_sec: f64,
+    ) -> f64 {
+        self.transfer_seconds(bytes) * self.contention_factor(streams, per_stream_bytes_per_sec)
     }
 }
 
@@ -104,6 +142,30 @@ mod tests {
 
     #[test]
     fn ddr_is_slower_than_hbm() {
-        assert!(MemoryInterface::ddr4_channel().bytes_per_sec() < MemoryInterface::hbm2().bytes_per_sec());
+        assert!(
+            MemoryInterface::ddr4_channel().bytes_per_sec()
+                < MemoryInterface::hbm2().bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn contention_kicks_in_only_at_saturation() {
+        let m = MemoryInterface::new(10e9);
+        // Two streams of 1 GB/s: 20% load, no stretch.
+        assert_eq!(m.contention_factor(2, 1e9), 1.0);
+        // Five streams of 4 GB/s: 2x oversubscribed, everything halves.
+        assert!((m.contention_factor(5, 4e9) - 2.0).abs() < 1e-12);
+        let isolated = m.transfer_seconds(1_000_000_000);
+        let contended = m.contended_transfer_seconds(1_000_000_000, 5, 4e9);
+        assert!((contended / isolated - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swat_pipelines_never_contend_on_hbm2() {
+        // Worst case in the paper: dual pipeline, FP32, streaming Q/K/V/Z
+        // at the initiation interval — still far below 460 GB/s.
+        let hbm = MemoryInterface::hbm2();
+        let per_pipeline = 4.0 * 64.0 * 4.0 * 450e6 / 201.0; // bytes/s
+        assert_eq!(hbm.contention_factor(2, per_pipeline), 1.0);
     }
 }

@@ -182,10 +182,7 @@ mod tests {
         assert_eq!(u[1], ("B".to_string(), 1.0));
         assert!((u[0].1 - 1.0 / 3.0).abs() < 1e-12);
         assert!(p.balance() < 1.0);
-        let balanced = Pipeline::new(vec![
-            PipelineStage::new("X", 5),
-            PipelineStage::new("Y", 5),
-        ]);
+        let balanced = Pipeline::new(vec![PipelineStage::new("X", 5), PipelineStage::new("Y", 5)]);
         assert!((balanced.balance() - 1.0).abs() < 1e-12);
     }
 

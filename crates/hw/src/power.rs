@@ -64,7 +64,10 @@ impl PowerModel {
     ///
     /// Panics if `activity` is outside `[0, 1]`.
     pub fn power_watts(&self, used: &Resources, activity: f64, clk: &ClockDomain) -> f64 {
-        assert!((0.0..=1.0).contains(&activity), "activity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity must be in [0, 1]"
+        );
         let dynamic = used.dsp as f64 * self.watts_per_dsp
             + used.lut as f64 * self.watts_per_lut
             + used.ff as f64 * self.watts_per_ff

@@ -165,7 +165,11 @@ pub struct Utilization {
 impl Utilization {
     /// The maximum over the components — the binding constraint.
     pub fn max_component(&self) -> f64 {
-        self.dsp.max(self.lut).max(self.ff).max(self.bram).max(self.uram)
+        self.dsp
+            .max(self.lut)
+            .max(self.ff)
+            .max(self.bram)
+            .max(self.uram)
     }
 
     /// Returns `true` if nothing exceeds the device (all components ≤ 1).

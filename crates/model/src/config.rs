@@ -120,7 +120,7 @@ impl ModelConfig {
     /// Panics if `heads` does not divide `d_model`.
     pub fn head_dim(&self) -> usize {
         assert!(
-            self.heads > 0 && self.d_model % self.heads == 0,
+            self.heads > 0 && self.d_model.is_multiple_of(self.heads),
             "heads must divide d_model"
         );
         self.d_model / self.heads

@@ -107,8 +107,8 @@ pub fn layer_costs(cfg: &ModelConfig, n: usize, attention: AttentionKind) -> Lay
     let attention_flops = 2 * n * a * d  // QK
         + 3 * n * a * heads              // softmax exp/sum/div
         + 2 * n * a * d; // SV
-    // Q, K, V read; S written + read twice (softmax, SV) in the unfused
-    // three-kernel implementation; Z written.
+                         // Q, K, V read; S written + read twice (softmax, SV) in the unfused
+                         // three-kernel implementation; Z written.
     let attention_mops = 3 * n * d + 3 * n * a * heads + n * d;
 
     // --- FFN: d -> m·d -> d.

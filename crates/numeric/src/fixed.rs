@@ -283,9 +283,7 @@ mod tests {
                     let lo = i.saturating_sub(w);
                     let hi = (i + w).min(n);
                     let mut scores: Vec<f32> = (lo..hi)
-                        .map(|j| {
-                            (0..h).map(|c| q[i * h + c] * k[j * h + c]).sum::<f32>() * scale
-                        })
+                        .map(|j| (0..h).map(|c| q[i * h + c] * k[j * h + c]).sum::<f32>() * scale)
                         .collect();
                     crate::softmax::softmax_stable_in_place(&mut scores);
                     for (p, j) in scores.iter().zip(lo..hi) {

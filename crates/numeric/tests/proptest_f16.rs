@@ -7,11 +7,7 @@ use swat_numeric::{ulp_distance_f32, F16};
 
 /// Strategy for f32 values that fit comfortably inside binary16's range.
 fn in_range_f32() -> impl Strategy<Value = f32> {
-    prop_oneof![
-        -60000.0f32..60000.0f32,
-        -1.0f32..1.0f32,
-        -1e-3f32..1e-3f32,
-    ]
+    prop_oneof![-60000.0f32..60000.0f32, -1.0f32..1.0f32, -1e-3f32..1e-3f32,]
 }
 
 /// Strategy for attention-score-like values (softmax inputs).

@@ -1,0 +1,354 @@
+//! The fleet: N SWAT cards × P pipelines each, with shared-memory
+//! backpressure.
+
+use swat::config::ConfigError;
+use swat::schedule::{Job, PipelineAgenda, Placement};
+use swat::{SwatAccelerator, SwatConfig};
+use swat_hw::MemoryInterface;
+use swat_workloads::RequestShape;
+
+/// Configuration of a serving fleet.
+///
+/// Every card runs the same SWAT design (heterogeneous fleets would only
+/// add bookkeeping here; the dispatch policies already consult per-card
+/// state rather than assuming symmetry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of accelerator cards.
+    pub cards: usize,
+    /// The design every card instantiates.
+    pub card: SwatConfig,
+    /// Off-chip interface shared by one card's pipelines.
+    pub memory: MemoryInterface,
+    /// Host link weights cross when a card switches model families.
+    pub host_link: MemoryInterface,
+}
+
+impl FleetConfig {
+    /// A fleet of `cards` dual-pipeline BigBird FP16 cards on HBM2 — the
+    /// highest-throughput design point in the paper's Table 2.
+    pub fn standard(cards: usize) -> FleetConfig {
+        FleetConfig {
+            cards,
+            card: SwatConfig::bigbird_dual_fp16(),
+            memory: MemoryInterface::hbm2(),
+            host_link: MemoryInterface::pcie4_x16(),
+        }
+    }
+
+    /// Pipelines per card.
+    pub fn pipelines_per_card(&self) -> usize {
+        self.card.pipelines
+    }
+
+    /// Builds the runtime fleet state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the card design is invalid or there are
+    /// no cards.
+    pub fn build(&self) -> Result<Fleet, ConfigError> {
+        if self.cards == 0 {
+            return Err(ConfigError::new("a fleet needs at least one card"));
+        }
+        let accel = SwatAccelerator::new(self.card.clone())?;
+        let cards = (0..self.cards)
+            .map(|_| Card::new(accel.clone(), self.memory, self.host_link))
+            .collect();
+        Ok(Fleet { cards })
+    }
+}
+
+/// One card's runtime state.
+#[derive(Debug, Clone)]
+pub struct Card {
+    accel: SwatAccelerator,
+    memory: MemoryInterface,
+    host_link: MemoryInterface,
+    agenda: PipelineAgenda,
+    /// The model family whose weights are resident on the card.
+    resident: Option<(usize, usize)>,
+    /// Times the card had to swap families in.
+    weight_swaps: u64,
+    /// Pipeline-seconds of committed service.
+    busy_seconds: f64,
+    /// Active-service energy.
+    energy_joules: f64,
+    /// Requests dispatched to this card.
+    served: u64,
+}
+
+impl Card {
+    fn new(accel: SwatAccelerator, memory: MemoryInterface, host_link: MemoryInterface) -> Card {
+        let pipelines = accel.config().pipelines;
+        Card {
+            accel,
+            memory,
+            host_link,
+            agenda: PipelineAgenda::new(pipelines),
+            resident: None,
+            weight_swaps: 0,
+            busy_seconds: 0.0,
+            energy_joules: 0.0,
+            served: 0,
+        }
+    }
+
+    /// The accelerator model this card runs.
+    pub fn accelerator(&self) -> &SwatAccelerator {
+        &self.accel
+    }
+
+    /// Pipelines on this card.
+    pub fn pipelines(&self) -> usize {
+        self.agenda.pipelines()
+    }
+
+    /// Pipelines idle at `now`.
+    pub fn idle_pipelines(&self, now: f64) -> usize {
+        self.agenda.idle_pipelines(now)
+    }
+
+    /// Committed work beyond `now`, pipeline-seconds.
+    pub fn backlog_seconds(&self, now: f64) -> f64 {
+        self.agenda.backlog_seconds(now)
+    }
+
+    /// Requests dispatched so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The model family currently resident.
+    pub fn resident_family(&self) -> Option<(usize, usize)> {
+        self.resident
+    }
+
+    /// Weight swap-ins so far.
+    pub fn weight_swaps(&self) -> u64 {
+        self.weight_swaps
+    }
+
+    /// Seconds to stream this shape's family weights over the host link —
+    /// the stall paid when the card's resident family differs.
+    pub fn swap_seconds(&self, shape: &RequestShape) -> f64 {
+        let bytes = shape.weight_bytes(
+            self.accel.config().head_dim,
+            self.accel.config().precision.bytes(),
+        );
+        self.host_link.transfer_seconds(bytes)
+    }
+
+    /// Pipeline-seconds of service committed so far.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Active-service energy so far, joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy_joules
+    }
+
+    /// Seconds one pipeline needs for one of the request's jobs, including
+    /// memory contention: with `streams` pipelines of this card streaming
+    /// concurrently, the shared interface stretches service once their
+    /// aggregate Q/K/V/Z demand saturates it.
+    pub fn job_seconds(&self, shape: &RequestShape, streams: usize) -> f64 {
+        let compute = self.accel.latency_seconds(shape.seq_len);
+        let bytes_per_sec = self.accel.offchip_bytes(shape.seq_len) as f64 / compute;
+        compute * self.memory.contention_factor(streams, bytes_per_sec)
+    }
+
+    /// Isolated (contention-free) single-pipeline service time for a whole
+    /// request: its jobs run back to back on one pipeline.
+    pub fn service_seconds(&self, shape: &RequestShape) -> f64 {
+        self.job_seconds(shape, 1) * shape.jobs() as f64
+    }
+
+    /// Admits a request at `now` onto this card's earliest-free pipeline.
+    /// Returns `(pipeline, finish_time)` and, when `trace` is set, records
+    /// one [`Placement`] per attention job into `placements`.
+    pub(crate) fn admit(
+        &mut self,
+        shape: &RequestShape,
+        now: f64,
+        trace: bool,
+        placements: &mut Vec<Placement>,
+    ) -> (usize, f64) {
+        // Streams sharing the interface while this request runs: every
+        // pipeline busy at dispatch, plus this one.
+        let streams = self.pipelines() - self.idle_pipelines(now) + 1;
+        let per_job = self.job_seconds(shape, streams);
+        let (pipeline, _) = self.agenda.earliest_free();
+
+        // Cold weights: the pipeline stalls while the family streams in
+        // over the host link. The stall rides on the first job's slot.
+        let swap = if self.resident == Some(shape.family()) {
+            0.0
+        } else {
+            self.resident = Some(shape.family());
+            self.weight_swaps += 1;
+            self.swap_seconds(shape)
+        };
+
+        // Jobs are admitted one by one in both modes so traced and
+        // untraced runs produce bit-identical timing; tracing only
+        // controls whether the placements are kept.
+        let mut finish = now;
+        let mut first = true;
+        for b in 0..shape.batch {
+            for l in 0..shape.layers {
+                for h in 0..shape.heads {
+                    let duration = if first { swap + per_job } else { per_job };
+                    first = false;
+                    let p = self.agenda.admit_on(
+                        pipeline,
+                        Job {
+                            batch: b,
+                            layer: l,
+                            head: h,
+                        },
+                        now,
+                        duration,
+                    );
+                    finish = p.end;
+                    if trace {
+                        placements.push(p);
+                    }
+                }
+            }
+        }
+
+        let duration = finish - now;
+        self.busy_seconds += duration;
+        // Static + dynamic power of a fully-busy card is amortized over its
+        // pipelines; idle power is out of scope (the fleet would clock-gate).
+        self.energy_joules += self.accel.power_watts() / self.pipelines() as f64 * duration;
+        self.served += 1;
+        (pipeline, finish)
+    }
+}
+
+/// Runtime state of the whole fleet.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    cards: Vec<Card>,
+}
+
+impl Fleet {
+    /// The cards.
+    pub fn cards(&self) -> &[Card] {
+        &self.cards
+    }
+
+    /// Mutable card access for the simulator.
+    pub(crate) fn card_mut(&mut self, i: usize) -> &mut Card {
+        &mut self.cards[i]
+    }
+
+    /// Total pipelines across the fleet.
+    pub fn total_pipelines(&self) -> usize {
+        self.cards.iter().map(Card::pipelines).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> RequestShape {
+        RequestShape {
+            seq_len: 1024,
+            heads: 4,
+            layers: 2,
+            batch: 1,
+        }
+    }
+
+    #[test]
+    fn standard_fleet_builds() {
+        let fleet = FleetConfig::standard(4).build().unwrap();
+        assert_eq!(fleet.cards().len(), 4);
+        assert_eq!(fleet.total_pipelines(), 8); // dual-pipeline cards
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        assert!(FleetConfig::standard(0).build().is_err());
+    }
+
+    #[test]
+    fn service_time_composes_job_times() {
+        let fleet = FleetConfig::standard(1).build().unwrap();
+        let card = &fleet.cards()[0];
+        let s = shape();
+        let per_job = card.accelerator().latency_seconds(s.seq_len);
+        // HBM2 never contends at paper scale, so service = jobs × per-job.
+        assert!((card.service_seconds(&s) - 8.0 * per_job).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ddr_fleet_feels_backpressure() {
+        // Starve the card: a single DDR4 channel cannot feed two pipelines
+        // streaming 16 K-token heads, so service stretches.
+        let cfg = FleetConfig {
+            memory: MemoryInterface::ddr4_channel(),
+            ..FleetConfig::standard(1)
+        };
+        let hbm = FleetConfig::standard(1).build().unwrap();
+        let ddr = cfg.build().unwrap();
+        let s = RequestShape {
+            seq_len: 16384,
+            ..shape()
+        };
+        let lone = ddr.cards()[0].job_seconds(&s, 1);
+        let contended = ddr.cards()[0].job_seconds(&s, 64);
+        assert!(contended > lone, "64 streams must stretch service on DDR4");
+        assert_eq!(
+            hbm.cards()[0].job_seconds(&s, 2),
+            hbm.cards()[0].job_seconds(&s, 1),
+            "HBM2 absorbs both pipelines"
+        );
+    }
+
+    #[test]
+    fn admit_advances_state() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let (p0, f0) = fleet
+            .card_mut(0)
+            .admit(&shape(), 0.0, true, &mut placements);
+        assert_eq!(placements.len(), 8);
+        assert!(f0 > 0.0);
+        // The first admission pays the cold-weight swap; the second finds
+        // the family resident, lands on the other pipeline, and finishes
+        // exactly one swap earlier.
+        let swap = fleet.cards()[0].swap_seconds(&shape());
+        assert!(swap > 0.0);
+        let (p1, f1) = fleet
+            .card_mut(0)
+            .admit(&shape(), 0.0, true, &mut placements);
+        assert_ne!(p0, p1);
+        assert!((f0 - f1 - swap).abs() < 1e-12);
+        let card = &fleet.cards()[0];
+        assert_eq!(card.served(), 2);
+        assert_eq!(card.weight_swaps(), 1);
+        assert_eq!(card.resident_family(), Some((4, 2)));
+        assert!(card.energy_joules() > 0.0);
+        assert!((card.busy_seconds() - (f0 + f1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_and_untraced_admissions_agree() {
+        let mut traced = FleetConfig::standard(1).build().unwrap();
+        let mut untraced = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let (_, ft) = traced
+            .card_mut(0)
+            .admit(&shape(), 0.125, true, &mut placements);
+        let (_, fu) = untraced
+            .card_mut(0)
+            .admit(&shape(), 0.125, false, &mut placements);
+        assert!((ft - fu).abs() < 1e-12, "trace mode must not change timing");
+    }
+}

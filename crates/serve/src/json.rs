@@ -1,0 +1,165 @@
+//! A minimal, deterministic JSON writer.
+//!
+//! The benchmark binaries need machine-readable output with **bitwise
+//! reproducibility** for a fixed seed, which rules out anything that
+//! iterates hash maps or formats floats platform-dependently. This writer
+//! keeps object keys in insertion order and prints `f64` through Rust's
+//! shortest round-trip formatting (stable across platforms), so two runs
+//! of the same simulation emit byte-identical files.
+
+use std::fmt;
+
+/// A JSON value with ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite floats only; NaN/∞ would not round-trip as JSON.
+    Num(f64),
+    /// Integers keep full precision instead of going through f64.
+    Int(i64),
+    /// Unsigned integers (e.g. 64-bit seeds) that may exceed `i64::MAX`.
+    UInt(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Keys stay in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline —
+    /// the layout committed as `BENCH_*.json`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                assert!(x.is_finite(), "JSON numbers must be finite, got {x}");
+                let _ = write!(out, "{x}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let doc = Json::obj([
+            ("name", Json::Str("serve".into())),
+            ("count", Json::Int(3)),
+            ("ratio", Json::Num(0.5)),
+            ("flags", Json::arr([Json::Bool(true), Json::Null])),
+            ("empty", Json::obj([])),
+        ]);
+        let text = doc.pretty();
+        assert!(text.starts_with("{\n  \"name\": \"serve\""));
+        assert!(text.contains("\"flags\": [\n    true,\n    null\n  ]"));
+        assert!(text.contains("\"empty\": {}"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn output_is_reproducible() {
+        let build = || Json::obj([("a", Json::Num(1.0 / 3.0)), ("b", Json::Int(-7))]).pretty();
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(j.pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan() {
+        let _ = Json::Num(f64::NAN).pretty();
+    }
+}

@@ -1,0 +1,67 @@
+//! `swat-serve` — a discrete-event simulator of a fleet of SWAT
+//! accelerator cards serving attention-inference request streams.
+//!
+//! The core crate answers "how fast is one attention head on one SWAT
+//! card"; this crate answers the production question the ROADMAP's north
+//! star asks: **how does a fleet of those cards behave under sustained,
+//! heterogeneous traffic?** It composes the existing models rather than
+//! re-deriving any of them:
+//!
+//! - service times come from [`swat::SwatAccelerator`]'s calibrated timing
+//!   model (Table 1 initiation intervals composed over a request's
+//!   `batch × layers × heads` jobs);
+//! - job placement reuses [`swat::schedule`]'s [`Job`](swat::schedule::Job)
+//!   / [`Placement`](swat::schedule::Placement) vocabulary through the
+//!   incremental [`PipelineAgenda`](swat::schedule::PipelineAgenda), so
+//!   fleet schedules obey the same conflict-freedom invariants as one-shot
+//!   workload schedules;
+//! - memory backpressure uses [`swat_hw::MemoryInterface`]: concurrent
+//!   pipelines on one card share its off-chip interface, and service
+//!   stretches by the fair-share contention factor once aggregate demand
+//!   saturates it (never on HBM2 at paper scale — measurably on the DDR4
+//!   ablation);
+//! - request shapes come from [`swat_workloads::requests`]'s seeded mixes.
+//!
+//! The simulator itself is in [`sim`]: requests arrive by a stochastic
+//! [`arrival::ArrivalProcess`] (Poisson steady state, on/off bursts, or a
+//! diurnal ramp), wait in a queue, and are dispatched to cards by a
+//! pluggable [`policy::DispatchPolicy`]. The run produces a
+//! [`metrics::ServeReport`] — p50/p95/p99 latency, queue-depth profile,
+//! per-card utilization, energy, SLO violations — serializable to JSON
+//! ([`json`]) for the `serve_sweep` benchmark binary. Every run is
+//! bit-for-bit deterministic for a fixed seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use swat_serve::arrival::ArrivalProcess;
+//! use swat_serve::fleet::FleetConfig;
+//! use swat_serve::policy::LeastLoaded;
+//! use swat_serve::sim::{simulate, TrafficSpec};
+//! use swat_workloads::RequestMix;
+//!
+//! let traffic = TrafficSpec {
+//!     arrivals: ArrivalProcess::poisson(40.0),
+//!     mix: RequestMix::Interactive,
+//!     seed: 7,
+//! };
+//! let fleet = FleetConfig::standard(4);
+//! let report = simulate(&fleet, &mut LeastLoaded, &traffic.requests(500), false);
+//! assert_eq!(report.completed, 500);
+//! assert!(report.latency.p99 >= report.latency.p50);
+//! ```
+
+pub mod arrival;
+pub mod fleet;
+pub mod json;
+pub mod metrics;
+pub mod policy;
+pub mod request;
+pub mod sim;
+
+pub use arrival::ArrivalProcess;
+pub use fleet::FleetConfig;
+pub use metrics::ServeReport;
+pub use policy::DispatchPolicy;
+pub use request::Request;
+pub use sim::{serve, simulate, TrafficSpec};

@@ -1,0 +1,290 @@
+//! The metrics engine: latency percentiles, queue profile, utilization,
+//! energy, SLO accounting.
+
+use crate::json::Json;
+use crate::request::CompletedRequest;
+use swat::schedule::Placement;
+
+/// Nearest-rank percentile of a **sorted** slice; `q` in `[0, 1]`.
+/// Monotone in `q` by construction, which is what guarantees
+/// p99 ≥ p95 ≥ p50 in every report.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty set");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency distribution summary, seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub mean: f64,
+    pub max: f64,
+}
+
+impl LatencySummary {
+    fn from_latencies(mut latencies: Vec<f64>) -> LatencySummary {
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        LatencySummary {
+            p50: percentile(&latencies, 0.50),
+            p95: percentile(&latencies, 0.95),
+            p99: percentile(&latencies, 0.99),
+            mean,
+            max: *latencies.last().expect("non-empty"),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("p50_s", Json::Num(self.p50)),
+            ("p95_s", Json::Num(self.p95)),
+            ("p99_s", Json::Num(self.p99)),
+            ("mean_s", Json::Num(self.mean)),
+            ("max_s", Json::Num(self.max)),
+        ])
+    }
+}
+
+/// One sampled point of the queue-depth timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueSample {
+    /// Event time, seconds.
+    pub time: f64,
+    /// Waiting requests immediately after the event.
+    pub depth: usize,
+}
+
+/// Queue behaviour over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueSummary {
+    /// Largest depth ever observed.
+    pub max_depth: usize,
+    /// Time-weighted mean depth.
+    pub mean_depth: f64,
+    /// Depth after every event (arrival or dispatch), for plotting.
+    /// Capped by the simulator to bound memory on long sweeps.
+    pub timeline: Vec<QueueSample>,
+}
+
+impl QueueSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("max_depth", Json::Int(self.max_depth as i64)),
+            ("mean_depth", Json::Num(self.mean_depth)),
+        ])
+    }
+}
+
+/// Per-card accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardSummary {
+    /// Card index.
+    pub card: usize,
+    /// Requests served.
+    pub served: u64,
+    /// Busy pipeline-seconds over available pipeline-seconds (makespan ×
+    /// pipelines).
+    pub utilization: f64,
+    /// Active-service energy, joules.
+    pub energy_joules: f64,
+    /// Model-family weight swap-ins this card paid for.
+    pub weight_swaps: u64,
+}
+
+impl CardSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("card", Json::Int(self.card as i64)),
+            ("served", Json::Int(self.served as i64)),
+            ("utilization", Json::Num(self.utilization)),
+            ("energy_j", Json::Num(self.energy_joules)),
+            ("weight_swaps", Json::Int(self.weight_swaps as i64)),
+        ])
+    }
+}
+
+/// Everything a serving run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Dispatch policy name.
+    pub policy: String,
+    /// Arrival process name.
+    pub arrivals: String,
+    /// Requests offered to the fleet.
+    pub offered: usize,
+    /// Requests completed (== offered: the simulator drains the queue).
+    pub completed: usize,
+    /// Seconds from first arrival to last completion.
+    pub makespan: f64,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// Arrival-to-completion latency summary.
+    pub latency: LatencySummary,
+    /// Queue-depth profile.
+    pub queue: QueueSummary,
+    /// Per-card accounting.
+    pub cards: Vec<CardSummary>,
+    /// Fleet-aggregate active energy, joules.
+    pub energy_joules: f64,
+    /// Completions later than their request's SLO.
+    pub slo_violations: usize,
+    /// Per-job placements, when tracing was requested: `(card, placement)`.
+    pub placements: Vec<(usize, Placement)>,
+}
+
+impl ServeReport {
+    /// Assembles the report from raw simulation outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completed` is empty — a serving run with zero requests
+    /// has no distribution to summarize.
+    pub fn assemble(
+        policy: &str,
+        arrivals: &str,
+        completed: &[CompletedRequest],
+        queue: QueueSummary,
+        cards: Vec<CardSummary>,
+        placements: Vec<(usize, Placement)>,
+    ) -> ServeReport {
+        assert!(!completed.is_empty(), "cannot summarize an empty run");
+        let latencies: Vec<f64> = completed.iter().map(CompletedRequest::latency).collect();
+        let first_arrival = completed
+            .iter()
+            .map(|c| c.request.arrival)
+            .fold(f64::INFINITY, f64::min);
+        let last_finish = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
+        let makespan = last_finish - first_arrival;
+        let energy: f64 = cards.iter().map(|c| c.energy_joules).sum();
+        ServeReport {
+            policy: policy.to_string(),
+            arrivals: arrivals.to_string(),
+            offered: completed.len(),
+            completed: completed.len(),
+            makespan,
+            throughput_rps: completed.len() as f64 / makespan,
+            latency: LatencySummary::from_latencies(latencies),
+            queue,
+            cards,
+            energy_joules: energy,
+            slo_violations: completed.iter().filter(|c| !c.met_slo()).count(),
+            placements,
+        }
+    }
+
+    /// Mean utilization across cards.
+    pub fn fleet_utilization(&self) -> f64 {
+        self.cards.iter().map(|c| c.utilization).sum::<f64>() / self.cards.len() as f64
+    }
+
+    /// Total weight swap-ins across the fleet — the quantity head-affinity
+    /// dispatch exists to minimize.
+    pub fn weight_swaps(&self) -> u64 {
+        self.cards.iter().map(|c| c.weight_swaps).sum()
+    }
+
+    /// Serializes the summary (everything except the placement trace).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", Json::Str(self.policy.clone())),
+            ("arrivals", Json::Str(self.arrivals.clone())),
+            ("offered", Json::Int(self.offered as i64)),
+            ("completed", Json::Int(self.completed as i64)),
+            ("makespan_s", Json::Num(self.makespan)),
+            ("throughput_rps", Json::Num(self.throughput_rps)),
+            ("latency", self.latency.to_json()),
+            ("queue", self.queue.to_json()),
+            ("slo_violations", Json::Int(self.slo_violations as i64)),
+            ("energy_j", Json::Num(self.energy_joules)),
+            ("fleet_utilization", Json::Num(self.fleet_utilization())),
+            (
+                "cards",
+                Json::arr(self.cards.iter().map(CardSummary::to_json)),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use swat_workloads::RequestShape;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.50), 50.0);
+        assert_eq!(percentile(&xs, 0.95), 95.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        // Tiny sets degrade gracefully.
+        assert_eq!(percentile(&[3.5], 0.99), 3.5);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let xs = [0.1, 0.2, 0.2, 0.9, 5.0];
+        let s = LatencySummary::from_latencies(xs.to_vec());
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    fn completed(id: u64, arrival: f64, finished: f64) -> CompletedRequest {
+        CompletedRequest {
+            request: Request::new(
+                id,
+                arrival,
+                RequestShape {
+                    seq_len: 512,
+                    heads: 1,
+                    layers: 1,
+                    batch: 1,
+                },
+            ),
+            dispatched: arrival,
+            finished,
+            card: 0,
+            pipeline: 0,
+        }
+    }
+
+    #[test]
+    fn report_assembles_consistently() {
+        let runs = [
+            completed(0, 0.0, 0.1),
+            completed(1, 0.5, 1.0),
+            completed(2, 1.0, 3.0),
+        ];
+        let report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            QueueSummary {
+                max_depth: 2,
+                mean_depth: 0.5,
+                timeline: Vec::new(),
+            },
+            vec![CardSummary {
+                card: 0,
+                served: 3,
+                utilization: 0.4,
+                energy_joules: 2.0,
+                weight_swaps: 1,
+            }],
+            Vec::new(),
+        );
+        assert_eq!(report.completed, 3);
+        assert!((report.makespan - 3.0).abs() < 1e-12);
+        assert!((report.throughput_rps - 1.0).abs() < 1e-12);
+        assert!(report.latency.p99 >= report.latency.p50);
+        assert_eq!(report.energy_joules, 2.0);
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"policy\": \"fifo\""));
+        assert!(json.contains("\"p99_s\""));
+    }
+}

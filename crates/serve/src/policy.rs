@@ -1,0 +1,254 @@
+//! Pluggable dispatch policies.
+//!
+//! The simulator calls [`DispatchPolicy::choose`] whenever queue or fleet
+//! state changes; the policy picks which waiting request goes to which
+//! card next, or returns `None` to wait (it **must** return `None` when no
+//! card has an idle pipeline — the simulator never preempts). Policies see
+//! only [`CardView`] snapshots, so they cannot depend on simulator
+//! internals, and anything implementing the trait plugs into
+//! [`crate::sim::simulate`] unchanged.
+
+use crate::request::Request;
+
+/// What a policy may observe about one card at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CardView {
+    /// Card index.
+    pub card: usize,
+    /// Pipelines on this card.
+    pub pipelines: usize,
+    /// Pipelines idle right now.
+    pub idle_pipelines: usize,
+    /// Committed pipeline-seconds of work beyond now.
+    pub backlog_seconds: f64,
+    /// Requests dispatched to this card so far.
+    pub served: u64,
+}
+
+/// A dispatch decision: which queued request runs on which card.
+pub type Dispatch = (usize, usize);
+
+/// Chooses the next (queue index, card index) dispatch.
+pub trait DispatchPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Picks the next dispatch, or `None` to wait for state to change.
+    /// `queue` is ordered by arrival; `cards` is indexed by card id.
+    fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch>;
+}
+
+/// The card with an idle pipeline and the smallest backlog (ties to the
+/// lowest index), or `None` if every pipeline is busy.
+fn least_loaded_idle(cards: &[CardView]) -> Option<usize> {
+    cards
+        .iter()
+        .filter(|c| c.idle_pipelines > 0)
+        .min_by(|a, b| {
+            a.backlog_seconds
+                .partial_cmp(&b.backlog_seconds)
+                .expect("backlogs are finite")
+                .then(a.card.cmp(&b.card))
+        })
+        .map(|c| c.card)
+}
+
+/// First come, first served, onto the first card with a free pipeline.
+/// The baseline every queueing intuition starts from; head-of-line
+/// blocking under heavy-tailed request mixes is its known failure mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl DispatchPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+        if queue.is_empty() {
+            return None;
+        }
+        let card = cards.iter().find(|c| c.idle_pipelines > 0)?.card;
+        Some((0, card))
+    }
+}
+
+/// First come, first served, onto the card with the smallest committed
+/// backlog — classic join-the-least-loaded-queue, which evens out
+/// utilization across the fleet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl DispatchPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+        if queue.is_empty() {
+            return None;
+        }
+        Some((0, least_loaded_idle(cards)?))
+    }
+}
+
+/// Serves the smallest waiting request first (by attended tokens, a
+/// card-independent work proxy), onto the least-loaded card. Minimizes
+/// mean latency at the cost of starving large documents under pressure —
+/// the classic SJF trade, visible directly in the p99/p50 gap.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestJobFirst;
+
+impl DispatchPolicy for ShortestJobFirst {
+    fn name(&self) -> &'static str {
+        "shortest-job-first"
+    }
+
+    fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+        let card = least_loaded_idle(cards)?;
+        let qi = queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, r)| (r.shape.work_tokens(), *i))?
+            .0;
+        Some((qi, card))
+    }
+}
+
+/// Routes each (heads, layers) model family to a preferred home card —
+/// standing in for weight/KV-cache residency, where scattering one model
+/// across all cards wastes on-card memory — and falls back to the
+/// least-loaded card when the home is busy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeadAffinity;
+
+impl HeadAffinity {
+    /// The home card for a model family.
+    pub fn home_card(heads: usize, layers: usize, cards: usize) -> usize {
+        // SplitMix64-style finalizer over the family key: spreads the
+        // handful of (heads, layers) pairs evenly over any fleet size.
+        let mut z = (heads as u64) << 32 | layers as u64;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % cards as u64) as usize
+    }
+}
+
+impl DispatchPolicy for HeadAffinity {
+    fn name(&self) -> &'static str {
+        "head-affinity"
+    }
+
+    fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+        let request = queue.first()?;
+        let home = HeadAffinity::home_card(request.shape.heads, request.shape.layers, cards.len());
+        if cards[home].idle_pipelines > 0 {
+            return Some((0, home));
+        }
+        Some((0, least_loaded_idle(cards)?))
+    }
+}
+
+/// Every built-in policy, boxed, for sweeps.
+pub fn all_policies() -> Vec<Box<dyn DispatchPolicy>> {
+    vec![
+        Box::new(Fifo),
+        Box::new(LeastLoaded),
+        Box::new(ShortestJobFirst),
+        Box::new(HeadAffinity),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_workloads::RequestShape;
+
+    fn view(card: usize, idle: usize, backlog: f64) -> CardView {
+        CardView {
+            card,
+            pipelines: 2,
+            idle_pipelines: idle,
+            backlog_seconds: backlog,
+            served: 0,
+        }
+    }
+
+    fn request(id: u64, seq_len: usize) -> Request {
+        Request::new(
+            id,
+            0.0,
+            RequestShape {
+                seq_len,
+                heads: 8,
+                layers: 2,
+                batch: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn all_policies_wait_when_fleet_is_full() {
+        let queue = [request(0, 1024)];
+        let cards = [view(0, 0, 5.0), view(1, 0, 1.0)];
+        for mut p in all_policies() {
+            assert_eq!(p.choose(0.0, &queue, &cards), None, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn all_policies_wait_on_empty_queue() {
+        let cards = [view(0, 2, 0.0)];
+        for mut p in all_policies() {
+            assert_eq!(p.choose(0.0, &[], &cards), None, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn fifo_takes_first_free_card() {
+        let queue = [request(0, 1024), request(1, 512)];
+        let cards = [view(0, 0, 0.1), view(1, 1, 9.0), view(2, 2, 0.0)];
+        assert_eq!(Fifo.choose(0.0, &queue, &cards), Some((0, 1)));
+    }
+
+    #[test]
+    fn least_loaded_balances() {
+        let queue = [request(0, 1024)];
+        let cards = [view(0, 1, 3.0), view(1, 1, 1.0), view(2, 1, 2.0)];
+        assert_eq!(LeastLoaded.choose(0.0, &queue, &cards), Some((0, 1)));
+    }
+
+    #[test]
+    fn sjf_reorders_the_queue() {
+        let queue = [request(0, 8192), request(1, 512), request(2, 2048)];
+        let cards = [view(0, 1, 0.0)];
+        assert_eq!(ShortestJobFirst.choose(0.0, &queue, &cards), Some((1, 0)));
+    }
+
+    #[test]
+    fn affinity_prefers_home_then_falls_back() {
+        let r = request(0, 1024);
+        let queue = [r];
+        let home = HeadAffinity::home_card(r.shape.heads, r.shape.layers, 3);
+        let mut cards = vec![view(0, 1, 0.0), view(1, 1, 0.0), view(2, 1, 0.0)];
+        assert_eq!(HeadAffinity.choose(0.0, &queue, &cards), Some((0, home)));
+        // Home busy: fall back to the least-loaded idle card.
+        cards[home].idle_pipelines = 0;
+        cards[(home + 1) % 3].backlog_seconds = 5.0;
+        let expect = (home + 2) % 3;
+        assert_eq!(HeadAffinity.choose(0.0, &queue, &cards), Some((0, expect)));
+    }
+
+    #[test]
+    fn home_cards_spread_across_fleet() {
+        let homes: std::collections::BTreeSet<usize> =
+            [(8, 6), (8, 12), (12, 6), (12, 12), (16, 24)]
+                .iter()
+                .map(|&(h, l)| HeadAffinity::home_card(h, l, 4))
+                .collect();
+        assert!(
+            homes.len() >= 2,
+            "families must not all share one card: {homes:?}"
+        );
+    }
+}

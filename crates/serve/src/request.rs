@@ -1,0 +1,109 @@
+//! Requests: a shape plus arrival metadata.
+
+use swat_workloads::RequestShape;
+
+/// One attention-inference request in flight through the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Monotone id (generation order; ties in arrival time keep it).
+    pub id: u64,
+    /// Arrival time, seconds from stream start.
+    pub arrival: f64,
+    /// What has to be computed.
+    pub shape: RequestShape,
+    /// Latency objective, seconds from arrival to completion.
+    pub slo_seconds: f64,
+}
+
+impl Request {
+    /// The default latency objective for a shape: a 50 ms interactive
+    /// floor plus a per-work term of 2.5 µs per attended token,
+    /// roughly 5× the isolated single-pipeline service time on the
+    /// standard FP16 design — tight enough that a saturated fleet
+    /// visibly violates it, loose enough that a healthy one does not.
+    pub fn default_slo(shape: &RequestShape) -> f64 {
+        0.05 + 2.5e-6 * shape.work_tokens() as f64
+    }
+
+    /// Builds a request with the default SLO.
+    pub fn new(id: u64, arrival: f64, shape: RequestShape) -> Request {
+        Request {
+            id,
+            arrival,
+            shape,
+            slo_seconds: Request::default_slo(&shape),
+        }
+    }
+}
+
+/// A served request, as recorded by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedRequest {
+    /// The request.
+    pub request: Request,
+    /// When a card started executing it.
+    pub dispatched: f64,
+    /// When its last job drained.
+    pub finished: f64,
+    /// Card that served it.
+    pub card: usize,
+    /// Pipeline within the card.
+    pub pipeline: usize,
+}
+
+impl CompletedRequest {
+    /// Arrival-to-completion latency, the quantity the percentiles
+    /// summarize.
+    pub fn latency(&self) -> f64 {
+        self.finished - self.request.arrival
+    }
+
+    /// Time spent waiting in the dispatch queue.
+    pub fn queue_delay(&self) -> f64 {
+        self.dispatched - self.request.arrival
+    }
+
+    /// Whether the latency objective was met.
+    pub fn met_slo(&self) -> bool {
+        self.latency() <= self.request.slo_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> RequestShape {
+        RequestShape {
+            seq_len: 1024,
+            heads: 12,
+            layers: 12,
+            batch: 1,
+        }
+    }
+
+    #[test]
+    fn slo_grows_with_work() {
+        let small = Request::default_slo(&shape());
+        let big = Request::default_slo(&RequestShape {
+            seq_len: 16384,
+            ..shape()
+        });
+        assert!(big > small);
+        assert!(small > 0.05);
+    }
+
+    #[test]
+    fn completed_request_accessors() {
+        let c = CompletedRequest {
+            request: Request::new(0, 1.0, shape()),
+            dispatched: 1.5,
+            finished: 2.0,
+            card: 0,
+            pipeline: 0,
+        };
+        assert!((c.latency() - 1.0).abs() < 1e-12);
+        assert!((c.queue_delay() - 0.5).abs() < 1e-12);
+        assert!(!c.met_slo() || c.request.slo_seconds >= 1.0);
+    }
+}

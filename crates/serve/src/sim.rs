@@ -1,0 +1,365 @@
+//! The discrete-event simulation loop.
+//!
+//! Three event kinds drive time forward: a request **arrives** (enters the
+//! queue), a pipeline **drains** (capacity frees), and a **dispatch**
+//! (policy assigns a queued request to a card, immediately, whenever both
+//! a request and an idle pipeline exist). Service is non-preemptive; a
+//! dispatched request occupies one pipeline of one card until all of its
+//! `batch × layers × heads` jobs drain, with service times from the
+//! card's calibrated timing model stretched by shared-memory contention
+//! (see [`crate::fleet::Card::job_seconds`]).
+//!
+//! The loop is deterministic: events are processed in time order with
+//! fixed tie-breaking (arrivals before dispatches at equal times, cards by
+//! index), and all randomness lives in the seeded generators upstream.
+
+use crate::arrival::ArrivalProcess;
+use crate::fleet::{Fleet, FleetConfig};
+use crate::metrics::{CardSummary, QueueSample, QueueSummary, ServeReport};
+use crate::policy::{CardView, DispatchPolicy};
+use crate::request::{CompletedRequest, Request};
+use swat_numeric::SplitMix64;
+use swat_workloads::RequestMix;
+
+/// A traffic specification: arrivals × shape mix × seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSpec {
+    /// When requests arrive.
+    pub arrivals: ArrivalProcess,
+    /// What they look like.
+    pub mix: RequestMix,
+    /// Master seed; arrival times and shapes use decorrelated substreams.
+    pub seed: u64,
+}
+
+impl TrafficSpec {
+    /// The first `n` requests of this traffic stream.
+    pub fn requests(&self, n: usize) -> Vec<Request> {
+        let times = self.arrivals.times(n, self.seed);
+        self.with_shapes(times)
+    }
+
+    /// All requests arriving within `[0, horizon)` seconds.
+    pub fn requests_in(&self, horizon: f64) -> Vec<Request> {
+        let times = self.arrivals.times_in(horizon, self.seed);
+        self.with_shapes(times)
+    }
+
+    fn with_shapes(&self, times: Vec<f64>) -> Vec<Request> {
+        let mut rng = SplitMix64::new(self.seed ^ 0x005E_A9E5);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Request::new(i as u64, t, self.mix.sample(&mut rng)))
+            .collect()
+    }
+}
+
+/// Queue-timeline samples kept per run; beyond this the timeline stays
+/// truncated (max/mean remain exact) so 10⁵-request sweeps stay small.
+const TIMELINE_CAP: usize = 4096;
+
+/// Runs `requests` (sorted by arrival) through a fleet under a policy.
+/// With `trace` set, the report carries one
+/// [`Placement`](swat::schedule::Placement) per attention job — orders of
+/// magnitude more memory, meant for tests and small replays.
+///
+/// # Panics
+///
+/// Panics if `requests` is empty or not sorted by arrival time, or if the
+/// fleet configuration is invalid.
+pub fn simulate(
+    fleet_cfg: &FleetConfig,
+    policy: &mut dyn DispatchPolicy,
+    requests: &[Request],
+    trace: bool,
+) -> ServeReport {
+    assert!(!requests.is_empty(), "cannot simulate zero requests");
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "requests must be sorted by arrival"
+    );
+    let mut fleet: Fleet = fleet_cfg.build().expect("invalid fleet configuration");
+
+    let mut queue: Vec<Request> = Vec::new();
+    let mut completed: Vec<CompletedRequest> = Vec::new();
+    let mut in_flight: Vec<(f64, CompletedRequest)> = Vec::new(); // (finish, record)
+    let mut placements: Vec<(usize, swat::schedule::Placement)> = Vec::new();
+    let mut scratch: Vec<swat::schedule::Placement> = Vec::new();
+
+    // Queue-depth integral for the time-weighted mean.
+    let mut timeline: Vec<QueueSample> = Vec::new();
+    let mut max_depth = 0usize;
+    let mut depth_integral = 0.0f64;
+    let mut last_event = requests[0].arrival;
+
+    let mut next_arrival = 0usize; // index into `requests`
+    let mut now = requests[0].arrival;
+
+    loop {
+        // 1. Account the queue integral up to `now`.
+        depth_integral += queue.len() as f64 * (now - last_event);
+        last_event = now;
+
+        // 2. Deliver due arrivals and completions.
+        while next_arrival < requests.len() && requests[next_arrival].arrival <= now {
+            queue.push(requests[next_arrival]);
+            next_arrival += 1;
+        }
+        let mut i = 0;
+        while i < in_flight.len() {
+            if in_flight[i].0 <= now {
+                completed.push(in_flight.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+
+        // 3. Dispatch while the policy finds work and capacity.
+        loop {
+            let views: Vec<CardView> = fleet
+                .cards()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| CardView {
+                    card: i,
+                    pipelines: c.pipelines(),
+                    idle_pipelines: c.idle_pipelines(now),
+                    backlog_seconds: c.backlog_seconds(now),
+                    served: c.served(),
+                })
+                .collect();
+            let Some((qi, card)) = policy.choose(now, &queue, &views) else {
+                break;
+            };
+            assert!(
+                views[card].idle_pipelines > 0,
+                "policy {} dispatched to a busy card",
+                policy.name()
+            );
+            let request = queue.remove(qi);
+            scratch.clear();
+            let (pipeline, finish) =
+                fleet
+                    .card_mut(card)
+                    .admit(&request.shape, now, trace, &mut scratch);
+            if trace {
+                placements.extend(scratch.drain(..).map(|p| (card, p)));
+            }
+            in_flight.push((
+                finish,
+                CompletedRequest {
+                    request,
+                    dispatched: now,
+                    finished: finish,
+                    card,
+                    pipeline,
+                },
+            ));
+        }
+
+        // 4. Sample the queue after the event settles.
+        max_depth = max_depth.max(queue.len());
+        if timeline.len() < TIMELINE_CAP {
+            timeline.push(QueueSample {
+                time: now,
+                depth: queue.len(),
+            });
+        }
+
+        // 5. Advance to the next event.
+        let upcoming_arrival = requests.get(next_arrival).map(|r| r.arrival);
+        let upcoming_completion = in_flight
+            .iter()
+            .map(|&(f, _)| f)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            });
+        now = match (upcoming_arrival, upcoming_completion) {
+            (Some(a), Some(c)) => a.min(c),
+            (Some(a), None) => a,
+            (None, Some(c)) => c,
+            (None, None) => break,
+        };
+    }
+    assert!(queue.is_empty(), "drained simulation left requests queued");
+    assert_eq!(completed.len(), requests.len());
+
+    // Stable output order regardless of completion interleaving.
+    completed.sort_by_key(|c| c.request.id);
+
+    let makespan_end = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
+    let cards: Vec<CardSummary> = fleet
+        .cards()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| CardSummary {
+            card: i,
+            served: c.served(),
+            utilization: c.busy_seconds()
+                / ((makespan_end - requests[0].arrival) * c.pipelines() as f64),
+            energy_joules: c.energy_joules(),
+            weight_swaps: c.weight_swaps(),
+        })
+        .collect();
+
+    let span = makespan_end - requests[0].arrival;
+    // Bare `simulate` calls replay a caller-provided trace; the `serve`
+    // wrapper overwrites this label with the generating process's name.
+    ServeReport::assemble(
+        policy.name(),
+        "trace",
+        &completed,
+        QueueSummary {
+            max_depth,
+            mean_depth: if span > 0.0 {
+                depth_integral / span
+            } else {
+                0.0
+            },
+            timeline,
+        },
+        cards,
+        placements,
+    )
+}
+
+/// Convenience wrapper: generate `n` requests from `traffic`, serve them,
+/// and label the report with the arrival process and mix names.
+pub fn serve(
+    fleet: &FleetConfig,
+    policy: &mut dyn DispatchPolicy,
+    traffic: &TrafficSpec,
+    n: usize,
+) -> ServeReport {
+    let requests = traffic.requests(n);
+    let mut report = simulate(fleet, policy, &requests, false);
+    report.arrivals = format!("{}/{}", traffic.arrivals.name(), traffic.mix.name());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{all_policies, Fifo, LeastLoaded};
+
+    fn traffic(seed: u64) -> TrafficSpec {
+        TrafficSpec {
+            arrivals: ArrivalProcess::poisson(50.0),
+            mix: RequestMix::Interactive,
+            seed,
+        }
+    }
+
+    #[test]
+    fn every_request_completes_under_every_policy() {
+        let fleet = FleetConfig::standard(2);
+        for mut policy in all_policies() {
+            let report = serve(&fleet, &mut *policy, &traffic(3), 300);
+            assert_eq!(report.completed, 300, "{}", report.policy);
+            assert!(report.latency.p50 > 0.0);
+            assert!(report.slo_violations <= report.completed);
+            assert!(report.fleet_utilization() > 0.0 && report.fleet_utilization() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn reports_are_bitwise_deterministic() {
+        let fleet = FleetConfig::standard(3);
+        let a = serve(&fleet, &mut LeastLoaded, &traffic(11), 400);
+        let b = serve(&fleet, &mut LeastLoaded, &traffic(11), 400);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+        let c = serve(&fleet, &mut LeastLoaded, &traffic(12), 400);
+        assert_ne!(a.latency, c.latency, "different seeds must differ");
+    }
+
+    #[test]
+    fn queue_accounting_is_sane() {
+        let fleet = FleetConfig::standard(1);
+        // Overload one card so a queue must form.
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(2000.0),
+            mix: RequestMix::Interactive,
+            seed: 5,
+        };
+        let report = serve(&fleet, &mut Fifo, &spec, 200);
+        assert!(report.queue.max_depth > 0);
+        assert!(report.queue.mean_depth > 0.0);
+        assert!(report.queue.mean_depth <= report.queue.max_depth as f64);
+        assert!(!report.queue.timeline.is_empty());
+        // Saturation shows up in latency and SLO accounting too.
+        assert!(report.slo_violations > 0);
+    }
+
+    #[test]
+    fn traced_run_places_every_job() {
+        let fleet = FleetConfig::standard(2);
+        let requests = traffic(7).requests(40);
+        let report = simulate(&fleet, &mut LeastLoaded, &requests, true);
+        let expected_jobs: usize = requests.iter().map(|r| r.shape.jobs()).sum();
+        assert_eq!(report.placements.len(), expected_jobs);
+        // Placements on one (card, pipeline) never overlap.
+        let mut lanes: std::collections::BTreeMap<(usize, usize), Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
+        for (card, p) in &report.placements {
+            lanes
+                .entry((*card, p.pipeline))
+                .or_default()
+                .push((p.start, p.end));
+        }
+        for ((card, pipe), mut spans) in lanes {
+            spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in spans.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0 + 1e-12,
+                    "overlap on card {card} pipeline {pipe}: {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_mode_does_not_change_metrics() {
+        let fleet = FleetConfig::standard(2);
+        let requests = traffic(9).requests(100);
+        let traced = simulate(&fleet, &mut LeastLoaded, &requests, true);
+        let untraced = simulate(&fleet, &mut LeastLoaded, &requests, false);
+        assert_eq!(traced.latency, untraced.latency);
+        assert_eq!(traced.queue.max_depth, untraced.queue.max_depth);
+    }
+
+    #[test]
+    fn sjf_beats_fifo_on_median_under_overload() {
+        // A single saturated card with a mixed population: serving short
+        // requests first must improve the median.
+        let fleet = FleetConfig::standard(1);
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(300.0),
+            mix: RequestMix::Production,
+            seed: 21,
+        };
+        let requests = spec.requests(300);
+        let fifo = simulate(&fleet, &mut Fifo, &requests, false);
+        let sjf = simulate(
+            &fleet,
+            &mut crate::policy::ShortestJobFirst,
+            &requests,
+            false,
+        );
+        assert!(
+            sjf.latency.p50 < fifo.latency.p50,
+            "SJF p50 {} vs FIFO p50 {}",
+            sjf.latency.p50,
+            fifo.latency.p50
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_requests_rejected() {
+        let mut requests = traffic(1).requests(10);
+        requests.reverse();
+        let _ = simulate(&FleetConfig::standard(1), &mut Fifo, &requests, false);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for the serving simulator: scheduling invariants,
+//! metric ordering, and determinism, across random fleets, traffic and
+//! policies.
+
+use proptest::prelude::*;
+use swat_serve::arrival::ArrivalProcess;
+use swat_serve::fleet::FleetConfig;
+use swat_serve::metrics::percentile;
+use swat_serve::policy::{DispatchPolicy, Fifo, HeadAffinity, LeastLoaded, ShortestJobFirst};
+use swat_serve::sim::{simulate, TrafficSpec};
+use swat_workloads::RequestMix;
+
+fn any_policy() -> impl Strategy<Value = usize> {
+    0usize..4
+}
+
+fn policy_by_index(i: usize) -> Box<dyn DispatchPolicy> {
+    match i {
+        0 => Box::new(Fifo),
+        1 => Box::new(LeastLoaded),
+        2 => Box::new(ShortestJobFirst),
+        _ => Box::new(HeadAffinity),
+    }
+}
+
+fn any_arrivals() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (20.0f64..200.0).prop_map(ArrivalProcess::poisson),
+        (10.0f64..100.0).prop_map(ArrivalProcess::bursty),
+        (5.0f64..40.0).prop_map(|base| ArrivalProcess::diurnal(base, 4.0 * base)),
+    ]
+}
+
+fn any_mix() -> impl Strategy<Value = RequestMix> {
+    prop_oneof![
+        Just(RequestMix::Interactive),
+        Just(RequestMix::Production),
+        Just(RequestMix::Batch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No two placements ever overlap on one (card, pipeline) lane, under
+    /// any policy, fleet size and traffic.
+    #[test]
+    fn placements_never_overlap(
+        cards in 1usize..5,
+        policy_idx in any_policy(),
+        arrivals in any_arrivals(),
+        mix in any_mix(),
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec { arrivals, mix, seed };
+        let requests = spec.requests(60);
+        let mut policy = policy_by_index(policy_idx);
+        let report = simulate(&FleetConfig::standard(cards), &mut *policy, &requests, true);
+
+        let mut lanes: std::collections::BTreeMap<(usize, usize), Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
+        for (card, p) in &report.placements {
+            prop_assert!(p.end > p.start, "empty placement {p:?}");
+            lanes.entry((*card, p.pipeline)).or_default().push((p.start, p.end));
+        }
+        for (lane, mut spans) in lanes {
+            spans.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[0].1 <= w[1].0 + 1e-12,
+                    "overlap on lane {lane:?}: {:?} then {:?}", w[0], w[1]
+                );
+            }
+        }
+    }
+
+    /// The fleet makespan is at least the longest single job anywhere in
+    /// the trace, and at least every request's isolated service time.
+    #[test]
+    fn makespan_dominates_longest_job(
+        cards in 1usize..4,
+        policy_idx in any_policy(),
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(80.0),
+            mix: RequestMix::Production,
+            seed,
+        };
+        let requests = spec.requests(50);
+        let mut policy = policy_by_index(policy_idx);
+        let report = simulate(&FleetConfig::standard(cards), &mut *policy, &requests, true);
+        let longest_job = report
+            .placements
+            .iter()
+            .map(|(_, p)| p.end - p.start)
+            .fold(0.0f64, f64::max);
+        prop_assert!(
+            report.makespan >= longest_job - 1e-12,
+            "makespan {} < longest job {}", report.makespan, longest_job
+        );
+        // Each request's latency covers its own service time.
+        let fleet = FleetConfig::standard(cards).build().expect("valid fleet");
+        for r in &requests {
+            let service = fleet.cards()[0].service_seconds(&r.shape);
+            prop_assert!(report.makespan >= service - 1e-12);
+        }
+    }
+
+    /// Metrics are bitwise identical across repeated runs with one seed,
+    /// and the JSON serialization is byte-identical too.
+    #[test]
+    fn metrics_deterministic_for_fixed_seed(
+        cards in 1usize..4,
+        policy_idx in any_policy(),
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec { arrivals, mix: RequestMix::Interactive, seed };
+        let requests = spec.requests(80);
+        let run = |requests: &[swat_serve::Request]| {
+            let mut policy = policy_by_index(policy_idx);
+            simulate(&FleetConfig::standard(cards), &mut *policy, requests, false)
+        };
+        let a = run(&requests);
+        let b = run(&requests);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+    }
+
+    /// Percentiles are ordered: p99 ≥ p95 ≥ p50 in every report, and the
+    /// raw percentile helper is monotone in the quantile.
+    #[test]
+    fn percentiles_are_ordered(
+        cards in 1usize..4,
+        policy_idx in any_policy(),
+        arrivals in any_arrivals(),
+        mix in any_mix(),
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec { arrivals, mix, seed };
+        let requests = spec.requests(70);
+        let mut policy = policy_by_index(policy_idx);
+        let report = simulate(&FleetConfig::standard(cards), &mut *policy, &requests, false);
+        let l = &report.latency;
+        prop_assert!(l.p50 <= l.p95, "p50 {} > p95 {}", l.p50, l.p95);
+        prop_assert!(l.p95 <= l.p99, "p95 {} > p99 {}", l.p95, l.p99);
+        prop_assert!(l.p99 <= l.max, "p99 {} > max {}", l.p99, l.max);
+        prop_assert!(l.p50 > 0.0);
+    }
+
+    /// The percentile helper is monotone in q for arbitrary samples.
+    #[test]
+    fn percentile_monotone(samples in proptest::collection::vec(0.0f64..1000.0, 1..64)) {
+        let mut sorted = samples;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let p = percentile(&sorted, q);
+            prop_assert!(p >= last, "percentile not monotone at q={q}");
+            last = p;
+        }
+    }
+
+    /// Work conservation: total busy pipeline-seconds equals the summed
+    /// service of all requests, and utilization never exceeds 1.
+    #[test]
+    fn work_is_conserved(cards in 1usize..4, seed in any::<u64>()) {
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(60.0),
+            mix: RequestMix::Interactive,
+            seed,
+        };
+        let requests = spec.requests(60);
+        let mut policy = LeastLoaded;
+        let report = simulate(&FleetConfig::standard(cards), &mut policy, &requests, true);
+        for c in &report.cards {
+            prop_assert!(c.utilization >= 0.0 && c.utilization <= 1.0 + 1e-12,
+                "utilization {}", c.utilization);
+        }
+        let placed: f64 = report.placements.iter().map(|(_, p)| p.end - p.start).sum();
+        let served: u64 = report.cards.iter().map(|c| c.served).sum();
+        prop_assert_eq!(served as usize, requests.len());
+        prop_assert!(placed > 0.0);
+    }
+}

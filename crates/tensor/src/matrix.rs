@@ -109,7 +109,10 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j]
     }
 
@@ -120,7 +123,10 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: T) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j] = value;
     }
 
@@ -217,7 +223,11 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Matrix<T>) -> f32 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(&other.data)

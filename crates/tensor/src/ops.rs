@@ -103,6 +103,7 @@ pub fn softmax_rows_stable(m: &Matrix<f32>) -> Matrix<f32> {
 /// # Panics
 ///
 /// Panics if `a.cols() != b.rows()`.
+#[allow(clippy::needless_range_loop)] // blocked-kernel indexing is the idiom here
 pub fn gemm_blocked(a: &Matrix<f32>, b: &Matrix<f32>, block: usize) -> Matrix<f32> {
     assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
     assert!(block > 0, "block size must be positive");
@@ -135,11 +136,7 @@ mod tests {
 
     fn small() -> (Matrix<f32>, Matrix<f32>) {
         let a = Matrix::from_rows(&[&[1.0f32, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]);
-        let b = Matrix::from_rows(&[
-            &[7.0f32, 8.0][..],
-            &[9.0, 10.0][..],
-            &[11.0, 12.0][..],
-        ]);
+        let b = Matrix::from_rows(&[&[7.0f32, 8.0][..], &[9.0, 10.0][..], &[11.0, 12.0][..]]);
         (a, b)
     }
 

@@ -28,7 +28,9 @@ mod sealed {
 /// }
 /// assert_eq!(dot(&[1.0f32, 2.0], &[3.0, 4.0]), 11.0);
 /// ```
-pub trait Scalar: Copy + PartialEq + PartialOrd + core::fmt::Debug + Send + Sync + 'static + sealed::Sealed {
+pub trait Scalar:
+    Copy + PartialEq + PartialOrd + core::fmt::Debug + Send + Sync + 'static + sealed::Sealed
+{
     /// Additive identity.
     const ZERO: Self;
     /// Multiplicative identity.

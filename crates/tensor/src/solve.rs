@@ -61,6 +61,7 @@ pub fn cholesky(a: &Matrix<f64>) -> Result<Matrix<f64>, NotPositiveDefiniteError
 /// # Panics
 ///
 /// Panics if shapes are inconsistent.
+#[allow(clippy::needless_range_loop)] // substitution loops index y/x by construction
 pub fn solve_spd(a: &Matrix<f64>, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefiniteError> {
     assert_eq!(a.rows(), b.len(), "rhs length must match matrix size");
     let l = cholesky(a)?;
@@ -99,6 +100,7 @@ pub fn solve_spd(a: &Matrix<f64>, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefi
 /// # Panics
 ///
 /// Panics if `y.len() != x.rows()` or `lambda < 0`.
+#[allow(clippy::needless_range_loop)] // Gram accumulation indexes rows and rhs together
 pub fn ridge_fit(
     x: &Matrix<f32>,
     y: &[f32],
@@ -144,13 +146,7 @@ pub fn ridge_fit(
 pub fn ridge_predict(x: &Matrix<f32>, w: &[f64]) -> Vec<f64> {
     assert_eq!(x.cols(), w.len(), "weight dimension mismatch");
     (0..x.rows())
-        .map(|i| {
-            x.row(i)
-                .iter()
-                .zip(w)
-                .map(|(a, b)| f64::from(*a) * b)
-                .sum()
-        })
+        .map(|i| x.row(i).iter().zip(w).map(|(a, b)| f64::from(*a) * b).sum())
         .collect()
 }
 
@@ -225,7 +221,11 @@ mod tests {
         let x = Matrix::from_fn(n, d, |_, _| rng.next_gaussian());
         let y: Vec<f32> = (0..n)
             .map(|i| {
-                x.row(i).iter().zip(&w_true).map(|(a, b)| a * b).sum::<f32>()
+                x.row(i)
+                    .iter()
+                    .zip(&w_true)
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
                     + 0.01 * rng.next_gaussian()
             })
             .collect();

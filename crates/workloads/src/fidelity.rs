@@ -205,7 +205,13 @@ mod tests {
         );
         assert!(s.fidelity() > 0.65, "fidelity {}", s.fidelity());
         // And a full-width window is exact by construction.
-        let exact = score(Approximation::Window { w: N }, Workload::LocalTexture, N, D, 42);
+        let exact = score(
+            Approximation::Window { w: N },
+            Workload::LocalTexture,
+            N,
+            D,
+            42,
+        );
         assert!(exact.fidelity() > 0.999, "fidelity {}", exact.fidelity());
     }
 
@@ -279,8 +285,20 @@ mod tests {
 
     #[test]
     fn larger_window_is_more_faithful() {
-        let small = score(Approximation::Window { w: 2 }, Workload::LocalTexture, 64, 8, 5);
-        let large = score(Approximation::Window { w: 16 }, Workload::LocalTexture, 64, 8, 5);
+        let small = score(
+            Approximation::Window { w: 2 },
+            Workload::LocalTexture,
+            64,
+            8,
+            5,
+        );
+        let large = score(
+            Approximation::Window { w: 16 },
+            Workload::LocalTexture,
+            64,
+            8,
+            5,
+        );
         assert!(large.fidelity() >= small.fidelity());
     }
 

@@ -124,12 +124,12 @@ pub fn fourier_mix(x: &swat_tensor::Matrix<f32>) -> swat_tensor::Matrix<f32> {
     let mut out = swat_tensor::Matrix::<f32>::zeros(n, d);
     let mut column = vec![Complex::default(); n];
     for j in 0..d {
-        for i in 0..n {
-            column[i] = Complex::new(x.get(i, j), 0.0);
+        for (i, c) in column.iter_mut().enumerate() {
+            *c = Complex::new(x.get(i, j), 0.0);
         }
         fft(&mut column);
-        for i in 0..n {
-            out.set(i, j, column[i].re / (n as f32).sqrt());
+        for (i, c) in column.iter().enumerate() {
+            out.set(i, j, c.re / (n as f32).sqrt());
         }
     }
     out

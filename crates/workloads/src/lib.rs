@@ -20,11 +20,16 @@
 //!
 //! Supporting substrates: [`generators`] builds the synthetic sequences
 //! and Q/K/V sets; [`fourier`] is a small radix-2 FFT used by the
-//! FNet-style baseline.
+//! FNet-style baseline; [`requests`] models heterogeneous request-shape
+//! populations (chat, document, offline batch) for the `swat-serve`
+//! fleet simulator.
 
 pub mod fidelity;
 pub mod fourier;
 pub mod generators;
 pub mod readout;
 pub mod records;
+pub mod requests;
 pub mod tasks;
+
+pub use requests::{RequestMix, RequestShape};

@@ -216,7 +216,11 @@ mod tests {
             Mechanism::Approx(Approximation::FourierMix),
         ] {
             let a = acc(m, Task::Random);
-            assert!((0.3..0.7).contains(&a), "{}: leakage? accuracy {a}", m.name());
+            assert!(
+                (0.3..0.7).contains(&a),
+                "{}: leakage? accuracy {a}",
+                m.name()
+            );
         }
     }
 

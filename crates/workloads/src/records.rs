@@ -93,13 +93,48 @@ pub struct ImagenetRow {
 /// Pixelfly (butterfly) on ImageNet-1K.
 pub fn table4() -> [ImagenetRow; 7] {
     [
-        ImagenetRow { model: "ViL-Tiny", params_millions: 6.7, top1: 76.7, window_based: true },
-        ImagenetRow { model: "Pixelfly-M-S", params_millions: 5.9, top1: 72.6, window_based: false },
-        ImagenetRow { model: "ViL-Small", params_millions: 24.6, top1: 82.4, window_based: true },
-        ImagenetRow { model: "Pixelfly-V-S", params_millions: 16.9, top1: 77.5, window_based: false },
-        ImagenetRow { model: "Pixelfly-M-B", params_millions: 17.4, top1: 76.3, window_based: false },
-        ImagenetRow { model: "Pixelfly-V-B", params_millions: 28.2, top1: 78.6, window_based: false },
-        ImagenetRow { model: "ViL-Med", params_millions: 39.7, top1: 83.5, window_based: true },
+        ImagenetRow {
+            model: "ViL-Tiny",
+            params_millions: 6.7,
+            top1: 76.7,
+            window_based: true,
+        },
+        ImagenetRow {
+            model: "Pixelfly-M-S",
+            params_millions: 5.9,
+            top1: 72.6,
+            window_based: false,
+        },
+        ImagenetRow {
+            model: "ViL-Small",
+            params_millions: 24.6,
+            top1: 82.4,
+            window_based: true,
+        },
+        ImagenetRow {
+            model: "Pixelfly-V-S",
+            params_millions: 16.9,
+            top1: 77.5,
+            window_based: false,
+        },
+        ImagenetRow {
+            model: "Pixelfly-M-B",
+            params_millions: 17.4,
+            top1: 76.3,
+            window_based: false,
+        },
+        ImagenetRow {
+            model: "Pixelfly-V-B",
+            params_millions: 28.2,
+            top1: 78.6,
+            window_based: false,
+        },
+        ImagenetRow {
+            model: "ViL-Med",
+            params_millions: 39.7,
+            top1: 83.5,
+            window_based: true,
+        },
     ]
 }
 

@@ -1,0 +1,186 @@
+//! Request-mix generators for the serving simulator.
+//!
+//! A production attention-serving fleet does not see one fixed shape: chat
+//! turns are short and latency-critical, document jobs are long and
+//! throughput-bound, offline batches fill the troughs. This module models
+//! those populations as seeded discrete distributions over
+//! [`RequestShape`] — the (seq_len, heads, layers, batch) tuple that fully
+//! determines an attention job's cost on SWAT — so `swat-serve` and the
+//! benchmark sweeps can draw realistic heterogeneous traffic
+//! deterministically.
+//!
+//! Sequence lengths stay within the range the paper evaluates (512 to
+//! 16 K tokens) and are always at least 512, so any shape is admissible on
+//! every SWAT preset (the BigBird presets need ≥ 320 positions for their
+//! global + random tokens).
+
+use swat_numeric::SplitMix64;
+
+/// The shape of one attention-inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestShape {
+    /// Tokens in the sequence.
+    pub seq_len: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Transformer layers.
+    pub layers: usize,
+    /// Sequences batched into the request.
+    pub batch: usize,
+}
+
+impl RequestShape {
+    /// Independent attention jobs this request expands into
+    /// (`batch × layers × heads`).
+    pub fn jobs(&self) -> usize {
+        self.batch * self.layers * self.heads
+    }
+
+    /// Total attended tokens across all jobs — a size proxy for
+    /// shortest-job-first policies that must not depend on any card's
+    /// timing model.
+    pub fn work_tokens(&self) -> u64 {
+        self.jobs() as u64 * self.seq_len as u64
+    }
+
+    /// The model family this shape belongs to. Requests of one family
+    /// share weights, so a card that just served the same family has them
+    /// resident; serving a different family means re-streaming weights
+    /// over the host link.
+    pub fn family(&self) -> (usize, usize) {
+        (self.heads, self.layers)
+    }
+
+    /// Approximate parameter bytes of the family's layer stack: per layer,
+    /// 4 attention projections plus an 8·d² FFN over `d = heads ×
+    /// head_dim`, at `bytes_per_elem` precision.
+    pub fn weight_bytes(&self, head_dim: usize, bytes_per_elem: usize) -> u64 {
+        let d = (self.heads * head_dim) as u64;
+        self.layers as u64 * 12 * d * d * bytes_per_elem as u64
+    }
+}
+
+/// A named population of request shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestMix {
+    /// Short interactive turns: 512–2048 tokens, base-size models, batch 1.
+    Interactive,
+    /// Long-document jobs: 4 K–16 K tokens, larger models, small batches.
+    Document,
+    /// Offline throughput work: mid lengths, large batches.
+    Batch,
+    /// A production-like blend: 60% interactive, 30% document, 10% batch.
+    Production,
+}
+
+impl RequestMix {
+    /// All mixes, for sweeps.
+    pub const ALL: [RequestMix; 4] = [
+        RequestMix::Interactive,
+        RequestMix::Document,
+        RequestMix::Batch,
+        RequestMix::Production,
+    ];
+
+    /// Short name for tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestMix::Interactive => "interactive",
+            RequestMix::Document => "document",
+            RequestMix::Batch => "batch",
+            RequestMix::Production => "production",
+        }
+    }
+
+    /// Draws one request shape from this mix.
+    pub fn sample(&self, rng: &mut SplitMix64) -> RequestShape {
+        fn pick<T: Copy>(rng: &mut SplitMix64, options: &[T]) -> T {
+            options[rng.next_below(options.len() as u64) as usize]
+        }
+        match self {
+            RequestMix::Interactive => RequestShape {
+                seq_len: pick(rng, &[512, 1024, 1024, 2048]),
+                heads: pick(rng, &[8, 12]),
+                layers: pick(rng, &[6, 12]),
+                batch: 1,
+            },
+            RequestMix::Document => RequestShape {
+                seq_len: pick(rng, &[4096, 8192, 8192, 16384]),
+                heads: pick(rng, &[12, 16]),
+                layers: pick(rng, &[12, 24]),
+                batch: pick(rng, &[1, 2]),
+            },
+            RequestMix::Batch => RequestShape {
+                seq_len: pick(rng, &[1024, 2048, 4096]),
+                heads: 12,
+                layers: 12,
+                batch: pick(rng, &[4, 8]),
+            },
+            RequestMix::Production => {
+                let r = rng.next_below(10);
+                let inner = if r < 6 {
+                    RequestMix::Interactive
+                } else if r < 9 {
+                    RequestMix::Document
+                } else {
+                    RequestMix::Batch
+                };
+                inner.sample(rng)
+            }
+        }
+    }
+
+    /// Draws `n` shapes (convenience for building traces).
+    pub fn sample_many(&self, n: usize, seed: u64) -> Vec<RequestShape> {
+        let mut rng = SplitMix64::new(seed ^ 0x5EC7_E000);
+        (0..n).map(|_| self.sample(&mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        for mix in RequestMix::ALL {
+            let a = mix.sample_many(200, 42);
+            let b = mix.sample_many(200, 42);
+            assert_eq!(a, b, "{}", mix.name());
+            let c = mix.sample_many(200, 43);
+            assert_ne!(a, c, "{} must vary with seed", mix.name());
+        }
+    }
+
+    #[test]
+    fn shapes_are_always_admissible() {
+        for mix in RequestMix::ALL {
+            for shape in mix.sample_many(500, 7) {
+                assert!(shape.seq_len >= 512, "{:?}", shape);
+                assert!(shape.seq_len <= 16384, "{:?}", shape);
+                assert!(shape.jobs() > 0);
+                assert_eq!(
+                    shape.work_tokens(),
+                    shape.jobs() as u64 * shape.seq_len as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn document_jobs_are_heavier_than_interactive() {
+        let mean_work = |mix: RequestMix| {
+            let shapes = mix.sample_many(500, 11);
+            shapes.iter().map(|s| s.work_tokens()).sum::<u64>() as f64 / shapes.len() as f64
+        };
+        assert!(mean_work(RequestMix::Document) > 5.0 * mean_work(RequestMix::Interactive));
+    }
+
+    #[test]
+    fn production_blend_contains_all_populations() {
+        let shapes = RequestMix::Production.sample_many(500, 3);
+        assert!(shapes.iter().any(|s| s.seq_len <= 2048 && s.batch == 1));
+        assert!(shapes.iter().any(|s| s.seq_len >= 4096));
+        assert!(shapes.iter().any(|s| s.batch >= 4));
+    }
+}

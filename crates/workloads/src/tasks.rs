@@ -76,7 +76,15 @@ impl Task {
                 let mut v = Matrix::from_fn(seq_len, dim, |_, _| noise(&mut rng));
                 // A random query pattern f on the first dim/2 axes, scaled
                 // so a matching dot product is sharply above the noise.
-                let f: Vec<f32> = (0..dim).map(|c| if c < dim / 2 { rng.next_gaussian() } else { 0.0 }).collect();
+                let f: Vec<f32> = (0..dim)
+                    .map(|c| {
+                        if c < dim / 2 {
+                            rng.next_gaussian()
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
                 let scale = 4.0 / (f.iter().map(|x| x * x).sum::<f32>()).sqrt();
                 // A handful of query tokens in the first quarter; the
                 // needle in the last eighth — always farther than any
@@ -85,15 +93,23 @@ impl Task {
                 let queries: Vec<usize> = rng.sample_distinct(seq_len / 4, n_queries);
                 let ni = seq_len - 1 - rng.next_below((seq_len / 8) as u64) as usize;
                 for &qi in &queries {
-                    for c in 0..dim {
-                        q.set(qi, c, f[c] * scale);
+                    for (c, &fc) in f.iter().enumerate() {
+                        q.set(qi, c, fc * scale);
                     }
                 }
                 // The needle key matches f for label +1, or is an
                 // equal-norm pattern on the *other* axes (orthogonal) for
                 // label −1. The needle's value flag is present either way,
                 // so pooling raw V leaks nothing.
-                let g: Vec<f32> = (0..dim).map(|c| if c >= dim / 2 { rng.next_gaussian() } else { 0.0 }).collect();
+                let g: Vec<f32> = (0..dim)
+                    .map(|c| {
+                        if c >= dim / 2 {
+                            rng.next_gaussian()
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
                 let gscale = 4.0 / (g.iter().map(|x| x * x).sum::<f32>()).sqrt();
                 for c in 0..dim {
                     let matched = f[c] * scale;
@@ -111,7 +127,10 @@ impl Task {
                 let m = seq_len / 8;
                 let motif: Vec<f32> = (0..dim).map(|_| rng.next_gaussian()).collect();
                 let mnorm = (motif.iter().map(|x| x * x).sum::<f32>()).sqrt();
-                let motif: Vec<f32> = motif.iter().map(|x| 1.5 * x / mnorm * (dim as f32).sqrt() / 2.0).collect();
+                let motif: Vec<f32> = motif
+                    .iter()
+                    .map(|x| 1.5 * x / mnorm * (dim as f32).sqrt() / 2.0)
+                    .collect();
                 let start = rng.next_below((seq_len - m) as u64) as usize;
                 let positions: Vec<usize> = if label > 0.0 {
                     (start..start + m).collect()
@@ -120,8 +139,8 @@ impl Task {
                 };
                 let mut x = Matrix::from_fn(seq_len, dim, |_, _| noise(&mut rng));
                 for &p in &positions {
-                    for c in 0..dim {
-                        x.set(p, c, motif[c] + 0.1 * rng.next_gaussian());
+                    for (c, &mc) in motif.iter().enumerate() {
+                        x.set(p, c, mc + 0.1 * rng.next_gaussian());
                     }
                 }
                 LabeledProblem {
@@ -147,9 +166,21 @@ impl Task {
     }
 
     /// Samples a balanced dataset of `count` problems.
-    pub fn dataset(&self, count: usize, seq_len: usize, dim: usize, seed: u64) -> Vec<LabeledProblem> {
+    pub fn dataset(
+        &self,
+        count: usize,
+        seq_len: usize,
+        dim: usize,
+        seed: u64,
+    ) -> Vec<LabeledProblem> {
         (0..count)
-            .map(|i| self.sample(seq_len, dim, seed.wrapping_mul(0x9E37).wrapping_add(i as u64)))
+            .map(|i| {
+                self.sample(
+                    seq_len,
+                    dim,
+                    seed.wrapping_mul(0x9E37).wrapping_add(i as u64),
+                )
+            })
             .collect()
     }
 }
@@ -207,7 +238,10 @@ mod tests {
             }
         }
         let (p, n) = (seeds_pos.unwrap(), seeds_neg.unwrap());
-        assert!((p as i64 - n as i64).abs() <= 3, "motif count differs: {p} vs {n}");
+        assert!(
+            (p as i64 - n as i64).abs() <= 3,
+            "motif count differs: {p} vs {n}"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let accel = SwatAccelerator::new(cfg.clone())?;
     println!(
         "BigBird design: {} window + {} global + {} random cores ({} total)",
-        cfg.window_tokens, cfg.global_tokens, cfg.random_tokens, cfg.attention_cores()
+        cfg.window_tokens,
+        cfg.global_tokens,
+        cfg.random_tokens,
+        cfg.attention_cores()
     );
 
     // Scattered-dependency workload: the regime random attention targets.
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Load accounting mirrors the hardware's core roles.
     println!("\ncore-role behaviour (Figure 7):");
     println!("  window K/V rows loaded once each: {}", report.kv_loads);
-    println!("  random-core reloads (per-row gathers): {}", report.kv_reloads);
+    println!(
+        "  random-core reloads (per-row gathers): {}",
+        report.kv_reloads
+    );
     println!(
         "  LOAD stage: {} cycles (vs {} for a pure-window design)",
         report.stage_timings.effective_load(true),

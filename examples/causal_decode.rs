@@ -26,8 +26,15 @@ fn main() {
     let causal = SparsityPattern::causal_window(n, w);
     let bidir = SparsityPattern::sliding_window(n, w);
 
-    println!("causal window 2w={}: token 100 attends {:?}", 2 * w, causal.row_targets(100));
-    println!("bidirectional     : token 100 attends {:?}", bidir.row_targets(100));
+    println!(
+        "causal window 2w={}: token 100 attends {:?}",
+        2 * w,
+        causal.row_targets(100)
+    );
+    println!(
+        "bidirectional     : token 100 attends {:?}",
+        bidir.row_targets(100)
+    );
 
     // Causality check: outputs for prefix positions must be identical
     // whether or not the future exists.

@@ -18,8 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelConfig::longformer_base();
     println!(
         "model: {} (d={}, {} heads, H={}, window {} tokens, {} layers)",
-        model.name, model.d_model, model.heads, model.head_dim(),
-        model.window_tokens, model.layers
+        model.name,
+        model.d_model,
+        model.heads,
+        model.head_dim(),
+        model.window_tokens,
+        model.layers
     );
 
     // A functional forward pass on a (scaled-down) document so the example
@@ -42,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let accel = SwatAccelerator::new(SwatConfig::longformer_fp16())?;
     let gpu = GpuCostModel::mi210();
     let w = model.window_half_width();
-    println!("\nattention time for the full {}-layer, {}-head model:", model.layers, model.heads);
+    println!(
+        "\nattention time for the full {}-layer, {}-head model:",
+        model.layers, model.heads
+    );
     println!(
         "{:>8} | {:>12} | {:>12} | {:>12}",
         "tokens", "SWAT fp16", "GPU dense", "GPU chunks"

@@ -15,10 +15,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    pure window attention, 2w = 512 tokens, H = 64, FP16.
     let cfg = SwatConfig::longformer_fp16();
     let accel = SwatAccelerator::new(cfg.clone())?;
-    println!("SWAT instance: {} attention cores, {} pipeline(s), {}",
-        cfg.attention_cores(), cfg.pipelines, cfg.precision);
+    println!(
+        "SWAT instance: {} attention cores, {} pipeline(s), {}",
+        cfg.attention_cores(),
+        cfg.pipelines,
+        cfg.precision
+    );
     println!("resources: {}", accel.resources());
-    println!("power: {:.1} W at {:.0} MHz\n", accel.power_watts(), cfg.clock.mhz());
+    println!(
+        "power: {:.1} W at {:.0} MHz\n",
+        accel.power_watts(),
+        cfg.clock.mhz()
+    );
 
     // 2. Make a synthetic head: 2048 tokens, head dimension 64.
     let n = 2048;
@@ -37,13 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expect = reference::masked_attention(&q, &k, &v, &pattern, cfg.scale);
     let err = report.output.max_abs_diff(&expect);
     println!("max |simulated - reference| = {err:.5} (binary16 datapath)");
-    assert!(err < 0.05, "the FP16 datapath must stay close to the reference");
+    assert!(
+        err < 0.05,
+        "the FP16 datapath must stay close to the reference"
+    );
 
     // 5. The headline scaling property: latency is linear in input length.
     println!("\nlatency scaling (one head):");
     for exp in [10u32, 12, 14] {
         let len = 1usize << exp;
-        println!("  {len:>6} tokens: {:>8.3} ms", accel.latency_seconds(len) * 1e3);
+        println!(
+            "  {len:>6} tokens: {:>8.3} ms",
+            accel.latency_seconds(len) * 1e3
+        );
     }
     Ok(())
 }

@@ -1,0 +1,79 @@
+//! Serve replay: 60 simulated seconds of diurnal traffic through a
+//! four-card SWAT fleet, with a queue-depth timeline.
+//!
+//! ```text
+//! cargo run --release --example serve_replay
+//! ```
+
+use swat_serve::arrival::ArrivalProcess;
+use swat_serve::fleet::FleetConfig;
+use swat_serve::policy::LeastLoaded;
+use swat_serve::sim::{simulate, TrafficSpec};
+use swat_workloads::RequestMix;
+
+fn main() {
+    // One compressed "day" of traffic: the rate ramps 2 → 20 rps and back
+    // over the 60 s horizon. Four dual-pipeline cards sustain ≈13 rps of
+    // the production mix, so the midday peak transiently overloads the
+    // fleet and the queue drains on the evening downslope.
+    let spec = TrafficSpec {
+        arrivals: ArrivalProcess::diurnal(2.0, 20.0),
+        mix: RequestMix::Production,
+        seed: 42,
+    };
+    let requests = spec.requests_in(60.0);
+    let fleet = FleetConfig::standard(4);
+    println!(
+        "replaying {} requests over 60 s on {} cards ({} pipelines)…\n",
+        requests.len(),
+        fleet.cards,
+        fleet.cards * fleet.pipelines_per_card()
+    );
+
+    let mut report = simulate(&fleet, &mut LeastLoaded, &requests, false);
+    report.arrivals = format!("{}/{}", spec.arrivals.name(), spec.mix.name());
+
+    // Queue depth over time, bucketed to 2.5 s columns.
+    let mut buckets = [0usize; 24];
+    for s in &report.queue.timeline {
+        let b = ((s.time / 2.5) as usize).min(buckets.len() - 1);
+        buckets[b] = buckets[b].max(s.depth);
+    }
+    let tallest = buckets.iter().copied().max().unwrap_or(1).max(1);
+    println!(
+        "queue depth (max per 2.5 s bucket, ▇ = {} requests):",
+        tallest.div_ceil(8)
+    );
+    for (i, depth) in buckets.iter().enumerate() {
+        let bar = "▇".repeat(8 * depth / tallest);
+        println!("  {:>5.1} s | {bar:<8} {depth}", i as f64 * 2.5);
+    }
+
+    println!(
+        "\n{} / {} requests met their SLO",
+        report.completed - report.slo_violations,
+        report.completed
+    );
+    println!(
+        "latency p50/p95/p99: {:.1} / {:.1} / {:.1} ms  (max {:.1} ms)",
+        report.latency.p50 * 1e3,
+        report.latency.p95 * 1e3,
+        report.latency.p99 * 1e3,
+        report.latency.max * 1e3
+    );
+    println!(
+        "throughput {:.1} rps, fleet utilization {:.0}%, energy {:.1} J",
+        report.throughput_rps,
+        report.fleet_utilization() * 100.0,
+        report.energy_joules
+    );
+    for c in &report.cards {
+        println!(
+            "  card {}: {:>4} served, {:>3.0}% busy, {:.1} J",
+            c.card,
+            c.served,
+            c.utilization * 100.0,
+            c.energy_joules
+        );
+    }
+}

@@ -21,11 +21,16 @@ fn multi_head_on_swat(
     let q = ops::gemm(x, &weights.wq);
     let k = ops::gemm(x, &weights.wk);
     let v = ops::gemm(x, &weights.wv);
-    let slice_head = |m: &Matrix<f32>, head: usize| Matrix::from_fn(n, h, |i, j| m.get(i, head * h + j));
+    let slice_head =
+        |m: &Matrix<f32>, head: usize| Matrix::from_fn(n, h, |i, j| m.get(i, head * h + j));
     let mut concat = Matrix::<f32>::zeros(n, d);
     for head in 0..weights.heads {
         let out = accel
-            .run(&slice_head(&q, head), &slice_head(&k, head), &slice_head(&v, head))
+            .run(
+                &slice_head(&q, head),
+                &slice_head(&k, head),
+                &slice_head(&v, head),
+            )
             .expect("run succeeds");
         for i in 0..n {
             for j in 0..h {
@@ -134,5 +139,8 @@ fn dual_pipeline_produces_identical_numerics() {
     let (q, k, v) = Workload::Uniform.generate_qkv(128, 64, 33);
     let r1 = a1.run(&q, &k, &v).unwrap();
     let r2 = a2.run(&q, &k, &v).unwrap();
-    assert_eq!(r1.output, r2.output, "pipelining is a throughput feature only");
+    assert_eq!(
+        r1.output, r2.output,
+        "pipelining is a throughput feature only"
+    );
 }

@@ -40,10 +40,16 @@ fn figure3_swat_is_linear_gpu_dense_quadratic() {
     let accel = swat16();
     let gpu = GpuCostModel::mi210();
     let swat_ratio = accel.latency_seconds(16384) / accel.latency_seconds(4096);
-    assert!((swat_ratio - 4.0).abs() < 0.05, "SWAT 4x tokens = 4x time: {swat_ratio}");
+    assert!(
+        (swat_ratio - 4.0).abs() < 0.05,
+        "SWAT 4x tokens = 4x time: {swat_ratio}"
+    );
     let gpu_ratio = gpu.attention_seconds(GpuKernel::Dense, 16384, H)
         / gpu.attention_seconds(GpuKernel::Dense, 4096, H);
-    assert!(gpu_ratio > 6.0, "GPU leaves the flat region and grows superlinearly: {gpu_ratio}");
+    assert!(
+        gpu_ratio > 6.0,
+        "GPU leaves the flat region and grows superlinearly: {gpu_ratio}"
+    );
 }
 
 #[test]
@@ -111,9 +117,8 @@ fn figure9_energy_vs_butterfly() {
 fn figure9_fp32_vs_gpu_is_u_shaped() {
     let gpu = GpuCostModel::mi210();
     let accel = swat32();
-    let ratio = |n: usize| {
-        gpu.attention_energy(GpuKernel::Dense, n, H) / accel.energy_per_attention(n)
-    };
+    let ratio =
+        |n: usize| gpu.attention_energy(GpuKernel::Dense, n, H) / accel.energy_per_attention(n);
     let r1k = ratio(1024);
     let r8k = ratio(8192);
     let r16k = ratio(16384);

@@ -78,7 +78,10 @@ fn stable_variant_handles_what_the_hardware_cannot() {
     let stable = stable_window_attention_in::<F16>(&x, &x, &x, 16, 0.125);
     assert!(stable.output.as_slice().iter().all(|v| v.is_finite()));
     for v in stable.output.as_slice() {
-        assert!((v - 1.5).abs() < 0.01, "identical rows attend to themselves: {v}");
+        assert!(
+            (v - 1.5).abs() < 0.01,
+            "identical rows attend to themselves: {v}"
+        );
     }
 }
 

@@ -1,0 +1,142 @@
+//! Cross-crate integration: the serving layer composed with the real
+//! accelerator, hardware and workload models.
+
+use swat_serve::arrival::ArrivalProcess;
+use swat_serve::fleet::FleetConfig;
+use swat_serve::policy::{all_policies, LeastLoaded};
+use swat_serve::sim::{serve, simulate, TrafficSpec};
+use swat_workloads::RequestMix;
+
+fn spec(seed: u64) -> TrafficSpec {
+    TrafficSpec {
+        arrivals: ArrivalProcess::poisson(100.0),
+        mix: RequestMix::Production,
+        seed,
+    }
+}
+
+#[test]
+fn four_card_fleet_serves_production_traffic() {
+    let fleet = FleetConfig::standard(4);
+    for mut policy in all_policies() {
+        let report = serve(&fleet, &mut *policy, &spec(1), 600);
+        assert_eq!(report.completed, 600, "{}", report.policy);
+        assert_eq!(report.cards.len(), 4);
+        // Every card got work under every policy at this load.
+        assert!(
+            report.cards.iter().all(|c| c.served > 0),
+            "{}: {:?}",
+            report.policy,
+            report.cards.iter().map(|c| c.served).collect::<Vec<_>>()
+        );
+        assert!(report.latency.p50 <= report.latency.p95);
+        assert!(report.latency.p95 <= report.latency.p99);
+        assert!(report.energy_joules > 0.0);
+    }
+}
+
+#[test]
+fn service_times_come_from_the_calibrated_model() {
+    // A single request on an idle fleet finishes after exactly its cold
+    // weight swap plus jobs × per-head latency from the Table 1 timing
+    // model.
+    let fleet_cfg = FleetConfig::standard(1);
+    let fleet = fleet_cfg.build().unwrap();
+    let requests = spec(3).requests(1);
+    let report = simulate(&fleet_cfg, &mut LeastLoaded, &requests, false);
+    let shape = requests[0].shape;
+    let card = &fleet.cards()[0];
+    let expect = card.swap_seconds(&shape)
+        + card.accelerator().latency_seconds(shape.seq_len) * shape.jobs() as f64;
+    let latency = report.latency.p50;
+    assert!(
+        (latency - expect).abs() < 1e-9,
+        "idle-fleet latency {latency} vs model {expect}"
+    );
+}
+
+#[test]
+fn head_affinity_reduces_weight_swaps() {
+    // The whole point of affinity dispatch: pinning model families to home
+    // cards keeps weights resident. Light load, so the home card is
+    // usually free and the policy's preference actually lands.
+    let fleet = FleetConfig::standard(4);
+    let light = TrafficSpec {
+        arrivals: ArrivalProcess::poisson(4.0),
+        mix: RequestMix::Production,
+        seed: 13,
+    };
+    let requests = light.requests(800);
+    let fifo = simulate(&fleet, &mut swat_serve::policy::Fifo, &requests, false);
+    let affinity = simulate(
+        &fleet,
+        &mut swat_serve::policy::HeadAffinity,
+        &requests,
+        false,
+    );
+    // Not a full elimination: more families than cards means some homes
+    // are shared (pigeonhole), so a sizeable reduction is the right bar.
+    assert!(
+        (affinity.weight_swaps() as f64) < 0.7 * fifo.weight_swaps() as f64,
+        "affinity swaps {} vs fifo swaps {}",
+        affinity.weight_swaps(),
+        fifo.weight_swaps()
+    );
+}
+
+#[test]
+fn more_cards_reduce_tail_latency() {
+    let requests = spec(7).requests(800);
+    let small = simulate(
+        &FleetConfig::standard(2),
+        &mut LeastLoaded,
+        &requests,
+        false,
+    );
+    let large = simulate(
+        &FleetConfig::standard(8),
+        &mut LeastLoaded,
+        &requests,
+        false,
+    );
+    assert!(
+        large.latency.p99 <= small.latency.p99,
+        "8 cards p99 {} vs 2 cards p99 {}",
+        large.latency.p99,
+        small.latency.p99
+    );
+    assert!(large.queue.max_depth <= small.queue.max_depth);
+}
+
+#[test]
+fn json_report_has_the_required_fields() {
+    let report = serve(&FleetConfig::standard(4), &mut LeastLoaded, &spec(9), 200);
+    let json = report.to_json().pretty();
+    for key in [
+        "\"policy\"",
+        "\"arrivals\"",
+        "\"p50_s\"",
+        "\"p95_s\"",
+        "\"p99_s\"",
+        "\"slo_violations\"",
+        "\"energy_j\"",
+        "\"fleet_utilization\"",
+        "\"max_depth\"",
+        "\"cards\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+}
+
+#[test]
+fn replay_is_reproducible_across_entry_points() {
+    // Generating the trace and serving it manually must agree with the
+    // `serve` convenience wrapper, bit for bit.
+    let fleet = FleetConfig::standard(3);
+    let requests = spec(11).requests(300);
+    let manual = simulate(&fleet, &mut LeastLoaded, &requests, false);
+    let wrapped = serve(&fleet, &mut LeastLoaded, &spec(11), 300);
+    assert_eq!(manual.latency, wrapped.latency);
+    assert_eq!(manual.queue.max_depth, wrapped.queue.max_depth);
+    assert_eq!(manual.energy_joules, wrapped.energy_joules);
+}
