@@ -1,110 +1,261 @@
-//! Fleet-serving sweep: 10,000-request streams through a multi-card SWAT
-//! fleet under every (arrival process × dispatch policy) combination,
-//! emitting `BENCH_serve.json`.
+//! Fleet-serving sweep: request streams through SWAT fleets under every
+//! (scenario × arrival process × dispatch policy) combination, emitting
+//! `BENCH_serve.json`.
 //!
-//! This is the serving-layer counterpart of the paper-figure binaries: it
-//! exercises `swat-serve` end to end — Poisson, bursty and diurnal
-//! traffic over the production request mix, FIFO / least-loaded /
-//! shortest-job-first / head-affinity dispatch — and reports p50/p95/p99
-//! latency, queue depth, per-card utilization, energy and SLO violations
-//! per cell. Output is bitwise identical for a fixed `--seed`.
+//! Three scenarios exercise `swat-serve` end to end:
+//!
+//! 1. **homogeneous** — the PR 1 baseline: 6 dual-pipeline FP16 cards,
+//!    Poisson/bursty/diurnal production traffic, all four policies;
+//! 2. **heterogeneous** — a mixed fleet (4 dual-pipeline FP16 cards next
+//!    to 4 single-pipeline FP32 cards), where policies must weigh
+//!    per-card service-time estimates;
+//! 3. **priority** — bursty overload with and without admission control
+//!    (background shed at queue depth 32), reported per priority class.
+//!
+//! Output is bitwise identical for a fixed `--seed`.
 //!
 //! ```text
-//! cargo run --release -p swat-bench --bin serve_sweep [seed]
+//! cargo run --release -p swat-bench --bin serve_sweep [seed] [requests]
 //! ```
+//!
+//! `requests` (default 10 000) scales every run; CI smoke-tests the
+//! binary at 500.
 
 use swat_bench::{banner, print_table};
 use swat_serve::arrival::ArrivalProcess;
 use swat_serve::fleet::FleetConfig;
 use swat_serve::json::Json;
-use swat_serve::policy::all_policies;
-use swat_serve::sim::{serve, TrafficSpec};
+use swat_serve::metrics::ServeReport;
+use swat_serve::policy::{all_policies, LeastLoaded};
+use swat_serve::sim::{AdmissionControl, Simulation, TrafficSpec};
 use swat_workloads::RequestMix;
 
-/// Requests per sweep cell.
-const REQUESTS: usize = 10_000;
-/// Accelerator cards in the fleet (dual-pipeline: 12 pipelines total).
-const CARDS: usize = 6;
+/// Default requests per sweep cell.
+const DEFAULT_REQUESTS: usize = 10_000;
+
+fn fleet_json(fleet: &FleetConfig) -> Json {
+    Json::obj([
+        ("cards", Json::Int(fleet.cards() as i64)),
+        ("pipelines", Json::Int(fleet.total_pipelines() as i64)),
+        (
+            "groups",
+            Json::arr(fleet.groups.iter().map(|g| {
+                Json::obj([
+                    ("count", Json::Int(g.count as i64)),
+                    ("design", Json::Str(g.design())),
+                    ("memory_gbps", Json::Num(g.memory.bytes_per_sec() / 1e9)),
+                ])
+            })),
+        ),
+    ])
+}
+
+fn run_cell(
+    fleet: &FleetConfig,
+    arrivals: ArrivalProcess,
+    policy: &mut dyn swat_serve::DispatchPolicy,
+    admission: AdmissionControl,
+    seed: u64,
+    requests: usize,
+) -> ServeReport {
+    let spec = TrafficSpec {
+        arrivals,
+        mix: RequestMix::Production,
+        seed,
+    };
+    Simulation::new(fleet)
+        .arrivals_label(format!("{}/{}", arrivals.name(), spec.mix.name()))
+        .admission(admission)
+        .run(policy, &spec.requests(requests))
+}
+
+/// One run's JSON, annotated with the inputs the report alone cannot
+/// recover: the arrival process's long-run offered load and the
+/// admission setting the cell ran under (two priority-scenario runs are
+/// otherwise indistinguishable by any recorded field).
+fn annotated_run(report: &ServeReport, arrivals: ArrivalProcess, admission: &str) -> Json {
+    match report.to_json() {
+        Json::Obj(mut pairs) => {
+            pairs.insert(2, ("offered_rps".into(), Json::Num(arrivals.mean_rate())));
+            pairs.insert(3, ("admission".into(), Json::Str(admission.into())));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+fn summary_row(scenario: &str, report: &ServeReport) -> Vec<String> {
+    vec![
+        scenario.to_string(),
+        report.arrivals.clone(),
+        report.policy.clone(),
+        format!("{:.1}", report.throughput_rps),
+        format!("{:.1}", report.latency.p50 * 1e3),
+        format!("{:.1}", report.latency.p95 * 1e3),
+        format!("{:.1}", report.latency.p99 * 1e3),
+        format!("{:.0}%", report.fleet_utilization() * 100.0),
+        format!("{}", report.queue.max_depth),
+        format!("{}", report.slo_violations),
+        format!("{}", report.rejected),
+        format!("{}", report.weight_swaps()),
+        format!("{:.1}", report.energy_joules),
+    ]
+}
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
         .map(|s| s.parse().expect("seed must be an integer"))
         .unwrap_or(0x5EED);
+    let requests: usize = args
+        .next()
+        .map(|s| s.parse().expect("requests must be an integer"))
+        .unwrap_or(DEFAULT_REQUESTS);
 
-    let fleet = FleetConfig::standard(CARDS);
-    let mix = RequestMix::Production;
     // The production mix averages ≈0.6 s of single-pipeline service per
-    // request, so 12 pipelines sustain ≈20 rps. Rates target ≈70% mean
-    // utilization — with transient overload inside bursts (4× base) and
-    // at the diurnal peak (1.2× capacity), where queues visibly form.
-    let arrival_processes = [
+    // request, so 12 FP16 pipelines sustain ≈20 rps. Rates target ≈70%
+    // mean utilization — with transient overload inside bursts (4× base)
+    // and at the diurnal peak (1.2× capacity), where queues visibly form.
+    let homogeneous = FleetConfig::standard(6);
+    let homogeneous_arrivals = [
         ArrivalProcess::poisson(14.0),
         ArrivalProcess::bursty(8.0),
         ArrivalProcess::diurnal(4.0, 24.0),
     ];
+    // The mixed fleet trades two FP16 duals for four FP32 singles:
+    // ≈11 FP16-equivalent pipelines, so rates scale down accordingly.
+    let heterogeneous = FleetConfig::mixed_precision(4, 4);
+    let heterogeneous_arrivals = [ArrivalProcess::poisson(12.0), ArrivalProcess::bursty(7.0)];
+    // Priority scenario: sustained bursts past capacity, where admission
+    // control earns its keep by shedding background filler.
+    let priority_arrivals = ArrivalProcess::bursty(12.0);
+    let background_cap = 32usize;
 
     banner(format!(
-        "serve_sweep — {REQUESTS} requests x {} arrivals x 4 policies on {CARDS} cards (seed {seed:#x})"
-    , arrival_processes.len()));
+        "serve_sweep — {requests} requests/cell, 3 scenarios on FP16/FP32 fleets (seed {seed:#x})"
+    ));
 
-    let mut runs = Vec::new();
     let mut rows = Vec::new();
-    for arrivals in arrival_processes {
+    let mut scenarios = Vec::new();
+
+    // Scenario 1: homogeneous baseline.
+    let mut runs = Vec::new();
+    for arrivals in homogeneous_arrivals {
         for mut policy in all_policies() {
-            let spec = TrafficSpec {
+            let report = run_cell(
+                &homogeneous,
                 arrivals,
-                mix,
+                &mut *policy,
+                AdmissionControl::admit_all(),
                 seed,
-            };
-            let report = serve(&fleet, &mut *policy, &spec, REQUESTS);
-            rows.push(vec![
-                report.arrivals.clone(),
-                report.policy.clone(),
-                format!("{:.1}", report.throughput_rps),
-                format!("{:.1}", report.latency.p50 * 1e3),
-                format!("{:.1}", report.latency.p95 * 1e3),
-                format!("{:.1}", report.latency.p99 * 1e3),
-                format!("{:.0}%", report.fleet_utilization() * 100.0),
-                format!("{}", report.queue.max_depth),
-                format!("{}", report.slo_violations),
-                format!("{}", report.weight_swaps()),
-                format!("{:.1}", report.energy_joules),
-            ]);
-            runs.push(report.to_json());
+                requests,
+            );
+            rows.push(summary_row("homogeneous", &report));
+            runs.push(annotated_run(&report, arrivals, "admit-all"));
         }
     }
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("homogeneous".into())),
+        ("fleet", fleet_json(&homogeneous)),
+        ("admission_queue_cap", Json::Null),
+        ("runs", Json::Arr(runs)),
+    ]));
+
+    // Scenario 2: heterogeneous fleet.
+    let mut runs = Vec::new();
+    for arrivals in heterogeneous_arrivals {
+        for mut policy in all_policies() {
+            let report = run_cell(
+                &heterogeneous,
+                arrivals,
+                &mut *policy,
+                AdmissionControl::admit_all(),
+                seed,
+                requests,
+            );
+            rows.push(summary_row("heterogeneous", &report));
+            runs.push(annotated_run(&report, arrivals, "admit-all"));
+        }
+    }
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("heterogeneous".into())),
+        ("fleet", fleet_json(&heterogeneous)),
+        ("admission_queue_cap", Json::Null),
+        ("runs", Json::Arr(runs)),
+    ]));
+
+    // Scenario 3: priority classes under overload, admission on vs off.
+    let mut runs = Vec::new();
+    let mut class_rows = Vec::new();
+    for (label, admission) in [
+        ("admit-all", AdmissionControl::admit_all()),
+        (
+            "shed-background",
+            AdmissionControl::shed_background_at(background_cap),
+        ),
+    ] {
+        let report = run_cell(
+            &homogeneous,
+            priority_arrivals,
+            &mut LeastLoaded,
+            admission,
+            seed,
+            requests,
+        );
+        rows.push(summary_row(&format!("priority/{label}"), &report));
+        for class in &report.classes {
+            let latency = class.latency;
+            class_rows.push(vec![
+                label.to_string(),
+                class.class.name().to_string(),
+                format!("{}", class.offered),
+                format!("{}", class.completed),
+                format!("{}", class.rejected),
+                format!("{}", class.slo_violations),
+                latency.map_or("-".into(), |l| format!("{:.1}", l.p50 * 1e3)),
+                latency.map_or("-".into(), |l| format!("{:.1}", l.p95 * 1e3)),
+                latency.map_or("-".into(), |l| format!("{:.1}", l.p99 * 1e3)),
+            ]);
+        }
+        runs.push(annotated_run(&report, priority_arrivals, label));
+    }
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("priority".into())),
+        ("fleet", fleet_json(&homogeneous)),
+        ("admission_queue_cap", Json::Int(background_cap as i64)),
+        ("runs", Json::Arr(runs)),
+    ]));
 
     print_table(
         &[
-            "arrivals", "policy", "rps", "p50 ms", "p95 ms", "p99 ms", "util", "max q", "slo viol",
-            "swaps", "J",
+            "scenario", "arrivals", "policy", "rps", "p50 ms", "p95 ms", "p99 ms", "util", "max q",
+            "slo viol", "rejected", "swaps", "J",
         ],
         &rows,
     );
+    println!("\npriority scenario, per class (least-loaded, bursty overload):");
+    print_table(
+        &[
+            "admission",
+            "class",
+            "offered",
+            "done",
+            "shed",
+            "slo viol",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+        ],
+        &class_rows,
+    );
 
-    let card = &fleet.card;
     let doc = Json::obj([
         ("bench", Json::Str("serve_sweep".into())),
         ("seed", Json::UInt(seed)),
-        ("requests_per_run", Json::Int(REQUESTS as i64)),
-        (
-            "fleet",
-            Json::obj([
-                ("cards", Json::Int(CARDS as i64)),
-                ("pipelines_per_card", Json::Int(card.pipelines as i64)),
-                (
-                    "design",
-                    Json::Str(format!(
-                        "bigbird-dual {} w{} g{} r{}",
-                        card.precision, card.window_tokens, card.global_tokens, card.random_tokens
-                    )),
-                ),
-                ("memory", Json::Str("hbm2-460GBps".into())),
-            ]),
-        ),
-        ("mix", Json::Str(mix.name().into())),
-        ("runs", Json::Arr(runs)),
+        ("requests_per_run", Json::Int(requests as i64)),
+        ("mix", Json::Str(RequestMix::Production.name().into())),
+        ("scenarios", Json::Arr(scenarios)),
     ]);
 
     let path = "BENCH_serve.json";

@@ -1,0 +1,345 @@
+//! The discrete-event kernel: a deterministic event heap and the
+//! order-stable priority queue of waiting requests.
+//!
+//! Both structures exist to make simulation cost independent of how much
+//! work is in flight, without giving up bitwise determinism:
+//!
+//! - [`EventQueue`] replaces the old per-step O(n) rescan of every
+//!   in-flight completion with an O(log n) binary heap. Heaps only break
+//!   ties deterministically if the ordering key is total, so events order
+//!   by `(time, kind, card, request id)` with `Arrival < Completion` —
+//!   never by insertion order, which is an implementation accident.
+//! - [`PriorityQueue`] replaces the arrival-ordered `Vec` (and its O(n)
+//!   mid-queue `remove`) with a `BTreeMap` keyed by
+//!   [`Request::rank_key`]: class rank first, then request id. Removal is
+//!   O(log n), and — the property the determinism tests lean on —
+//!   iteration order is a pure function of the queue's *contents*.
+//!   Order stability matters because two requests of equal priority must
+//!   dispatch in one fixed order (arrival order, via the monotone id) no
+//!   matter how arrivals interleaved with completions; an equal-key heap
+//!   or hash map would let the interleaving leak into the schedule and
+//!   break same-seed reproducibility.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::request::{CompletedRequest, Request};
+
+/// What happens at an event's timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Request `index` (into the caller's arrival-sorted slice) arrives.
+    Arrival {
+        /// Index into the request slice handed to the simulator.
+        index: usize,
+    },
+    /// A dispatched request drains from its card.
+    Completion {
+        /// The finished record; `record.finished` is the event time.
+        record: CompletedRequest,
+    },
+}
+
+/// One heap entry with its explicit ordering key.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: f64,
+    /// Arrivals (0) sort before completions (1) at equal times.
+    kind: u8,
+    card: usize,
+    id: u64,
+    event: Event,
+}
+
+impl HeapEntry {
+    fn key(&self) -> (f64, u8, usize, u64) {
+        (self.time, self.kind, self.card, self.id)
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (t1, k1, c1, i1) = self.key();
+        let (t2, k2, c2, i2) = other.key();
+        t1.total_cmp(&t2)
+            .then(k1.cmp(&k2))
+            .then(c1.cmp(&c2))
+            .then(i1.cmp(&i2))
+    }
+}
+
+/// A deterministic min-heap of future events.
+///
+/// Pops in `(time, Arrival < Completion, card index, request id)` order —
+/// the fixed tie-breaking the simulator's determinism contract is stated
+/// against. Times must be finite.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules the arrival of the request at `index` (with id `id`) at
+    /// `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn push_arrival(&mut self, time: f64, index: usize, id: u64) {
+        assert!(time.is_finite(), "event times must be finite");
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            kind: 0,
+            card: 0,
+            id,
+            event: Event::Arrival { index },
+        }));
+    }
+
+    /// Schedules `record`'s completion at `record.finished`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the finish time is not finite.
+    pub fn push_completion(&mut self, record: CompletedRequest) {
+        assert!(record.finished.is_finite(), "event times must be finite");
+        self.heap.push(Reverse(HeapEntry {
+            time: record.finished,
+            kind: 1,
+            card: record.card,
+            id: record.request.id,
+            event: Event::Completion { record },
+        }));
+    }
+
+    /// The timestamp of the next event, if any.
+    pub fn next_time(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pops the next `(time, event)` in deterministic order.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+}
+
+/// The waiting-request queue, ordered by `(class rank, request id)`.
+///
+/// Policies receive the queue as a slice ([`PriorityQueue::view`], a
+/// reusable scratch buffer — no per-event allocation), so higher classes
+/// always occupy the front and arrival order is preserved within a class.
+/// See the module docs for why this order *stability* is load-bearing for
+/// determinism.
+#[derive(Debug, Default)]
+pub struct PriorityQueue {
+    map: BTreeMap<(u8, u64), Request>,
+    view: Vec<Request>,
+    dirty: bool,
+}
+
+impl PriorityQueue {
+    /// An empty queue.
+    pub fn new() -> PriorityQueue {
+        PriorityQueue::default()
+    }
+
+    /// Waiting requests.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request with the same id and class is already queued
+    /// (ids must be unique for the dispatch order to be total).
+    pub fn push(&mut self, request: Request) {
+        let displaced = self.map.insert(request.rank_key(), request);
+        assert!(
+            displaced.is_none(),
+            "duplicate request id {} in the queue",
+            request.id
+        );
+        self.dirty = true;
+    }
+
+    /// The queue in dispatch order, as a slice for policies. Rebuilt into
+    /// a reusable buffer only when the queue changed since the last call.
+    pub fn view(&mut self) -> &[Request] {
+        if self.dirty {
+            self.view.clear();
+            self.view.extend(self.map.values().copied());
+            self.dirty = false;
+        }
+        &self.view
+    }
+
+    /// Removes and returns the request at `index` of the current
+    /// [`view`](PriorityQueue::view) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn take(&mut self, index: usize) -> Request {
+        // The view may be stale if callers interleaved pushes; index into
+        // the map's live order instead of trusting the cache.
+        let key = if self.dirty {
+            *self
+                .map
+                .keys()
+                .nth(index)
+                .expect("queue index out of range")
+        } else {
+            self.view[index].rank_key()
+        };
+        let request = self.map.remove(&key).expect("queue index out of range");
+        self.dirty = true;
+        request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_workloads::{RequestClass, RequestShape};
+
+    fn shape() -> RequestShape {
+        RequestShape {
+            seq_len: 512,
+            heads: 8,
+            layers: 6,
+            batch: 1,
+        }
+    }
+
+    fn completion(id: u64, card: usize, finished: f64) -> CompletedRequest {
+        CompletedRequest {
+            request: Request::new(id, 0.0, shape()),
+            dispatched: 0.0,
+            finished,
+            card,
+            pipeline: 0,
+        }
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push_completion(completion(0, 0, 3.0));
+        q.push_arrival(1.0, 1, 1);
+        q.push_completion(completion(2, 1, 2.0));
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_arrival_then_card_then_id() {
+        let mut q = EventQueue::new();
+        q.push_completion(completion(9, 1, 1.0));
+        q.push_completion(completion(4, 0, 1.0));
+        q.push_completion(completion(2, 0, 1.0));
+        q.push_arrival(1.0, 7, 7);
+        assert_eq!(q.len(), 4);
+        let order: Vec<(u8, usize, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival { index } => (0, 0, index as u64),
+                Event::Completion { record } => (1, record.card, record.request.id),
+            })
+            .collect();
+        assert_eq!(order, [(0, 0, 7), (1, 0, 2), (1, 0, 4), (1, 1, 9)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tie_order_is_independent_of_insertion_order() {
+        let entries = [
+            completion(3, 1, 2.0),
+            completion(1, 0, 2.0),
+            completion(2, 0, 2.0),
+        ];
+        let drain = |order: &[usize]| -> Vec<u64> {
+            let mut q = EventQueue::new();
+            for &i in order {
+                q.push_completion(entries[i]);
+            }
+            std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| match e {
+                    Event::Completion { record } => record.request.id,
+                    Event::Arrival { .. } => unreachable!(),
+                })
+                .collect()
+        };
+        assert_eq!(drain(&[0, 1, 2]), drain(&[2, 1, 0]));
+        assert_eq!(drain(&[1, 2, 0]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn priority_queue_orders_class_then_arrival() {
+        let mut q = PriorityQueue::new();
+        q.push(Request::classed(0, 0.0, shape(), RequestClass::Background));
+        q.push(Request::classed(1, 0.1, shape(), RequestClass::Interactive));
+        q.push(Request::classed(2, 0.2, shape(), RequestClass::Batch));
+        q.push(Request::classed(3, 0.3, shape(), RequestClass::Interactive));
+        let ids: Vec<u64> = q.view().iter().map(|r| r.id).collect();
+        assert_eq!(ids, [1, 3, 2, 0], "class rank first, id within class");
+    }
+
+    #[test]
+    fn take_removes_by_view_index() {
+        let mut q = PriorityQueue::new();
+        q.push(Request::classed(0, 0.0, shape(), RequestClass::Batch));
+        q.push(Request::classed(1, 0.0, shape(), RequestClass::Interactive));
+        q.view();
+        let taken = q.take(1);
+        assert_eq!(taken.id, 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.view()[0].id, 1);
+        // Taking without refreshing the view first still works.
+        q.push(Request::classed(2, 0.0, shape(), RequestClass::Background));
+        let head = q.take(0);
+        assert_eq!(head.id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request id")]
+    fn duplicate_ids_rejected() {
+        let mut q = PriorityQueue::new();
+        q.push(Request::new(5, 0.0, shape()));
+        q.push(Request::new(5, 1.0, shape()));
+    }
+}

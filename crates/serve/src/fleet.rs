@@ -1,5 +1,12 @@
-//! The fleet: N SWAT cards × P pipelines each, with shared-memory
+//! The fleet: groups of SWAT cards × P pipelines each, with shared-memory
 //! backpressure.
+//!
+//! A fleet is a list of [`CardGroup`]s — `count` identical cards sharing
+//! one [`SwatConfig`] and one off-chip [`MemoryInterface`] — so mixed
+//! deployments (FP16 next to FP32, dual-pipeline next to single, HBM next
+//! to DDR) are first-class. Card indices are assigned group by group in
+//! declaration order, which keeps every downstream tie-break (dispatch,
+//! event ordering, reports) deterministic.
 
 use swat::config::ConfigError;
 use swat::schedule::{Job, PipelineAgenda, Placement};
@@ -7,54 +14,127 @@ use swat::{SwatAccelerator, SwatConfig};
 use swat_hw::MemoryInterface;
 use swat_workloads::RequestShape;
 
-/// Configuration of a serving fleet.
-///
-/// Every card runs the same SWAT design (heterogeneous fleets would only
-/// add bookkeeping here; the dispatch policies already consult per-card
-/// state rather than assuming symmetry).
+/// The shape every card calibrates its per-token service-time estimate
+/// against (see [`Card::seconds_per_token`]): a mid-sized interactive
+/// request, long enough that pipeline fill is amortized.
+const CALIBRATION_SHAPE: RequestShape = RequestShape {
+    seq_len: 2048,
+    heads: 8,
+    layers: 6,
+    batch: 1,
+};
+
+/// `count` identical cards: one SWAT design on one memory interface.
 #[derive(Debug, Clone, PartialEq)]
-pub struct FleetConfig {
-    /// Number of accelerator cards.
-    pub cards: usize,
-    /// The design every card instantiates.
+pub struct CardGroup {
+    /// Cards in this group.
+    pub count: usize,
+    /// The design each of them instantiates.
     pub card: SwatConfig,
     /// Off-chip interface shared by one card's pipelines.
     pub memory: MemoryInterface,
+}
+
+impl CardGroup {
+    /// A group of `count` cards of `design` on `memory`.
+    pub fn new(count: usize, card: SwatConfig, memory: MemoryInterface) -> CardGroup {
+        CardGroup {
+            count,
+            card,
+            memory,
+        }
+    }
+
+    /// Human-readable design label for tables and JSON.
+    pub fn design(&self) -> String {
+        format!(
+            "{}x {} {}p w{} g{} r{}",
+            self.count,
+            self.card.precision,
+            self.card.pipelines,
+            self.card.window_tokens,
+            self.card.global_tokens,
+            self.card.random_tokens
+        )
+    }
+}
+
+/// Configuration of a serving fleet: heterogeneous card groups plus the
+/// host link weights cross when a card switches model families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Card groups; indices are assigned group by group in this order.
+    pub groups: Vec<CardGroup>,
     /// Host link weights cross when a card switches model families.
     pub host_link: MemoryInterface,
 }
 
 impl FleetConfig {
-    /// A fleet of `cards` dual-pipeline BigBird FP16 cards on HBM2 — the
-    /// highest-throughput design point in the paper's Table 2.
+    /// A homogeneous fleet of `cards` dual-pipeline BigBird FP16 cards on
+    /// HBM2 — the highest-throughput design point in the paper's Table 2.
     pub fn standard(cards: usize) -> FleetConfig {
         FleetConfig {
-            cards,
-            card: SwatConfig::bigbird_dual_fp16(),
-            memory: MemoryInterface::hbm2(),
+            groups: vec![CardGroup::new(
+                cards,
+                SwatConfig::bigbird_dual_fp16(),
+                MemoryInterface::hbm2(),
+            )],
             host_link: MemoryInterface::pcie4_x16(),
         }
     }
 
-    /// Pipelines per card.
-    pub fn pipelines_per_card(&self) -> usize {
-        self.card.pipelines
+    /// A mixed-precision fleet: `fp16_dual` dual-pipeline FP16 cards next
+    /// to `fp32_single` single-pipeline FP32 cards (both BigBird on HBM2)
+    /// — the heterogeneous deployment the ROADMAP calls for, where a
+    /// latency-optimized pool absorbs interactive traffic and slower
+    /// accuracy-tier cards soak up the rest.
+    pub fn mixed_precision(fp16_dual: usize, fp32_single: usize) -> FleetConfig {
+        let fp32 = SwatConfig {
+            precision: swat::config::Precision::Fp32,
+            pipelines: 1,
+            ..SwatConfig::bigbird_dual_fp16()
+        };
+        FleetConfig {
+            groups: vec![
+                CardGroup::new(
+                    fp16_dual,
+                    SwatConfig::bigbird_dual_fp16(),
+                    MemoryInterface::hbm2(),
+                ),
+                CardGroup::new(fp32_single, fp32, MemoryInterface::hbm2()),
+            ],
+            host_link: MemoryInterface::pcie4_x16(),
+        }
     }
 
-    /// Builds the runtime fleet state.
+    /// Total cards across all groups.
+    pub fn cards(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Total pipelines across all groups.
+    pub fn total_pipelines(&self) -> usize {
+        self.groups.iter().map(|g| g.count * g.card.pipelines).sum()
+    }
+
+    /// Builds the runtime fleet state. Card indices run group by group:
+    /// group 0's cards first, then group 1's, and so on.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] if the card design is invalid or there are
-    /// no cards.
+    /// Returns [`ConfigError`] if any card design is invalid or the fleet
+    /// has no cards.
     pub fn build(&self) -> Result<Fleet, ConfigError> {
-        if self.cards == 0 {
+        if self.cards() == 0 {
             return Err(ConfigError::new("a fleet needs at least one card"));
         }
-        let accel = SwatAccelerator::new(self.card.clone())?;
-        let cards = (0..self.cards)
-            .map(|_| Card::new(accel.clone(), self.memory, self.host_link))
-            .collect();
+        let mut cards = Vec::with_capacity(self.cards());
+        for (group, g) in self.groups.iter().enumerate() {
+            let accel = SwatAccelerator::new(g.card.clone())?;
+            for _ in 0..g.count {
+                cards.push(Card::new(accel.clone(), group, g.memory, self.host_link));
+            }
+        }
         Ok(Fleet { cards })
     }
 }
@@ -63,9 +143,14 @@ impl FleetConfig {
 #[derive(Debug, Clone)]
 pub struct Card {
     accel: SwatAccelerator,
+    /// Index of the [`CardGroup`] this card belongs to.
+    group: usize,
     memory: MemoryInterface,
     host_link: MemoryInterface,
     agenda: PipelineAgenda,
+    /// Calibrated isolated service seconds per attended token (from
+    /// [`Card::service_seconds`] at [`CALIBRATION_SHAPE`]).
+    seconds_per_token: f64,
     /// The model family whose weights are resident on the card.
     resident: Option<(usize, usize)>,
     /// Times the card had to swap families in.
@@ -79,24 +164,39 @@ pub struct Card {
 }
 
 impl Card {
-    fn new(accel: SwatAccelerator, memory: MemoryInterface, host_link: MemoryInterface) -> Card {
+    fn new(
+        accel: SwatAccelerator,
+        group: usize,
+        memory: MemoryInterface,
+        host_link: MemoryInterface,
+    ) -> Card {
         let pipelines = accel.config().pipelines;
-        Card {
+        let mut card = Card {
             accel,
+            group,
             memory,
             host_link,
             agenda: PipelineAgenda::new(pipelines),
+            seconds_per_token: 0.0,
             resident: None,
             weight_swaps: 0,
             busy_seconds: 0.0,
             energy_joules: 0.0,
             served: 0,
-        }
+        };
+        card.seconds_per_token =
+            card.service_seconds(&CALIBRATION_SHAPE) / CALIBRATION_SHAPE.work_tokens() as f64;
+        card
     }
 
     /// The accelerator model this card runs.
     pub fn accelerator(&self) -> &SwatAccelerator {
         &self.accel
+    }
+
+    /// Index of the [`CardGroup`] this card belongs to.
+    pub fn group(&self) -> usize {
+        self.group
     }
 
     /// Pipelines on this card.
@@ -147,6 +247,16 @@ impl Card {
     /// Active-service energy so far, joules.
     pub fn energy_joules(&self) -> f64 {
         self.energy_joules
+    }
+
+    /// Calibrated isolated service seconds per attended token on this
+    /// card: [`Card::service_seconds`] at a fixed mid-sized reference
+    /// shape, divided by that shape's work tokens. This is the number a
+    /// dispatch policy may use to compare cards of *different* groups
+    /// (FP16 vs FP32, single vs dual pipeline) without reaching into the
+    /// timing model.
+    pub fn seconds_per_token(&self) -> f64 {
+        self.seconds_per_token
     }
 
     /// Seconds one pipeline needs for one of the request's jobs, including
@@ -236,7 +346,7 @@ pub struct Fleet {
 }
 
 impl Fleet {
-    /// The cards.
+    /// The cards, ordered group by group.
     pub fn cards(&self) -> &[Card] {
         &self.cards
     }
@@ -270,11 +380,47 @@ mod tests {
         let fleet = FleetConfig::standard(4).build().unwrap();
         assert_eq!(fleet.cards().len(), 4);
         assert_eq!(fleet.total_pipelines(), 8); // dual-pipeline cards
+        assert!(fleet.cards().iter().all(|c| c.group() == 0));
+    }
+
+    #[test]
+    fn mixed_fleet_orders_cards_group_by_group() {
+        let cfg = FleetConfig::mixed_precision(2, 3);
+        assert_eq!(cfg.cards(), 5);
+        assert_eq!(cfg.total_pipelines(), 2 * 2 + 3);
+        let fleet = cfg.build().unwrap();
+        let groups: Vec<usize> = fleet.cards().iter().map(Card::group).collect();
+        assert_eq!(groups, [0, 0, 1, 1, 1]);
+        assert_eq!(fleet.cards()[0].pipelines(), 2);
+        assert_eq!(fleet.cards()[2].pipelines(), 1);
+    }
+
+    #[test]
+    fn fp16_cards_calibrate_faster_than_fp32() {
+        let fleet = FleetConfig::mixed_precision(1, 1).build().unwrap();
+        let fp16 = &fleet.cards()[0];
+        let fp32 = &fleet.cards()[1];
+        assert!(fp16.seconds_per_token() > 0.0);
+        assert!(
+            fp16.seconds_per_token() < fp32.seconds_per_token(),
+            "FP16 {} vs FP32 {}",
+            fp16.seconds_per_token(),
+            fp32.seconds_per_token()
+        );
+        // The estimate tracks the real service time across shapes.
+        let s = shape();
+        assert!(fp16.service_seconds(&s) < fp32.service_seconds(&s));
     }
 
     #[test]
     fn empty_fleet_rejected() {
         assert!(FleetConfig::standard(0).build().is_err());
+        assert!(FleetConfig {
+            groups: Vec::new(),
+            host_link: MemoryInterface::pcie4_x16(),
+        }
+        .build()
+        .is_err());
     }
 
     #[test]
@@ -292,8 +438,12 @@ mod tests {
         // Starve the card: a single DDR4 channel cannot feed two pipelines
         // streaming 16 K-token heads, so service stretches.
         let cfg = FleetConfig {
-            memory: MemoryInterface::ddr4_channel(),
-            ..FleetConfig::standard(1)
+            groups: vec![CardGroup::new(
+                1,
+                SwatConfig::bigbird_dual_fp16(),
+                MemoryInterface::ddr4_channel(),
+            )],
+            host_link: MemoryInterface::pcie4_x16(),
         };
         let hbm = FleetConfig::standard(1).build().unwrap();
         let ddr = cfg.build().unwrap();

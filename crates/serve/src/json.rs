@@ -37,6 +37,13 @@ impl Json {
         Json::Arr(items.into_iter().collect())
     }
 
+    /// `Some(v)` becomes `to_json(v)`, `None` becomes [`Json::Null`] —
+    /// keeps optional report fields (e.g. per-class latency when a class
+    /// completed nothing) one-liners at the call site.
+    pub fn maybe<T>(value: Option<T>, to_json: impl FnOnce(T) -> Json) -> Json {
+        value.map_or(Json::Null, to_json)
+    }
+
     /// Pretty-prints with two-space indentation and a trailing newline —
     /// the layout committed as `BENCH_*.json`.
     pub fn pretty(&self) -> String {
@@ -149,6 +156,12 @@ mod tests {
     fn output_is_reproducible() {
         let build = || Json::obj([("a", Json::Num(1.0 / 3.0)), ("b", Json::Int(-7))]).pretty();
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn maybe_maps_options() {
+        assert_eq!(Json::maybe(Some(2.0), Json::Num), Json::Num(2.0));
+        assert_eq!(Json::maybe(None::<f64>, Json::Num), Json::Null);
     }
 
     #[test]

@@ -22,14 +22,21 @@
 //!   ablation);
 //! - request shapes come from [`swat_workloads::requests`]'s seeded mixes.
 //!
-//! The simulator itself is in [`sim`]: requests arrive by a stochastic
+//! The simulator itself is in [`sim`], driven by the discrete-event
+//! kernel in [`event`]: requests arrive by a stochastic
 //! [`arrival::ArrivalProcess`] (Poisson steady state, on/off bursts, or a
-//! diurnal ramp), wait in a queue, and are dispatched to cards by a
-//! pluggable [`policy::DispatchPolicy`]. The run produces a
-//! [`metrics::ServeReport`] — p50/p95/p99 latency, queue-depth profile,
-//! per-card utilization, energy, SLO violations — serializable to JSON
-//! ([`json`]) for the `serve_sweep` benchmark binary. Every run is
-//! bit-for-bit deterministic for a fixed seed.
+//! diurnal ramp), carry a priority class
+//! ([`swat_workloads::RequestClass`]: interactive ahead of batch ahead of
+//! background), wait in an order-stable priority queue — or are shed by
+//! [`sim::AdmissionControl`] under overload — and are dispatched to cards
+//! by a pluggable [`policy::DispatchPolicy`]. Fleets are heterogeneous:
+//! [`fleet::FleetConfig`] is a list of [`fleet::CardGroup`]s (count ×
+//! design × memory), and policies rank cards by calibrated per-card
+//! service-time estimates. The run produces a [`metrics::ServeReport`] —
+//! p50/p95/p99 latency overall and per class, queue-depth profile,
+//! per-card and per-group utilization, energy, SLO violations —
+//! serializable to JSON ([`json`]) for the `serve_sweep` benchmark
+//! binary. Every run is bit-for-bit deterministic for a fixed seed.
 //!
 //! # Examples
 //!
@@ -45,13 +52,16 @@
 //!     mix: RequestMix::Interactive,
 //!     seed: 7,
 //! };
-//! let fleet = FleetConfig::standard(4);
+//! // Four dual-pipeline FP16 cards next to two single-pipeline FP32 cards.
+//! let fleet = FleetConfig::mixed_precision(4, 2);
 //! let report = simulate(&fleet, &mut LeastLoaded, &traffic.requests(500), false);
 //! assert_eq!(report.completed, 500);
 //! assert!(report.latency.p99 >= report.latency.p50);
+//! assert_eq!(report.groups.len(), 2);
 //! ```
 
 pub mod arrival;
+pub mod event;
 pub mod fleet;
 pub mod json;
 pub mod metrics;
@@ -60,8 +70,9 @@ pub mod request;
 pub mod sim;
 
 pub use arrival::ArrivalProcess;
-pub use fleet::FleetConfig;
+pub use fleet::{CardGroup, FleetConfig};
 pub use metrics::ServeReport;
 pub use policy::DispatchPolicy;
 pub use request::Request;
-pub use sim::{serve, simulate, TrafficSpec};
+pub use sim::{serve, simulate, AdmissionControl, Simulation, TrafficSpec};
+pub use swat_workloads::RequestClass;

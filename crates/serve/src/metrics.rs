@@ -1,9 +1,11 @@
 //! The metrics engine: latency percentiles, queue profile, utilization,
-//! energy, SLO accounting.
+//! energy, SLO accounting — overall, per priority class, and per card
+//! group.
 
 use crate::json::Json;
-use crate::request::CompletedRequest;
+use crate::request::{CompletedRequest, Request};
 use swat::schedule::Placement;
+use swat_workloads::RequestClass;
 
 /// Nearest-rank percentile of a **sorted** slice; `q` in `[0, 1]`.
 /// Monotone in `q` by construction, which is what guarantees
@@ -84,6 +86,8 @@ impl QueueSummary {
 pub struct CardSummary {
     /// Card index.
     pub card: usize,
+    /// Index of the card's [`CardGroup`](crate::fleet::CardGroup).
+    pub group: usize,
     /// Requests served.
     pub served: u64,
     /// Busy pipeline-seconds over available pipeline-seconds (makespan ×
@@ -99,10 +103,106 @@ impl CardSummary {
     fn to_json(&self) -> Json {
         Json::obj([
             ("card", Json::Int(self.card as i64)),
+            ("group", Json::Int(self.group as i64)),
             ("served", Json::Int(self.served as i64)),
             ("utilization", Json::Num(self.utilization)),
             ("energy_j", Json::Num(self.energy_joules)),
             ("weight_swaps", Json::Int(self.weight_swaps as i64)),
+        ])
+    }
+}
+
+/// Aggregate accounting for one [`CardGroup`](crate::fleet::CardGroup) —
+/// how a heterogeneous fleet's pools compare at a glance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// Group index (declaration order in the fleet config).
+    pub group: usize,
+    /// Cards in the group.
+    pub cards: usize,
+    /// Requests served by the group.
+    pub served: u64,
+    /// Mean utilization across the group's cards.
+    pub utilization: f64,
+    /// Active-service energy, joules.
+    pub energy_joules: f64,
+    /// Weight swap-ins across the group.
+    pub weight_swaps: u64,
+}
+
+impl GroupSummary {
+    /// Folds per-card summaries (ordered by card index) into per-group
+    /// aggregates. Group ids are contiguous by construction of
+    /// [`Fleet`](crate::fleet::Fleet).
+    pub fn from_cards(cards: &[CardSummary]) -> Vec<GroupSummary> {
+        let mut groups: Vec<GroupSummary> = Vec::new();
+        for c in cards {
+            if groups.last().map(|g| g.group) != Some(c.group) {
+                groups.push(GroupSummary {
+                    group: c.group,
+                    cards: 0,
+                    served: 0,
+                    utilization: 0.0,
+                    energy_joules: 0.0,
+                    weight_swaps: 0,
+                });
+            }
+            let g = groups.last_mut().expect("just pushed");
+            g.cards += 1;
+            g.served += c.served;
+            g.utilization += c.utilization;
+            g.energy_joules += c.energy_joules;
+            g.weight_swaps += c.weight_swaps;
+        }
+        for g in &mut groups {
+            g.utilization /= g.cards as f64;
+        }
+        groups
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("group", Json::Int(self.group as i64)),
+            ("cards", Json::Int(self.cards as i64)),
+            ("served", Json::Int(self.served as i64)),
+            ("utilization", Json::Num(self.utilization)),
+            ("energy_j", Json::Num(self.energy_joules)),
+            ("weight_swaps", Json::Int(self.weight_swaps as i64)),
+        ])
+    }
+}
+
+/// Accounting for one priority class: its own latency distribution, SLO
+/// tally, and admission outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSummary {
+    /// The class.
+    pub class: RequestClass,
+    /// Requests of this class offered to the fleet.
+    pub offered: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests shed by admission control.
+    pub rejected: usize,
+    /// Completions later than the class SLO.
+    pub slo_violations: usize,
+    /// Latency distribution of this class's completions (`None` when the
+    /// class completed nothing, e.g. fully shed under overload).
+    pub latency: Option<LatencySummary>,
+}
+
+impl ClassSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("class", Json::Str(self.class.name().into())),
+            ("offered", Json::Int(self.offered as i64)),
+            ("completed", Json::Int(self.completed as i64)),
+            ("rejected", Json::Int(self.rejected as i64)),
+            ("slo_violations", Json::Int(self.slo_violations as i64)),
+            (
+                "latency",
+                Json::maybe(self.latency, LatencySummary::to_json),
+            ),
         ])
     }
 }
@@ -112,22 +212,29 @@ impl CardSummary {
 pub struct ServeReport {
     /// Dispatch policy name.
     pub policy: String,
-    /// Arrival process name.
+    /// Arrival process name (set by the caller; see
+    /// [`Simulation::arrivals_label`](crate::sim::Simulation::arrivals_label)).
     pub arrivals: String,
-    /// Requests offered to the fleet.
+    /// Requests offered to the fleet (completed + rejected).
     pub offered: usize,
-    /// Requests completed (== offered: the simulator drains the queue).
+    /// Requests completed (the simulator drains everything it admits).
     pub completed: usize,
+    /// Requests shed by admission control before queueing.
+    pub rejected: usize,
     /// Seconds from first arrival to last completion.
     pub makespan: f64,
     /// Completed requests per second of makespan.
     pub throughput_rps: f64,
-    /// Arrival-to-completion latency summary.
+    /// Arrival-to-completion latency summary over all completions.
     pub latency: LatencySummary,
+    /// Per-priority-class accounting (only classes present in the trace).
+    pub classes: Vec<ClassSummary>,
     /// Queue-depth profile.
     pub queue: QueueSummary,
     /// Per-card accounting.
     pub cards: Vec<CardSummary>,
+    /// Per-group accounting (one entry per card group).
+    pub groups: Vec<GroupSummary>,
     /// Fleet-aggregate active energy, joules.
     pub energy_joules: f64,
     /// Completions later than their request's SLO.
@@ -137,16 +244,18 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
-    /// Assembles the report from raw simulation outputs.
+    /// Assembles the report from raw simulation outputs. `rejected` holds
+    /// the requests admission control shed (empty when the knob is off).
     ///
     /// # Panics
     ///
-    /// Panics if `completed` is empty — a serving run with zero requests
-    /// has no distribution to summarize.
+    /// Panics if `completed` is empty — a serving run with zero
+    /// completions has no distribution to summarize.
     pub fn assemble(
         policy: &str,
         arrivals: &str,
         completed: &[CompletedRequest],
+        rejected: &[Request],
         queue: QueueSummary,
         cards: Vec<CardSummary>,
         placements: Vec<(usize, Placement)>,
@@ -160,16 +269,49 @@ impl ServeReport {
         let last_finish = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
         let makespan = last_finish - first_arrival;
         let energy: f64 = cards.iter().map(|c| c.energy_joules).sum();
+
+        let classes = RequestClass::ALL
+            .iter()
+            .filter_map(|&class| {
+                let done: Vec<&CompletedRequest> = completed
+                    .iter()
+                    .filter(|c| c.request.class == class)
+                    .collect();
+                let shed = rejected.iter().filter(|r| r.class == class).count();
+                if done.is_empty() && shed == 0 {
+                    return None;
+                }
+                Some(ClassSummary {
+                    class,
+                    offered: done.len() + shed,
+                    completed: done.len(),
+                    rejected: shed,
+                    slo_violations: done.iter().filter(|c| !c.met_slo()).count(),
+                    latency: if done.is_empty() {
+                        None
+                    } else {
+                        Some(LatencySummary::from_latencies(
+                            done.iter().map(|c| c.latency()).collect(),
+                        ))
+                    },
+                })
+            })
+            .collect();
+
+        let groups = GroupSummary::from_cards(&cards);
         ServeReport {
             policy: policy.to_string(),
             arrivals: arrivals.to_string(),
-            offered: completed.len(),
+            offered: completed.len() + rejected.len(),
             completed: completed.len(),
+            rejected: rejected.len(),
             makespan,
             throughput_rps: completed.len() as f64 / makespan,
             latency: LatencySummary::from_latencies(latencies),
+            classes,
             queue,
             cards,
+            groups,
             energy_joules: energy,
             slo_violations: completed.iter().filter(|c| !c.met_slo()).count(),
             placements,
@@ -187,6 +329,11 @@ impl ServeReport {
         self.cards.iter().map(|c| c.weight_swaps).sum()
     }
 
+    /// The summary for one class, if that class appeared in the traffic.
+    pub fn class(&self, class: RequestClass) -> Option<&ClassSummary> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+
     /// Serializes the summary (everything except the placement trace).
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -194,13 +341,22 @@ impl ServeReport {
             ("arrivals", Json::Str(self.arrivals.clone())),
             ("offered", Json::Int(self.offered as i64)),
             ("completed", Json::Int(self.completed as i64)),
+            ("rejected", Json::Int(self.rejected as i64)),
             ("makespan_s", Json::Num(self.makespan)),
             ("throughput_rps", Json::Num(self.throughput_rps)),
             ("latency", self.latency.to_json()),
+            (
+                "classes",
+                Json::arr(self.classes.iter().map(ClassSummary::to_json)),
+            ),
             ("queue", self.queue.to_json()),
             ("slo_violations", Json::Int(self.slo_violations as i64)),
             ("energy_j", Json::Num(self.energy_joules)),
             ("fleet_utilization", Json::Num(self.fleet_utilization())),
+            (
+                "groups",
+                Json::arr(self.groups.iter().map(GroupSummary::to_json)),
+            ),
             (
                 "cards",
                 Json::arr(self.cards.iter().map(CardSummary::to_json)),
@@ -234,22 +390,33 @@ mod tests {
         assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
     }
 
+    fn shape() -> RequestShape {
+        RequestShape {
+            seq_len: 512,
+            heads: 1,
+            layers: 1,
+            batch: 1,
+        }
+    }
+
     fn completed(id: u64, arrival: f64, finished: f64) -> CompletedRequest {
         CompletedRequest {
-            request: Request::new(
-                id,
-                arrival,
-                RequestShape {
-                    seq_len: 512,
-                    heads: 1,
-                    layers: 1,
-                    batch: 1,
-                },
-            ),
+            request: Request::new(id, arrival, shape()),
             dispatched: arrival,
             finished,
             card: 0,
             pipeline: 0,
+        }
+    }
+
+    fn card_summary(card: usize, group: usize) -> CardSummary {
+        CardSummary {
+            card,
+            group,
+            served: 3,
+            utilization: 0.4,
+            energy_joules: 2.0,
+            weight_swaps: 1,
         }
     }
 
@@ -264,27 +431,70 @@ mod tests {
             "fifo",
             "poisson",
             &runs,
+            &[],
             QueueSummary {
                 max_depth: 2,
                 mean_depth: 0.5,
                 timeline: Vec::new(),
             },
-            vec![CardSummary {
-                card: 0,
-                served: 3,
-                utilization: 0.4,
-                energy_joules: 2.0,
-                weight_swaps: 1,
-            }],
+            vec![card_summary(0, 0)],
             Vec::new(),
         );
         assert_eq!(report.completed, 3);
+        assert_eq!(report.offered, 3);
+        assert_eq!(report.rejected, 0);
         assert!((report.makespan - 3.0).abs() < 1e-12);
         assert!((report.throughput_rps - 1.0).abs() < 1e-12);
         assert!(report.latency.p99 >= report.latency.p50);
         assert_eq!(report.energy_joules, 2.0);
+        // All requests were interactive: exactly one class summary.
+        assert_eq!(report.classes.len(), 1);
+        assert_eq!(report.classes[0].class, RequestClass::Interactive);
+        assert_eq!(report.classes[0].completed, 3);
         let json = report.to_json().pretty();
         assert!(json.contains("\"policy\": \"fifo\""));
         assert!(json.contains("\"p99_s\""));
+        assert!(json.contains("\"classes\""));
+        assert!(json.contains("\"groups\""));
+    }
+
+    #[test]
+    fn rejections_split_offered_from_completed() {
+        let runs = [completed(0, 0.0, 0.1)];
+        let shed = [Request::classed(1, 0.0, shape(), RequestClass::Background)];
+        let report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            &shed,
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+        );
+        assert_eq!(report.offered, 2);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.rejected, 1);
+        let background = report.class(RequestClass::Background).unwrap();
+        assert_eq!(background.rejected, 1);
+        assert_eq!(background.completed, 0);
+        assert_eq!(background.latency, None, "no completions, no percentiles");
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"latency\": null"));
+    }
+
+    #[test]
+    fn group_summaries_fold_contiguous_cards() {
+        let cards = vec![card_summary(0, 0), card_summary(1, 0), card_summary(2, 1)];
+        let groups = GroupSummary::from_cards(&cards);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].cards, 2);
+        assert_eq!(groups[0].served, 6);
+        assert!((groups[0].utilization - 0.4).abs() < 1e-12);
+        assert_eq!(groups[1].cards, 1);
+        assert_eq!(groups[1].weight_swaps, 1);
     }
 }

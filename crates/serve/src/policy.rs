@@ -7,14 +7,27 @@
 //! only [`CardView`] snapshots, so they cannot depend on simulator
 //! internals, and anything implementing the trait plugs into
 //! [`crate::sim::simulate`] unchanged.
+//!
+//! The queue handed to a policy is **priority-ordered**: higher classes
+//! first, arrival order within a class (see
+//! [`crate::event::PriorityQueue`]). A policy that serves `queue[0]` is
+//! therefore automatically priority-aware. Since fleets may be
+//! heterogeneous, every policy compares cards through
+//! [`CardView::service_estimate`] — the calibrated per-card service-time
+//! estimate — instead of assuming all cards are equally fast. On a
+//! homogeneous fleet the estimates tie on every card and each policy
+//! reduces exactly to its classic symmetric form.
 
 use crate::request::Request;
+use swat_workloads::RequestShape;
 
 /// What a policy may observe about one card at dispatch time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CardView {
     /// Card index.
     pub card: usize,
+    /// Index of the card's [`CardGroup`](crate::fleet::CardGroup).
+    pub group: usize,
     /// Pipelines on this card.
     pub pipelines: usize,
     /// Pipelines idle right now.
@@ -23,6 +36,18 @@ pub struct CardView {
     pub backlog_seconds: f64,
     /// Requests dispatched to this card so far.
     pub served: u64,
+    /// Calibrated isolated service seconds per attended token on this
+    /// card ([`Card::seconds_per_token`](crate::fleet::Card)): how
+    /// policies rank cards of different groups.
+    pub seconds_per_token: f64,
+}
+
+impl CardView {
+    /// Estimated isolated service time of `shape` on this card — the
+    /// per-card number heterogeneous-aware policies minimize.
+    pub fn service_estimate(&self, shape: &RequestShape) -> f64 {
+        self.seconds_per_token * shape.work_tokens() as f64
+    }
 }
 
 /// A dispatch decision: which queued request runs on which card.
@@ -34,28 +59,34 @@ pub trait DispatchPolicy {
     fn name(&self) -> &'static str;
 
     /// Picks the next dispatch, or `None` to wait for state to change.
-    /// `queue` is ordered by arrival; `cards` is indexed by card id.
+    /// `queue` is priority-ordered (class rank, then arrival); `cards` is
+    /// indexed by card id.
     fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch>;
 }
 
-/// The card with an idle pipeline and the smallest backlog (ties to the
-/// lowest index), or `None` if every pipeline is busy.
-fn least_loaded_idle(cards: &[CardView]) -> Option<usize> {
+/// The idle card that would finish `shape` soonest: smallest committed
+/// backlog plus estimated service time (ties to the lowest index), or
+/// `None` if every pipeline is busy. On a homogeneous fleet the estimate
+/// is the same on every card, so this reduces to classic
+/// join-the-least-loaded-queue.
+fn soonest_idle(cards: &[CardView], shape: &RequestShape) -> Option<usize> {
     cards
         .iter()
         .filter(|c| c.idle_pipelines > 0)
         .min_by(|a, b| {
-            a.backlog_seconds
-                .partial_cmp(&b.backlog_seconds)
-                .expect("backlogs are finite")
+            (a.backlog_seconds + a.service_estimate(shape))
+                .partial_cmp(&(b.backlog_seconds + b.service_estimate(shape)))
+                .expect("backlogs and estimates are finite")
                 .then(a.card.cmp(&b.card))
         })
         .map(|c| c.card)
 }
 
-/// First come, first served, onto the first card with a free pipeline.
-/// The baseline every queueing intuition starts from; head-of-line
-/// blocking under heavy-tailed request mixes is its known failure mode.
+/// First come, first served, onto the fastest idle card (ties to the
+/// lowest index — on a homogeneous fleet this is exactly "the first card
+/// with a free pipeline"). The baseline every queueing intuition starts
+/// from; head-of-line blocking under heavy-tailed request mixes is its
+/// known failure mode.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fifo;
 
@@ -68,14 +99,22 @@ impl DispatchPolicy for Fifo {
         if queue.is_empty() {
             return None;
         }
-        let card = cards.iter().find(|c| c.idle_pipelines > 0)?.card;
+        let card = cards
+            .iter()
+            .filter(|c| c.idle_pipelines > 0)
+            .min_by(|a, b| {
+                a.seconds_per_token
+                    .total_cmp(&b.seconds_per_token)
+                    .then(a.card.cmp(&b.card))
+            })?
+            .card;
         Some((0, card))
     }
 }
 
-/// First come, first served, onto the card with the smallest committed
-/// backlog — classic join-the-least-loaded-queue, which evens out
-/// utilization across the fleet.
+/// First come, first served, onto the idle card with the smallest
+/// backlog-plus-service estimate — classic join-the-least-loaded-queue,
+/// generalized to fleets where cards differ in speed.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LeastLoaded;
 
@@ -85,17 +124,17 @@ impl DispatchPolicy for LeastLoaded {
     }
 
     fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
-        if queue.is_empty() {
-            return None;
-        }
-        Some((0, least_loaded_idle(cards)?))
+        let request = queue.first()?;
+        Some((0, soonest_idle(cards, &request.shape)?))
     }
 }
 
 /// Serves the smallest waiting request first (by attended tokens, a
-/// card-independent work proxy), onto the least-loaded card. Minimizes
-/// mean latency at the cost of starving large documents under pressure —
-/// the classic SJF trade, visible directly in the p99/p50 gap.
+/// card-independent work proxy), onto the card that would finish it
+/// soonest. Minimizes mean latency at the cost of starving large
+/// documents under pressure — the classic SJF trade, visible directly in
+/// the p99/p50 gap. Only reorders *within* the highest waiting class, so
+/// a tiny background job never jumps an interactive one.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShortestJobFirst;
 
@@ -105,20 +144,21 @@ impl DispatchPolicy for ShortestJobFirst {
     }
 
     fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
-        let card = least_loaded_idle(cards)?;
-        let qi = queue
+        let head_class = queue.first()?.class;
+        let (qi, request) = queue
             .iter()
             .enumerate()
-            .min_by_key(|(i, r)| (r.shape.work_tokens(), *i))?
-            .0;
+            .take_while(|(_, r)| r.class == head_class)
+            .min_by_key(|(i, r)| (r.shape.work_tokens(), *i))?;
+        let card = soonest_idle(cards, &request.shape)?;
         Some((qi, card))
     }
 }
 
 /// Routes each (heads, layers) model family to a preferred home card —
 /// standing in for weight/KV-cache residency, where scattering one model
-/// across all cards wastes on-card memory — and falls back to the
-/// least-loaded card when the home is busy.
+/// across all cards wastes on-card memory — and falls back to the card
+/// that would finish soonest when the home is busy.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HeadAffinity;
 
@@ -145,7 +185,7 @@ impl DispatchPolicy for HeadAffinity {
         if cards[home].idle_pipelines > 0 {
             return Some((0, home));
         }
-        Some((0, least_loaded_idle(cards)?))
+        Some((0, soonest_idle(cards, &request.shape)?))
     }
 }
 
@@ -162,15 +202,17 @@ pub fn all_policies() -> Vec<Box<dyn DispatchPolicy>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swat_workloads::RequestShape;
+    use swat_workloads::RequestClass;
 
     fn view(card: usize, idle: usize, backlog: f64) -> CardView {
         CardView {
             card,
+            group: 0,
             pipelines: 2,
             idle_pipelines: idle,
             backlog_seconds: backlog,
             served: 0,
+            seconds_per_token: 1e-6,
         }
     }
 
@@ -212,10 +254,35 @@ mod tests {
     }
 
     #[test]
+    fn fifo_prefers_the_faster_card_on_mixed_fleets() {
+        // Card 1 is FP32-slow, card 2 FP16-fast: FIFO routes to the fast
+        // one even though the slow card has the lower index.
+        let queue = [request(0, 1024)];
+        let mut slow = view(1, 1, 0.0);
+        slow.seconds_per_token = 2e-6;
+        let cards = [view(0, 0, 0.0), slow, view(2, 1, 4.0)];
+        assert_eq!(Fifo.choose(0.0, &queue, &cards), Some((0, 2)));
+    }
+
+    #[test]
     fn least_loaded_balances() {
         let queue = [request(0, 1024)];
         let cards = [view(0, 1, 3.0), view(1, 1, 1.0), view(2, 1, 2.0)];
         assert_eq!(LeastLoaded.choose(0.0, &queue, &cards), Some((0, 1)));
+    }
+
+    #[test]
+    fn least_loaded_weighs_card_speed() {
+        // An empty slow card loses to a lightly-loaded fast card once the
+        // service-time difference outweighs the backlog difference.
+        let r = request(0, 8192); // 16 jobs × 8192 tokens = 131072 work tokens
+        let work = r.shape.work_tokens() as f64;
+        let mut slow = view(0, 1, 0.0);
+        slow.seconds_per_token = 5e-6; // estimate 5e-6 × work
+        let mut fast = view(1, 1, 0.0);
+        fast.seconds_per_token = 1e-6;
+        fast.backlog_seconds = 1e-6 * work; // backlog + estimate still smaller
+        assert_eq!(LeastLoaded.choose(0.0, &[r], &[slow, fast]), Some((0, 1)));
     }
 
     #[test]
@@ -226,13 +293,37 @@ mod tests {
     }
 
     #[test]
+    fn sjf_never_crosses_a_class_boundary() {
+        // Queue is priority-ordered: a big interactive request ahead of a
+        // tiny background one. SJF must stay within the interactive prefix.
+        let big = request(0, 8192);
+        let tiny = Request::classed(
+            1,
+            0.0,
+            RequestShape {
+                seq_len: 512,
+                heads: 8,
+                layers: 2,
+                batch: 1,
+            },
+            RequestClass::Background,
+        );
+        let cards = [view(0, 1, 0.0)];
+        assert_eq!(
+            ShortestJobFirst.choose(0.0, &[big, tiny], &cards),
+            Some((0, 0)),
+            "background work must not jump the interactive class"
+        );
+    }
+
+    #[test]
     fn affinity_prefers_home_then_falls_back() {
         let r = request(0, 1024);
         let queue = [r];
         let home = HeadAffinity::home_card(r.shape.heads, r.shape.layers, 3);
         let mut cards = vec![view(0, 1, 0.0), view(1, 1, 0.0), view(2, 1, 0.0)];
         assert_eq!(HeadAffinity.choose(0.0, &queue, &cards), Some((0, home)));
-        // Home busy: fall back to the least-loaded idle card.
+        // Home busy: fall back to the soonest-finishing idle card.
         cards[home].idle_pipelines = 0;
         cards[(home + 1) % 3].backlog_seconds = 5.0;
         let expect = (home + 2) % 3;

@@ -1,6 +1,6 @@
-//! Requests: a shape plus arrival metadata.
+//! Requests: a shape plus arrival metadata and a priority class.
 
-use swat_workloads::RequestShape;
+use swat_workloads::{RequestClass, RequestShape};
 
 /// One attention-inference request in flight through the fleet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -11,28 +11,57 @@ pub struct Request {
     pub arrival: f64,
     /// What has to be computed.
     pub shape: RequestShape,
+    /// Priority class: dispatch order and SLO tightness.
+    pub class: RequestClass,
     /// Latency objective, seconds from arrival to completion.
     pub slo_seconds: f64,
 }
 
 impl Request {
-    /// The default latency objective for a shape: a 50 ms interactive
-    /// floor plus a per-work term of 2.5 µs per attended token,
-    /// roughly 5× the isolated single-pipeline service time on the
-    /// standard FP16 design — tight enough that a saturated fleet
-    /// visibly violates it, loose enough that a healthy one does not.
+    /// The default latency objective for a shape: the
+    /// [`RequestClass::Interactive`] target (see [`Request::class_slo`]).
     pub fn default_slo(shape: &RequestShape) -> f64 {
-        0.05 + 2.5e-6 * shape.work_tokens() as f64
+        Request::class_slo(RequestClass::Interactive, shape)
     }
 
-    /// Builds a request with the default SLO.
+    /// The latency objective for a (class, shape) pair. Interactive keeps
+    /// the original 50 ms floor plus 2.5 µs per attended token — roughly
+    /// 5× the isolated single-pipeline service time on the standard FP16
+    /// design, tight enough that a saturated fleet visibly violates it.
+    /// Batch relaxes both terms (deadline-tolerant jobs), Background is an
+    /// order of magnitude looser still: it only trips when filler work
+    /// starves outright.
+    pub fn class_slo(class: RequestClass, shape: &RequestShape) -> f64 {
+        let work = shape.work_tokens() as f64;
+        match class {
+            RequestClass::Interactive => 0.05 + 2.5e-6 * work,
+            RequestClass::Batch => 0.5 + 5.0e-6 * work,
+            RequestClass::Background => 5.0 + 2.0e-5 * work,
+        }
+    }
+
+    /// Builds an [`RequestClass::Interactive`] request with the default
+    /// SLO (the pre-priority-class behaviour).
     pub fn new(id: u64, arrival: f64, shape: RequestShape) -> Request {
+        Request::classed(id, arrival, shape, RequestClass::Interactive)
+    }
+
+    /// Builds a request of the given class with its class SLO.
+    pub fn classed(id: u64, arrival: f64, shape: RequestShape, class: RequestClass) -> Request {
         Request {
             id,
             arrival,
             shape,
-            slo_seconds: Request::default_slo(&shape),
+            class,
+            slo_seconds: Request::class_slo(class, &shape),
         }
+    }
+
+    /// The total order the priority queue serves in: class rank first,
+    /// then id (= arrival order within a class). Unique per request, which
+    /// is what makes queue iteration deterministic.
+    pub fn rank_key(&self) -> (u8, u64) {
+        (self.class.rank(), self.id)
     }
 }
 
@@ -91,6 +120,28 @@ mod tests {
         });
         assert!(big > small);
         assert!(small > 0.05);
+    }
+
+    #[test]
+    fn slo_relaxes_down_the_class_ladder() {
+        let s = shape();
+        let interactive = Request::class_slo(RequestClass::Interactive, &s);
+        let batch = Request::class_slo(RequestClass::Batch, &s);
+        let background = Request::class_slo(RequestClass::Background, &s);
+        assert!(interactive < batch && batch < background);
+        // `new` keeps the pre-class default: an interactive request.
+        let r = Request::new(0, 0.0, s);
+        assert_eq!(r.class, RequestClass::Interactive);
+        assert_eq!(r.slo_seconds, interactive);
+    }
+
+    #[test]
+    fn rank_keys_order_class_then_id() {
+        let a = Request::classed(7, 0.0, shape(), RequestClass::Interactive);
+        let b = Request::classed(3, 0.0, shape(), RequestClass::Batch);
+        let c = Request::classed(5, 0.0, shape(), RequestClass::Batch);
+        assert!(a.rank_key() < b.rank_key(), "higher class first despite id");
+        assert!(b.rank_key() < c.rank_key(), "arrival order within a class");
     }
 
     #[test]

@@ -1,25 +1,31 @@
 //! The discrete-event simulation loop.
 //!
 //! Three event kinds drive time forward: a request **arrives** (enters the
-//! queue), a pipeline **drains** (capacity frees), and a **dispatch**
-//! (policy assigns a queued request to a card, immediately, whenever both
-//! a request and an idle pipeline exist). Service is non-preemptive; a
-//! dispatched request occupies one pipeline of one card until all of its
-//! `batch × layers × heads` jobs drain, with service times from the
-//! card's calibrated timing model stretched by shared-memory contention
-//! (see [`crate::fleet::Card::job_seconds`]).
+//! priority queue — or is shed by admission control), a pipeline **drains**
+//! (capacity frees), and a **dispatch** (policy assigns a queued request to
+//! a card, immediately, whenever both a request and an idle pipeline
+//! exist). Service is non-preemptive; a dispatched request occupies one
+//! pipeline of one card until all of its `batch × layers × heads` jobs
+//! drain, with service times from the card's calibrated timing model
+//! stretched by shared-memory contention (see
+//! [`crate::fleet::Card::job_seconds`]).
 //!
-//! The loop is deterministic: events are processed in time order with
-//! fixed tie-breaking (arrivals before dispatches at equal times, cards by
-//! index), and all randomness lives in the seeded generators upstream.
+//! The loop is driven by the [`crate::event::EventQueue`] binary heap, so
+//! advancing time is O(log n) in the number of in-flight requests instead
+//! of the O(n) rescan the first implementation did, and the per-dispatch
+//! [`CardView`] snapshots live in reusable scratch buffers. Determinism is
+//! structural: events order by `(time, Arrival < Completion, card, id)`,
+//! the waiting queue orders by `(class rank, id)`, and all randomness
+//! lives in the seeded generators upstream.
 
 use crate::arrival::ArrivalProcess;
-use crate::fleet::{Fleet, FleetConfig};
+use crate::event::{Event, EventQueue, PriorityQueue};
+use crate::fleet::{Card, Fleet, FleetConfig};
 use crate::metrics::{CardSummary, QueueSample, QueueSummary, ServeReport};
 use crate::policy::{CardView, DispatchPolicy};
-use crate::request::{CompletedRequest, Request};
+use crate::request::Request;
 use swat_numeric::SplitMix64;
-use swat_workloads::RequestMix;
+use swat_workloads::{RequestClass, RequestMix};
 
 /// A traffic specification: arrivals × shape mix × seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,8 +56,48 @@ impl TrafficSpec {
         times
             .into_iter()
             .enumerate()
-            .map(|(i, t)| Request::new(i as u64, t, self.mix.sample(&mut rng)))
+            .map(|(i, t)| {
+                let (shape, class) = self.mix.sample_classed(&mut rng);
+                Request::classed(i as u64, t, shape, class)
+            })
             .collect()
+    }
+}
+
+/// The overload valve: whether (and when) the fleet refuses work instead
+/// of queueing it.
+///
+/// Only the lowest class ([`RequestClass::lowest`], i.e. `Background`) is
+/// ever shed: an arriving background request is rejected when the queue
+/// already holds `queue_cap` or more requests. Higher classes are always
+/// admitted — the point of the knob is to keep best-effort filler from
+/// burying latency-sensitive traffic during overload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdmissionControl {
+    /// Reject lowest-class arrivals once the queue is this deep
+    /// (`None` = admit everything).
+    pub queue_cap: Option<usize>,
+}
+
+impl AdmissionControl {
+    /// Admit everything (the default).
+    pub fn admit_all() -> AdmissionControl {
+        AdmissionControl { queue_cap: None }
+    }
+
+    /// Shed lowest-class arrivals once the queue holds `cap` requests.
+    pub fn shed_background_at(cap: usize) -> AdmissionControl {
+        AdmissionControl {
+            queue_cap: Some(cap),
+        }
+    }
+
+    /// Whether an arrival of `class` is admitted at `queue_depth`.
+    pub fn admits(&self, class: RequestClass, queue_depth: usize) -> bool {
+        match self.queue_cap {
+            Some(cap) => class != RequestClass::lowest() || queue_depth < cap,
+            None => true,
+        }
     }
 }
 
@@ -59,169 +105,272 @@ impl TrafficSpec {
 /// truncated (max/mean remain exact) so 10⁵-request sweeps stay small.
 const TIMELINE_CAP: usize = 4096;
 
-/// Runs `requests` (sorted by arrival) through a fleet under a policy.
-/// With `trace` set, the report carries one
-/// [`Placement`](swat::schedule::Placement) per attention job — orders of
-/// magnitude more memory, meant for tests and small replays.
+/// A configured simulation: fleet plus run options. The builder exists so
+/// callers of [`Simulation::run`] control what the old hard-coded pieces
+/// of `simulate` were — the report's arrivals label (no more `"trace"`
+/// patched after the fact), tracing, and admission control.
+///
+/// # Examples
+///
+/// ```
+/// use swat_serve::fleet::FleetConfig;
+/// use swat_serve::policy::LeastLoaded;
+/// use swat_serve::sim::{AdmissionControl, Simulation, TrafficSpec};
+/// use swat_serve::arrival::ArrivalProcess;
+/// use swat_workloads::RequestMix;
+///
+/// let spec = TrafficSpec {
+///     arrivals: ArrivalProcess::poisson(30.0),
+///     mix: RequestMix::Production,
+///     seed: 1,
+/// };
+/// let report = Simulation::new(&FleetConfig::standard(2))
+///     .arrivals_label("poisson/production")
+///     .admission(AdmissionControl::shed_background_at(64))
+///     .run(&mut LeastLoaded, &spec.requests(200));
+/// assert_eq!(report.arrivals, "poisson/production");
+/// assert_eq!(report.offered, 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    fleet: &'a FleetConfig,
+    arrivals_label: String,
+    trace: bool,
+    admission: AdmissionControl,
+}
+
+impl<'a> Simulation<'a> {
+    /// A simulation of `fleet` with default options: label `"trace"`, no
+    /// placement tracing, admit everything.
+    pub fn new(fleet: &'a FleetConfig) -> Simulation<'a> {
+        Simulation {
+            fleet,
+            arrivals_label: "trace".to_string(),
+            trace: false,
+            admission: AdmissionControl::admit_all(),
+        }
+    }
+
+    /// Sets the report's `arrivals` label (what generated the trace).
+    pub fn arrivals_label(mut self, label: impl Into<String>) -> Simulation<'a> {
+        self.arrivals_label = label.into();
+        self
+    }
+
+    /// Records one [`Placement`](swat::schedule::Placement) per attention
+    /// job — orders of magnitude more memory, meant for tests and small
+    /// replays.
+    pub fn trace(mut self, trace: bool) -> Simulation<'a> {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the admission-control knob.
+    pub fn admission(mut self, admission: AdmissionControl) -> Simulation<'a> {
+        self.admission = admission;
+        self
+    }
+
+    /// Runs `requests` (sorted by arrival) through the fleet under
+    /// `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty, not sorted by arrival time, or
+    /// contains duplicate ids (ids must be unique — the dispatch queue and
+    /// the event heap break ties by id, so duplicates would make the
+    /// schedule ambiguous); if the fleet configuration is invalid; or if
+    /// admission control sheds the entire trace.
+    pub fn run(&self, policy: &mut dyn DispatchPolicy, requests: &[Request]) -> ServeReport {
+        assert!(!requests.is_empty(), "cannot simulate zero requests");
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "requests must be sorted by arrival"
+        );
+        {
+            let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            assert!(
+                ids.windows(2).all(|w| w[0] != w[1]),
+                "request ids must be unique (the kernel's tie-breaking orders by id)"
+            );
+        }
+        let mut fleet: Fleet = self.fleet.build().expect("invalid fleet configuration");
+
+        let mut queue = PriorityQueue::new();
+        let mut completed = Vec::with_capacity(requests.len());
+        let mut rejected: Vec<Request> = Vec::new();
+        let mut placements: Vec<(usize, swat::schedule::Placement)> = Vec::new();
+        let mut scratch: Vec<swat::schedule::Placement> = Vec::new();
+        // Reusable CardView scratch: one snapshot per card, refreshed in
+        // place instead of reallocated per dispatch.
+        let mut views: Vec<CardView> = Vec::with_capacity(fleet.cards().len());
+
+        // Queue-depth integral for the time-weighted mean.
+        let mut timeline: Vec<QueueSample> = Vec::new();
+        let mut max_depth = 0usize;
+        let mut depth_integral = 0.0f64;
+        let mut last_event = requests[0].arrival;
+
+        // Arrivals feed the heap lazily — popping arrival i schedules
+        // arrival i+1 — so the heap never holds more than
+        // (in-flight + 1) entries.
+        let mut events = EventQueue::new();
+        events.push_arrival(requests[0].arrival, 0, requests[0].id);
+
+        while let Some((now, first)) = events.pop() {
+            // 1. Account the queue integral up to `now`.
+            depth_integral += queue.len() as f64 * (now - last_event);
+            last_event = now;
+
+            // 2. Deliver this event and every other event due at exactly
+            //    `now` (the heap already orders ties Arrival < Completion
+            //    < card < id) before dispatching.
+            let mut next = Some(first);
+            while let Some(event) = next {
+                match event {
+                    Event::Arrival { index } => {
+                        if index + 1 < requests.len() {
+                            let r = &requests[index + 1];
+                            events.push_arrival(r.arrival, index + 1, r.id);
+                        }
+                        let request = requests[index];
+                        if self.admission.admits(request.class, queue.len()) {
+                            queue.push(request);
+                        } else {
+                            rejected.push(request);
+                        }
+                    }
+                    Event::Completion { record } => completed.push(record),
+                }
+                next = (events.next_time() == Some(now))
+                    .then(|| events.pop().expect("peeked event must pop").1);
+            }
+
+            // 3. Dispatch while the policy finds work and capacity.
+            views.clear();
+            views.extend(
+                fleet
+                    .cards()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| card_view(i, c, now)),
+            );
+            while let Some((qi, card)) = policy.choose(now, queue.view(), &views) {
+                assert!(
+                    views[card].idle_pipelines > 0,
+                    "policy {} dispatched to a busy card",
+                    policy.name()
+                );
+                let request = queue.take(qi);
+                scratch.clear();
+                let (pipeline, finish) =
+                    fleet
+                        .card_mut(card)
+                        .admit(&request.shape, now, self.trace, &mut scratch);
+                if self.trace {
+                    placements.extend(scratch.drain(..).map(|p| (card, p)));
+                }
+                events.push_completion(crate::request::CompletedRequest {
+                    request,
+                    dispatched: now,
+                    finished: finish,
+                    card,
+                    pipeline,
+                });
+                // Only the dispatched card's state changed.
+                views[card] = card_view(card, &fleet.cards()[card], now);
+            }
+
+            // 4. Sample the queue after the event settles.
+            max_depth = max_depth.max(queue.len());
+            if timeline.len() < TIMELINE_CAP {
+                timeline.push(QueueSample {
+                    time: now,
+                    depth: queue.len(),
+                });
+            }
+        }
+        assert!(queue.is_empty(), "drained simulation left requests queued");
+        assert_eq!(completed.len() + rejected.len(), requests.len());
+
+        // Stable output order regardless of completion interleaving.
+        completed.sort_by_key(|c: &crate::request::CompletedRequest| c.request.id);
+
+        let makespan_end = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
+        let span = makespan_end - requests[0].arrival;
+        let cards: Vec<CardSummary> = fleet
+            .cards()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CardSummary {
+                card: i,
+                group: c.group(),
+                served: c.served(),
+                // Guard the degenerate zero-span run (a single instant
+                // trace) the same way mean_depth is guarded below: report
+                // 0 rather than NaN, which the JSON writer would reject.
+                utilization: if span > 0.0 {
+                    c.busy_seconds() / (span * c.pipelines() as f64)
+                } else {
+                    0.0
+                },
+                energy_joules: c.energy_joules(),
+                weight_swaps: c.weight_swaps(),
+            })
+            .collect();
+
+        ServeReport::assemble(
+            policy.name(),
+            &self.arrivals_label,
+            &completed,
+            &rejected,
+            QueueSummary {
+                max_depth,
+                mean_depth: if span > 0.0 {
+                    depth_integral / span
+                } else {
+                    0.0
+                },
+                timeline,
+            },
+            cards,
+            placements,
+        )
+    }
+}
+
+/// Snapshots one card for the policy.
+pub(crate) fn card_view(index: usize, card: &Card, now: f64) -> CardView {
+    CardView {
+        card: index,
+        group: card.group(),
+        pipelines: card.pipelines(),
+        idle_pipelines: card.idle_pipelines(now),
+        backlog_seconds: card.backlog_seconds(now),
+        served: card.served(),
+        seconds_per_token: card.seconds_per_token(),
+    }
+}
+
+/// Runs `requests` (sorted by arrival) through a fleet under a policy —
+/// the original entry point, kept as a thin wrapper over [`Simulation`].
+/// The report's arrivals label is `"trace"`; use the builder to set it.
 ///
 /// # Panics
 ///
-/// Panics if `requests` is empty or not sorted by arrival time, or if the
-/// fleet configuration is invalid.
+/// Panics if `requests` is empty, not sorted by arrival time, or contains
+/// duplicate ids, or if the fleet configuration is invalid (see
+/// [`Simulation::run`]).
 pub fn simulate(
     fleet_cfg: &FleetConfig,
     policy: &mut dyn DispatchPolicy,
     requests: &[Request],
     trace: bool,
 ) -> ServeReport {
-    assert!(!requests.is_empty(), "cannot simulate zero requests");
-    assert!(
-        requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
-        "requests must be sorted by arrival"
-    );
-    let mut fleet: Fleet = fleet_cfg.build().expect("invalid fleet configuration");
-
-    let mut queue: Vec<Request> = Vec::new();
-    let mut completed: Vec<CompletedRequest> = Vec::new();
-    let mut in_flight: Vec<(f64, CompletedRequest)> = Vec::new(); // (finish, record)
-    let mut placements: Vec<(usize, swat::schedule::Placement)> = Vec::new();
-    let mut scratch: Vec<swat::schedule::Placement> = Vec::new();
-
-    // Queue-depth integral for the time-weighted mean.
-    let mut timeline: Vec<QueueSample> = Vec::new();
-    let mut max_depth = 0usize;
-    let mut depth_integral = 0.0f64;
-    let mut last_event = requests[0].arrival;
-
-    let mut next_arrival = 0usize; // index into `requests`
-    let mut now = requests[0].arrival;
-
-    loop {
-        // 1. Account the queue integral up to `now`.
-        depth_integral += queue.len() as f64 * (now - last_event);
-        last_event = now;
-
-        // 2. Deliver due arrivals and completions.
-        while next_arrival < requests.len() && requests[next_arrival].arrival <= now {
-            queue.push(requests[next_arrival]);
-            next_arrival += 1;
-        }
-        let mut i = 0;
-        while i < in_flight.len() {
-            if in_flight[i].0 <= now {
-                completed.push(in_flight.swap_remove(i).1);
-            } else {
-                i += 1;
-            }
-        }
-
-        // 3. Dispatch while the policy finds work and capacity.
-        loop {
-            let views: Vec<CardView> = fleet
-                .cards()
-                .iter()
-                .enumerate()
-                .map(|(i, c)| CardView {
-                    card: i,
-                    pipelines: c.pipelines(),
-                    idle_pipelines: c.idle_pipelines(now),
-                    backlog_seconds: c.backlog_seconds(now),
-                    served: c.served(),
-                })
-                .collect();
-            let Some((qi, card)) = policy.choose(now, &queue, &views) else {
-                break;
-            };
-            assert!(
-                views[card].idle_pipelines > 0,
-                "policy {} dispatched to a busy card",
-                policy.name()
-            );
-            let request = queue.remove(qi);
-            scratch.clear();
-            let (pipeline, finish) =
-                fleet
-                    .card_mut(card)
-                    .admit(&request.shape, now, trace, &mut scratch);
-            if trace {
-                placements.extend(scratch.drain(..).map(|p| (card, p)));
-            }
-            in_flight.push((
-                finish,
-                CompletedRequest {
-                    request,
-                    dispatched: now,
-                    finished: finish,
-                    card,
-                    pipeline,
-                },
-            ));
-        }
-
-        // 4. Sample the queue after the event settles.
-        max_depth = max_depth.max(queue.len());
-        if timeline.len() < TIMELINE_CAP {
-            timeline.push(QueueSample {
-                time: now,
-                depth: queue.len(),
-            });
-        }
-
-        // 5. Advance to the next event.
-        let upcoming_arrival = requests.get(next_arrival).map(|r| r.arrival);
-        let upcoming_completion = in_flight
-            .iter()
-            .map(|&(f, _)| f)
-            .fold(None, |acc: Option<f64>, t| {
-                Some(acc.map_or(t, |a| a.min(t)))
-            });
-        now = match (upcoming_arrival, upcoming_completion) {
-            (Some(a), Some(c)) => a.min(c),
-            (Some(a), None) => a,
-            (None, Some(c)) => c,
-            (None, None) => break,
-        };
-    }
-    assert!(queue.is_empty(), "drained simulation left requests queued");
-    assert_eq!(completed.len(), requests.len());
-
-    // Stable output order regardless of completion interleaving.
-    completed.sort_by_key(|c| c.request.id);
-
-    let makespan_end = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
-    let cards: Vec<CardSummary> = fleet
-        .cards()
-        .iter()
-        .enumerate()
-        .map(|(i, c)| CardSummary {
-            card: i,
-            served: c.served(),
-            utilization: c.busy_seconds()
-                / ((makespan_end - requests[0].arrival) * c.pipelines() as f64),
-            energy_joules: c.energy_joules(),
-            weight_swaps: c.weight_swaps(),
-        })
-        .collect();
-
-    let span = makespan_end - requests[0].arrival;
-    // Bare `simulate` calls replay a caller-provided trace; the `serve`
-    // wrapper overwrites this label with the generating process's name.
-    ServeReport::assemble(
-        policy.name(),
-        "trace",
-        &completed,
-        QueueSummary {
-            max_depth,
-            mean_depth: if span > 0.0 {
-                depth_integral / span
-            } else {
-                0.0
-            },
-            timeline,
-        },
-        cards,
-        placements,
-    )
+    Simulation::new(fleet_cfg)
+        .trace(trace)
+        .run(policy, requests)
 }
 
 /// Convenience wrapper: generate `n` requests from `traffic`, serve them,
@@ -232,10 +381,13 @@ pub fn serve(
     traffic: &TrafficSpec,
     n: usize,
 ) -> ServeReport {
-    let requests = traffic.requests(n);
-    let mut report = simulate(fleet, policy, &requests, false);
-    report.arrivals = format!("{}/{}", traffic.arrivals.name(), traffic.mix.name());
-    report
+    Simulation::new(fleet)
+        .arrivals_label(format!(
+            "{}/{}",
+            traffic.arrivals.name(),
+            traffic.mix.name()
+        ))
+        .run(policy, &traffic.requests(n))
 }
 
 #[cfg(test)]
@@ -274,6 +426,141 @@ mod tests {
         assert_ne!(a.latency, c.latency, "different seeds must differ");
     }
 
+    /// The event-heap kernel must reproduce the original O(n)-rescan loop
+    /// exactly. This reference implementation is a line-for-line port of
+    /// the pre-kernel `simulate` (arrival-ordered Vec queue, linear scans
+    /// for due completions and the next event); for single-class traffic
+    /// the priority queue orders identically, so any divergence is a
+    /// kernel bug, not a semantics change.
+    fn reference_simulate(
+        fleet_cfg: &FleetConfig,
+        policy: &mut dyn DispatchPolicy,
+        requests: &[Request],
+    ) -> ServeReport {
+        let mut fleet: Fleet = fleet_cfg.build().expect("invalid fleet configuration");
+        let mut queue: Vec<Request> = Vec::new();
+        let mut completed: Vec<crate::request::CompletedRequest> = Vec::new();
+        let mut in_flight: Vec<(f64, crate::request::CompletedRequest)> = Vec::new();
+        let mut scratch: Vec<swat::schedule::Placement> = Vec::new();
+
+        let mut timeline: Vec<QueueSample> = Vec::new();
+        let mut max_depth = 0usize;
+        let mut depth_integral = 0.0f64;
+        let mut last_event = requests[0].arrival;
+        let mut next_arrival = 0usize;
+        let mut now = requests[0].arrival;
+
+        loop {
+            depth_integral += queue.len() as f64 * (now - last_event);
+            last_event = now;
+            while next_arrival < requests.len() && requests[next_arrival].arrival <= now {
+                queue.push(requests[next_arrival]);
+                next_arrival += 1;
+            }
+            let mut i = 0;
+            while i < in_flight.len() {
+                if in_flight[i].0 <= now {
+                    completed.push(in_flight.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            loop {
+                let views: Vec<CardView> = fleet
+                    .cards()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| card_view(i, c, now))
+                    .collect();
+                let Some((qi, card)) = policy.choose(now, &queue, &views) else {
+                    break;
+                };
+                let request = queue.remove(qi);
+                scratch.clear();
+                let (pipeline, finish) =
+                    fleet
+                        .card_mut(card)
+                        .admit(&request.shape, now, false, &mut scratch);
+                in_flight.push((
+                    finish,
+                    crate::request::CompletedRequest {
+                        request,
+                        dispatched: now,
+                        finished: finish,
+                        card,
+                        pipeline,
+                    },
+                ));
+            }
+            max_depth = max_depth.max(queue.len());
+            if timeline.len() < TIMELINE_CAP {
+                timeline.push(QueueSample {
+                    time: now,
+                    depth: queue.len(),
+                });
+            }
+            let upcoming_arrival = requests.get(next_arrival).map(|r| r.arrival);
+            let upcoming_completion = in_flight
+                .iter()
+                .map(|&(f, _)| f)
+                .fold(None, |acc: Option<f64>, t| {
+                    Some(acc.map_or(t, |a| a.min(t)))
+                });
+            now = match (upcoming_arrival, upcoming_completion) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+        }
+        completed.sort_by_key(|c| c.request.id);
+        let makespan_end = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
+        let span = makespan_end - requests[0].arrival;
+        let cards: Vec<CardSummary> = fleet
+            .cards()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CardSummary {
+                card: i,
+                group: c.group(),
+                served: c.served(),
+                utilization: c.busy_seconds() / (span * c.pipelines() as f64),
+                energy_joules: c.energy_joules(),
+                weight_swaps: c.weight_swaps(),
+            })
+            .collect();
+        ServeReport::assemble(
+            policy.name(),
+            "trace",
+            &completed,
+            &[],
+            QueueSummary {
+                max_depth,
+                mean_depth: depth_integral / span,
+                timeline,
+            },
+            cards,
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn event_kernel_matches_reference_loop() {
+        // Single-class traffic (Interactive mix) on a homogeneous fleet:
+        // the event-heap kernel and the original rescan loop must agree
+        // bit for bit, under every policy.
+        for seed in [3, 11, 29] {
+            let requests = traffic(seed).requests(250);
+            let fleet = FleetConfig::standard(3);
+            for i in 0..all_policies().len() {
+                let heap = simulate(&fleet, &mut *all_policies().remove(i), &requests, false);
+                let reference =
+                    reference_simulate(&fleet, &mut *all_policies().remove(i), &requests);
+                assert_eq!(heap, reference, "seed {seed}, policy {}", heap.policy);
+            }
+        }
+    }
+
     #[test]
     fn queue_accounting_is_sane() {
         let fleet = FleetConfig::standard(1);
@@ -290,6 +577,71 @@ mod tests {
         assert!(!report.queue.timeline.is_empty());
         // Saturation shows up in latency and SLO accounting too.
         assert!(report.slo_violations > 0);
+    }
+
+    #[test]
+    fn arrivals_label_is_settable() {
+        let fleet = FleetConfig::standard(1);
+        let requests = traffic(7).requests(20);
+        let plain = simulate(&fleet, &mut Fifo, &requests, false);
+        assert_eq!(plain.arrivals, "trace", "default label unchanged");
+        let labeled = Simulation::new(&fleet)
+            .arrivals_label("replayed-capture")
+            .run(&mut Fifo, &requests);
+        assert_eq!(labeled.arrivals, "replayed-capture");
+        assert_eq!(plain.latency, labeled.latency, "label must not change data");
+    }
+
+    #[test]
+    fn priority_classes_jump_the_queue() {
+        // One saturated card, production traffic: interactive requests
+        // must wait less than background ones despite arriving uniformly.
+        let fleet = FleetConfig::standard(1);
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(300.0),
+            mix: RequestMix::Production,
+            seed: 17,
+        };
+        let report = serve(&fleet, &mut Fifo, &spec, 300);
+        let interactive = report.class(RequestClass::Interactive).unwrap();
+        let background = report.class(RequestClass::Background).unwrap();
+        let (i_lat, b_lat) = (interactive.latency.unwrap(), background.latency.unwrap());
+        assert!(
+            i_lat.p50 < b_lat.p50,
+            "interactive p50 {} must beat background p50 {}",
+            i_lat.p50,
+            b_lat.p50
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_only_background() {
+        let fleet = FleetConfig::standard(1);
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(500.0),
+            mix: RequestMix::Production,
+            seed: 9,
+        };
+        let requests = spec.requests(400);
+        let open = simulate(&fleet, &mut Fifo, &requests, false);
+        assert_eq!(open.rejected, 0);
+
+        let capped = Simulation::new(&fleet)
+            .admission(AdmissionControl::shed_background_at(16))
+            .run(&mut Fifo, &requests);
+        assert!(capped.rejected > 0, "overload must trip the cap");
+        assert_eq!(capped.offered, requests.len());
+        assert_eq!(capped.completed + capped.rejected, requests.len());
+        // Only the lowest class was shed.
+        for class in [RequestClass::Interactive, RequestClass::Batch] {
+            assert_eq!(capped.class(class).unwrap().rejected, 0, "{class:?}");
+        }
+        assert_eq!(
+            capped.class(RequestClass::Background).unwrap().rejected,
+            capped.rejected
+        );
+        // Shedding filler work cannot hurt the work that stays.
+        assert!(capped.queue.max_depth <= open.queue.max_depth);
     }
 
     #[test]
@@ -356,10 +708,36 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_fleet_uses_both_groups() {
+        let fleet = FleetConfig::mixed_precision(2, 2);
+        let report = serve(&fleet, &mut LeastLoaded, &traffic(5), 400);
+        assert_eq!(report.completed, 400);
+        assert_eq!(report.groups.len(), 2);
+        assert!(
+            report.groups.iter().all(|g| g.served > 0),
+            "both pools must take work: {:?}",
+            report.groups
+        );
+        // The FP16 dual-pipeline pool outserves the FP32 singles.
+        assert!(report.groups[0].served > report.groups[1].served);
+    }
+
+    #[test]
     #[should_panic(expected = "sorted by arrival")]
     fn unsorted_requests_rejected() {
         let mut requests = traffic(1).requests(10);
         requests.reverse();
+        let _ = simulate(&FleetConfig::standard(1), &mut Fifo, &requests, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "ids must be unique")]
+    fn duplicate_request_ids_rejected() {
+        // E.g. two independently generated traces naively concatenated:
+        // both number requests from 0, which would make the kernel's
+        // id-based tie-breaking ambiguous.
+        let mut requests = traffic(1).requests(10);
+        requests[3].id = requests[7].id;
         let _ = simulate(&FleetConfig::standard(1), &mut Fifo, &requests, false);
     }
 }

@@ -4,11 +4,38 @@
 
 use proptest::prelude::*;
 use swat_serve::arrival::ArrivalProcess;
-use swat_serve::fleet::FleetConfig;
+use swat_serve::fleet::{CardGroup, FleetConfig};
 use swat_serve::metrics::percentile;
 use swat_serve::policy::{DispatchPolicy, Fifo, HeadAffinity, LeastLoaded, ShortestJobFirst};
 use swat_serve::sim::{simulate, TrafficSpec};
-use swat_workloads::RequestMix;
+use swat_workloads::{RequestMix, RequestShape};
+
+/// A random heterogeneous fleet: an FP16 dual-pipeline group next to an
+/// FP32 single-pipeline group (either may dominate, but never both empty).
+fn any_mixed_fleet() -> impl Strategy<Value = FleetConfig> {
+    (0usize..3, 0usize..3).prop_map(|(fp16, fp32)| {
+        let mut cfg = FleetConfig::mixed_precision(1, 1);
+        // At least one card overall; either group may be empty.
+        cfg.groups[0].count = if fp16 + fp32 == 0 { 1 } else { fp16 };
+        cfg.groups[1].count = fp32;
+        cfg
+    })
+}
+
+fn any_shape() -> impl Strategy<Value = RequestShape> {
+    (
+        512usize..16385,
+        prop_oneof![Just(8usize), Just(12), Just(16)],
+        prop_oneof![Just(6usize), Just(12), Just(24)],
+        1usize..9,
+    )
+        .prop_map(|(seq_len, heads, layers, batch)| RequestShape {
+            seq_len,
+            heads,
+            layers,
+            batch,
+        })
+}
 
 fn any_policy() -> impl Strategy<Value = usize> {
     0usize..4
@@ -160,6 +187,85 @@ proptest! {
             prop_assert!(p >= last, "percentile not monotone at q={q}");
             last = p;
         }
+    }
+
+    /// Heterogeneous fleets (mixed FP16/FP32, single/dual pipeline) stay
+    /// bitwise deterministic per seed, down to the serialized JSON.
+    #[test]
+    fn heterogeneous_fleets_deterministic(
+        fleet in any_mixed_fleet(),
+        policy_idx in any_policy(),
+        arrivals in any_arrivals(),
+        mix in any_mix(),
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec { arrivals, mix, seed };
+        let requests = spec.requests(70);
+        let run = || {
+            let mut policy = policy_by_index(policy_idx);
+            simulate(&fleet, &mut *policy, &requests, false)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+        // Every card is accounted to exactly one group, in order.
+        prop_assert_eq!(a.groups.iter().map(|g| g.cards).sum::<usize>(), a.cards.len());
+    }
+
+    /// Within every priority class, percentiles stay ordered:
+    /// p99 ≥ p95 ≥ p50.
+    #[test]
+    fn per_class_percentiles_are_ordered(
+        cards in 1usize..4,
+        policy_idx in any_policy(),
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+    ) {
+        // The production blend is the one mix that emits all three classes.
+        let spec = TrafficSpec { arrivals, mix: RequestMix::Production, seed };
+        let requests = spec.requests(80);
+        let mut policy = policy_by_index(policy_idx);
+        let report = simulate(&FleetConfig::standard(cards), &mut *policy, &requests, false);
+        prop_assert!(!report.classes.is_empty());
+        for class in &report.classes {
+            prop_assert_eq!(class.offered, class.completed + class.rejected);
+            let Some(l) = class.latency else { continue };
+            prop_assert!(l.p50 <= l.p95, "{:?}: p50 {} > p95 {}", class.class, l.p50, l.p95);
+            prop_assert!(l.p95 <= l.p99, "{:?}: p95 {} > p99 {}", class.class, l.p95, l.p99);
+            prop_assert!(l.p99 <= l.max, "{:?}: p99 {} > max {}", class.class, l.p99, l.max);
+        }
+    }
+
+    /// An FP16 card's estimated service time never exceeds its FP32
+    /// twin's for the same shape — neither the calibrated per-token
+    /// estimate nor the exact timing-model service time.
+    #[test]
+    fn fp16_never_slower_than_fp32_twin(shape in any_shape()) {
+        let fleet = FleetConfig {
+            groups: vec![
+                CardGroup::new(1, swat::SwatConfig::bigbird_fp16(), swat_hw::MemoryInterface::hbm2()),
+                CardGroup::new(
+                    1,
+                    swat::SwatConfig {
+                        precision: swat::config::Precision::Fp32,
+                        ..swat::SwatConfig::bigbird_fp16()
+                    },
+                    swat_hw::MemoryInterface::hbm2(),
+                ),
+            ],
+            host_link: swat_hw::MemoryInterface::pcie4_x16(),
+        }
+        .build()
+        .expect("twin fleet builds");
+        let fp16 = &fleet.cards()[0];
+        let fp32 = &fleet.cards()[1];
+        prop_assert!(
+            fp16.service_seconds(&shape) <= fp32.service_seconds(&shape),
+            "shape {:?}: fp16 {} > fp32 {}",
+            shape, fp16.service_seconds(&shape), fp32.service_seconds(&shape)
+        );
+        prop_assert!(fp16.seconds_per_token() <= fp32.seconds_per_token());
     }
 
     /// Work conservation: total busy pipeline-seconds equals the summed

@@ -16,6 +16,53 @@
 
 use swat_numeric::SplitMix64;
 
+/// Latency-sensitivity class of a request — the priority the serving
+/// layer schedules by. Classes are ordered: `Interactive` preempts
+/// nothing (service is non-preemptive) but always dispatches ahead of
+/// `Batch`, which dispatches ahead of `Background`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RequestClass {
+    /// User-facing turns: tight SLO, served first.
+    Interactive,
+    /// Deadline-tolerant jobs (document analysis, evaluation runs).
+    Batch,
+    /// Best-effort filler (offline batches); the only class an admission
+    /// controller may shed under overload.
+    Background,
+}
+
+impl RequestClass {
+    /// All classes, highest priority first.
+    pub const ALL: [RequestClass; 3] = [
+        RequestClass::Interactive,
+        RequestClass::Batch,
+        RequestClass::Background,
+    ];
+
+    /// Short name for tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestClass::Interactive => "interactive",
+            RequestClass::Batch => "batch",
+            RequestClass::Background => "background",
+        }
+    }
+
+    /// Dispatch rank: lower ranks leave the queue first.
+    pub fn rank(&self) -> u8 {
+        match self {
+            RequestClass::Interactive => 0,
+            RequestClass::Batch => 1,
+            RequestClass::Background => 2,
+        }
+    }
+
+    /// The class admission control sheds first (and, today, only).
+    pub fn lowest() -> RequestClass {
+        RequestClass::Background
+    }
+}
+
 /// The shape of one attention-inference request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestShape {
@@ -94,28 +141,48 @@ impl RequestMix {
 
     /// Draws one request shape from this mix.
     pub fn sample(&self, rng: &mut SplitMix64) -> RequestShape {
+        self.sample_classed(rng).0
+    }
+
+    /// Draws one request shape together with its priority class. The class
+    /// is a deterministic function of the population the shape was drawn
+    /// from (no extra random draws, so traces generated before classes
+    /// existed keep their exact shapes): interactive turns are
+    /// [`RequestClass::Interactive`], document jobs are
+    /// [`RequestClass::Batch`], offline batches are
+    /// [`RequestClass::Background`].
+    pub fn sample_classed(&self, rng: &mut SplitMix64) -> (RequestShape, RequestClass) {
         fn pick<T: Copy>(rng: &mut SplitMix64, options: &[T]) -> T {
             options[rng.next_below(options.len() as u64) as usize]
         }
         match self {
-            RequestMix::Interactive => RequestShape {
-                seq_len: pick(rng, &[512, 1024, 1024, 2048]),
-                heads: pick(rng, &[8, 12]),
-                layers: pick(rng, &[6, 12]),
-                batch: 1,
-            },
-            RequestMix::Document => RequestShape {
-                seq_len: pick(rng, &[4096, 8192, 8192, 16384]),
-                heads: pick(rng, &[12, 16]),
-                layers: pick(rng, &[12, 24]),
-                batch: pick(rng, &[1, 2]),
-            },
-            RequestMix::Batch => RequestShape {
-                seq_len: pick(rng, &[1024, 2048, 4096]),
-                heads: 12,
-                layers: 12,
-                batch: pick(rng, &[4, 8]),
-            },
+            RequestMix::Interactive => (
+                RequestShape {
+                    seq_len: pick(rng, &[512, 1024, 1024, 2048]),
+                    heads: pick(rng, &[8, 12]),
+                    layers: pick(rng, &[6, 12]),
+                    batch: 1,
+                },
+                RequestClass::Interactive,
+            ),
+            RequestMix::Document => (
+                RequestShape {
+                    seq_len: pick(rng, &[4096, 8192, 8192, 16384]),
+                    heads: pick(rng, &[12, 16]),
+                    layers: pick(rng, &[12, 24]),
+                    batch: pick(rng, &[1, 2]),
+                },
+                RequestClass::Batch,
+            ),
+            RequestMix::Batch => (
+                RequestShape {
+                    seq_len: pick(rng, &[1024, 2048, 4096]),
+                    heads: 12,
+                    layers: 12,
+                    batch: pick(rng, &[4, 8]),
+                },
+                RequestClass::Background,
+            ),
             RequestMix::Production => {
                 let r = rng.next_below(10);
                 let inner = if r < 6 {
@@ -125,7 +192,7 @@ impl RequestMix {
                 } else {
                     RequestMix::Batch
                 };
-                inner.sample(rng)
+                inner.sample_classed(rng)
             }
         }
     }
@@ -182,5 +249,52 @@ mod tests {
         assert!(shapes.iter().any(|s| s.seq_len <= 2048 && s.batch == 1));
         assert!(shapes.iter().any(|s| s.seq_len >= 4096));
         assert!(shapes.iter().any(|s| s.batch >= 4));
+    }
+
+    #[test]
+    fn classes_do_not_perturb_shapes() {
+        // `sample_classed` must consume exactly the draws `sample` always
+        // did, so pre-class traces replay bit-identically.
+        for mix in RequestMix::ALL {
+            let mut a = SplitMix64::new(17);
+            let mut b = SplitMix64::new(17);
+            for _ in 0..200 {
+                assert_eq!(mix.sample(&mut a), mix.sample_classed(&mut b).0);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_follow_their_population() {
+        let mut rng = SplitMix64::new(23);
+        for _ in 0..50 {
+            assert_eq!(
+                RequestMix::Interactive.sample_classed(&mut rng).1,
+                RequestClass::Interactive
+            );
+            assert_eq!(
+                RequestMix::Document.sample_classed(&mut rng).1,
+                RequestClass::Batch
+            );
+            assert_eq!(
+                RequestMix::Batch.sample_classed(&mut rng).1,
+                RequestClass::Background
+            );
+        }
+        // The production blend emits every class.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(RequestMix::Production.sample_classed(&mut rng).1);
+        }
+        assert_eq!(seen.len(), 3, "production must mix all classes: {seen:?}");
+    }
+
+    #[test]
+    fn class_ranks_are_ordered() {
+        assert!(RequestClass::Interactive.rank() < RequestClass::Batch.rank());
+        assert!(RequestClass::Batch.rank() < RequestClass::Background.rank());
+        assert_eq!(RequestClass::lowest(), RequestClass::Background);
+        let names: Vec<_> = RequestClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["interactive", "batch", "background"]);
     }
 }

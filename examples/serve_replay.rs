@@ -1,5 +1,6 @@
-//! Serve replay: 60 simulated seconds of diurnal traffic through a
-//! four-card SWAT fleet, with a queue-depth timeline.
+//! Serve replay: 60 simulated seconds of diurnal traffic through a mixed
+//! FP16/FP32 SWAT fleet with admission control, with a queue-depth
+//! timeline and per-class/per-group breakdowns.
 //!
 //! ```text
 //! cargo run --release --example serve_replay
@@ -8,30 +9,34 @@
 use swat_serve::arrival::ArrivalProcess;
 use swat_serve::fleet::FleetConfig;
 use swat_serve::policy::LeastLoaded;
-use swat_serve::sim::{simulate, TrafficSpec};
+use swat_serve::sim::{AdmissionControl, Simulation, TrafficSpec};
 use swat_workloads::RequestMix;
 
 fn main() {
     // One compressed "day" of traffic: the rate ramps 2 → 20 rps and back
-    // over the 60 s horizon. Four dual-pipeline cards sustain ≈13 rps of
-    // the production mix, so the midday peak transiently overloads the
-    // fleet and the queue drains on the evening downslope.
+    // over the 60 s horizon. Three dual-pipeline FP16 cards plus two
+    // single-pipeline FP32 cards sustain ≈12 rps of the production mix,
+    // so the midday peak transiently overloads the fleet — which is when
+    // the admission controller starts shedding background filler.
     let spec = TrafficSpec {
         arrivals: ArrivalProcess::diurnal(2.0, 20.0),
         mix: RequestMix::Production,
         seed: 42,
     };
     let requests = spec.requests_in(60.0);
-    let fleet = FleetConfig::standard(4);
+    let fleet = FleetConfig::mixed_precision(3, 2);
     println!(
-        "replaying {} requests over 60 s on {} cards ({} pipelines)…\n",
+        "replaying {} requests over 60 s on {} cards ({} pipelines, {} groups)…\n",
         requests.len(),
-        fleet.cards,
-        fleet.cards * fleet.pipelines_per_card()
+        fleet.cards(),
+        fleet.total_pipelines(),
+        fleet.groups.len()
     );
 
-    let mut report = simulate(&fleet, &mut LeastLoaded, &requests, false);
-    report.arrivals = format!("{}/{}", spec.arrivals.name(), spec.mix.name());
+    let report = Simulation::new(&fleet)
+        .arrivals_label(format!("{}/{}", spec.arrivals.name(), spec.mix.name()))
+        .admission(AdmissionControl::shed_background_at(24))
+        .run(&mut LeastLoaded, &requests);
 
     // Queue depth over time, bucketed to 2.5 s columns.
     let mut buckets = [0usize; 24];
@@ -50,9 +55,10 @@ fn main() {
     }
 
     println!(
-        "\n{} / {} requests met their SLO",
+        "\n{} / {} requests met their SLO ({} shed by admission control)",
         report.completed - report.slo_violations,
-        report.completed
+        report.offered,
+        report.rejected
     );
     println!(
         "latency p50/p95/p99: {:.1} / {:.1} / {:.1} ms  (max {:.1} ms)",
@@ -61,15 +67,44 @@ fn main() {
         report.latency.p99 * 1e3,
         report.latency.max * 1e3
     );
+    for class in &report.classes {
+        match class.latency {
+            Some(l) => println!(
+                "  {:<11} {:>4} done, {:>3} shed, {:>3} late, p50/p99 {:.1}/{:.1} ms",
+                class.class.name(),
+                class.completed,
+                class.rejected,
+                class.slo_violations,
+                l.p50 * 1e3,
+                l.p99 * 1e3
+            ),
+            None => println!(
+                "  {:<11} {:>4} done, {:>3} shed",
+                class.class.name(),
+                class.completed,
+                class.rejected
+            ),
+        }
+    }
     println!(
         "throughput {:.1} rps, fleet utilization {:.0}%, energy {:.1} J",
         report.throughput_rps,
         report.fleet_utilization() * 100.0,
         report.energy_joules
     );
+    for summary in &report.groups {
+        let g = summary.group;
+        println!(
+            "  group {g} ({}): {:>4} served, {:>3.0}% busy, {:.1} J",
+            fleet.groups[g].design(),
+            summary.served,
+            summary.utilization * 100.0,
+            summary.energy_joules
+        );
+    }
     for c in &report.cards {
         println!(
-            "  card {}: {:>4} served, {:>3.0}% busy, {:.1} J",
+            "    card {}: {:>4} served, {:>3.0}% busy, {:.1} J",
             c.card,
             c.served,
             c.utilization * 100.0,

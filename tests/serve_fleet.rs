@@ -4,8 +4,8 @@
 use swat_serve::arrival::ArrivalProcess;
 use swat_serve::fleet::FleetConfig;
 use swat_serve::policy::{all_policies, LeastLoaded};
-use swat_serve::sim::{serve, simulate, TrafficSpec};
-use swat_workloads::RequestMix;
+use swat_serve::sim::{serve, simulate, AdmissionControl, Simulation, TrafficSpec};
+use swat_workloads::{RequestClass, RequestMix};
 
 fn spec(seed: u64) -> TrafficSpec {
     TrafficSpec {
@@ -109,6 +109,70 @@ fn more_cards_reduce_tail_latency() {
 }
 
 #[test]
+fn mixed_precision_fleet_serves_production_traffic() {
+    // Heterogeneous deployment: the FP16 dual-pipeline pool is faster per
+    // token than the FP32 singles, every policy keeps both pools busy,
+    // and the report accounts each card to its group.
+    let fleet = FleetConfig::mixed_precision(3, 2);
+    for mut policy in all_policies() {
+        let report = serve(&fleet, &mut *policy, &spec(19), 600);
+        assert_eq!(report.completed, 600, "{}", report.policy);
+        assert_eq!(report.cards.len(), 5);
+        assert_eq!(report.groups.len(), 2);
+        assert!(
+            report.groups.iter().all(|g| g.served > 0),
+            "{}: {:?}",
+            report.policy,
+            report.groups
+        );
+        let built = fleet.build().unwrap();
+        assert!(
+            built.cards()[0].seconds_per_token() < built.cards()[3].seconds_per_token(),
+            "FP16 cards must estimate faster than FP32"
+        );
+    }
+}
+
+#[test]
+fn admission_control_protects_interactive_tail() {
+    // Sustained overload: shedding background filler must not hurt (and
+    // should help) the interactive class's tail latency.
+    let fleet = FleetConfig::standard(2);
+    let heavy = TrafficSpec {
+        arrivals: ArrivalProcess::poisson(40.0),
+        mix: RequestMix::Production,
+        seed: 23,
+    };
+    let requests = heavy.requests(700);
+    let open = simulate(&fleet, &mut LeastLoaded, &requests, false);
+    let capped = Simulation::new(&fleet)
+        .admission(AdmissionControl::shed_background_at(8))
+        .run(&mut LeastLoaded, &requests);
+    assert!(capped.rejected > 0);
+    assert_eq!(
+        capped.class(RequestClass::Background).unwrap().rejected,
+        capped.rejected,
+        "only the lowest class may be shed"
+    );
+    let open_p99 = open
+        .class(RequestClass::Interactive)
+        .unwrap()
+        .latency
+        .unwrap()
+        .p99;
+    let capped_p99 = capped
+        .class(RequestClass::Interactive)
+        .unwrap()
+        .latency
+        .unwrap()
+        .p99;
+    assert!(
+        capped_p99 <= open_p99,
+        "interactive p99 {capped_p99} must not regress past {open_p99}"
+    );
+}
+
+#[test]
 fn json_report_has_the_required_fields() {
     let report = serve(&FleetConfig::standard(4), &mut LeastLoaded, &spec(9), 200);
     let json = report.to_json().pretty();
@@ -123,6 +187,9 @@ fn json_report_has_the_required_fields() {
         "\"fleet_utilization\"",
         "\"max_depth\"",
         "\"cards\"",
+        "\"classes\"",
+        "\"groups\"",
+        "\"rejected\"",
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");
     }
