@@ -2,7 +2,7 @@
 //!
 //! This crate implements every attention algorithm the paper discusses:
 //!
-//! - [`reference`]: dense softmax attention and pattern-masked attention,
+//! - [`reference`](mod@reference): dense softmax attention and pattern-masked attention,
 //!   the golden references everything else is validated against;
 //! - [`pattern`]: static sparsity patterns — sliding window, global tokens,
 //!   static random tokens (BigBird), their composition, and a butterfly

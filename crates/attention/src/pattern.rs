@@ -345,7 +345,7 @@ fn window_contains(i: usize, j: usize, w: usize, seq_len: usize) -> bool {
 }
 
 /// The butterfly sparsity pattern used by the Butterfly accelerator
-/// baseline [7]: at stage `s`, position `i` connects to `i` and
+/// baseline (reference \[7\]): at stage `s`, position `i` connects to `i` and
 /// `i XOR 2^s`. The full pattern is the union over `log2(n)` stages.
 ///
 /// This is *not* run on SWAT; it exists so the fidelity experiments can

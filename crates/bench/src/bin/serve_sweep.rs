@@ -2,7 +2,7 @@
 //! (scenario × arrival process × dispatch policy) combination, emitting
 //! `BENCH_serve.json`.
 //!
-//! Three scenarios exercise `swat-serve` end to end:
+//! Five scenarios exercise `swat-serve` end to end:
 //!
 //! 1. **homogeneous** — the PR 1 baseline: 6 dual-pipeline FP16 cards,
 //!    Poisson/bursty/diurnal production traffic, all four policies;
@@ -10,9 +10,16 @@
 //!    to 4 single-pipeline FP32 cards), where policies must weigh
 //!    per-card service-time estimates;
 //! 3. **priority** — bursty overload with and without admission control
-//!    (background shed at queue depth 32), reported per priority class.
+//!    (background shed at queue depth 32), reported per priority class;
+//! 4. **preemption** — bursty traffic with lulls (background dispatches,
+//!    then interactive bursts find the pipelines occupied), with and
+//!    without checkpoint-and-requeue preemption, preemption counts and
+//!    the full preemption log in the JSON;
+//! 5. **autoscale** — diurnal traffic on a static fleet vs the same fleet
+//!    under the autoscaler, with scaling timelines and the idle-energy /
+//!    SLO-attainment tradeoff in the JSON.
 //!
-//! Output is bitwise identical for a fixed `--seed`.
+//! Output is bitwise identical for a fixed `seed`.
 //!
 //! ```text
 //! cargo run --release -p swat-bench --bin serve_sweep [seed] [requests]
@@ -27,7 +34,8 @@ use swat_serve::fleet::FleetConfig;
 use swat_serve::json::Json;
 use swat_serve::metrics::ServeReport;
 use swat_serve::policy::{all_policies, LeastLoaded};
-use swat_serve::sim::{AdmissionControl, Simulation, TrafficSpec};
+use swat_serve::scale::AutoscalerConfig;
+use swat_serve::sim::{AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
 use swat_workloads::RequestMix;
 
 /// Default requests per sweep cell.
@@ -70,14 +78,21 @@ fn run_cell(
 }
 
 /// One run's JSON, annotated with the inputs the report alone cannot
-/// recover: the arrival process's long-run offered load and the
-/// admission setting the cell ran under (two priority-scenario runs are
-/// otherwise indistinguishable by any recorded field).
-fn annotated_run(report: &ServeReport, arrivals: ArrivalProcess, admission: &str) -> Json {
+/// recover: the arrival process's long-run offered load, the admission
+/// setting, and the elastic-control setting the cell ran under (two
+/// priority- or preemption-scenario runs are otherwise indistinguishable
+/// by any recorded field).
+fn annotated_run(
+    report: &ServeReport,
+    arrivals: ArrivalProcess,
+    admission: &str,
+    elastic: &str,
+) -> Json {
     match report.to_json() {
         Json::Obj(mut pairs) => {
             pairs.insert(2, ("offered_rps".into(), Json::Num(arrivals.mean_rate())));
             pairs.insert(3, ("admission".into(), Json::Str(admission.into())));
+            pairs.insert(4, ("elastic".into(), Json::Str(elastic.into())));
             Json::Obj(pairs)
         }
         other => other,
@@ -97,21 +112,41 @@ fn summary_row(scenario: &str, report: &ServeReport) -> Vec<String> {
         format!("{}", report.queue.max_depth),
         format!("{}", report.slo_violations),
         format!("{}", report.rejected),
+        format!("{}", report.preemption_count()),
+        format!("{}", report.scaling.len()),
         format!("{}", report.weight_swaps()),
-        format!("{:.1}", report.energy_joules),
+        format!("{:.1}", report.total_energy_joules()),
     ]
+}
+
+/// Prints the usage line and exits with status 2 — unparseable arguments
+/// should read as operator error, not a crash.
+fn usage(problem: &str) -> ! {
+    eprintln!("serve_sweep: {problem}");
+    eprintln!("usage: serve_sweep [seed] [requests]");
+    eprintln!("  seed      u64 sweep seed (default 0x5EED)");
+    eprintln!("  requests  requests per sweep cell (default {DEFAULT_REQUESTS}, must be > 0)");
+    std::process::exit(2);
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let seed: u64 = args
-        .next()
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(0x5EED);
-    let requests: usize = args
-        .next()
-        .map(|s| s.parse().expect("requests must be an integer"))
-        .unwrap_or(DEFAULT_REQUESTS);
+    let seed: u64 = match args.next() {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| usage(&format!("seed must be an unsigned integer, got {s:?}"))),
+        None => 0x5EED,
+    };
+    let requests: usize =
+        match args.next() {
+            Some(s) => s.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                usage(&format!("requests must be a positive integer, got {s:?}"))
+            }),
+            None => DEFAULT_REQUESTS,
+        };
+    if let Some(extra) = args.next() {
+        usage(&format!("unexpected argument {extra:?}"));
+    }
 
     // The production mix averages ≈0.6 s of single-pipeline service per
     // request, so 12 FP16 pipelines sustain ≈20 rps. Rates target ≈70%
@@ -133,7 +168,7 @@ fn main() {
     let background_cap = 32usize;
 
     banner(format!(
-        "serve_sweep — {requests} requests/cell, 3 scenarios on FP16/FP32 fleets (seed {seed:#x})"
+        "serve_sweep — {requests} requests/cell, 5 scenarios on FP16/FP32 fleets (seed {seed:#x})"
     ));
 
     let mut rows = Vec::new();
@@ -152,7 +187,7 @@ fn main() {
                 requests,
             );
             rows.push(summary_row("homogeneous", &report));
-            runs.push(annotated_run(&report, arrivals, "admit-all"));
+            runs.push(annotated_run(&report, arrivals, "admit-all", "none"));
         }
     }
     scenarios.push(Json::obj([
@@ -175,7 +210,7 @@ fn main() {
                 requests,
             );
             rows.push(summary_row("heterogeneous", &report));
-            runs.push(annotated_run(&report, arrivals, "admit-all"));
+            runs.push(annotated_run(&report, arrivals, "admit-all", "none"));
         }
     }
     scenarios.push(Json::obj([
@@ -218,7 +253,7 @@ fn main() {
                 latency.map_or("-".into(), |l| format!("{:.1}", l.p99 * 1e3)),
             ]);
         }
-        runs.push(annotated_run(&report, priority_arrivals, label));
+        runs.push(annotated_run(&report, priority_arrivals, label, "none"));
     }
     scenarios.push(Json::obj([
         ("scenario", Json::Str("priority".into())),
@@ -227,12 +262,126 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
+    // Scenario 4: preemption on vs off. Bursty traffic with real lulls —
+    // background work gets dispatched between bursts, then interactive
+    // bursts arrive to find the pipelines occupied, which is the only
+    // regime where checkpoint-and-requeue has victims to take.
+    // Base rate well under the two-card capacity (≈6.6 rps) so the lulls
+    // genuinely drain; the 4× bursts then pile interactive work onto
+    // pipelines that background filler claimed in the quiet stretch.
+    let preemption_fleet = FleetConfig::standard(2);
+    let preemption_arrivals = ArrivalProcess::bursty(2.5);
+    let patience = 0.1f64;
+    let mut runs = Vec::new();
+    for (label, preemption) in [
+        ("run-to-completion", PreemptionControl::disabled()),
+        ("preempt-100ms", PreemptionControl::after_wait(patience)),
+    ] {
+        let spec = TrafficSpec {
+            arrivals: preemption_arrivals,
+            mix: RequestMix::Production,
+            seed,
+        };
+        let report = Simulation::new(&preemption_fleet)
+            .arrivals_label(format!(
+                "{}/{}",
+                preemption_arrivals.name(),
+                spec.mix.name()
+            ))
+            .preemption(preemption)
+            .run(&mut LeastLoaded, &spec.requests(requests));
+        rows.push(summary_row(&format!("preemption/{label}"), &report));
+        runs.push(annotated_run(
+            &report,
+            preemption_arrivals,
+            "admit-all",
+            label,
+        ));
+    }
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("preemption".into())),
+        ("fleet", fleet_json(&preemption_fleet)),
+        ("preemption_wait_s", Json::Num(patience)),
+        ("runs", Json::Arr(runs)),
+    ]));
+
+    // Scenario 5: autoscale on vs off. A compressed diurnal ramp on the
+    // 6-card fleet: the static fleet pays idle power all "night", the
+    // elastic one parks down to 2 cards and pays warm-up latency (and
+    // some SLO attainment) on the morning ramp instead.
+    let autoscale_arrivals = ArrivalProcess::diurnal(3.0, 22.0);
+    let scaler_cfg = AutoscalerConfig::standard().with_min_cards(2);
+    let mut runs = Vec::new();
+    let mut tradeoff_rows = Vec::new();
+    for (label, scale) in [("static", None), ("autoscale-min2", Some(scaler_cfg))] {
+        let spec = TrafficSpec {
+            arrivals: autoscale_arrivals,
+            mix: RequestMix::Production,
+            seed,
+        };
+        let mut sim = Simulation::new(&homogeneous).arrivals_label(format!(
+            "{}/{}",
+            autoscale_arrivals.name(),
+            spec.mix.name()
+        ));
+        if let Some(cfg) = scale {
+            sim = sim.autoscale(cfg);
+        }
+        let report = sim.run(&mut LeastLoaded, &spec.requests(requests));
+        rows.push(summary_row(&format!("autoscale/{label}"), &report));
+        tradeoff_rows.push(vec![
+            label.to_string(),
+            format!("{}", report.scaling.len()),
+            format!("{:.1}", report.energy_joules),
+            format!("{:.1}", report.idle_energy_joules),
+            format!("{:.1}", report.total_energy_joules()),
+            format!("{:.2}%", report.slo_attainment() * 100.0),
+            format!("{:.1}", report.latency.p99 * 1e3),
+        ]);
+        runs.push(annotated_run(
+            &report,
+            autoscale_arrivals,
+            "admit-all",
+            label,
+        ));
+    }
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("autoscale".into())),
+        ("fleet", fleet_json(&homogeneous)),
+        (
+            "autoscaler",
+            Json::obj([
+                ("min_cards", Json::Int(scaler_cfg.min_cards as i64)),
+                (
+                    "up_queue_per_card",
+                    Json::Int(scaler_cfg.up_queue_per_card as i64),
+                ),
+                ("down_idle_s", Json::Num(scaler_cfg.down_idle_s)),
+                ("warmup_s", Json::Num(scaler_cfg.warmup_s)),
+            ]),
+        ),
+        ("runs", Json::Arr(runs)),
+    ]));
+
     print_table(
         &[
             "scenario", "arrivals", "policy", "rps", "p50 ms", "p95 ms", "p99 ms", "util", "max q",
-            "slo viol", "rejected", "swaps", "J",
+            "slo viol", "rejected", "preempt", "scale", "swaps", "J",
         ],
         &rows,
+    );
+    println!("\nautoscale scenario, energy vs SLO (least-loaded, diurnal ramp):");
+    print_table(
+        &[
+            "fleet",
+            "scale events",
+            "active J",
+            "idle J",
+            "total J",
+            "slo attain",
+            "p99 ms",
+        ],
+        &tradeoff_rows,
     );
     println!("\npriority scenario, per class (least-loaded, bursty overload):");
     print_table(

@@ -15,11 +15,11 @@ use swat_tensor::Matrix;
 /// Construction validates the configuration and checks it fits the Alveo
 /// U55C. [`run`](SwatAccelerator::run) executes the functional datapath in
 /// the configured precision and attaches the temporal/energy model's
-/// verdict; the pure cost accessors ([`latency_seconds`]
-/// (SwatAccelerator::latency_seconds), [`energy_per_attention`]
-/// (SwatAccelerator::energy_per_attention)) answer without computing
-/// numerics, which is what the benchmark harness uses for 16 K-token
-/// sweeps.
+/// verdict; the pure cost accessors
+/// ([`latency_seconds`](SwatAccelerator::latency_seconds),
+/// [`energy_per_attention`](SwatAccelerator::energy_per_attention))
+/// answer without computing numerics, which is what the benchmark
+/// harness uses for 16 K-token sweeps.
 #[derive(Debug, Clone)]
 pub struct SwatAccelerator {
     cfg: SwatConfig,
@@ -84,6 +84,14 @@ impl SwatAccelerator {
     /// busy in steady state — that is the point of the balanced design).
     pub fn power_watts(&self) -> f64 {
         PowerModel::ultrascale_plus().power_watts(&self.used, 1.0, &self.cfg.clock)
+    }
+
+    /// Estimated idle power (activity 0.0): static leakage plus fixed
+    /// infrastructure only, the draw a powered-but-unloaded card pays.
+    /// This is the number a serving fleet's autoscaler trades against
+    /// warm-up latency when deciding whether to keep spare cards hot.
+    pub fn idle_power_watts(&self) -> f64 {
+        PowerModel::ultrascale_plus().power_watts(&self.used, 0.0, &self.cfg.clock)
     }
 
     /// Energy in joules for one head over `seq_len` rows.

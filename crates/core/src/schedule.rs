@@ -135,6 +135,27 @@ impl PipelineAgenda {
         self.admit_on(p, job, not_before, duration)
     }
 
+    /// Rolls a pipeline's horizon back to `now`, releasing every committed
+    /// second beyond it. This is the checkpoint half of preemption: a
+    /// serving system that yanks an in-flight request off a pipeline calls
+    /// this to free the capacity its remaining jobs had reserved. Work
+    /// already drained (before `now`) is untouched — placements are never
+    /// rewritten, only the not-yet-started tail is released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline index is out of range or `now` is ahead of
+    /// the pipeline's horizon (there would be nothing to release — the
+    /// caller's bookkeeping is wrong).
+    pub fn release_after(&mut self, pipeline: usize, now: f64) {
+        assert!(
+            now <= self.next_free[pipeline],
+            "cannot release pipeline {pipeline} at {now}: horizon {} already passed",
+            self.next_free[pipeline]
+        );
+        self.next_free[pipeline] = now;
+    }
+
     /// Admits one job onto a specific pipeline (serving policies that pin
     /// jobs, e.g. head affinity).
     ///
@@ -354,6 +375,43 @@ mod tests {
             1.0,
         );
         assert_eq!(q.start, 6.0);
+    }
+
+    #[test]
+    fn release_after_frees_the_uncommitted_tail() {
+        let mut agenda = PipelineAgenda::new(2);
+        let job = |head| Job {
+            batch: 0,
+            layer: 0,
+            head,
+        };
+        agenda.admit_on(0, job(0), 0.0, 4.0);
+        agenda.admit_on(1, job(1), 0.0, 1.0);
+        // Preempt pipeline 0 at t=1.5: the horizon rolls back to 1.5 and
+        // the pipeline is idle again from the caller's point of view.
+        agenda.release_after(0, 1.5);
+        assert_eq!(agenda.drain_times(), [1.5, 1.0]);
+        assert_eq!(agenda.idle_pipelines(1.5), 2);
+        // The freed pipeline takes new work starting at the release point.
+        let p = agenda.admit_on(0, job(2), 1.5, 1.0);
+        assert_eq!((p.start, p.end), (1.5, 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot release")]
+    fn release_after_rejects_past_horizons() {
+        let mut agenda = PipelineAgenda::new(1);
+        agenda.admit_on(
+            0,
+            Job {
+                batch: 0,
+                layer: 0,
+                head: 0,
+            },
+            0.0,
+            1.0,
+        );
+        agenda.release_after(0, 2.0);
     }
 
     #[test]

@@ -96,8 +96,8 @@ impl MemoryInterface {
 
     /// Service seconds for one stream moving `bytes` while `streams`
     /// streams (itself included) share the interface: the isolated
-    /// transfer time stretched by [`contention_factor`]
-    /// (MemoryInterface::contention_factor).
+    /// transfer time stretched by
+    /// [`contention_factor`](MemoryInterface::contention_factor).
     pub fn contended_transfer_seconds(
         &self,
         bytes: u64,

@@ -7,8 +7,13 @@
 //! - [`EventQueue`] replaces the old per-step O(n) rescan of every
 //!   in-flight completion with an O(log n) binary heap. Heaps only break
 //!   ties deterministically if the ordering key is total, so events order
-//!   by `(time, kind, card, request id)` with `Arrival < Completion` —
-//!   never by insertion order, which is an implementation accident.
+//!   by `(time, kind, card, request id)` with
+//!   `Arrival < Completion < Preemption < Warmed < ScaleCheck` — never
+//!   by insertion order, which is an implementation accident. The
+//!   extension points ride *after* `Completion` on purpose: a completion
+//!   at the same instant must drain first, so a preemption check never
+//!   evicts a job that was already done, and a warm-up or scaling check
+//!   never beats the event that made the capacity decision.
 //! - [`PriorityQueue`] replaces the arrival-ordered `Vec` (and its O(n)
 //!   mid-queue `remove`) with a `BTreeMap` keyed by
 //!   [`Request::rank_key`]: class rank first, then request id. Removal is
@@ -38,6 +43,29 @@ pub enum Event {
         /// The finished record; `record.finished` is the event time.
         record: CompletedRequest,
     },
+    /// A preemption check: the request with this id has waited past the
+    /// dispatcher's patience threshold. The simulator decides at delivery
+    /// time whether the request is still queued and whether a background
+    /// job is in flight to checkpoint-and-requeue; the event itself
+    /// carries no victim (choosing one early would race with completions).
+    Preemption {
+        /// Id of the waiting request that armed the timer.
+        id: u64,
+    },
+    /// A powered-up card finishes warming and becomes dispatchable. The
+    /// event carries no state change — the card's `available_at` already
+    /// encodes it — but it forces a dispatch pass at exactly the warm-up
+    /// boundary instead of at the next arrival or completion.
+    Warmed {
+        /// The card that just became dispatchable.
+        card: usize,
+    },
+    /// An autoscaler wake-up: an idle card becomes park-eligible at this
+    /// instant. Like `Warmed` it carries no state change — the
+    /// controller re-reads fleet state when it runs — but without it a
+    /// quiet gap between arrivals would defer the park to the next
+    /// arrival, silently overcharging idle energy for the whole gap.
+    ScaleCheck,
 }
 
 /// One heap entry with its explicit ordering key.
@@ -84,9 +112,10 @@ impl Ord for HeapEntry {
 
 /// A deterministic min-heap of future events.
 ///
-/// Pops in `(time, Arrival < Completion, card index, request id)` order —
-/// the fixed tie-breaking the simulator's determinism contract is stated
-/// against. Times must be finite.
+/// Pops in `(time, Arrival < Completion < Preemption < Warmed <
+/// ScaleCheck, card index, request id)` order — the fixed tie-breaking
+/// the simulator's determinism contract is stated against. Times must be
+/// finite.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<HeapEntry>>,
@@ -138,6 +167,55 @@ impl EventQueue {
             card: record.card,
             id: record.request.id,
             event: Event::Completion { record },
+        }));
+    }
+
+    /// Schedules a preemption check for waiting request `id` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn push_preemption(&mut self, time: f64, id: u64) {
+        assert!(time.is_finite(), "event times must be finite");
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            kind: 2,
+            card: 0,
+            id,
+            event: Event::Preemption { id },
+        }));
+    }
+
+    /// Schedules card `card` becoming dispatchable at `time` (the end of
+    /// its warm-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn push_warmed(&mut self, time: f64, card: usize) {
+        assert!(time.is_finite(), "event times must be finite");
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            kind: 3,
+            card,
+            id: 0,
+            event: Event::Warmed { card },
+        }));
+    }
+
+    /// Schedules an autoscaler wake-up at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn push_scale_check(&mut self, time: f64) {
+        assert!(time.is_finite(), "event times must be finite");
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            kind: 4,
+            card: 0,
+            id: 0,
+            event: Event::ScaleCheck,
         }));
     }
 
@@ -196,6 +274,13 @@ impl PriorityQueue {
             request.id
         );
         self.dirty = true;
+    }
+
+    /// Whether a request with this [`Request::rank_key`] is still waiting
+    /// — how the simulator decides if a preemption timer's request is
+    /// still in the queue when the timer fires.
+    pub fn contains(&self, key: (u8, u64)) -> bool {
+        self.map.contains_key(&key)
     }
 
     /// The queue in dispatch order, as a slice for policies. Rebuilt into
@@ -279,10 +364,37 @@ mod tests {
             .map(|(_, e)| match e {
                 Event::Arrival { index } => (0, 0, index as u64),
                 Event::Completion { record } => (1, record.card, record.request.id),
+                Event::Preemption { id } => (2, 0, id),
+                Event::Warmed { card } => (3, card, 0),
+                Event::ScaleCheck => (4, 0, 0),
             })
             .collect();
         assert_eq!(order, [(0, 0, 7), (1, 0, 2), (1, 0, 4), (1, 1, 9)]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn preemption_and_warmup_sort_after_completions() {
+        // All five kinds at one instant: arrivals first, then
+        // completions, then preemption checks, then warm-ups, then
+        // scaling checks — so a finished job is never chosen as a
+        // preemption victim and capacity controllers see settled state.
+        let mut q = EventQueue::new();
+        q.push_scale_check(1.0);
+        q.push_warmed(1.0, 3);
+        q.push_preemption(1.0, 9);
+        q.push_completion(completion(5, 0, 1.0));
+        q.push_arrival(1.0, 0, 2);
+        let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival { .. } => 0,
+                Event::Completion { .. } => 1,
+                Event::Preemption { .. } => 2,
+                Event::Warmed { .. } => 3,
+                Event::ScaleCheck => 4,
+            })
+            .collect();
+        assert_eq!(kinds, [0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -300,7 +412,7 @@ mod tests {
             std::iter::from_fn(|| q.pop())
                 .map(|(_, e)| match e {
                     Event::Completion { record } => record.request.id,
-                    Event::Arrival { .. } => unreachable!(),
+                    _ => unreachable!(),
                 })
                 .collect()
         };

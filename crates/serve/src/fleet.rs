@@ -8,6 +8,7 @@
 //! declaration order, which keeps every downstream tie-break (dispatch,
 //! event ordering, reports) deterministic.
 
+use crate::request::Request;
 use swat::config::ConfigError;
 use swat::schedule::{Job, PipelineAgenda, Placement};
 use swat::{SwatAccelerator, SwatConfig};
@@ -88,6 +89,21 @@ impl FleetConfig {
     /// — the heterogeneous deployment the ROADMAP calls for, where a
     /// latency-optimized pool absorbs interactive traffic and slower
     /// accuracy-tier cards soak up the rest.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use swat_serve::fleet::FleetConfig;
+    ///
+    /// let fleet = FleetConfig::mixed_precision(4, 2);
+    /// assert_eq!(fleet.cards(), 6);
+    /// assert_eq!(fleet.total_pipelines(), 4 * 2 + 2); // duals + singles
+    /// let built = fleet.build().unwrap();
+    /// // Card indices run group by group; the FP16 pool calibrates faster.
+    /// assert_eq!(built.cards()[0].group(), 0);
+    /// assert_eq!(built.cards()[5].group(), 1);
+    /// assert!(built.cards()[0].seconds_per_token() < built.cards()[5].seconds_per_token());
+    /// ```
     pub fn mixed_precision(fp16_dual: usize, fp32_single: usize) -> FleetConfig {
         let fp32 = SwatConfig {
             precision: swat::config::Precision::Fp32,
@@ -139,6 +155,27 @@ impl FleetConfig {
     }
 }
 
+/// What one [`Card::admit`] committed to: where the request runs, when it
+/// drains, and the timing terms the simulator needs later to checkpoint
+/// the request if it gets preempted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Admission {
+    /// Pipeline the request occupies until it drains or is preempted.
+    pub pipeline: usize,
+    /// When the last admitted job ends.
+    pub finish: f64,
+    /// Seconds per attention job at this admission's contention level.
+    pub per_job_seconds: f64,
+    /// One-off stall riding the first job: weight swap plus (for resumed
+    /// requests) the restart penalty.
+    pub stall_seconds: f64,
+    /// The weight-swap share of the stall (0 when the family was already
+    /// resident). Preemption needs it separately: evicting a request
+    /// before its swap completed must un-count the swap and drop the
+    /// torn residency.
+    pub swap_seconds: f64,
+}
+
 /// One card's runtime state.
 #[derive(Debug, Clone)]
 pub struct Card {
@@ -161,6 +198,17 @@ pub struct Card {
     energy_joules: f64,
     /// Requests dispatched to this card.
     served: u64,
+    /// Requests checkpointed-and-requeued off this card by preemption.
+    preempted: u64,
+    /// Whether the card is currently powered (autoscaling parks cards).
+    powered: bool,
+    /// End of the current warm-up; the card dispatches only once `now`
+    /// reaches it.
+    available_at: f64,
+    /// Start of the current powered interval.
+    powered_since: f64,
+    /// Closed powered intervals, wall seconds.
+    powered_seconds: f64,
 }
 
 impl Card {
@@ -183,6 +231,11 @@ impl Card {
             busy_seconds: 0.0,
             energy_joules: 0.0,
             served: 0,
+            preempted: 0,
+            powered: true,
+            available_at: 0.0,
+            powered_since: 0.0,
+            powered_seconds: 0.0,
         };
         card.seconds_per_token =
             card.service_seconds(&CALIBRATION_SHAPE) / CALIBRATION_SHAPE.work_tokens() as f64;
@@ -227,6 +280,113 @@ impl Card {
     /// Weight swap-ins so far.
     pub fn weight_swaps(&self) -> u64 {
         self.weight_swaps
+    }
+
+    /// Requests preemption has checkpointed-and-requeued off this card.
+    pub fn preempted(&self) -> u64 {
+        self.preempted
+    }
+
+    /// Whether the card is powered (possibly still warming up).
+    pub fn powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Whether the card can take work at `now`: powered and past the end
+    /// of its warm-up. The simulator zeroes the
+    /// [`CardView`](crate::policy::CardView) pipeline count of
+    /// non-dispatchable cards, so no policy ever routes to a parked card.
+    pub fn dispatchable(&self, now: f64) -> bool {
+        self.powered && now >= self.available_at
+    }
+
+    /// How long the card has been dispatchable with *all* pipelines idle,
+    /// as of `now` — the scale-down signal. Zero while parked, warming,
+    /// or serving anything.
+    pub fn idle_for(&self, now: f64) -> f64 {
+        if !self.dispatchable(now) || self.agenda.horizon() > now {
+            return 0.0;
+        }
+        now - self
+            .agenda
+            .horizon()
+            .max(self.available_at)
+            .max(self.powered_since)
+    }
+
+    /// Closed powered time so far, wall seconds. The simulator closes the
+    /// final powered interval at the last event, so after a run this
+    /// covers the whole span.
+    pub fn powered_seconds(&self) -> f64 {
+        self.powered_seconds
+    }
+
+    /// Idle power draw: the accelerator's static floor, paid whenever the
+    /// card is powered, serving or not.
+    pub fn idle_power_watts(&self) -> f64 {
+        self.accel.idle_power_watts()
+    }
+
+    /// Idle energy so far: idle power × powered pipeline-seconds not spent
+    /// serving. Active service already accounts the card's full power
+    /// prorated per pipeline, so idle energy covers exactly the remainder
+    /// — a parked card pays nothing, an always-on card pays for every
+    /// pipeline-second it sat warm and empty. Never negative: busy time
+    /// only accrues while powered.
+    pub fn idle_energy_joules(&self) -> f64 {
+        let idle_pipeline_seconds =
+            self.powered_seconds - self.busy_seconds / self.pipelines() as f64;
+        self.idle_power_watts() * idle_pipeline_seconds.max(0.0)
+    }
+
+    /// (Re)starts the powered clock at `t0` or parks the card before the
+    /// run begins — how the simulator aligns cards with the first arrival
+    /// and applies an autoscaler's initial fleet size.
+    pub(crate) fn set_initial_power(&mut self, on: bool, t0: f64) {
+        self.powered = on;
+        self.powered_since = t0;
+        self.available_at = t0;
+        self.powered_seconds = 0.0;
+    }
+
+    /// Powers a parked card back up at `now`; it becomes dispatchable at
+    /// `now + warmup_s` (weights stream in, clocks stabilize).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the card is already powered.
+    pub(crate) fn power_on(&mut self, now: f64, warmup_s: f64) {
+        assert!(!self.powered, "card is already powered");
+        self.powered = true;
+        self.powered_since = now;
+        self.available_at = now + warmup_s;
+        // Cold weights after a park: the next admission swaps back in.
+        self.resident = None;
+    }
+
+    /// Parks an idle card at `now`, closing its powered interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the card is not powered or still has committed work.
+    pub(crate) fn power_off(&mut self, now: f64) {
+        assert!(self.powered, "card is already parked");
+        assert!(
+            self.agenda.horizon() <= now,
+            "cannot park a card with in-flight work"
+        );
+        self.powered_seconds += now - self.powered_since;
+        self.powered = false;
+    }
+
+    /// Closes the current powered interval at `end` (run teardown), so
+    /// [`Card::powered_seconds`] and [`Card::idle_energy_joules`] cover
+    /// the whole run.
+    pub(crate) fn close_power_clock(&mut self, end: f64) {
+        if self.powered && end > self.powered_since {
+            self.powered_seconds += end - self.powered_since;
+            self.powered_since = end;
+        }
     }
 
     /// Seconds to stream this shape's family weights over the host link —
@@ -275,16 +435,31 @@ impl Card {
         self.job_seconds(shape, 1) * shape.jobs() as f64
     }
 
+    /// The restart penalty a preempted request pays when it resumes on
+    /// this card: one sequence-length's worth of the calibrated per-token
+    /// service time — the interrupted job's Q/K/V context has to stream
+    /// through the pipeline again before new work lands. Faster cards pay
+    /// a smaller penalty, which is exactly the calibration
+    /// [`Card::seconds_per_token`] exists to express.
+    pub fn restart_seconds(&self, shape: &RequestShape) -> f64 {
+        self.seconds_per_token * shape.seq_len as f64
+    }
+
     /// Admits a request at `now` onto this card's earliest-free pipeline.
-    /// Returns `(pipeline, finish_time)` and, when `trace` is set, records
-    /// one [`Placement`] per attention job into `placements`.
+    /// Only the request's [`remaining_jobs`](Request::remaining_jobs) are
+    /// scheduled — a resumed request skips its checkpointed prefix but
+    /// pays [`Card::restart_seconds`] on top of any weight swap. When
+    /// `trace` is set, one [`Placement`] per admitted job is recorded into
+    /// `placements`.
     pub(crate) fn admit(
         &mut self,
-        shape: &RequestShape,
+        request: &Request,
         now: f64,
         trace: bool,
         placements: &mut Vec<Placement>,
-    ) -> (usize, f64) {
+    ) -> Admission {
+        let shape = &request.shape;
+        assert!(request.remaining_jobs() > 0, "request has no work left");
         // Streams sharing the interface while this request runs: every
         // pipeline busy at dispatch, plus this one.
         let streams = self.pipelines() - self.idle_pipelines(now) + 1;
@@ -292,7 +467,8 @@ impl Card {
         let (pipeline, _) = self.agenda.earliest_free();
 
         // Cold weights: the pipeline stalls while the family streams in
-        // over the host link. The stall rides on the first job's slot.
+        // over the host link. The stall rides on the first job's slot,
+        // together with the restart penalty for resumed requests.
         let swap = if self.resident == Some(shape.family()) {
             0.0
         } else {
@@ -300,16 +476,27 @@ impl Card {
             self.weight_swaps += 1;
             self.swap_seconds(shape)
         };
+        let restart = if request.preemptions > 0 {
+            self.restart_seconds(shape)
+        } else {
+            0.0
+        };
+        let stall = swap + restart;
 
         // Jobs are admitted one by one in both modes so traced and
         // untraced runs produce bit-identical timing; tracing only
         // controls whether the placements are kept.
         let mut finish = now;
+        let mut skip = request.jobs_done;
         let mut first = true;
         for b in 0..shape.batch {
             for l in 0..shape.layers {
                 for h in 0..shape.heads {
-                    let duration = if first { swap + per_job } else { per_job };
+                    if skip > 0 {
+                        skip -= 1;
+                        continue;
+                    }
+                    let duration = if first { stall + per_job } else { per_job };
                     first = false;
                     let p = self.agenda.admit_on(
                         pipeline,
@@ -331,11 +518,60 @@ impl Card {
 
         let duration = finish - now;
         self.busy_seconds += duration;
-        // Static + dynamic power of a fully-busy card is amortized over its
-        // pipelines; idle power is out of scope (the fleet would clock-gate).
+        // Static + dynamic power of a fully-busy card is amortized over
+        // its pipelines; powered-but-idle time is accounted separately in
+        // [`Card::idle_energy_joules`].
         self.energy_joules += self.accel.power_watts() / self.pipelines() as f64 * duration;
         self.served += 1;
-        (pipeline, finish)
+        Admission {
+            pipeline,
+            finish,
+            per_job_seconds: per_job,
+            stall_seconds: stall,
+            swap_seconds: swap,
+        }
+    }
+
+    /// Checkpoints and evicts an in-flight request at `now`, releasing the
+    /// pipeline capacity its unfinished jobs had reserved. Returns how
+    /// many *additional* whole jobs drained before `now` — the checkpoint
+    /// the requeued request carries forward. The partially-run job is
+    /// lost: checkpoint granularity is one attention job, the unit the
+    /// paper's pipeline streams atomically.
+    ///
+    /// `dispatched` and `admission` must be the values [`Card::admit`]
+    /// returned for this request; `now` must lie inside the admission's
+    /// service window.
+    pub(crate) fn preempt(&mut self, admission: &Admission, dispatched: f64, now: f64) -> usize {
+        let released = admission.finish - now;
+        assert!(
+            released > 0.0 && now >= dispatched,
+            "preemption time {now} outside service window [{dispatched}, {}]",
+            admission.finish
+        );
+        self.agenda.release_after(admission.pipeline, now);
+        // Give back the never-run tail: the card was never busy past `now`.
+        self.busy_seconds -= released;
+        self.energy_joules -= self.accel.power_watts() / self.pipelines() as f64 * released;
+        self.served -= 1;
+        self.preempted += 1;
+
+        // Evicted mid-swap: the family never finished streaming in, so
+        // the card's weights are torn — not resident — and the swap-in
+        // `admit` counted up front never completed. (With one resident
+        // family per card this is conservative if another admission
+        // already re-swapped meanwhile: the next dispatch re-streams.)
+        if admission.swap_seconds > 0.0 && now < dispatched + admission.swap_seconds {
+            self.resident = None;
+            self.weight_swaps -= 1;
+        }
+
+        let progressed = now - dispatched - admission.stall_seconds;
+        if progressed <= 0.0 {
+            0
+        } else {
+            (progressed / admission.per_job_seconds).floor() as usize
+        }
     }
 }
 
@@ -461,31 +697,37 @@ mod tests {
         );
     }
 
+    fn request(id: u64, shape: RequestShape) -> Request {
+        Request::new(id, 0.0, shape)
+    }
+
     #[test]
     fn admit_advances_state() {
         let mut fleet = FleetConfig::standard(1).build().unwrap();
         let mut placements = Vec::new();
-        let (p0, f0) = fleet
+        let a0 = fleet
             .card_mut(0)
-            .admit(&shape(), 0.0, true, &mut placements);
+            .admit(&request(0, shape()), 0.0, true, &mut placements);
         assert_eq!(placements.len(), 8);
-        assert!(f0 > 0.0);
+        assert!(a0.finish > 0.0);
         // The first admission pays the cold-weight swap; the second finds
         // the family resident, lands on the other pipeline, and finishes
         // exactly one swap earlier.
         let swap = fleet.cards()[0].swap_seconds(&shape());
         assert!(swap > 0.0);
-        let (p1, f1) = fleet
+        assert!((a0.stall_seconds - swap).abs() < 1e-15);
+        let a1 = fleet
             .card_mut(0)
-            .admit(&shape(), 0.0, true, &mut placements);
-        assert_ne!(p0, p1);
-        assert!((f0 - f1 - swap).abs() < 1e-12);
+            .admit(&request(1, shape()), 0.0, true, &mut placements);
+        assert_ne!(a0.pipeline, a1.pipeline);
+        assert!((a0.finish - a1.finish - swap).abs() < 1e-12);
+        assert_eq!(a1.stall_seconds, 0.0);
         let card = &fleet.cards()[0];
         assert_eq!(card.served(), 2);
         assert_eq!(card.weight_swaps(), 1);
         assert_eq!(card.resident_family(), Some((4, 2)));
         assert!(card.energy_joules() > 0.0);
-        assert!((card.busy_seconds() - (f0 + f1)).abs() < 1e-9);
+        assert!((card.busy_seconds() - (a0.finish + a1.finish)).abs() < 1e-9);
     }
 
     #[test]
@@ -493,12 +735,140 @@ mod tests {
         let mut traced = FleetConfig::standard(1).build().unwrap();
         let mut untraced = FleetConfig::standard(1).build().unwrap();
         let mut placements = Vec::new();
-        let (_, ft) = traced
+        let t = traced
             .card_mut(0)
-            .admit(&shape(), 0.125, true, &mut placements);
-        let (_, fu) = untraced
+            .admit(&request(0, shape()), 0.125, true, &mut placements);
+        let u = untraced
             .card_mut(0)
-            .admit(&shape(), 0.125, false, &mut placements);
-        assert!((ft - fu).abs() < 1e-12, "trace mode must not change timing");
+            .admit(&request(0, shape()), 0.125, false, &mut placements);
+        assert!(
+            (t.finish - u.finish).abs() < 1e-12,
+            "trace mode must not change timing"
+        );
+    }
+
+    #[test]
+    fn preempt_checkpoints_whole_jobs_and_rolls_back_accounting() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let r = request(0, shape()); // 8 jobs
+        let a = fleet.card_mut(0).admit(&r, 0.0, true, &mut placements);
+        let busy_before = fleet.cards()[0].busy_seconds();
+        let energy_before = fleet.cards()[0].energy_joules();
+        // Preempt mid-service: 3.5 jobs past the stall → 3 checkpointed.
+        let now = a.stall_seconds + 3.5 * a.per_job_seconds;
+        let done = fleet.card_mut(0).preempt(&a, 0.0, now);
+        assert_eq!(done, 3);
+        let card = &fleet.cards()[0];
+        assert_eq!(card.preempted(), 1);
+        assert_eq!(card.served(), 0);
+        assert_eq!(card.idle_pipelines(now), 2, "capacity is released");
+        assert!((card.busy_seconds() - (busy_before - (a.finish - now))).abs() < 1e-12);
+        assert!(card.energy_joules() < energy_before);
+        // Preemption during the swap stall checkpoints nothing, and the
+        // half-streamed weights are not left marked resident: the
+        // aborted swap is un-counted and the next admission re-swaps.
+        let mut fleet2 = FleetConfig::standard(1).build().unwrap();
+        let a2 = fleet2.card_mut(0).admit(&r, 0.0, false, &mut placements);
+        assert!(a2.swap_seconds > 0.0);
+        assert_eq!(fleet2.cards()[0].weight_swaps(), 1);
+        assert_eq!(
+            fleet2.card_mut(0).preempt(&a2, 0.0, a2.swap_seconds * 0.5),
+            0
+        );
+        assert_eq!(fleet2.cards()[0].resident_family(), None);
+        assert_eq!(fleet2.cards()[0].weight_swaps(), 0);
+        let a3 = fleet2.card_mut(0).admit(&r, 1.0, false, &mut placements);
+        assert!(a3.swap_seconds > 0.0, "the torn family must re-stream");
+        // Preemption *after* the swap completed keeps the residency.
+        let mut fleet3 = FleetConfig::standard(1).build().unwrap();
+        let a4 = fleet3.card_mut(0).admit(&r, 0.0, false, &mut placements);
+        fleet3
+            .card_mut(0)
+            .preempt(&a4, 0.0, a4.swap_seconds + 1.5 * a4.per_job_seconds);
+        assert_eq!(fleet3.cards()[0].resident_family(), Some((4, 2)));
+        assert_eq!(fleet3.cards()[0].weight_swaps(), 1);
+    }
+
+    #[test]
+    fn resumed_requests_skip_the_checkpoint_and_pay_restart() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let fresh = request(0, shape());
+        fleet.card_mut(0).admit(&fresh, 0.0, true, &mut placements);
+        let jobs = shape().jobs();
+        assert_eq!(placements.len(), jobs);
+        // Resume with 3 of 8 jobs checkpointed, on a card with the family
+        // already resident: 5 jobs plus the restart penalty.
+        let resumed = Request {
+            jobs_done: 3,
+            preemptions: 1,
+            id: 1,
+            ..fresh
+        };
+        placements.clear();
+        let b = fleet
+            .card_mut(0)
+            .admit(&resumed, 0.0, true, &mut placements);
+        assert_eq!(placements.len(), jobs - 3);
+        let restart = fleet.cards()[0].restart_seconds(&shape());
+        assert!(restart > 0.0);
+        assert!((b.stall_seconds - restart).abs() < 1e-15);
+        let expected = restart + (jobs - 3) as f64 * b.per_job_seconds;
+        assert!((b.finish - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_cycle_accounts_idle_energy() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let card = fleet.card_mut(0);
+        card.set_initial_power(true, 0.0);
+        assert!(card.dispatchable(0.0));
+        assert_eq!(card.idle_for(4.0), 4.0);
+        // Park at t=4, power back up at t=10 with a 2 s warm-up.
+        card.power_off(4.0);
+        assert!(!card.dispatchable(5.0));
+        assert_eq!(card.idle_for(5.0), 0.0);
+        card.power_on(10.0, 2.0);
+        assert!(!card.dispatchable(11.0), "still warming");
+        assert!(card.dispatchable(12.0));
+        assert_eq!(card.idle_for(15.0), 3.0, "idle clock starts after warm-up");
+        card.close_power_clock(15.0);
+        // Powered 4 s + 5 s = 9 s, never busy: idle energy is the static
+        // floor over the whole powered span.
+        assert!((card.powered_seconds() - 9.0).abs() < 1e-12);
+        let expected = card.idle_power_watts() * 9.0;
+        assert!((card.idle_energy_joules() - expected).abs() < 1e-9);
+        assert!(card.idle_power_watts() < card.accelerator().power_watts());
+    }
+
+    #[test]
+    fn parked_cards_pay_a_weight_swap_on_resume() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let r = request(0, shape());
+        fleet.card_mut(0).admit(&r, 0.0, false, &mut placements);
+        assert_eq!(fleet.cards()[0].resident_family(), Some((4, 2)));
+        let card = fleet.card_mut(0);
+        card.power_off(100.0);
+        card.power_on(200.0, 1.0);
+        assert_eq!(
+            card.resident_family(),
+            None,
+            "parking drops resident weights"
+        );
+        let a = card.admit(&request(1, shape()), 201.0, false, &mut placements);
+        assert!(a.stall_seconds > 0.0, "resume swaps the family back in");
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight work")]
+    fn parking_a_busy_card_is_rejected() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let a = fleet
+            .card_mut(0)
+            .admit(&request(0, shape()), 0.0, false, &mut placements);
+        fleet.card_mut(0).power_off(a.finish * 0.5);
     }
 }

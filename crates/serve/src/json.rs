@@ -12,7 +12,9 @@ use std::fmt;
 /// A JSON value with ordered object keys.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// The JSON `null` literal.
     Null,
+    /// A boolean.
     Bool(bool),
     /// Finite floats only; NaN/∞ would not round-trip as JSON.
     Num(f64),
@@ -20,7 +22,9 @@ pub enum Json {
     Int(i64),
     /// Unsigned integers (e.g. 64-bit seeds) that may exceed `i64::MAX`.
     UInt(u64),
+    /// A string (escaped on output).
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
     /// Keys stay in insertion order.
     Obj(Vec<(String, Json)>),

@@ -28,15 +28,27 @@
 //! diurnal ramp), carry a priority class
 //! ([`swat_workloads::RequestClass`]: interactive ahead of batch ahead of
 //! background), wait in an order-stable priority queue — or are shed by
-//! [`sim::AdmissionControl`] under overload — and are dispatched to cards
-//! by a pluggable [`policy::DispatchPolicy`]. Fleets are heterogeneous:
+//! [`sim::AdmissionControl`]'s per-class admission budgets under
+//! overload — and are dispatched to cards by a pluggable
+//! [`policy::DispatchPolicy`]. Fleets are heterogeneous:
 //! [`fleet::FleetConfig`] is a list of [`fleet::CardGroup`]s (count ×
 //! design × memory), and policies rank cards by calibrated per-card
-//! service-time estimates. The run produces a [`metrics::ServeReport`] —
-//! p50/p95/p99 latency overall and per class, queue-depth profile,
-//! per-card and per-group utilization, energy, SLO violations —
-//! serializable to JSON ([`json`]) for the `serve_sweep` benchmark
-//! binary. Every run is bit-for-bit deterministic for a fixed seed.
+//! service-time estimates.
+//!
+//! The fleet is **elastic**: under a [`sim::PreemptionControl`] a
+//! long-waiting interactive request checkpoints-and-requeues the
+//! youngest in-flight background job (which later resumes with a restart
+//! penalty), and a [`scale::Autoscaler`] powers cards up and down on
+//! queue-depth feedback, paying warm-up latency and tracking the
+//! idle-power cost of whatever stays hot. The run produces a
+//! [`metrics::ServeReport`] — p50/p95/p99 latency overall and per class,
+//! queue-depth profile, per-card and per-group utilization, active +
+//! idle energy, SLO violations and attainment, the preemption log and
+//! the scaling timeline — serializable to JSON ([`json`]) for the
+//! `serve_sweep` benchmark binary. Every run is bit-for-bit
+//! deterministic for a fixed seed. `docs/serving.md` in the repository
+//! root walks the architecture, a scenario cookbook, and the benchmark
+//! JSON schema.
 //!
 //! # Examples
 //!
@@ -67,6 +79,7 @@ pub mod json;
 pub mod metrics;
 pub mod policy;
 pub mod request;
+pub mod scale;
 pub mod sim;
 
 pub use arrival::ArrivalProcess;
@@ -74,5 +87,6 @@ pub use fleet::{CardGroup, FleetConfig};
 pub use metrics::ServeReport;
 pub use policy::DispatchPolicy;
 pub use request::Request;
-pub use sim::{serve, simulate, AdmissionControl, Simulation, TrafficSpec};
+pub use scale::{Autoscaler, AutoscalerConfig, ScaleEvent};
+pub use sim::{serve, simulate, AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
 pub use swat_workloads::RequestClass;

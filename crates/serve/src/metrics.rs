@@ -4,8 +4,18 @@
 
 use crate::json::Json;
 use crate::request::{CompletedRequest, Request};
+use crate::scale::ScaleEvent;
 use swat::schedule::Placement;
 use swat_workloads::RequestClass;
+
+/// Preemption-log entries serialized to JSON; the in-memory report keeps
+/// the full log, but sweep files cap it so an hour of churn does not
+/// dominate `BENCH_serve.json` (the count is always exact).
+const PREEMPTION_JSON_CAP: usize = 256;
+
+/// Scaling-timeline entries serialized to JSON (same rationale; scaling
+/// decisions are rare, so this cap is generous).
+const SCALING_JSON_CAP: usize = 1024;
 
 /// Nearest-rank percentile of a **sorted** slice; `q` in `[0, 1]`.
 /// Monotone in `q` by construction, which is what guarantees
@@ -20,10 +30,15 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// Latency distribution summary, seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
+    /// Median latency.
     pub p50: f64,
+    /// 95th-percentile latency.
     pub p95: f64,
+    /// 99th-percentile latency.
     pub p99: f64,
+    /// Arithmetic mean latency.
     pub mean: f64,
+    /// Worst observed latency.
     pub max: f64,
 }
 
@@ -81,6 +96,51 @@ impl QueueSummary {
     }
 }
 
+/// One checkpoint-and-requeue decision, as recorded in the report's
+/// preemption log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptionRecord {
+    /// When the preemption fired, seconds.
+    pub time: f64,
+    /// Id of the background request checkpointed off its card.
+    pub preempted: u64,
+    /// Id of the waiting interactive request whose patience ran out.
+    pub waiting: u64,
+    /// The card that gave up capacity.
+    pub card: usize,
+    /// Whole jobs the victim banked before eviction (its requeued
+    /// attempt replays only the remainder).
+    pub jobs_checkpointed: usize,
+}
+
+impl PreemptionRecord {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("t_s", Json::Num(self.time)),
+            ("preempted", Json::UInt(self.preempted)),
+            ("waiting", Json::UInt(self.waiting)),
+            ("card", Json::Int(self.card as i64)),
+            (
+                "jobs_checkpointed",
+                Json::Int(self.jobs_checkpointed as i64),
+            ),
+        ])
+    }
+}
+
+fn scale_event_json(e: &ScaleEvent) -> Json {
+    Json::obj([
+        ("t_s", Json::Num(e.time)),
+        ("card", Json::Int(e.card as i64)),
+        (
+            "action",
+            Json::Str(if e.powered_on { "power-up" } else { "park" }.into()),
+        ),
+        ("queue_depth", Json::Int(e.queue_depth as i64)),
+        ("powered_cards", Json::Int(e.powered_cards as i64)),
+    ])
+}
+
 /// Per-card accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CardSummary {
@@ -97,6 +157,13 @@ pub struct CardSummary {
     pub energy_joules: f64,
     /// Model-family weight swap-ins this card paid for.
     pub weight_swaps: u64,
+    /// Wall seconds the card spent powered (equals the makespan for a
+    /// static fleet; less when an autoscaler parked it).
+    pub powered_seconds: f64,
+    /// Idle energy: static power over powered-but-not-serving time.
+    pub idle_energy_joules: f64,
+    /// Requests preemption checkpointed-and-requeued off this card.
+    pub preempted: u64,
 }
 
 impl CardSummary {
@@ -108,6 +175,9 @@ impl CardSummary {
             ("utilization", Json::Num(self.utilization)),
             ("energy_j", Json::Num(self.energy_joules)),
             ("weight_swaps", Json::Int(self.weight_swaps as i64)),
+            ("powered_s", Json::Num(self.powered_seconds)),
+            ("idle_energy_j", Json::Num(self.idle_energy_joules)),
+            ("preempted", Json::Int(self.preempted as i64)),
         ])
     }
 }
@@ -128,6 +198,10 @@ pub struct GroupSummary {
     pub energy_joules: f64,
     /// Weight swap-ins across the group.
     pub weight_swaps: u64,
+    /// Idle energy across the group, joules.
+    pub idle_energy_joules: f64,
+    /// Requests preempted off the group's cards.
+    pub preempted: u64,
 }
 
 impl GroupSummary {
@@ -145,6 +219,8 @@ impl GroupSummary {
                     utilization: 0.0,
                     energy_joules: 0.0,
                     weight_swaps: 0,
+                    idle_energy_joules: 0.0,
+                    preempted: 0,
                 });
             }
             let g = groups.last_mut().expect("just pushed");
@@ -153,6 +229,8 @@ impl GroupSummary {
             g.utilization += c.utilization;
             g.energy_joules += c.energy_joules;
             g.weight_swaps += c.weight_swaps;
+            g.idle_energy_joules += c.idle_energy_joules;
+            g.preempted += c.preempted;
         }
         for g in &mut groups {
             g.utilization /= g.cards as f64;
@@ -168,6 +246,8 @@ impl GroupSummary {
             ("utilization", Json::Num(self.utilization)),
             ("energy_j", Json::Num(self.energy_joules)),
             ("weight_swaps", Json::Int(self.weight_swaps as i64)),
+            ("idle_energy_j", Json::Num(self.idle_energy_joules)),
+            ("preempted", Json::Int(self.preempted as i64)),
         ])
     }
 }
@@ -237,8 +317,18 @@ pub struct ServeReport {
     pub groups: Vec<GroupSummary>,
     /// Fleet-aggregate active energy, joules.
     pub energy_joules: f64,
+    /// Fleet-aggregate idle energy, joules: static power over
+    /// powered-but-not-serving time. Zero only when every powered second
+    /// served work; for a static fleet this is the over-provisioning cost
+    /// an autoscaler exists to cut.
+    pub idle_energy_joules: f64,
     /// Completions later than their request's SLO.
     pub slo_violations: usize,
+    /// Every checkpoint-and-requeue decision, in time order (empty when
+    /// preemption is off or never fired).
+    pub preemptions: Vec<PreemptionRecord>,
+    /// The autoscaler's decision timeline (empty without an autoscaler).
+    pub scaling: Vec<ScaleEvent>,
     /// Per-job placements, when tracing was requested: `(card, placement)`.
     pub placements: Vec<(usize, Placement)>,
 }
@@ -251,6 +341,9 @@ impl ServeReport {
     ///
     /// Panics if `completed` is empty — a serving run with zero
     /// completions has no distribution to summarize.
+    // One argument per raw simulation output: bundling them into a
+    // struct would just move the same nine names one level down.
+    #[allow(clippy::too_many_arguments)]
     pub fn assemble(
         policy: &str,
         arrivals: &str,
@@ -258,6 +351,8 @@ impl ServeReport {
         rejected: &[Request],
         queue: QueueSummary,
         cards: Vec<CardSummary>,
+        preemptions: Vec<PreemptionRecord>,
+        scaling: Vec<ScaleEvent>,
         placements: Vec<(usize, Placement)>,
     ) -> ServeReport {
         assert!(!completed.is_empty(), "cannot summarize an empty run");
@@ -269,6 +364,7 @@ impl ServeReport {
         let last_finish = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
         let makespan = last_finish - first_arrival;
         let energy: f64 = cards.iter().map(|c| c.energy_joules).sum();
+        let idle_energy: f64 = cards.iter().map(|c| c.idle_energy_joules).sum();
 
         let classes = RequestClass::ALL
             .iter()
@@ -313,7 +409,10 @@ impl ServeReport {
             cards,
             groups,
             energy_joules: energy,
+            idle_energy_joules: idle_energy,
             slo_violations: completed.iter().filter(|c| !c.met_slo()).count(),
+            preemptions,
+            scaling,
             placements,
         }
     }
@@ -334,6 +433,24 @@ impl ServeReport {
         self.classes.iter().find(|c| c.class == class)
     }
 
+    /// Checkpoint-and-requeue decisions over the run.
+    pub fn preemption_count(&self) -> usize {
+        self.preemptions.len()
+    }
+
+    /// Active plus idle energy — the number an energy-vs-SLO tradeoff
+    /// compares across static and autoscaled fleets (active energy alone
+    /// hides the cost of keeping spare cards hot).
+    pub fn total_energy_joules(&self) -> f64 {
+        self.energy_joules + self.idle_energy_joules
+    }
+
+    /// Fraction of completions that met their SLO, in `[0, 1]` — the
+    /// service side of the energy-vs-SLO tradeoff.
+    pub fn slo_attainment(&self) -> f64 {
+        (self.completed - self.slo_violations) as f64 / self.completed as f64
+    }
+
     /// Serializes the summary (everything except the placement trace).
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -351,8 +468,31 @@ impl ServeReport {
             ),
             ("queue", self.queue.to_json()),
             ("slo_violations", Json::Int(self.slo_violations as i64)),
+            ("slo_attainment", Json::Num(self.slo_attainment())),
             ("energy_j", Json::Num(self.energy_joules)),
+            ("idle_energy_j", Json::Num(self.idle_energy_joules)),
+            ("total_energy_j", Json::Num(self.total_energy_joules())),
             ("fleet_utilization", Json::Num(self.fleet_utilization())),
+            ("preemptions", Json::Int(self.preemption_count() as i64)),
+            (
+                "preemption_log",
+                Json::arr(
+                    self.preemptions
+                        .iter()
+                        .take(PREEMPTION_JSON_CAP)
+                        .copied()
+                        .map(PreemptionRecord::to_json),
+                ),
+            ),
+            (
+                "scaling",
+                Json::arr(
+                    self.scaling
+                        .iter()
+                        .take(SCALING_JSON_CAP)
+                        .map(scale_event_json),
+                ),
+            ),
             (
                 "groups",
                 Json::arr(self.groups.iter().map(GroupSummary::to_json)),
@@ -417,6 +557,9 @@ mod tests {
             utilization: 0.4,
             energy_joules: 2.0,
             weight_swaps: 1,
+            powered_seconds: 3.0,
+            idle_energy_joules: 0.5,
+            preempted: 1,
         }
     }
 
@@ -439,6 +582,8 @@ mod tests {
             },
             vec![card_summary(0, 0)],
             Vec::new(),
+            Vec::new(),
+            Vec::new(),
         );
         assert_eq!(report.completed, 3);
         assert_eq!(report.offered, 3);
@@ -451,11 +596,55 @@ mod tests {
         assert_eq!(report.classes.len(), 1);
         assert_eq!(report.classes[0].class, RequestClass::Interactive);
         assert_eq!(report.classes[0].completed, 3);
+        assert!((report.idle_energy_joules - 0.5).abs() < 1e-12);
+        assert!((report.total_energy_joules() - 2.5).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&report.slo_attainment()));
         let json = report.to_json().pretty();
         assert!(json.contains("\"policy\": \"fifo\""));
         assert!(json.contains("\"p99_s\""));
         assert!(json.contains("\"classes\""));
         assert!(json.contains("\"groups\""));
+        assert!(json.contains("\"preemptions\": 0"));
+        assert!(json.contains("\"scaling\": []"));
+        assert!(json.contains("\"idle_energy_j\""));
+    }
+
+    #[test]
+    fn elastic_timelines_serialize() {
+        let runs = [completed(0, 0.0, 0.1)];
+        let report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+            },
+            vec![card_summary(0, 0)],
+            vec![PreemptionRecord {
+                time: 0.05,
+                preempted: 9,
+                waiting: 2,
+                card: 0,
+                jobs_checkpointed: 4,
+            }],
+            vec![ScaleEvent {
+                time: 0.07,
+                card: 1,
+                powered_on: true,
+                queue_depth: 6,
+                powered_cards: 2,
+            }],
+            Vec::new(),
+        );
+        assert_eq!(report.preemption_count(), 1);
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"preemptions\": 1"));
+        assert!(json.contains("\"jobs_checkpointed\": 4"));
+        assert!(json.contains("\"action\": \"power-up\""));
+        assert!(json.contains("\"powered_cards\": 2"));
     }
 
     #[test]
@@ -473,6 +662,8 @@ mod tests {
                 timeline: Vec::new(),
             },
             vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
             Vec::new(),
         );
         assert_eq!(report.offered, 2);

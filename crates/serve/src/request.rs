@@ -15,6 +15,14 @@ pub struct Request {
     pub class: RequestClass,
     /// Latency objective, seconds from arrival to completion.
     pub slo_seconds: f64,
+    /// Attention jobs already checkpointed by earlier preempted attempts
+    /// (0 for a fresh request). A resumed request only replays its
+    /// remaining `shape.jobs() - jobs_done` jobs.
+    pub jobs_done: usize,
+    /// Times this request has been preempted. A non-zero count marks a
+    /// resumed request, which pays a restart penalty on re-dispatch (see
+    /// [`crate::fleet::Card::restart_seconds`]).
+    pub preemptions: u32,
 }
 
 impl Request {
@@ -54,14 +62,24 @@ impl Request {
             shape,
             class,
             slo_seconds: Request::class_slo(class, &shape),
+            jobs_done: 0,
+            preemptions: 0,
         }
     }
 
     /// The total order the priority queue serves in: class rank first,
     /// then id (= arrival order within a class). Unique per request, which
-    /// is what makes queue iteration deterministic.
+    /// is what makes queue iteration deterministic. Preemption state does
+    /// not enter the key: a requeued request rejoins its class at its
+    /// original arrival position.
     pub fn rank_key(&self) -> (u8, u64) {
         (self.class.rank(), self.id)
+    }
+
+    /// Attention jobs still to run: the full `shape.jobs()` grid minus
+    /// what earlier preempted attempts already checkpointed.
+    pub fn remaining_jobs(&self) -> usize {
+        self.shape.jobs() - self.jobs_done
     }
 }
 
@@ -142,6 +160,21 @@ mod tests {
         let c = Request::classed(5, 0.0, shape(), RequestClass::Batch);
         assert!(a.rank_key() < b.rank_key(), "higher class first despite id");
         assert!(b.rank_key() < c.rank_key(), "arrival order within a class");
+    }
+
+    #[test]
+    fn fresh_requests_have_no_preemption_state() {
+        let r = Request::classed(1, 0.0, shape(), RequestClass::Background);
+        assert_eq!((r.jobs_done, r.preemptions), (0, 0));
+        assert_eq!(r.remaining_jobs(), shape().jobs());
+        // A checkpointed request replays only its tail.
+        let resumed = Request {
+            jobs_done: 5,
+            preemptions: 1,
+            ..r
+        };
+        assert_eq!(resumed.remaining_jobs(), shape().jobs() - 5);
+        assert_eq!(resumed.rank_key(), r.rank_key(), "requeue keeps the slot");
     }
 
     #[test]

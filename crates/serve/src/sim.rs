@@ -1,29 +1,44 @@
 //! The discrete-event simulation loop.
 //!
-//! Three event kinds drive time forward: a request **arrives** (enters the
-//! priority queue — or is shed by admission control), a pipeline **drains**
-//! (capacity frees), and a **dispatch** (policy assigns a queued request to
-//! a card, immediately, whenever both a request and an idle pipeline
-//! exist). Service is non-preemptive; a dispatched request occupies one
-//! pipeline of one card until all of its `batch × layers × heads` jobs
-//! drain, with service times from the card's calibrated timing model
-//! stretched by shared-memory contention (see
-//! [`crate::fleet::Card::job_seconds`]).
+//! Five event kinds drive time forward: a request **arrives** (enters the
+//! priority queue — or is shed by admission control), a pipeline
+//! **drains** (capacity frees), a **preemption check** fires (a waiting
+//! interactive request's patience ran out), a **warm-up** completes
+//! (an autoscaled card becomes dispatchable), and a **scaling check**
+//! wakes the autoscaler when an idle card reaches park eligibility
+//! inside a quiet gap. A **dispatch** follows every
+//! event batch: the policy assigns queued requests to cards whenever both
+//! a request and an idle pipeline exist. A dispatched request normally
+//! occupies one pipeline of one card until all of its
+//! `batch × layers × heads` jobs drain, with service times from the
+//! card's calibrated timing model stretched by shared-memory contention
+//! (see [`crate::fleet::Card::job_seconds`]) — but under a
+//! [`PreemptionControl`] the dispatcher may checkpoint-and-requeue the
+//! youngest in-flight background job to make room for interactive work,
+//! releasing the pipeline capacity its unfinished jobs had reserved.
 //!
 //! The loop is driven by the [`crate::event::EventQueue`] binary heap, so
 //! advancing time is O(log n) in the number of in-flight requests instead
 //! of the O(n) rescan the first implementation did, and the per-dispatch
 //! [`CardView`] snapshots live in reusable scratch buffers. Determinism is
-//! structural: events order by `(time, Arrival < Completion, card, id)`,
-//! the waiting queue orders by `(class rank, id)`, and all randomness
-//! lives in the seeded generators upstream.
+//! structural: events order by
+//! `(time, Arrival < Completion < Preemption < Warmed < ScaleCheck, card,
+//! id)`, the
+//! waiting queue orders by `(class rank, id)`, and all randomness lives
+//! in the seeded generators upstream. Preempted completions are handled
+//! by tombstoning: the stale completion timer stays in the heap and is
+//! dropped at delivery when its attempt number no longer matches the
+//! in-flight table.
+
+use std::collections::BTreeMap;
 
 use crate::arrival::ArrivalProcess;
 use crate::event::{Event, EventQueue, PriorityQueue};
-use crate::fleet::{Card, Fleet, FleetConfig};
-use crate::metrics::{CardSummary, QueueSample, QueueSummary, ServeReport};
+use crate::fleet::{Admission, Card, Fleet, FleetConfig};
+use crate::metrics::{CardSummary, PreemptionRecord, QueueSample, QueueSummary, ServeReport};
 use crate::policy::{CardView, DispatchPolicy};
-use crate::request::Request;
+use crate::request::{CompletedRequest, Request};
+use crate::scale::{Autoscaler, AutoscalerConfig};
 use swat_numeric::SplitMix64;
 use swat_workloads::{RequestClass, RequestMix};
 
@@ -67,36 +82,110 @@ impl TrafficSpec {
 /// The overload valve: whether (and when) the fleet refuses work instead
 /// of queueing it.
 ///
-/// Only the lowest class ([`RequestClass::lowest`], i.e. `Background`) is
-/// ever shed: an arriving background request is rejected when the queue
-/// already holds `queue_cap` or more requests. Higher classes are always
-/// admitted — the point of the knob is to keep best-effort filler from
-/// burying latency-sensitive traffic during overload.
+/// Each priority class carries its own **admission budget**: an arriving
+/// request of class `c` is rejected when the queue already holds
+/// `queue_caps[c.rank()]` or more requests (of any class). Tighter caps
+/// on lower classes keep best-effort filler from burying
+/// latency-sensitive traffic during overload while interactive work stays
+/// admitted; an uncapped class (`None`) is always admitted. The original
+/// single-knob behaviour — shed only background — is the special case
+/// [`AdmissionControl::shed_background_at`].
+///
+/// # Examples
+///
+/// ```
+/// use swat_serve::sim::AdmissionControl;
+/// use swat_workloads::RequestClass;
+///
+/// // Shed background at depth 16, batch at 64, never shed interactive.
+/// let admission = AdmissionControl::admit_all()
+///     .with_cap(RequestClass::Batch, 64)
+///     .with_cap(RequestClass::Background, 16);
+/// assert!(admission.admits(RequestClass::Interactive, 1_000));
+/// assert!(admission.admits(RequestClass::Batch, 63));
+/// assert!(!admission.admits(RequestClass::Background, 16));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AdmissionControl {
-    /// Reject lowest-class arrivals once the queue is this deep
-    /// (`None` = admit everything).
-    pub queue_cap: Option<usize>,
+    /// Per-class queue-depth caps, indexed by [`RequestClass::rank`]
+    /// (`None` = that class is always admitted).
+    pub queue_caps: [Option<usize>; RequestClass::ALL.len()],
 }
 
 impl AdmissionControl {
     /// Admit everything (the default).
     pub fn admit_all() -> AdmissionControl {
-        AdmissionControl { queue_cap: None }
+        AdmissionControl {
+            queue_caps: [None; RequestClass::ALL.len()],
+        }
     }
 
-    /// Shed lowest-class arrivals once the queue holds `cap` requests.
+    /// Shed lowest-class arrivals once the queue holds `cap` requests —
+    /// the single-budget special case kept from before per-class budgets
+    /// existed.
     pub fn shed_background_at(cap: usize) -> AdmissionControl {
-        AdmissionControl {
-            queue_cap: Some(cap),
-        }
+        AdmissionControl::admit_all().with_cap(RequestClass::lowest(), cap)
+    }
+
+    /// Caps `class` arrivals at queue depth `cap`, leaving other budgets
+    /// unchanged.
+    pub fn with_cap(mut self, class: RequestClass, cap: usize) -> AdmissionControl {
+        self.queue_caps[class.rank() as usize] = Some(cap);
+        self
     }
 
     /// Whether an arrival of `class` is admitted at `queue_depth`.
     pub fn admits(&self, class: RequestClass, queue_depth: usize) -> bool {
-        match self.queue_cap {
-            Some(cap) => class != RequestClass::lowest() || queue_depth < cap,
+        match self.queue_caps[class.rank() as usize] {
+            Some(cap) => queue_depth < cap,
             None => true,
+        }
+    }
+}
+
+/// The dispatcher's patience: how long an interactive request may wait
+/// before the youngest in-flight background job is checkpointed off its
+/// card to make room.
+///
+/// When enabled, every admitted interactive arrival arms a timer. If the
+/// request is still queued when the timer fires, the dispatcher evicts
+/// the in-flight background request with the highest id (the youngest —
+/// it has banked the least work), checkpoints its completed jobs, and
+/// requeues it; the freed pipeline is dispatched in the same event batch,
+/// so the waiting interactive request (or whatever else now heads the
+/// queue) runs immediately. The victim resumes later with its checkpoint
+/// plus a restart penalty ([`crate::fleet::Card::restart_seconds`]).
+/// While the request keeps waiting *and* a future firing could still
+/// find a victim (one was just evicted, or background work remains in
+/// flight), the timer re-arms every threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PreemptionControl {
+    /// Seconds an interactive request may wait before background work is
+    /// preempted (`None` = never preempt, the default).
+    pub wait_threshold_s: Option<f64>,
+}
+
+impl PreemptionControl {
+    /// Never preempt (the default): service is run-to-completion.
+    pub fn disabled() -> PreemptionControl {
+        PreemptionControl {
+            wait_threshold_s: None,
+        }
+    }
+
+    /// Preempt background work once an interactive request has waited
+    /// `threshold_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not positive and finite.
+    pub fn after_wait(threshold_s: f64) -> PreemptionControl {
+        assert!(
+            threshold_s.is_finite() && threshold_s > 0.0,
+            "preemption threshold must be positive and finite"
+        );
+        PreemptionControl {
+            wait_threshold_s: Some(threshold_s),
         }
     }
 }
@@ -137,17 +226,22 @@ pub struct Simulation<'a> {
     arrivals_label: String,
     trace: bool,
     admission: AdmissionControl,
+    preemption: PreemptionControl,
+    autoscale: Option<AutoscalerConfig>,
 }
 
 impl<'a> Simulation<'a> {
     /// A simulation of `fleet` with default options: label `"trace"`, no
-    /// placement tracing, admit everything.
+    /// placement tracing, admit everything, never preempt, no autoscaler
+    /// (every card powered for the whole run).
     pub fn new(fleet: &'a FleetConfig) -> Simulation<'a> {
         Simulation {
             fleet,
             arrivals_label: "trace".to_string(),
             trace: false,
             admission: AdmissionControl::admit_all(),
+            preemption: PreemptionControl::disabled(),
+            autoscale: None,
         }
     }
 
@@ -168,6 +262,20 @@ impl<'a> Simulation<'a> {
     /// Sets the admission-control knob.
     pub fn admission(mut self, admission: AdmissionControl) -> Simulation<'a> {
         self.admission = admission;
+        self
+    }
+
+    /// Sets the preemption knob.
+    pub fn preemption(mut self, preemption: PreemptionControl) -> Simulation<'a> {
+        self.preemption = preemption;
+        self
+    }
+
+    /// Runs the fleet under an [`Autoscaler`] applying `config`: the first
+    /// `min_cards` cards start powered, the rest parked, and capacity
+    /// follows queue depth from there.
+    pub fn autoscale(mut self, config: AutoscalerConfig) -> Simulation<'a> {
+        self.autoscale = Some(config);
         self
     }
 
@@ -196,6 +304,16 @@ impl<'a> Simulation<'a> {
             );
         }
         let mut fleet: Fleet = self.fleet.build().expect("invalid fleet configuration");
+        let t0 = requests[0].arrival;
+        let mut scaler = self.autoscale.map(Autoscaler::new);
+        match scaler.as_mut() {
+            Some(s) => s.begin(&mut fleet, t0),
+            None => {
+                for i in 0..fleet.cards().len() {
+                    fleet.card_mut(i).set_initial_power(true, t0);
+                }
+            }
+        }
 
         let mut queue = PriorityQueue::new();
         let mut completed = Vec::with_capacity(requests.len());
@@ -205,18 +323,24 @@ impl<'a> Simulation<'a> {
         // Reusable CardView scratch: one snapshot per card, refreshed in
         // place instead of reallocated per dispatch.
         let mut views: Vec<CardView> = Vec::with_capacity(fleet.cards().len());
+        // The live in-flight table, keyed by request id. Preemption
+        // removes entries; a completion whose attempt number no longer
+        // matches the table is a tombstone and is dropped at delivery.
+        let mut in_flight: BTreeMap<u64, InFlight> = BTreeMap::new();
+        let mut preemptions: Vec<PreemptionRecord> = Vec::new();
 
         // Queue-depth integral for the time-weighted mean.
         let mut timeline: Vec<QueueSample> = Vec::new();
         let mut max_depth = 0usize;
         let mut depth_integral = 0.0f64;
-        let mut last_event = requests[0].arrival;
+        let mut last_event = t0;
 
         // Arrivals feed the heap lazily — popping arrival i schedules
         // arrival i+1 — so the heap never holds more than
-        // (in-flight + 1) entries.
+        // (in-flight + 1) entries plus armed preemption timers.
         let mut events = EventQueue::new();
         events.push_arrival(requests[0].arrival, 0, requests[0].id);
+        let mut arrivals_done = false;
 
         while let Some((now, first)) = events.pop() {
             // 1. Account the queue integral up to `now`.
@@ -225,7 +349,8 @@ impl<'a> Simulation<'a> {
 
             // 2. Deliver this event and every other event due at exactly
             //    `now` (the heap already orders ties Arrival < Completion
-            //    < card < id) before dispatching.
+            //    < Preemption < Warmed < ScaleCheck, then card, then id)
+            //    before dispatching.
             let mut next = Some(first);
             while let Some(event) = next {
                 match event {
@@ -233,15 +358,69 @@ impl<'a> Simulation<'a> {
                         if index + 1 < requests.len() {
                             let r = &requests[index + 1];
                             events.push_arrival(r.arrival, index + 1, r.id);
+                        } else {
+                            arrivals_done = true;
                         }
                         let request = requests[index];
                         if self.admission.admits(request.class, queue.len()) {
                             queue.push(request);
+                            if let Some(threshold) = self.preemption.wait_threshold_s {
+                                if request.class == RequestClass::Interactive {
+                                    events.push_preemption(now + threshold, request.id);
+                                }
+                            }
                         } else {
                             rejected.push(request);
                         }
                     }
-                    Event::Completion { record } => completed.push(record),
+                    Event::Completion { record } => {
+                        let live = in_flight.get(&record.request.id).is_some_and(|f| {
+                            f.record.request.preemptions == record.request.preemptions
+                        });
+                        if live {
+                            in_flight.remove(&record.request.id);
+                            completed.push(record);
+                        }
+                        // Stale timer for a preempted attempt: drop it.
+                    }
+                    Event::Preemption { id } => {
+                        // Still waiting? (Dispatched or shed means the
+                        // timer outlived its request — a no-op.)
+                        if queue.contains((RequestClass::Interactive.rank(), id)) {
+                            let evicted = self.preempt_youngest_background(
+                                now,
+                                id,
+                                &mut fleet,
+                                &mut in_flight,
+                                &mut queue,
+                                &mut preemptions,
+                            );
+                            // Re-arm only while a future firing could
+                            // still find a victim: after an eviction, or
+                            // while background work remains in flight.
+                            // With priority-ordered dispatch no *new*
+                            // background job can start while this
+                            // request waits, so a no-victim firing with
+                            // nothing in flight would re-fire as a no-op
+                            // every threshold forever.
+                            let background_in_flight = in_flight
+                                .values()
+                                .any(|f| f.record.request.class == RequestClass::lowest());
+                            if evicted || background_in_flight {
+                                let threshold = self
+                                    .preemption
+                                    .wait_threshold_s
+                                    .expect("preemption events only exist when enabled");
+                                events.push_preemption(now + threshold, id);
+                            }
+                        }
+                    }
+                    // No state change: `Warmed` marks a card's
+                    // `available_at` passing, `ScaleCheck` an idle card
+                    // reaching park eligibility; both exist to force a
+                    // dispatch-and-autoscale pass at exactly that
+                    // boundary.
+                    Event::Warmed { .. } | Event::ScaleCheck => {}
                 }
                 next = (events.next_time() == Some(now))
                     .then(|| events.pop().expect("peeked event must pop").1);
@@ -264,22 +443,28 @@ impl<'a> Simulation<'a> {
                 );
                 let request = queue.take(qi);
                 scratch.clear();
-                let (pipeline, finish) =
-                    fleet
-                        .card_mut(card)
-                        .admit(&request.shape, now, self.trace, &mut scratch);
+                let admission = fleet
+                    .card_mut(card)
+                    .admit(&request, now, self.trace, &mut scratch);
                 if self.trace {
                     placements.extend(scratch.drain(..).map(|p| (card, p)));
                 }
-                events.push_completion(crate::request::CompletedRequest {
+                let record = CompletedRequest {
                     request,
                     dispatched: now,
-                    finished: finish,
+                    finished: admission.finish,
                     card,
-                    pipeline,
-                });
+                    pipeline: admission.pipeline,
+                };
+                in_flight.insert(request.id, InFlight { record, admission });
+                events.push_completion(record);
                 // Only the dispatched card's state changed.
                 views[card] = card_view(card, &fleet.cards()[card], now);
+            }
+
+            // 3½. Autoscaler feedback, after capacity decisions settle.
+            if let Some(s) = scaler.as_mut() {
+                s.evaluate(now, queue.len(), &mut fleet, &mut events);
             }
 
             // 4. Sample the queue after the event settles.
@@ -290,9 +475,30 @@ impl<'a> Simulation<'a> {
                     depth: queue.len(),
                 });
             }
+
+            // 5. Stop once the outcome is final: every arrival delivered,
+            //    nothing queued, nothing in flight. The heap may still
+            //    hold stale preemption timers and warm-up markers — all
+            //    no-ops from here — and letting them tick would push
+            //    `last_event` past the last completion, silently charging
+            //    phantom powered/idle time to the energy accounting.
+            if arrivals_done && queue.is_empty() && in_flight.is_empty() {
+                break;
+            }
         }
         assert!(queue.is_empty(), "drained simulation left requests queued");
+        assert!(
+            in_flight.is_empty(),
+            "drained simulation left work in flight"
+        );
         assert_eq!(completed.len() + rejected.len(), requests.len());
+
+        // Close every card's powered clock at the last event — with the
+        // early stop above, the last completion — so powered/idle
+        // accounting covers exactly the reported span.
+        for i in 0..fleet.cards().len() {
+            fleet.card_mut(i).close_power_clock(last_event);
+        }
 
         // Stable output order regardless of completion interleaving.
         completed.sort_by_key(|c: &crate::request::CompletedRequest| c.request.id);
@@ -303,21 +509,7 @@ impl<'a> Simulation<'a> {
             .cards()
             .iter()
             .enumerate()
-            .map(|(i, c)| CardSummary {
-                card: i,
-                group: c.group(),
-                served: c.served(),
-                // Guard the degenerate zero-span run (a single instant
-                // trace) the same way mean_depth is guarded below: report
-                // 0 rather than NaN, which the JSON writer would reject.
-                utilization: if span > 0.0 {
-                    c.busy_seconds() / (span * c.pipelines() as f64)
-                } else {
-                    0.0
-                },
-                energy_joules: c.energy_joules(),
-                weight_swaps: c.weight_swaps(),
-            })
+            .map(|(i, c)| card_summary(i, c, span))
             .collect();
 
         ServeReport::assemble(
@@ -335,21 +527,101 @@ impl<'a> Simulation<'a> {
                 timeline,
             },
             cards,
+            preemptions,
+            scaler.map_or_else(Vec::new, Autoscaler::into_log),
             placements,
         )
     }
+
+    /// Checkpoints-and-requeues the youngest (highest-id) in-flight
+    /// background request, if any, because interactive request `waiting`
+    /// has outwaited the dispatcher's patience. Returns whether a victim
+    /// was evicted. The victim's banked jobs ride along in its requeued
+    /// [`Request::jobs_done`]; the freed pipeline is picked up by the
+    /// dispatch pass that follows the event batch.
+    fn preempt_youngest_background(
+        &self,
+        now: f64,
+        waiting: u64,
+        fleet: &mut Fleet,
+        in_flight: &mut BTreeMap<u64, InFlight>,
+        queue: &mut PriorityQueue,
+        preemptions: &mut Vec<PreemptionRecord>,
+    ) -> bool {
+        let victim = in_flight
+            .iter()
+            .filter(|(_, f)| f.record.request.class == RequestClass::lowest())
+            .map(|(&id, _)| id)
+            .next_back();
+        let Some(victim) = victim else { return false };
+        let f = in_flight.remove(&victim).expect("victim was just found");
+        let done = fleet
+            .card_mut(f.record.card)
+            .preempt(&f.admission, f.record.dispatched, now);
+        let mut requeued = f.record.request;
+        // `floor` keeps the checkpoint strictly below the remaining job
+        // count; the min guards the float edge where the division lands
+        // exactly on it.
+        let done = done.min(requeued.remaining_jobs() - 1);
+        requeued.jobs_done += done;
+        requeued.preemptions += 1;
+        queue.push(requeued);
+        preemptions.push(PreemptionRecord {
+            time: now,
+            preempted: victim,
+            waiting,
+            card: f.record.card,
+            jobs_checkpointed: done,
+        });
+        true
+    }
 }
 
-/// Snapshots one card for the policy.
+/// One in-flight request: the completion record scheduled on the event
+/// heap plus the admission terms needed to checkpoint it on preemption.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    record: CompletedRequest,
+    admission: Admission,
+}
+
+/// Snapshots one card for the policy. A card that is parked or still
+/// warming up reports zero idle pipelines, so no policy can route to it.
 pub(crate) fn card_view(index: usize, card: &Card, now: f64) -> CardView {
     CardView {
         card: index,
         group: card.group(),
         pipelines: card.pipelines(),
-        idle_pipelines: card.idle_pipelines(now),
+        idle_pipelines: if card.dispatchable(now) {
+            card.idle_pipelines(now)
+        } else {
+            0
+        },
         backlog_seconds: card.backlog_seconds(now),
         served: card.served(),
         seconds_per_token: card.seconds_per_token(),
+    }
+}
+
+/// Folds one card's end-of-run state into its report row. `span` is the
+/// makespan (first arrival to last completion); the zero-span guard keeps
+/// a single-instant trace from reporting NaN utilization, which the JSON
+/// writer would reject.
+fn card_summary(index: usize, card: &Card, span: f64) -> CardSummary {
+    CardSummary {
+        card: index,
+        group: card.group(),
+        served: card.served(),
+        utilization: if span > 0.0 {
+            card.busy_seconds() / (span * card.pipelines() as f64)
+        } else {
+            0.0
+        },
+        energy_joules: card.energy_joules(),
+        weight_swaps: card.weight_swaps(),
+        powered_seconds: card.powered_seconds(),
+        idle_energy_joules: card.idle_energy_joules(),
+        preempted: card.preempted(),
     }
 }
 
@@ -438,6 +710,11 @@ mod tests {
         requests: &[Request],
     ) -> ServeReport {
         let mut fleet: Fleet = fleet_cfg.build().expect("invalid fleet configuration");
+        for i in 0..fleet.cards().len() {
+            fleet
+                .card_mut(i)
+                .set_initial_power(true, requests[0].arrival);
+        }
         let mut queue: Vec<Request> = Vec::new();
         let mut completed: Vec<crate::request::CompletedRequest> = Vec::new();
         let mut in_flight: Vec<(f64, crate::request::CompletedRequest)> = Vec::new();
@@ -477,18 +754,17 @@ mod tests {
                 };
                 let request = queue.remove(qi);
                 scratch.clear();
-                let (pipeline, finish) =
-                    fleet
-                        .card_mut(card)
-                        .admit(&request.shape, now, false, &mut scratch);
+                let admission = fleet
+                    .card_mut(card)
+                    .admit(&request, now, false, &mut scratch);
                 in_flight.push((
-                    finish,
+                    admission.finish,
                     crate::request::CompletedRequest {
                         request,
                         dispatched: now,
-                        finished: finish,
+                        finished: admission.finish,
                         card,
-                        pipeline,
+                        pipeline: admission.pipeline,
                     },
                 ));
             }
@@ -516,18 +792,16 @@ mod tests {
         completed.sort_by_key(|c| c.request.id);
         let makespan_end = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
         let span = makespan_end - requests[0].arrival;
+        // The heap kernel closes power clocks at the last event, which
+        // for a static fleet is the last completion.
+        for i in 0..fleet.cards().len() {
+            fleet.card_mut(i).close_power_clock(last_event);
+        }
         let cards: Vec<CardSummary> = fleet
             .cards()
             .iter()
             .enumerate()
-            .map(|(i, c)| CardSummary {
-                card: i,
-                group: c.group(),
-                served: c.served(),
-                utilization: c.busy_seconds() / (span * c.pipelines() as f64),
-                energy_joules: c.energy_joules(),
-                weight_swaps: c.weight_swaps(),
-            })
+            .map(|(i, c)| card_summary(i, c, span))
             .collect();
         ServeReport::assemble(
             policy.name(),
@@ -540,6 +814,8 @@ mod tests {
                 timeline,
             },
             cards,
+            Vec::new(),
+            Vec::new(),
             Vec::new(),
         )
     }
@@ -642,6 +918,202 @@ mod tests {
         );
         // Shedding filler work cannot hurt the work that stays.
         assert!(capped.queue.max_depth <= open.queue.max_depth);
+    }
+
+    /// Sustained production-mix overload — the regime where admission
+    /// budgets are forced.
+    fn overload(seed: u64, n: usize) -> Vec<Request> {
+        TrafficSpec {
+            arrivals: ArrivalProcess::poisson(300.0),
+            mix: RequestMix::Production,
+            seed,
+        }
+        .requests(n)
+    }
+
+    /// The regime where preemption earns its keep: lulls where background
+    /// work gets dispatched, punctuated by interactive bursts that arrive
+    /// to find every pipeline occupied by it. (Under *sustained*
+    /// overload the priority queue alone keeps background work parked, so
+    /// there is never a victim in flight.)
+    fn bursty_lulls(seed: u64, n: usize, base_rate: f64) -> Vec<Request> {
+        TrafficSpec {
+            arrivals: ArrivalProcess::bursty(base_rate),
+            mix: RequestMix::Production,
+            seed,
+        }
+        .requests(n)
+    }
+
+    #[test]
+    fn preemption_fires_and_helps_interactive_latency() {
+        let fleet = FleetConfig::standard(1);
+        let requests = bursty_lulls(13, 250, 2.5);
+        let patient = simulate(&fleet, &mut Fifo, &requests, false);
+        assert!(patient.preemptions.is_empty(), "off by default");
+        let eager = Simulation::new(&fleet)
+            .preemption(PreemptionControl::after_wait(0.05))
+            .run(&mut Fifo, &requests);
+        assert!(!eager.preemptions.is_empty(), "overload must trigger it");
+        // Every offered request still completes: preemption requeues, it
+        // never drops work.
+        assert_eq!(eager.completed, requests.len());
+        // Interactive tail latency improves; background pays for it.
+        let i_eager = eager.class(RequestClass::Interactive).unwrap();
+        let i_patient = patient.class(RequestClass::Interactive).unwrap();
+        assert!(
+            i_eager.latency.unwrap().p99 < i_patient.latency.unwrap().p99,
+            "interactive p99 {} must beat non-preemptive {}",
+            i_eager.latency.unwrap().p99,
+            i_patient.latency.unwrap().p99
+        );
+        // The log is consistent: background victims only, time-ordered.
+        let by_id: std::collections::BTreeMap<u64, &Request> =
+            requests.iter().map(|r| (r.id, r)).collect();
+        for p in &eager.preemptions {
+            assert_eq!(by_id[&p.preempted].class, RequestClass::Background);
+            assert_eq!(by_id[&p.waiting].class, RequestClass::Interactive);
+        }
+        assert!(eager.preemptions.windows(2).all(|w| w[0].time <= w[1].time));
+        let preempted_on_cards: u64 = eager.cards.iter().map(|c| c.preempted).sum();
+        assert_eq!(preempted_on_cards as usize, eager.preemptions.len());
+    }
+
+    #[test]
+    fn stale_preemption_timers_do_not_inflate_power_accounting() {
+        // A lightly loaded fleet where every interactive request
+        // dispatches immediately: the armed timers all fire as no-ops,
+        // and a long threshold would land them well past the last
+        // completion. They must not extend the powered clock — the
+        // preemptive run's energy accounting has to match the
+        // non-preemptive run exactly when no preemption ever fires.
+        let fleet = FleetConfig::standard(1);
+        let requests = traffic(3).requests(20);
+        let off = simulate(&fleet, &mut Fifo, &requests, false);
+        let on = Simulation::new(&fleet)
+            .preemption(PreemptionControl::after_wait(30.0))
+            .run(&mut Fifo, &requests);
+        assert!(on.preemptions.is_empty());
+        assert_eq!(on.idle_energy_joules, off.idle_energy_joules);
+        for (a, b) in on.cards.iter().zip(&off.cards) {
+            assert_eq!(a.powered_seconds, b.powered_seconds);
+            assert!((a.powered_seconds - on.makespan).abs() < 1e-9);
+        }
+        assert_eq!(on, off, "inert preemption must be a no-op");
+    }
+
+    #[test]
+    fn preemptive_runs_are_deterministic() {
+        let fleet = FleetConfig::standard(2);
+        let requests = bursty_lulls(31, 300, 4.0);
+        let run = || {
+            Simulation::new(&fleet)
+                .preemption(PreemptionControl::after_wait(0.08))
+                .run(&mut LeastLoaded, &requests)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+        assert!(!a.preemptions.is_empty());
+    }
+
+    #[test]
+    fn autoscaler_parks_and_revives_cards() {
+        use crate::scale::AutoscalerConfig;
+        // A long quiet tail after a burst: the controller must scale up
+        // into the burst and park cards in the quiet stretch.
+        let fleet = FleetConfig::standard(4);
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::bursty(6.0),
+            mix: RequestMix::Production,
+            seed: 23,
+        };
+        let requests = spec.requests(400);
+        let elastic = Simulation::new(&fleet)
+            .autoscale(AutoscalerConfig::standard())
+            .run(&mut LeastLoaded, &requests);
+        let static_run = simulate(&fleet, &mut LeastLoaded, &requests, false);
+        assert_eq!(elastic.completed, requests.len());
+        assert!(!elastic.scaling.is_empty(), "bursts must trigger scaling");
+        assert!(
+            elastic.scaling.iter().any(|e| e.powered_on)
+                && elastic.scaling.iter().any(|e| !e.powered_on),
+            "both directions: {:?}",
+            elastic.scaling.len()
+        );
+        // The elastic fleet pays less idle energy than static provisioning
+        // but (weakly) worse latency — the tradeoff the report surfaces.
+        assert!(elastic.idle_energy_joules >= 0.0);
+        assert!(elastic.idle_energy_joules < static_run.idle_energy_joules);
+        assert!(elastic.latency.p99 >= static_run.latency.p99);
+        // Powered time never exceeds the run span, never goes negative.
+        for c in &elastic.cards {
+            assert!(c.powered_seconds >= 0.0);
+            assert!(c.idle_energy_joules >= 0.0);
+        }
+        // Static runs power everything the whole span.
+        for c in &static_run.cards {
+            assert!((c.powered_seconds - static_run.makespan).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn autoscaled_runs_are_deterministic() {
+        use crate::scale::AutoscalerConfig;
+        let fleet = FleetConfig::standard(3);
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::diurnal(3.0, 25.0),
+            mix: RequestMix::Production,
+            seed: 41,
+        };
+        let requests = spec.requests(300);
+        let run = || {
+            Simulation::new(&fleet)
+                .autoscale(AutoscalerConfig::standard().with_min_cards(2))
+                .run(&mut LeastLoaded, &requests)
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.to_json().pretty(), run().to_json().pretty());
+    }
+
+    #[test]
+    fn per_class_budgets_shed_classes_independently() {
+        let fleet = FleetConfig::standard(1);
+        let requests = overload(9, 400);
+        let budgeted = Simulation::new(&fleet)
+            .admission(
+                AdmissionControl::admit_all()
+                    .with_cap(RequestClass::Batch, 48)
+                    .with_cap(RequestClass::Background, 8),
+            )
+            .run(&mut Fifo, &requests);
+        assert_eq!(
+            budgeted.class(RequestClass::Interactive).unwrap().rejected,
+            0,
+            "uncapped class is never shed"
+        );
+        let batch = budgeted.class(RequestClass::Batch).unwrap();
+        let background = budgeted.class(RequestClass::Background).unwrap();
+        assert!(background.rejected > 0, "the tight cap must trip");
+        assert!(batch.rejected > 0, "the loose cap must trip under overload");
+        // Tighter budget sheds a larger *fraction* of its class.
+        assert!(
+            background.rejected * batch.offered > batch.rejected * background.offered,
+            "background {}/{} vs batch {}/{}",
+            background.rejected,
+            background.offered,
+            batch.rejected,
+            batch.offered
+        );
+        assert_eq!(budgeted.completed + budgeted.rejected, requests.len());
+        // The legacy single-knob constructor is the per-class special case.
+        let legacy = Simulation::new(&fleet)
+            .admission(AdmissionControl::shed_background_at(8))
+            .run(&mut Fifo, &requests);
+        assert_eq!(legacy.class(RequestClass::Batch).unwrap().rejected, 0);
+        assert!(legacy.class(RequestClass::Background).unwrap().rejected > 0);
     }
 
     #[test]

@@ -7,8 +7,9 @@ use swat_serve::arrival::ArrivalProcess;
 use swat_serve::fleet::{CardGroup, FleetConfig};
 use swat_serve::metrics::percentile;
 use swat_serve::policy::{DispatchPolicy, Fifo, HeadAffinity, LeastLoaded, ShortestJobFirst};
-use swat_serve::sim::{simulate, TrafficSpec};
-use swat_workloads::{RequestMix, RequestShape};
+use swat_serve::scale::AutoscalerConfig;
+use swat_serve::sim::{simulate, PreemptionControl, Simulation, TrafficSpec};
+use swat_workloads::{RequestClass, RequestMix, RequestShape};
 
 /// A random heterogeneous fleet: an FP16 dual-pipeline group next to an
 /// FP32 single-pipeline group (either may dominate, but never both empty).
@@ -266,6 +267,110 @@ proptest! {
             shape, fp16.service_seconds(&shape), fp32.service_seconds(&shape)
         );
         prop_assert!(fp16.seconds_per_token() <= fp32.seconds_per_token());
+    }
+
+    /// Preemption never starves background work forever: whatever the
+    /// traffic, fleet, patience threshold and policy, every admitted
+    /// background request eventually completes (checkpoint-and-requeue
+    /// defers it, it never drops it), and every preemption in the log
+    /// names a background victim and an interactive beneficiary.
+    #[test]
+    fn preemption_never_starves_background(
+        cards in 1usize..4,
+        policy_idx in any_policy(),
+        threshold in 0.02f64..0.5,
+        base_rate in 1.0f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::bursty(base_rate),
+            mix: RequestMix::Production,
+            seed,
+        };
+        let requests = spec.requests(80);
+        let mut policy = policy_by_index(policy_idx);
+        let report = Simulation::new(&FleetConfig::standard(cards))
+            .preemption(PreemptionControl::after_wait(threshold))
+            .run(&mut *policy, &requests);
+        // Everything offered completes — preempted work resumes and
+        // drains, no matter how often it was evicted.
+        prop_assert_eq!(report.completed, requests.len());
+        prop_assert_eq!(report.rejected, 0);
+        for class in &report.classes {
+            prop_assert_eq!(class.completed, class.offered, "{:?}", class.class);
+        }
+        let class_of = |id: u64| requests.iter().find(|r| r.id == id).map(|r| r.class);
+        for p in &report.preemptions {
+            prop_assert_eq!(class_of(p.preempted), Some(RequestClass::Background));
+            prop_assert_eq!(class_of(p.waiting), Some(RequestClass::Interactive));
+            prop_assert!(p.card < report.cards.len());
+        }
+        // Per-card preemption counters agree with the log.
+        let on_cards: u64 = report.cards.iter().map(|c| c.preempted).sum();
+        prop_assert_eq!(on_cards as usize, report.preemptions.len());
+    }
+
+    /// Autoscaled runs are bitwise seed-deterministic, down to the JSON,
+    /// across random control laws, fleets, traffic and policies — the
+    /// controller adds no hidden ordering dependence.
+    #[test]
+    fn autoscaled_runs_seed_deterministic(
+        cards in 1usize..5,
+        min_cards in 1usize..3,
+        up_per_card in 1usize..8,
+        warmup in 0.0f64..4.0,
+        policy_idx in any_policy(),
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = AutoscalerConfig {
+            min_cards,
+            up_queue_per_card: up_per_card,
+            down_idle_s: 0.5,
+            warmup_s: warmup,
+        };
+        let spec = TrafficSpec { arrivals, mix: RequestMix::Production, seed };
+        let requests = spec.requests(70);
+        let fleet = FleetConfig::standard(cards);
+        let run = || {
+            let mut policy = policy_by_index(policy_idx);
+            Simulation::new(&fleet).autoscale(cfg).run(&mut *policy, &requests)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+    }
+
+    /// Scaled-down fleets never report negative idle energy or negative
+    /// powered time, on any card, and the fleet total matches the sum.
+    #[test]
+    fn idle_energy_never_negative(
+        cards in 1usize..5,
+        min_cards in 1usize..3,
+        down_idle in 0.0f64..2.0,
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = AutoscalerConfig {
+            min_cards,
+            up_queue_per_card: 4,
+            down_idle_s: down_idle,
+            warmup_s: 1.0,
+        };
+        let spec = TrafficSpec { arrivals, mix: RequestMix::Production, seed };
+        let requests = spec.requests(60);
+        let report = Simulation::new(&FleetConfig::standard(cards))
+            .autoscale(cfg)
+            .run(&mut LeastLoaded, &requests);
+        let mut total = 0.0;
+        for c in &report.cards {
+            prop_assert!(c.powered_seconds >= 0.0, "card {} powered {}", c.card, c.powered_seconds);
+            prop_assert!(c.idle_energy_joules >= 0.0, "card {} idle {}", c.card, c.idle_energy_joules);
+            total += c.idle_energy_joules;
+        }
+        prop_assert!((report.idle_energy_joules - total).abs() < 1e-9);
+        prop_assert!(report.total_energy_joules() >= report.energy_joules);
     }
 
     /// Work conservation: total busy pipeline-seconds equals the summed

@@ -1,6 +1,7 @@
 //! Serve replay: 60 simulated seconds of diurnal traffic through a mixed
-//! FP16/FP32 SWAT fleet with admission control, with a queue-depth
-//! timeline and per-class/per-group breakdowns.
+//! FP16/FP32 SWAT fleet with the full elastic stack — per-class admission
+//! budgets, preemption, and autoscaling — plus a queue-depth timeline and
+//! per-class/per-group breakdowns.
 //!
 //! ```text
 //! cargo run --release --example serve_replay
@@ -9,15 +10,19 @@
 use swat_serve::arrival::ArrivalProcess;
 use swat_serve::fleet::FleetConfig;
 use swat_serve::policy::LeastLoaded;
-use swat_serve::sim::{AdmissionControl, Simulation, TrafficSpec};
-use swat_workloads::RequestMix;
+use swat_serve::scale::AutoscalerConfig;
+use swat_serve::sim::{AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
+use swat_workloads::{RequestClass, RequestMix};
 
 fn main() {
     // One compressed "day" of traffic: the rate ramps 2 → 20 rps and back
     // over the 60 s horizon. Three dual-pipeline FP16 cards plus two
     // single-pipeline FP32 cards sustain ≈12 rps of the production mix,
     // so the midday peak transiently overloads the fleet — which is when
-    // the admission controller starts shedding background filler.
+    // the admission budgets start shedding batch and background filler,
+    // waiting interactive requests start preempting in-flight background
+    // work, and the autoscaler (which parked most of the fleet overnight)
+    // pays warm-up latency to catch the ramp.
     let spec = TrafficSpec {
         arrivals: ArrivalProcess::diurnal(2.0, 20.0),
         mix: RequestMix::Production,
@@ -35,7 +40,13 @@ fn main() {
 
     let report = Simulation::new(&fleet)
         .arrivals_label(format!("{}/{}", spec.arrivals.name(), spec.mix.name()))
-        .admission(AdmissionControl::shed_background_at(24))
+        .admission(
+            AdmissionControl::admit_all()
+                .with_cap(RequestClass::Batch, 48)
+                .with_cap(RequestClass::Background, 24),
+        )
+        .preemption(PreemptionControl::after_wait(0.25))
+        .autoscale(AutoscalerConfig::standard().with_min_cards(2))
         .run(&mut LeastLoaded, &requests);
 
     // Queue depth over time, bucketed to 2.5 s columns.
@@ -87,10 +98,11 @@ fn main() {
         }
     }
     println!(
-        "throughput {:.1} rps, fleet utilization {:.0}%, energy {:.1} J",
+        "throughput {:.1} rps, fleet utilization {:.0}%, energy {:.1} J active + {:.1} J idle",
         report.throughput_rps,
         report.fleet_utilization() * 100.0,
-        report.energy_joules
+        report.energy_joules,
+        report.idle_energy_joules
     );
     for summary in &report.groups {
         let g = summary.group;
@@ -104,11 +116,45 @@ fn main() {
     }
     for c in &report.cards {
         println!(
-            "    card {}: {:>4} served, {:>3.0}% busy, {:.1} J",
+            "    card {}: {:>4} served, {:>2} preempted, {:>3.0}% busy, powered {:>4.1} s, {:.1} J (+{:.1} J idle)",
             c.card,
             c.served,
+            c.preempted,
             c.utilization * 100.0,
-            c.energy_joules
+            c.powered_seconds,
+            c.energy_joules,
+            c.idle_energy_joules
+        );
+    }
+
+    let jobs_banked: usize = report.preemptions.iter().map(|p| p.jobs_checkpointed).sum();
+    println!(
+        "\n{} preemptions ({} background jobs checkpointed mid-flight):",
+        report.preemption_count(),
+        jobs_banked
+    );
+    for p in report.preemptions.iter().take(6) {
+        println!(
+            "  t={:>5.1} s  request {:>3} evicted from card {} ({} jobs banked) for request {}",
+            p.time, p.preempted, p.card, p.jobs_checkpointed, p.waiting
+        );
+    }
+    if report.preemptions.len() > 6 {
+        println!("  … {} more", report.preemptions.len() - 6);
+    }
+
+    println!(
+        "\nautoscaler timeline ({} decisions):",
+        report.scaling.len()
+    );
+    for e in &report.scaling {
+        println!(
+            "  t={:>5.1} s  {} card {} (queue {:>2}, {} cards powered)",
+            e.time,
+            if e.powered_on { "wake" } else { "park" },
+            e.card,
+            e.queue_depth,
+            e.powered_cards
         );
     }
 }
