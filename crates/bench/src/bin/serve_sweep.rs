@@ -2,7 +2,7 @@
 //! (scenario × arrival process × dispatch policy) combination, emitting
 //! `BENCH_serve.json`.
 //!
-//! Five scenarios exercise `swat-serve` end to end:
+//! Six scenarios exercise `swat-serve` end to end:
 //!
 //! 1. **homogeneous** — the PR 1 baseline: 6 dual-pipeline FP16 cards,
 //!    Poisson/bursty/diurnal production traffic, all four policies;
@@ -17,7 +17,12 @@
 //!    the full preemption log in the JSON;
 //! 5. **autoscale** — diurnal traffic on a static fleet vs the same fleet
 //!    under the autoscaler, with scaling timelines and the idle-energy /
-//!    SLO-attainment tradeoff in the JSON.
+//!    SLO-attainment tradeoff in the JSON;
+//! 6. **sharded** — whole-request dispatch vs split-aware dispatch
+//!    (`max_shards = 4`) on a lightly loaded fleet, where fanning a
+//!    request's independent attention jobs across idle pipelines cuts
+//!    per-request latency (fan-out/fan-in), with shard counts in the
+//!    JSON.
 //!
 //! Output is bitwise identical for a fixed `seed`.
 //!
@@ -33,7 +38,9 @@ use swat_serve::arrival::ArrivalProcess;
 use swat_serve::fleet::FleetConfig;
 use swat_serve::json::Json;
 use swat_serve::metrics::ServeReport;
-use swat_serve::policy::{all_policies, LeastLoaded};
+use swat_serve::policy::{
+    all_policies, LeastLoaded, ShardedLeastLoaded, ShardedShortestJobFirst, ShortestJobFirst,
+};
 use swat_serve::scale::AutoscalerConfig;
 use swat_serve::sim::{AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
 use swat_workloads::RequestMix;
@@ -99,15 +106,21 @@ fn annotated_run(
     }
 }
 
+/// Formats an optional seconds value as milliseconds for the tables; a
+/// fully-shed cell has no latency distribution and shows "-".
+fn ms(value: Option<f64>) -> String {
+    value.map_or("-".to_string(), |v| format!("{:.1}", v * 1e3))
+}
+
 fn summary_row(scenario: &str, report: &ServeReport) -> Vec<String> {
     vec![
         scenario.to_string(),
         report.arrivals.clone(),
         report.policy.clone(),
         format!("{:.1}", report.throughput_rps),
-        format!("{:.1}", report.latency.p50 * 1e3),
-        format!("{:.1}", report.latency.p95 * 1e3),
-        format!("{:.1}", report.latency.p99 * 1e3),
+        ms(report.latency.map(|l| l.p50)),
+        ms(report.latency.map(|l| l.p95)),
+        ms(report.latency.map(|l| l.p99)),
         format!("{:.0}%", report.fleet_utilization() * 100.0),
         format!("{}", report.queue.max_depth),
         format!("{}", report.slo_violations),
@@ -168,7 +181,7 @@ fn main() {
     let background_cap = 32usize;
 
     banner(format!(
-        "serve_sweep — {requests} requests/cell, 5 scenarios on FP16/FP32 fleets (seed {seed:#x})"
+        "serve_sweep — {requests} requests/cell, 6 scenarios on FP16/FP32 fleets (seed {seed:#x})"
     ));
 
     let mut rows = Vec::new();
@@ -248,9 +261,9 @@ fn main() {
                 format!("{}", class.completed),
                 format!("{}", class.rejected),
                 format!("{}", class.slo_violations),
-                latency.map_or("-".into(), |l| format!("{:.1}", l.p50 * 1e3)),
-                latency.map_or("-".into(), |l| format!("{:.1}", l.p95 * 1e3)),
-                latency.map_or("-".into(), |l| format!("{:.1}", l.p99 * 1e3)),
+                ms(latency.map(|l| l.p50)),
+                ms(latency.map(|l| l.p95)),
+                ms(latency.map(|l| l.p99)),
             ]);
         }
         runs.push(annotated_run(&report, priority_arrivals, label, "none"));
@@ -336,7 +349,7 @@ fn main() {
             format!("{:.1}", report.idle_energy_joules),
             format!("{:.1}", report.total_energy_joules()),
             format!("{:.2}%", report.slo_attainment() * 100.0),
-            format!("{:.1}", report.latency.p99 * 1e3),
+            ms(report.latency.map(|l| l.p99)),
         ]);
         runs.push(annotated_run(
             &report,
@@ -363,12 +376,69 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
+    // Scenario 6: sharded vs whole-request dispatch. Light load on the
+    // 4-card fleet leaves idle pipelines at most dispatches — exactly
+    // when splitting a request's independent attention jobs across them
+    // (fan-out, completing at the last shard) pays off in latency.
+    let sharded_fleet = FleetConfig::standard(4);
+    let sharded_arrivals = ArrivalProcess::poisson(6.0);
+    let sharded_max = 4usize;
+    let mut runs = Vec::new();
+    let mut fanout_rows = Vec::new();
+    let mut cells: Vec<(&str, Box<dyn swat_serve::DispatchPolicy>)> = vec![
+        ("whole", Box::new(LeastLoaded)),
+        ("sharded-4", Box::new(ShardedLeastLoaded::new(sharded_max))),
+        ("whole", Box::new(ShortestJobFirst)),
+        (
+            "sharded-4",
+            Box::new(ShardedShortestJobFirst::new(sharded_max)),
+        ),
+    ];
+    for (label, policy) in &mut cells {
+        let report = run_cell(
+            &sharded_fleet,
+            sharded_arrivals,
+            &mut **policy,
+            AdmissionControl::admit_all(),
+            seed,
+            requests,
+        );
+        rows.push(summary_row(&format!("sharded/{label}"), &report));
+        fanout_rows.push(vec![
+            report.policy.clone(),
+            format!("{}", report.sharded_requests),
+            format!("{}", report.max_shards),
+            ms(report.latency.map(|l| l.p50)),
+            ms(report.latency.map(|l| l.p99)),
+            format!("{:.2}%", report.slo_attainment() * 100.0),
+        ]);
+        runs.push(annotated_run(&report, sharded_arrivals, "admit-all", label));
+    }
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("sharded".into())),
+        ("fleet", fleet_json(&sharded_fleet)),
+        ("max_shards", Json::Int(sharded_max as i64)),
+        ("runs", Json::Arr(runs)),
+    ]));
+
     print_table(
         &[
             "scenario", "arrivals", "policy", "rps", "p50 ms", "p95 ms", "p99 ms", "util", "max q",
             "slo viol", "rejected", "preempt", "scale", "swaps", "J",
         ],
         &rows,
+    );
+    println!("\nsharded scenario, fan-out vs whole-request (poisson, 4 cards):");
+    print_table(
+        &[
+            "policy",
+            "sharded reqs",
+            "max shards",
+            "p50 ms",
+            "p99 ms",
+            "slo attain",
+        ],
+        &fanout_rows,
     );
     println!("\nautoscale scenario, energy vs SLO (least-loaded, diurnal ramp):");
     print_table(

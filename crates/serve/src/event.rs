@@ -7,7 +7,7 @@
 //! - [`EventQueue`] replaces the old per-step O(n) rescan of every
 //!   in-flight completion with an O(log n) binary heap. Heaps only break
 //!   ties deterministically if the ordering key is total, so events order
-//!   by `(time, kind, card, request id)` with
+//!   by `(time, kind, card, request id, shard id)` with
 //!   `Arrival < Completion < Preemption < Warmed < ScaleCheck` — never
 //!   by insertion order, which is an implementation accident. The
 //!   extension points ride *after* `Completion` on purpose: a completion
@@ -28,7 +28,7 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BTreeMap, BinaryHeap};
 
-use crate::request::{CompletedRequest, Request};
+use crate::request::Request;
 
 /// What happens at an event's timestamp.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,10 +38,20 @@ pub enum Event {
         /// Index into the request slice handed to the simulator.
         index: usize,
     },
-    /// A dispatched request drains from its card.
+    /// One shard of a dispatched request drains from its card. The event
+    /// time is the shard's finish; the simulator's fan-in table decides
+    /// whether this was the request's last outstanding shard (request
+    /// completes) or whether siblings are still running. A shard id that
+    /// no longer matches a live in-flight slot is a tombstone — the stale
+    /// timer of a preempted shard — and is dropped at delivery.
     Completion {
-        /// The finished record; `record.finished` is the event time.
-        record: CompletedRequest,
+        /// Card the shard ran on.
+        card: usize,
+        /// Id of the request the shard belongs to.
+        id: u64,
+        /// Shard id, unique within the request's lifetime (a request
+        /// served whole is its own single shard, id 0).
+        shard: u32,
     },
     /// A preemption check: the request with this id has waited past the
     /// dispatcher's patience threshold. The simulator decides at delivery
@@ -76,12 +86,15 @@ struct HeapEntry {
     kind: u8,
     card: usize,
     id: u64,
+    /// Shard id, the final tie-break: two shards of one request on one
+    /// card (a dual-pipeline split) can finish at the same instant.
+    shard: u32,
     event: Event,
 }
 
 impl HeapEntry {
-    fn key(&self) -> (f64, u8, usize, u64) {
-        (self.time, self.kind, self.card, self.id)
+    fn key(&self) -> (f64, u8, usize, u64, u32) {
+        (self.time, self.kind, self.card, self.id, self.shard)
     }
 }
 
@@ -101,21 +114,22 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        let (t1, k1, c1, i1) = self.key();
-        let (t2, k2, c2, i2) = other.key();
+        let (t1, k1, c1, i1, s1) = self.key();
+        let (t2, k2, c2, i2, s2) = other.key();
         t1.total_cmp(&t2)
             .then(k1.cmp(&k2))
             .then(c1.cmp(&c2))
             .then(i1.cmp(&i2))
+            .then(s1.cmp(&s2))
     }
 }
 
 /// A deterministic min-heap of future events.
 ///
 /// Pops in `(time, Arrival < Completion < Preemption < Warmed <
-/// ScaleCheck, card index, request id)` order — the fixed tie-breaking
-/// the simulator's determinism contract is stated against. Times must be
-/// finite.
+/// ScaleCheck, card index, request id, shard id)` order — the fixed
+/// tie-breaking the simulator's determinism contract is stated against.
+/// Times must be finite.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<HeapEntry>>,
@@ -150,23 +164,26 @@ impl EventQueue {
             kind: 0,
             card: 0,
             id,
+            shard: 0,
             event: Event::Arrival { index },
         }));
     }
 
-    /// Schedules `record`'s completion at `record.finished`.
+    /// Schedules the completion of request `id`'s shard `shard` on `card`
+    /// at `time` (the shard's finish instant).
     ///
     /// # Panics
     ///
-    /// Panics if the finish time is not finite.
-    pub fn push_completion(&mut self, record: CompletedRequest) {
-        assert!(record.finished.is_finite(), "event times must be finite");
+    /// Panics if `time` is not finite.
+    pub fn push_completion(&mut self, time: f64, card: usize, id: u64, shard: u32) {
+        assert!(time.is_finite(), "event times must be finite");
         self.heap.push(Reverse(HeapEntry {
-            time: record.finished,
+            time,
             kind: 1,
-            card: record.card,
-            id: record.request.id,
-            event: Event::Completion { record },
+            card,
+            id,
+            shard,
+            event: Event::Completion { card, id, shard },
         }));
     }
 
@@ -182,6 +199,7 @@ impl EventQueue {
             kind: 2,
             card: 0,
             id,
+            shard: 0,
             event: Event::Preemption { id },
         }));
     }
@@ -199,6 +217,7 @@ impl EventQueue {
             kind: 3,
             card,
             id: 0,
+            shard: 0,
             event: Event::Warmed { card },
         }));
     }
@@ -215,6 +234,7 @@ impl EventQueue {
             kind: 4,
             card: 0,
             id: 0,
+            shard: 0,
             event: Event::ScaleCheck,
         }));
     }
@@ -283,6 +303,18 @@ impl PriorityQueue {
         self.map.contains_key(&key)
     }
 
+    /// Removes and returns the queued request with this
+    /// [`Request::rank_key`], if present — how a second preempted shard
+    /// of one request merges into its already-queued remnant instead of
+    /// colliding with it.
+    pub fn remove(&mut self, key: (u8, u64)) -> Option<Request> {
+        let removed = self.map.remove(&key);
+        if removed.is_some() {
+            self.dirty = true;
+        }
+        removed
+    }
+
     /// The queue in dispatch order, as a slice for policies. Rebuilt into
     /// a reusable buffer only when the queue changed since the last call.
     pub fn view(&mut self) -> &[Request] {
@@ -332,44 +364,44 @@ mod tests {
         }
     }
 
-    fn completion(id: u64, card: usize, finished: f64) -> CompletedRequest {
-        CompletedRequest {
-            request: Request::new(id, 0.0, shape()),
-            dispatched: 0.0,
-            finished,
-            card,
-            pipeline: 0,
-        }
-    }
-
     #[test]
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
-        q.push_completion(completion(0, 0, 3.0));
+        q.push_completion(3.0, 0, 0, 0);
         q.push_arrival(1.0, 1, 1);
-        q.push_completion(completion(2, 1, 2.0));
+        q.push_completion(2.0, 1, 2, 0);
         let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
         assert_eq!(times, [1.0, 2.0, 3.0]);
     }
 
     #[test]
-    fn ties_break_arrival_then_card_then_id() {
+    fn ties_break_arrival_then_card_then_id_then_shard() {
         let mut q = EventQueue::new();
-        q.push_completion(completion(9, 1, 1.0));
-        q.push_completion(completion(4, 0, 1.0));
-        q.push_completion(completion(2, 0, 1.0));
+        q.push_completion(1.0, 1, 9, 0);
+        q.push_completion(1.0, 0, 4, 1);
+        q.push_completion(1.0, 0, 4, 0);
+        q.push_completion(1.0, 0, 2, 0);
         q.push_arrival(1.0, 7, 7);
-        assert_eq!(q.len(), 4);
-        let order: Vec<(u8, usize, u64)> = std::iter::from_fn(|| q.pop())
+        assert_eq!(q.len(), 5);
+        let order: Vec<(u8, usize, u64, u32)> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
-                Event::Arrival { index } => (0, 0, index as u64),
-                Event::Completion { record } => (1, record.card, record.request.id),
-                Event::Preemption { id } => (2, 0, id),
-                Event::Warmed { card } => (3, card, 0),
-                Event::ScaleCheck => (4, 0, 0),
+                Event::Arrival { index } => (0, 0, index as u64, 0),
+                Event::Completion { card, id, shard } => (1, card, id, shard),
+                Event::Preemption { id } => (2, 0, id, 0),
+                Event::Warmed { card } => (3, card, 0, 0),
+                Event::ScaleCheck => (4, 0, 0, 0),
             })
             .collect();
-        assert_eq!(order, [(0, 0, 7), (1, 0, 2), (1, 0, 4), (1, 1, 9)]);
+        assert_eq!(
+            order,
+            [
+                (0, 0, 7, 0),
+                (1, 0, 2, 0),
+                (1, 0, 4, 0),
+                (1, 0, 4, 1),
+                (1, 1, 9, 0)
+            ]
+        );
         assert!(q.is_empty());
     }
 
@@ -383,7 +415,7 @@ mod tests {
         q.push_scale_check(1.0);
         q.push_warmed(1.0, 3);
         q.push_preemption(1.0, 9);
-        q.push_completion(completion(5, 0, 1.0));
+        q.push_completion(1.0, 0, 5, 0);
         q.push_arrival(1.0, 0, 2);
         let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
@@ -399,19 +431,16 @@ mod tests {
 
     #[test]
     fn tie_order_is_independent_of_insertion_order() {
-        let entries = [
-            completion(3, 1, 2.0),
-            completion(1, 0, 2.0),
-            completion(2, 0, 2.0),
-        ];
+        let entries = [(2.0, 1usize, 3u64), (2.0, 0, 1), (2.0, 0, 2)];
         let drain = |order: &[usize]| -> Vec<u64> {
             let mut q = EventQueue::new();
             for &i in order {
-                q.push_completion(entries[i]);
+                let (t, card, id) = entries[i];
+                q.push_completion(t, card, id, 0);
             }
             std::iter::from_fn(|| q.pop())
                 .map(|(_, e)| match e {
-                    Event::Completion { record } => record.request.id,
+                    Event::Completion { id, .. } => id,
                     _ => unreachable!(),
                 })
                 .collect()
@@ -445,6 +474,19 @@ mod tests {
         q.push(Request::classed(2, 0.0, shape(), RequestClass::Background));
         let head = q.take(0);
         assert_eq!(head.id, 1);
+    }
+
+    #[test]
+    fn remove_by_key_takes_the_exact_request() {
+        let mut q = PriorityQueue::new();
+        let a = Request::classed(0, 0.0, shape(), RequestClass::Batch);
+        let b = Request::classed(1, 0.0, shape(), RequestClass::Interactive);
+        q.push(a);
+        q.push(b);
+        assert_eq!(q.remove(a.rank_key()).map(|r| r.id), Some(0));
+        assert_eq!(q.remove(a.rank_key()), None, "already gone");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.view()[0].id, 1);
     }
 
     #[test]

@@ -196,7 +196,8 @@ pub struct Card {
     busy_seconds: f64,
     /// Active-service energy.
     energy_joules: f64,
-    /// Requests dispatched to this card.
+    /// Shard dispatches to this card (equals requests served for
+    /// whole-request policies; a split request counts once per shard).
     served: u64,
     /// Requests checkpointed-and-requeued off this card by preemption.
     preempted: u64,
@@ -267,7 +268,8 @@ impl Card {
         self.agenda.backlog_seconds(now)
     }
 
-    /// Requests dispatched so far.
+    /// Shard dispatches so far (equals requests served for whole-request
+    /// policies).
     pub fn served(&self) -> u64 {
         self.served
     }
@@ -450,7 +452,10 @@ impl Card {
     /// scheduled — a resumed request skips its checkpointed prefix but
     /// pays [`Card::restart_seconds`] on top of any weight swap. When
     /// `trace` is set, one [`Placement`] per admitted job is recorded into
-    /// `placements`.
+    /// `placements`. The whole-fragment special case of
+    /// [`Card::admit_jobs`]; the simulator dispatches through the sharded
+    /// form, so this wrapper survives as the test-suite vocabulary.
+    #[cfg(test)]
     pub(crate) fn admit(
         &mut self,
         request: &Request,
@@ -458,9 +463,42 @@ impl Card {
         trace: bool,
         placements: &mut Vec<Placement>,
     ) -> Admission {
+        self.admit_jobs(
+            request,
+            request.jobs_done,
+            request.remaining_jobs(),
+            now,
+            trace,
+            placements,
+        )
+    }
+
+    /// Admits one **shard** of a request at `now` onto this card's
+    /// earliest-free pipeline: `count` jobs starting at enumeration
+    /// offset `skip` in the `batch × layers × heads` grid. [`Card::admit`]
+    /// is the whole-fragment special case. Each shard pays the weight
+    /// swap if the family is not yet resident on *this* card (the first
+    /// shard streams it in; later shards on the same card find it
+    /// resident) and, for a resumed request, its own restart penalty —
+    /// every pipeline re-streams the interrupted context independently.
+    pub(crate) fn admit_jobs(
+        &mut self,
+        request: &Request,
+        skip: usize,
+        count: usize,
+        now: f64,
+        trace: bool,
+        placements: &mut Vec<Placement>,
+    ) -> Admission {
         let shape = &request.shape;
-        assert!(request.remaining_jobs() > 0, "request has no work left");
-        // Streams sharing the interface while this request runs: every
+        assert!(count > 0, "a shard must carry at least one job");
+        assert!(
+            skip + count <= shape.jobs(),
+            "job range {skip}..{} outside the {}-job grid",
+            skip + count,
+            shape.jobs()
+        );
+        // Streams sharing the interface while this shard runs: every
         // pipeline busy at dispatch, plus this one.
         let streams = self.pipelines() - self.idle_pipelines(now) + 1;
         let per_job = self.job_seconds(shape, streams);
@@ -487,15 +525,20 @@ impl Card {
         // untraced runs produce bit-identical timing; tracing only
         // controls whether the placements are kept.
         let mut finish = now;
-        let mut skip = request.jobs_done;
+        let mut skip = skip;
+        let mut left = count;
         let mut first = true;
-        for b in 0..shape.batch {
+        'grid: for b in 0..shape.batch {
             for l in 0..shape.layers {
                 for h in 0..shape.heads {
                     if skip > 0 {
                         skip -= 1;
                         continue;
                     }
+                    if left == 0 {
+                        break 'grid;
+                    }
+                    left -= 1;
                     let duration = if first { stall + per_job } else { per_job };
                     first = false;
                     let p = self.agenda.admit_on(
@@ -728,6 +771,54 @@ mod tests {
         assert_eq!(card.resident_family(), Some((4, 2)));
         assert!(card.energy_joules() > 0.0);
         assert!((card.busy_seconds() - (a0.finish + a1.finish)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_admission_splits_the_job_grid() {
+        // 8 jobs split 5 + 3 across the card's two pipelines: each shard
+        // lands on its own pipeline, together they place the whole grid
+        // exactly once, and each shard beats the whole-request twin.
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut whole_fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let r = request(0, shape());
+        let whole = whole_fleet
+            .card_mut(0)
+            .admit(&r, 0.0, false, &mut placements);
+        placements.clear();
+        let a = fleet
+            .card_mut(0)
+            .admit_jobs(&r, 0, 5, 0.0, true, &mut placements);
+        let b = fleet
+            .card_mut(0)
+            .admit_jobs(&r, 5, 3, 0.0, true, &mut placements);
+        assert_eq!(placements.len(), 8);
+        assert_ne!(a.pipeline, b.pipeline);
+        // Every (batch, layer, head) job appears exactly once.
+        let mut jobs: Vec<(usize, usize, usize)> = placements
+            .iter()
+            .map(|p| (p.job.batch, p.job.layer, p.job.head))
+            .collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        assert_eq!(jobs.len(), 8);
+        // The first shard pays the swap; the co-resident second does not.
+        assert!(a.stall_seconds > 0.0);
+        assert_eq!(b.stall_seconds, 0.0);
+        // Fan-in beats the serial whole-request admission.
+        assert!(a.finish < whole.finish && b.finish < whole.finish);
+        assert_eq!(fleet.cards()[0].served(), 2, "one count per shard");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn sharded_admission_rejects_ranges_past_the_grid() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let r = request(0, shape()); // 8 jobs
+        let _ = fleet
+            .card_mut(0)
+            .admit_jobs(&r, 6, 3, 0.0, false, &mut placements);
     }
 
     #[test]

@@ -30,7 +30,12 @@
 //! background), wait in an order-stable priority queue — or are shed by
 //! [`sim::AdmissionControl`]'s per-class admission budgets under
 //! overload — and are dispatched to cards by a pluggable
-//! [`policy::DispatchPolicy`]. Fleets are heterogeneous:
+//! [`policy::DispatchPolicy`]. Because a request's `batch × layers ×
+//! heads` attention jobs are independent, a split-aware policy
+//! ([`policy::ShardedLeastLoaded`], [`policy::ShardedShortestJobFirst`])
+//! can **shard** one request across several idle pipelines — on one card
+//! or spanning cards within a group — and the request completes when its
+//! last shard drains. Fleets are heterogeneous:
 //! [`fleet::FleetConfig`] is a list of [`fleet::CardGroup`]s (count ×
 //! design × memory), and policies rank cards by calibrated per-card
 //! service-time estimates.
@@ -68,7 +73,8 @@
 //! let fleet = FleetConfig::mixed_precision(4, 2);
 //! let report = simulate(&fleet, &mut LeastLoaded, &traffic.requests(500), false);
 //! assert_eq!(report.completed, 500);
-//! assert!(report.latency.p99 >= report.latency.p50);
+//! let latency = report.latency.expect("every request completed");
+//! assert!(latency.p99 >= latency.p50);
 //! assert_eq!(report.groups.len(), 2);
 //! ```
 
@@ -85,7 +91,7 @@ pub mod sim;
 pub use arrival::ArrivalProcess;
 pub use fleet::{CardGroup, FleetConfig};
 pub use metrics::ServeReport;
-pub use policy::DispatchPolicy;
+pub use policy::{DispatchPolicy, ShardedLeastLoaded, ShardedShortestJobFirst};
 pub use request::Request;
 pub use scale::{Autoscaler, AutoscalerConfig, ScaleEvent};
 pub use sim::{serve, simulate, AdmissionControl, PreemptionControl, Simulation, TrafficSpec};

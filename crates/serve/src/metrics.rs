@@ -44,7 +44,7 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     fn from_latencies(mut latencies: Vec<f64>) -> LatencySummary {
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        latencies.sort_by(f64::total_cmp);
         let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
         LatencySummary {
             p50: percentile(&latencies, 0.50),
@@ -301,12 +301,22 @@ pub struct ServeReport {
     pub completed: usize,
     /// Requests shed by admission control before queueing.
     pub rejected: usize,
-    /// Seconds from first arrival to last completion.
+    /// Completions that a split-aware policy fanned out across more than
+    /// one pipeline (peak shard width > 1).
+    pub sharded_requests: usize,
+    /// Largest peak shard width any completion reached (1 on
+    /// whole-request policies; 0 only when nothing completed).
+    pub max_shards: usize,
+    /// Seconds from first arrival to last completion (0 when nothing
+    /// completed, e.g. the whole trace was shed by admission control).
     pub makespan: f64,
-    /// Completed requests per second of makespan.
+    /// Completed requests per second of makespan (0 for a zero-makespan
+    /// run).
     pub throughput_rps: f64,
-    /// Arrival-to-completion latency summary over all completions.
-    pub latency: LatencySummary,
+    /// Arrival-to-completion latency summary over all completions
+    /// (`None` when nothing completed — there is no distribution to
+    /// summarize).
+    pub latency: Option<LatencySummary>,
     /// Per-priority-class accounting (only classes present in the trace).
     pub classes: Vec<ClassSummary>,
     /// Queue-depth profile.
@@ -336,11 +346,8 @@ pub struct ServeReport {
 impl ServeReport {
     /// Assembles the report from raw simulation outputs. `rejected` holds
     /// the requests admission control shed (empty when the knob is off).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `completed` is empty — a serving run with zero
-    /// completions has no distribution to summarize.
+    /// A run with zero completions — every request shed — produces a
+    /// fully finite report: zero makespan and throughput, `None` latency.
     // One argument per raw simulation output: bundling them into a
     // struct would just move the same nine names one level down.
     #[allow(clippy::too_many_arguments)]
@@ -355,14 +362,17 @@ impl ServeReport {
         scaling: Vec<ScaleEvent>,
         placements: Vec<(usize, Placement)>,
     ) -> ServeReport {
-        assert!(!completed.is_empty(), "cannot summarize an empty run");
         let latencies: Vec<f64> = completed.iter().map(CompletedRequest::latency).collect();
         let first_arrival = completed
             .iter()
             .map(|c| c.request.arrival)
             .fold(f64::INFINITY, f64::min);
         let last_finish = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
-        let makespan = last_finish - first_arrival;
+        let makespan = if completed.is_empty() {
+            0.0
+        } else {
+            last_finish - first_arrival
+        };
         let energy: f64 = cards.iter().map(|c| c.energy_joules).sum();
         let idle_energy: f64 = cards.iter().map(|c| c.idle_energy_joules).sum();
 
@@ -401,9 +411,19 @@ impl ServeReport {
             offered: completed.len() + rejected.len(),
             completed: completed.len(),
             rejected: rejected.len(),
+            sharded_requests: completed.iter().filter(|c| c.shards > 1).count(),
+            max_shards: completed
+                .iter()
+                .map(|c| c.shards as usize)
+                .max()
+                .unwrap_or(0),
             makespan,
-            throughput_rps: completed.len() as f64 / makespan,
-            latency: LatencySummary::from_latencies(latencies),
+            throughput_rps: if makespan > 0.0 {
+                completed.len() as f64 / makespan
+            } else {
+                0.0
+            },
+            latency: (!latencies.is_empty()).then(|| LatencySummary::from_latencies(latencies)),
             classes,
             queue,
             cards,
@@ -417,8 +437,11 @@ impl ServeReport {
         }
     }
 
-    /// Mean utilization across cards.
+    /// Mean utilization across cards (0 for a cardless report).
     pub fn fleet_utilization(&self) -> f64 {
+        if self.cards.is_empty() {
+            return 0.0;
+        }
         self.cards.iter().map(|c| c.utilization).sum::<f64>() / self.cards.len() as f64
     }
 
@@ -445,10 +468,21 @@ impl ServeReport {
         self.energy_joules + self.idle_energy_joules
     }
 
-    /// Fraction of completions that met their SLO, in `[0, 1]` — the
-    /// service side of the energy-vs-SLO tradeoff.
+    /// Fraction of **offered** requests that completed within their SLO,
+    /// in `[0, 1]` — the service side of the energy-vs-SLO tradeoff.
+    ///
+    /// The denominator is deliberately `offered`, not `completed`: a
+    /// request shed by admission control never met its objective, so
+    /// shedding 90% of traffic cannot report perfect attainment — the
+    /// aggressive-admission failure mode the old completions-only ratio
+    /// hid (and which divided 0/0 into NaN on a fully-shed run). The
+    /// empty case is defined explicitly: a report with nothing offered
+    /// has no request that missed its SLO, so attainment is 1.
     pub fn slo_attainment(&self) -> f64 {
-        (self.completed - self.slo_violations) as f64 / self.completed as f64
+        if self.offered == 0 {
+            return 1.0;
+        }
+        (self.completed - self.slo_violations) as f64 / self.offered as f64
     }
 
     /// Serializes the summary (everything except the placement trace).
@@ -459,9 +493,14 @@ impl ServeReport {
             ("offered", Json::Int(self.offered as i64)),
             ("completed", Json::Int(self.completed as i64)),
             ("rejected", Json::Int(self.rejected as i64)),
+            ("sharded_requests", Json::Int(self.sharded_requests as i64)),
+            ("max_shards", Json::Int(self.max_shards as i64)),
             ("makespan_s", Json::Num(self.makespan)),
             ("throughput_rps", Json::Num(self.throughput_rps)),
-            ("latency", self.latency.to_json()),
+            (
+                "latency",
+                Json::maybe(self.latency, LatencySummary::to_json),
+            ),
             (
                 "classes",
                 Json::arr(self.classes.iter().map(ClassSummary::to_json)),
@@ -546,6 +585,7 @@ mod tests {
             finished,
             card: 0,
             pipeline: 0,
+            shards: 1,
         }
     }
 
@@ -588,9 +628,12 @@ mod tests {
         assert_eq!(report.completed, 3);
         assert_eq!(report.offered, 3);
         assert_eq!(report.rejected, 0);
+        assert_eq!(report.sharded_requests, 0);
+        assert_eq!(report.max_shards, 1);
         assert!((report.makespan - 3.0).abs() < 1e-12);
         assert!((report.throughput_rps - 1.0).abs() < 1e-12);
-        assert!(report.latency.p99 >= report.latency.p50);
+        let latency = report.latency.unwrap();
+        assert!(latency.p99 >= latency.p50);
         assert_eq!(report.energy_joules, 2.0);
         // All requests were interactive: exactly one class summary.
         assert_eq!(report.classes.len(), 1);
@@ -675,6 +718,115 @@ mod tests {
         assert_eq!(background.latency, None, "no completions, no percentiles");
         let json = report.to_json().pretty();
         assert!(json.contains("\"latency\": null"));
+    }
+
+    #[test]
+    fn empty_run_reports_finite_zeroes_and_valid_json() {
+        // Every request shed: nothing completed, yet every numeric field
+        // must stay finite and the JSON strictly valid.
+        let shed = [
+            Request::classed(0, 0.0, shape(), RequestClass::Background),
+            Request::classed(1, 0.5, shape(), RequestClass::Background),
+        ];
+        let report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &[],
+            &shed,
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(
+            (report.offered, report.completed, report.rejected),
+            (2, 0, 2)
+        );
+        assert_eq!(report.makespan, 0.0);
+        assert_eq!(report.throughput_rps, 0.0);
+        assert_eq!(report.latency, None);
+        assert_eq!(report.max_shards, 0);
+        assert_eq!(report.slo_attainment(), 0.0, "shed traffic met nothing");
+        assert!(report.slo_attainment().is_finite());
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"latency\": null"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        // The vacuous case: nothing offered at all → attainment 1.
+        let vacuous = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &[],
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(vacuous.slo_attainment(), 1.0);
+    }
+
+    #[test]
+    fn slo_attainment_counts_shed_requests_against_service() {
+        // One on-time completion, nine shed: attainment must be 0.1, not
+        // the 1.0 the completions-only ratio used to report.
+        let runs = [completed(0, 0.0, 1e-4)];
+        let shed: Vec<Request> = (1..10)
+            .map(|id| Request::classed(id, 0.0, shape(), RequestClass::Background))
+            .collect();
+        let report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            &shed,
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(report.slo_violations, 0, "the one completion was on time");
+        assert!((report.slo_attainment() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_counts_summarize_fanout() {
+        let mut wide = completed(1, 0.0, 0.2);
+        wide.shards = 3;
+        let runs = [completed(0, 0.0, 0.1), wide];
+        let report = ServeReport::assemble(
+            "least-loaded-sharded",
+            "poisson",
+            &runs,
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(report.sharded_requests, 1);
+        assert_eq!(report.max_shards, 3);
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"sharded_requests\": 1"));
+        assert!(json.contains("\"max_shards\": 3"));
     }
 
     #[test]

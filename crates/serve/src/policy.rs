@@ -17,6 +17,16 @@
 //! estimate — instead of assuming all cards are equally fast. On a
 //! homogeneous fleet the estimates tie on every card and each policy
 //! reduces exactly to its classic symmetric form.
+//!
+//! Policies may also be **split-aware**: because a request's
+//! `batch × layers × heads` attention jobs are independent, a policy can
+//! fan one request out across several idle pipelines — on one card or
+//! spanning cards within one group — via
+//! [`DispatchPolicy::choose_sharded`], and the request completes when its
+//! last shard drains. [`ShardedLeastLoaded`] and
+//! [`ShardedShortestJobFirst`] add a `max_shards` knob to the classic
+//! forms; `fifo` and `head-affinity` stay whole-request (head-affinity's
+//! whole point is keeping a family on one home card).
 
 use crate::request::Request;
 use swat_workloads::RequestShape;
@@ -34,7 +44,8 @@ pub struct CardView {
     pub idle_pipelines: usize,
     /// Committed pipeline-seconds of work beyond now.
     pub backlog_seconds: f64,
-    /// Requests dispatched to this card so far.
+    /// Shard dispatches to this card so far (equals requests served for
+    /// whole-request policies; a split request counts once per shard).
     pub served: u64,
     /// Calibrated isolated service seconds per attended token on this
     /// card ([`Card::seconds_per_token`](crate::fleet::Card)): how
@@ -53,6 +64,17 @@ impl CardView {
 /// A dispatch decision: which queued request runs on which card.
 pub type Dispatch = (usize, usize);
 
+/// A split-aware dispatch decision: the queued request at the first
+/// index fans out across the listed cards, one shard per entry (an entry
+/// may repeat a card — two pipelines of a dual card). All entries must
+/// share one card group, so within one dispatch every shard runs the
+/// same design and the fan-in is not dominated by a slower-precision
+/// straggler. The invariant is per *plan*, not per request lifetime: a
+/// preempted remnant may later resume on a different group than its
+/// still-running siblings — capacity now beats group affinity for work
+/// that already lost its slot once.
+pub type ShardedDispatch = (usize, Vec<usize>);
+
 /// Chooses the next (queue index, card index) dispatch.
 pub trait DispatchPolicy {
     /// Policy name for reports.
@@ -62,24 +84,75 @@ pub trait DispatchPolicy {
     /// `queue` is priority-ordered (class rank, then arrival); `cards` is
     /// indexed by card id.
     fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch>;
+
+    /// Picks the next dispatch with optional fan-out: the queued request
+    /// splits its independent attention jobs across one shard per listed
+    /// card. The default wraps [`DispatchPolicy::choose`] as a single
+    /// whole-request shard, so existing policies stay whole-request
+    /// without opting in. The simulator enforces the [`ShardedDispatch`]
+    /// contract: non-empty plan, one idle pipeline per entry, all
+    /// entries in one card group. Plans longer than the request's
+    /// remaining jobs are truncated (a shard carries at least one job).
+    fn choose_sharded(
+        &mut self,
+        now: f64,
+        queue: &[Request],
+        cards: &[CardView],
+    ) -> Option<ShardedDispatch> {
+        self.choose(now, queue, cards)
+            .map(|(qi, card)| (qi, vec![card]))
+    }
 }
 
-/// The idle card that would finish `shape` soonest: smallest committed
-/// backlog plus estimated service time (ties to the lowest index), or
-/// `None` if every pipeline is busy. On a homogeneous fleet the estimate
-/// is the same on every card, so this reduces to classic
+/// The total order "which idle card finishes `shape` soonest": smallest
+/// committed backlog plus estimated service time, ties to the lowest
+/// card index. The one comparator behind both [`soonest_idle`] and
+/// [`shard_targets`], so the whole-request pick and the sharded plan's
+/// first entry can never drift apart.
+fn finish_rank(a: &CardView, b: &CardView, shape: &RequestShape) -> std::cmp::Ordering {
+    (a.backlog_seconds + a.service_estimate(shape))
+        .total_cmp(&(b.backlog_seconds + b.service_estimate(shape)))
+        .then(a.card.cmp(&b.card))
+}
+
+/// The idle card that would finish `shape` soonest (by [`finish_rank`]),
+/// or `None` if every pipeline is busy. On a homogeneous fleet the
+/// estimate is the same on every card, so this reduces to classic
 /// join-the-least-loaded-queue.
 fn soonest_idle(cards: &[CardView], shape: &RequestShape) -> Option<usize> {
     cards
         .iter()
         .filter(|c| c.idle_pipelines > 0)
-        .min_by(|a, b| {
-            (a.backlog_seconds + a.service_estimate(shape))
-                .partial_cmp(&(b.backlog_seconds + b.service_estimate(shape)))
-                .expect("backlogs and estimates are finite")
-                .then(a.card.cmp(&b.card))
-        })
+        .min_by(|a, b| finish_rank(a, b, shape))
         .map(|c| c.card)
+}
+
+/// Up to `max_shards` idle pipelines for `shape`, soonest-finishing
+/// first by [`finish_rank`] — the shard plan the split-aware policies
+/// share. All entries stay within one card group: the group of the
+/// soonest-finishing idle card, which is also always the plan's first
+/// entry (the card whole-request dispatch would have picked), so
+/// `max_shards == 1` reduces exactly to the unsharded policy. Returns
+/// `None` when every pipeline is busy.
+pub fn shard_targets(
+    cards: &[CardView],
+    shape: &RequestShape,
+    max_shards: usize,
+) -> Option<Vec<usize>> {
+    assert!(max_shards > 0, "a dispatch needs at least one shard");
+    let mut idle: Vec<&CardView> = cards.iter().filter(|c| c.idle_pipelines > 0).collect();
+    idle.sort_by(|a, b| finish_rank(a, b, shape));
+    let group = idle.first()?.group;
+    let mut plan = Vec::with_capacity(max_shards);
+    'fill: for c in idle.iter().filter(|c| c.group == group) {
+        for _ in 0..c.idle_pipelines {
+            plan.push(c.card);
+            if plan.len() == max_shards {
+                break 'fill;
+            }
+        }
+    }
+    Some(plan)
 }
 
 /// First come, first served, onto the fastest idle card (ties to the
@@ -138,20 +211,109 @@ impl DispatchPolicy for LeastLoaded {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShortestJobFirst;
 
+/// The smallest waiting request within the highest waiting class — the
+/// SJF pick, shared by the whole-request and sharded variants.
+fn shortest_in_head_class(queue: &[Request]) -> Option<(usize, &Request)> {
+    let head_class = queue.first()?.class;
+    queue
+        .iter()
+        .enumerate()
+        .take_while(|(_, r)| r.class == head_class)
+        .min_by_key(|(i, r)| (r.shape.work_tokens(), *i))
+}
+
 impl DispatchPolicy for ShortestJobFirst {
     fn name(&self) -> &'static str {
         "shortest-job-first"
     }
 
     fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
-        let head_class = queue.first()?.class;
-        let (qi, request) = queue
-            .iter()
-            .enumerate()
-            .take_while(|(_, r)| r.class == head_class)
-            .min_by_key(|(i, r)| (r.shape.work_tokens(), *i))?;
+        let (qi, request) = shortest_in_head_class(queue)?;
         let card = soonest_idle(cards, &request.shape)?;
         Some((qi, card))
+    }
+}
+
+/// [`LeastLoaded`] with fan-out: the head request's independent attention
+/// jobs split across up to `max_shards` idle pipelines of one card group
+/// (soonest-finishing pipelines first), completing at its last shard.
+/// `max_shards == 1` is exactly `least-loaded`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedLeastLoaded {
+    /// Most pipelines one request may fan out across (at least 1).
+    pub max_shards: usize,
+}
+
+impl ShardedLeastLoaded {
+    /// A split-aware least-loaded policy fanning out up to `max_shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_shards` is zero.
+    pub fn new(max_shards: usize) -> ShardedLeastLoaded {
+        assert!(max_shards > 0, "a dispatch needs at least one shard");
+        ShardedLeastLoaded { max_shards }
+    }
+}
+
+impl DispatchPolicy for ShardedLeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded-sharded"
+    }
+
+    fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+        LeastLoaded.choose(now, queue, cards)
+    }
+
+    fn choose_sharded(
+        &mut self,
+        _now: f64,
+        queue: &[Request],
+        cards: &[CardView],
+    ) -> Option<ShardedDispatch> {
+        let request = queue.first()?;
+        Some((0, shard_targets(cards, &request.shape, self.max_shards)?))
+    }
+}
+
+/// [`ShortestJobFirst`] with fan-out: the SJF pick splits across up to
+/// `max_shards` idle pipelines of one card group. `max_shards == 1` is
+/// exactly `shortest-job-first`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedShortestJobFirst {
+    /// Most pipelines one request may fan out across (at least 1).
+    pub max_shards: usize,
+}
+
+impl ShardedShortestJobFirst {
+    /// A split-aware SJF policy fanning out up to `max_shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_shards` is zero.
+    pub fn new(max_shards: usize) -> ShardedShortestJobFirst {
+        assert!(max_shards > 0, "a dispatch needs at least one shard");
+        ShardedShortestJobFirst { max_shards }
+    }
+}
+
+impl DispatchPolicy for ShardedShortestJobFirst {
+    fn name(&self) -> &'static str {
+        "shortest-job-first-sharded"
+    }
+
+    fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+        ShortestJobFirst.choose(now, queue, cards)
+    }
+
+    fn choose_sharded(
+        &mut self,
+        _now: f64,
+        queue: &[Request],
+        cards: &[CardView],
+    ) -> Option<ShardedDispatch> {
+        let (qi, request) = shortest_in_head_class(queue)?;
+        Some((qi, shard_targets(cards, &request.shape, self.max_shards)?))
     }
 }
 
@@ -328,6 +490,59 @@ mod tests {
         cards[(home + 1) % 3].backlog_seconds = 5.0;
         let expect = (home + 2) % 3;
         assert_eq!(HeadAffinity.choose(0.0, &queue, &cards), Some((0, expect)));
+    }
+
+    #[test]
+    fn shard_targets_fill_soonest_pipelines_within_one_group() {
+        let r = request(0, 1024);
+        // Card 1 is least loaded, card 0 next; card 2 is another group.
+        let mut other_group = view(2, 2, 0.0);
+        other_group.group = 1;
+        let cards = [view(0, 2, 1.0), view(1, 1, 0.0), other_group];
+        let plan = shard_targets(&cards, &r.shape, 4).unwrap();
+        assert_eq!(plan, [1, 0, 0], "soonest first, never across groups");
+        // max_shards caps the fan-out; 1 reduces to whole-request.
+        assert_eq!(shard_targets(&cards, &r.shape, 2).unwrap(), [1, 0]);
+        assert_eq!(shard_targets(&cards, &r.shape, 1).unwrap(), [1]);
+        // Full fleet: no plan.
+        let busy = [view(0, 0, 1.0)];
+        assert_eq!(shard_targets(&busy, &r.shape, 3), None);
+    }
+
+    #[test]
+    fn sharded_policies_reduce_to_their_whole_request_forms() {
+        let queue = [request(0, 8192), request(1, 512)];
+        let cards = [view(0, 1, 3.0), view(1, 1, 1.0)];
+        assert_eq!(
+            ShardedLeastLoaded::new(1).choose_sharded(0.0, &queue, &cards),
+            Some((0, vec![1]))
+        );
+        assert_eq!(
+            LeastLoaded.choose(0.0, &queue, &cards),
+            Some((0, 1)),
+            "same pick as the unsharded policy"
+        );
+        // SJF variant keeps the within-class reorder.
+        assert_eq!(
+            ShardedShortestJobFirst::new(2).choose_sharded(0.0, &queue, &cards),
+            Some((1, vec![1, 0]))
+        );
+        // Default choose_sharded wraps choose as one whole shard.
+        assert_eq!(
+            Fifo.choose_sharded(0.0, &queue, &cards),
+            Some((0, vec![0])),
+            "fifo ties to the lowest idle card"
+        );
+        // Both sharded policies wait when the fleet is full or queue empty.
+        let busy = [view(0, 0, 0.0)];
+        assert_eq!(
+            ShardedLeastLoaded::new(3).choose_sharded(0.0, &queue, &busy),
+            None
+        );
+        assert_eq!(
+            ShardedShortestJobFirst::new(3).choose_sharded(0.0, &[], &cards),
+            None
+        );
     }
 
     #[test]

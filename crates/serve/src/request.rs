@@ -15,13 +15,19 @@ pub struct Request {
     pub class: RequestClass,
     /// Latency objective, seconds from arrival to completion.
     pub slo_seconds: f64,
-    /// Attention jobs already checkpointed by earlier preempted attempts
-    /// (0 for a fresh request). A resumed request only replays its
-    /// remaining `shape.jobs() - jobs_done` jobs.
+    /// First job (in `batch × layers × heads` enumeration order) this
+    /// queue entry still has to run: jobs before it were checkpointed by
+    /// earlier preempted attempts, or belong to sibling shards still in
+    /// flight (0 for a fresh request).
     pub jobs_done: usize,
-    /// Times this request has been preempted. A non-zero count marks a
-    /// resumed request, which pays a restart penalty on re-dispatch (see
-    /// [`crate::fleet::Card::restart_seconds`]).
+    /// Exclusive end of this queue entry's job range: `shape.jobs()` for
+    /// a whole request. A requeued preempted **shard** stops at its
+    /// shard's boundary — its siblings' jobs are owned elsewhere and the
+    /// simulator's fan-in bookkeeping joins them back up.
+    pub jobs_end: usize,
+    /// Times this request has been preempted (any shard). A non-zero
+    /// count marks a resumed request, which pays a restart penalty on
+    /// re-dispatch (see [`crate::fleet::Card::restart_seconds`]).
     pub preemptions: u32,
 }
 
@@ -63,6 +69,7 @@ impl Request {
             class,
             slo_seconds: Request::class_slo(class, &shape),
             jobs_done: 0,
+            jobs_end: shape.jobs(),
             preemptions: 0,
         }
     }
@@ -76,10 +83,12 @@ impl Request {
         (self.class.rank(), self.id)
     }
 
-    /// Attention jobs still to run: the full `shape.jobs()` grid minus
-    /// what earlier preempted attempts already checkpointed.
+    /// Attention jobs this queue entry still has to run: its job range
+    /// minus what earlier preempted attempts already checkpointed. For a
+    /// whole request this is the full `shape.jobs()` grid; for a requeued
+    /// preempted shard, only that shard's unfinished tail.
     pub fn remaining_jobs(&self) -> usize {
-        self.shape.jobs() - self.jobs_done
+        self.jobs_end - self.jobs_done
     }
 }
 
@@ -90,12 +99,18 @@ pub struct CompletedRequest {
     pub request: Request,
     /// When a card started executing it.
     pub dispatched: f64,
-    /// When its last job drained.
+    /// When its last job drained (for a sharded request, the fan-in
+    /// instant: the finish of its slowest shard).
     pub finished: f64,
-    /// Card that served it.
+    /// Card that served it (for a sharded request, the card whose shard
+    /// drained last).
     pub card: usize,
-    /// Pipeline within the card.
+    /// Pipeline within the card (likewise, the last-draining shard's).
     pub pipeline: usize,
+    /// Peak number of shards this request had in flight at once: 1 for a
+    /// request served whole, more when a split-aware policy fanned its
+    /// jobs out across several pipelines.
+    pub shards: u32,
 }
 
 impl CompletedRequest {
@@ -166,6 +181,7 @@ mod tests {
     fn fresh_requests_have_no_preemption_state() {
         let r = Request::classed(1, 0.0, shape(), RequestClass::Background);
         assert_eq!((r.jobs_done, r.preemptions), (0, 0));
+        assert_eq!(r.jobs_end, shape().jobs());
         assert_eq!(r.remaining_jobs(), shape().jobs());
         // A checkpointed request replays only its tail.
         let resumed = Request {
@@ -175,6 +191,14 @@ mod tests {
         };
         assert_eq!(resumed.remaining_jobs(), shape().jobs() - 5);
         assert_eq!(resumed.rank_key(), r.rank_key(), "requeue keeps the slot");
+        // A requeued preempted shard covers only its own job range.
+        let shard_remnant = Request {
+            jobs_done: 6,
+            jobs_end: 9,
+            preemptions: 1,
+            ..r
+        };
+        assert_eq!(shard_remnant.remaining_jobs(), 3);
     }
 
     #[test]
@@ -185,6 +209,7 @@ mod tests {
             finished: 2.0,
             card: 0,
             pipeline: 0,
+            shards: 1,
         };
         assert!((c.latency() - 1.0).abs() < 1e-12);
         assert!((c.queue_delay() - 0.5).abs() < 1e-12);

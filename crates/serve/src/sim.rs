@@ -8,27 +8,32 @@
 //! wakes the autoscaler when an idle card reaches park eligibility
 //! inside a quiet gap. A **dispatch** follows every
 //! event batch: the policy assigns queued requests to cards whenever both
-//! a request and an idle pipeline exist. A dispatched request normally
-//! occupies one pipeline of one card until all of its
-//! `batch × layers × heads` jobs drain, with service times from the
-//! card's calibrated timing model stretched by shared-memory contention
-//! (see [`crate::fleet::Card::job_seconds`]) — but under a
-//! [`PreemptionControl`] the dispatcher may checkpoint-and-requeue the
-//! youngest in-flight background job to make room for interactive work,
-//! releasing the pipeline capacity its unfinished jobs had reserved.
+//! a request and an idle pipeline exist. A dispatched request is split
+//! into one or more **shards** — because its `batch × layers × heads`
+//! attention jobs are independent, a split-aware policy
+//! ([`DispatchPolicy::choose_sharded`]) may fan them out across several
+//! idle pipelines of one card group, and the request completes when its
+//! *last* shard drains (fan-in). Whole-request policies are the
+//! single-shard special case. Service times come from the card's
+//! calibrated timing model stretched by shared-memory contention (see
+//! [`crate::fleet::Card::job_seconds`]). Under a [`PreemptionControl`]
+//! the dispatcher may checkpoint-and-requeue the youngest in-flight
+//! background **shard** to make room for interactive work: only that
+//! shard's unfinished jobs requeue (merging with any remnant of the same
+//! request already waiting), while its sibling shards keep running.
 //!
 //! The loop is driven by the [`crate::event::EventQueue`] binary heap, so
-//! advancing time is O(log n) in the number of in-flight requests instead
+//! advancing time is O(log n) in the number of in-flight shards instead
 //! of the O(n) rescan the first implementation did, and the per-dispatch
 //! [`CardView`] snapshots live in reusable scratch buffers. Determinism is
 //! structural: events order by
 //! `(time, Arrival < Completion < Preemption < Warmed < ScaleCheck, card,
-//! id)`, the
+//! id, shard)`, the
 //! waiting queue orders by `(class rank, id)`, and all randomness lives
 //! in the seeded generators upstream. Preempted completions are handled
 //! by tombstoning: the stale completion timer stays in the heap and is
-//! dropped at delivery when its attempt number no longer matches the
-//! in-flight table.
+//! dropped at delivery when its shard id no longer matches a live slot in
+//! the in-flight table.
 
 use std::collections::BTreeMap;
 
@@ -287,8 +292,9 @@ impl<'a> Simulation<'a> {
     /// Panics if `requests` is empty, not sorted by arrival time, or
     /// contains duplicate ids (ids must be unique — the dispatch queue and
     /// the event heap break ties by id, so duplicates would make the
-    /// schedule ambiguous); if the fleet configuration is invalid; or if
-    /// admission control sheds the entire trace.
+    /// schedule ambiguous); or if the fleet configuration is invalid. A
+    /// trace shed in its entirety by admission control is fine: the
+    /// report comes back with zero completions and finite metrics.
     pub fn run(&self, policy: &mut dyn DispatchPolicy, requests: &[Request]) -> ServeReport {
         assert!(!requests.is_empty(), "cannot simulate zero requests");
         assert!(
@@ -323,9 +329,11 @@ impl<'a> Simulation<'a> {
         // Reusable CardView scratch: one snapshot per card, refreshed in
         // place instead of reallocated per dispatch.
         let mut views: Vec<CardView> = Vec::with_capacity(fleet.cards().len());
-        // The live in-flight table, keyed by request id. Preemption
-        // removes entries; a completion whose attempt number no longer
-        // matches the table is a tombstone and is dropped at delivery.
+        // The live fan-in table, keyed by request id: every request with
+        // a shard in flight or a preempted remnant waiting in the queue.
+        // Preemption removes shard slots; a completion whose shard id no
+        // longer matches a live slot is a tombstone and is dropped at
+        // delivery.
         let mut in_flight: BTreeMap<u64, InFlight> = BTreeMap::new();
         let mut preemptions: Vec<PreemptionRecord> = Vec::new();
 
@@ -373,15 +381,27 @@ impl<'a> Simulation<'a> {
                             rejected.push(request);
                         }
                     }
-                    Event::Completion { record } => {
-                        let live = in_flight.get(&record.request.id).is_some_and(|f| {
-                            f.record.request.preemptions == record.request.preemptions
-                        });
-                        if live {
-                            in_flight.remove(&record.request.id);
-                            completed.push(record);
+                    Event::Completion { id, shard, .. } => {
+                        // Find the shard's live slot; a missing slot is
+                        // the stale timer of a preempted shard — drop it.
+                        if let Some(entry) = in_flight.get_mut(&id) {
+                            if let Some(si) = entry.shards.iter().position(|s| s.shard == shard) {
+                                let slot = entry.shards.remove(si);
+                                if entry.shards.is_empty() && entry.queued_jobs == 0 {
+                                    // Fan-in: the request's last
+                                    // outstanding shard just drained.
+                                    let done = in_flight.remove(&id).expect("entry exists");
+                                    completed.push(CompletedRequest {
+                                        request: done.request,
+                                        dispatched: done.dispatched,
+                                        finished: now,
+                                        card: slot.card,
+                                        pipeline: slot.pipeline,
+                                        shards: done.max_width,
+                                    });
+                                }
+                            }
                         }
-                        // Stale timer for a preempted attempt: drop it.
                     }
                     Event::Preemption { id } => {
                         // Still waiting? (Dispatched or shed means the
@@ -403,9 +423,9 @@ impl<'a> Simulation<'a> {
                             // request waits, so a no-victim firing with
                             // nothing in flight would re-fire as a no-op
                             // every threshold forever.
-                            let background_in_flight = in_flight
-                                .values()
-                                .any(|f| f.record.request.class == RequestClass::lowest());
+                            let background_in_flight = in_flight.values().any(|f| {
+                                f.request.class == RequestClass::lowest() && !f.shards.is_empty()
+                            });
                             if evicted || background_in_flight {
                                 let threshold = self
                                     .preemption
@@ -426,7 +446,10 @@ impl<'a> Simulation<'a> {
                     .then(|| events.pop().expect("peeked event must pop").1);
             }
 
-            // 3. Dispatch while the policy finds work and capacity.
+            // 3. Dispatch while the policy finds work and capacity. A
+            //    whole-request policy yields single-entry plans; a
+            //    split-aware one fans the request's jobs out across the
+            //    plan's pipelines, one shard per entry.
             views.clear();
             views.extend(
                 fleet
@@ -435,31 +458,87 @@ impl<'a> Simulation<'a> {
                     .enumerate()
                     .map(|(i, c)| card_view(i, c, now)),
             );
-            while let Some((qi, card)) = policy.choose(now, queue.view(), &views) {
+            while let Some((qi, plan)) = policy.choose_sharded(now, queue.view(), &views) {
                 assert!(
-                    views[card].idle_pipelines > 0,
-                    "policy {} dispatched to a busy card",
+                    !plan.is_empty(),
+                    "policy {} returned an empty shard plan",
                     policy.name()
                 );
-                let request = queue.take(qi);
-                scratch.clear();
-                let admission = fleet
-                    .card_mut(card)
-                    .admit(&request, now, self.trace, &mut scratch);
-                if self.trace {
-                    placements.extend(scratch.drain(..).map(|p| (card, p)));
+                let group = views[plan[0]].group;
+                let mut claimed: BTreeMap<usize, usize> = BTreeMap::new();
+                for &card in &plan {
+                    assert!(
+                        views[card].group == group,
+                        "policy {} sharded one request across card groups",
+                        policy.name()
+                    );
+                    *claimed.entry(card).or_insert(0) += 1;
                 }
-                let record = CompletedRequest {
+                for (&card, &shards) in &claimed {
+                    assert!(
+                        shards <= views[card].idle_pipelines,
+                        "policy {} dispatched to a busy card",
+                        policy.name()
+                    );
+                }
+                let request = queue.take(qi);
+                let id = request.id;
+                // A shard carries at least one job: cap the fan-out at
+                // the fragment's remaining job count.
+                let width = plan.len().min(request.remaining_jobs());
+                let entry = in_flight.entry(id).or_insert_with(|| InFlight {
                     request,
                     dispatched: now,
-                    finished: admission.finish,
-                    card,
-                    pipeline: admission.pipeline,
-                };
-                in_flight.insert(request.id, InFlight { record, admission });
-                events.push_completion(record);
-                // Only the dispatched card's state changed.
-                views[card] = card_view(card, &fleet.cards()[card], now);
+                    shards: Vec::new(),
+                    queued_jobs: 0,
+                    next_shard: 0,
+                    max_width: 0,
+                });
+                // A requeued remnant rejoins its live fan-in record.
+                debug_assert!(
+                    entry.queued_jobs == 0 || entry.queued_jobs == request.remaining_jobs(),
+                    "queued remnant out of sync with the fan-in table"
+                );
+                entry.queued_jobs = 0;
+                entry.request = request;
+                entry.dispatched = now;
+                // Spread the jobs as evenly as the grid divides: the
+                // first `total % width` shards carry one extra job.
+                let total = request.remaining_jobs();
+                let base = total / width;
+                let extra = total % width;
+                let mut first_job = request.jobs_done;
+                for (i, &card) in plan[..width].iter().enumerate() {
+                    let jobs = base + usize::from(i < extra);
+                    scratch.clear();
+                    let admission = fleet.card_mut(card).admit_jobs(
+                        &request,
+                        first_job,
+                        jobs,
+                        now,
+                        self.trace,
+                        &mut scratch,
+                    );
+                    if self.trace {
+                        placements.extend(scratch.drain(..).map(|p| (card, p)));
+                    }
+                    let shard = entry.next_shard;
+                    entry.next_shard += 1;
+                    entry.shards.push(ShardSlot {
+                        shard,
+                        card,
+                        pipeline: admission.pipeline,
+                        dispatched: now,
+                        first_job,
+                        jobs,
+                        admission,
+                    });
+                    events.push_completion(admission.finish, card, id, shard);
+                    first_job += jobs;
+                    // Only the dispatched card's state changed.
+                    views[card] = card_view(card, &fleet.cards()[card], now);
+                }
+                entry.max_width = entry.max_width.max(entry.shards.len() as u32);
             }
 
             // 3½. Autoscaler feedback, after capacity decisions settle.
@@ -503,7 +582,12 @@ impl<'a> Simulation<'a> {
         // Stable output order regardless of completion interleaving.
         completed.sort_by_key(|c: &crate::request::CompletedRequest| c.request.id);
 
-        let makespan_end = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
+        // Folding from the first arrival keeps the span non-negative even
+        // when nothing completed (a fully-shed trace).
+        let makespan_end = completed
+            .iter()
+            .map(|c| c.finished)
+            .fold(requests[0].arrival, f64::max);
         let span = makespan_end - requests[0].arrival;
         let cards: Vec<CardSummary> = fleet
             .cards()
@@ -533,12 +617,22 @@ impl<'a> Simulation<'a> {
         )
     }
 
-    /// Checkpoints-and-requeues the youngest (highest-id) in-flight
-    /// background request, if any, because interactive request `waiting`
-    /// has outwaited the dispatcher's patience. Returns whether a victim
-    /// was evicted. The victim's banked jobs ride along in its requeued
-    /// [`Request::jobs_done`]; the freed pipeline is picked up by the
-    /// dispatch pass that follows the event batch.
+    /// Checkpoints-and-requeues the youngest in-flight background
+    /// **shard** — the last-dispatched shard (highest shard id) of the
+    /// youngest (highest-id) background request with anything in flight —
+    /// because interactive request `waiting` has outwaited the
+    /// dispatcher's patience. Returns whether a victim was evicted.
+    ///
+    /// Only the victim shard's unfinished jobs requeue; sibling shards of
+    /// the same request keep running, and the fan-in table joins them
+    /// back up with the remnant when it eventually re-dispatches. If a
+    /// remnant of the same request is already waiting (an earlier shard
+    /// was preempted too), the new remnant merges into it — the merged
+    /// entry keeps the exact job *count*, though after a merge of
+    /// disjoint ranges the enumeration offsets are approximate (traces
+    /// under preemption already re-run lost partial jobs, so job identity
+    /// there is best-effort by design). The freed pipeline is picked up
+    /// by the dispatch pass that follows the event batch.
     fn preempt_youngest_background(
         &self,
         now: f64,
@@ -550,38 +644,92 @@ impl<'a> Simulation<'a> {
     ) -> bool {
         let victim = in_flight
             .iter()
-            .filter(|(_, f)| f.record.request.class == RequestClass::lowest())
+            .filter(|(_, f)| f.request.class == RequestClass::lowest() && !f.shards.is_empty())
             .map(|(&id, _)| id)
             .next_back();
         let Some(victim) = victim else { return false };
-        let f = in_flight.remove(&victim).expect("victim was just found");
+        let entry = in_flight.get_mut(&victim).expect("victim was just found");
+        let si = entry
+            .shards
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.shard)
+            .map(|(i, _)| i)
+            .expect("victim has a live shard");
+        let slot = entry.shards.remove(si);
         let done = fleet
-            .card_mut(f.record.card)
-            .preempt(&f.admission, f.record.dispatched, now);
-        let mut requeued = f.record.request;
-        // `floor` keeps the checkpoint strictly below the remaining job
+            .card_mut(slot.card)
+            .preempt(&slot.admission, slot.dispatched, now);
+        // `floor` keeps the checkpoint strictly below the shard's job
         // count; the min guards the float edge where the division lands
         // exactly on it.
-        let done = done.min(requeued.remaining_jobs() - 1);
-        requeued.jobs_done += done;
-        requeued.preemptions += 1;
-        queue.push(requeued);
+        let done = done.min(slot.jobs - 1);
+        entry.request.preemptions += 1;
+        let mut remnant = entry.request;
+        remnant.jobs_done = slot.first_job + done;
+        remnant.jobs_end = slot.first_job + slot.jobs;
+        if let Some(prev) = queue.remove(remnant.rank_key()) {
+            // Merge with the remnant of an earlier preempted shard: keep
+            // the combined job count, anchored at the lower offset (the
+            // ranges are disjoint, so the sum never walks off the grid).
+            let jobs = prev.remaining_jobs() + remnant.remaining_jobs();
+            remnant.jobs_done = prev.jobs_done.min(remnant.jobs_done);
+            remnant.jobs_end = remnant.jobs_done + jobs;
+        }
+        entry.queued_jobs = remnant.remaining_jobs();
+        queue.push(remnant);
         preemptions.push(PreemptionRecord {
             time: now,
             preempted: victim,
             waiting,
-            card: f.record.card,
+            card: slot.card,
             jobs_checkpointed: done,
         });
         true
     }
 }
 
-/// One in-flight request: the completion record scheduled on the event
-/// heap plus the admission terms needed to checkpoint it on preemption.
-#[derive(Debug, Clone, Copy)]
+/// The fan-in record of one dispatched request: its live shards, any
+/// preempted remnant waiting in the queue, and the identity the eventual
+/// [`CompletedRequest`] reports. The request completes when the last
+/// shard drains *and* no remnant is queued.
+#[derive(Debug, Clone)]
 struct InFlight {
-    record: CompletedRequest,
+    /// The request as most recently dispatched (carries the checkpoint
+    /// and preemption counters the report records).
+    request: Request,
+    /// When a card most recently started executing a fragment of it.
+    dispatched: f64,
+    /// Live shards, in dispatch order.
+    shards: Vec<ShardSlot>,
+    /// Jobs carried by a requeued preempted remnant currently waiting in
+    /// the priority queue (0 when nothing is queued).
+    queued_jobs: usize,
+    /// Next shard id — unique within the request's lifetime, which is
+    /// what lets stale completion timers tombstone per shard.
+    next_shard: u32,
+    /// Peak concurrent shard width so far (what the report calls the
+    /// request's shard count).
+    max_width: u32,
+}
+
+/// One live shard: where it runs and the admission terms needed to
+/// checkpoint it on preemption.
+#[derive(Debug, Clone, Copy)]
+struct ShardSlot {
+    /// Shard id (see [`InFlight::next_shard`]).
+    shard: u32,
+    /// Card the shard occupies.
+    card: usize,
+    /// Pipeline within the card.
+    pipeline: usize,
+    /// When this shard was dispatched.
+    dispatched: f64,
+    /// First job (enumeration order) of the shard's range.
+    first_job: usize,
+    /// Jobs in the shard's range.
+    jobs: usize,
+    /// The card's admission terms for the shard.
     admission: Admission,
 }
 
@@ -681,7 +829,7 @@ mod tests {
         for mut policy in all_policies() {
             let report = serve(&fleet, &mut *policy, &traffic(3), 300);
             assert_eq!(report.completed, 300, "{}", report.policy);
-            assert!(report.latency.p50 > 0.0);
+            assert!(report.latency.unwrap().p50 > 0.0);
             assert!(report.slo_violations <= report.completed);
             assert!(report.fleet_utilization() > 0.0 && report.fleet_utilization() <= 1.0);
         }
@@ -765,6 +913,7 @@ mod tests {
                         finished: admission.finish,
                         card,
                         pipeline: admission.pipeline,
+                        shards: 1,
                     },
                 ));
             }
@@ -790,7 +939,10 @@ mod tests {
             };
         }
         completed.sort_by_key(|c| c.request.id);
-        let makespan_end = completed.iter().map(|c| c.finished).fold(0.0, f64::max);
+        let makespan_end = completed
+            .iter()
+            .map(|c| c.finished)
+            .fold(requests[0].arrival, f64::max);
         let span = makespan_end - requests[0].arrival;
         // The heap kernel closes power clocks at the last event, which
         // for a static fleet is the last completion.
@@ -1046,7 +1198,7 @@ mod tests {
         // but (weakly) worse latency — the tradeoff the report surfaces.
         assert!(elastic.idle_energy_joules >= 0.0);
         assert!(elastic.idle_energy_joules < static_run.idle_energy_joules);
-        assert!(elastic.latency.p99 >= static_run.latency.p99);
+        assert!(elastic.latency.unwrap().p99 >= static_run.latency.unwrap().p99);
         // Powered time never exceeds the run span, never goes negative.
         for c in &elastic.cards {
             assert!(c.powered_seconds >= 0.0);
@@ -1117,6 +1269,172 @@ mod tests {
     }
 
     #[test]
+    fn fully_shed_run_reports_finite_metrics_and_valid_json() {
+        // Zero-cap every class: admission sheds the whole trace. The old
+        // report divided 0/0 into a NaN `slo_attainment` (invalid JSON);
+        // now every field is finite and the attainment is an honest 0.
+        let fleet = FleetConfig::standard(2);
+        let requests = overload(3, 50);
+        let mut admission = AdmissionControl::admit_all();
+        for &class in RequestClass::ALL.iter() {
+            admission = admission.with_cap(class, 0);
+        }
+        let report = Simulation::new(&fleet)
+            .admission(admission)
+            .run(&mut Fifo, &requests);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.rejected, requests.len());
+        assert_eq!(report.offered, requests.len());
+        assert_eq!(report.latency, None);
+        assert_eq!(report.makespan, 0.0);
+        assert_eq!(report.throughput_rps, 0.0);
+        assert_eq!(report.slo_attainment(), 0.0);
+        assert!(report.slo_attainment().is_finite());
+        assert_eq!(report.fleet_utilization(), 0.0);
+        let json = report.to_json().pretty();
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        assert!(json.contains("\"slo_attainment\": 0"));
+    }
+
+    #[test]
+    fn slo_attainment_charges_shed_requests() {
+        // Light load, everything completed on time — but with background
+        // shed at the gate, attainment must fall below 1: a shed request
+        // never met its objective, however healthy the survivors look.
+        let fleet = FleetConfig::standard(4);
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(5.0),
+            mix: RequestMix::Production,
+            seed: 11,
+        };
+        let requests = spec.requests(200);
+        let open = simulate(&fleet, &mut LeastLoaded, &requests, false);
+        let shedding = Simulation::new(&fleet)
+            .admission(AdmissionControl::shed_background_at(0))
+            .run(&mut LeastLoaded, &requests);
+        assert!(shedding.rejected > 0, "the zero cap must shed something");
+        let expected =
+            (shedding.completed - shedding.slo_violations) as f64 / shedding.offered as f64;
+        assert_eq!(shedding.slo_attainment(), expected);
+        assert!(
+            shedding.slo_attainment() < open.slo_attainment(),
+            "shedding {} of {} requests cannot look like better service",
+            shedding.rejected,
+            shedding.offered
+        );
+    }
+
+    #[test]
+    fn sharded_dispatch_fans_out_and_in() {
+        use crate::policy::ShardedLeastLoaded;
+        // Light load on two dual-pipeline cards: most requests find
+        // several idle pipelines and split. Everything completes, the
+        // report counts the fan-outs, and per-request latency beats the
+        // whole-request twin run.
+        let fleet = FleetConfig::standard(2);
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(4.0),
+            mix: RequestMix::Interactive,
+            seed: 19,
+        };
+        let requests = spec.requests(100);
+        let whole = simulate(&fleet, &mut LeastLoaded, &requests, false);
+        let sharded = Simulation::new(&fleet).run(&mut ShardedLeastLoaded::new(4), &requests);
+        assert_eq!(sharded.completed, requests.len());
+        assert!(sharded.sharded_requests > 0, "light load must fan out");
+        assert!(sharded.max_shards > 1 && sharded.max_shards <= 4);
+        assert!(
+            sharded.latency.unwrap().p50 < whole.latency.unwrap().p50,
+            "fan-out p50 {} must beat whole-request p50 {}",
+            sharded.latency.unwrap().p50,
+            whole.latency.unwrap().p50
+        );
+        // Whole-request policies never report fan-out.
+        assert_eq!(whole.sharded_requests, 0);
+        assert_eq!(whole.max_shards, 1);
+        let json = sharded.to_json().pretty();
+        assert!(json.contains("\"sharded_requests\""));
+    }
+
+    #[test]
+    fn single_shard_policy_matches_whole_request_twin_bitwise() {
+        use crate::policy::{ShardedLeastLoaded, ShardedShortestJobFirst};
+        // max_shards = 1 must reduce exactly to the classic policies —
+        // same schedule, same JSON — apart from the policy name.
+        let fleet = FleetConfig::standard(3);
+        let requests = overload(7, 250);
+        let whole = simulate(&fleet, &mut LeastLoaded, &requests, false);
+        let mut one = Simulation::new(&fleet).run(&mut ShardedLeastLoaded::new(1), &requests);
+        assert_eq!(one.policy, "least-loaded-sharded");
+        one.policy = whole.policy.clone();
+        assert_eq!(one, whole);
+        let sjf = simulate(
+            &fleet,
+            &mut crate::policy::ShortestJobFirst,
+            &requests,
+            false,
+        );
+        let mut one_sjf =
+            Simulation::new(&fleet).run(&mut ShardedShortestJobFirst::new(1), &requests);
+        one_sjf.policy = sjf.policy.clone();
+        assert_eq!(one_sjf, sjf);
+    }
+
+    #[test]
+    fn sharded_traced_run_places_every_job_once() {
+        use crate::policy::ShardedLeastLoaded;
+        let fleet = FleetConfig::standard(2);
+        let requests = traffic(23).requests(30);
+        let report = Simulation::new(&fleet)
+            .trace(true)
+            .run(&mut ShardedLeastLoaded::new(3), &requests);
+        let expected_jobs: usize = requests.iter().map(|r| r.shape.jobs()).sum();
+        assert_eq!(report.placements.len(), expected_jobs);
+        assert!(report.sharded_requests > 0);
+        // Fan-out still never overlaps two jobs on one pipeline lane.
+        let mut lanes: std::collections::BTreeMap<(usize, usize), Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
+        for (card, p) in &report.placements {
+            lanes
+                .entry((*card, p.pipeline))
+                .or_default()
+                .push((p.start, p.end));
+        }
+        for ((card, pipe), mut spans) in lanes {
+            spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in spans.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0 + 1e-12,
+                    "overlap on card {card} pipeline {pipe}: {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_preemption_requeues_only_the_victim_shard() {
+        use crate::policy::ShardedLeastLoaded;
+        // Sharded dispatch + aggressive preemption: victims are single
+        // shards, so a preempted request's sibling shards keep running
+        // and everything still completes exactly once.
+        let fleet = FleetConfig::standard(2);
+        let requests = bursty_lulls(37, 250, 2.5);
+        let report = Simulation::new(&fleet)
+            .preemption(PreemptionControl::after_wait(0.05))
+            .run(&mut ShardedLeastLoaded::new(4), &requests);
+        assert_eq!(report.completed, requests.len());
+        assert!(!report.preemptions.is_empty(), "bursts must trigger it");
+        let by_id: std::collections::BTreeMap<u64, &Request> =
+            requests.iter().map(|r| (r.id, r)).collect();
+        for p in &report.preemptions {
+            assert_eq!(by_id[&p.preempted].class, RequestClass::Background);
+            assert_eq!(by_id[&p.waiting].class, RequestClass::Interactive);
+        }
+        let preempted_on_cards: u64 = report.cards.iter().map(|c| c.preempted).sum();
+        assert_eq!(preempted_on_cards as usize, report.preemptions.len());
+    }
+
+    #[test]
     fn traced_run_places_every_job() {
         let fleet = FleetConfig::standard(2);
         let requests = traffic(7).requests(40);
@@ -1172,10 +1490,10 @@ mod tests {
             false,
         );
         assert!(
-            sjf.latency.p50 < fifo.latency.p50,
+            sjf.latency.unwrap().p50 < fifo.latency.unwrap().p50,
             "SJF p50 {} vs FIFO p50 {}",
-            sjf.latency.p50,
-            fifo.latency.p50
+            sjf.latency.unwrap().p50,
+            fifo.latency.unwrap().p50
         );
     }
 

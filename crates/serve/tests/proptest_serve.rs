@@ -6,9 +6,12 @@ use proptest::prelude::*;
 use swat_serve::arrival::ArrivalProcess;
 use swat_serve::fleet::{CardGroup, FleetConfig};
 use swat_serve::metrics::percentile;
-use swat_serve::policy::{DispatchPolicy, Fifo, HeadAffinity, LeastLoaded, ShortestJobFirst};
+use swat_serve::policy::{
+    DispatchPolicy, Fifo, HeadAffinity, LeastLoaded, ShardedLeastLoaded, ShardedShortestJobFirst,
+    ShortestJobFirst,
+};
 use swat_serve::scale::AutoscalerConfig;
-use swat_serve::sim::{simulate, PreemptionControl, Simulation, TrafficSpec};
+use swat_serve::sim::{simulate, AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
 use swat_workloads::{RequestClass, RequestMix, RequestShape};
 
 /// A random heterogeneous fleet: an FP16 dual-pipeline group next to an
@@ -170,7 +173,7 @@ proptest! {
         let requests = spec.requests(70);
         let mut policy = policy_by_index(policy_idx);
         let report = simulate(&FleetConfig::standard(cards), &mut *policy, &requests, false);
-        let l = &report.latency;
+        let l = report.latency.expect("every request completed");
         prop_assert!(l.p50 <= l.p95, "p50 {} > p95 {}", l.p50, l.p95);
         prop_assert!(l.p95 <= l.p99, "p95 {} > p99 {}", l.p95, l.p99);
         prop_assert!(l.p99 <= l.max, "p99 {} > max {}", l.p99, l.max);
@@ -371,6 +374,156 @@ proptest! {
         }
         prop_assert!((report.idle_energy_joules - total).abs() < 1e-9);
         prop_assert!(report.total_energy_joules() >= report.energy_joules);
+    }
+
+    /// Every numeric field of the serialized report stays finite under
+    /// arbitrary per-class admission budgets — including caps of zero
+    /// that shed a class (or the whole trace) outright — and on runs as
+    /// small as a single request. `Json::Num` panics on a non-finite
+    /// value at write time, so a successful `pretty()` plus a scan for
+    /// stray NaN/Infinity tokens is a full audit of the report.
+    #[test]
+    fn reports_stay_finite_under_arbitrary_admission_caps(
+        cards in 1usize..4,
+        // Values past 11 mean "uncapped" (the vendored proptest stub has
+        // no Option strategy); 0 sheds the class outright.
+        caps in proptest::collection::vec(0usize..16, 3),
+        n in 1usize..40,
+        policy_idx in any_policy(),
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+    ) {
+        let mut admission = AdmissionControl::admit_all();
+        for (class, &cap) in RequestClass::ALL.iter().zip(&caps) {
+            if cap < 12 {
+                admission = admission.with_cap(*class, cap);
+            }
+        }
+        let spec = TrafficSpec { arrivals, mix: RequestMix::Production, seed };
+        let requests = spec.requests(n);
+        let mut policy = policy_by_index(policy_idx);
+        let report = Simulation::new(&FleetConfig::standard(cards))
+            .admission(admission)
+            .run(&mut *policy, &requests);
+        prop_assert_eq!(report.completed + report.rejected, n);
+        prop_assert!(report.slo_attainment().is_finite());
+        prop_assert!((0.0..=1.0).contains(&report.slo_attainment()));
+        prop_assert!(report.throughput_rps.is_finite());
+        prop_assert!(report.makespan.is_finite() && report.makespan >= 0.0);
+        prop_assert!(report.fleet_utilization().is_finite());
+        let json = report.to_json().pretty();
+        prop_assert!(!json.contains("NaN") && !json.contains("Infinity") && !json.contains("inf"),
+            "non-finite token leaked into the JSON");
+    }
+
+    /// Sharded runs are bitwise seed-deterministic, down to the JSON,
+    /// across fan-out widths, fleets, traffic and both split-aware
+    /// policies.
+    #[test]
+    fn sharded_runs_seed_deterministic(
+        cards in 1usize..4,
+        max_shards in 1usize..6,
+        sjf in any::<bool>(),
+        arrivals in any_arrivals(),
+        mix in any_mix(),
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec { arrivals, mix, seed };
+        let requests = spec.requests(70);
+        let fleet = FleetConfig::standard(cards);
+        let run = || {
+            let mut policy: Box<dyn DispatchPolicy> = if sjf {
+                Box::new(ShardedShortestJobFirst::new(max_shards))
+            } else {
+                Box::new(ShardedLeastLoaded::new(max_shards))
+            };
+            Simulation::new(&fleet).run(&mut *policy, &requests)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+        prop_assert!(a.max_shards <= max_shards.max(1));
+    }
+
+    /// On an otherwise idle fleet, splitting a request across pipelines
+    /// never makes it slower than its whole-request twin: each shard
+    /// carries a subset of the jobs, so the slowest shard still beats
+    /// the serial chain. (Arrivals are spaced far apart so every request
+    /// finds the fleet fully drained.)
+    #[test]
+    fn sharded_never_slower_on_idle_fleet(
+        shape in any_shape(),
+        cards in 1usize..3,
+        max_shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(50.0),
+            mix: RequestMix::Production,
+            seed,
+        };
+        // One request per run keeps residency state identical between
+        // the twins; the arbitrary shape exercises odd grid splits.
+        let template = spec.requests(1)[0];
+        let requests = vec![swat_serve::Request::classed(
+            0,
+            template.arrival,
+            shape,
+            template.class,
+        )];
+        let fleet = FleetConfig::standard(cards);
+        let whole = simulate(&fleet, &mut LeastLoaded, &requests, true);
+        let sharded_report = {
+            let mut policy = ShardedLeastLoaded::new(max_shards);
+            Simulation::new(&fleet).trace(true).run(&mut policy, &requests)
+        };
+        let w = whole.latency.expect("completed").max;
+        let s = sharded_report.latency.expect("completed").max;
+        prop_assert!(
+            s <= w + 1e-9,
+            "sharded latency {s} exceeds whole-request {w} (max_shards {max_shards})"
+        );
+        // Fan-out places every job exactly once.
+        prop_assert_eq!(sharded_report.placements.len(), shape.jobs());
+        prop_assert!(sharded_report.max_shards <= max_shards);
+    }
+
+    /// Preempting shards never loses or duplicates work: under sharded
+    /// dispatch with aggressive preemption, every offered request still
+    /// completes exactly once, and the preemption log stays consistent
+    /// (background victims, interactive beneficiaries, per-card counters
+    /// matching).
+    #[test]
+    fn sharded_preemption_conserves_jobs(
+        cards in 1usize..4,
+        max_shards in 2usize..6,
+        threshold in 0.02f64..0.3,
+        base_rate in 1.0f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::bursty(base_rate),
+            mix: RequestMix::Production,
+            seed,
+        };
+        let requests = spec.requests(80);
+        let mut policy = ShardedLeastLoaded::new(max_shards);
+        let report = Simulation::new(&FleetConfig::standard(cards))
+            .preemption(PreemptionControl::after_wait(threshold))
+            .run(&mut policy, &requests);
+        prop_assert_eq!(report.completed, requests.len());
+        prop_assert_eq!(report.rejected, 0);
+        for class in &report.classes {
+            prop_assert_eq!(class.completed, class.offered, "{:?}", class.class);
+        }
+        let class_of = |id: u64| requests.iter().find(|r| r.id == id).map(|r| r.class);
+        for p in &report.preemptions {
+            prop_assert_eq!(class_of(p.preempted), Some(RequestClass::Background));
+            prop_assert_eq!(class_of(p.waiting), Some(RequestClass::Interactive));
+        }
+        let on_cards: u64 = report.cards.iter().map(|c| c.preempted).sum();
+        prop_assert_eq!(on_cards as usize, report.preemptions.len());
     }
 
     /// Work conservation: total busy pipeline-seconds equals the summed

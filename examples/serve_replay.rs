@@ -1,7 +1,8 @@
 //! Serve replay: 60 simulated seconds of diurnal traffic through a mixed
 //! FP16/FP32 SWAT fleet with the full elastic stack — per-class admission
-//! budgets, preemption, and autoscaling — plus a queue-depth timeline and
-//! per-class/per-group breakdowns.
+//! budgets, preemption, autoscaling, and sharded (fan-out/fan-in)
+//! dispatch — plus a queue-depth timeline and per-class/per-group
+//! breakdowns.
 //!
 //! ```text
 //! cargo run --release --example serve_replay
@@ -9,7 +10,7 @@
 
 use swat_serve::arrival::ArrivalProcess;
 use swat_serve::fleet::FleetConfig;
-use swat_serve::policy::LeastLoaded;
+use swat_serve::policy::ShardedLeastLoaded;
 use swat_serve::scale::AutoscalerConfig;
 use swat_serve::sim::{AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
 use swat_workloads::{RequestClass, RequestMix};
@@ -47,7 +48,7 @@ fn main() {
         )
         .preemption(PreemptionControl::after_wait(0.25))
         .autoscale(AutoscalerConfig::standard().with_min_cards(2))
-        .run(&mut LeastLoaded, &requests);
+        .run(&mut ShardedLeastLoaded::new(2), &requests);
 
     // Queue depth over time, bucketed to 2.5 s columns.
     let mut buckets = [0usize; 24];
@@ -71,12 +72,18 @@ fn main() {
         report.offered,
         report.rejected
     );
+    if let Some(latency) = report.latency {
+        println!(
+            "latency p50/p95/p99: {:.1} / {:.1} / {:.1} ms  (max {:.1} ms)",
+            latency.p50 * 1e3,
+            latency.p95 * 1e3,
+            latency.p99 * 1e3,
+            latency.max * 1e3
+        );
+    }
     println!(
-        "latency p50/p95/p99: {:.1} / {:.1} / {:.1} ms  (max {:.1} ms)",
-        report.latency.p50 * 1e3,
-        report.latency.p95 * 1e3,
-        report.latency.p99 * 1e3,
-        report.latency.max * 1e3
+        "{} requests fanned out across pipelines (widest: {} shards)",
+        report.sharded_requests, report.max_shards
     );
     for class in &report.classes {
         match class.latency {

@@ -29,8 +29,9 @@ fn four_card_fleet_serves_production_traffic() {
             report.policy,
             report.cards.iter().map(|c| c.served).collect::<Vec<_>>()
         );
-        assert!(report.latency.p50 <= report.latency.p95);
-        assert!(report.latency.p95 <= report.latency.p99);
+        let latency = report.latency.unwrap();
+        assert!(latency.p50 <= latency.p95);
+        assert!(latency.p95 <= latency.p99);
         assert!(report.energy_joules > 0.0);
     }
 }
@@ -48,7 +49,7 @@ fn service_times_come_from_the_calibrated_model() {
     let card = &fleet.cards()[0];
     let expect = card.swap_seconds(&shape)
         + card.accelerator().latency_seconds(shape.seq_len) * shape.jobs() as f64;
-    let latency = report.latency.p50;
+    let latency = report.latency.unwrap().p50;
     assert!(
         (latency - expect).abs() < 1e-9,
         "idle-fleet latency {latency} vs model {expect}"
@@ -99,11 +100,12 @@ fn more_cards_reduce_tail_latency() {
         &requests,
         false,
     );
+    let (large_lat, small_lat) = (large.latency.unwrap(), small.latency.unwrap());
     assert!(
-        large.latency.p99 <= small.latency.p99,
+        large_lat.p99 <= small_lat.p99,
         "8 cards p99 {} vs 2 cards p99 {}",
-        large.latency.p99,
-        small.latency.p99
+        large_lat.p99,
+        small_lat.p99
     );
     assert!(large.queue.max_depth <= small.queue.max_depth);
 }
@@ -190,6 +192,9 @@ fn json_report_has_the_required_fields() {
         "\"classes\"",
         "\"groups\"",
         "\"rejected\"",
+        "\"sharded_requests\"",
+        "\"max_shards\"",
+        "\"slo_attainment\"",
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");
     }
