@@ -22,7 +22,13 @@
 //!    (`max_shards = 4`) on a lightly loaded fleet, where fanning a
 //!    request's independent attention jobs across idle pipelines cuts
 //!    per-request latency (fan-out/fan-in), with shard counts in the
-//!    JSON.
+//!    JSON;
+//! 7. **adaptive-width** — cost-model width selection vs fixed fan-out
+//!    under a deep queue on bandwidth-binned cards (two co-located
+//!    shards oversubscribe the memory interface ~1.9×): always fanning
+//!    to 4 burns stretched pipeline-seconds the backlog needs, while
+//!    the adaptive planner backs off to narrow plans — with per-width
+//!    histograms and the predicted-vs-realized audit in the JSON.
 //!
 //! Output is bitwise identical for a fixed `seed`.
 //!
@@ -33,9 +39,11 @@
 //! `requests` (default 10 000) scales every run; CI smoke-tests the
 //! binary at 500.
 
+use swat::SwatConfig;
 use swat_bench::{banner, print_table};
+use swat_hw::MemoryInterface;
 use swat_serve::arrival::ArrivalProcess;
-use swat_serve::fleet::FleetConfig;
+use swat_serve::fleet::{CardGroup, FleetConfig};
 use swat_serve::json::Json;
 use swat_serve::metrics::ServeReport;
 use swat_serve::policy::{
@@ -181,7 +189,7 @@ fn main() {
     let background_cap = 32usize;
 
     banner(format!(
-        "serve_sweep — {requests} requests/cell, 6 scenarios on FP16/FP32 fleets (seed {seed:#x})"
+        "serve_sweep — {requests} requests/cell, 7 scenarios on FP16/FP32 fleets (seed {seed:#x})"
     ));
 
     let mut rows = Vec::new();
@@ -421,6 +429,87 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
+    // Scenario 7: adaptive vs fixed shard width under a deep queue. The
+    // cards are bandwidth-binned (1.2 GB/s against the ~1.15 GB/s one
+    // FP16 pipeline streams), so two co-located shards oversubscribe the
+    // interface and stretch ~1.9×. Interactive Poisson load near the
+    // fixed policy's saturation point keeps the queue deep, where
+    // pipeline-seconds are the scarce resource: fixed fan-out burns the
+    // stretch on every wide dispatch, the cost-model planner prices the
+    // backlog, backs off to narrow plans, and sustains the offered rate.
+    let binned_fleet = FleetConfig {
+        groups: vec![CardGroup::new(
+            4,
+            SwatConfig::bigbird_dual_fp16(),
+            MemoryInterface::new(1.2e9),
+        )],
+        host_link: MemoryInterface::pcie4_x16(),
+    };
+    let adaptive_arrivals = ArrivalProcess::poisson(80.0);
+    let adaptive_mix = RequestMix::Interactive;
+    let adaptive_max = 4usize;
+    let mut runs = Vec::new();
+    let mut width_rows = Vec::new();
+    let mut cells: Vec<(&str, Box<dyn swat_serve::DispatchPolicy>)> = vec![
+        ("fixed-4", Box::new(ShardedLeastLoaded::fixed(adaptive_max))),
+        (
+            "adaptive-4",
+            Box::new(ShardedLeastLoaded::new(adaptive_max)),
+        ),
+        (
+            "fixed-4",
+            Box::new(ShardedShortestJobFirst::fixed(adaptive_max)),
+        ),
+        (
+            "adaptive-4",
+            Box::new(ShardedShortestJobFirst::new(adaptive_max)),
+        ),
+    ];
+    for (label, policy) in &mut cells {
+        let spec = TrafficSpec {
+            arrivals: adaptive_arrivals,
+            mix: adaptive_mix,
+            seed,
+        };
+        let report = Simulation::new(&binned_fleet)
+            .arrivals_label(format!(
+                "{}/{}",
+                adaptive_arrivals.name(),
+                adaptive_mix.name()
+            ))
+            .run(&mut **policy, &spec.requests(requests));
+        rows.push(summary_row(&format!("adaptive/{label}"), &report));
+        let widths = report
+            .shard_widths
+            .iter()
+            .enumerate()
+            .map(|(w, n)| format!("{}:{n}", w + 1))
+            .collect::<Vec<_>>()
+            .join(" ");
+        width_rows.push(vec![
+            report.policy.clone(),
+            widths,
+            ms(report.latency.map(|l| l.p50)),
+            ms(report.latency.map(|l| l.p99)),
+            format!("{:.2}%", report.slo_attainment() * 100.0),
+            report
+                .cost_prediction
+                .map_or("-".to_string(), |p| format!("{:.1e}", p.max_error_s)),
+        ]);
+        runs.push(annotated_run(
+            &report,
+            adaptive_arrivals,
+            "admit-all",
+            label,
+        ));
+    }
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("adaptive-width".into())),
+        ("fleet", fleet_json(&binned_fleet)),
+        ("max_shards", Json::Int(adaptive_max as i64)),
+        ("runs", Json::Arr(runs)),
+    ]));
+
     print_table(
         &[
             "scenario", "arrivals", "policy", "rps", "p50 ms", "p95 ms", "p99 ms", "util", "max q",
@@ -439,6 +528,21 @@ fn main() {
             "slo attain",
         ],
         &fanout_rows,
+    );
+    println!(
+        "\nadaptive-width scenario, fan-out discipline under a deep queue \
+         (poisson, 4 bandwidth-binned cards):"
+    );
+    print_table(
+        &[
+            "policy",
+            "width:count",
+            "p50 ms",
+            "p99 ms",
+            "slo attain",
+            "pred err s",
+        ],
+        &width_rows,
     );
     println!("\nautoscale scenario, energy vs SLO (least-loaded, diurnal ramp):");
     print_table(

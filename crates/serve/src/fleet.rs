@@ -8,22 +8,13 @@
 //! declaration order, which keeps every downstream tie-break (dispatch,
 //! event ordering, reports) deterministic.
 
+use crate::cost::CardCostModel;
 use crate::request::Request;
 use swat::config::ConfigError;
 use swat::schedule::{Job, PipelineAgenda, Placement};
 use swat::{SwatAccelerator, SwatConfig};
 use swat_hw::MemoryInterface;
 use swat_workloads::RequestShape;
-
-/// The shape every card calibrates its per-token service-time estimate
-/// against (see [`Card::seconds_per_token`]): a mid-sized interactive
-/// request, long enough that pipeline fill is amortized.
-const CALIBRATION_SHAPE: RequestShape = RequestShape {
-    seq_len: 2048,
-    heads: 8,
-    layers: 6,
-    batch: 1,
-};
 
 /// `count` identical cards: one SWAT design on one memory interface.
 #[derive(Debug, Clone, PartialEq)]
@@ -179,15 +170,13 @@ pub(crate) struct Admission {
 /// One card's runtime state.
 #[derive(Debug, Clone)]
 pub struct Card {
-    accel: SwatAccelerator,
+    /// The card's timing terms — the same model the planner-facing
+    /// [`CostModel`](crate::cost::CostModel) clones, so admission
+    /// charges exactly what planning priced.
+    cost: CardCostModel,
     /// Index of the [`CardGroup`] this card belongs to.
     group: usize,
-    memory: MemoryInterface,
-    host_link: MemoryInterface,
     agenda: PipelineAgenda,
-    /// Calibrated isolated service seconds per attended token (from
-    /// [`Card::service_seconds`] at [`CALIBRATION_SHAPE`]).
-    seconds_per_token: f64,
     /// The model family whose weights are resident on the card.
     resident: Option<(usize, usize)>,
     /// Times the card had to swap families in.
@@ -220,13 +209,10 @@ impl Card {
         host_link: MemoryInterface,
     ) -> Card {
         let pipelines = accel.config().pipelines;
-        let mut card = Card {
-            accel,
+        Card {
+            cost: CardCostModel::new(accel, memory, host_link),
             group,
-            memory,
-            host_link,
             agenda: PipelineAgenda::new(pipelines),
-            seconds_per_token: 0.0,
             resident: None,
             weight_swaps: 0,
             busy_seconds: 0.0,
@@ -237,15 +223,18 @@ impl Card {
             available_at: 0.0,
             powered_since: 0.0,
             powered_seconds: 0.0,
-        };
-        card.seconds_per_token =
-            card.service_seconds(&CALIBRATION_SHAPE) / CALIBRATION_SHAPE.work_tokens() as f64;
-        card
+        }
     }
 
     /// The accelerator model this card runs.
     pub fn accelerator(&self) -> &SwatAccelerator {
-        &self.accel
+        self.cost.accelerator()
+    }
+
+    /// The card's timing terms, shared with the planner's
+    /// [`CostModel`](crate::cost::CostModel).
+    pub fn cost_model(&self) -> &CardCostModel {
+        &self.cost
     }
 
     /// Index of the [`CardGroup`] this card belongs to.
@@ -326,7 +315,7 @@ impl Card {
     /// Idle power draw: the accelerator's static floor, paid whenever the
     /// card is powered, serving or not.
     pub fn idle_power_watts(&self) -> f64 {
-        self.accel.idle_power_watts()
+        self.accelerator().idle_power_watts()
     }
 
     /// Idle energy so far: idle power × powered pipeline-seconds not spent
@@ -394,11 +383,7 @@ impl Card {
     /// Seconds to stream this shape's family weights over the host link —
     /// the stall paid when the card's resident family differs.
     pub fn swap_seconds(&self, shape: &RequestShape) -> f64 {
-        let bytes = shape.weight_bytes(
-            self.accel.config().head_dim,
-            self.accel.config().precision.bytes(),
-        );
-        self.host_link.transfer_seconds(bytes)
+        self.cost.swap_seconds(shape)
     }
 
     /// Pipeline-seconds of service committed so far.
@@ -418,7 +403,7 @@ impl Card {
     /// (FP16 vs FP32, single vs dual pipeline) without reaching into the
     /// timing model.
     pub fn seconds_per_token(&self) -> f64 {
-        self.seconds_per_token
+        self.cost.seconds_per_token()
     }
 
     /// Seconds one pipeline needs for one of the request's jobs, including
@@ -426,15 +411,13 @@ impl Card {
     /// concurrently, the shared interface stretches service once their
     /// aggregate Q/K/V/Z demand saturates it.
     pub fn job_seconds(&self, shape: &RequestShape, streams: usize) -> f64 {
-        let compute = self.accel.latency_seconds(shape.seq_len);
-        let bytes_per_sec = self.accel.offchip_bytes(shape.seq_len) as f64 / compute;
-        compute * self.memory.contention_factor(streams, bytes_per_sec)
+        self.cost.job_seconds(shape, streams)
     }
 
     /// Isolated (contention-free) single-pipeline service time for a whole
     /// request: its jobs run back to back on one pipeline.
     pub fn service_seconds(&self, shape: &RequestShape) -> f64 {
-        self.job_seconds(shape, 1) * shape.jobs() as f64
+        self.cost.service_seconds(shape)
     }
 
     /// The restart penalty a preempted request pays when it resumes on
@@ -444,7 +427,7 @@ impl Card {
     /// a smaller penalty, which is exactly the calibration
     /// [`Card::seconds_per_token`] exists to express.
     pub fn restart_seconds(&self, shape: &RequestShape) -> f64 {
-        self.seconds_per_token * shape.seq_len as f64
+        self.cost.restart_seconds(shape)
     }
 
     /// Admits a request at `now` onto this card's earliest-free pipeline.
@@ -463,10 +446,12 @@ impl Card {
         trace: bool,
         placements: &mut Vec<Placement>,
     ) -> Admission {
+        let streams = self.pipelines() - self.idle_pipelines(now) + 1;
         self.admit_jobs(
             request,
             request.jobs_done,
             request.remaining_jobs(),
+            streams,
             now,
             trace,
             placements,
@@ -479,13 +464,28 @@ impl Card {
     /// is the whole-fragment special case. Each shard pays the weight
     /// swap if the family is not yet resident on *this* card (the first
     /// shard streams it in; later shards on the same card find it
-    /// resident) and, for a resumed request, its own restart penalty —
-    /// every pipeline re-streams the interrupted context independently.
+    /// resident); a request with a [pending
+    /// restart](Request::pending_restart) pays the restart penalty (the
+    /// simulator flags exactly one admission per preemption — the
+    /// resumed remnant's first).
+    ///
+    /// `planned_streams` is the contention every job of this shard is
+    /// charged: the pipelines of this card the *whole dispatch plan*
+    /// will have streaming concurrently — those already busy plus every
+    /// sibling shard the plan lands here, this one included. Passing the
+    /// plan's count (rather than recomputing from the card's own state)
+    /// is what makes realized admissions charge the same contention the
+    /// planner priced: under the old per-admission count, the first
+    /// sibling missed the shards about to join it.
+    // One argument per admission term; bundling them would just move
+    // the same names into an ad-hoc struct at every call site.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn admit_jobs(
         &mut self,
         request: &Request,
         skip: usize,
         count: usize,
+        planned_streams: usize,
         now: f64,
         trace: bool,
         placements: &mut Vec<Placement>,
@@ -498,24 +498,27 @@ impl Card {
             skip + count,
             shape.jobs()
         );
-        // Streams sharing the interface while this shard runs: every
-        // pipeline busy at dispatch, plus this one.
-        let streams = self.pipelines() - self.idle_pipelines(now) + 1;
-        let per_job = self.job_seconds(shape, streams);
+        // The plan must cover at least everything already streaming on
+        // this card plus this shard itself.
+        assert!(
+            planned_streams > self.pipelines() - self.idle_pipelines(now),
+            "planned streams {planned_streams} below the busy-pipeline floor"
+        );
+        let per_job = self.cost.job_seconds(shape, planned_streams);
         let (pipeline, _) = self.agenda.earliest_free();
 
         // Cold weights: the pipeline stalls while the family streams in
         // over the host link. The stall rides on the first job's slot,
-        // together with the restart penalty for resumed requests.
+        // together with the restart penalty for a resumed remnant.
         let swap = if self.resident == Some(shape.family()) {
             0.0
         } else {
             self.resident = Some(shape.family());
             self.weight_swaps += 1;
-            self.swap_seconds(shape)
+            self.cost.swap_seconds(shape)
         };
-        let restart = if request.preemptions > 0 {
-            self.restart_seconds(shape)
+        let restart = if request.pending_restart {
+            self.cost.restart_seconds(shape)
         } else {
             0.0
         };
@@ -564,7 +567,7 @@ impl Card {
         // Static + dynamic power of a fully-busy card is amortized over
         // its pipelines; powered-but-idle time is accounted separately in
         // [`Card::idle_energy_joules`].
-        self.energy_joules += self.accel.power_watts() / self.pipelines() as f64 * duration;
+        self.energy_joules += self.accelerator().power_watts() / self.pipelines() as f64 * duration;
         self.served += 1;
         Admission {
             pipeline,
@@ -595,7 +598,7 @@ impl Card {
         self.agenda.release_after(admission.pipeline, now);
         // Give back the never-run tail: the card was never busy past `now`.
         self.busy_seconds -= released;
-        self.energy_joules -= self.accel.power_watts() / self.pipelines() as f64 * released;
+        self.energy_joules -= self.accelerator().power_watts() / self.pipelines() as f64 * released;
         self.served -= 1;
         self.preempted += 1;
 
@@ -788,10 +791,10 @@ mod tests {
         placements.clear();
         let a = fleet
             .card_mut(0)
-            .admit_jobs(&r, 0, 5, 0.0, true, &mut placements);
+            .admit_jobs(&r, 0, 5, 2, 0.0, true, &mut placements);
         let b = fleet
             .card_mut(0)
-            .admit_jobs(&r, 5, 3, 0.0, true, &mut placements);
+            .admit_jobs(&r, 5, 3, 2, 0.0, true, &mut placements);
         assert_eq!(placements.len(), 8);
         assert_ne!(a.pipeline, b.pipeline);
         // Every (batch, layer, head) job appears exactly once.
@@ -818,7 +821,64 @@ mod tests {
         let r = request(0, shape()); // 8 jobs
         let _ = fleet
             .card_mut(0)
-            .admit_jobs(&r, 6, 3, 0.0, false, &mut placements);
+            .admit_jobs(&r, 6, 3, 1, 0.0, false, &mut placements);
+    }
+
+    #[test]
+    fn sibling_shards_are_charged_the_contention_they_induce() {
+        // Regression: a 2-shard plan on one dual-pipeline card must
+        // charge *both* shards the 2-stream contention factor. Before
+        // the planned-streams parameter, each admission recomputed the
+        // stream count from the card's own state, so the first sibling
+        // was billed `streams = 1` — blind to the shard about to join
+        // it — and sharded service was systematically underestimated.
+        let cfg = FleetConfig {
+            groups: vec![CardGroup::new(
+                1,
+                SwatConfig::bigbird_dual_fp16(),
+                // Starved interface: two streams oversubscribe it.
+                MemoryInterface::new(1.0e9),
+            )],
+            host_link: MemoryInterface::pcie4_x16(),
+        };
+        let mut fleet = cfg.build().unwrap();
+        let s = shape(); // 8 jobs
+        let contended = fleet.cards()[0].job_seconds(&s, 2);
+        assert!(
+            contended > fleet.cards()[0].job_seconds(&s, 1),
+            "the starved interface must stretch 2-stream service"
+        );
+        let r = request(0, s);
+        let mut placements = Vec::new();
+        let a = fleet
+            .card_mut(0)
+            .admit_jobs(&r, 0, 4, 2, 0.0, false, &mut placements);
+        let b = fleet
+            .card_mut(0)
+            .admit_jobs(&r, 4, 4, 2, 0.0, false, &mut placements);
+        assert_eq!(
+            a.per_job_seconds, contended,
+            "the first sibling must see the plan's 2-stream rate"
+        );
+        assert_eq!(a.per_job_seconds, b.per_job_seconds);
+        // Fan-in (the swapless sibling) lands exactly at 4 contended jobs.
+        assert!((b.finish - 4.0 * contended).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy-pipeline floor")]
+    fn understated_planned_streams_are_rejected() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let r = request(0, shape());
+        let _ = fleet
+            .card_mut(0)
+            .admit_jobs(&r, 0, 4, 1, 0.0, false, &mut placements);
+        // One pipeline is now busy: a plan claiming a single stream
+        // cannot cover it plus the new shard.
+        let _ = fleet
+            .card_mut(0)
+            .admit_jobs(&r, 4, 4, 1, 0.0, false, &mut placements);
     }
 
     #[test]
@@ -894,6 +954,7 @@ mod tests {
         let resumed = Request {
             jobs_done: 3,
             preemptions: 1,
+            pending_restart: true,
             id: 1,
             ..fresh
         };
@@ -907,6 +968,51 @@ mod tests {
         assert!((b.stall_seconds - restart).abs() < 1e-15);
         let expected = restart + (jobs - 3) as f64 * b.per_job_seconds;
         assert!((b.finish - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restart_penalty_is_scoped_to_the_flagged_admission() {
+        // Regression: the restart penalty used to be billed whenever
+        // `preemptions > 0`, so every future shard of a once-preempted
+        // request paid the full re-stream penalty forever. It is now
+        // keyed on `pending_restart`, which the simulator sets per
+        // preemption and clears after the remnant's first admission.
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let fresh = request(0, shape());
+        // Make the family resident, then wait for the card to drain so
+        // the stalls below are pure restart penalties.
+        let drained = fleet
+            .card_mut(0)
+            .admit(&fresh, 0.0, false, &mut placements)
+            .finish;
+        let restart = fleet.cards()[0].restart_seconds(&shape());
+
+        // The remnant's first shard carries the pending flag and pays.
+        let first = Request {
+            jobs_done: 2,
+            preemptions: 1,
+            pending_restart: true,
+            id: 1,
+            ..fresh
+        };
+        let a = fleet
+            .card_mut(0)
+            .admit_jobs(&first, 2, 3, 2, drained, false, &mut placements);
+        assert!((a.stall_seconds - restart).abs() < 1e-15);
+
+        // Its sibling shard in the same plan — and any later admission
+        // of the once-preempted request — has the flag cleared and pays
+        // nothing, despite `preemptions > 0`.
+        let second = Request {
+            pending_restart: false,
+            ..first
+        };
+        let b = fleet
+            .card_mut(0)
+            .admit_jobs(&second, 5, 3, 2, drained, false, &mut placements);
+        assert_eq!(b.stall_seconds, 0.0, "preemptions > 0 alone must not bill");
+        assert!((a.finish - b.finish - restart).abs() < 1e-12);
     }
 
     #[test]

@@ -35,7 +35,12 @@
 //! ([`policy::ShardedLeastLoaded`], [`policy::ShardedShortestJobFirst`])
 //! can **shard** one request across several idle pipelines — on one card
 //! or spanning cards within a group — and the request completes when its
-//! last shard drains. Fleets are heterogeneous:
+//! last shard drains. How wide to fan is planned against the shared
+//! predictive [`cost::CostModel`] — the same per-card timing terms
+//! admission charges, so plans are priced with the contention they
+//! themselves induce and fan-out backs off when the queue is deep or
+//! the memory interface saturates (every report audits
+//! predicted-vs-realized fan-in). Fleets are heterogeneous:
 //! [`fleet::FleetConfig`] is a list of [`fleet::CardGroup`]s (count ×
 //! design × memory), and policies rank cards by calibrated per-card
 //! service-time estimates.
@@ -79,6 +84,7 @@
 //! ```
 
 pub mod arrival;
+pub mod cost;
 pub mod event;
 pub mod fleet;
 pub mod json;
@@ -89,6 +95,7 @@ pub mod scale;
 pub mod sim;
 
 pub use arrival::ArrivalProcess;
+pub use cost::{CardCostModel, CostModel, PlanCost};
 pub use fleet::{CardGroup, FleetConfig};
 pub use metrics::ServeReport;
 pub use policy::{DispatchPolicy, ShardedLeastLoaded, ShardedShortestJobFirst};

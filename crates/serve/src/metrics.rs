@@ -141,6 +141,33 @@ fn scale_event_json(e: &ScaleEvent) -> Json {
     ])
 }
 
+/// How well the planner's predictions matched what admission charged,
+/// over every multi-shard plan the run dispatched. Because planning and
+/// admission share one [`CostModel`](crate::cost::CostModel), the error
+/// is float noise when nothing intervenes — a materially non-zero value
+/// would mean the planner priced state the cards did not charge, which
+/// is exactly the contention-blind bug this model replaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPrediction {
+    /// Multi-shard plans priced (single-shard plans are trivially exact
+    /// and not counted).
+    pub plans: usize,
+    /// Mean |realized − predicted| fan-in time, seconds.
+    pub mean_abs_error_s: f64,
+    /// Worst |realized − predicted| fan-in time, seconds.
+    pub max_error_s: f64,
+}
+
+impl CostPrediction {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("plans", Json::Int(self.plans as i64)),
+            ("mean_abs_error_s", Json::Num(self.mean_abs_error_s)),
+            ("max_error_s", Json::Num(self.max_error_s)),
+        ])
+    }
+}
+
 /// Per-card accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CardSummary {
@@ -307,6 +334,11 @@ pub struct ServeReport {
     /// Largest peak shard width any completion reached (1 on
     /// whole-request policies; 0 only when nothing completed).
     pub max_shards: usize,
+    /// Completions by peak shard width: `shard_widths[w - 1]` requests
+    /// completed at peak width `w`. Length equals `max_shards` (empty
+    /// when nothing completed) — the per-width view of how often an
+    /// adaptive planner actually chose to fan out.
+    pub shard_widths: Vec<usize>,
     /// Seconds from first arrival to last completion (0 when nothing
     /// completed, e.g. the whole trace was shed by admission control).
     pub makespan: f64,
@@ -339,6 +371,10 @@ pub struct ServeReport {
     pub preemptions: Vec<PreemptionRecord>,
     /// The autoscaler's decision timeline (empty without an autoscaler).
     pub scaling: Vec<ScaleEvent>,
+    /// Predicted-vs-realized fan-in audit over multi-shard plans
+    /// (`None` when no plan fanned out — whole-request policies and
+    /// `max_shards = 1` runs).
+    pub cost_prediction: Option<CostPrediction>,
     /// Per-job placements, when tracing was requested: `(card, placement)`.
     pub placements: Vec<(usize, Placement)>,
 }
@@ -360,6 +396,7 @@ impl ServeReport {
         cards: Vec<CardSummary>,
         preemptions: Vec<PreemptionRecord>,
         scaling: Vec<ScaleEvent>,
+        cost_prediction: Option<CostPrediction>,
         placements: Vec<(usize, Placement)>,
     ) -> ServeReport {
         let latencies: Vec<f64> = completed.iter().map(CompletedRequest::latency).collect();
@@ -405,6 +442,15 @@ impl ServeReport {
             .collect();
 
         let groups = GroupSummary::from_cards(&cards);
+        let max_shards = completed
+            .iter()
+            .map(|c| c.shards as usize)
+            .max()
+            .unwrap_or(0);
+        let mut shard_widths = vec![0usize; max_shards];
+        for c in completed {
+            shard_widths[c.shards as usize - 1] += 1;
+        }
         ServeReport {
             policy: policy.to_string(),
             arrivals: arrivals.to_string(),
@@ -412,11 +458,8 @@ impl ServeReport {
             completed: completed.len(),
             rejected: rejected.len(),
             sharded_requests: completed.iter().filter(|c| c.shards > 1).count(),
-            max_shards: completed
-                .iter()
-                .map(|c| c.shards as usize)
-                .max()
-                .unwrap_or(0),
+            max_shards,
+            shard_widths,
             makespan,
             throughput_rps: if makespan > 0.0 {
                 completed.len() as f64 / makespan
@@ -433,6 +476,7 @@ impl ServeReport {
             slo_violations: completed.iter().filter(|c| !c.met_slo()).count(),
             preemptions,
             scaling,
+            cost_prediction,
             placements,
         }
     }
@@ -486,8 +530,13 @@ impl ServeReport {
     }
 
     /// Serializes the summary (everything except the placement trace).
+    ///
+    /// The fan-out diagnostics — `shard_widths` and `cost_prediction` —
+    /// are emitted only when the run actually fanned a request out
+    /// (`max_shards > 1`), so reports from whole-request policies and
+    /// `max_shards = 1` runs serialize byte-for-byte as they always did.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs: Vec<(&'static str, Json)> = vec![
             ("policy", Json::Str(self.policy.clone())),
             ("arrivals", Json::Str(self.arrivals.clone())),
             ("offered", Json::Int(self.offered as i64)),
@@ -495,6 +544,18 @@ impl ServeReport {
             ("rejected", Json::Int(self.rejected as i64)),
             ("sharded_requests", Json::Int(self.sharded_requests as i64)),
             ("max_shards", Json::Int(self.max_shards as i64)),
+        ];
+        if self.max_shards > 1 {
+            pairs.push((
+                "shard_widths",
+                Json::arr(self.shard_widths.iter().map(|&n| Json::Int(n as i64))),
+            ));
+            pairs.push((
+                "cost_prediction",
+                Json::maybe(self.cost_prediction, CostPrediction::to_json),
+            ));
+        }
+        pairs.extend([
             ("makespan_s", Json::Num(self.makespan)),
             ("throughput_rps", Json::Num(self.throughput_rps)),
             (
@@ -540,7 +601,8 @@ impl ServeReport {
                 "cards",
                 Json::arr(self.cards.iter().map(CardSummary::to_json)),
             ),
-        ])
+        ]);
+        Json::obj(pairs)
     }
 }
 
@@ -623,6 +685,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             Vec::new(),
         );
         assert_eq!(report.completed, 3);
@@ -680,6 +743,7 @@ mod tests {
                 queue_depth: 6,
                 powered_cards: 2,
             }],
+            None,
             Vec::new(),
         );
         assert_eq!(report.preemption_count(), 1);
@@ -707,6 +771,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             Vec::new(),
         );
         assert_eq!(report.offered, 2);
@@ -741,6 +806,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             Vec::new(),
         );
         assert_eq!(
@@ -770,6 +836,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             Vec::new(),
         );
         assert_eq!(vacuous.slo_attainment(), 1.0);
@@ -796,6 +863,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             Vec::new(),
         );
         assert_eq!(report.slo_violations, 0, "the one completion was on time");
@@ -820,6 +888,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             Vec::new(),
         );
         assert_eq!(report.sharded_requests, 1);
@@ -827,6 +896,62 @@ mod tests {
         let json = report.to_json().pretty();
         assert!(json.contains("\"sharded_requests\": 1"));
         assert!(json.contains("\"max_shards\": 3"));
+    }
+
+    #[test]
+    fn fanout_diagnostics_serialize_only_when_the_run_fanned_out() {
+        // A whole-request run must serialize byte-for-byte as before the
+        // cost model existed: no `shard_widths`, no `cost_prediction`.
+        let narrow = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &[completed(0, 0.0, 0.1)],
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+        );
+        assert_eq!(narrow.shard_widths, [1]);
+        let json = narrow.to_json().pretty();
+        assert!(!json.contains("shard_widths"));
+        assert!(!json.contains("cost_prediction"));
+        // A fanned-out run reports the width histogram and the
+        // predicted-vs-realized audit.
+        let mut wide = completed(1, 0.0, 0.2);
+        wide.shards = 3;
+        let fanned = ServeReport::assemble(
+            "least-loaded-sharded",
+            "poisson",
+            &[completed(0, 0.0, 0.1), wide],
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            Some(CostPrediction {
+                plans: 1,
+                mean_abs_error_s: 0.0,
+                max_error_s: 0.0,
+            }),
+            Vec::new(),
+        );
+        assert_eq!(fanned.shard_widths, [1, 0, 1]);
+        let json = fanned.to_json().pretty();
+        assert!(json.contains("\"shard_widths\": [1, 0, 1]") || json.contains("\"shard_widths\""));
+        assert!(json.contains("\"cost_prediction\""));
+        assert!(json.contains("\"plans\": 1"));
+        assert!(json.contains("\"mean_abs_error_s\": 0"));
     }
 
     #[test]

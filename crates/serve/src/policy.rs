@@ -27,7 +27,17 @@
 //! [`ShardedShortestJobFirst`] add a `max_shards` knob to the classic
 //! forms; `fifo` and `head-affinity` stay whole-request (head-affinity's
 //! whole point is keeping a family on one home card).
+//!
+//! Split-aware policies plan against the shared predictive
+//! [`CostModel`]: by default they pick the fan-out **width** that
+//! minimizes the plan's predicted fan-in time plus a queue-pressure term
+//! ([`adaptive_shard_targets`]) instead of always fanning to
+//! `max_shards`, so fan-out backs off automatically when the queue is
+//! deep or the card's memory interface saturates. The `fixed`
+//! constructors keep the always-fan-to-`max_shards` behaviour as a
+//! baseline.
 
+use crate::cost::CostModel;
 use crate::request::Request;
 use swat_workloads::RequestShape;
 
@@ -51,6 +61,10 @@ pub struct CardView {
     /// card ([`Card::seconds_per_token`](crate::fleet::Card)): how
     /// policies rank cards of different groups.
     pub seconds_per_token: f64,
+    /// The model family whose weights are resident on the card (`None`
+    /// on a cold or freshly woken card). The [`CostModel`] uses it to
+    /// price which shards of a plan pay a weight swap.
+    pub resident: Option<(usize, usize)>,
 }
 
 impl CardView {
@@ -89,16 +103,20 @@ pub trait DispatchPolicy {
     /// splits its independent attention jobs across one shard per listed
     /// card. The default wraps [`DispatchPolicy::choose`] as a single
     /// whole-request shard, so existing policies stay whole-request
-    /// without opting in. The simulator enforces the [`ShardedDispatch`]
-    /// contract: non-empty plan, one idle pipeline per entry, all
-    /// entries in one card group. Plans longer than the request's
-    /// remaining jobs are truncated (a shard carries at least one job).
+    /// without opting in. `cost` is the fleet's shared predictive
+    /// [`CostModel`], which split-aware policies use to price candidate
+    /// plans. The simulator enforces the [`ShardedDispatch`] contract:
+    /// non-empty plan, one idle pipeline per entry, all entries in one
+    /// card group. Plans longer than the request's remaining jobs are
+    /// truncated (a shard carries at least one job).
     fn choose_sharded(
         &mut self,
         now: f64,
         queue: &[Request],
         cards: &[CardView],
+        cost: &CostModel,
     ) -> Option<ShardedDispatch> {
+        let _ = cost;
         self.choose(now, queue, cards)
             .map(|(qi, card)| (qi, vec![card]))
     }
@@ -128,7 +146,8 @@ fn soonest_idle(cards: &[CardView], shape: &RequestShape) -> Option<usize> {
 }
 
 /// Up to `max_shards` idle pipelines for `shape`, soonest-finishing
-/// first by [`finish_rank`] — the shard plan the split-aware policies
+/// first by the same backlog-plus-estimate rank whole-request dispatch
+/// uses — the shard plan the split-aware policies
 /// share. All entries stay within one card group: the group of the
 /// soonest-finishing idle card, which is also always the plan's first
 /// entry (the card whole-request dispatch would have picked), so
@@ -152,6 +171,58 @@ pub fn shard_targets(
             }
         }
     }
+    Some(plan)
+}
+
+/// The cost-aware shard plan: the [`shard_targets`] fill order,
+/// truncated to the **width** that minimizes the plan's predicted price
+/// under the shared [`CostModel`]:
+///
+/// ```text
+/// score(w) = fan_in(w) + waiting × busy(w) / total_pipelines
+/// ```
+///
+/// `fan_in(w)` is the predicted completion of the plan's slowest shard
+/// (contention the plan itself induces, swap and restart stalls
+/// included) and `busy(w)` the pipeline-seconds the plan consumes;
+/// `waiting` is how many requests remain queued behind this one, so the
+/// second term prices the delay the plan imposes on each of them
+/// (`busy / total_pipelines` fleet-seconds apiece). On an idle fleet the
+/// pressure term vanishes and the plan fans as wide as it helps; under a
+/// deep queue or a saturating memory interface, wide plans inflate
+/// `busy(w)` (and eventually `fan_in(w)`) and the width backs off — the
+/// contention-blind alternative always fanned to `max_shards`. Ties
+/// break to the narrowest width (frees pipelines at no predicted cost).
+///
+/// The candidate widths are prefixes of the [`shard_targets`] fill
+/// order, so the width-1 plan is exactly the whole-request pick and
+/// `max_shards == 1` reduces bitwise to the unsharded policy. Returns
+/// `None` when every pipeline is busy.
+pub fn adaptive_shard_targets(
+    cards: &[CardView],
+    request: &Request,
+    waiting: usize,
+    max_shards: usize,
+    cost: &CostModel,
+    now: f64,
+) -> Option<Vec<usize>> {
+    let mut plan = shard_targets(cards, &request.shape, max_shards)?;
+    let total_pipelines: usize = cards.iter().map(|c| c.pipelines).sum();
+    let mut best = (1usize, f64::INFINITY);
+    for w in 1..=plan.len() {
+        let priced = cost.price_plan(request, &plan[..w], cards, now);
+        if priced.width < w {
+            // Capped by the remaining job count: wider candidates price
+            // identically, so the search is done.
+            break;
+        }
+        let score =
+            (priced.fan_in - now) + waiting as f64 * priced.busy_seconds / total_pipelines as f64;
+        if score < best.1 {
+            best = (w, score);
+        }
+    }
+    plan.truncate(best.0);
     Some(plan)
 }
 
@@ -237,28 +308,57 @@ impl DispatchPolicy for ShortestJobFirst {
 /// [`LeastLoaded`] with fan-out: the head request's independent attention
 /// jobs split across up to `max_shards` idle pipelines of one card group
 /// (soonest-finishing pipelines first), completing at its last shard.
-/// `max_shards == 1` is exactly `least-loaded`.
+/// By default the width is **adaptive** — [`adaptive_shard_targets`]
+/// fans only as wide as the predicted price justifies;
+/// [`ShardedLeastLoaded::fixed`] keeps the contention-blind
+/// always-fan-to-`max_shards` baseline. `max_shards == 1` is exactly
+/// `least-loaded` either way.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedLeastLoaded {
     /// Most pipelines one request may fan out across (at least 1).
     pub max_shards: usize,
+    /// Whether the width is chosen by predicted cost (the default) or
+    /// always fanned to `max_shards`.
+    pub adaptive: bool,
 }
 
 impl ShardedLeastLoaded {
-    /// A split-aware least-loaded policy fanning out up to `max_shards`.
+    /// A split-aware least-loaded policy fanning out up to `max_shards`,
+    /// choosing each dispatch's width by predicted cost.
     ///
     /// # Panics
     ///
     /// Panics if `max_shards` is zero.
     pub fn new(max_shards: usize) -> ShardedLeastLoaded {
         assert!(max_shards > 0, "a dispatch needs at least one shard");
-        ShardedLeastLoaded { max_shards }
+        ShardedLeastLoaded {
+            max_shards,
+            adaptive: true,
+        }
+    }
+
+    /// The fixed-width baseline: always fan to `max_shards` (or as many
+    /// idle pipelines as the group has), however deep the queue or
+    /// saturated the memory interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_shards` is zero.
+    pub fn fixed(max_shards: usize) -> ShardedLeastLoaded {
+        ShardedLeastLoaded {
+            adaptive: false,
+            ..ShardedLeastLoaded::new(max_shards)
+        }
     }
 }
 
 impl DispatchPolicy for ShardedLeastLoaded {
     fn name(&self) -> &'static str {
-        "least-loaded-sharded"
+        if self.adaptive {
+            "least-loaded-sharded"
+        } else {
+            "least-loaded-sharded-fixed"
+        }
     }
 
     fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
@@ -267,39 +367,70 @@ impl DispatchPolicy for ShardedLeastLoaded {
 
     fn choose_sharded(
         &mut self,
-        _now: f64,
+        now: f64,
         queue: &[Request],
         cards: &[CardView],
+        cost: &CostModel,
     ) -> Option<ShardedDispatch> {
         let request = queue.first()?;
-        Some((0, shard_targets(cards, &request.shape, self.max_shards)?))
+        let plan = if self.adaptive {
+            adaptive_shard_targets(cards, request, queue.len() - 1, self.max_shards, cost, now)?
+        } else {
+            shard_targets(cards, &request.shape, self.max_shards)?
+        };
+        Some((0, plan))
     }
 }
 
 /// [`ShortestJobFirst`] with fan-out: the SJF pick splits across up to
-/// `max_shards` idle pipelines of one card group. `max_shards == 1` is
-/// exactly `shortest-job-first`.
+/// `max_shards` idle pipelines of one card group, with the same
+/// adaptive-width default (and [`ShardedShortestJobFirst::fixed`]
+/// baseline) as [`ShardedLeastLoaded`]. `max_shards == 1` is exactly
+/// `shortest-job-first`.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedShortestJobFirst {
     /// Most pipelines one request may fan out across (at least 1).
     pub max_shards: usize,
+    /// Whether the width is chosen by predicted cost (the default) or
+    /// always fanned to `max_shards`.
+    pub adaptive: bool,
 }
 
 impl ShardedShortestJobFirst {
-    /// A split-aware SJF policy fanning out up to `max_shards`.
+    /// A split-aware SJF policy fanning out up to `max_shards`, choosing
+    /// each dispatch's width by predicted cost.
     ///
     /// # Panics
     ///
     /// Panics if `max_shards` is zero.
     pub fn new(max_shards: usize) -> ShardedShortestJobFirst {
         assert!(max_shards > 0, "a dispatch needs at least one shard");
-        ShardedShortestJobFirst { max_shards }
+        ShardedShortestJobFirst {
+            max_shards,
+            adaptive: true,
+        }
+    }
+
+    /// The fixed-width baseline: always fan to `max_shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_shards` is zero.
+    pub fn fixed(max_shards: usize) -> ShardedShortestJobFirst {
+        ShardedShortestJobFirst {
+            adaptive: false,
+            ..ShardedShortestJobFirst::new(max_shards)
+        }
     }
 }
 
 impl DispatchPolicy for ShardedShortestJobFirst {
     fn name(&self) -> &'static str {
-        "shortest-job-first-sharded"
+        if self.adaptive {
+            "shortest-job-first-sharded"
+        } else {
+            "shortest-job-first-sharded-fixed"
+        }
     }
 
     fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
@@ -308,12 +439,18 @@ impl DispatchPolicy for ShardedShortestJobFirst {
 
     fn choose_sharded(
         &mut self,
-        _now: f64,
+        now: f64,
         queue: &[Request],
         cards: &[CardView],
+        cost: &CostModel,
     ) -> Option<ShardedDispatch> {
         let (qi, request) = shortest_in_head_class(queue)?;
-        Some((qi, shard_targets(cards, &request.shape, self.max_shards)?))
+        let plan = if self.adaptive {
+            adaptive_shard_targets(cards, request, queue.len() - 1, self.max_shards, cost, now)?
+        } else {
+            shard_targets(cards, &request.shape, self.max_shards)?
+        };
+        Some((qi, plan))
     }
 }
 
@@ -375,7 +512,29 @@ mod tests {
             backlog_seconds: backlog,
             served: 0,
             seconds_per_token: 1e-6,
+            resident: None,
         }
+    }
+
+    /// A cost model over `cards` standard dual-pipeline HBM2 cards —
+    /// enough structure for plan pricing against the synthetic views.
+    fn model(cards: usize) -> CostModel {
+        CostModel::for_fleet(&crate::fleet::FleetConfig::standard(cards).build().unwrap())
+    }
+
+    /// A single dual-pipeline card on a memory interface that one
+    /// pipeline fits but two oversubscribe (~1.4× stretch), so plan
+    /// prices actually feel co-location.
+    fn starved_model() -> CostModel {
+        let cfg = crate::fleet::FleetConfig {
+            groups: vec![crate::fleet::CardGroup::new(
+                1,
+                swat::SwatConfig::bigbird_dual_fp16(),
+                swat_hw::MemoryInterface::new(1.6e9),
+            )],
+            host_link: swat_hw::MemoryInterface::pcie4_x16(),
+        };
+        CostModel::for_fleet(&cfg.build().unwrap())
     }
 
     fn request(id: u64, seq_len: usize) -> Request {
@@ -513,36 +672,110 @@ mod tests {
     fn sharded_policies_reduce_to_their_whole_request_forms() {
         let queue = [request(0, 8192), request(1, 512)];
         let cards = [view(0, 1, 3.0), view(1, 1, 1.0)];
+        let cost = model(2);
         assert_eq!(
-            ShardedLeastLoaded::new(1).choose_sharded(0.0, &queue, &cards),
+            ShardedLeastLoaded::new(1).choose_sharded(0.0, &queue, &cards, &cost),
             Some((0, vec![1]))
+        );
+        assert_eq!(
+            ShardedLeastLoaded::fixed(1).choose_sharded(0.0, &queue, &cards, &cost),
+            Some((0, vec![1])),
+            "adaptive and fixed agree at max_shards = 1"
         );
         assert_eq!(
             LeastLoaded.choose(0.0, &queue, &cards),
             Some((0, 1)),
             "same pick as the unsharded policy"
         );
-        // SJF variant keeps the within-class reorder.
+        // SJF variants keep the within-class reorder; the fixed baseline
+        // always fans to the cap, the adaptive one prices the widths but
+        // its plan is a prefix of the same fill order.
         assert_eq!(
-            ShardedShortestJobFirst::new(2).choose_sharded(0.0, &queue, &cards),
+            ShardedShortestJobFirst::fixed(2).choose_sharded(0.0, &queue, &cards, &cost),
             Some((1, vec![1, 0]))
         );
+        let (qi, plan) = ShardedShortestJobFirst::new(2)
+            .choose_sharded(0.0, &queue, &cards, &cost)
+            .unwrap();
+        assert_eq!(qi, 1);
+        assert!(plan == vec![1] || plan == vec![1, 0]);
         // Default choose_sharded wraps choose as one whole shard.
         assert_eq!(
-            Fifo.choose_sharded(0.0, &queue, &cards),
+            Fifo.choose_sharded(0.0, &queue, &cards, &cost),
             Some((0, vec![0])),
             "fifo ties to the lowest idle card"
         );
         // Both sharded policies wait when the fleet is full or queue empty.
         let busy = [view(0, 0, 0.0)];
         assert_eq!(
-            ShardedLeastLoaded::new(3).choose_sharded(0.0, &queue, &busy),
+            ShardedLeastLoaded::new(3).choose_sharded(0.0, &queue, &busy, &cost),
             None
         );
         assert_eq!(
-            ShardedShortestJobFirst::new(3).choose_sharded(0.0, &[], &cards),
+            ShardedShortestJobFirst::new(3).choose_sharded(0.0, &[], &cards, &cost),
             None
         );
+    }
+
+    #[test]
+    fn adaptive_width_backs_off_under_queue_pressure_and_contention() {
+        let cost = starved_model();
+        let cards = [view(0, 2, 0.0)];
+        let r = request(0, 8192);
+        // Empty queue: fan-in rules. Co-locating both pipelines pays the
+        // ~1.4× contention stretch but still halves the job chain.
+        assert_eq!(
+            adaptive_shard_targets(&cards, &r, 0, 2, &cost, 0.0).unwrap(),
+            [0, 0]
+        );
+        // Deep queue: the stretched pipeline-seconds the wide plan burns
+        // delay everyone waiting — width backs off to 1. The fixed plan
+        // builder stays contention-blind by construction.
+        assert_eq!(
+            adaptive_shard_targets(&cards, &r, 64, 2, &cost, 0.0).unwrap(),
+            [0]
+        );
+        assert_eq!(shard_targets(&cards, &r.shape, 2).unwrap(), [0, 0]);
+        // On an uncontended fleet the pressure term never penalizes
+        // within-card fan-out (same busy seconds), so width stays wide
+        // even under pressure.
+        let hbm = model(1);
+        assert_eq!(
+            adaptive_shard_targets(&cards, &r, 64, 2, &hbm, 0.0).unwrap(),
+            [0, 0]
+        );
+    }
+
+    #[test]
+    fn adaptive_width_stops_spanning_cold_cards_when_swaps_dominate() {
+        // The request's family is resident on card 0 but not on card 1,
+        // and its weight stack is heavy next to its compute: spanning to
+        // the cold card stalls the far shards behind a swap longer than
+        // the fan-in it buys. The planner keeps the fan-out on the warm
+        // card.
+        let cost = model(2);
+        let r = Request::new(
+            0,
+            0.0,
+            RequestShape {
+                seq_len: 512,
+                heads: 16, // heavy weights (∝ heads²), light compute
+                layers: 2,
+                batch: 1,
+            },
+        );
+        let swap = cost.card(1).swap_seconds(&r.shape);
+        let half = cost.card(0).job_seconds(&r.shape, 2) * (r.shape.jobs() / 4) as f64;
+        assert!(swap > half, "premise: the swap outweighs the fan-in gain");
+        let mut cards = [view(0, 2, 0.0), view(1, 2, 0.0)];
+        cards[0].resident = Some(r.shape.family());
+        let plan = adaptive_shard_targets(&cards, &r, 0, 4, &cost, 0.0).unwrap();
+        assert_eq!(plan, [0, 0], "the cold second card is not worth a swap");
+        // With the family resident everywhere, the swap objection
+        // vanishes and the plan spans.
+        cards[1].resident = Some(r.shape.family());
+        let plan = adaptive_shard_targets(&cards, &r, 0, 4, &cost, 0.0).unwrap();
+        assert_eq!(plan, [0, 0, 1, 1]);
     }
 
     #[test]

@@ -25,10 +25,16 @@ pub struct Request {
     /// shard's boundary — its siblings' jobs are owned elsewhere and the
     /// simulator's fan-in bookkeeping joins them back up.
     pub jobs_end: usize,
-    /// Times this request has been preempted (any shard). A non-zero
-    /// count marks a resumed request, which pays a restart penalty on
-    /// re-dispatch (see [`crate::fleet::Card::restart_seconds`]).
+    /// Times this request has been preempted (any shard).
     pub preemptions: u32,
+    /// Whether a restart penalty is still owed for the most recent
+    /// preemption (see [`crate::fleet::Card::restart_seconds`]). The
+    /// simulator sets it when a shard is checkpointed and clears it
+    /// after the resumed remnant's **first** admission, so each
+    /// preemption is paid for exactly once — not by every future shard
+    /// of a once-preempted request, which is what keying the penalty on
+    /// `preemptions > 0` used to charge.
+    pub pending_restart: bool,
 }
 
 impl Request {
@@ -71,6 +77,7 @@ impl Request {
             jobs_done: 0,
             jobs_end: shape.jobs(),
             preemptions: 0,
+            pending_restart: false,
         }
     }
 
@@ -181,6 +188,7 @@ mod tests {
     fn fresh_requests_have_no_preemption_state() {
         let r = Request::classed(1, 0.0, shape(), RequestClass::Background);
         assert_eq!((r.jobs_done, r.preemptions), (0, 0));
+        assert!(!r.pending_restart);
         assert_eq!(r.jobs_end, shape().jobs());
         assert_eq!(r.remaining_jobs(), shape().jobs());
         // A checkpointed request replays only its tail.

@@ -38,9 +38,12 @@
 use std::collections::BTreeMap;
 
 use crate::arrival::ArrivalProcess;
+use crate::cost::CostModel;
 use crate::event::{Event, EventQueue, PriorityQueue};
 use crate::fleet::{Admission, Card, Fleet, FleetConfig};
-use crate::metrics::{CardSummary, PreemptionRecord, QueueSample, QueueSummary, ServeReport};
+use crate::metrics::{
+    CardSummary, CostPrediction, PreemptionRecord, QueueSample, QueueSummary, ServeReport,
+};
 use crate::policy::{CardView, DispatchPolicy};
 use crate::request::{CompletedRequest, Request};
 use crate::scale::{Autoscaler, AutoscalerConfig};
@@ -149,13 +152,12 @@ impl AdmissionControl {
 }
 
 /// The dispatcher's patience: how long an interactive request may wait
-/// before the youngest in-flight background job is checkpointed off its
-/// card to make room.
+/// before an in-flight background job is checkpointed off its card to
+/// make room.
 ///
 /// When enabled, every admitted interactive arrival arms a timer. If the
 /// request is still queued when the timer fires, the dispatcher evicts
-/// the in-flight background request with the highest id (the youngest —
-/// it has banked the least work), checkpoints its completed jobs, and
+/// one in-flight background shard, checkpoints its completed jobs, and
 /// requeues it; the freed pipeline is dispatched in the same event batch,
 /// so the waiting interactive request (or whatever else now heads the
 /// queue) runs immediately. The victim resumes later with its checkpoint
@@ -163,11 +165,25 @@ impl AdmissionControl {
 /// While the request keeps waiting *and* a future firing could still
 /// find a victim (one was just evicted, or background work remains in
 /// flight), the timer re-arms every threshold.
+///
+/// **Victim selection**: [`PreemptionControl::after_wait`] keeps the
+/// original rule — the youngest background shard (highest request id,
+/// highest shard id: the one that has banked the least work), which also
+/// keeps its schedules bitwise identical to earlier releases.
+/// [`PreemptionControl::cost_aware`] instead asks the shared
+/// [`CostModel`] to price every candidate eviction (work thrown away +
+/// restart penalty + forfeited weight swap;
+/// [`CostModel::preemption_cost`]) and takes the cheapest, so a shard
+/// that just finished streaming a family in, or that sits mid-way
+/// through a job, is spared in favour of one whose eviction wastes less.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PreemptionControl {
     /// Seconds an interactive request may wait before background work is
     /// preempted (`None` = never preempt, the default).
     pub wait_threshold_s: Option<f64>,
+    /// Whether victims are selected by minimum predicted eviction cost
+    /// instead of youngest-first.
+    pub cost_aware_victims: bool,
 }
 
 impl PreemptionControl {
@@ -175,11 +191,12 @@ impl PreemptionControl {
     pub fn disabled() -> PreemptionControl {
         PreemptionControl {
             wait_threshold_s: None,
+            cost_aware_victims: false,
         }
     }
 
     /// Preempt background work once an interactive request has waited
-    /// `threshold_s`.
+    /// `threshold_s`, evicting the youngest in-flight background shard.
     ///
     /// # Panics
     ///
@@ -191,6 +208,22 @@ impl PreemptionControl {
         );
         PreemptionControl {
             wait_threshold_s: Some(threshold_s),
+            cost_aware_victims: false,
+        }
+    }
+
+    /// Like [`PreemptionControl::after_wait`], but victims are selected
+    /// by minimum predicted eviction cost under the fleet's
+    /// [`CostModel`] (ties fall back to youngest-first, so selection
+    /// stays deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not positive and finite.
+    pub fn cost_aware(threshold_s: f64) -> PreemptionControl {
+        PreemptionControl {
+            cost_aware_victims: true,
+            ..PreemptionControl::after_wait(threshold_s)
         }
     }
 }
@@ -310,6 +343,10 @@ impl<'a> Simulation<'a> {
             );
         }
         let mut fleet: Fleet = self.fleet.build().expect("invalid fleet configuration");
+        // The shared predictive cost model: the same per-card timing the
+        // cards charge, snapshotted for the planner (policies price shard
+        // plans against it, cost-aware preemption prices victims).
+        let cost = CostModel::for_fleet(&fleet);
         let t0 = requests[0].arrival;
         let mut scaler = self.autoscale.map(Autoscaler::new);
         match scaler.as_mut() {
@@ -336,6 +373,11 @@ impl<'a> Simulation<'a> {
         // delivery.
         let mut in_flight: BTreeMap<u64, InFlight> = BTreeMap::new();
         let mut preemptions: Vec<PreemptionRecord> = Vec::new();
+        // Predicted-vs-realized fan-in error over multi-shard plans: the
+        // live audit that admission charges what the planner priced.
+        let mut priced_plans = 0usize;
+        let mut prediction_abs_error = 0.0f64;
+        let mut prediction_max_error = 0.0f64;
 
         // Queue-depth integral for the time-weighted mean.
         let mut timeline: Vec<QueueSample> = Vec::new();
@@ -407,9 +449,10 @@ impl<'a> Simulation<'a> {
                         // Still waiting? (Dispatched or shed means the
                         // timer outlived its request — a no-op.)
                         if queue.contains((RequestClass::Interactive.rank(), id)) {
-                            let evicted = self.preempt_youngest_background(
+                            let evicted = self.preempt_background(
                                 now,
                                 id,
+                                &cost,
                                 &mut fleet,
                                 &mut in_flight,
                                 &mut queue,
@@ -458,7 +501,7 @@ impl<'a> Simulation<'a> {
                     .enumerate()
                     .map(|(i, c)| card_view(i, c, now)),
             );
-            while let Some((qi, plan)) = policy.choose_sharded(now, queue.view(), &views) {
+            while let Some((qi, plan)) = policy.choose_sharded(now, queue.view(), &views, &cost) {
                 assert!(
                     !plan.is_empty(),
                     "policy {} returned an empty shard plan",
@@ -481,11 +524,22 @@ impl<'a> Simulation<'a> {
                         policy.name()
                     );
                 }
-                let request = queue.take(qi);
+                let mut request = queue.take(qi);
                 let id = request.id;
                 // A shard carries at least one job: cap the fan-out at
                 // the fragment's remaining job count.
                 let width = plan.len().min(request.remaining_jobs());
+                // Price the realized plan before admission mutates any
+                // card, so the predicted-vs-realized audit sees exactly
+                // the state the planner saw.
+                let predicted =
+                    (width > 1).then(|| cost.price_plan(&request, &plan[..width], &views, now));
+                // The contention each shard is charged: pipelines busy
+                // before this plan plus every shard the plan lands on
+                // that card — the planner's price, not the stale
+                // per-admission count that let earlier siblings miss the
+                // shards about to join them.
+                let planned_streams = crate::cost::plan_stream_counts(&plan[..width], &views);
                 let entry = in_flight.entry(id).or_insert_with(|| InFlight {
                     request,
                     dispatched: now,
@@ -500,14 +554,13 @@ impl<'a> Simulation<'a> {
                     "queued remnant out of sync with the fan-in table"
                 );
                 entry.queued_jobs = 0;
-                entry.request = request;
                 entry.dispatched = now;
                 // Spread the jobs as evenly as the grid divides: the
                 // first `total % width` shards carry one extra job.
                 let total = request.remaining_jobs();
-                let base = total / width;
-                let extra = total % width;
+                let (base, extra) = crate::cost::job_split(total, width);
                 let mut first_job = request.jobs_done;
+                let mut realized = now;
                 for (i, &card) in plan[..width].iter().enumerate() {
                     let jobs = base + usize::from(i < extra);
                     scratch.clear();
@@ -515,10 +568,16 @@ impl<'a> Simulation<'a> {
                         &request,
                         first_job,
                         jobs,
+                        planned_streams[&card],
                         now,
                         self.trace,
                         &mut scratch,
                     );
+                    // Each preemption is paid for exactly once: the
+                    // remnant's first shard carried any pending restart,
+                    // its siblings (and later admissions) must not.
+                    request.pending_restart = false;
+                    realized = realized.max(admission.finish);
                     if self.trace {
                         placements.extend(scratch.drain(..).map(|p| (card, p)));
                     }
@@ -538,7 +597,14 @@ impl<'a> Simulation<'a> {
                     // Only the dispatched card's state changed.
                     views[card] = card_view(card, &fleet.cards()[card], now);
                 }
+                entry.request = request;
                 entry.max_width = entry.max_width.max(entry.shards.len() as u32);
+                if let Some(p) = predicted {
+                    let error = (realized - p.fan_in).abs();
+                    priced_plans += 1;
+                    prediction_abs_error += error;
+                    prediction_max_error = prediction_max_error.max(error);
+                }
             }
 
             // 3½. Autoscaler feedback, after capacity decisions settle.
@@ -613,15 +679,26 @@ impl<'a> Simulation<'a> {
             cards,
             preemptions,
             scaler.map_or_else(Vec::new, Autoscaler::into_log),
+            (priced_plans > 0).then_some(CostPrediction {
+                plans: priced_plans,
+                mean_abs_error_s: prediction_abs_error / priced_plans.max(1) as f64,
+                max_error_s: prediction_max_error,
+            }),
             placements,
         )
     }
 
-    /// Checkpoints-and-requeues the youngest in-flight background
-    /// **shard** — the last-dispatched shard (highest shard id) of the
-    /// youngest (highest-id) background request with anything in flight —
+    /// Checkpoints-and-requeues one in-flight background **shard**
     /// because interactive request `waiting` has outwaited the
     /// dispatcher's patience. Returns whether a victim was evicted.
+    ///
+    /// By default the victim is the youngest: the last-dispatched shard
+    /// (highest shard id) of the youngest (highest-id) background
+    /// request with anything in flight. Under
+    /// [`PreemptionControl::cost_aware`] every in-flight background
+    /// shard is priced by [`CostModel::preemption_cost`] (work thrown
+    /// away + restart + forfeited swap) and the cheapest eviction wins,
+    /// ties falling back to youngest-first.
     ///
     /// Only the victim shard's unfinished jobs requeue; sibling shards of
     /// the same request keep running, and the fan-in table joins them
@@ -633,29 +710,75 @@ impl<'a> Simulation<'a> {
     /// under preemption already re-run lost partial jobs, so job identity
     /// there is best-effort by design). The freed pipeline is picked up
     /// by the dispatch pass that follows the event batch.
-    fn preempt_youngest_background(
+    #[allow(clippy::too_many_arguments)]
+    fn preempt_background(
         &self,
         now: f64,
         waiting: u64,
+        cost: &CostModel,
         fleet: &mut Fleet,
         in_flight: &mut BTreeMap<u64, InFlight>,
         queue: &mut PriorityQueue,
         preemptions: &mut Vec<PreemptionRecord>,
     ) -> bool {
-        let victim = in_flight
-            .iter()
-            .filter(|(_, f)| f.request.class == RequestClass::lowest() && !f.shards.is_empty())
-            .map(|(&id, _)| id)
-            .next_back();
-        let Some(victim) = victim else { return false };
+        let background = |f: &InFlight| f.request.class == RequestClass::lowest();
+        let chosen = if self.preemption.cost_aware_victims {
+            // Price every candidate eviction; cheapest wins, ties to the
+            // youngest (highest request id, then highest shard id) so
+            // selection matches the legacy instinct when prices agree.
+            let mut best: Option<(f64, u64, u32, usize)> = None;
+            for (&id, f) in in_flight.iter().filter(|(_, f)| background(f)) {
+                for (si, slot) in f.shards.iter().enumerate() {
+                    // The re-swap term applies only when eviction would
+                    // tear a swap still streaming in — the same
+                    // condition under which `Card::preempt` drops the
+                    // residency. A victim whose swap completed leaves
+                    // the family resident, so no re-stream is owed.
+                    let tearing_swap = slot.admission.swap_seconds > 0.0
+                        && now < slot.dispatched + slot.admission.swap_seconds;
+                    let price = cost.preemption_cost(
+                        slot.card,
+                        &f.request.shape,
+                        now - slot.dispatched,
+                        slot.admission.stall_seconds,
+                        slot.admission.per_job_seconds,
+                        slot.jobs,
+                        tearing_swap,
+                    );
+                    let better = match &best {
+                        None => true,
+                        Some((b, bid, bshard, _)) => match price.total_cmp(b) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Greater => false,
+                            std::cmp::Ordering::Equal => (id, slot.shard) > (*bid, *bshard),
+                        },
+                    };
+                    if better {
+                        best = Some((price, id, slot.shard, si));
+                    }
+                }
+            }
+            best.map(|(_, id, _, si)| (id, si))
+        } else {
+            in_flight
+                .iter()
+                .filter(|(_, f)| background(f) && !f.shards.is_empty())
+                .map(|(&id, f)| {
+                    let si = f
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, s)| s.shard)
+                        .map(|(i, _)| i)
+                        .expect("candidate has a live shard");
+                    (id, si)
+                })
+                .next_back()
+        };
+        let Some((victim, si)) = chosen else {
+            return false;
+        };
         let entry = in_flight.get_mut(&victim).expect("victim was just found");
-        let si = entry
-            .shards
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, s)| s.shard)
-            .map(|(i, _)| i)
-            .expect("victim has a live shard");
         let slot = entry.shards.remove(si);
         let done = fleet
             .card_mut(slot.card)
@@ -666,6 +789,9 @@ impl<'a> Simulation<'a> {
         let done = done.min(slot.jobs - 1);
         entry.request.preemptions += 1;
         let mut remnant = entry.request;
+        // The remnant owes one restart penalty for this preemption; its
+        // first admission pays it and clears the flag.
+        remnant.pending_restart = true;
         remnant.jobs_done = slot.first_job + done;
         remnant.jobs_end = slot.first_job + slot.jobs;
         if let Some(prev) = queue.remove(remnant.rank_key()) {
@@ -748,6 +874,7 @@ pub(crate) fn card_view(index: usize, card: &Card, now: f64) -> CardView {
         backlog_seconds: card.backlog_seconds(now),
         served: card.served(),
         seconds_per_token: card.seconds_per_token(),
+        resident: card.resident_family(),
     }
 }
 
@@ -968,6 +1095,7 @@ mod tests {
             cards,
             Vec::new(),
             Vec::new(),
+            None,
             Vec::new(),
         )
     }
@@ -1129,6 +1257,62 @@ mod tests {
         assert!(eager.preemptions.windows(2).all(|w| w[0].time <= w[1].time));
         let preempted_on_cards: u64 = eager.cards.iter().map(|c| c.preempted).sum();
         assert_eq!(preempted_on_cards as usize, eager.preemptions.len());
+    }
+
+    #[test]
+    fn cost_aware_preemption_picks_cheaper_victims_and_conserves_work() {
+        // Same bursty-lull regime as the youngest-first test, with
+        // victims selected by minimum predicted eviction cost. The
+        // conservation guarantees are unchanged — everything offered
+        // completes, only background is evicted — selection is bitwise
+        // deterministic, and at least one firing picks a different
+        // victim than youngest-first would (the two logs diverge).
+        let fleet = FleetConfig::standard(2);
+        let requests = bursty_lulls(13, 250, 2.5);
+        let run = |control: PreemptionControl| {
+            Simulation::new(&fleet)
+                .preemption(control)
+                .run(&mut LeastLoaded, &requests)
+        };
+        let youngest = run(PreemptionControl::after_wait(0.05));
+        let cheap = run(PreemptionControl::cost_aware(0.05));
+        let cheap_again = run(PreemptionControl::cost_aware(0.05));
+        assert_eq!(cheap, cheap_again, "cost-aware selection must be stable");
+        assert_eq!(cheap.completed, requests.len());
+        assert!(!cheap.preemptions.is_empty(), "bursts must trigger it");
+        let by_id: std::collections::BTreeMap<u64, &Request> =
+            requests.iter().map(|r| (r.id, r)).collect();
+        for p in &cheap.preemptions {
+            assert_eq!(by_id[&p.preempted].class, RequestClass::Background);
+            assert_eq!(by_id[&p.waiting].class, RequestClass::Interactive);
+        }
+        let preempted_on_cards: u64 = cheap.cards.iter().map(|c| c.preempted).sum();
+        assert_eq!(preempted_on_cards as usize, cheap.preemptions.len());
+        assert!(!youngest.preemptions.is_empty());
+        assert_ne!(
+            youngest.preemptions, cheap.preemptions,
+            "cost-aware selection must actually change a victim choice"
+        );
+        // Sparing expensive victims cannot make interactive service
+        // collapse: the tail stays within sight of youngest-first.
+        let (y99, c99) = (
+            youngest
+                .class(RequestClass::Interactive)
+                .unwrap()
+                .latency
+                .unwrap()
+                .p99,
+            cheap
+                .class(RequestClass::Interactive)
+                .unwrap()
+                .latency
+                .unwrap()
+                .p99,
+        );
+        assert!(
+            c99 <= y99 * 1.5,
+            "cost-aware interactive p99 {c99} vs youngest {y99}"
+        );
     }
 
     #[test]
@@ -1354,6 +1538,60 @@ mod tests {
         assert_eq!(whole.max_shards, 1);
         let json = sharded.to_json().pretty();
         assert!(json.contains("\"sharded_requests\""));
+    }
+
+    /// Four dual-pipeline FP16 cards on a bandwidth-binned memory
+    /// interface: one pipeline's ~1.15 GB/s streaming fits, two
+    /// oversubscribe it (~1.9× stretch) — the fleet where shard
+    /// co-location has a real price.
+    fn binned_fleet() -> FleetConfig {
+        FleetConfig {
+            groups: vec![crate::fleet::CardGroup::new(
+                4,
+                swat::SwatConfig::bigbird_dual_fp16(),
+                swat_hw::MemoryInterface::new(1.2e9),
+            )],
+            host_link: swat_hw::MemoryInterface::pcie4_x16(),
+        }
+    }
+
+    #[test]
+    fn adaptive_width_beats_fixed_fanout_under_a_deep_queue() {
+        use crate::policy::ShardedShortestJobFirst;
+        // Interactive traffic near the fixed-width policy's saturation
+        // point: a deep queue forms, so pipeline-seconds are the scarce
+        // resource. Fixed fan-out keeps co-locating shards and burning
+        // the ~1.9× contention stretch; the adaptive planner prices the
+        // backlog and backs off to narrow plans, which is worth a large
+        // tail-latency factor. This is the serve_sweep adaptive-width
+        // scenario in miniature.
+        let fleet = binned_fleet();
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(80.0),
+            mix: RequestMix::Interactive,
+            seed: 0x5EED,
+        };
+        let requests = spec.requests(500);
+        let fixed = Simulation::new(&fleet).run(&mut ShardedShortestJobFirst::fixed(4), &requests);
+        let adaptive = Simulation::new(&fleet).run(&mut ShardedShortestJobFirst::new(4), &requests);
+        assert_eq!(fixed.completed, requests.len());
+        assert_eq!(adaptive.completed, requests.len());
+        let (f99, a99) = (fixed.latency.unwrap().p99, adaptive.latency.unwrap().p99);
+        assert!(
+            a99 < f99,
+            "adaptive p99 {a99} must beat fixed-4 p99 {f99} under a deep queue"
+        );
+        // The planner audit holds under contention too: admission
+        // charged exactly what the plans were priced at.
+        for report in [&fixed, &adaptive] {
+            if let Some(p) = &report.cost_prediction {
+                assert!(p.max_error_s < 1e-9, "prediction drifted: {p:?}");
+            }
+        }
+        assert!(
+            fixed.cost_prediction.is_some(),
+            "fixed-4 must have priced multi-shard plans"
+        );
     }
 
     #[test]

@@ -4,11 +4,12 @@
 
 use proptest::prelude::*;
 use swat_serve::arrival::ArrivalProcess;
+use swat_serve::cost::CostModel;
 use swat_serve::fleet::{CardGroup, FleetConfig};
 use swat_serve::metrics::percentile;
 use swat_serve::policy::{
-    DispatchPolicy, Fifo, HeadAffinity, LeastLoaded, ShardedLeastLoaded, ShardedShortestJobFirst,
-    ShortestJobFirst,
+    shard_targets, CardView, DispatchPolicy, Fifo, HeadAffinity, LeastLoaded, ShardedLeastLoaded,
+    ShardedShortestJobFirst, ShortestJobFirst,
 };
 use swat_serve::scale::AutoscalerConfig;
 use swat_serve::sim::{simulate, AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
@@ -418,12 +419,13 @@ proptest! {
 
     /// Sharded runs are bitwise seed-deterministic, down to the JSON,
     /// across fan-out widths, fleets, traffic and both split-aware
-    /// policies.
+    /// policies — in both the adaptive-width and fixed-width modes.
     #[test]
     fn sharded_runs_seed_deterministic(
         cards in 1usize..4,
         max_shards in 1usize..6,
         sjf in any::<bool>(),
+        adaptive in any::<bool>(),
         arrivals in any_arrivals(),
         mix in any_mix(),
         seed in any::<u64>(),
@@ -432,10 +434,11 @@ proptest! {
         let requests = spec.requests(70);
         let fleet = FleetConfig::standard(cards);
         let run = || {
-            let mut policy: Box<dyn DispatchPolicy> = if sjf {
-                Box::new(ShardedShortestJobFirst::new(max_shards))
-            } else {
-                Box::new(ShardedLeastLoaded::new(max_shards))
+            let mut policy: Box<dyn DispatchPolicy> = match (sjf, adaptive) {
+                (true, true) => Box::new(ShardedShortestJobFirst::new(max_shards)),
+                (true, false) => Box::new(ShardedShortestJobFirst::fixed(max_shards)),
+                (false, true) => Box::new(ShardedLeastLoaded::new(max_shards)),
+                (false, false) => Box::new(ShardedLeastLoaded::fixed(max_shards)),
             };
             Simulation::new(&fleet).run(&mut *policy, &requests)
         };
@@ -444,6 +447,63 @@ proptest! {
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.to_json().pretty(), b.to_json().pretty());
         prop_assert!(a.max_shards <= max_shards.max(1));
+        // The planner audit: every multi-shard plan was realized at
+        // exactly its predicted fan-in (shared cost model, no drift).
+        if let Some(p) = a.cost_prediction {
+            prop_assert!(p.plans > 0);
+            prop_assert!(p.max_error_s.abs() < 1e-9, "prediction error {p:?}");
+        }
+    }
+
+    /// The cost model's predicted fan-in time for a plan on an idle
+    /// fleet is never below the realized completion time and matches it
+    /// to float noise, across random shapes, widths and heterogeneous
+    /// groups: prediction and admission share one implementation, so on
+    /// idle pipelines they are the same arithmetic.
+    #[test]
+    fn cost_model_prediction_matches_idle_fleet_fan_in(
+        shape in any_shape(),
+        fleet_cfg in any_mixed_fleet(),
+        width in 1usize..6,
+    ) {
+        let fleet = fleet_cfg.build().expect("fleet builds");
+        let cost = CostModel::for_fleet(&fleet);
+        // The idle-fleet view the policy would see at t = 0.
+        let views: Vec<CardView> = fleet
+            .cards()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CardView {
+                card: i,
+                group: c.group(),
+                pipelines: c.pipelines(),
+                idle_pipelines: c.pipelines(),
+                backlog_seconds: 0.0,
+                served: 0,
+                seconds_per_token: c.seconds_per_token(),
+                resident: None,
+            })
+            .collect();
+        let request = swat_serve::Request::new(0, 0.0, shape);
+        let plan = shard_targets(&views, &shape, width).expect("idle fleet has a plan");
+        let predicted = cost.price_plan(&request, &plan, &views, 0.0);
+        prop_assert!(predicted.width == plan.len().min(shape.jobs()));
+        // Realize the same plan: the fixed-width policy reproduces the
+        // shard_targets fill on the same idle views.
+        let report = Simulation::new(&fleet_cfg)
+            .run(&mut ShardedLeastLoaded::fixed(width), &[request]);
+        let realized = report.latency.expect("the request completed").max;
+        prop_assert!(
+            predicted.fan_in >= realized - 1e-12,
+            "prediction {} below realized {}", predicted.fan_in, realized
+        );
+        prop_assert!(
+            predicted.fan_in <= realized * (1.0 + 1e-9) + 1e-12,
+            "prediction {} above realized {}", predicted.fan_in, realized
+        );
+        // The plan never consumes more pipeline-seconds than serial
+        // service plus its stalls would.
+        prop_assert!(predicted.busy_seconds > 0.0);
     }
 
     /// On an otherwise idle fleet, splitting a request across pipelines
