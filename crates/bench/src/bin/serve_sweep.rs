@@ -30,7 +30,9 @@
 //!    the adaptive planner backs off to narrow plans — with per-width
 //!    histograms and the predicted-vs-realized audit in the JSON.
 //!
-//! Output is bitwise identical for a fixed `seed`.
+//! Output is bitwise identical for a fixed `seed`. Per-scenario
+//! wall-clock and kernel events/sec go to **stderr** only, so the tables
+//! on stdout and the JSON artifact stay byte-identical run to run.
 //!
 //! ```text
 //! cargo run --release -p swat-bench --bin serve_sweep [seed] [requests]
@@ -80,16 +82,33 @@ fn run_cell(
     admission: AdmissionControl,
     seed: u64,
     requests: usize,
-) -> ServeReport {
+) -> (ServeReport, u64) {
     let spec = TrafficSpec {
         arrivals,
         mix: RequestMix::Production,
         seed,
     };
-    Simulation::new(fleet)
+    let (report, counters) = Simulation::new(fleet)
         .arrivals_label(format!("{}/{}", arrivals.name(), spec.mix.name()))
         .admission(admission)
-        .run(policy, &spec.requests(requests))
+        .run_profiled(policy, &spec.requests(requests));
+    (report, counters.events_total())
+}
+
+/// Reports a scenario's wall-clock cost to stderr. stdout (the tables)
+/// and `BENCH_serve.json` stay byte-identical — CI's sha-compare and any
+/// `2>/dev/null` consumer are unaffected.
+fn scenario_timing(scenario: &str, runs: usize, events: u64, started: std::time::Instant) {
+    let wall = started.elapsed().as_secs_f64();
+    let rate = if wall > 0.0 {
+        events as f64 / wall
+    } else {
+        0.0
+    };
+    eprintln!(
+        "timing: {scenario:<14} {runs:>2} runs  {events:>9} kernel events  \
+         {wall:>6.2} s wall  {rate:>9.0} events/s"
+    );
 }
 
 /// One run's JSON, annotated with the inputs the report alone cannot
@@ -197,9 +216,11 @@ fn main() {
 
     // Scenario 1: homogeneous baseline.
     let mut runs = Vec::new();
+    let started = std::time::Instant::now();
+    let mut events = 0u64;
     for arrivals in homogeneous_arrivals {
         for mut policy in all_policies() {
-            let report = run_cell(
+            let (report, cell_events) = run_cell(
                 &homogeneous,
                 arrivals,
                 &mut *policy,
@@ -207,10 +228,12 @@ fn main() {
                 seed,
                 requests,
             );
+            events += cell_events;
             rows.push(summary_row("homogeneous", &report));
             runs.push(annotated_run(&report, arrivals, "admit-all", "none"));
         }
     }
+    scenario_timing("homogeneous", runs.len(), events, started);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("homogeneous".into())),
         ("fleet", fleet_json(&homogeneous)),
@@ -220,9 +243,11 @@ fn main() {
 
     // Scenario 2: heterogeneous fleet.
     let mut runs = Vec::new();
+    let started = std::time::Instant::now();
+    let mut events = 0u64;
     for arrivals in heterogeneous_arrivals {
         for mut policy in all_policies() {
-            let report = run_cell(
+            let (report, cell_events) = run_cell(
                 &heterogeneous,
                 arrivals,
                 &mut *policy,
@@ -230,10 +255,12 @@ fn main() {
                 seed,
                 requests,
             );
+            events += cell_events;
             rows.push(summary_row("heterogeneous", &report));
             runs.push(annotated_run(&report, arrivals, "admit-all", "none"));
         }
     }
+    scenario_timing("heterogeneous", runs.len(), events, started);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("heterogeneous".into())),
         ("fleet", fleet_json(&heterogeneous)),
@@ -244,6 +271,8 @@ fn main() {
     // Scenario 3: priority classes under overload, admission on vs off.
     let mut runs = Vec::new();
     let mut class_rows = Vec::new();
+    let started = std::time::Instant::now();
+    let mut events = 0u64;
     for (label, admission) in [
         ("admit-all", AdmissionControl::admit_all()),
         (
@@ -251,7 +280,7 @@ fn main() {
             AdmissionControl::shed_background_at(background_cap),
         ),
     ] {
-        let report = run_cell(
+        let (report, cell_events) = run_cell(
             &homogeneous,
             priority_arrivals,
             &mut LeastLoaded,
@@ -259,6 +288,7 @@ fn main() {
             seed,
             requests,
         );
+        events += cell_events;
         rows.push(summary_row(&format!("priority/{label}"), &report));
         for class in &report.classes {
             let latency = class.latency;
@@ -276,6 +306,7 @@ fn main() {
         }
         runs.push(annotated_run(&report, priority_arrivals, label, "none"));
     }
+    scenario_timing("priority", runs.len(), events, started);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("priority".into())),
         ("fleet", fleet_json(&homogeneous)),
@@ -294,6 +325,8 @@ fn main() {
     let preemption_arrivals = ArrivalProcess::bursty(2.5);
     let patience = 0.1f64;
     let mut runs = Vec::new();
+    let started = std::time::Instant::now();
+    let mut events = 0u64;
     for (label, preemption) in [
         ("run-to-completion", PreemptionControl::disabled()),
         ("preempt-100ms", PreemptionControl::after_wait(patience)),
@@ -303,14 +336,15 @@ fn main() {
             mix: RequestMix::Production,
             seed,
         };
-        let report = Simulation::new(&preemption_fleet)
+        let (report, counters) = Simulation::new(&preemption_fleet)
             .arrivals_label(format!(
                 "{}/{}",
                 preemption_arrivals.name(),
                 spec.mix.name()
             ))
             .preemption(preemption)
-            .run(&mut LeastLoaded, &spec.requests(requests));
+            .run_profiled(&mut LeastLoaded, &spec.requests(requests));
+        events += counters.events_total();
         rows.push(summary_row(&format!("preemption/{label}"), &report));
         runs.push(annotated_run(
             &report,
@@ -319,6 +353,7 @@ fn main() {
             label,
         ));
     }
+    scenario_timing("preemption", runs.len(), events, started);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("preemption".into())),
         ("fleet", fleet_json(&preemption_fleet)),
@@ -334,6 +369,8 @@ fn main() {
     let scaler_cfg = AutoscalerConfig::standard().with_min_cards(2);
     let mut runs = Vec::new();
     let mut tradeoff_rows = Vec::new();
+    let started = std::time::Instant::now();
+    let mut events = 0u64;
     for (label, scale) in [("static", None), ("autoscale-min2", Some(scaler_cfg))] {
         let spec = TrafficSpec {
             arrivals: autoscale_arrivals,
@@ -348,7 +385,8 @@ fn main() {
         if let Some(cfg) = scale {
             sim = sim.autoscale(cfg);
         }
-        let report = sim.run(&mut LeastLoaded, &spec.requests(requests));
+        let (report, counters) = sim.run_profiled(&mut LeastLoaded, &spec.requests(requests));
+        events += counters.events_total();
         rows.push(summary_row(&format!("autoscale/{label}"), &report));
         tradeoff_rows.push(vec![
             label.to_string(),
@@ -366,6 +404,7 @@ fn main() {
             label,
         ));
     }
+    scenario_timing("autoscale", runs.len(), events, started);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("autoscale".into())),
         ("fleet", fleet_json(&homogeneous)),
@@ -402,8 +441,10 @@ fn main() {
             Box::new(ShardedShortestJobFirst::new(sharded_max)),
         ),
     ];
+    let started = std::time::Instant::now();
+    let mut events = 0u64;
     for (label, policy) in &mut cells {
-        let report = run_cell(
+        let (report, cell_events) = run_cell(
             &sharded_fleet,
             sharded_arrivals,
             &mut **policy,
@@ -411,6 +452,7 @@ fn main() {
             seed,
             requests,
         );
+        events += cell_events;
         rows.push(summary_row(&format!("sharded/{label}"), &report));
         fanout_rows.push(vec![
             report.policy.clone(),
@@ -422,6 +464,7 @@ fn main() {
         ]);
         runs.push(annotated_run(&report, sharded_arrivals, "admit-all", label));
     }
+    scenario_timing("sharded", runs.len(), events, started);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("sharded".into())),
         ("fleet", fleet_json(&sharded_fleet)),
@@ -465,19 +508,22 @@ fn main() {
             Box::new(ShardedShortestJobFirst::new(adaptive_max)),
         ),
     ];
+    let started = std::time::Instant::now();
+    let mut events = 0u64;
     for (label, policy) in &mut cells {
         let spec = TrafficSpec {
             arrivals: adaptive_arrivals,
             mix: adaptive_mix,
             seed,
         };
-        let report = Simulation::new(&binned_fleet)
+        let (report, counters) = Simulation::new(&binned_fleet)
             .arrivals_label(format!(
                 "{}/{}",
                 adaptive_arrivals.name(),
                 adaptive_mix.name()
             ))
-            .run(&mut **policy, &spec.requests(requests));
+            .run_profiled(&mut **policy, &spec.requests(requests));
+        events += counters.events_total();
         rows.push(summary_row(&format!("adaptive/{label}"), &report));
         let widths = report
             .shard_widths
@@ -503,6 +549,7 @@ fn main() {
             label,
         ));
     }
+    scenario_timing("adaptive-width", runs.len(), events, started);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("adaptive-width".into())),
         ("fleet", fleet_json(&binned_fleet)),

@@ -20,6 +20,7 @@
 //! | `accuracy_proxy` | extension — trained ridge-readout accuracy per pattern |
 //! | `gantt`   | ASCII pipeline-occupancy view of the Table 1 schedule |
 //! | `serve_sweep` | extension — multi-card request-serving sweep, emits `BENCH_serve.json` |
+//! | `kernel_profile` | extension — event-kernel self-profiling (events by kind, peaks, events/sec), emits `BENCH_kernel.json` |
 //!
 //! Criterion micro-benchmarks of the actual kernels live in `benches/`.
 

@@ -78,6 +78,34 @@ pub enum Event {
     ScaleCheck,
 }
 
+impl Event {
+    /// Number of event kinds (the length of [`Event::KIND_NAMES`] and of
+    /// the kernel's per-kind counters).
+    pub const KIND_COUNT: usize = 5;
+
+    /// Stable kind labels, indexed by [`Event::kind_index`] — tie-break
+    /// order, the same order the heap delivers equal-time events in.
+    pub const KIND_NAMES: [&'static str; Event::KIND_COUNT] = [
+        "arrival",
+        "completion",
+        "preemption",
+        "warmed",
+        "scale_check",
+    ];
+
+    /// This event's kind index (the heap's equal-time tie-break rank;
+    /// also the [`KernelCounters`](crate::trace::KernelCounters) slot).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::Arrival { .. } => 0,
+            Event::Completion { .. } => 1,
+            Event::Preemption { .. } => 2,
+            Event::Warmed { .. } => 3,
+            Event::ScaleCheck => 4,
+        }
+    }
+}
+
 /// One heap entry with its explicit ordering key.
 #[derive(Debug, Clone, Copy)]
 struct HeapEntry {

@@ -642,6 +642,20 @@ impl Fleet {
     pub fn total_pipelines(&self) -> usize {
         self.cards.iter().map(Card::pipelines).sum()
     }
+
+    /// Cards currently powered — the fleet size for a static fleet, fewer
+    /// when an autoscaler parked some (the "powered cards" gauge the
+    /// trace sinks chart).
+    pub fn powered_cards(&self) -> usize {
+        self.cards.iter().filter(|c| c.powered()).count()
+    }
+
+    /// Cumulative active-service energy across the fleet so far, joules
+    /// (the monotone counter behind the trace sinks' energy track; idle
+    /// energy is accounted separately, per card).
+    pub fn active_energy_joules(&self) -> f64 {
+        self.cards.iter().map(Card::energy_joules).sum()
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,17 @@
 //! idle energy, SLO violations and attainment, the preemption log and
 //! the scaling timeline — serializable to JSON ([`json`]) for the
 //! `serve_sweep` benchmark binary. Every run is bit-for-bit
-//! deterministic for a fixed seed. `docs/serving.md` in the repository
+//! deterministic for a fixed seed. The kernel is **observable** without
+//! being perturbed: a [`trace::TraceSink`] receives every structural
+//! event (arrival, shed, dispatch with the priced plan, per-shard
+//! start/finish, fan-in, preemption with the victim's eviction price,
+//! warm-up, scaling, gauge samples) — [`trace::ChromeTraceSink`] renders
+//! a run as a Chrome/Perfetto trace, [`trace::RecordingSink`] captures
+//! the raw stream for tests, and the disabled default ([`trace::NullSink`])
+//! leaves every report byte-identical. For very long traces,
+//! [`trace::TelemetryMode::Streaming`] swaps the exact per-request
+//! latency vectors for fixed-memory P² quantile sketches and a bounded
+//! time-bucketed gauge histogram. `docs/serving.md` in the repository
 //! root walks the architecture, a scenario cookbook, and the benchmark
 //! JSON schema.
 //!
@@ -93,6 +103,7 @@ pub mod policy;
 pub mod request;
 pub mod scale;
 pub mod sim;
+pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use cost::{CardCostModel, CostModel, PlanCost};
@@ -103,3 +114,7 @@ pub use request::Request;
 pub use scale::{Autoscaler, AutoscalerConfig, ScaleEvent};
 pub use sim::{serve, simulate, AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
 pub use swat_workloads::RequestClass;
+pub use trace::{
+    ChromeTraceSink, GaugeSample, KernelCounters, NullSink, RecordingSink, TelemetryMode,
+    TraceEvent, TraceSink,
+};

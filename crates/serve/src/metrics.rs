@@ -85,13 +85,91 @@ pub struct QueueSummary {
     /// Depth after every event (arrival or dispatch), for plotting.
     /// Capped by the simulator to bound memory on long sweeps.
     pub timeline: Vec<QueueSample>,
+    /// Event batches the simulator *would* have sampled — equals
+    /// `timeline.len()` until the cap trips, larger after, so a capped
+    /// timeline is distinguishable from a complete one (`max_depth` and
+    /// `mean_depth` stay exact either way).
+    pub total_samples: usize,
 }
 
 impl QueueSummary {
+    /// Whether the timeline hit the simulator's cap and dropped samples.
+    pub fn truncated(&self) -> bool {
+        self.total_samples > self.timeline.len()
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("max_depth", Json::Int(self.max_depth as i64)),
             ("mean_depth", Json::Num(self.mean_depth)),
+        ])
+    }
+}
+
+/// One row of the streaming telemetry histogram: gauge statistics over a
+/// fixed time bucket (see [`TimeBuckets`](crate::trace::TimeBuckets)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryBucket {
+    /// Bucket start, seconds (buckets are contiguous).
+    pub start_s: f64,
+    /// Gauge samples (event batches) that landed in this bucket.
+    pub samples: u64,
+    /// Mean queue depth over the bucket's samples (0 when empty).
+    pub queue_mean: f64,
+    /// Peak queue depth in the bucket.
+    pub queue_max: usize,
+    /// Mean in-flight shard count.
+    pub in_flight_mean: f64,
+    /// Peak in-flight shard count.
+    pub in_flight_max: usize,
+    /// Mean powered-card count.
+    pub powered_mean: f64,
+    /// Mean instantaneous utilization (in-flight shards over fleet
+    /// pipelines).
+    pub utilization_mean: f64,
+    /// Cumulative active energy at the bucket's last sample, joules.
+    pub energy_joules: f64,
+}
+
+impl TelemetryBucket {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("t0_s", Json::Num(self.start_s)),
+            ("samples", Json::UInt(self.samples)),
+            ("queue_mean", Json::Num(self.queue_mean)),
+            ("queue_max", Json::Int(self.queue_max as i64)),
+            ("in_flight_mean", Json::Num(self.in_flight_mean)),
+            ("in_flight_max", Json::Int(self.in_flight_max as i64)),
+            ("powered_mean", Json::Num(self.powered_mean)),
+            ("utilization_mean", Json::Num(self.utilization_mean)),
+            ("energy_j", Json::Num(self.energy_joules)),
+        ])
+    }
+}
+
+/// The streaming telemetry attachment: present on a report only when the
+/// run used [`TelemetryMode::Streaming`](crate::trace::TelemetryMode) —
+/// Exact-mode reports omit it entirely, keeping their JSON byte-identical
+/// to pre-telemetry releases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Bucket width, seconds (doubles as long runs coarsen; see
+    /// [`TimeBuckets`](crate::trace::TimeBuckets)).
+    pub bucket_seconds: f64,
+    /// The bounded gauge histogram, in time order.
+    pub buckets: Vec<TelemetryBucket>,
+}
+
+impl TelemetrySummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::Str("streaming".into())),
+            ("quantile_estimator", Json::Str("p2".into())),
+            ("bucket_s", Json::Num(self.bucket_seconds)),
+            (
+                "buckets",
+                Json::arr(self.buckets.iter().map(|b| b.to_json())),
+            ),
         ])
     }
 }
@@ -126,6 +204,20 @@ impl PreemptionRecord {
             ),
         ])
     }
+}
+
+/// The explicit marker a capped log serializes next to itself: `None`
+/// while the log fits (nothing is emitted — historical JSON is
+/// unchanged), an object with `truncated`/`logged`/`total` once entries
+/// were dropped.
+fn truncation_meta(total: usize, cap: usize) -> Option<Json> {
+    (total > cap).then(|| {
+        Json::obj([
+            ("truncated", Json::Bool(true)),
+            ("logged", Json::Int(cap as i64)),
+            ("total", Json::Int(total as i64)),
+        ])
+    })
 }
 
 fn scale_event_json(e: &ScaleEvent) -> Json {
@@ -377,6 +469,10 @@ pub struct ServeReport {
     pub cost_prediction: Option<CostPrediction>,
     /// Per-job placements, when tracing was requested: `(card, placement)`.
     pub placements: Vec<(usize, Placement)>,
+    /// Streaming telemetry histogram, present only on
+    /// [`TelemetryMode::Streaming`](crate::trace::TelemetryMode) runs
+    /// (`None` under Exact, whose JSON must stay byte-identical).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl ServeReport {
@@ -478,6 +574,7 @@ impl ServeReport {
             scaling,
             cost_prediction,
             placements,
+            telemetry: None,
         }
     }
 
@@ -584,15 +681,25 @@ impl ServeReport {
                         .map(PreemptionRecord::to_json),
                 ),
             ),
-            (
-                "scaling",
-                Json::arr(
-                    self.scaling
-                        .iter()
-                        .take(SCALING_JSON_CAP)
-                        .map(scale_event_json),
-                ),
+        ]);
+        // A capped log declares itself (logged vs total); an uncapped one
+        // omits the row entirely, so historical JSON stays byte-identical.
+        if let Some(meta) = truncation_meta(self.preemptions.len(), PREEMPTION_JSON_CAP) {
+            pairs.push(("preemption_log_meta", meta));
+        }
+        pairs.push((
+            "scaling",
+            Json::arr(
+                self.scaling
+                    .iter()
+                    .take(SCALING_JSON_CAP)
+                    .map(scale_event_json),
             ),
+        ));
+        if let Some(meta) = truncation_meta(self.scaling.len(), SCALING_JSON_CAP) {
+            pairs.push(("scaling_meta", meta));
+        }
+        pairs.extend([
             (
                 "groups",
                 Json::arr(self.groups.iter().map(GroupSummary::to_json)),
@@ -602,6 +709,9 @@ impl ServeReport {
                 Json::arr(self.cards.iter().map(CardSummary::to_json)),
             ),
         ]);
+        if let Some(t) = &self.telemetry {
+            pairs.push(("telemetry", t.to_json()));
+        }
         Json::obj(pairs)
     }
 }
@@ -681,6 +791,7 @@ mod tests {
                 max_depth: 2,
                 mean_depth: 0.5,
                 timeline: Vec::new(),
+                total_samples: 0,
             },
             vec![card_summary(0, 0)],
             Vec::new(),
@@ -727,6 +838,7 @@ mod tests {
                 max_depth: 0,
                 mean_depth: 0.0,
                 timeline: Vec::new(),
+                total_samples: 0,
             },
             vec![card_summary(0, 0)],
             vec![PreemptionRecord {
@@ -767,6 +879,7 @@ mod tests {
                 max_depth: 0,
                 mean_depth: 0.0,
                 timeline: Vec::new(),
+                total_samples: 0,
             },
             vec![card_summary(0, 0)],
             Vec::new(),
@@ -802,6 +915,7 @@ mod tests {
                 max_depth: 0,
                 mean_depth: 0.0,
                 timeline: Vec::new(),
+                total_samples: 0,
             },
             vec![card_summary(0, 0)],
             Vec::new(),
@@ -832,6 +946,7 @@ mod tests {
                 max_depth: 0,
                 mean_depth: 0.0,
                 timeline: Vec::new(),
+                total_samples: 0,
             },
             vec![card_summary(0, 0)],
             Vec::new(),
@@ -859,6 +974,7 @@ mod tests {
                 max_depth: 0,
                 mean_depth: 0.0,
                 timeline: Vec::new(),
+                total_samples: 0,
             },
             vec![card_summary(0, 0)],
             Vec::new(),
@@ -884,6 +1000,7 @@ mod tests {
                 max_depth: 0,
                 mean_depth: 0.0,
                 timeline: Vec::new(),
+                total_samples: 0,
             },
             vec![card_summary(0, 0)],
             Vec::new(),
@@ -911,6 +1028,7 @@ mod tests {
                 max_depth: 0,
                 mean_depth: 0.0,
                 timeline: Vec::new(),
+                total_samples: 0,
             },
             vec![card_summary(0, 0)],
             Vec::new(),
@@ -935,6 +1053,7 @@ mod tests {
                 max_depth: 0,
                 mean_depth: 0.0,
                 timeline: Vec::new(),
+                total_samples: 0,
             },
             vec![card_summary(0, 0)],
             Vec::new(),
@@ -952,6 +1071,145 @@ mod tests {
         assert!(json.contains("\"cost_prediction\""));
         assert!(json.contains("\"plans\": 1"));
         assert!(json.contains("\"mean_abs_error_s\": 0"));
+    }
+
+    #[test]
+    fn capped_logs_declare_their_truncation() {
+        let runs = [completed(0, 0.0, 0.1)];
+        let preemptions: Vec<PreemptionRecord> = (0..300)
+            .map(|i| PreemptionRecord {
+                time: i as f64 * 1e-3,
+                preempted: i,
+                waiting: 0,
+                card: 0,
+                jobs_checkpointed: 1,
+            })
+            .collect();
+        let report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+                total_samples: 0,
+            },
+            vec![card_summary(0, 0)],
+            preemptions,
+            Vec::new(),
+            None,
+            Vec::new(),
+        );
+        let json = report.to_json().pretty();
+        // The full count stays exact, the log caps, and the cap declares
+        // itself with explicit logged/total counts.
+        assert!(json.contains("\"preemptions\": 300"));
+        assert!(json.contains("\"preemption_log_meta\""));
+        assert!(json.contains("\"truncated\": true"));
+        assert!(json.contains("\"logged\": 256"));
+        assert!(json.contains("\"total\": 300"));
+        assert_eq!(json.matches("\"t_s\"").count(), 256);
+        // Scaling never tripped its cap: no meta row at all.
+        assert!(!json.contains("\"scaling_meta\""));
+    }
+
+    #[test]
+    fn uncapped_logs_omit_truncation_meta() {
+        let runs = [completed(0, 0.0, 0.1)];
+        let report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+                total_samples: 0,
+            },
+            vec![card_summary(0, 0)],
+            vec![PreemptionRecord {
+                time: 0.05,
+                preempted: 9,
+                waiting: 2,
+                card: 0,
+                jobs_checkpointed: 4,
+            }],
+            Vec::new(),
+            None,
+            Vec::new(),
+        );
+        let json = report.to_json().pretty();
+        assert!(!json.contains("_meta"), "uncapped logs stay byte-identical");
+        assert!(!json.contains("truncated"));
+    }
+
+    #[test]
+    fn queue_summary_reports_timeline_truncation() {
+        let full = QueueSummary {
+            max_depth: 3,
+            mean_depth: 1.0,
+            timeline: vec![QueueSample {
+                time: 0.0,
+                depth: 3,
+            }],
+            total_samples: 1,
+        };
+        assert!(!full.truncated());
+        let capped = QueueSummary {
+            total_samples: 5_000,
+            ..full.clone()
+        };
+        assert!(capped.truncated());
+        // The JSON stays the legacy two-field object either way.
+        assert_eq!(full.to_json().pretty(), capped.to_json().pretty());
+    }
+
+    #[test]
+    fn telemetry_attachment_serializes_only_when_present() {
+        let runs = [completed(0, 0.0, 0.1)];
+        let mut report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+                total_samples: 0,
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+        );
+        assert_eq!(report.telemetry, None, "assemble is the Exact path");
+        let json = report.to_json().pretty();
+        assert!(!json.contains("\"telemetry\""));
+        report.telemetry = Some(TelemetrySummary {
+            bucket_seconds: 0.5,
+            buckets: vec![TelemetryBucket {
+                start_s: 0.0,
+                samples: 4,
+                queue_mean: 1.5,
+                queue_max: 3,
+                in_flight_mean: 2.0,
+                in_flight_max: 4,
+                powered_mean: 2.0,
+                utilization_mean: 0.5,
+                energy_joules: 1.25,
+            }],
+        });
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"mode\": \"streaming\""));
+        assert!(json.contains("\"quantile_estimator\": \"p2\""));
+        assert!(json.contains("\"bucket_s\": 0.5"));
+        assert!(json.contains("\"queue_mean\": 1.5"));
     }
 
     #[test]

@@ -235,6 +235,13 @@ impl Autoscaler {
         }
     }
 
+    /// The decision timeline so far — the simulator diffs this around
+    /// [`Autoscaler::evaluate`] to stream fresh decisions to a
+    /// [`TraceSink`](crate::trace::TraceSink) without owning the log.
+    pub(crate) fn log(&self) -> &[ScaleEvent] {
+        &self.log
+    }
+
     /// Consumes the controller, yielding its decision timeline.
     pub(crate) fn into_log(self) -> Vec<ScaleEvent> {
         self.log

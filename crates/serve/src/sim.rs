@@ -42,11 +42,15 @@ use crate::cost::CostModel;
 use crate::event::{Event, EventQueue, PriorityQueue};
 use crate::fleet::{Admission, Card, Fleet, FleetConfig};
 use crate::metrics::{
-    CardSummary, CostPrediction, PreemptionRecord, QueueSample, QueueSummary, ServeReport,
+    CardSummary, ClassSummary, CostPrediction, PreemptionRecord, QueueSample, QueueSummary,
+    ServeReport, TelemetrySummary,
 };
 use crate::policy::{CardView, DispatchPolicy};
 use crate::request::{CompletedRequest, Request};
-use crate::scale::{Autoscaler, AutoscalerConfig};
+use crate::scale::{Autoscaler, AutoscalerConfig, ScaleEvent};
+use crate::trace::{
+    GaugeSample, KernelCounters, NullSink, StreamingSummary, TelemetryMode, TimeBuckets, TraceSink,
+};
 use swat_numeric::SplitMix64;
 use swat_workloads::{RequestClass, RequestMix};
 
@@ -266,6 +270,7 @@ pub struct Simulation<'a> {
     admission: AdmissionControl,
     preemption: PreemptionControl,
     autoscale: Option<AutoscalerConfig>,
+    telemetry: TelemetryMode,
 }
 
 impl<'a> Simulation<'a> {
@@ -280,6 +285,7 @@ impl<'a> Simulation<'a> {
             admission: AdmissionControl::admit_all(),
             preemption: PreemptionControl::disabled(),
             autoscale: None,
+            telemetry: TelemetryMode::Exact,
         }
     }
 
@@ -317,6 +323,25 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Sets how the report accumulates its metrics.
+    /// [`TelemetryMode::Exact`] (the default) keeps every completion and
+    /// computes exact percentiles; [`TelemetryMode::Streaming`] holds
+    /// fixed memory regardless of trace length — P² quantile sketches
+    /// behind the p50/p95/p99 fields plus a bounded time-bucketed gauge
+    /// histogram attached as [`ServeReport::telemetry`]. The *schedule*
+    /// is bitwise identical either way; only the report's summary
+    /// statistics are approximated (and `placements` tracing is
+    /// unavailable, as it is itself unbounded).
+    pub fn telemetry(mut self, mode: TelemetryMode) -> Simulation<'a> {
+        self.telemetry = mode;
+        self
+    }
+
+    /// The configured telemetry mode.
+    pub fn telemetry_mode(&self) -> TelemetryMode {
+        self.telemetry
+    }
+
     /// Runs `requests` (sorted by arrival) through the fleet under
     /// `policy`.
     ///
@@ -329,6 +354,56 @@ impl<'a> Simulation<'a> {
     /// trace shed in its entirety by admission control is fine: the
     /// report comes back with zero completions and finite metrics.
     pub fn run(&self, policy: &mut dyn DispatchPolicy, requests: &[Request]) -> ServeReport {
+        self.run_traced(policy, requests, &mut NullSink)
+    }
+
+    /// Like [`Simulation::run`], with a [`TraceSink`] observing every
+    /// schedule decision (arrivals, sheds, dispatches, shard
+    /// start/finish, fan-ins, preemptions, warm-ups, scaling, gauges).
+    /// Sinks cannot feed back into the schedule: the returned report is
+    /// bitwise identical to [`Simulation::run`]'s (the trace-neutrality
+    /// proptest pins this).
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulation::run`].
+    pub fn run_traced(
+        &self,
+        policy: &mut dyn DispatchPolicy,
+        requests: &[Request],
+        sink: &mut dyn TraceSink,
+    ) -> ServeReport {
+        let mut counters = KernelCounters::default();
+        self.run_inner(policy, requests, sink, &mut counters)
+    }
+
+    /// Like [`Simulation::run`], additionally returning the kernel's
+    /// self-profiling [`KernelCounters`] — event counts by kind,
+    /// tombstones, peak heap/queue sizes. The counters are sim-domain and
+    /// deterministic; divide [`KernelCounters::events_total`] by a
+    /// wall-clock measurement of this call to get events/sec (what
+    /// `kernel_profile` writes to `BENCH_kernel.json`).
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulation::run`].
+    pub fn run_profiled(
+        &self,
+        policy: &mut dyn DispatchPolicy,
+        requests: &[Request],
+    ) -> (ServeReport, KernelCounters) {
+        let mut counters = KernelCounters::default();
+        let report = self.run_inner(policy, requests, &mut NullSink, &mut counters);
+        (report, counters)
+    }
+
+    fn run_inner(
+        &self,
+        policy: &mut dyn DispatchPolicy,
+        requests: &[Request],
+        sink: &mut dyn TraceSink,
+        counters: &mut KernelCounters,
+    ) -> ServeReport {
         assert!(!requests.is_empty(), "cannot simulate zero requests");
         assert!(
             requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
@@ -359,8 +434,20 @@ impl<'a> Simulation<'a> {
         }
 
         let mut queue = PriorityQueue::new();
-        let mut completed = Vec::with_capacity(requests.len());
-        let mut rejected: Vec<Request> = Vec::new();
+        // Whether hooks fire at all: the default NullSink opts out, so
+        // the untraced path pays nothing beyond this one bool.
+        let live = sink.enabled();
+        let total_pipelines = fleet.total_pipelines();
+        // Shards currently executing — maintained incrementally so gauge
+        // samples never scan the fan-in table.
+        let mut live_shards = 0usize;
+        let mut accum = match self.telemetry {
+            TelemetryMode::Exact => Accum::Exact {
+                completed: Vec::with_capacity(requests.len()),
+                rejected: Vec::new(),
+            },
+            TelemetryMode::Streaming => Accum::Streaming(Box::new(StreamingAccum::new())),
+        };
         let mut placements: Vec<(usize, swat::schedule::Placement)> = Vec::new();
         let mut scratch: Vec<swat::schedule::Placement> = Vec::new();
         // Reusable CardView scratch: one snapshot per card, refreshed in
@@ -379,8 +466,11 @@ impl<'a> Simulation<'a> {
         let mut prediction_abs_error = 0.0f64;
         let mut prediction_max_error = 0.0f64;
 
-        // Queue-depth integral for the time-weighted mean.
+        // Queue-depth integral for the time-weighted mean. The timeline
+        // caps at TIMELINE_CAP samples; `samples_total` keeps counting so
+        // the report can tell a capped timeline from a complete one.
         let mut timeline: Vec<QueueSample> = Vec::new();
+        let mut samples_total = 0usize;
         let mut max_depth = 0usize;
         let mut depth_integral = 0.0f64;
         let mut last_event = t0;
@@ -393,6 +483,10 @@ impl<'a> Simulation<'a> {
         let mut arrivals_done = false;
 
         while let Some((now, first)) = events.pop() {
+            // +1 for the entry just popped: the heap's peak population
+            // includes the event being delivered.
+            counters.peak_event_heap = counters.peak_event_heap.max(events.len() + 1);
+
             // 1. Account the queue integral up to `now`.
             depth_integral += queue.len() as f64 * (now - last_event);
             last_event = now;
@@ -403,6 +497,7 @@ impl<'a> Simulation<'a> {
             //    before dispatching.
             let mut next = Some(first);
             while let Some(event) = next {
+                counters.events_by_kind[event.kind_index()] += 1;
                 match event {
                     Event::Arrival { index } => {
                         if index + 1 < requests.len() {
@@ -412,6 +507,9 @@ impl<'a> Simulation<'a> {
                             arrivals_done = true;
                         }
                         let request = requests[index];
+                        if live {
+                            sink.arrival(now, &request);
+                        }
                         if self.admission.admits(request.class, queue.len()) {
                             queue.push(request);
                             if let Some(threshold) = self.preemption.wait_threshold_s {
@@ -420,29 +518,51 @@ impl<'a> Simulation<'a> {
                                 }
                             }
                         } else {
-                            rejected.push(request);
+                            if live {
+                                sink.shed(now, &request);
+                            }
+                            accum.reject(request);
                         }
                     }
                     Event::Completion { id, shard, .. } => {
                         // Find the shard's live slot; a missing slot is
                         // the stale timer of a preempted shard — drop it.
+                        let mut live_slot = false;
                         if let Some(entry) = in_flight.get_mut(&id) {
                             if let Some(si) = entry.shards.iter().position(|s| s.shard == shard) {
+                                live_slot = true;
                                 let slot = entry.shards.remove(si);
+                                live_shards -= 1;
+                                if live {
+                                    sink.shard_finish(
+                                        now,
+                                        id,
+                                        slot.shard,
+                                        slot.card,
+                                        slot.pipeline,
+                                    );
+                                }
                                 if entry.shards.is_empty() && entry.queued_jobs == 0 {
                                     // Fan-in: the request's last
                                     // outstanding shard just drained.
                                     let done = in_flight.remove(&id).expect("entry exists");
-                                    completed.push(CompletedRequest {
+                                    let record = CompletedRequest {
                                         request: done.request,
                                         dispatched: done.dispatched,
                                         finished: now,
                                         card: slot.card,
                                         pipeline: slot.pipeline,
                                         shards: done.max_width,
-                                    });
+                                    };
+                                    if live {
+                                        sink.fan_in(now, &record);
+                                    }
+                                    accum.complete(record);
                                 }
                             }
+                        }
+                        if !live_slot {
+                            counters.tombstoned_completions += 1;
                         }
                     }
                     Event::Preemption { id } => {
@@ -457,7 +577,12 @@ impl<'a> Simulation<'a> {
                                 &mut in_flight,
                                 &mut queue,
                                 &mut preemptions,
+                                sink,
                             );
+                            if evicted {
+                                live_shards -= 1;
+                                counters.preemption_evictions += 1;
+                            }
                             // Re-arm only while a future firing could
                             // still find a victim: after an eviction, or
                             // while background work remains in flight.
@@ -483,7 +608,12 @@ impl<'a> Simulation<'a> {
                     // reaching park eligibility; both exist to force a
                     // dispatch-and-autoscale pass at exactly that
                     // boundary.
-                    Event::Warmed { .. } | Event::ScaleCheck => {}
+                    Event::Warmed { card } => {
+                        if live {
+                            sink.warmed(now, card);
+                        }
+                    }
+                    Event::ScaleCheck => {}
                 }
                 next = (events.next_time() == Some(now))
                     .then(|| events.pop().expect("peeked event must pop").1);
@@ -534,6 +664,16 @@ impl<'a> Simulation<'a> {
                 // the state the planner saw.
                 let predicted =
                     (width > 1).then(|| cost.price_plan(&request, &plan[..width], &views, now));
+                counters.dispatches += 1;
+                counters.shards_dispatched += width as u64;
+                if live {
+                    sink.dispatch(
+                        now,
+                        &request,
+                        &plan[..width],
+                        predicted.as_ref().map(|p| p.fan_in),
+                    );
+                }
                 // The contention each shard is charged: pipelines busy
                 // before this plan plus every shard the plan lands on
                 // that card — the planner's price, not the stale
@@ -592,6 +732,18 @@ impl<'a> Simulation<'a> {
                         jobs,
                         admission,
                     });
+                    live_shards += 1;
+                    if live {
+                        sink.shard_start(
+                            now,
+                            id,
+                            shard,
+                            card,
+                            admission.pipeline,
+                            jobs,
+                            admission.finish,
+                        );
+                    }
                     events.push_completion(admission.finish, card, id, shard);
                     first_job += jobs;
                     // Only the dispatched card's state changed.
@@ -608,17 +760,45 @@ impl<'a> Simulation<'a> {
             }
 
             // 3½. Autoscaler feedback, after capacity decisions settle.
+            // The sink sees fresh decisions by diffing the controller's
+            // log around the call.
             if let Some(s) = scaler.as_mut() {
+                let logged = s.log().len();
                 s.evaluate(now, queue.len(), &mut fleet, &mut events);
+                if live {
+                    for e in &s.log()[logged..] {
+                        sink.scaled(e);
+                    }
+                }
             }
 
             // 4. Sample the queue after the event settles.
             max_depth = max_depth.max(queue.len());
+            samples_total += 1;
             if timeline.len() < TIMELINE_CAP {
                 timeline.push(QueueSample {
                     time: now,
                     depth: queue.len(),
                 });
+            }
+
+            // 4½. Gauge sample for sinks and streaming telemetry — the
+            // O(cards) fleet scan is skipped entirely on the default
+            // (NullSink, Exact) path.
+            if live || matches!(accum, Accum::Streaming(_)) {
+                let gauges = GaugeSample {
+                    queue_depth: queue.len(),
+                    in_flight_shards: live_shards,
+                    powered_cards: fleet.powered_cards(),
+                    utilization: live_shards as f64 / total_pipelines as f64,
+                    active_energy_joules: fleet.active_energy_joules(),
+                };
+                if live {
+                    sink.gauges(now, &gauges);
+                }
+                if let Accum::Streaming(stats) = &mut accum {
+                    stats.buckets.record(now, &gauges);
+                }
             }
 
             // 5. Stop once the outcome is final: every arrival delivered,
@@ -636,7 +816,8 @@ impl<'a> Simulation<'a> {
             in_flight.is_empty(),
             "drained simulation left work in flight"
         );
-        assert_eq!(completed.len() + rejected.len(), requests.len());
+        counters.peak_queue_depth = max_depth;
+        counters.sim_span_s = last_event - t0;
 
         // Close every card's powered clock at the last event — with the
         // early stop above, the last completion — so powered/idle
@@ -645,47 +826,78 @@ impl<'a> Simulation<'a> {
             fleet.card_mut(i).close_power_clock(last_event);
         }
 
-        // Stable output order regardless of completion interleaving.
-        completed.sort_by_key(|c: &crate::request::CompletedRequest| c.request.id);
-
-        // Folding from the first arrival keeps the span non-negative even
-        // when nothing completed (a fully-shed trace).
-        let makespan_end = completed
-            .iter()
-            .map(|c| c.finished)
-            .fold(requests[0].arrival, f64::max);
-        let span = makespan_end - requests[0].arrival;
-        let cards: Vec<CardSummary> = fleet
-            .cards()
-            .iter()
-            .enumerate()
-            .map(|(i, c)| card_summary(i, c, span))
-            .collect();
-
-        ServeReport::assemble(
-            policy.name(),
-            &self.arrivals_label,
-            &completed,
-            &rejected,
-            QueueSummary {
-                max_depth,
-                mean_depth: if span > 0.0 {
-                    depth_integral / span
-                } else {
-                    0.0
-                },
-                timeline,
+        let scaling = scaler.map_or_else(Vec::new, Autoscaler::into_log);
+        let cost_prediction = (priced_plans > 0).then_some(CostPrediction {
+            plans: priced_plans,
+            mean_abs_error_s: prediction_abs_error / priced_plans.max(1) as f64,
+            max_error_s: prediction_max_error,
+        });
+        let cards_of = |fleet: &Fleet, span: f64| -> Vec<CardSummary> {
+            fleet
+                .cards()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| card_summary(i, c, span))
+                .collect()
+        };
+        let queue_of = |span: f64| QueueSummary {
+            max_depth,
+            mean_depth: if span > 0.0 {
+                depth_integral / span
+            } else {
+                0.0
             },
-            cards,
-            preemptions,
-            scaler.map_or_else(Vec::new, Autoscaler::into_log),
-            (priced_plans > 0).then_some(CostPrediction {
-                plans: priced_plans,
-                mean_abs_error_s: prediction_abs_error / priced_plans.max(1) as f64,
-                max_error_s: prediction_max_error,
-            }),
-            placements,
-        )
+            timeline,
+            total_samples: samples_total,
+        };
+
+        match accum {
+            Accum::Exact {
+                mut completed,
+                rejected,
+            } => {
+                assert_eq!(completed.len() + rejected.len(), requests.len());
+
+                // Stable output order regardless of completion
+                // interleaving.
+                completed.sort_by_key(|c: &crate::request::CompletedRequest| c.request.id);
+
+                // Folding from the first arrival keeps the span
+                // non-negative even when nothing completed (a fully-shed
+                // trace).
+                let makespan_end = completed
+                    .iter()
+                    .map(|c| c.finished)
+                    .fold(requests[0].arrival, f64::max);
+                let span = makespan_end - requests[0].arrival;
+                ServeReport::assemble(
+                    policy.name(),
+                    &self.arrivals_label,
+                    &completed,
+                    &rejected,
+                    queue_of(span),
+                    cards_of(&fleet, span),
+                    preemptions,
+                    scaling,
+                    cost_prediction,
+                    placements,
+                )
+            }
+            Accum::Streaming(stats) => {
+                assert_eq!(stats.completed + stats.rejected, requests.len());
+                let makespan_end = requests[0].arrival.max(stats.last_finish);
+                let span = makespan_end - requests[0].arrival;
+                stats.into_report(
+                    policy.name(),
+                    &self.arrivals_label,
+                    queue_of(span),
+                    cards_of(&fleet, span),
+                    preemptions,
+                    scaling,
+                    cost_prediction,
+                )
+            }
+        }
     }
 
     /// Checkpoints-and-requeues one in-flight background **shard**
@@ -720,8 +932,12 @@ impl<'a> Simulation<'a> {
         in_flight: &mut BTreeMap<u64, InFlight>,
         queue: &mut PriorityQueue,
         preemptions: &mut Vec<PreemptionRecord>,
+        sink: &mut dyn TraceSink,
     ) -> bool {
         let background = |f: &InFlight| f.request.class == RequestClass::lowest();
+        // The chosen victim: request id, shard slot index, and — under
+        // cost-aware selection, where one was computed anyway — the
+        // eviction price the sink reports.
         let chosen = if self.preemption.cost_aware_victims {
             // Price every candidate eviction; cheapest wins, ties to the
             // youngest (highest request id, then highest shard id) so
@@ -758,7 +974,7 @@ impl<'a> Simulation<'a> {
                     }
                 }
             }
-            best.map(|(_, id, _, si)| (id, si))
+            best.map(|(price, id, _, si)| (id, si, Some(price)))
         } else {
             in_flight
                 .iter()
@@ -771,11 +987,11 @@ impl<'a> Simulation<'a> {
                         .max_by_key(|(_, s)| s.shard)
                         .map(|(i, _)| i)
                         .expect("candidate has a live shard");
-                    (id, si)
+                    (id, si, None)
                 })
                 .next_back()
         };
-        let Some((victim, si)) = chosen else {
+        let Some((victim, si, victim_cost)) = chosen else {
             return false;
         };
         let entry = in_flight.get_mut(&victim).expect("victim was just found");
@@ -804,14 +1020,205 @@ impl<'a> Simulation<'a> {
         }
         entry.queued_jobs = remnant.remaining_jobs();
         queue.push(remnant);
-        preemptions.push(PreemptionRecord {
+        let record = PreemptionRecord {
             time: now,
             preempted: victim,
             waiting,
             card: slot.card,
             jobs_checkpointed: done,
-        });
+        };
+        if sink.enabled() {
+            sink.preempted(now, &record, slot.shard, slot.pipeline, victim_cost);
+        }
+        preemptions.push(record);
         true
+    }
+}
+
+/// How a run accumulates its completions: the Exact path keeps every
+/// record (the original behaviour — exact percentiles, byte-identical
+/// JSON), the Streaming path folds each into fixed-memory sketches at
+/// fan-in.
+enum Accum {
+    /// Keep everything; assemble at the end.
+    Exact {
+        completed: Vec<CompletedRequest>,
+        rejected: Vec<Request>,
+    },
+    /// Fixed-memory streaming aggregates (boxed: the P² sketches make it
+    /// an order of magnitude bigger than the Exact variant's two Vecs).
+    Streaming(Box<StreamingAccum>),
+}
+
+impl Accum {
+    fn complete(&mut self, record: CompletedRequest) {
+        match self {
+            Accum::Exact { completed, .. } => completed.push(record),
+            Accum::Streaming(stats) => stats.complete(&record),
+        }
+    }
+
+    fn reject(&mut self, request: Request) {
+        match self {
+            Accum::Exact { rejected, .. } => rejected.push(request),
+            Accum::Streaming(stats) => stats.reject(&request),
+        }
+    }
+}
+
+/// Per-class streaming aggregates (see [`StreamingAccum`]).
+struct ClassAccum {
+    completed: usize,
+    rejected: usize,
+    slo_violations: usize,
+    latency: StreamingSummary,
+}
+
+impl ClassAccum {
+    fn new() -> ClassAccum {
+        ClassAccum {
+            completed: 0,
+            rejected: 0,
+            slo_violations: 0,
+            latency: StreamingSummary::new(),
+        }
+    }
+}
+
+/// The fixed-memory accumulator behind [`TelemetryMode::Streaming`]:
+/// running counts, P² latency sketches (overall and per class), the
+/// shard-width histogram, and the bounded gauge histogram — nothing here
+/// grows with trace length.
+struct StreamingAccum {
+    completed: usize,
+    rejected: usize,
+    slo_violations: usize,
+    sharded_requests: usize,
+    /// `shard_widths[w - 1]` completions at peak width `w` (grows to the
+    /// widest plan seen, bounded by pipelines per card group).
+    shard_widths: Vec<usize>,
+    latency: StreamingSummary,
+    classes: [ClassAccum; RequestClass::ALL.len()],
+    /// Earliest arrival among completions (`∞` until one completes).
+    first_arrival: f64,
+    /// Latest fan-in among completions (`0` until one completes, matching
+    /// [`ServeReport::assemble`]'s fold).
+    last_finish: f64,
+    /// The bounded time-bucketed gauge histogram.
+    buckets: TimeBuckets,
+}
+
+impl StreamingAccum {
+    fn new() -> StreamingAccum {
+        StreamingAccum {
+            completed: 0,
+            rejected: 0,
+            slo_violations: 0,
+            sharded_requests: 0,
+            shard_widths: Vec::new(),
+            latency: StreamingSummary::new(),
+            classes: [ClassAccum::new(), ClassAccum::new(), ClassAccum::new()],
+            first_arrival: f64::INFINITY,
+            last_finish: 0.0,
+            buckets: TimeBuckets::new(),
+        }
+    }
+
+    fn complete(&mut self, record: &CompletedRequest) {
+        self.completed += 1;
+        let latency = record.latency();
+        self.latency.observe(latency);
+        let class = &mut self.classes[record.request.class.rank() as usize];
+        class.completed += 1;
+        class.latency.observe(latency);
+        if !record.met_slo() {
+            self.slo_violations += 1;
+            class.slo_violations += 1;
+        }
+        let width = record.shards as usize;
+        if width > 1 {
+            self.sharded_requests += 1;
+        }
+        if self.shard_widths.len() < width {
+            self.shard_widths.resize(width, 0);
+        }
+        self.shard_widths[width - 1] += 1;
+        self.first_arrival = self.first_arrival.min(record.request.arrival);
+        self.last_finish = self.last_finish.max(record.finished);
+    }
+
+    fn reject(&mut self, request: &Request) {
+        self.rejected += 1;
+        self.classes[request.class.rank() as usize].rejected += 1;
+    }
+
+    /// Builds the report from the sketches — the same shape
+    /// [`ServeReport::assemble`] produces, with percentiles estimated
+    /// instead of exact and the gauge histogram attached as `telemetry`.
+    #[allow(clippy::too_many_arguments)]
+    fn into_report(
+        self,
+        policy: &str,
+        arrivals: &str,
+        queue: QueueSummary,
+        cards: Vec<CardSummary>,
+        preemptions: Vec<PreemptionRecord>,
+        scaling: Vec<ScaleEvent>,
+        cost_prediction: Option<CostPrediction>,
+    ) -> ServeReport {
+        let makespan = if self.completed == 0 {
+            0.0
+        } else {
+            self.last_finish - self.first_arrival
+        };
+        let energy: f64 = cards.iter().map(|c| c.energy_joules).sum();
+        let idle_energy: f64 = cards.iter().map(|c| c.idle_energy_joules).sum();
+        let classes: Vec<ClassSummary> = RequestClass::ALL
+            .iter()
+            .zip(&self.classes)
+            .filter(|(_, acc)| acc.completed + acc.rejected > 0)
+            .map(|(&class, acc)| ClassSummary {
+                class,
+                offered: acc.completed + acc.rejected,
+                completed: acc.completed,
+                rejected: acc.rejected,
+                slo_violations: acc.slo_violations,
+                latency: acc.latency.summary(),
+            })
+            .collect();
+        let telemetry = TelemetrySummary {
+            bucket_seconds: self.buckets.width_seconds(),
+            buckets: self.buckets.rows(),
+        };
+        ServeReport {
+            policy: policy.to_string(),
+            arrivals: arrivals.to_string(),
+            offered: self.completed + self.rejected,
+            completed: self.completed,
+            rejected: self.rejected,
+            sharded_requests: self.sharded_requests,
+            max_shards: self.shard_widths.len(),
+            shard_widths: self.shard_widths,
+            makespan,
+            throughput_rps: if makespan > 0.0 {
+                self.completed as f64 / makespan
+            } else {
+                0.0
+            },
+            latency: self.latency.summary(),
+            classes,
+            queue,
+            cards: cards.clone(),
+            groups: crate::metrics::GroupSummary::from_cards(&cards),
+            energy_joules: energy,
+            idle_energy_joules: idle_energy,
+            slo_violations: self.slo_violations,
+            preemptions,
+            scaling,
+            cost_prediction,
+            placements: Vec::new(),
+            telemetry: Some(telemetry),
+        }
     }
 }
 
@@ -1090,6 +1497,7 @@ mod tests {
             QueueSummary {
                 max_depth,
                 mean_depth: depth_integral / span,
+                total_samples: timeline.len(),
                 timeline,
             },
             cards,

@@ -1,0 +1,1333 @@
+//! Deterministic tracing and streaming telemetry for the serving
+//! simulator.
+//!
+//! Three concerns live here, all feeding off the same hook points in the
+//! event kernel ([`crate::sim`]):
+//!
+//! 1. **[`TraceSink`]** — a callback trait the simulation invokes at every
+//!    semantically interesting instant: arrival, admission shed, dispatch
+//!    (with the chosen shard plan and the planner's predicted fan-in),
+//!    per-shard start/finish, fan-in, preemption (with the victim's
+//!    predicted eviction cost under cost-aware selection), warm-up, and
+//!    autoscaler decisions, plus a per-event-batch gauge sample (queue
+//!    depth, in-flight shards, powered cards, energy). Sinks observe; they
+//!    never feed back into the schedule, so a run with any sink attached
+//!    is bitwise identical to the same run without one (proven by
+//!    proptest). The default [`NullSink`] reports `enabled() == false`,
+//!    which lets the kernel skip even the O(cards) gauge computation — the
+//!    disabled path does no extra work at all.
+//! 2. **[`ChromeTraceSink`]** — renders the hook stream as Chrome
+//!    trace-event JSON (`chrome://tracing` / [Perfetto]): one process per
+//!    card, one thread per pipeline, a complete span per shard, instant
+//!    events for preemptions and scaling decisions, and counter tracks for
+//!    the gauges. See `examples/serve_trace.rs`.
+//! 3. **Streaming telemetry** — [`TelemetryMode::Streaming`] replaces the
+//!    report's unbounded per-completion accumulation with fixed memory:
+//!    a [`P2Quantile`] estimator (Jain & Chlamtac's P² algorithm, five
+//!    markers per quantile) behind each p50/p95/p99 field, and
+//!    [`TimeBuckets`] — a bounded, width-doubling time histogram of the
+//!    gauges that lands in the report as
+//!    [`TelemetrySummary`](crate::metrics::TelemetrySummary).
+//!    [`TelemetryMode::Exact`] (the default) keeps the original
+//!    sort-everything path and its byte-identical JSON guarantee.
+//!
+//! [Perfetto]: https://ui.perfetto.dev
+//!
+//! The kernel also maintains [`KernelCounters`] on every run — event
+//! counts by kind, tombstoned completions, peak heap/queue sizes — cheap
+//! enough to be unconditional. Wall-clock rates live *outside* sim time:
+//! `swat-bench`'s `kernel_profile` bin times runs and divides by
+//! [`KernelCounters::events_total`] to get events/sec for
+//! `BENCH_kernel.json`.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::fleet::FleetConfig;
+use crate::json::Json;
+use crate::metrics::{percentile, LatencySummary, PreemptionRecord, TelemetryBucket};
+use crate::request::{CompletedRequest, Request};
+use crate::scale::ScaleEvent;
+
+/// How the simulation accumulates its report metrics. See
+/// [`crate::sim::Simulation::telemetry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// Keep every completion and compute exact nearest-rank percentiles
+    /// (the default — all byte-identical-JSON guarantees hold).
+    #[default]
+    Exact,
+    /// Fixed-memory accumulation: P² streaming quantiles behind the
+    /// p50/p95/p99 fields and a bounded time-bucketed gauge histogram in
+    /// [`ServeReport::telemetry`](crate::metrics::ServeReport::telemetry).
+    /// The schedule is bitwise identical to Exact — only the report's
+    /// summary statistics are approximate (see [`P2Quantile`] for the
+    /// tested error bounds).
+    Streaming,
+}
+
+impl TelemetryMode {
+    /// Stable lowercase label (`"exact"` / `"streaming"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TelemetryMode::Exact => "exact",
+            TelemetryMode::Streaming => "streaming",
+        }
+    }
+}
+
+/// One gauge sample, taken after each event batch settles (post-dispatch,
+/// post-autoscale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeSample {
+    /// Requests waiting in the priority queue.
+    pub queue_depth: usize,
+    /// Shards currently executing on some pipeline.
+    pub in_flight_shards: usize,
+    /// Cards currently powered (≤ fleet size; < only under an
+    /// autoscaler).
+    pub powered_cards: usize,
+    /// In-flight shards over total fleet pipelines — instantaneous
+    /// utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Cumulative active-service energy so far, joules.
+    pub active_energy_joules: f64,
+}
+
+/// Observer interface over the simulation. Every method has a no-op
+/// default, so a sink implements only what it cares about. Hooks fire in
+/// schedule order; none of them may (or can — everything is `&`-borrowed)
+/// influence the schedule.
+pub trait TraceSink {
+    /// Whether the kernel should compute and deliver hook payloads at
+    /// all. [`NullSink`] returns `false`; everything else should leave
+    /// the default `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A request was delivered to the fleet (before the admission
+    /// decision).
+    fn arrival(&mut self, now: f64, request: &Request) {
+        let _ = (now, request);
+    }
+
+    /// Admission control shed the request instead of queueing it.
+    fn shed(&mut self, now: f64, request: &Request) {
+        let _ = (now, request);
+    }
+
+    /// The policy dispatched `request` across `plan` (one entry per
+    /// shard, card indices). `predicted_fan_in_s` is the planner's priced
+    /// fan-in instant for multi-shard plans (`None` for width-1 plans,
+    /// which are trivially exact).
+    fn dispatch(
+        &mut self,
+        now: f64,
+        request: &Request,
+        plan: &[usize],
+        predicted_fan_in_s: Option<f64>,
+    ) {
+        let _ = (now, request, plan, predicted_fan_in_s);
+    }
+
+    /// One shard started executing: `jobs` attention jobs of request `id`
+    /// on `card`/`pipeline`, expected to drain at `expected_finish`.
+    #[allow(clippy::too_many_arguments)]
+    fn shard_start(
+        &mut self,
+        now: f64,
+        id: u64,
+        shard: u32,
+        card: usize,
+        pipeline: usize,
+        jobs: usize,
+        expected_finish: f64,
+    ) {
+        let _ = (now, id, shard, card, pipeline, jobs, expected_finish);
+    }
+
+    /// One shard drained.
+    fn shard_finish(&mut self, now: f64, id: u64, shard: u32, card: usize, pipeline: usize) {
+        let _ = (now, id, shard, card, pipeline);
+    }
+
+    /// The request's last outstanding shard drained — it is complete.
+    fn fan_in(&mut self, now: f64, completion: &CompletedRequest) {
+        let _ = (now, completion);
+    }
+
+    /// A background shard was checkpointed and requeued. `victim_cost_s`
+    /// is the cost model's eviction price under
+    /// [`cost_aware`](crate::sim::PreemptionControl::cost_aware) victim
+    /// selection (`None` under youngest-first, where nothing is priced).
+    fn preempted(
+        &mut self,
+        now: f64,
+        record: &PreemptionRecord,
+        shard: u32,
+        pipeline: usize,
+        victim_cost_s: Option<f64>,
+    ) {
+        let _ = (now, record, shard, pipeline, victim_cost_s);
+    }
+
+    /// An autoscaled card finished warming up and became dispatchable.
+    fn warmed(&mut self, now: f64, card: usize) {
+        let _ = (now, card);
+    }
+
+    /// The autoscaler powered a card up or parked it.
+    fn scaled(&mut self, event: &ScaleEvent) {
+        let _ = event;
+    }
+
+    /// Gauge sample after an event batch settled.
+    fn gauges(&mut self, now: f64, sample: &GaugeSample) {
+        let _ = (now, sample);
+    }
+}
+
+/// The disabled sink: `enabled()` is `false`, so the kernel skips hook
+/// payload computation entirely. [`Simulation::run`](crate::sim::Simulation::run)
+/// uses it — the default path does zero tracing work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// One recorded hook invocation (see [`RecordingSink`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// [`TraceSink::arrival`].
+    Arrival {
+        /// Event time.
+        t: f64,
+        /// Request id.
+        id: u64,
+    },
+    /// [`TraceSink::shed`].
+    Shed {
+        /// Event time.
+        t: f64,
+        /// Request id.
+        id: u64,
+    },
+    /// [`TraceSink::dispatch`].
+    Dispatch {
+        /// Event time.
+        t: f64,
+        /// Request id.
+        id: u64,
+        /// Card index per shard.
+        plan: Vec<usize>,
+        /// Planner's predicted fan-in instant (multi-shard plans only).
+        predicted_fan_in_s: Option<f64>,
+    },
+    /// [`TraceSink::shard_start`].
+    ShardStart {
+        /// Event time.
+        t: f64,
+        /// Request id.
+        id: u64,
+        /// Shard id within the request.
+        shard: u32,
+        /// Card index.
+        card: usize,
+        /// Pipeline within the card.
+        pipeline: usize,
+        /// Attention jobs the shard carries.
+        jobs: usize,
+    },
+    /// [`TraceSink::shard_finish`].
+    ShardFinish {
+        /// Event time.
+        t: f64,
+        /// Request id.
+        id: u64,
+        /// Shard id within the request.
+        shard: u32,
+        /// Card index.
+        card: usize,
+    },
+    /// [`TraceSink::fan_in`].
+    FanIn {
+        /// Event time.
+        t: f64,
+        /// Request id.
+        id: u64,
+        /// Arrival-to-completion latency.
+        latency_s: f64,
+    },
+    /// [`TraceSink::preempted`].
+    Preempted {
+        /// Event time.
+        t: f64,
+        /// Victim request id.
+        victim: u64,
+        /// Victim shard id.
+        shard: u32,
+        /// Card the shard was evicted from.
+        card: usize,
+        /// Cost model's eviction price (cost-aware selection only).
+        victim_cost_s: Option<f64>,
+    },
+    /// [`TraceSink::warmed`].
+    Warmed {
+        /// Event time.
+        t: f64,
+        /// Card index.
+        card: usize,
+    },
+    /// [`TraceSink::scaled`].
+    Scaled {
+        /// The autoscaler's decision.
+        event: ScaleEvent,
+    },
+    /// [`TraceSink::gauges`].
+    Gauges {
+        /// Event time.
+        t: f64,
+        /// The sample.
+        sample: GaugeSample,
+    },
+}
+
+/// A sink that records every hook invocation verbatim — the test
+/// instrument behind the trace-neutrality proptest, and a convenient way
+/// to postprocess a schedule without writing a custom sink.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    /// Recorded hook invocations, in schedule order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RecordingSink {
+    /// An empty recorder.
+    pub fn new() -> RecordingSink {
+        RecordingSink::default()
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn arrival(&mut self, now: f64, request: &Request) {
+        self.events.push(TraceEvent::Arrival {
+            t: now,
+            id: request.id,
+        });
+    }
+
+    fn shed(&mut self, now: f64, request: &Request) {
+        self.events.push(TraceEvent::Shed {
+            t: now,
+            id: request.id,
+        });
+    }
+
+    fn dispatch(
+        &mut self,
+        now: f64,
+        request: &Request,
+        plan: &[usize],
+        predicted_fan_in_s: Option<f64>,
+    ) {
+        self.events.push(TraceEvent::Dispatch {
+            t: now,
+            id: request.id,
+            plan: plan.to_vec(),
+            predicted_fan_in_s,
+        });
+    }
+
+    fn shard_start(
+        &mut self,
+        now: f64,
+        id: u64,
+        shard: u32,
+        card: usize,
+        pipeline: usize,
+        jobs: usize,
+        _expected_finish: f64,
+    ) {
+        self.events.push(TraceEvent::ShardStart {
+            t: now,
+            id,
+            shard,
+            card,
+            pipeline,
+            jobs,
+        });
+    }
+
+    fn shard_finish(&mut self, now: f64, id: u64, shard: u32, card: usize, _pipeline: usize) {
+        self.events.push(TraceEvent::ShardFinish {
+            t: now,
+            id,
+            shard,
+            card,
+        });
+    }
+
+    fn fan_in(&mut self, now: f64, completion: &CompletedRequest) {
+        self.events.push(TraceEvent::FanIn {
+            t: now,
+            id: completion.request.id,
+            latency_s: completion.latency(),
+        });
+    }
+
+    fn preempted(
+        &mut self,
+        now: f64,
+        record: &PreemptionRecord,
+        shard: u32,
+        _pipeline: usize,
+        victim_cost_s: Option<f64>,
+    ) {
+        self.events.push(TraceEvent::Preempted {
+            t: now,
+            victim: record.preempted,
+            shard,
+            card: record.card,
+            victim_cost_s,
+        });
+    }
+
+    fn warmed(&mut self, now: f64, card: usize) {
+        self.events.push(TraceEvent::Warmed { t: now, card });
+    }
+
+    fn scaled(&mut self, event: &ScaleEvent) {
+        self.events.push(TraceEvent::Scaled { event: *event });
+    }
+
+    fn gauges(&mut self, now: f64, sample: &GaugeSample) {
+        self.events.push(TraceEvent::Gauges {
+            t: now,
+            sample: *sample,
+        });
+    }
+}
+
+/// An in-flight shard span the Chrome exporter has opened but not yet
+/// closed.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    start: f64,
+    card: usize,
+    pipeline: usize,
+    jobs: usize,
+}
+
+/// Chrome trace-event JSON exporter. Load the output of
+/// [`ChromeTraceSink::into_json`] in `chrome://tracing` or
+/// [Perfetto](https://ui.perfetto.dev):
+///
+/// - each **card** is a process (`pid` = card index), each **pipeline** a
+///   thread within it, named via metadata events;
+/// - each **shard** is a complete (`"ph": "X"`) span on its pipeline's
+///   track, from dispatch to drain (or to eviction, marked `preempted`);
+/// - **preemptions**, **sheds**, **warm-ups** and **scaling** decisions
+///   are instant (`"ph": "i"`) events;
+/// - the **gauges** (queue depth, in-flight shards, powered cards,
+///   active energy) are counter (`"ph": "C"`) tracks under a synthetic
+///   "fleet" process one past the last card.
+///
+/// Timestamps are sim-time microseconds (the format's native unit).
+#[derive(Debug, Clone)]
+pub struct ChromeTraceSink {
+    events: Vec<Json>,
+    open: BTreeMap<(u64, u32), OpenSpan>,
+    fleet_pid: usize,
+    spans: usize,
+}
+
+/// Microseconds, the trace-event format's native timestamp unit.
+fn us(t: f64) -> Json {
+    Json::Num(t * 1e6)
+}
+
+impl ChromeTraceSink {
+    /// A sink for a fleet, with one named process per card and one named
+    /// thread per pipeline (metadata events, so Perfetto labels the
+    /// tracks).
+    pub fn new(fleet: &FleetConfig) -> ChromeTraceSink {
+        let mut events = Vec::new();
+        let fleet_pid = fleet.cards();
+        let mut card = 0usize;
+        for (g, group) in fleet.groups.iter().enumerate() {
+            for _ in 0..group.count {
+                events.push(Json::obj([
+                    ("name", Json::Str("process_name".into())),
+                    ("ph", Json::Str("M".into())),
+                    ("pid", Json::Int(card as i64)),
+                    (
+                        "args",
+                        Json::obj([(
+                            "name",
+                            Json::Str(format!("card {card} (group {g}: {})", group.design())),
+                        )]),
+                    ),
+                ]));
+                events.push(Json::obj([
+                    ("name", Json::Str("process_sort_index".into())),
+                    ("ph", Json::Str("M".into())),
+                    ("pid", Json::Int(card as i64)),
+                    ("args", Json::obj([("sort_index", Json::Int(card as i64))])),
+                ]));
+                for p in 0..group.card.pipelines {
+                    events.push(Json::obj([
+                        ("name", Json::Str("thread_name".into())),
+                        ("ph", Json::Str("M".into())),
+                        ("pid", Json::Int(card as i64)),
+                        ("tid", Json::Int(p as i64)),
+                        (
+                            "args",
+                            Json::obj([("name", Json::Str(format!("pipeline {p}")))]),
+                        ),
+                    ]));
+                }
+                card += 1;
+            }
+        }
+        events.push(Json::obj([
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Int(fleet_pid as i64)),
+            ("args", Json::obj([("name", Json::Str("fleet".into()))])),
+        ]));
+        events.push(Json::obj([
+            ("name", Json::Str("process_sort_index".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Int(fleet_pid as i64)),
+            (
+                "args",
+                Json::obj([("sort_index", Json::Int(fleet_pid as i64))]),
+            ),
+        ]));
+        ChromeTraceSink {
+            events,
+            open: BTreeMap::new(),
+            fleet_pid,
+            spans: 0,
+        }
+    }
+
+    fn instant(&mut self, name: &str, t: f64, pid: usize, tid: usize, scope: &str, args: Json) {
+        self.events.push(Json::obj([
+            ("name", Json::Str(name.into())),
+            ("ph", Json::Str("i".into())),
+            ("ts", us(t)),
+            ("pid", Json::Int(pid as i64)),
+            ("tid", Json::Int(tid as i64)),
+            ("s", Json::Str(scope.into())),
+            ("args", args),
+        ]));
+    }
+
+    fn counter(&mut self, name: &str, t: f64, key: &'static str, value: Json) {
+        self.events.push(Json::obj([
+            ("name", Json::Str(name.into())),
+            ("ph", Json::Str("C".into())),
+            ("ts", us(t)),
+            ("pid", Json::Int(self.fleet_pid as i64)),
+            ("args", Json::obj([(key, value)])),
+        ]));
+    }
+
+    fn close_span(&mut self, name: String, now: f64, id: u64, shard: u32, span: OpenSpan) {
+        self.spans += 1;
+        self.events.push(Json::obj([
+            ("name", Json::Str(name)),
+            ("cat", Json::Str("shard".into())),
+            ("ph", Json::Str("X".into())),
+            ("ts", us(span.start)),
+            ("dur", us(now - span.start)),
+            ("pid", Json::Int(span.card as i64)),
+            ("tid", Json::Int(span.pipeline as i64)),
+            (
+                "args",
+                Json::obj([
+                    ("request", Json::UInt(id)),
+                    ("shard", Json::Int(shard as i64)),
+                    ("jobs", Json::Int(span.jobs as i64)),
+                ]),
+            ),
+        ]));
+    }
+
+    /// Complete (`"ph": "X"`) shard spans emitted so far.
+    pub fn span_count(&self) -> usize {
+        self.spans
+    }
+
+    /// Shards started but neither finished nor preempted yet — zero after
+    /// a drained run.
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Trace events emitted so far (metadata included).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The finished trace: `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+    pub fn into_json(self) -> Json {
+        Json::obj([
+            ("traceEvents", Json::Arr(self.events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+        ])
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn shed(&mut self, now: f64, request: &Request) {
+        let args = Json::obj([
+            ("request", Json::UInt(request.id)),
+            ("class", Json::Str(request.class.name().into())),
+        ]);
+        self.instant("shed", now, self.fleet_pid, 0, "p", args);
+    }
+
+    fn dispatch(
+        &mut self,
+        now: f64,
+        request: &Request,
+        plan: &[usize],
+        predicted_fan_in_s: Option<f64>,
+    ) {
+        let mut args = vec![
+            ("request", Json::UInt(request.id)),
+            ("class", Json::Str(request.class.name().into())),
+            ("width", Json::Int(plan.len() as i64)),
+        ];
+        if let Some(p) = predicted_fan_in_s {
+            args.push(("predicted_fan_in_us", Json::Num(p * 1e6)));
+        }
+        self.instant("dispatch", now, self.fleet_pid, 0, "p", Json::obj(args));
+    }
+
+    fn shard_start(
+        &mut self,
+        now: f64,
+        id: u64,
+        shard: u32,
+        card: usize,
+        pipeline: usize,
+        jobs: usize,
+        _expected_finish: f64,
+    ) {
+        self.open.insert(
+            (id, shard),
+            OpenSpan {
+                start: now,
+                card,
+                pipeline,
+                jobs,
+            },
+        );
+    }
+
+    fn shard_finish(&mut self, now: f64, id: u64, shard: u32, _card: usize, _pipeline: usize) {
+        if let Some(span) = self.open.remove(&(id, shard)) {
+            self.close_span(format!("req {id}"), now, id, shard, span);
+        }
+    }
+
+    fn preempted(
+        &mut self,
+        now: f64,
+        record: &PreemptionRecord,
+        shard: u32,
+        pipeline: usize,
+        victim_cost_s: Option<f64>,
+    ) {
+        if let Some(span) = self.open.remove(&(record.preempted, shard)) {
+            self.close_span(
+                format!("req {} (preempted)", record.preempted),
+                now,
+                record.preempted,
+                shard,
+                span,
+            );
+        }
+        let mut args = vec![
+            ("victim", Json::UInt(record.preempted)),
+            ("waiting", Json::UInt(record.waiting)),
+            (
+                "jobs_checkpointed",
+                Json::Int(record.jobs_checkpointed as i64),
+            ),
+        ];
+        if let Some(c) = victim_cost_s {
+            args.push(("victim_cost_us", Json::Num(c * 1e6)));
+        }
+        self.instant("preempt", now, record.card, pipeline, "t", Json::obj(args));
+    }
+
+    fn warmed(&mut self, now: f64, card: usize) {
+        self.instant(
+            "warmed",
+            now,
+            card,
+            0,
+            "p",
+            Json::obj([("card", Json::Int(card as i64))]),
+        );
+    }
+
+    fn scaled(&mut self, event: &ScaleEvent) {
+        let name = if event.powered_on { "power-up" } else { "park" };
+        let args = Json::obj([
+            ("queue_depth", Json::Int(event.queue_depth as i64)),
+            ("powered_cards", Json::Int(event.powered_cards as i64)),
+        ]);
+        self.instant(name, event.time, event.card, 0, "p", args);
+    }
+
+    fn gauges(&mut self, now: f64, sample: &GaugeSample) {
+        self.counter(
+            "queue depth",
+            now,
+            "requests",
+            Json::Int(sample.queue_depth as i64),
+        );
+        self.counter(
+            "in-flight shards",
+            now,
+            "shards",
+            Json::Int(sample.in_flight_shards as i64),
+        );
+        self.counter(
+            "powered cards",
+            now,
+            "cards",
+            Json::Int(sample.powered_cards as i64),
+        );
+        self.counter(
+            "active energy (J)",
+            now,
+            "joules",
+            Json::Num(sample.active_energy_joules),
+        );
+    }
+}
+
+/// The kernel's self-profiling counters, maintained on every run (they
+/// cost a few integer increments per event, so they are unconditional).
+/// Everything here is sim-domain and deterministic; wall-clock rates are
+/// the *caller's* to measure — see `kernel_profile` in `swat-bench`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelCounters {
+    /// Events delivered, indexed by [`Event::kind_index`] (names in
+    /// [`Event::KIND_NAMES`]).
+    pub events_by_kind: [u64; Event::KIND_COUNT],
+    /// Completion timers that arrived after their shard was preempted —
+    /// dropped at delivery (the tombstoning scheme's overhead).
+    pub tombstoned_completions: u64,
+    /// Shard plans dispatched (one per policy decision).
+    pub dispatches: u64,
+    /// Shards admitted across all plans (≥ `dispatches`).
+    pub shards_dispatched: u64,
+    /// Background shards checkpointed-and-requeued.
+    pub preemption_evictions: u64,
+    /// Largest event-heap population observed (arrivals are fed lazily,
+    /// so this tracks in-flight shards plus armed timers, not the trace
+    /// length).
+    pub peak_event_heap: usize,
+    /// Largest waiting-queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Simulated span covered, seconds (first arrival to the last
+    /// delivered event).
+    pub sim_span_s: f64,
+}
+
+impl KernelCounters {
+    /// Total events delivered across all kinds.
+    pub fn events_total(&self) -> u64 {
+        self.events_by_kind.iter().sum()
+    }
+
+    /// The deterministic counters as ordered JSON (no wall-clock fields —
+    /// those belong to the caller that measured them).
+    pub fn to_json(&self) -> Json {
+        let mut by_kind: Vec<(&'static str, Json)> =
+            vec![("total", Json::UInt(self.events_total()))];
+        for (i, name) in Event::KIND_NAMES.iter().enumerate() {
+            by_kind.push((name, Json::UInt(self.events_by_kind[i])));
+        }
+        Json::obj([
+            ("events", Json::obj(by_kind)),
+            (
+                "tombstoned_completions",
+                Json::UInt(self.tombstoned_completions),
+            ),
+            ("dispatches", Json::UInt(self.dispatches)),
+            ("shards_dispatched", Json::UInt(self.shards_dispatched)),
+            (
+                "preemption_evictions",
+                Json::UInt(self.preemption_evictions),
+            ),
+            ("peak_event_heap", Json::Int(self.peak_event_heap as i64)),
+            ("peak_queue_depth", Json::Int(self.peak_queue_depth as i64)),
+            ("sim_span_s", Json::Num(self.sim_span_s)),
+        ])
+    }
+}
+
+/// Streaming quantile estimation: Jain & Chlamtac's P² algorithm. Five
+/// markers track the target quantile and its neighbourhood in O(1) memory
+/// and O(1) per observation; below five observations the estimate is the
+/// exact nearest-rank quantile of what has been seen.
+///
+/// Accuracy depends on the distribution's shape. On a single class's
+/// latency distribution (unimodal with a long right tail), the tested
+/// bound is **≤ 15 % relative error** against the exact nearest-rank
+/// percentile at p50/p95/p99 over a 10 000-request run, with typical
+/// error under 7 %. The *overall* latency of a multi-class mix is a
+/// mixture of distributions at different scales, where a median estimate
+/// can drift to ~20 % (tested bound ≤ 25 %) — prefer the per-class
+/// summaries when classes differ. Both bounds are pinned by
+/// `streaming_quantiles_track_exact_within_bounds` in
+/// `tests/proptest_serve.rs`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    count: u64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    rates: [f64; 5],
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `p` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> P2Quantile {
+        assert!((0.0..=1.0).contains(&p), "quantile out of range");
+        P2Quantile {
+            p,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            rates: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+        }
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation into the sketch.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Locate the cell and clamp the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k + 1]
+            (1..4).rfind(|&i| self.heights[i] <= x).unwrap_or(0)
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.rates[i];
+        }
+
+        // Nudge the three interior markers toward their desired
+        // positions, parabolic when the neighbourhood allows, linear
+        // otherwise.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            if (d >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0)
+                || (d <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0)
+            {
+                let d = d.signum();
+                let h = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < h && h < self.heights[i + 1] {
+                    h
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate: the middle marker's height, or the exact
+    /// nearest-rank quantile while fewer than five observations have
+    /// arrived (0 for an empty sketch).
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count < 5 {
+            let mut seen = self.heights[..self.count as usize].to_vec();
+            seen.sort_by(f64::total_cmp);
+            return percentile(&seen, self.p);
+        }
+        self.heights[2]
+    }
+}
+
+/// Fixed-memory latency distribution summary: running count/mean/max plus
+/// one [`P2Quantile`] per reported percentile. This is what Streaming
+/// telemetry puts behind [`LatencySummary`]'s fields.
+#[derive(Debug, Clone)]
+pub struct StreamingSummary {
+    count: u64,
+    mean: f64,
+    max: f64,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> StreamingSummary {
+        StreamingSummary::new()
+    }
+}
+
+impl StreamingSummary {
+    /// An empty summary.
+    pub fn new() -> StreamingSummary {
+        StreamingSummary {
+            count: 0,
+            mean: 0.0,
+            max: 0.0,
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        self.mean += (x - self.mean) / self.count as f64;
+        self.max = self.max.max(x);
+        self.p50.observe(x);
+        self.p95.observe(x);
+        self.p99.observe(x);
+    }
+
+    /// The summary so far (`None` before any observation). Estimates are
+    /// clamped into `[0, max]` and ordered p50 ≤ p95 ≤ p99 — the P²
+    /// markers are independent, so raw estimates could cross by float
+    /// noise where exact percentiles cannot.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        if self.count == 0 {
+            return None;
+        }
+        let p50 = self.p50.value().clamp(0.0, self.max);
+        let p95 = self.p95.value().clamp(p50, self.max);
+        let p99 = self.p99.value().clamp(p95, self.max);
+        Some(LatencySummary {
+            p50,
+            p95,
+            p99,
+            mean: self.mean,
+            max: self.max,
+        })
+    }
+}
+
+/// Bounded bucket count for [`TimeBuckets`]: when a run outgrows the
+/// capacity, adjacent buckets merge and the bucket width doubles, so
+/// memory stays fixed for arbitrarily long runs.
+pub const TELEMETRY_BUCKET_CAP: usize = 128;
+
+/// Initial [`TimeBuckets`] width, seconds.
+pub const TELEMETRY_BUCKET_SECONDS: f64 = 0.25;
+
+/// One bucket's accumulators (means stored as sums until export).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct BucketAcc {
+    samples: u64,
+    queue_sum: f64,
+    queue_max: usize,
+    shards_sum: f64,
+    shards_max: usize,
+    powered_sum: f64,
+    util_sum: f64,
+    energy_end_joules: f64,
+}
+
+impl BucketAcc {
+    fn merge(a: BucketAcc, b: BucketAcc) -> BucketAcc {
+        BucketAcc {
+            samples: a.samples + b.samples,
+            queue_sum: a.queue_sum + b.queue_sum,
+            queue_max: a.queue_max.max(b.queue_max),
+            shards_sum: a.shards_sum + b.shards_sum,
+            shards_max: a.shards_max.max(b.shards_max),
+            powered_sum: a.powered_sum + b.powered_sum,
+            util_sum: a.util_sum + b.util_sum,
+            // Energy is cumulative: the later bucket's last sample wins
+            // when it saw one.
+            energy_end_joules: if b.samples > 0 {
+                b.energy_end_joules
+            } else {
+                a.energy_end_joules
+            },
+        }
+    }
+}
+
+/// Fixed-memory time-bucketed gauge histogram. Buckets start
+/// [`TELEMETRY_BUCKET_SECONDS`] wide; when a sample lands past bucket
+/// [`TELEMETRY_BUCKET_CAP`], adjacent buckets merge pairwise and the
+/// width doubles — so a 1-second probe and a week-long soak both cost the
+/// same bounded memory, trading resolution instead.
+#[derive(Debug, Clone)]
+pub struct TimeBuckets {
+    origin: Option<f64>,
+    width_s: f64,
+    buckets: Vec<BucketAcc>,
+}
+
+impl Default for TimeBuckets {
+    fn default() -> TimeBuckets {
+        TimeBuckets::new()
+    }
+}
+
+impl TimeBuckets {
+    /// An empty histogram at the initial width.
+    pub fn new() -> TimeBuckets {
+        TimeBuckets {
+            origin: None,
+            width_s: TELEMETRY_BUCKET_SECONDS,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The current bucket width, seconds (grows by doubling).
+    pub fn width_seconds(&self) -> f64 {
+        self.width_s
+    }
+
+    /// Folds one gauge sample in. `now` values must be non-decreasing
+    /// (event order), which the simulation guarantees.
+    pub fn record(&mut self, now: f64, sample: &GaugeSample) {
+        let origin = *self.origin.get_or_insert(now);
+        let mut idx = ((now - origin) / self.width_s) as usize;
+        while idx >= TELEMETRY_BUCKET_CAP {
+            self.coarsen();
+            idx = ((now - origin) / self.width_s) as usize;
+        }
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, BucketAcc::default());
+        }
+        let b = &mut self.buckets[idx];
+        b.samples += 1;
+        b.queue_sum += sample.queue_depth as f64;
+        b.queue_max = b.queue_max.max(sample.queue_depth);
+        b.shards_sum += sample.in_flight_shards as f64;
+        b.shards_max = b.shards_max.max(sample.in_flight_shards);
+        b.powered_sum += sample.powered_cards as f64;
+        b.util_sum += sample.utilization;
+        b.energy_end_joules = sample.active_energy_joules;
+    }
+
+    /// Merges adjacent bucket pairs and doubles the width.
+    fn coarsen(&mut self) {
+        self.width_s *= 2.0;
+        let merged: Vec<BucketAcc> = self
+            .buckets
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    BucketAcc::merge(pair[0], pair[1])
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+        self.buckets = merged;
+    }
+
+    /// Exports the histogram rows (empty when nothing was recorded).
+    pub fn rows(&self) -> Vec<TelemetryBucket> {
+        let origin = match self.origin {
+            Some(o) => o,
+            None => return Vec::new(),
+        };
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let n = b.samples.max(1) as f64;
+                TelemetryBucket {
+                    start_s: origin + i as f64 * self.width_s,
+                    samples: b.samples,
+                    queue_mean: b.queue_sum / n,
+                    queue_max: b.queue_max,
+                    in_flight_mean: b.shards_sum / n,
+                    in_flight_max: b.shards_max,
+                    powered_mean: b.powered_sum / n,
+                    utilization_mean: b.util_sum / n,
+                    energy_joules: b.energy_end_joules,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_numeric::SplitMix64;
+
+    /// Uniform in `[0, 1)` with full f64 mantissa resolution.
+    fn next_f64(rng: &mut SplitMix64) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_others_enabled() {
+        assert!(!NullSink.enabled());
+        assert!(RecordingSink::new().enabled());
+        assert!(ChromeTraceSink::new(&FleetConfig::standard(1)).enabled());
+    }
+
+    #[test]
+    fn p2_is_exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.value(), 0.0, "empty sketch reads zero");
+        for x in [3.0, 1.0, 2.0] {
+            q.observe(x);
+        }
+        assert_eq!(q.value(), 2.0, "median of {{1,2,3}} is exact");
+        assert_eq!(q.count(), 3);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_quantiles() {
+        // Uniform [0, 1) via SplitMix64: the p-quantile is p.
+        let mut rng = SplitMix64::new(7);
+        let mut q50 = P2Quantile::new(0.50);
+        let mut q95 = P2Quantile::new(0.95);
+        for _ in 0..20_000 {
+            let x = next_f64(&mut rng);
+            q50.observe(x);
+            q95.observe(x);
+        }
+        assert!((q50.value() - 0.50).abs() < 0.02, "p50 = {}", q50.value());
+        assert!((q95.value() - 0.95).abs() < 0.02, "p95 = {}", q95.value());
+    }
+
+    #[test]
+    fn p2_tracks_exact_on_a_long_tailed_sample() {
+        // Exponential-ish long tail: -ln(1-u) via the uniform generator,
+        // the shape latency distributions actually take.
+        let mut rng = SplitMix64::new(13);
+        let xs: Vec<f64> = (0..10_000)
+            .map(|_| -(1.0 - next_f64(&mut rng)).ln())
+            .collect();
+        for (p, tol) in [(0.5, 0.05), (0.95, 0.10), (0.99, 0.15)] {
+            let mut sketch = P2Quantile::new(p);
+            for &x in &xs {
+                sketch.observe(x);
+            }
+            let mut sorted = xs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let exact = percentile(&sorted, p);
+            let rel = (sketch.value() - exact).abs() / exact;
+            assert!(
+                rel < tol,
+                "p{}: {} vs exact {} ({rel:.3} rel)",
+                p * 100.0,
+                sketch.value(),
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_summary_is_ordered_and_clamped() {
+        let mut s = StreamingSummary::new();
+        assert!(s.summary().is_none());
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..5_000 {
+            s.observe(next_f64(&mut rng) * 3.0);
+        }
+        let sum = s.summary().expect("populated");
+        assert!(sum.p50 <= sum.p95 && sum.p95 <= sum.p99 && sum.p99 <= sum.max);
+        assert!(sum.mean > 0.0 && sum.mean < sum.max);
+        assert_eq!(s.count(), 5_000);
+    }
+
+    #[test]
+    fn time_buckets_coarsen_but_never_exceed_cap() {
+        let mut tb = TimeBuckets::new();
+        let sample = |q: usize| GaugeSample {
+            queue_depth: q,
+            in_flight_shards: 1,
+            powered_cards: 2,
+            utilization: 0.25,
+            active_energy_joules: q as f64,
+        };
+        // 10 000 samples over 10 000 s: far past the initial
+        // 128 × 0.25 s span, so the histogram must coarsen repeatedly.
+        for i in 0..10_000 {
+            tb.record(i as f64, &sample(i % 7));
+        }
+        let rows = tb.rows();
+        assert!(rows.len() <= TELEMETRY_BUCKET_CAP);
+        assert!(tb.width_seconds() > TELEMETRY_BUCKET_SECONDS);
+        let total: u64 = rows.iter().map(|r| r.samples).sum();
+        assert_eq!(total, 10_000, "coarsening loses no samples");
+        // Energy is cumulative: the last bucket holds the last sample.
+        assert_eq!(rows.last().expect("non-empty").energy_joules, 9_999.0 % 7.0);
+        // Bucket starts advance by exactly the width.
+        for w in rows.windows(2) {
+            assert!((w[1].start_s - w[0].start_s - tb.width_seconds()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn time_bucket_means_average_their_samples() {
+        let mut tb = TimeBuckets::new();
+        for (t, q) in [(0.0, 2), (0.1, 4), (1.0, 8)] {
+            tb.record(
+                t,
+                &GaugeSample {
+                    queue_depth: q,
+                    in_flight_shards: q / 2,
+                    powered_cards: 1,
+                    utilization: 0.5,
+                    active_energy_joules: t,
+                },
+            );
+        }
+        let rows = tb.rows();
+        assert_eq!(rows[0].samples, 2);
+        assert_eq!(rows[0].queue_mean, 3.0);
+        assert_eq!(rows[0].queue_max, 4);
+        // The empty gap buckets between 0.25 s and 1.0 s read zero.
+        assert!(rows[1].samples == 0 && rows[1].queue_mean == 0.0);
+        let last = rows.last().expect("non-empty");
+        assert_eq!(last.queue_mean, 8.0);
+        assert_eq!(last.energy_joules, 1.0);
+    }
+
+    #[test]
+    fn chrome_sink_emits_spans_and_counters() {
+        let fleet = FleetConfig::standard(2);
+        let mut sink = ChromeTraceSink::new(&fleet);
+        let meta = sink.event_count();
+        sink.shard_start(1.0, 7, 0, 1, 0, 3, 1.5);
+        assert_eq!(sink.open_spans(), 1);
+        sink.shard_finish(1.5, 7, 0, 1, 0);
+        assert_eq!((sink.open_spans(), sink.span_count()), (0, 1));
+        sink.gauges(
+            1.5,
+            &GaugeSample {
+                queue_depth: 4,
+                in_flight_shards: 1,
+                powered_cards: 2,
+                utilization: 0.25,
+                active_energy_joules: 0.5,
+            },
+        );
+        assert_eq!(sink.event_count(), meta + 1 + 4, "1 span + 4 counters");
+        let text = sink.into_json().pretty();
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"ph\": \"X\""));
+        assert!(text.contains("\"ph\": \"C\""));
+        assert!(text.contains("\"dur\": 500000"));
+        assert!(text.contains("pipeline 1"), "dual-pipeline thread names");
+    }
+
+    #[test]
+    fn chrome_sink_closes_preempted_spans() {
+        let fleet = FleetConfig::standard(1);
+        let mut sink = ChromeTraceSink::new(&fleet);
+        sink.shard_start(0.0, 3, 1, 0, 0, 2, 4.0);
+        sink.preempted(
+            1.0,
+            &PreemptionRecord {
+                time: 1.0,
+                preempted: 3,
+                waiting: 9,
+                card: 0,
+                jobs_checkpointed: 1,
+            },
+            1,
+            0,
+            Some(0.25),
+        );
+        assert_eq!((sink.open_spans(), sink.span_count()), (0, 1));
+        let text = sink.into_json().pretty();
+        assert!(text.contains("(preempted)"));
+        assert!(text.contains("\"victim_cost_us\""));
+    }
+
+    #[test]
+    fn kernel_counters_serialize_by_kind() {
+        let c = KernelCounters {
+            events_by_kind: [10, 5, 2, 1, 0],
+            tombstoned_completions: 1,
+            sim_span_s: 2.5,
+            ..KernelCounters::default()
+        };
+        assert_eq!(c.events_total(), 18);
+        let text = c.to_json().pretty();
+        assert!(text.contains("\"total\": 18"));
+        assert!(text.contains("\"arrival\": 10"));
+        assert!(text.contains("\"scale_check\": 0"));
+        assert!(text.contains("\"tombstoned_completions\": 1"));
+    }
+
+    #[test]
+    fn telemetry_mode_defaults_to_exact() {
+        assert_eq!(TelemetryMode::default(), TelemetryMode::Exact);
+        assert_eq!(TelemetryMode::Exact.name(), "exact");
+        assert_eq!(TelemetryMode::Streaming.name(), "streaming");
+    }
+}
