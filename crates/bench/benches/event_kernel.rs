@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the serving kernel's two core
+//! structures: the time-ordered [`EventQueue`] (a binary heap of
+//! simulation events) and the rank-ordered [`PriorityQueue`] (the
+//! waiting line, per-class lanes ordered by id). The million-request
+//! kernel spends most of its cycles pushing and popping these, so their
+//! scaling from 10³ to 10⁶ entries is worth watching on its own —
+//! a regression here shows up multiplied by two events per request in
+//! `BENCH_kernel.json`'s headline cell.
+//!
+//! Populations are drawn from the same seeded production-mix traffic the
+//! sweeps use, so class mix and id distribution match what the kernel
+//! sees in anger rather than a synthetic uniform fill.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use swat_serve::arrival::ArrivalProcess;
+use swat_serve::event::{EventQueue, PriorityQueue};
+use swat_serve::request::Request;
+use swat_serve::sim::TrafficSpec;
+use swat_workloads::RequestMix;
+
+/// Entry counts: three decades up to the million-request regime.
+const SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Seeded production-mix traffic, shared by every population size.
+fn traffic(n: usize) -> Vec<Request> {
+    TrafficSpec {
+        arrivals: ArrivalProcess::poisson(14.0),
+        mix: RequestMix::Production,
+        seed: 0x5EED,
+    }
+    .requests(n)
+}
+
+/// Push `n` completions (arrival times make a realistic non-sorted
+/// insertion order), then drain the heap in time order.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let requests = traffic(n);
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, _| {
+            b.iter(|| {
+                let mut queue = EventQueue::new();
+                for r in &requests {
+                    queue.push_completion(r.arrival, (r.id % 6) as usize, r.id, 0, r.id as u32);
+                }
+                let mut last = 0.0;
+                while let Some((time, event)) = queue.pop() {
+                    last = time;
+                    black_box(event);
+                }
+                last
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The waiting queue under its three kernel workloads: filling the
+/// class lanes, the policies' merged-rank scan, and keyed removal
+/// (admission shed / preemption merge). Removal walks ids in reverse so
+/// every hit lands at its lane's tail — the kernel's own removals are
+/// likewise single-element, not head-of-lane drains.
+fn bench_priority_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_queue");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let requests = traffic(n);
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, _| {
+            b.iter(|| {
+                let mut queue = PriorityQueue::new();
+                for (i, r) in requests.iter().enumerate() {
+                    queue.push(r, i as u32);
+                }
+                queue.len()
+            })
+        });
+        let mut full = PriorityQueue::new();
+        for (i, r) in requests.iter().enumerate() {
+            full.push(r, i as u32);
+        }
+        group.bench_with_input(BenchmarkId::new("iterate", n), &n, |b, _| {
+            b.iter(|| {
+                full.view(&requests)
+                    .iter()
+                    .map(|r| r.shape.work_tokens())
+                    .sum::<u64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |b, _| {
+            b.iter(|| {
+                let mut queue = PriorityQueue::new();
+                for (i, r) in requests.iter().enumerate() {
+                    queue.push(r, i as u32);
+                }
+                for r in requests.iter().rev() {
+                    black_box(queue.remove((r.class.rank(), r.id)));
+                }
+                queue.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_priority_queue);
+criterion_main!(benches);

@@ -10,11 +10,15 @@
 //! strict-JSON-validates this artifact instead of sha-comparing it.
 //!
 //! ```text
-//! cargo run --release -p swat-bench --bin kernel_profile [seed] [requests]
+//! cargo run --release -p swat-bench --bin kernel_profile [seed] [requests] [headline]
 //! ```
 //!
 //! `requests` (default 10 000) scales every scenario; CI smoke-tests the
-//! binary at 500.
+//! binary at 500. A seventh **headline** cell reruns the homogeneous
+//! baseline at `headline` requests (default 1 000 000) — the
+//! million-request kernel measurement — so the artifact records both the
+//! per-regime counters and the sustained events/sec the arena-backed
+//! event loop reaches at scale. CI smokes the headline at 100 000.
 
 use std::time::Instant;
 
@@ -31,13 +35,19 @@ use swat_workloads::RequestMix;
 /// Default requests per scenario.
 const DEFAULT_REQUESTS: usize = 10_000;
 
+/// Default requests for the headline cell: the million-request kernel.
+const DEFAULT_HEADLINE: usize = 1_000_000;
+
 /// Prints the usage line and exits with status 2 — unparseable arguments
 /// should read as operator error, not a crash.
 fn usage(problem: &str) -> ! {
     eprintln!("kernel_profile: {problem}");
-    eprintln!("usage: kernel_profile [seed] [requests]");
+    eprintln!("usage: kernel_profile [seed] [requests] [headline]");
     eprintln!("  seed      u64 traffic seed (default 0x5EED)");
     eprintln!("  requests  requests per scenario (default {DEFAULT_REQUESTS}, must be > 0)");
+    eprintln!(
+        "  headline  requests for the headline cell (default {DEFAULT_HEADLINE}, must be > 0)"
+    );
     std::process::exit(2);
 }
 
@@ -47,6 +57,9 @@ struct Scenario<'a> {
     sim: Simulation<'a>,
     policy: Box<dyn swat_serve::DispatchPolicy>,
     spec: TrafficSpec,
+    /// Requests for this scenario — `requests` for the per-regime cells,
+    /// `headline` for the million-request cell.
+    count: usize,
 }
 
 fn main() {
@@ -63,6 +76,13 @@ fn main() {
                 usage(&format!("requests must be a positive integer, got {s:?}"))
             }),
             None => DEFAULT_REQUESTS,
+        };
+    let headline: usize =
+        match args.next() {
+            Some(s) => s.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                usage(&format!("headline must be a positive integer, got {s:?}"))
+            }),
+            None => DEFAULT_HEADLINE,
         };
     if let Some(extra) = args.next() {
         usage(&format!("unexpected argument {extra:?}"));
@@ -96,6 +116,7 @@ fn main() {
             sim: Simulation::new(&homogeneous).arrivals_label(label(&poisson)),
             policy: Box::new(LeastLoaded),
             spec: poisson,
+            count: requests,
         },
         Scenario {
             name: "priority-shed",
@@ -104,6 +125,7 @@ fn main() {
                 .admission(AdmissionControl::shed_background_at(32)),
             policy: Box::new(LeastLoaded),
             spec: overload,
+            count: requests,
         },
         Scenario {
             name: "preemption",
@@ -112,6 +134,7 @@ fn main() {
                 .preemption(PreemptionControl::after_wait(0.1)),
             policy: Box::new(LeastLoaded),
             spec: lulls,
+            count: requests,
         },
         Scenario {
             name: "autoscale",
@@ -120,12 +143,14 @@ fn main() {
                 .autoscale(AutoscalerConfig::standard().with_min_cards(2)),
             policy: Box::new(LeastLoaded),
             spec: diurnal,
+            count: requests,
         },
         Scenario {
             name: "sharded-adaptive",
             sim: Simulation::new(&sharded_fleet).arrivals_label(label(&light)),
             policy: Box::new(ShardedLeastLoaded::new(4)),
             spec: light,
+            count: requests,
         },
         Scenario {
             name: "homogeneous-streaming",
@@ -134,18 +159,31 @@ fn main() {
                 .telemetry(TelemetryMode::Streaming),
             policy: Box::new(LeastLoaded),
             spec: poisson,
+            count: requests,
+        },
+        // The headline: the steady-state baseline at `headline` requests.
+        // Same regime as "homogeneous", three orders of magnitude more
+        // events — this is the row whose events/s trajectory
+        // docs/serving.md tells readers to watch across PRs.
+        Scenario {
+            name: "headline",
+            sim: Simulation::new(&homogeneous).arrivals_label(label(&poisson)),
+            policy: Box::new(LeastLoaded),
+            spec: poisson,
+            count: headline,
         },
     ];
 
     banner(format!(
-        "kernel_profile — {requests} requests/scenario, {} scenarios (seed {seed:#x})",
+        "kernel_profile — {requests} requests/scenario + {headline}-request headline, \
+         {} scenarios (seed {seed:#x})",
         scenarios.len()
     ));
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for mut scenario in scenarios {
-        let traffic = scenario.spec.requests(requests);
+        let traffic = scenario.spec.requests(scenario.count);
         let started = Instant::now();
         let (report, counters) = scenario.sim.run_profiled(&mut *scenario.policy, &traffic);
         let wall = started.elapsed().as_secs_f64();
@@ -156,6 +194,7 @@ fn main() {
         };
         rows.push(vec![
             scenario.name.to_string(),
+            format!("{}", scenario.count),
             report.policy.clone(),
             scenario.sim.telemetry_mode().name().to_string(),
             format!("{}", counters.events_total()),
@@ -174,7 +213,7 @@ fn main() {
                 "telemetry".to_string(),
                 Json::Str(scenario.sim.telemetry_mode().name().into()),
             ),
-            ("requests".to_string(), Json::Int(requests as i64)),
+            ("requests".to_string(), Json::Int(scenario.count as i64)),
             ("completed".to_string(), Json::Int(report.completed as i64)),
             ("rejected".to_string(), Json::Int(report.rejected as i64)),
         ];
@@ -190,6 +229,7 @@ fn main() {
     print_table(
         &[
             "scenario",
+            "requests",
             "policy",
             "telemetry",
             "events",

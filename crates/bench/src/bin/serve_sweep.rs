@@ -30,16 +30,20 @@
 //!    the adaptive planner backs off to narrow plans — with per-width
 //!    histograms and the predicted-vs-realized audit in the JSON.
 //!
-//! Output is bitwise identical for a fixed `seed`. Per-scenario
-//! wall-clock and kernel events/sec go to **stderr** only, so the tables
-//! on stdout and the JSON artifact stay byte-identical run to run.
+//! Every sweep cell is an independent simulation with its own seeded
+//! generator, so the cells run on a scoped thread pool (`--jobs N`).
+//! Results are collected by cell index and every table and JSON byte is
+//! assembled sequentially after the pool joins: output is bitwise
+//! identical for a fixed `seed` regardless of `--jobs`. Per-scenario
+//! timing and kernel events/sec go to **stderr** only, so the tables on
+//! stdout and the JSON artifact stay byte-identical run to run.
 //!
 //! ```text
-//! cargo run --release -p swat-bench --bin serve_sweep [seed] [requests]
+//! cargo run --release -p swat-bench --bin serve_sweep [--jobs N] [seed] [requests]
 //! ```
 //!
 //! `requests` (default 10 000) scales every run; CI smoke-tests the
-//! binary at 500.
+//! binary at 500 and cross-checks `--jobs 4` against `--jobs 1`.
 
 use swat::SwatConfig;
 use swat_bench::{banner, print_table};
@@ -57,6 +61,61 @@ use swat_workloads::RequestMix;
 
 /// Default requests per sweep cell.
 const DEFAULT_REQUESTS: usize = 10_000;
+
+/// A deferred sweep cell: owns everything it needs (fleet clone, arrival
+/// process, policy recipe) so the pool can run it on any worker thread.
+type Cell = Box<dyn FnOnce() -> (ServeReport, u64) + Send>;
+
+/// One executed cell: the deterministic report plus the two
+/// non-deterministic side channels (kernel event count is deterministic,
+/// wall-clock is not — it only ever reaches stderr).
+struct CellOut {
+    report: ServeReport,
+    events: u64,
+    wall_s: f64,
+}
+
+/// Runs every cell on a scoped thread pool of `jobs` workers and returns
+/// the results indexed exactly like the input. Workers claim cells from a
+/// shared atomic cursor, so a slow cell never blocks an idle worker; with
+/// `--jobs 1` the cells run in order on one worker. Nothing downstream
+/// can observe the execution order: all output assembly happens after the
+/// scope joins, reading this vector in cell-index order.
+fn run_cells(cells: Vec<Cell>, jobs: usize) -> Vec<CellOut> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let queue: Vec<Mutex<Option<Cell>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<CellOut>>> = queue.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = jobs.min(queue.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= queue.len() {
+                    break;
+                }
+                let cell = queue[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each cell runs once");
+                let started = std::time::Instant::now();
+                let (report, events) = cell();
+                *slots[i].lock().unwrap() = Some(CellOut {
+                    report,
+                    events,
+                    wall_s: started.elapsed().as_secs_f64(),
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every cell ran"))
+        .collect()
+}
 
 fn fleet_json(fleet: &FleetConfig) -> Json {
     Json::obj([
@@ -95,11 +154,12 @@ fn run_cell(
     (report, counters.events_total())
 }
 
-/// Reports a scenario's wall-clock cost to stderr. stdout (the tables)
-/// and `BENCH_serve.json` stay byte-identical — CI's sha-compare and any
+/// Reports a scenario's compute cost to stderr. `wall` is the sum of the
+/// scenario's per-cell wall-clock times — CPU-seconds under `--jobs N`,
+/// elapsed time under `--jobs 1`. stdout (the tables) and
+/// `BENCH_serve.json` stay byte-identical — CI's sha-compare and any
 /// `2>/dev/null` consumer are unaffected.
-fn scenario_timing(scenario: &str, runs: usize, events: u64, started: std::time::Instant) {
-    let wall = started.elapsed().as_secs_f64();
+fn scenario_timing(scenario: &str, runs: usize, events: u64, wall: f64) {
     let rate = if wall > 0.0 {
         events as f64 / wall
     } else {
@@ -163,30 +223,45 @@ fn summary_row(scenario: &str, report: &ServeReport) -> Vec<String> {
 /// should read as operator error, not a crash.
 fn usage(problem: &str) -> ! {
     eprintln!("serve_sweep: {problem}");
-    eprintln!("usage: serve_sweep [seed] [requests]");
+    eprintln!("usage: serve_sweep [--jobs N] [seed] [requests]");
+    eprintln!("  --jobs N  worker threads for sweep cells (default 1; output is");
+    eprintln!("            byte-identical for every N)");
     eprintln!("  seed      u64 sweep seed (default 0x5EED)");
     eprintln!("  requests  requests per sweep cell (default {DEFAULT_REQUESTS}, must be > 0)");
     std::process::exit(2);
 }
 
 fn main() {
+    let mut seed: Option<u64> = None;
+    let mut requests: Option<usize> = None;
+    let mut jobs = 1usize;
     let mut args = std::env::args().skip(1);
-    let seed: u64 = match args.next() {
-        Some(s) => s
-            .parse()
-            .unwrap_or_else(|_| usage(&format!("seed must be an unsigned integer, got {s:?}"))),
-        None => 0x5EED,
-    };
-    let requests: usize =
-        match args.next() {
-            Some(s) => s.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
-                usage(&format!("requests must be a positive integer, got {s:?}"))
-            }),
-            None => DEFAULT_REQUESTS,
-        };
-    if let Some(extra) = args.next() {
-        usage(&format!("unexpected argument {extra:?}"));
+    while let Some(arg) = args.next() {
+        if let Some(rest) = arg.strip_prefix("--jobs") {
+            let value = match rest.strip_prefix('=') {
+                Some(v) => v.to_string(),
+                None if rest.is_empty() => {
+                    args.next().unwrap_or_else(|| usage("--jobs needs a value"))
+                }
+                _ => usage(&format!("unexpected argument {arg:?}")),
+            };
+            jobs = value.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                usage(&format!("--jobs must be a positive integer, got {value:?}"))
+            });
+        } else if seed.is_none() {
+            seed = Some(arg.parse().unwrap_or_else(|_| {
+                usage(&format!("seed must be an unsigned integer, got {arg:?}"))
+            }));
+        } else if requests.is_none() {
+            requests = Some(arg.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                usage(&format!("requests must be a positive integer, got {arg:?}"))
+            }));
+        } else {
+            usage(&format!("unexpected argument {arg:?}"));
+        }
     }
+    let seed = seed.unwrap_or(0x5EED);
+    let requests = requests.unwrap_or(DEFAULT_REQUESTS);
 
     // The production mix averages ≈0.6 s of single-pipeline service per
     // request, so 12 FP16 pipelines sustain ≈20 rps. Rates target ≈70%
@@ -206,34 +281,272 @@ fn main() {
     // control earns its keep by shedding background filler.
     let priority_arrivals = ArrivalProcess::bursty(12.0);
     let background_cap = 32usize;
+    // Preemption scenario: bursty traffic with real lulls — background
+    // work gets dispatched between bursts, then interactive bursts arrive
+    // to find the pipelines occupied, which is the only regime where
+    // checkpoint-and-requeue has victims to take. Base rate well under
+    // the two-card capacity (≈6.6 rps) so the lulls genuinely drain.
+    let preemption_fleet = FleetConfig::standard(2);
+    let preemption_arrivals = ArrivalProcess::bursty(2.5);
+    let patience = 0.1f64;
+    // Autoscale scenario: a compressed diurnal ramp on the 6-card fleet.
+    // The static fleet pays idle power all "night", the elastic one parks
+    // down to 2 cards and pays warm-up latency (and some SLO attainment)
+    // on the morning ramp instead.
+    let autoscale_arrivals = ArrivalProcess::diurnal(3.0, 22.0);
+    let scaler_cfg = AutoscalerConfig::standard().with_min_cards(2);
+    // Sharded scenario: light load on the 4-card fleet leaves idle
+    // pipelines at most dispatches — exactly when splitting a request's
+    // independent attention jobs across them pays off in latency.
+    let sharded_fleet = FleetConfig::standard(4);
+    let sharded_arrivals = ArrivalProcess::poisson(6.0);
+    let sharded_max = 4usize;
+    // Adaptive-width scenario: bandwidth-binned cards (1.2 GB/s against
+    // the ~1.15 GB/s one FP16 pipeline streams), so two co-located shards
+    // oversubscribe the interface and stretch ~1.9×. Interactive Poisson
+    // load near the fixed policy's saturation point keeps the queue deep,
+    // where pipeline-seconds are the scarce resource: fixed fan-out burns
+    // the stretch on every wide dispatch, the cost-model planner prices
+    // the backlog, backs off to narrow plans, and sustains the rate.
+    let binned_fleet = FleetConfig {
+        groups: vec![CardGroup::new(
+            4,
+            SwatConfig::bigbird_dual_fp16(),
+            MemoryInterface::new(1.2e9),
+        )],
+        host_link: MemoryInterface::pcie4_x16(),
+    };
+    let adaptive_arrivals = ArrivalProcess::poisson(80.0);
+    let adaptive_mix = RequestMix::Interactive;
+    let adaptive_max = 4usize;
 
     banner(format!(
         "serve_sweep — {requests} requests/cell, 7 scenarios on FP16/FP32 fleets (seed {seed:#x})"
     ));
 
-    let mut rows = Vec::new();
-    let mut scenarios = Vec::new();
+    // Phase 1: enqueue every cell as an owned closure. Indices into
+    // `cells` are recorded per scenario so phase 3 can assemble rows,
+    // extra tables, and JSON in exactly the order the sequential sweep
+    // used — the executed order (phase 2) is unobservable.
+    let mut cells: Vec<Cell> = Vec::new();
 
     // Scenario 1: homogeneous baseline.
-    let mut runs = Vec::new();
-    let started = std::time::Instant::now();
-    let mut events = 0u64;
+    let mut s1_cells = Vec::new();
     for arrivals in homogeneous_arrivals {
-        for mut policy in all_policies() {
-            let (report, cell_events) = run_cell(
-                &homogeneous,
-                arrivals,
+        for pi in 0..all_policies().len() {
+            let fleet = homogeneous.clone();
+            cells.push(Box::new(move || {
+                let mut policy = all_policies().remove(pi);
+                run_cell(
+                    &fleet,
+                    arrivals,
+                    &mut *policy,
+                    AdmissionControl::admit_all(),
+                    seed,
+                    requests,
+                )
+            }));
+            s1_cells.push((cells.len() - 1, arrivals));
+        }
+    }
+
+    // Scenario 2: heterogeneous fleet.
+    let mut s2_cells = Vec::new();
+    for arrivals in heterogeneous_arrivals {
+        for pi in 0..all_policies().len() {
+            let fleet = heterogeneous.clone();
+            cells.push(Box::new(move || {
+                let mut policy = all_policies().remove(pi);
+                run_cell(
+                    &fleet,
+                    arrivals,
+                    &mut *policy,
+                    AdmissionControl::admit_all(),
+                    seed,
+                    requests,
+                )
+            }));
+            s2_cells.push((cells.len() - 1, arrivals));
+        }
+    }
+
+    // Scenario 3: priority classes under overload, admission on vs off.
+    let mut s3_cells = Vec::new();
+    for (label, cap) in [
+        ("admit-all", None),
+        ("shed-background", Some(background_cap)),
+    ] {
+        let fleet = homogeneous.clone();
+        cells.push(Box::new(move || {
+            let admission = match cap {
+                Some(depth) => AdmissionControl::shed_background_at(depth),
+                None => AdmissionControl::admit_all(),
+            };
+            run_cell(
+                &fleet,
+                priority_arrivals,
+                &mut LeastLoaded,
+                admission,
+                seed,
+                requests,
+            )
+        }));
+        s3_cells.push((cells.len() - 1, label));
+    }
+
+    // Scenario 4: preemption on vs off.
+    let mut s4_cells = Vec::new();
+    for (label, wait) in [
+        ("run-to-completion", None),
+        ("preempt-100ms", Some(patience)),
+    ] {
+        let fleet = preemption_fleet.clone();
+        cells.push(Box::new(move || {
+            let spec = TrafficSpec {
+                arrivals: preemption_arrivals,
+                mix: RequestMix::Production,
+                seed,
+            };
+            let preemption = match wait {
+                Some(w) => PreemptionControl::after_wait(w),
+                None => PreemptionControl::disabled(),
+            };
+            let (report, counters) = Simulation::new(&fleet)
+                .arrivals_label(format!(
+                    "{}/{}",
+                    preemption_arrivals.name(),
+                    spec.mix.name()
+                ))
+                .preemption(preemption)
+                .run_profiled(&mut LeastLoaded, &spec.requests(requests));
+            (report, counters.events_total())
+        }));
+        s4_cells.push((cells.len() - 1, label));
+    }
+
+    // Scenario 5: autoscale on vs off.
+    let mut s5_cells = Vec::new();
+    for (label, scale) in [("static", None), ("autoscale-min2", Some(scaler_cfg))] {
+        let fleet = homogeneous.clone();
+        cells.push(Box::new(move || {
+            let spec = TrafficSpec {
+                arrivals: autoscale_arrivals,
+                mix: RequestMix::Production,
+                seed,
+            };
+            let mut sim = Simulation::new(&fleet).arrivals_label(format!(
+                "{}/{}",
+                autoscale_arrivals.name(),
+                spec.mix.name()
+            ));
+            if let Some(cfg) = scale {
+                sim = sim.autoscale(cfg);
+            }
+            let (report, counters) = sim.run_profiled(&mut LeastLoaded, &spec.requests(requests));
+            (report, counters.events_total())
+        }));
+        s5_cells.push((cells.len() - 1, label));
+    }
+
+    // Scenario 6: sharded vs whole-request dispatch. The policy is built
+    // inside the cell (trait objects need not cross threads).
+    type PolicyRecipe = Box<dyn Fn() -> Box<dyn swat_serve::DispatchPolicy> + Send>;
+    let sharded_recipes: Vec<(&str, PolicyRecipe)> = vec![
+        ("whole", Box::new(|| Box::new(LeastLoaded))),
+        (
+            "sharded-4",
+            Box::new(move || Box::new(ShardedLeastLoaded::new(sharded_max))),
+        ),
+        ("whole", Box::new(|| Box::new(ShortestJobFirst))),
+        (
+            "sharded-4",
+            Box::new(move || Box::new(ShardedShortestJobFirst::new(sharded_max))),
+        ),
+    ];
+    let mut s6_cells = Vec::new();
+    for (label, recipe) in sharded_recipes {
+        let fleet = sharded_fleet.clone();
+        cells.push(Box::new(move || {
+            let mut policy = recipe();
+            run_cell(
+                &fleet,
+                sharded_arrivals,
                 &mut *policy,
                 AdmissionControl::admit_all(),
                 seed,
                 requests,
-            );
-            events += cell_events;
-            rows.push(summary_row("homogeneous", &report));
-            runs.push(annotated_run(&report, arrivals, "admit-all", "none"));
-        }
+            )
+        }));
+        s6_cells.push((cells.len() - 1, label));
     }
-    scenario_timing("homogeneous", runs.len(), events, started);
+
+    // Scenario 7: adaptive vs fixed shard width under a deep queue.
+    let adaptive_recipes: Vec<(&str, PolicyRecipe)> = vec![
+        (
+            "fixed-4",
+            Box::new(move || Box::new(ShardedLeastLoaded::fixed(adaptive_max))),
+        ),
+        (
+            "adaptive-4",
+            Box::new(move || Box::new(ShardedLeastLoaded::new(adaptive_max))),
+        ),
+        (
+            "fixed-4",
+            Box::new(move || Box::new(ShardedShortestJobFirst::fixed(adaptive_max))),
+        ),
+        (
+            "adaptive-4",
+            Box::new(move || Box::new(ShardedShortestJobFirst::new(adaptive_max))),
+        ),
+    ];
+    let mut s7_cells = Vec::new();
+    for (label, recipe) in adaptive_recipes {
+        let fleet = binned_fleet.clone();
+        cells.push(Box::new(move || {
+            let spec = TrafficSpec {
+                arrivals: adaptive_arrivals,
+                mix: adaptive_mix,
+                seed,
+            };
+            let mut policy = recipe();
+            let (report, counters) = Simulation::new(&fleet)
+                .arrivals_label(format!(
+                    "{}/{}",
+                    adaptive_arrivals.name(),
+                    adaptive_mix.name()
+                ))
+                .run_profiled(&mut *policy, &spec.requests(requests));
+            (report, counters.events_total())
+        }));
+        s7_cells.push((cells.len() - 1, label));
+    }
+
+    // Phase 2: run the cells. Each is its own seeded simulation, so the
+    // pool introduces no cross-cell state.
+    let outs = run_cells(cells, jobs);
+    let scenario_stats = |indices: &[usize]| {
+        let events = indices.iter().map(|&i| outs[i].events).sum::<u64>();
+        let wall = indices.iter().map(|&i| outs[i].wall_s).sum::<f64>();
+        (events, wall)
+    };
+
+    // Phase 3: assemble every byte of stdout and JSON in the sequential
+    // sweep's order.
+    let mut rows = Vec::new();
+    let mut scenarios = Vec::new();
+
+    let mut runs = Vec::new();
+    for &(i, arrivals) in &s1_cells {
+        rows.push(summary_row("homogeneous", &outs[i].report));
+        runs.push(annotated_run(
+            &outs[i].report,
+            arrivals,
+            "admit-all",
+            "none",
+        ));
+    }
+    let (events, wall) = scenario_stats(&s1_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("homogeneous", runs.len(), events, wall);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("homogeneous".into())),
         ("fleet", fleet_json(&homogeneous)),
@@ -241,26 +554,18 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
-    // Scenario 2: heterogeneous fleet.
     let mut runs = Vec::new();
-    let started = std::time::Instant::now();
-    let mut events = 0u64;
-    for arrivals in heterogeneous_arrivals {
-        for mut policy in all_policies() {
-            let (report, cell_events) = run_cell(
-                &heterogeneous,
-                arrivals,
-                &mut *policy,
-                AdmissionControl::admit_all(),
-                seed,
-                requests,
-            );
-            events += cell_events;
-            rows.push(summary_row("heterogeneous", &report));
-            runs.push(annotated_run(&report, arrivals, "admit-all", "none"));
-        }
+    for &(i, arrivals) in &s2_cells {
+        rows.push(summary_row("heterogeneous", &outs[i].report));
+        runs.push(annotated_run(
+            &outs[i].report,
+            arrivals,
+            "admit-all",
+            "none",
+        ));
     }
-    scenario_timing("heterogeneous", runs.len(), events, started);
+    let (events, wall) = scenario_stats(&s2_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("heterogeneous", runs.len(), events, wall);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("heterogeneous".into())),
         ("fleet", fleet_json(&heterogeneous)),
@@ -268,28 +573,11 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
-    // Scenario 3: priority classes under overload, admission on vs off.
     let mut runs = Vec::new();
     let mut class_rows = Vec::new();
-    let started = std::time::Instant::now();
-    let mut events = 0u64;
-    for (label, admission) in [
-        ("admit-all", AdmissionControl::admit_all()),
-        (
-            "shed-background",
-            AdmissionControl::shed_background_at(background_cap),
-        ),
-    ] {
-        let (report, cell_events) = run_cell(
-            &homogeneous,
-            priority_arrivals,
-            &mut LeastLoaded,
-            admission,
-            seed,
-            requests,
-        );
-        events += cell_events;
-        rows.push(summary_row(&format!("priority/{label}"), &report));
+    for &(i, label) in &s3_cells {
+        let report = &outs[i].report;
+        rows.push(summary_row(&format!("priority/{label}"), report));
         for class in &report.classes {
             let latency = class.latency;
             class_rows.push(vec![
@@ -304,9 +592,10 @@ fn main() {
                 ms(latency.map(|l| l.p99)),
             ]);
         }
-        runs.push(annotated_run(&report, priority_arrivals, label, "none"));
+        runs.push(annotated_run(report, priority_arrivals, label, "none"));
     }
-    scenario_timing("priority", runs.len(), events, started);
+    let (events, wall) = scenario_stats(&s3_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("priority", runs.len(), events, wall);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("priority".into())),
         ("fleet", fleet_json(&homogeneous)),
@@ -314,46 +603,18 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
-    // Scenario 4: preemption on vs off. Bursty traffic with real lulls —
-    // background work gets dispatched between bursts, then interactive
-    // bursts arrive to find the pipelines occupied, which is the only
-    // regime where checkpoint-and-requeue has victims to take.
-    // Base rate well under the two-card capacity (≈6.6 rps) so the lulls
-    // genuinely drain; the 4× bursts then pile interactive work onto
-    // pipelines that background filler claimed in the quiet stretch.
-    let preemption_fleet = FleetConfig::standard(2);
-    let preemption_arrivals = ArrivalProcess::bursty(2.5);
-    let patience = 0.1f64;
     let mut runs = Vec::new();
-    let started = std::time::Instant::now();
-    let mut events = 0u64;
-    for (label, preemption) in [
-        ("run-to-completion", PreemptionControl::disabled()),
-        ("preempt-100ms", PreemptionControl::after_wait(patience)),
-    ] {
-        let spec = TrafficSpec {
-            arrivals: preemption_arrivals,
-            mix: RequestMix::Production,
-            seed,
-        };
-        let (report, counters) = Simulation::new(&preemption_fleet)
-            .arrivals_label(format!(
-                "{}/{}",
-                preemption_arrivals.name(),
-                spec.mix.name()
-            ))
-            .preemption(preemption)
-            .run_profiled(&mut LeastLoaded, &spec.requests(requests));
-        events += counters.events_total();
-        rows.push(summary_row(&format!("preemption/{label}"), &report));
+    for &(i, label) in &s4_cells {
+        rows.push(summary_row(&format!("preemption/{label}"), &outs[i].report));
         runs.push(annotated_run(
-            &report,
+            &outs[i].report,
             preemption_arrivals,
             "admit-all",
             label,
         ));
     }
-    scenario_timing("preemption", runs.len(), events, started);
+    let (events, wall) = scenario_stats(&s4_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("preemption", runs.len(), events, wall);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("preemption".into())),
         ("fleet", fleet_json(&preemption_fleet)),
@@ -361,33 +622,11 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
-    // Scenario 5: autoscale on vs off. A compressed diurnal ramp on the
-    // 6-card fleet: the static fleet pays idle power all "night", the
-    // elastic one parks down to 2 cards and pays warm-up latency (and
-    // some SLO attainment) on the morning ramp instead.
-    let autoscale_arrivals = ArrivalProcess::diurnal(3.0, 22.0);
-    let scaler_cfg = AutoscalerConfig::standard().with_min_cards(2);
     let mut runs = Vec::new();
     let mut tradeoff_rows = Vec::new();
-    let started = std::time::Instant::now();
-    let mut events = 0u64;
-    for (label, scale) in [("static", None), ("autoscale-min2", Some(scaler_cfg))] {
-        let spec = TrafficSpec {
-            arrivals: autoscale_arrivals,
-            mix: RequestMix::Production,
-            seed,
-        };
-        let mut sim = Simulation::new(&homogeneous).arrivals_label(format!(
-            "{}/{}",
-            autoscale_arrivals.name(),
-            spec.mix.name()
-        ));
-        if let Some(cfg) = scale {
-            sim = sim.autoscale(cfg);
-        }
-        let (report, counters) = sim.run_profiled(&mut LeastLoaded, &spec.requests(requests));
-        events += counters.events_total();
-        rows.push(summary_row(&format!("autoscale/{label}"), &report));
+    for &(i, label) in &s5_cells {
+        let report = &outs[i].report;
+        rows.push(summary_row(&format!("autoscale/{label}"), report));
         tradeoff_rows.push(vec![
             label.to_string(),
             format!("{}", report.scaling.len()),
@@ -398,13 +637,14 @@ fn main() {
             ms(report.latency.map(|l| l.p99)),
         ]);
         runs.push(annotated_run(
-            &report,
+            report,
             autoscale_arrivals,
             "admit-all",
             label,
         ));
     }
-    scenario_timing("autoscale", runs.len(), events, started);
+    let (events, wall) = scenario_stats(&s5_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("autoscale", runs.len(), events, wall);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("autoscale".into())),
         ("fleet", fleet_json(&homogeneous)),
@@ -423,37 +663,11 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
-    // Scenario 6: sharded vs whole-request dispatch. Light load on the
-    // 4-card fleet leaves idle pipelines at most dispatches — exactly
-    // when splitting a request's independent attention jobs across them
-    // (fan-out, completing at the last shard) pays off in latency.
-    let sharded_fleet = FleetConfig::standard(4);
-    let sharded_arrivals = ArrivalProcess::poisson(6.0);
-    let sharded_max = 4usize;
     let mut runs = Vec::new();
     let mut fanout_rows = Vec::new();
-    let mut cells: Vec<(&str, Box<dyn swat_serve::DispatchPolicy>)> = vec![
-        ("whole", Box::new(LeastLoaded)),
-        ("sharded-4", Box::new(ShardedLeastLoaded::new(sharded_max))),
-        ("whole", Box::new(ShortestJobFirst)),
-        (
-            "sharded-4",
-            Box::new(ShardedShortestJobFirst::new(sharded_max)),
-        ),
-    ];
-    let started = std::time::Instant::now();
-    let mut events = 0u64;
-    for (label, policy) in &mut cells {
-        let (report, cell_events) = run_cell(
-            &sharded_fleet,
-            sharded_arrivals,
-            &mut **policy,
-            AdmissionControl::admit_all(),
-            seed,
-            requests,
-        );
-        events += cell_events;
-        rows.push(summary_row(&format!("sharded/{label}"), &report));
+    for &(i, label) in &s6_cells {
+        let report = &outs[i].report;
+        rows.push(summary_row(&format!("sharded/{label}"), report));
         fanout_rows.push(vec![
             report.policy.clone(),
             format!("{}", report.sharded_requests),
@@ -462,9 +676,10 @@ fn main() {
             ms(report.latency.map(|l| l.p99)),
             format!("{:.2}%", report.slo_attainment() * 100.0),
         ]);
-        runs.push(annotated_run(&report, sharded_arrivals, "admit-all", label));
+        runs.push(annotated_run(report, sharded_arrivals, "admit-all", label));
     }
-    scenario_timing("sharded", runs.len(), events, started);
+    let (events, wall) = scenario_stats(&s6_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("sharded", runs.len(), events, wall);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("sharded".into())),
         ("fleet", fleet_json(&sharded_fleet)),
@@ -472,59 +687,11 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
-    // Scenario 7: adaptive vs fixed shard width under a deep queue. The
-    // cards are bandwidth-binned (1.2 GB/s against the ~1.15 GB/s one
-    // FP16 pipeline streams), so two co-located shards oversubscribe the
-    // interface and stretch ~1.9×. Interactive Poisson load near the
-    // fixed policy's saturation point keeps the queue deep, where
-    // pipeline-seconds are the scarce resource: fixed fan-out burns the
-    // stretch on every wide dispatch, the cost-model planner prices the
-    // backlog, backs off to narrow plans, and sustains the offered rate.
-    let binned_fleet = FleetConfig {
-        groups: vec![CardGroup::new(
-            4,
-            SwatConfig::bigbird_dual_fp16(),
-            MemoryInterface::new(1.2e9),
-        )],
-        host_link: MemoryInterface::pcie4_x16(),
-    };
-    let adaptive_arrivals = ArrivalProcess::poisson(80.0);
-    let adaptive_mix = RequestMix::Interactive;
-    let adaptive_max = 4usize;
     let mut runs = Vec::new();
     let mut width_rows = Vec::new();
-    let mut cells: Vec<(&str, Box<dyn swat_serve::DispatchPolicy>)> = vec![
-        ("fixed-4", Box::new(ShardedLeastLoaded::fixed(adaptive_max))),
-        (
-            "adaptive-4",
-            Box::new(ShardedLeastLoaded::new(adaptive_max)),
-        ),
-        (
-            "fixed-4",
-            Box::new(ShardedShortestJobFirst::fixed(adaptive_max)),
-        ),
-        (
-            "adaptive-4",
-            Box::new(ShardedShortestJobFirst::new(adaptive_max)),
-        ),
-    ];
-    let started = std::time::Instant::now();
-    let mut events = 0u64;
-    for (label, policy) in &mut cells {
-        let spec = TrafficSpec {
-            arrivals: adaptive_arrivals,
-            mix: adaptive_mix,
-            seed,
-        };
-        let (report, counters) = Simulation::new(&binned_fleet)
-            .arrivals_label(format!(
-                "{}/{}",
-                adaptive_arrivals.name(),
-                adaptive_mix.name()
-            ))
-            .run_profiled(&mut **policy, &spec.requests(requests));
-        events += counters.events_total();
-        rows.push(summary_row(&format!("adaptive/{label}"), &report));
+    for &(i, label) in &s7_cells {
+        let report = &outs[i].report;
+        rows.push(summary_row(&format!("adaptive/{label}"), report));
         let widths = report
             .shard_widths
             .iter()
@@ -542,14 +709,10 @@ fn main() {
                 .cost_prediction
                 .map_or("-".to_string(), |p| format!("{:.1e}", p.max_error_s)),
         ]);
-        runs.push(annotated_run(
-            &report,
-            adaptive_arrivals,
-            "admit-all",
-            label,
-        ));
+        runs.push(annotated_run(report, adaptive_arrivals, "admit-all", label));
     }
-    scenario_timing("adaptive-width", runs.len(), events, started);
+    let (events, wall) = scenario_stats(&s7_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("adaptive-width", runs.len(), events, wall);
     scenarios.push(Json::obj([
         ("scenario", Json::Str("adaptive-width".into())),
         ("fleet", fleet_json(&binned_fleet)),

@@ -184,6 +184,46 @@ impl PipelineAgenda {
             end,
         }
     }
+
+    /// Admits a run of `count` back-to-back jobs onto one pipeline and
+    /// returns the finish time: the first job takes `first_duration`
+    /// seconds (stalls ride on it), each of the rest `duration`. The
+    /// accumulation is the same sequential addition chain `count` calls
+    /// to [`PipelineAgenda::admit_on`] would perform — after the first
+    /// job the pipeline's horizon is past `not_before`, so the per-job
+    /// `max` is the identity — which keeps the finish time bitwise
+    /// identical to job-by-job admission while skipping the per-job
+    /// placement bookkeeping (the serving simulator's untraced hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline index is out of range, `count` is zero, or
+    /// either duration is not positive and finite.
+    pub fn admit_run(
+        &mut self,
+        pipeline: usize,
+        not_before: f64,
+        first_duration: f64,
+        duration: f64,
+        count: usize,
+    ) -> f64 {
+        assert!(count > 0, "a run must carry at least one job");
+        assert!(
+            first_duration.is_finite() && first_duration > 0.0,
+            "job duration must be positive"
+        );
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "job duration must be positive"
+        );
+        let start = self.next_free[pipeline].max(not_before);
+        let mut end = start + first_duration;
+        for _ in 1..count {
+            end += duration;
+        }
+        self.next_free[pipeline] = end;
+        end
+    }
 }
 
 /// Schedules `batch × layers × heads` attention jobs of `seq_len` tokens

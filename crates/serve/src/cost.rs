@@ -35,8 +35,6 @@
 //!   selects the victim whose eviction wastes the least predicted work
 //!   ([`CostModel::preemption_cost`]).
 
-use std::collections::BTreeMap;
-
 use crate::policy::CardView;
 use crate::request::Request;
 use swat::SwatAccelerator;
@@ -64,6 +62,13 @@ pub struct CardCostModel {
     /// Calibrated isolated service seconds per attended token (from
     /// [`CardCostModel::service_seconds`] at [`CALIBRATION_SHAPE`]).
     seconds_per_token: f64,
+    /// Fill (drain) latency of the card's attention pipeline, cycles —
+    /// cached so per-job pricing on the dispatch hot path never rebuilds
+    /// the stage chain (`StageTimings::to_pipeline` allocates).
+    fill_cycles: u64,
+    /// Steady-state initiation interval, cycles per row (cached with
+    /// [`CardCostModel::fill_cycles`]).
+    ii_cycles: u64,
 }
 
 impl CardCostModel {
@@ -73,7 +78,11 @@ impl CardCostModel {
         memory: MemoryInterface,
         host_link: MemoryInterface,
     ) -> CardCostModel {
+        let stages = swat::timing::StageTimings::for_config(accel.config())
+            .to_pipeline(accel.config().random_tokens > 0);
         let mut model = CardCostModel {
+            fill_cycles: stages.fill_latency(),
+            ii_cycles: stages.initiation_interval(),
             accel,
             memory,
             host_link,
@@ -107,7 +116,12 @@ impl CardCostModel {
     /// card streaming concurrently, the shared interface stretches
     /// service once their aggregate Q/K/V/Z demand saturates it.
     pub fn job_seconds(&self, shape: &RequestShape, streams: usize) -> f64 {
-        let compute = self.accel.latency_seconds(shape.seq_len);
+        // `fill + (rows - 1) × II` is `Pipeline::total_cycles` inlined
+        // against the cached cycle terms — the same integer arithmetic,
+        // minus the stage-chain rebuild `accel.latency_seconds` pays.
+        let cycles = self.fill_cycles + (shape.seq_len as u64 - 1) * self.ii_cycles;
+        debug_assert_eq!(cycles, self.accel.latency_cycles(shape.seq_len));
+        let compute = self.accel.config().clock.seconds(cycles);
         let bytes_per_sec = self.accel.offchip_bytes(shape.seq_len) as f64 / compute;
         compute * self.memory.contention_factor(streams, bytes_per_sec)
     }
@@ -137,20 +151,29 @@ impl CardCostModel {
     }
 }
 
-/// Per-card planned stream counts for a shard plan: the pipelines
-/// already busy on each card plus the plan's shards there — the
-/// contention every sibling is charged. Shared by
-/// [`CostModel::price_plan`] and the simulator's admission pass, so the
-/// planned and realized counts cannot drift apart.
-pub(crate) fn plan_stream_counts(plan: &[usize], cards: &[CardView]) -> BTreeMap<usize, usize> {
-    let mut planned: BTreeMap<usize, usize> = BTreeMap::new();
+/// Per-card planned stream counts for a shard plan, filled into `out`
+/// sorted by card id: the pipelines already busy on each card plus the
+/// plan's shards there — the contention every sibling is charged. Shared
+/// by [`CostModel::price_plan`] and the simulator's admission pass, so
+/// the planned and realized counts cannot drift apart. Takes the
+/// caller's scratch vector instead of allocating a fresh tree per
+/// dispatch (plans are at most a handful of entries, so the binary
+/// search over a short sorted vec beats any map).
+pub(crate) fn plan_stream_counts_into(
+    plan: &[usize],
+    cards: &[CardView],
+    out: &mut Vec<(usize, usize)>,
+) {
+    out.clear();
     for &card in plan {
-        *planned.entry(card).or_insert(0) += 1;
+        match out.binary_search_by_key(&card, |e| e.0) {
+            Ok(pos) => out[pos].1 += 1,
+            Err(pos) => out.insert(pos, (card, 1)),
+        }
     }
-    for (&card, streams) in planned.iter_mut() {
-        *streams += cards[card].pipelines - cards[card].idle_pipelines;
+    for (card, streams) in out.iter_mut() {
+        *streams += cards[*card].pipelines - cards[*card].idle_pipelines;
     }
-    planned
 }
 
 /// Splits `total` jobs across `width` shards as evenly as the grid
@@ -248,24 +271,23 @@ impl CostModel {
         let shape = &request.shape;
         let total = request.remaining_jobs();
         let width = plan.len().min(total);
-        let planned = plan_stream_counts(&plan[..width], cards);
         let (base, extra) = job_split(total, width);
-        let mut resident: BTreeMap<usize, bool> = BTreeMap::new();
         let mut fan_in = now;
         let mut busy = 0.0f64;
+        // Plans are a handful of entries (bounded by the widest card
+        // group), so the per-card stream count and the warm-after-first-
+        // shard rule are recomputed by scanning the plan itself — no
+        // per-call map allocations on the dispatch hot path.
         for (i, &card) in plan[..width].iter().enumerate() {
             let model = &self.cards[card];
             let view = &cards[card];
-            let per_job = model.job_seconds(shape, planned[&card]);
-            let warm = resident
-                .entry(card)
-                .or_insert(view.resident == Some(shape.family()));
-            let swap = if *warm {
-                0.0
-            } else {
-                *warm = true;
-                model.swap_seconds(shape)
-            };
+            let streams = plan[..width].iter().filter(|&&c| c == card).count()
+                + (view.pipelines - view.idle_pipelines);
+            let per_job = model.job_seconds(shape, streams);
+            // The first shard on a cold card pays the swap; its later
+            // siblings (and every shard on a warm card) find it warm.
+            let cold = !plan[..i].contains(&card) && view.resident != Some(shape.family());
+            let swap = if cold { model.swap_seconds(shape) } else { 0.0 };
             let restart = if i == 0 && request.pending_restart {
                 model.restart_seconds(shape)
             } else {

@@ -14,21 +14,33 @@
 //!   at the same instant must drain first, so a preemption check never
 //!   evicts a job that was already done, and a warm-up or scaling check
 //!   never beats the event that made the capacity decision.
-//! - [`PriorityQueue`] replaces the arrival-ordered `Vec` (and its O(n)
-//!   mid-queue `remove`) with a `BTreeMap` keyed by
-//!   [`Request::rank_key`]: class rank first, then request id. Removal is
-//!   O(log n), and — the property the determinism tests lean on —
-//!   iteration order is a pure function of the queue's *contents*.
-//!   Order stability matters because two requests of equal priority must
+//! - [`PriorityQueue`] keeps the waiting set ordered by
+//!   [`Request::rank_key`]: class rank first, then request id. It stores
+//!   only `(id, arena index)` pairs — one sorted lane per class, consumed
+//!   from the front through a `head` cursor — so queue membership costs
+//!   no `Request` copies and no allocation per event. Head-of-lane
+//!   removal (the overwhelmingly common dispatch path) is a cursor bump;
+//!   mid-lane removal (preemption remnant merges) shifts one lane.
+//!   The property the determinism tests lean on survives the layout:
+//!   iteration order is a pure function of the queue's *contents*. Order
+//!   stability matters because two requests of equal priority must
 //!   dispatch in one fixed order (arrival order, via the monotone id) no
 //!   matter how arrivals interleaved with completions; an equal-key heap
 //!   or hash map would let the interleaving leak into the schedule and
 //!   break same-seed reproducibility.
+//!
+//! Policies see the queue through [`QueueView`], a by-value window that
+//! resolves arena indices against the request arena on access — no
+//! materialized `Vec<Request>` per event batch.
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use crate::request::Request;
+use swat_workloads::RequestClass;
+
+/// One waiting lane per request class, in rank order.
+const LANE_COUNT: usize = RequestClass::ALL.len();
 
 /// What happens at an event's timestamp.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +64,10 @@ pub enum Event {
         /// Shard id, unique within the request's lifetime (a request
         /// served whole is its own single shard, id 0).
         shard: u32,
+        /// Dense arena index of the request, so delivery needs no
+        /// id-to-slot lookup. Not part of the ordering key: it is
+        /// redundant with `id`, which already breaks the tie.
+        index: u32,
     },
     /// A preemption check: the request with this id has waited past the
     /// dispatcher's patience threshold. The simulator decides at delivery
@@ -198,12 +214,13 @@ impl EventQueue {
     }
 
     /// Schedules the completion of request `id`'s shard `shard` on `card`
-    /// at `time` (the shard's finish instant).
+    /// at `time` (the shard's finish instant). `index` is the request's
+    /// dense arena index, carried so delivery skips the id lookup.
     ///
     /// # Panics
     ///
     /// Panics if `time` is not finite.
-    pub fn push_completion(&mut self, time: f64, card: usize, id: u64, shard: u32) {
+    pub fn push_completion(&mut self, time: f64, card: usize, id: u64, shard: u32, index: u32) {
         assert!(time.is_finite(), "event times must be finite");
         self.heap.push(Reverse(HeapEntry {
             time,
@@ -211,7 +228,12 @@ impl EventQueue {
             card,
             id,
             shard,
-            event: Event::Completion { card, id, shard },
+            event: Event::Completion {
+                card,
+                id,
+                shard,
+                index,
+            },
         }));
     }
 
@@ -278,18 +300,59 @@ impl EventQueue {
     }
 }
 
+/// One class's waiting requests: `(id, arena index)` pairs sorted by id,
+/// live from `head` onward. The consumed prefix is reclaimed lazily so a
+/// steady-state dispatch is a cursor bump, not a memmove.
+#[derive(Debug, Default)]
+struct Lane {
+    slots: Vec<(u64, u32)>,
+    head: usize,
+}
+
+impl Lane {
+    /// The live (still-waiting) slice in id order.
+    fn live(&self) -> &[(u64, u32)] {
+        &self.slots[self.head..]
+    }
+
+    /// Position of `id` within the live slice.
+    fn position(&self, id: u64) -> Result<usize, usize> {
+        self.live().binary_search_by_key(&id, |&(id, _)| id)
+    }
+
+    /// Removes the live entry at `pos`, reclaiming the dead prefix when
+    /// it dominates the buffer.
+    fn remove_at(&mut self, pos: usize) -> (u64, u32) {
+        let entry = if pos == 0 {
+            let entry = self.slots[self.head];
+            self.head += 1;
+            entry
+        } else {
+            self.slots.remove(self.head + pos)
+        };
+        if self.head == self.slots.len() {
+            self.slots.clear();
+            self.head = 0;
+        } else if self.head >= 32 && self.head * 2 >= self.slots.len() {
+            self.slots.drain(..self.head);
+            self.head = 0;
+        }
+        entry
+    }
+}
+
 /// The waiting-request queue, ordered by `(class rank, request id)`.
 ///
-/// Policies receive the queue as a slice ([`PriorityQueue::view`], a
-/// reusable scratch buffer — no per-event allocation), so higher classes
-/// always occupy the front and arrival order is preserved within a class.
-/// See the module docs for why this order *stability* is load-bearing for
-/// determinism.
+/// Stores dense arena indices, not `Request` values: the simulator's
+/// request arena owns the records and the queue only orders membership.
+/// Policies receive the queue as a [`QueueView`] over the arena, so
+/// higher classes always occupy the front and arrival order is preserved
+/// within a class. See the module docs for why this order *stability* is
+/// load-bearing for determinism.
 #[derive(Debug, Default)]
 pub struct PriorityQueue {
-    map: BTreeMap<(u8, u64), Request>,
-    view: Vec<Request>,
-    dirty: bool,
+    lanes: [Lane; LANE_COUNT],
+    len: usize,
 }
 
 impl PriorityQueue {
@@ -300,83 +363,199 @@ impl PriorityQueue {
 
     /// Waiting requests.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
-    /// Enqueues a request.
+    /// Enqueues the request stored at arena slot `index`.
+    ///
+    /// Appends in O(1) for the common monotone-id arrival stream; a
+    /// requeued preemption remnant (id below the lane tail) pays one
+    /// in-lane shift to keep the lane sorted.
     ///
     /// # Panics
     ///
     /// Panics if a request with the same id and class is already queued
     /// (ids must be unique for the dispatch order to be total).
-    pub fn push(&mut self, request: Request) {
-        let displaced = self.map.insert(request.rank_key(), request);
-        assert!(
-            displaced.is_none(),
-            "duplicate request id {} in the queue",
-            request.id
-        );
-        self.dirty = true;
+    pub fn push(&mut self, request: &Request, index: u32) {
+        let lane = &mut self.lanes[request.class.rank() as usize];
+        match lane.position(request.id) {
+            Ok(_) => panic!("duplicate request id {} in the queue", request.id),
+            Err(pos) => {
+                let at = lane.head + pos;
+                lane.slots.insert(at, (request.id, index));
+            }
+        }
+        self.len += 1;
     }
 
     /// Whether a request with this [`Request::rank_key`] is still waiting
     /// — how the simulator decides if a preemption timer's request is
     /// still in the queue when the timer fires.
     pub fn contains(&self, key: (u8, u64)) -> bool {
-        self.map.contains_key(&key)
+        self.lanes[key.0 as usize].position(key.1).is_ok()
     }
 
-    /// Removes and returns the queued request with this
-    /// [`Request::rank_key`], if present — how a second preempted shard
+    /// Removes the queued request with this [`Request::rank_key`] and
+    /// returns its arena index, if present — how a second preempted shard
     /// of one request merges into its already-queued remnant instead of
     /// colliding with it.
-    pub fn remove(&mut self, key: (u8, u64)) -> Option<Request> {
-        let removed = self.map.remove(&key);
-        if removed.is_some() {
-            self.dirty = true;
-        }
-        removed
+    pub fn remove(&mut self, key: (u8, u64)) -> Option<u32> {
+        let lane = &mut self.lanes[key.0 as usize];
+        let pos = lane.position(key.1).ok()?;
+        let (_, index) = lane.remove_at(pos);
+        self.len -= 1;
+        Some(index)
     }
 
-    /// The queue in dispatch order, as a slice for policies. Rebuilt into
-    /// a reusable buffer only when the queue changed since the last call.
-    pub fn view(&mut self) -> &[Request] {
-        if self.dirty {
-            self.view.clear();
-            self.view.extend(self.map.values().copied());
-            self.dirty = false;
-        }
-        &self.view
-    }
-
-    /// Removes and returns the request at `index` of the current
-    /// [`view`](PriorityQueue::view) order.
+    /// Removes the request at `index` of the dispatch order (the order a
+    /// [`QueueView`] iterates in) and returns its arena index.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn take(&mut self, index: usize) -> Request {
-        // The view may be stale if callers interleaved pushes; index into
-        // the map's live order instead of trusting the cache.
-        let key = if self.dirty {
-            *self
-                .map
-                .keys()
-                .nth(index)
-                .expect("queue index out of range")
-        } else {
-            self.view[index].rank_key()
-        };
-        let request = self.map.remove(&key).expect("queue index out of range");
-        self.dirty = true;
-        request
+    pub fn take(&mut self, index: usize) -> u32 {
+        let mut at = index;
+        for lane in &mut self.lanes {
+            let live = lane.slots.len() - lane.head;
+            if at < live {
+                let (_, slot) = lane.remove_at(at);
+                self.len -= 1;
+                return slot;
+            }
+            at -= live;
+        }
+        panic!("queue index {index} out of range");
+    }
+
+    /// The queue in dispatch order as a by-value window over the request
+    /// arena — no per-event materialization.
+    pub fn view<'a>(&'a self, requests: &'a [Request]) -> QueueView<'a> {
+        let lanes = std::array::from_fn(|i| self.lanes[i].live());
+        QueueView {
+            kind: ViewKind::Ranked { requests, lanes },
+            len: self.len,
+        }
     }
 }
+
+/// A read-only, by-value window over the waiting queue in dispatch order
+/// (class rank, then request id).
+///
+/// Policies index and iterate it like a slice; entries resolve to
+/// `&Request` in the simulator's arena. [`QueueView::flat`] wraps a plain
+/// ordered slice — the form reference implementations and tests use.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueView<'a> {
+    kind: ViewKind<'a>,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ViewKind<'a> {
+    /// Per-class lanes of `(id, arena index)` over the request arena.
+    Ranked {
+        requests: &'a [Request],
+        lanes: [&'a [(u64, u32)]; LANE_COUNT],
+    },
+    /// A plain slice already in dispatch order.
+    Flat(&'a [Request]),
+}
+
+impl<'a> QueueView<'a> {
+    /// A view over a slice that is already in dispatch order.
+    pub fn flat(requests: &'a [Request]) -> QueueView<'a> {
+        QueueView {
+            kind: ViewKind::Flat(requests),
+            len: requests.len(),
+        }
+    }
+
+    /// Waiting requests.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The request at `index` of the dispatch order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> &'a Request {
+        match self.kind {
+            ViewKind::Flat(requests) => &requests[index],
+            ViewKind::Ranked { requests, lanes } => {
+                let mut at = index;
+                for lane in lanes {
+                    if at < lane.len() {
+                        return &requests[lane[at].1 as usize];
+                    }
+                    at -= lane.len();
+                }
+                panic!("queue index {index} out of range");
+            }
+        }
+    }
+
+    /// The head of the queue — the next request dispatched by an
+    /// in-order policy.
+    pub fn first(&self) -> Option<&'a Request> {
+        (self.len > 0).then(|| self.get(0))
+    }
+
+    /// Iterates the queue in dispatch order.
+    pub fn iter(&self) -> QueueIter<'a> {
+        QueueIter {
+            view: *self,
+            pos: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for QueueView<'a> {
+    type Item = &'a Request;
+    type IntoIter = QueueIter<'a>;
+
+    fn into_iter(self) -> QueueIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`QueueView`] in dispatch order.
+#[derive(Debug, Clone)]
+pub struct QueueIter<'a> {
+    view: QueueView<'a>,
+    pos: usize,
+}
+
+impl<'a> Iterator for QueueIter<'a> {
+    type Item = &'a Request;
+
+    fn next(&mut self) -> Option<&'a Request> {
+        if self.pos >= self.view.len {
+            return None;
+        }
+        let request = self.view.get(self.pos);
+        self.pos += 1;
+        Some(request)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.view.len - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for QueueIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -395,9 +574,9 @@ mod tests {
     #[test]
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
-        q.push_completion(3.0, 0, 0, 0);
+        q.push_completion(3.0, 0, 0, 0, 0);
         q.push_arrival(1.0, 1, 1);
-        q.push_completion(2.0, 1, 2, 0);
+        q.push_completion(2.0, 1, 2, 0, 2);
         let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
         assert_eq!(times, [1.0, 2.0, 3.0]);
     }
@@ -405,16 +584,18 @@ mod tests {
     #[test]
     fn ties_break_arrival_then_card_then_id_then_shard() {
         let mut q = EventQueue::new();
-        q.push_completion(1.0, 1, 9, 0);
-        q.push_completion(1.0, 0, 4, 1);
-        q.push_completion(1.0, 0, 4, 0);
-        q.push_completion(1.0, 0, 2, 0);
+        q.push_completion(1.0, 1, 9, 0, 9);
+        q.push_completion(1.0, 0, 4, 1, 4);
+        q.push_completion(1.0, 0, 4, 0, 4);
+        q.push_completion(1.0, 0, 2, 0, 2);
         q.push_arrival(1.0, 7, 7);
         assert_eq!(q.len(), 5);
         let order: Vec<(u8, usize, u64, u32)> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
                 Event::Arrival { index } => (0, 0, index as u64, 0),
-                Event::Completion { card, id, shard } => (1, card, id, shard),
+                Event::Completion {
+                    card, id, shard, ..
+                } => (1, card, id, shard),
                 Event::Preemption { id } => (2, 0, id, 0),
                 Event::Warmed { card } => (3, card, 0, 0),
                 Event::ScaleCheck => (4, 0, 0, 0),
@@ -443,7 +624,7 @@ mod tests {
         q.push_scale_check(1.0);
         q.push_warmed(1.0, 3);
         q.push_preemption(1.0, 9);
-        q.push_completion(1.0, 0, 5, 0);
+        q.push_completion(1.0, 0, 5, 0, 5);
         q.push_arrival(1.0, 0, 2);
         let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
@@ -464,7 +645,7 @@ mod tests {
             let mut q = EventQueue::new();
             for &i in order {
                 let (t, card, id) = entries[i];
-                q.push_completion(t, card, id, 0);
+                q.push_completion(t, card, id, 0, id as u32);
             }
             std::iter::from_fn(|| q.pop())
                 .map(|(_, e)| match e {
@@ -479,49 +660,104 @@ mod tests {
 
     #[test]
     fn priority_queue_orders_class_then_arrival() {
+        let requests = [
+            Request::classed(0, 0.0, shape(), RequestClass::Background),
+            Request::classed(1, 0.1, shape(), RequestClass::Interactive),
+            Request::classed(2, 0.2, shape(), RequestClass::Batch),
+            Request::classed(3, 0.3, shape(), RequestClass::Interactive),
+        ];
         let mut q = PriorityQueue::new();
-        q.push(Request::classed(0, 0.0, shape(), RequestClass::Background));
-        q.push(Request::classed(1, 0.1, shape(), RequestClass::Interactive));
-        q.push(Request::classed(2, 0.2, shape(), RequestClass::Batch));
-        q.push(Request::classed(3, 0.3, shape(), RequestClass::Interactive));
-        let ids: Vec<u64> = q.view().iter().map(|r| r.id).collect();
+        for (i, r) in requests.iter().enumerate() {
+            q.push(r, i as u32);
+        }
+        let ids: Vec<u64> = q.view(&requests).iter().map(|r| r.id).collect();
         assert_eq!(ids, [1, 3, 2, 0], "class rank first, id within class");
     }
 
     #[test]
-    fn take_removes_by_view_index() {
+    fn out_of_order_ids_keep_id_order_within_a_lane() {
+        // A requeued preemption remnant re-enters its lane with an id
+        // below later arrivals; the lane must stay id-sorted.
+        let requests = [
+            Request::classed(3, 0.3, shape(), RequestClass::Background),
+            Request::classed(1, 0.1, shape(), RequestClass::Background),
+            Request::classed(2, 0.2, shape(), RequestClass::Background),
+        ];
         let mut q = PriorityQueue::new();
-        q.push(Request::classed(0, 0.0, shape(), RequestClass::Batch));
-        q.push(Request::classed(1, 0.0, shape(), RequestClass::Interactive));
-        q.view();
+        for (i, r) in requests.iter().enumerate() {
+            q.push(r, i as u32);
+        }
+        let ids: Vec<u64> = q.view(&requests).iter().map(|r| r.id).collect();
+        assert_eq!(ids, [1, 2, 3]);
+    }
+
+    #[test]
+    fn take_removes_by_view_index() {
+        let requests = [
+            Request::classed(0, 0.0, shape(), RequestClass::Batch),
+            Request::classed(1, 0.0, shape(), RequestClass::Interactive),
+            Request::classed(2, 0.0, shape(), RequestClass::Background),
+        ];
+        let mut q = PriorityQueue::new();
+        q.push(&requests[0], 0);
+        q.push(&requests[1], 1);
+        // View order is [id 1 (interactive), id 0 (batch)].
         let taken = q.take(1);
-        assert_eq!(taken.id, 0);
+        assert_eq!(taken, 0, "arena index of the batch request");
         assert_eq!(q.len(), 1);
-        assert_eq!(q.view()[0].id, 1);
-        // Taking without refreshing the view first still works.
-        q.push(Request::classed(2, 0.0, shape(), RequestClass::Background));
+        assert_eq!(q.view(&requests).get(0).id, 1);
+        q.push(&requests[2], 2);
         let head = q.take(0);
-        assert_eq!(head.id, 1);
+        assert_eq!(head, 1, "arena index of the interactive head");
+        assert_eq!(q.view(&requests).first().map(|r| r.id), Some(2));
     }
 
     #[test]
     fn remove_by_key_takes_the_exact_request() {
+        let requests = [
+            Request::classed(0, 0.0, shape(), RequestClass::Batch),
+            Request::classed(1, 0.0, shape(), RequestClass::Interactive),
+        ];
         let mut q = PriorityQueue::new();
-        let a = Request::classed(0, 0.0, shape(), RequestClass::Batch);
-        let b = Request::classed(1, 0.0, shape(), RequestClass::Interactive);
-        q.push(a);
-        q.push(b);
-        assert_eq!(q.remove(a.rank_key()).map(|r| r.id), Some(0));
-        assert_eq!(q.remove(a.rank_key()), None, "already gone");
+        q.push(&requests[0], 0);
+        q.push(&requests[1], 1);
+        assert!(q.contains(requests[0].rank_key()));
+        assert_eq!(q.remove(requests[0].rank_key()), Some(0));
+        assert_eq!(q.remove(requests[0].rank_key()), None, "already gone");
+        assert!(!q.contains(requests[0].rank_key()));
         assert_eq!(q.len(), 1);
-        assert_eq!(q.view()[0].id, 1);
+        assert_eq!(q.view(&requests).get(0).id, 1);
+    }
+
+    #[test]
+    fn head_reclamation_preserves_order() {
+        // Drain enough heads to trigger lane compaction, interleaved
+        // with fresh pushes; the dispatch order must stay id-sorted.
+        let requests: Vec<Request> = (0..128)
+            .map(|i| Request::new(i as u64, i as f64, shape()))
+            .collect();
+        let mut q = PriorityQueue::new();
+        for (i, r) in requests.iter().enumerate().take(96) {
+            q.push(r, i as u32);
+        }
+        for i in 0..64 {
+            assert_eq!(q.take(0), i as u32);
+        }
+        for (i, r) in requests.iter().enumerate().skip(96) {
+            q.push(r, i as u32);
+        }
+        let ids: Vec<u64> = q.view(&requests).iter().map(|r| r.id).collect();
+        let expect: Vec<u64> = (64..128).collect();
+        assert_eq!(ids, expect);
+        assert_eq!(q.len(), 64);
     }
 
     #[test]
     #[should_panic(expected = "duplicate request id")]
     fn duplicate_ids_rejected() {
+        let requests = [Request::new(5, 0.0, shape()), Request::new(5, 1.0, shape())];
         let mut q = PriorityQueue::new();
-        q.push(Request::new(5, 0.0, shape()));
-        q.push(Request::new(5, 1.0, shape()));
+        q.push(&requests[0], 0);
+        q.push(&requests[1], 1);
     }
 }

@@ -524,43 +524,54 @@ impl Card {
         };
         let stall = swap + restart;
 
-        // Jobs are admitted one by one in both modes so traced and
-        // untraced runs produce bit-identical timing; tracing only
-        // controls whether the placements are kept.
-        let mut finish = now;
-        let mut skip = skip;
-        let mut left = count;
-        let mut first = true;
-        'grid: for b in 0..shape.batch {
-            for l in 0..shape.layers {
-                for h in 0..shape.heads {
-                    if skip > 0 {
-                        skip -= 1;
-                        continue;
-                    }
-                    if left == 0 {
-                        break 'grid;
-                    }
-                    left -= 1;
-                    let duration = if first { stall + per_job } else { per_job };
-                    first = false;
-                    let p = self.agenda.admit_on(
-                        pipeline,
-                        Job {
-                            batch: b,
-                            layer: l,
-                            head: h,
-                        },
-                        now,
-                        duration,
-                    );
-                    finish = p.end;
-                    if trace {
-                        placements.push(p);
+        // The untraced path collapses the per-job grid walk into one
+        // run admission: every job of the shard lands back-to-back on
+        // the same pipeline, so the finish time is the identical
+        // sequential addition chain ([`PipelineAgenda::admit_run`])
+        // without constructing a placement per job. The traced walk
+        // below performs the same additions job by job, so both modes
+        // produce bit-identical timing; tracing only controls whether
+        // the placements are kept.
+        let finish = if !trace {
+            self.agenda
+                .admit_run(pipeline, now, stall + per_job, per_job, count)
+        } else {
+            let mut finish = now;
+            let mut skip = skip;
+            let mut left = count;
+            let mut first = true;
+            'grid: for b in 0..shape.batch {
+                for l in 0..shape.layers {
+                    for h in 0..shape.heads {
+                        if skip > 0 {
+                            skip -= 1;
+                            continue;
+                        }
+                        if left == 0 {
+                            break 'grid;
+                        }
+                        left -= 1;
+                        let duration = if first { stall + per_job } else { per_job };
+                        first = false;
+                        let p = self.agenda.admit_on(
+                            pipeline,
+                            Job {
+                                batch: b,
+                                layer: l,
+                                head: h,
+                            },
+                            now,
+                            duration,
+                        );
+                        finish = p.end;
+                        if trace {
+                            placements.push(p);
+                        }
                     }
                 }
             }
-        }
+            finish
+        };
 
         let duration = finish - now;
         self.busy_seconds += duration;

@@ -10,7 +10,10 @@
 //!
 //! The queue handed to a policy is **priority-ordered**: higher classes
 //! first, arrival order within a class (see
-//! [`crate::event::PriorityQueue`]). A policy that serves `queue[0]` is
+//! [`crate::event::PriorityQueue`], viewed through
+//! [`crate::event::QueueView`] — a by-value window over the
+//! simulator's request arena, so no queue is materialized per decision).
+//! A policy that serves `queue.get(0)` is
 //! therefore automatically priority-aware. Since fleets may be
 //! heterogeneous, every policy compares cards through
 //! [`CardView::service_estimate`] — the calibrated per-card service-time
@@ -38,6 +41,7 @@
 //! baseline.
 
 use crate::cost::CostModel;
+use crate::event::QueueView;
 use crate::request::Request;
 use swat_workloads::RequestShape;
 
@@ -97,7 +101,7 @@ pub trait DispatchPolicy {
     /// Picks the next dispatch, or `None` to wait for state to change.
     /// `queue` is priority-ordered (class rank, then arrival); `cards` is
     /// indexed by card id.
-    fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch>;
+    fn choose(&mut self, now: f64, queue: QueueView<'_>, cards: &[CardView]) -> Option<Dispatch>;
 
     /// Picks the next dispatch with optional fan-out: the queued request
     /// splits its independent attention jobs across one shard per listed
@@ -112,7 +116,7 @@ pub trait DispatchPolicy {
     fn choose_sharded(
         &mut self,
         now: f64,
-        queue: &[Request],
+        queue: QueueView<'_>,
         cards: &[CardView],
         cost: &CostModel,
     ) -> Option<ShardedDispatch> {
@@ -239,7 +243,7 @@ impl DispatchPolicy for Fifo {
         "fifo"
     }
 
-    fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+    fn choose(&mut self, _now: f64, queue: QueueView<'_>, cards: &[CardView]) -> Option<Dispatch> {
         if queue.is_empty() {
             return None;
         }
@@ -267,7 +271,7 @@ impl DispatchPolicy for LeastLoaded {
         "least-loaded"
     }
 
-    fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+    fn choose(&mut self, _now: f64, queue: QueueView<'_>, cards: &[CardView]) -> Option<Dispatch> {
         let request = queue.first()?;
         Some((0, soonest_idle(cards, &request.shape)?))
     }
@@ -284,7 +288,7 @@ pub struct ShortestJobFirst;
 
 /// The smallest waiting request within the highest waiting class — the
 /// SJF pick, shared by the whole-request and sharded variants.
-fn shortest_in_head_class(queue: &[Request]) -> Option<(usize, &Request)> {
+fn shortest_in_head_class<'a>(queue: QueueView<'a>) -> Option<(usize, &'a Request)> {
     let head_class = queue.first()?.class;
     queue
         .iter()
@@ -298,7 +302,7 @@ impl DispatchPolicy for ShortestJobFirst {
         "shortest-job-first"
     }
 
-    fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+    fn choose(&mut self, _now: f64, queue: QueueView<'_>, cards: &[CardView]) -> Option<Dispatch> {
         let (qi, request) = shortest_in_head_class(queue)?;
         let card = soonest_idle(cards, &request.shape)?;
         Some((qi, card))
@@ -361,14 +365,14 @@ impl DispatchPolicy for ShardedLeastLoaded {
         }
     }
 
-    fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+    fn choose(&mut self, now: f64, queue: QueueView<'_>, cards: &[CardView]) -> Option<Dispatch> {
         LeastLoaded.choose(now, queue, cards)
     }
 
     fn choose_sharded(
         &mut self,
         now: f64,
-        queue: &[Request],
+        queue: QueueView<'_>,
         cards: &[CardView],
         cost: &CostModel,
     ) -> Option<ShardedDispatch> {
@@ -433,14 +437,14 @@ impl DispatchPolicy for ShardedShortestJobFirst {
         }
     }
 
-    fn choose(&mut self, now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+    fn choose(&mut self, now: f64, queue: QueueView<'_>, cards: &[CardView]) -> Option<Dispatch> {
         ShortestJobFirst.choose(now, queue, cards)
     }
 
     fn choose_sharded(
         &mut self,
         now: f64,
-        queue: &[Request],
+        queue: QueueView<'_>,
         cards: &[CardView],
         cost: &CostModel,
     ) -> Option<ShardedDispatch> {
@@ -478,7 +482,7 @@ impl DispatchPolicy for HeadAffinity {
         "head-affinity"
     }
 
-    fn choose(&mut self, _now: f64, queue: &[Request], cards: &[CardView]) -> Option<Dispatch> {
+    fn choose(&mut self, _now: f64, queue: QueueView<'_>, cards: &[CardView]) -> Option<Dispatch> {
         let request = queue.first()?;
         let home = HeadAffinity::home_card(request.shape.heads, request.shape.layers, cards.len());
         if cards[home].idle_pipelines > 0 {
@@ -555,7 +559,12 @@ mod tests {
         let queue = [request(0, 1024)];
         let cards = [view(0, 0, 5.0), view(1, 0, 1.0)];
         for mut p in all_policies() {
-            assert_eq!(p.choose(0.0, &queue, &cards), None, "{}", p.name());
+            assert_eq!(
+                p.choose(0.0, QueueView::flat(&queue), &cards),
+                None,
+                "{}",
+                p.name()
+            );
         }
     }
 
@@ -563,7 +572,12 @@ mod tests {
     fn all_policies_wait_on_empty_queue() {
         let cards = [view(0, 2, 0.0)];
         for mut p in all_policies() {
-            assert_eq!(p.choose(0.0, &[], &cards), None, "{}", p.name());
+            assert_eq!(
+                p.choose(0.0, QueueView::flat(&[]), &cards),
+                None,
+                "{}",
+                p.name()
+            );
         }
     }
 
@@ -571,7 +585,10 @@ mod tests {
     fn fifo_takes_first_free_card() {
         let queue = [request(0, 1024), request(1, 512)];
         let cards = [view(0, 0, 0.1), view(1, 1, 9.0), view(2, 2, 0.0)];
-        assert_eq!(Fifo.choose(0.0, &queue, &cards), Some((0, 1)));
+        assert_eq!(
+            Fifo.choose(0.0, QueueView::flat(&queue), &cards),
+            Some((0, 1))
+        );
     }
 
     #[test]
@@ -582,14 +599,20 @@ mod tests {
         let mut slow = view(1, 1, 0.0);
         slow.seconds_per_token = 2e-6;
         let cards = [view(0, 0, 0.0), slow, view(2, 1, 4.0)];
-        assert_eq!(Fifo.choose(0.0, &queue, &cards), Some((0, 2)));
+        assert_eq!(
+            Fifo.choose(0.0, QueueView::flat(&queue), &cards),
+            Some((0, 2))
+        );
     }
 
     #[test]
     fn least_loaded_balances() {
         let queue = [request(0, 1024)];
         let cards = [view(0, 1, 3.0), view(1, 1, 1.0), view(2, 1, 2.0)];
-        assert_eq!(LeastLoaded.choose(0.0, &queue, &cards), Some((0, 1)));
+        assert_eq!(
+            LeastLoaded.choose(0.0, QueueView::flat(&queue), &cards),
+            Some((0, 1))
+        );
     }
 
     #[test]
@@ -603,14 +626,20 @@ mod tests {
         let mut fast = view(1, 1, 0.0);
         fast.seconds_per_token = 1e-6;
         fast.backlog_seconds = 1e-6 * work; // backlog + estimate still smaller
-        assert_eq!(LeastLoaded.choose(0.0, &[r], &[slow, fast]), Some((0, 1)));
+        assert_eq!(
+            LeastLoaded.choose(0.0, QueueView::flat(&[r]), &[slow, fast]),
+            Some((0, 1))
+        );
     }
 
     #[test]
     fn sjf_reorders_the_queue() {
         let queue = [request(0, 8192), request(1, 512), request(2, 2048)];
         let cards = [view(0, 1, 0.0)];
-        assert_eq!(ShortestJobFirst.choose(0.0, &queue, &cards), Some((1, 0)));
+        assert_eq!(
+            ShortestJobFirst.choose(0.0, QueueView::flat(&queue), &cards),
+            Some((1, 0))
+        );
     }
 
     #[test]
@@ -631,7 +660,7 @@ mod tests {
         );
         let cards = [view(0, 1, 0.0)];
         assert_eq!(
-            ShortestJobFirst.choose(0.0, &[big, tiny], &cards),
+            ShortestJobFirst.choose(0.0, QueueView::flat(&[big, tiny]), &cards),
             Some((0, 0)),
             "background work must not jump the interactive class"
         );
@@ -643,12 +672,18 @@ mod tests {
         let queue = [r];
         let home = HeadAffinity::home_card(r.shape.heads, r.shape.layers, 3);
         let mut cards = vec![view(0, 1, 0.0), view(1, 1, 0.0), view(2, 1, 0.0)];
-        assert_eq!(HeadAffinity.choose(0.0, &queue, &cards), Some((0, home)));
+        assert_eq!(
+            HeadAffinity.choose(0.0, QueueView::flat(&queue), &cards),
+            Some((0, home))
+        );
         // Home busy: fall back to the soonest-finishing idle card.
         cards[home].idle_pipelines = 0;
         cards[(home + 1) % 3].backlog_seconds = 5.0;
         let expect = (home + 2) % 3;
-        assert_eq!(HeadAffinity.choose(0.0, &queue, &cards), Some((0, expect)));
+        assert_eq!(
+            HeadAffinity.choose(0.0, QueueView::flat(&queue), &cards),
+            Some((0, expect))
+        );
     }
 
     #[test]
@@ -674,16 +709,21 @@ mod tests {
         let cards = [view(0, 1, 3.0), view(1, 1, 1.0)];
         let cost = model(2);
         assert_eq!(
-            ShardedLeastLoaded::new(1).choose_sharded(0.0, &queue, &cards, &cost),
+            ShardedLeastLoaded::new(1).choose_sharded(0.0, QueueView::flat(&queue), &cards, &cost),
             Some((0, vec![1]))
         );
         assert_eq!(
-            ShardedLeastLoaded::fixed(1).choose_sharded(0.0, &queue, &cards, &cost),
+            ShardedLeastLoaded::fixed(1).choose_sharded(
+                0.0,
+                QueueView::flat(&queue),
+                &cards,
+                &cost
+            ),
             Some((0, vec![1])),
             "adaptive and fixed agree at max_shards = 1"
         );
         assert_eq!(
-            LeastLoaded.choose(0.0, &queue, &cards),
+            LeastLoaded.choose(0.0, QueueView::flat(&queue), &cards),
             Some((0, 1)),
             "same pick as the unsharded policy"
         );
@@ -691,28 +731,38 @@ mod tests {
         // always fans to the cap, the adaptive one prices the widths but
         // its plan is a prefix of the same fill order.
         assert_eq!(
-            ShardedShortestJobFirst::fixed(2).choose_sharded(0.0, &queue, &cards, &cost),
+            ShardedShortestJobFirst::fixed(2).choose_sharded(
+                0.0,
+                QueueView::flat(&queue),
+                &cards,
+                &cost
+            ),
             Some((1, vec![1, 0]))
         );
         let (qi, plan) = ShardedShortestJobFirst::new(2)
-            .choose_sharded(0.0, &queue, &cards, &cost)
+            .choose_sharded(0.0, QueueView::flat(&queue), &cards, &cost)
             .unwrap();
         assert_eq!(qi, 1);
         assert!(plan == vec![1] || plan == vec![1, 0]);
         // Default choose_sharded wraps choose as one whole shard.
         assert_eq!(
-            Fifo.choose_sharded(0.0, &queue, &cards, &cost),
+            Fifo.choose_sharded(0.0, QueueView::flat(&queue), &cards, &cost),
             Some((0, vec![0])),
             "fifo ties to the lowest idle card"
         );
         // Both sharded policies wait when the fleet is full or queue empty.
         let busy = [view(0, 0, 0.0)];
         assert_eq!(
-            ShardedLeastLoaded::new(3).choose_sharded(0.0, &queue, &busy, &cost),
+            ShardedLeastLoaded::new(3).choose_sharded(0.0, QueueView::flat(&queue), &busy, &cost),
             None
         );
         assert_eq!(
-            ShardedShortestJobFirst::new(3).choose_sharded(0.0, &[], &cards, &cost),
+            ShardedShortestJobFirst::new(3).choose_sharded(
+                0.0,
+                QueueView::flat(&[]),
+                &cards,
+                &cost
+            ),
             None
         );
     }

@@ -24,8 +24,16 @@
 //!
 //! The loop is driven by the [`crate::event::EventQueue`] binary heap, so
 //! advancing time is O(log n) in the number of in-flight shards instead
-//! of the O(n) rescan the first implementation did, and the per-dispatch
-//! [`CardView`] snapshots live in reusable scratch buffers. Determinism is
+//! of the O(n) rescan the first implementation did. The per-run state is
+//! **arena-backed**: one working copy of every request lives in a dense
+//! slab indexed by arrival position, the fan-in table is a flat
+//! `FlightMeta` row per request (no tree, no per-dispatch allocation),
+//! shard slots live in a free-list slab threaded per request in dispatch
+//! order, and the waiting queue stores arena indices. [`CardView`]
+//! snapshots are maintained **incrementally**: only cards marked dirty by
+//! an event (completion, eviction, warm-up, scaling) or carrying decaying
+//! backlog are recomputed per batch, with a debug-build cross-check
+//! against the full recompute. Determinism is
 //! structural: events order by
 //! `(time, Arrival < Completion < Preemption < Warmed < ScaleCheck, card,
 //! id, shard)`, the
@@ -34,8 +42,6 @@
 //! by tombstoning: the stale completion timer stays in the heap and is
 //! dropped at delivery when its shard id no longer matches a live slot in
 //! the in-flight table.
-
-use std::collections::BTreeMap;
 
 use crate::arrival::ArrivalProcess;
 use crate::cost::CostModel;
@@ -348,7 +354,8 @@ impl<'a> Simulation<'a> {
     /// # Panics
     ///
     /// Panics if `requests` is empty, not sorted by arrival time, or
-    /// contains duplicate ids (ids must be unique — the dispatch queue and
+    /// (in debug builds, where the O(n) uniqueness scan runs) contains
+    /// duplicate ids (ids must be unique — the dispatch queue and
     /// the event heap break ties by id, so duplicates would make the
     /// schedule ambiguous); or if the fleet configuration is invalid. A
     /// trace shed in its entirety by admission control is fine: the
@@ -409,13 +416,39 @@ impl<'a> Simulation<'a> {
             requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "requests must be sorted by arrival"
         );
+        // Id uniqueness is validated only in debug builds: real traffic
+        // generators number requests densely, and the sort this check
+        // once paid is pure overhead on the million-request release path.
+        #[cfg(debug_assertions)]
         {
-            let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
-            ids.sort_unstable();
-            assert!(
-                ids.windows(2).all(|w| w[0] != w[1]),
-                "request ids must be unique (the kernel's tie-breaking orders by id)"
-            );
+            // O(n) bitmap for the common dense-id case; arbitrary ids
+            // fall back to the sort.
+            let n = requests.len();
+            let mut seen = vec![false; n];
+            let mut dense = true;
+            for r in requests {
+                match usize::try_from(r.id).ok().filter(|&i| i < n) {
+                    Some(i) => {
+                        assert!(
+                            !seen[i],
+                            "request ids must be unique (the kernel's tie-breaking orders by id)"
+                        );
+                        seen[i] = true;
+                    }
+                    None => {
+                        dense = false;
+                        break;
+                    }
+                }
+            }
+            if !dense {
+                let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+                ids.sort_unstable();
+                assert!(
+                    ids.windows(2).all(|w| w[0] != w[1]),
+                    "request ids must be unique (the kernel's tie-breaking orders by id)"
+                );
+            }
         }
         let mut fleet: Fleet = self.fleet.build().expect("invalid fleet configuration");
         // The shared predictive cost model: the same per-card timing the
@@ -450,16 +483,33 @@ impl<'a> Simulation<'a> {
         };
         let mut placements: Vec<(usize, swat::schedule::Placement)> = Vec::new();
         let mut scratch: Vec<swat::schedule::Placement> = Vec::new();
-        // Reusable CardView scratch: one snapshot per card, refreshed in
-        // place instead of reallocated per dispatch.
-        let mut views: Vec<CardView> = Vec::with_capacity(fleet.cards().len());
-        // The live fan-in table, keyed by request id: every request with
-        // a shard in flight or a preempted remnant waiting in the queue.
-        // Preemption removes shard slots; a completion whose shard id no
-        // longer matches a live slot is a tombstone and is dropped at
-        // delivery.
-        let mut in_flight: BTreeMap<u64, InFlight> = BTreeMap::new();
+        // Reusable CardView scratch: one snapshot per card, maintained
+        // incrementally. A card is recomputed only when an event marked
+        // it `stale` or its last snapshot still carried backlog (backlog
+        // decays with time; a zero-backlog card cannot change without an
+        // event naming it — every admission, completion, eviction,
+        // warm-up, and scaling decision marks its card).
+        let mut views: Vec<CardView> = fleet
+            .cards()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| card_view(i, c, t0))
+            .collect();
+        let mut stale: Vec<bool> = vec![false; views.len()];
+        // The arena: one working copy of every request plus its flat
+        // fan-in row, and the shard-slot slab. Replaces the per-run
+        // id-keyed tree — every lookup is a dense index carried by the
+        // event itself. Preemption removes shard slots; a completion
+        // whose shard id no longer matches a live slot is a tombstone and
+        // is dropped at delivery.
+        let mut table = FlightTable::new(requests, total_pipelines);
         let mut preemptions: Vec<PreemptionRecord> = Vec::new();
+        // Reusable per-dispatch scratch for the plan's per-card shard
+        // counts (the claim asserts) and planned stream counts (the
+        // contention each admission is charged) — no tree allocation per
+        // dispatch.
+        let mut claim_scratch: Vec<(usize, usize)> = Vec::new();
+        let mut stream_scratch: Vec<(usize, usize)> = Vec::new();
         // Predicted-vs-realized fan-in error over multi-shard plans: the
         // live audit that admission charges what the planner priced.
         let mut priced_plans = 0usize;
@@ -506,12 +556,12 @@ impl<'a> Simulation<'a> {
                         } else {
                             arrivals_done = true;
                         }
-                        let request = requests[index];
+                        let request = &table.requests[index];
                         if live {
-                            sink.arrival(now, &request);
+                            sink.arrival(now, request);
                         }
                         if self.admission.admits(request.class, queue.len()) {
-                            queue.push(request);
+                            queue.push(request, index as u32);
                             if let Some(threshold) = self.preemption.wait_threshold_s {
                                 if request.class == RequestClass::Interactive {
                                     events.push_preemption(now + threshold, request.id);
@@ -519,20 +569,25 @@ impl<'a> Simulation<'a> {
                             }
                         } else {
                             if live {
-                                sink.shed(now, &request);
+                                sink.shed(now, request);
                             }
-                            accum.reject(request);
+                            accum.reject(*request);
                         }
                     }
-                    Event::Completion { id, shard, .. } => {
-                        // Find the shard's live slot; a missing slot is
-                        // the stale timer of a preempted shard — drop it.
+                    Event::Completion {
+                        id, shard, index, ..
+                    } => {
+                        // Find the shard's live slot via the dense index
+                        // the event carries; a missing slot is the stale
+                        // timer of a preempted shard — drop it.
+                        let fi = index as usize;
+                        debug_assert_eq!(table.requests[fi].id, id);
                         let mut live_slot = false;
-                        if let Some(entry) = in_flight.get_mut(&id) {
-                            if let Some(si) = entry.shards.iter().position(|s| s.shard == shard) {
+                        if table.flights[fi].live {
+                            if let Some(slot) = table.unlink_shard(fi, shard) {
                                 live_slot = true;
-                                let slot = entry.shards.remove(si);
                                 live_shards -= 1;
+                                stale[slot.card] = true;
                                 if live {
                                     sink.shard_finish(
                                         now,
@@ -542,18 +597,20 @@ impl<'a> Simulation<'a> {
                                         slot.pipeline,
                                     );
                                 }
-                                if entry.shards.is_empty() && entry.queued_jobs == 0 {
+                                let meta = &table.flights[fi];
+                                if meta.shard_count == 0 && meta.queued_jobs == 0 {
                                     // Fan-in: the request's last
                                     // outstanding shard just drained.
-                                    let done = in_flight.remove(&id).expect("entry exists");
                                     let record = CompletedRequest {
-                                        request: done.request,
-                                        dispatched: done.dispatched,
+                                        request: table.requests[fi],
+                                        dispatched: meta.dispatched,
                                         finished: now,
                                         card: slot.card,
                                         pipeline: slot.pipeline,
-                                        shards: done.max_width,
+                                        shards: meta.max_width,
                                     };
+                                    table.flights[fi].live = false;
+                                    table.remove_live(index);
                                     if live {
                                         sink.fan_in(now, &record);
                                     }
@@ -569,19 +626,21 @@ impl<'a> Simulation<'a> {
                         // Still waiting? (Dispatched or shed means the
                         // timer outlived its request — a no-op.)
                         if queue.contains((RequestClass::Interactive.rank(), id)) {
-                            let evicted = self.preempt_background(
+                            let evicted_card = self.preempt_background(
                                 now,
                                 id,
                                 &cost,
                                 &mut fleet,
-                                &mut in_flight,
+                                &mut table,
                                 &mut queue,
                                 &mut preemptions,
                                 sink,
                             );
-                            if evicted {
+                            let evicted = evicted_card.is_some();
+                            if let Some(card) = evicted_card {
                                 live_shards -= 1;
                                 counters.preemption_evictions += 1;
+                                stale[card] = true;
                             }
                             // Re-arm only while a future firing could
                             // still find a victim: after an eviction, or
@@ -591,8 +650,9 @@ impl<'a> Simulation<'a> {
                             // request waits, so a no-victim firing with
                             // nothing in flight would re-fire as a no-op
                             // every threshold forever.
-                            let background_in_flight = in_flight.values().any(|f| {
-                                f.request.class == RequestClass::lowest() && !f.shards.is_empty()
+                            let background_in_flight = table.live.iter().any(|&i| {
+                                table.requests[i as usize].class == RequestClass::lowest()
+                                    && table.flights[i as usize].shard_count > 0
                             });
                             if evicted || background_in_flight {
                                 let threshold = self
@@ -609,6 +669,9 @@ impl<'a> Simulation<'a> {
                     // dispatch-and-autoscale pass at exactly that
                     // boundary.
                     Event::Warmed { card } => {
+                        // The card's `available_at` just passed: its view
+                        // flips from zero idle pipelines to dispatchable.
+                        stale[card] = true;
                         if live {
                             sink.warmed(now, card);
                         }
@@ -623,53 +686,75 @@ impl<'a> Simulation<'a> {
             //    whole-request policy yields single-entry plans; a
             //    split-aware one fans the request's jobs out across the
             //    plan's pipelines, one shard per entry.
-            views.clear();
-            views.extend(
-                fleet
-                    .cards()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| card_view(i, c, now)),
-            );
-            while let Some((qi, plan)) = policy.choose_sharded(now, queue.view(), &views, &cost) {
+            //
+            //    Views refresh incrementally: only cards an event marked
+            //    stale, or whose last snapshot still carried backlog
+            //    (backlog decays with wall time, so the snapshot is out
+            //    of date by construction). A card with zero backlog has
+            //    every pipeline free past `next_free`, so nothing about
+            //    it changes until an event names it — and every such
+            //    event marks it stale above.
+            for c in 0..views.len() {
+                if stale[c] || views[c].backlog_seconds > 0.0 {
+                    views[c] = card_view(c, &fleet.cards()[c], now);
+                    stale[c] = false;
+                }
+            }
+            // Debug cross-check: the incremental views must be
+            // indistinguishable from the full recompute the loop used to
+            // pay per batch.
+            #[cfg(debug_assertions)]
+            for (c, v) in views.iter().enumerate() {
+                debug_assert_eq!(
+                    *v,
+                    card_view(c, &fleet.cards()[c], now),
+                    "dirty-card view diverged on card {c}"
+                );
+            }
+            while let Some((qi, plan)) =
+                policy.choose_sharded(now, queue.view(&table.requests), &views, &cost)
+            {
                 assert!(
                     !plan.is_empty(),
                     "policy {} returned an empty shard plan",
                     policy.name()
                 );
                 let group = views[plan[0]].group;
-                let mut claimed: BTreeMap<usize, usize> = BTreeMap::new();
+                claim_scratch.clear();
                 for &card in &plan {
                     assert!(
                         views[card].group == group,
                         "policy {} sharded one request across card groups",
                         policy.name()
                     );
-                    *claimed.entry(card).or_insert(0) += 1;
+                    match claim_scratch.binary_search_by_key(&card, |e| e.0) {
+                        Ok(pos) => claim_scratch[pos].1 += 1,
+                        Err(pos) => claim_scratch.insert(pos, (card, 1)),
+                    }
                 }
-                for (&card, &shards) in &claimed {
+                for &(card, shards) in &claim_scratch {
                     assert!(
                         shards <= views[card].idle_pipelines,
                         "policy {} dispatched to a busy card",
                         policy.name()
                     );
                 }
-                let mut request = queue.take(qi);
-                let id = request.id;
+                let fi = queue.take(qi) as usize;
+                let id = table.requests[fi].id;
                 // A shard carries at least one job: cap the fan-out at
                 // the fragment's remaining job count.
-                let width = plan.len().min(request.remaining_jobs());
+                let width = plan.len().min(table.requests[fi].remaining_jobs());
                 // Price the realized plan before admission mutates any
                 // card, so the predicted-vs-realized audit sees exactly
                 // the state the planner saw.
-                let predicted =
-                    (width > 1).then(|| cost.price_plan(&request, &plan[..width], &views, now));
+                let predicted = (width > 1)
+                    .then(|| cost.price_plan(&table.requests[fi], &plan[..width], &views, now));
                 counters.dispatches += 1;
                 counters.shards_dispatched += width as u64;
                 if live {
                     sink.dispatch(
                         now,
-                        &request,
+                        &table.requests[fi],
                         &plan[..width],
                         predicted.as_ref().map(|p| p.fan_in),
                     );
@@ -679,36 +764,37 @@ impl<'a> Simulation<'a> {
                 // that card — the planner's price, not the stale
                 // per-admission count that let earlier siblings miss the
                 // shards about to join them.
-                let planned_streams = crate::cost::plan_stream_counts(&plan[..width], &views);
-                let entry = in_flight.entry(id).or_insert_with(|| InFlight {
-                    request,
-                    dispatched: now,
-                    shards: Vec::new(),
-                    queued_jobs: 0,
-                    next_shard: 0,
-                    max_width: 0,
-                });
+                crate::cost::plan_stream_counts_into(&plan[..width], &views, &mut stream_scratch);
                 // A requeued remnant rejoins its live fan-in record.
                 debug_assert!(
-                    entry.queued_jobs == 0 || entry.queued_jobs == request.remaining_jobs(),
+                    table.flights[fi].queued_jobs == 0
+                        || table.flights[fi].queued_jobs == table.requests[fi].remaining_jobs(),
                     "queued remnant out of sync with the fan-in table"
                 );
-                entry.queued_jobs = 0;
-                entry.dispatched = now;
+                if !table.flights[fi].live {
+                    table.flights[fi].live = true;
+                    table.insert_live(fi as u32);
+                }
+                table.flights[fi].queued_jobs = 0;
+                table.flights[fi].dispatched = now;
                 // Spread the jobs as evenly as the grid divides: the
                 // first `total % width` shards carry one extra job.
-                let total = request.remaining_jobs();
+                let total = table.requests[fi].remaining_jobs();
                 let (base, extra) = crate::cost::job_split(total, width);
-                let mut first_job = request.jobs_done;
+                let mut first_job = table.requests[fi].jobs_done;
                 let mut realized = now;
                 for (i, &card) in plan[..width].iter().enumerate() {
                     let jobs = base + usize::from(i < extra);
                     scratch.clear();
+                    let streams = stream_scratch[stream_scratch
+                        .binary_search_by_key(&card, |e| e.0)
+                        .expect("every plan card was counted")]
+                    .1;
                     let admission = fleet.card_mut(card).admit_jobs(
-                        &request,
+                        &table.requests[fi],
                         first_job,
                         jobs,
-                        planned_streams[&card],
+                        streams,
                         now,
                         self.trace,
                         &mut scratch,
@@ -716,22 +802,25 @@ impl<'a> Simulation<'a> {
                     // Each preemption is paid for exactly once: the
                     // remnant's first shard carried any pending restart,
                     // its siblings (and later admissions) must not.
-                    request.pending_restart = false;
+                    table.requests[fi].pending_restart = false;
                     realized = realized.max(admission.finish);
                     if self.trace {
                         placements.extend(scratch.drain(..).map(|p| (card, p)));
                     }
-                    let shard = entry.next_shard;
-                    entry.next_shard += 1;
-                    entry.shards.push(ShardSlot {
-                        shard,
-                        card,
-                        pipeline: admission.pipeline,
-                        dispatched: now,
-                        first_job,
-                        jobs,
-                        admission,
-                    });
+                    let shard = table.flights[fi].next_shard;
+                    table.flights[fi].next_shard += 1;
+                    table.append_shard(
+                        fi,
+                        ShardSlot {
+                            shard,
+                            card,
+                            pipeline: admission.pipeline,
+                            dispatched: now,
+                            first_job,
+                            jobs,
+                            admission,
+                        },
+                    );
                     live_shards += 1;
                     if live {
                         sink.shard_start(
@@ -744,13 +833,14 @@ impl<'a> Simulation<'a> {
                             admission.finish,
                         );
                     }
-                    events.push_completion(admission.finish, card, id, shard);
+                    events.push_completion(admission.finish, card, id, shard, fi as u32);
                     first_job += jobs;
                     // Only the dispatched card's state changed.
                     views[card] = card_view(card, &fleet.cards()[card], now);
                 }
-                entry.request = request;
-                entry.max_width = entry.max_width.max(entry.shards.len() as u32);
+                table.flights[fi].max_width = table.flights[fi]
+                    .max_width
+                    .max(table.flights[fi].shard_count);
                 if let Some(p) = predicted {
                     let error = (realized - p.fan_in).abs();
                     priced_plans += 1;
@@ -765,8 +855,11 @@ impl<'a> Simulation<'a> {
             if let Some(s) = scaler.as_mut() {
                 let logged = s.log().len();
                 s.evaluate(now, queue.len(), &mut fleet, &mut events);
-                if live {
-                    for e in &s.log()[logged..] {
+                for e in &s.log()[logged..] {
+                    // Power flips change the card's view (idle pipelines,
+                    // dispatchability) without any backlog to betray it.
+                    stale[e.card] = true;
+                    if live {
                         sink.scaled(e);
                     }
                 }
@@ -807,13 +900,13 @@ impl<'a> Simulation<'a> {
             //    no-ops from here — and letting them tick would push
             //    `last_event` past the last completion, silently charging
             //    phantom powered/idle time to the energy accounting.
-            if arrivals_done && queue.is_empty() && in_flight.is_empty() {
+            if arrivals_done && queue.is_empty() && table.live.is_empty() {
                 break;
             }
         }
         assert!(queue.is_empty(), "drained simulation left requests queued");
         assert!(
-            in_flight.is_empty(),
+            table.live.is_empty(),
             "drained simulation left work in flight"
         );
         counters.peak_queue_depth = max_depth;
@@ -902,7 +995,8 @@ impl<'a> Simulation<'a> {
 
     /// Checkpoints-and-requeues one in-flight background **shard**
     /// because interactive request `waiting` has outwaited the
-    /// dispatcher's patience. Returns whether a victim was evicted.
+    /// dispatcher's patience. Returns the evicted shard's card (so the
+    /// caller can mark its view dirty), or `None` when no victim exists.
     ///
     /// By default the victim is the youngest: the last-dispatched shard
     /// (highest shard id) of the youngest (highest-id) background
@@ -929,22 +1023,32 @@ impl<'a> Simulation<'a> {
         waiting: u64,
         cost: &CostModel,
         fleet: &mut Fleet,
-        in_flight: &mut BTreeMap<u64, InFlight>,
+        table: &mut FlightTable,
         queue: &mut PriorityQueue,
         preemptions: &mut Vec<PreemptionRecord>,
         sink: &mut dyn TraceSink,
-    ) -> bool {
-        let background = |f: &InFlight| f.request.class == RequestClass::lowest();
-        // The chosen victim: request id, shard slot index, and — under
+    ) -> Option<usize> {
+        let background =
+            |table: &FlightTable, fi: usize| table.requests[fi].class == RequestClass::lowest();
+        // The chosen victim: arena index, shard id, and — under
         // cost-aware selection, where one was computed anyway — the
-        // eviction price the sink reports.
+        // eviction price the sink reports. `table.live` is sorted by
+        // request id, so ascending iteration matches the id-keyed tree
+        // this table replaced.
         let chosen = if self.preemption.cost_aware_victims {
             // Price every candidate eviction; cheapest wins, ties to the
             // youngest (highest request id, then highest shard id) so
             // selection matches the legacy instinct when prices agree.
-            let mut best: Option<(f64, u64, u32, usize)> = None;
-            for (&id, f) in in_flight.iter().filter(|(_, f)| background(f)) {
-                for (si, slot) in f.shards.iter().enumerate() {
+            let mut best: Option<(f64, u64, u32, u32)> = None;
+            for &fi in &table.live {
+                let fi_us = fi as usize;
+                if !background(table, fi_us) {
+                    continue;
+                }
+                let id = table.requests[fi_us].id;
+                let mut node = table.flights[fi_us].head;
+                while node != NIL {
+                    let slot = &table.shards.nodes[node as usize].slot;
                     // The re-swap term applies only when eviction would
                     // tear a swap still streaming in — the same
                     // condition under which `Card::preempt` drops the
@@ -954,7 +1058,7 @@ impl<'a> Simulation<'a> {
                         && now < slot.dispatched + slot.admission.swap_seconds;
                     let price = cost.preemption_cost(
                         slot.card,
-                        &f.request.shape,
+                        &table.requests[fi_us].shape,
                         now - slot.dispatched,
                         slot.admission.stall_seconds,
                         slot.admission.per_job_seconds,
@@ -970,32 +1074,34 @@ impl<'a> Simulation<'a> {
                         },
                     };
                     if better {
-                        best = Some((price, id, slot.shard, si));
+                        best = Some((price, id, slot.shard, fi));
                     }
+                    node = table.shards.nodes[node as usize].next;
                 }
             }
-            best.map(|(price, id, _, si)| (id, si, Some(price)))
+            best.map(|(price, _, shard, fi)| (fi, shard, Some(price)))
         } else {
-            in_flight
-                .iter()
-                .filter(|(_, f)| background(f) && !f.shards.is_empty())
-                .map(|(&id, f)| {
-                    let si = f
-                        .shards
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, s)| s.shard)
-                        .map(|(i, _)| i)
-                        .expect("candidate has a live shard");
-                    (id, si, None)
-                })
-                .next_back()
+            // Youngest-first: the highest-id background request with a
+            // live shard, then its highest shard id.
+            table.live.iter().rev().find_map(|&fi| {
+                let fi_us = fi as usize;
+                if !background(table, fi_us) || table.flights[fi_us].shard_count == 0 {
+                    return None;
+                }
+                let mut node = table.flights[fi_us].head;
+                let mut best_shard = 0u32;
+                while node != NIL {
+                    best_shard = best_shard.max(table.shards.nodes[node as usize].slot.shard);
+                    node = table.shards.nodes[node as usize].next;
+                }
+                Some((fi, best_shard, None))
+            })
         };
-        let Some((victim, si, victim_cost)) = chosen else {
-            return false;
-        };
-        let entry = in_flight.get_mut(&victim).expect("victim was just found");
-        let slot = entry.shards.remove(si);
+        let (fi, shard_id, victim_cost) = chosen?;
+        let fi_us = fi as usize;
+        let slot = table
+            .unlink_shard(fi_us, shard_id)
+            .expect("victim was just found");
         let done = fleet
             .card_mut(slot.card)
             .preempt(&slot.admission, slot.dispatched, now);
@@ -1003,23 +1109,34 @@ impl<'a> Simulation<'a> {
         // count; the min guards the float edge where the division lands
         // exactly on it.
         let done = done.min(slot.jobs - 1);
-        entry.request.preemptions += 1;
-        let mut remnant = entry.request;
+        let victim = table.requests[fi_us].id;
+        table.requests[fi_us].preemptions += 1;
         // The remnant owes one restart penalty for this preemption; its
-        // first admission pays it and clears the flag.
-        remnant.pending_restart = true;
-        remnant.jobs_done = slot.first_job + done;
-        remnant.jobs_end = slot.first_job + slot.jobs;
-        if let Some(prev) = queue.remove(remnant.rank_key()) {
+        // first admission pays it and clears the flag. The arena record
+        // becomes the remnant in place: while a remnant sits in the
+        // queue the record holds exactly its job range (dispatch
+        // restores the record to last-dispatched state).
+        table.requests[fi_us].pending_restart = true;
+        let a2 = slot.first_job + done;
+        let b2 = slot.first_job + slot.jobs;
+        let rank = (table.requests[fi_us].class.rank(), victim);
+        let (jd, je) = if queue.remove(rank).is_some() {
             // Merge with the remnant of an earlier preempted shard: keep
             // the combined job count, anchored at the lower offset (the
             // ranges are disjoint, so the sum never walks off the grid).
-            let jobs = prev.remaining_jobs() + remnant.remaining_jobs();
-            remnant.jobs_done = prev.jobs_done.min(remnant.jobs_done);
-            remnant.jobs_end = remnant.jobs_done + jobs;
-        }
-        entry.queued_jobs = remnant.remaining_jobs();
-        queue.push(remnant);
+            // The previous remnant's range is read from the record
+            // *before* overwriting it.
+            let r = &table.requests[fi_us];
+            let jobs = (r.jobs_end - r.jobs_done) + (b2 - a2);
+            let jd = r.jobs_done.min(a2);
+            (jd, jd + jobs)
+        } else {
+            (a2, b2)
+        };
+        table.requests[fi_us].jobs_done = jd;
+        table.requests[fi_us].jobs_end = je;
+        table.flights[fi_us].queued_jobs = je - jd;
+        queue.push(&table.requests[fi_us], fi);
         let record = PreemptionRecord {
             time: now,
             preempted: victim,
@@ -1031,7 +1148,7 @@ impl<'a> Simulation<'a> {
             sink.preempted(now, &record, slot.shard, slot.pipeline, victim_cost);
         }
         preemptions.push(record);
-        true
+        Some(slot.card)
     }
 }
 
@@ -1222,19 +1339,18 @@ impl StreamingAccum {
     }
 }
 
-/// The fan-in record of one dispatched request: its live shards, any
-/// preempted remnant waiting in the queue, and the identity the eventual
-/// [`CompletedRequest`] reports. The request completes when the last
-/// shard drains *and* no remnant is queued.
-#[derive(Debug, Clone)]
-struct InFlight {
-    /// The request as most recently dispatched (carries the checkpoint
-    /// and preemption counters the report records).
-    request: Request,
+/// Null arena index: the end of a shard chain, the empty free list.
+const NIL: u32 = u32::MAX;
+
+/// The fan-in row of one request: its live shard chain, any preempted
+/// remnant waiting in the queue, and the dispatch bookkeeping the
+/// eventual [`CompletedRequest`] reports. One flat row per request,
+/// preallocated — the request completes when the last shard drains *and*
+/// no remnant is queued.
+#[derive(Debug, Clone, Copy)]
+struct FlightMeta {
     /// When a card most recently started executing a fragment of it.
     dispatched: f64,
-    /// Live shards, in dispatch order.
-    shards: Vec<ShardSlot>,
     /// Jobs carried by a requeued preempted remnant currently waiting in
     /// the priority queue (0 when nothing is queued).
     queued_jobs: usize,
@@ -1244,13 +1360,168 @@ struct InFlight {
     /// Peak concurrent shard width so far (what the report calls the
     /// request's shard count).
     max_width: u32,
+    /// Live shards in the chain (kept so fan-in and victim scans never
+    /// walk it just to count).
+    shard_count: u32,
+    /// First node of the shard chain in [`ShardArena`] (dispatch order).
+    head: u32,
+    /// Last node of the shard chain — O(1) append.
+    tail: u32,
+    /// Whether the request is dispatched-and-unfinished (has a row in
+    /// [`FlightTable::live`]).
+    live: bool,
+}
+
+impl FlightMeta {
+    const EMPTY: FlightMeta = FlightMeta {
+        dispatched: 0.0,
+        queued_jobs: 0,
+        next_shard: 0,
+        max_width: 0,
+        shard_count: 0,
+        head: NIL,
+        tail: NIL,
+        live: false,
+    };
+}
+
+/// One slab node: a shard slot plus the intrusive next-pointer of either
+/// its request's chain or the free list.
+#[derive(Debug, Clone, Copy)]
+struct ShardNode {
+    slot: ShardSlot,
+    next: u32,
+}
+
+/// The shard-slot slab: at most `total_pipelines` shards execute at once,
+/// so the slab reaches steady state after the first burst and recycles
+/// nodes through a free list — no allocation per dispatch.
+#[derive(Debug)]
+struct ShardArena {
+    nodes: Vec<ShardNode>,
+    free: u32,
+}
+
+impl ShardArena {
+    fn with_capacity(capacity: usize) -> ShardArena {
+        ShardArena {
+            nodes: Vec::with_capacity(capacity),
+            free: NIL,
+        }
+    }
+
+    fn alloc(&mut self, slot: ShardSlot) -> u32 {
+        if self.free == NIL {
+            self.nodes.push(ShardNode { slot, next: NIL });
+            (self.nodes.len() - 1) as u32
+        } else {
+            let n = self.free;
+            self.free = self.nodes[n as usize].next;
+            self.nodes[n as usize] = ShardNode { slot, next: NIL };
+            n
+        }
+    }
+
+    fn free_node(&mut self, n: u32) {
+        self.nodes[n as usize].next = self.free;
+        self.free = n;
+    }
+}
+
+/// The per-run arena replacing the id-keyed fan-in tree: one working copy
+/// of every request (indexed by arrival position — the dense index every
+/// event and queue entry carries), one flat [`FlightMeta`] row each, the
+/// shard slab, and the sorted index of live flights.
+#[derive(Debug)]
+struct FlightTable {
+    /// The working copy of every request. While a preempted remnant waits
+    /// in the queue its record holds the remnant's job range; dispatch
+    /// restores last-dispatched state. This is safe because a request is
+    /// never queued twice and fan-in waits for `queued_jobs == 0`.
+    requests: Vec<Request>,
+    flights: Vec<FlightMeta>,
+    shards: ShardArena,
+    /// Arena indices of live flights, sorted by request id — ascending
+    /// iteration reproduces the replaced `BTreeMap`'s visit order, which
+    /// victim selection depends on.
+    live: Vec<u32>,
+}
+
+impl FlightTable {
+    fn new(requests: &[Request], total_pipelines: usize) -> FlightTable {
+        FlightTable {
+            requests: requests.to_vec(),
+            flights: vec![FlightMeta::EMPTY; requests.len()],
+            shards: ShardArena::with_capacity(total_pipelines),
+            live: Vec::new(),
+        }
+    }
+
+    fn insert_live(&mut self, fi: u32) {
+        let id = self.requests[fi as usize].id;
+        let pos = self
+            .live
+            .binary_search_by(|&j| self.requests[j as usize].id.cmp(&id))
+            .unwrap_err();
+        self.live.insert(pos, fi);
+    }
+
+    fn remove_live(&mut self, fi: u32) {
+        let id = self.requests[fi as usize].id;
+        let pos = self
+            .live
+            .binary_search_by(|&j| self.requests[j as usize].id.cmp(&id))
+            .expect("flight was live");
+        self.live.remove(pos);
+    }
+
+    /// Appends a freshly dispatched shard to flight `fi`'s chain.
+    fn append_shard(&mut self, fi: usize, slot: ShardSlot) {
+        let node = self.shards.alloc(slot);
+        let meta = &mut self.flights[fi];
+        if meta.tail == NIL {
+            meta.head = node;
+        } else {
+            self.shards.nodes[meta.tail as usize].next = node;
+        }
+        meta.tail = node;
+        meta.shard_count += 1;
+    }
+
+    /// Unlinks the slot with `shard` id from flight `fi`'s chain, or
+    /// `None` when no live slot matches (a tombstoned completion).
+    fn unlink_shard(&mut self, fi: usize, shard: u32) -> Option<ShardSlot> {
+        let mut prev = NIL;
+        let mut node = self.flights[fi].head;
+        while node != NIL {
+            let n = &self.shards.nodes[node as usize];
+            if n.slot.shard == shard {
+                let slot = n.slot;
+                let next = n.next;
+                if prev == NIL {
+                    self.flights[fi].head = next;
+                } else {
+                    self.shards.nodes[prev as usize].next = next;
+                }
+                if self.flights[fi].tail == node {
+                    self.flights[fi].tail = prev;
+                }
+                self.flights[fi].shard_count -= 1;
+                self.shards.free_node(node);
+                return Some(slot);
+            }
+            prev = node;
+            node = n.next;
+        }
+        None
+    }
 }
 
 /// One live shard: where it runs and the admission terms needed to
 /// checkpoint it on preemption.
 #[derive(Debug, Clone, Copy)]
 struct ShardSlot {
-    /// Shard id (see [`InFlight::next_shard`]).
+    /// Shard id (see [`FlightMeta::next_shard`]).
     shard: u32,
     /// Card the shard occupies.
     card: usize,
@@ -1347,6 +1618,7 @@ pub fn serve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::QueueView;
     use crate::policy::{all_policies, Fifo, LeastLoaded};
 
     fn traffic(seed: u64) -> TrafficSpec {
@@ -1431,7 +1703,7 @@ mod tests {
                     .enumerate()
                     .map(|(i, c)| card_view(i, c, now))
                     .collect();
-                let Some((qi, card)) = policy.choose(now, &queue, &views) else {
+                let Some((qi, card)) = policy.choose(now, QueueView::flat(&queue), &views) else {
                     break;
                 };
                 let request = queue.remove(qi);
