@@ -2,7 +2,7 @@
 //! (scenario × arrival process × dispatch policy) combination, emitting
 //! `BENCH_serve.json`.
 //!
-//! Six scenarios exercise `swat-serve` end to end:
+//! Nine scenarios exercise `swat-serve` end to end:
 //!
 //! 1. **homogeneous** — the PR 1 baseline: 6 dual-pipeline FP16 cards,
 //!    Poisson/bursty/diurnal production traffic, all four policies;
@@ -28,7 +28,16 @@
 //!    shards oversubscribe the memory interface ~1.9×): always fanning
 //!    to 4 burns stretched pipeline-seconds the backlog needs, while
 //!    the adaptive planner backs off to narrow plans — with per-width
-//!    histograms and the predicted-vs-realized audit in the JSON.
+//!    histograms and the predicted-vs-realized audit in the JSON;
+//! 8. **sessions** — a flash crowd of multi-turn conversations served
+//!    with and without sticky session→card affinity, with per-session
+//!    latency over per-conversation means and Jain fairness in the
+//!    JSON;
+//! 9. **faults** — seeded card faults mid-diurnal: a card death with
+//!    in-flight shards lost and a later revival, and a 2× calibration
+//!    degrade the cost model re-snapshots — fault/recovery counts and
+//!    degraded-mode service in the JSON, next to the fault-free
+//!    control run.
 //!
 //! Every sweep cell is an independent simulation with its own seeded
 //! generator, so the cells run on a scoped thread pool (`--jobs N`).
@@ -49,13 +58,16 @@ use swat::SwatConfig;
 use swat_bench::{banner, print_table};
 use swat_hw::MemoryInterface;
 use swat_serve::arrival::ArrivalProcess;
+use swat_serve::fault::FaultPlan;
 use swat_serve::fleet::{CardGroup, FleetConfig};
 use swat_serve::json::Json;
 use swat_serve::metrics::ServeReport;
 use swat_serve::policy::{
-    all_policies, LeastLoaded, ShardedLeastLoaded, ShardedShortestJobFirst, ShortestJobFirst,
+    all_policies, LeastLoaded, SessionAffinity, ShardedLeastLoaded, ShardedShortestJobFirst,
+    ShortestJobFirst,
 };
 use swat_serve::scale::AutoscalerConfig;
+use swat_serve::session::{SessionProfile, SessionTraffic};
 use swat_serve::sim::{AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
 use swat_workloads::RequestMix;
 
@@ -319,9 +331,24 @@ fn main() {
     let adaptive_arrivals = ArrivalProcess::poisson(80.0);
     let adaptive_mix = RequestMix::Interactive;
     let adaptive_max = 4usize;
+    // Sessions scenario: a flash crowd of conversations — session *starts*
+    // spike 10× at the onset and relax over the decay — served with and
+    // without sticky session→card residency. Sessions average ≈5 turns
+    // (standard profile), so the cell sees roughly `requests` turns.
+    let session_fleet = FleetConfig::standard(4);
+    let session_arrivals = ArrivalProcess::flash_crowd(2.0, 20.0, 30.0, 5.0);
+    let session_profile = SessionProfile::standard();
+    let affinity_cap = 64usize;
+    let sessions_per_cell = (requests / 5).max(1);
+    // Faults scenario: the same trace served fault-free, through a card
+    // death (in-flight shards lost, remnants requeued, a revival later),
+    // and through a 2× calibration degrade — all at seeded mid-diurnal
+    // times, so recovery happens under the peak.
+    let fault_fleet = FleetConfig::standard(4);
+    let fault_arrivals = ArrivalProcess::diurnal(3.0, 14.0);
 
     banner(format!(
-        "serve_sweep — {requests} requests/cell, 7 scenarios on FP16/FP32 fleets (seed {seed:#x})"
+        "serve_sweep — {requests} requests/cell, 9 scenarios on FP16/FP32 fleets (seed {seed:#x})"
     ));
 
     // Phase 1: enqueue every cell as an owned closure. Indices into
@@ -519,6 +546,66 @@ fn main() {
             (report, counters.events_total())
         }));
         s7_cells.push((cells.len() - 1, label));
+    }
+
+    // Scenario 8: session affinity on vs off under a flash crowd. Both
+    // cells serve the identical tagged conversation trace (open-loop
+    // arrivals make it policy-independent), so any difference is pure
+    // dispatch.
+    let session_recipes: Vec<(&str, PolicyRecipe)> = vec![
+        ("affinity-off", Box::new(|| Box::new(LeastLoaded))),
+        (
+            "affinity-on",
+            Box::new(move || Box::new(SessionAffinity::new(affinity_cap))),
+        ),
+    ];
+    let mut s8_cells = Vec::new();
+    for (label, recipe) in session_recipes {
+        let fleet = session_fleet.clone();
+        cells.push(Box::new(move || {
+            let spec = SessionTraffic {
+                arrivals: session_arrivals,
+                profile: session_profile,
+                seed,
+            };
+            let mut policy = recipe();
+            let (report, counters) = Simulation::new(&fleet)
+                .arrivals_label(format!("{}/sessions", session_arrivals.name()))
+                .run_profiled(&mut *policy, &spec.requests(sessions_per_cell));
+            (report, counters.events_total())
+        }));
+        s8_cells.push((cells.len() - 1, label));
+    }
+
+    // Scenario 9: seeded faults mid-diurnal. The plan's times are derived
+    // from the trace itself (fractions of its span), so the same faults
+    // land at the same phase of the diurnal cycle at any `requests`.
+    let mut s9_cells = Vec::new();
+    for (label, mode) in [("fault-free", 0u8), ("card-death", 1), ("degrade-2x", 2)] {
+        let fleet = fault_fleet.clone();
+        cells.push(Box::new(move || {
+            let spec = TrafficSpec {
+                arrivals: fault_arrivals,
+                mix: RequestMix::Production,
+                seed,
+            };
+            let trace = spec.requests(requests);
+            let t0 = trace[0].arrival;
+            let span = trace.last().unwrap().arrival - t0;
+            let plan = match mode {
+                1 => FaultPlan::none()
+                    .kill(t0 + span * 0.4, 0)
+                    .revive(t0 + span * 0.7, 0, 2.0),
+                2 => FaultPlan::none().degrade(t0 + span * 0.4, 0, 2.0),
+                _ => FaultPlan::none(),
+            };
+            let (report, counters) = Simulation::new(&fleet)
+                .arrivals_label(format!("{}/{}", fault_arrivals.name(), spec.mix.name()))
+                .faults(plan)
+                .run_profiled(&mut LeastLoaded, &trace);
+            (report, counters.events_total())
+        }));
+        s9_cells.push((cells.len() - 1, label));
     }
 
     // Phase 2: run the cells. Each is its own seeded simulation, so the
@@ -720,6 +807,76 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
+    let mut runs = Vec::new();
+    let mut session_rows = Vec::new();
+    for &(i, label) in &s8_cells {
+        let report = &outs[i].report;
+        rows.push(summary_row(&format!("sessions/{label}"), report));
+        let s = report.sessions.as_ref().expect("session traffic is tagged");
+        session_rows.push(vec![
+            report.policy.clone(),
+            format!("{}", s.sessions),
+            format!("{:.1}", s.mean_turns),
+            ms(s.latency.map(|l| l.p50)),
+            ms(s.latency.map(|l| l.p99)),
+            format!("{:.3}", s.fairness),
+        ]);
+        runs.push(annotated_run(report, session_arrivals, "admit-all", label));
+    }
+    let (events, wall) = scenario_stats(&s8_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("sessions", runs.len(), events, wall);
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("sessions".into())),
+        ("fleet", fleet_json(&session_fleet)),
+        (
+            "profile",
+            Json::obj([
+                ("min_turns", Json::Int(session_profile.min_turns as i64)),
+                ("max_turns", Json::Int(session_profile.max_turns as i64)),
+                ("think_mean_s", Json::Num(session_profile.think_mean_s)),
+                ("heavy_pct", Json::Int(session_profile.heavy_pct as i64)),
+            ]),
+        ),
+        ("sessions_per_run", Json::Int(sessions_per_cell as i64)),
+        ("affinity_capacity_per_card", Json::Int(affinity_cap as i64)),
+        ("runs", Json::Arr(runs)),
+    ]));
+
+    let mut runs = Vec::new();
+    let mut fault_rows = Vec::new();
+    for &(i, label) in &s9_cells {
+        let report = &outs[i].report;
+        rows.push(summary_row(&format!("faults/{label}"), report));
+        let (deaths, degrades, revivals, lost, failed) = match &report.faults {
+            Some(f) => (
+                f.card_deaths,
+                f.degrades,
+                f.revivals,
+                f.shards_lost,
+                f.failed,
+            ),
+            None => (0, 0, 0, 0, 0),
+        };
+        fault_rows.push(vec![
+            label.to_string(),
+            format!("{deaths}"),
+            format!("{degrades}"),
+            format!("{revivals}"),
+            format!("{lost}"),
+            format!("{failed}"),
+            ms(report.latency.map(|l| l.p99)),
+            format!("{:.2}%", report.slo_attainment() * 100.0),
+        ]);
+        runs.push(annotated_run(report, fault_arrivals, "admit-all", label));
+    }
+    let (events, wall) = scenario_stats(&s9_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("faults", runs.len(), events, wall);
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("faults".into())),
+        ("fleet", fleet_json(&fault_fleet)),
+        ("runs", Json::Arr(runs)),
+    ]));
+
     print_table(
         &[
             "scenario", "arrivals", "policy", "rps", "p50 ms", "p95 ms", "p99 ms", "util", "max q",
@@ -781,6 +938,32 @@ fn main() {
             "p99 ms",
         ],
         &class_rows,
+    );
+    println!("\nsessions scenario, sticky affinity vs least-loaded (flash crowd, 4 cards):");
+    print_table(
+        &[
+            "policy",
+            "sessions",
+            "mean turns",
+            "sess p50 ms",
+            "sess p99 ms",
+            "jain",
+        ],
+        &session_rows,
+    );
+    println!("\nfaults scenario, seeded card faults mid-diurnal (least-loaded, 4 cards):");
+    print_table(
+        &[
+            "plan",
+            "deaths",
+            "degrades",
+            "revivals",
+            "shards lost",
+            "failed",
+            "p99 ms",
+            "slo attain",
+        ],
+        &fault_rows,
     );
 
     let doc = Json::obj([

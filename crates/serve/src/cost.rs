@@ -69,6 +69,10 @@ pub struct CardCostModel {
     /// Steady-state initiation interval, cycles per row (cached with
     /// [`CardCostModel::fill_cycles`]).
     ii_cycles: u64,
+    /// Fault-injected calibration shift: every service time is stretched
+    /// by this factor (1 on a healthy card — the multiplicative identity,
+    /// so healthy-card prices are bitwise unchanged by its existence).
+    degrade: f64,
 }
 
 impl CardCostModel {
@@ -87,6 +91,7 @@ impl CardCostModel {
             memory,
             host_link,
             seconds_per_token: 0.0,
+            degrade: 1.0,
         };
         model.seconds_per_token =
             model.service_seconds(&CALIBRATION_SHAPE) / CALIBRATION_SHAPE.work_tokens() as f64;
@@ -123,7 +128,7 @@ impl CardCostModel {
         debug_assert_eq!(cycles, self.accel.latency_cycles(shape.seq_len));
         let compute = self.accel.config().clock.seconds(cycles);
         let bytes_per_sec = self.accel.offchip_bytes(shape.seq_len) as f64 / compute;
-        compute * self.memory.contention_factor(streams, bytes_per_sec)
+        compute * self.memory.contention_factor(streams, bytes_per_sec) * self.degrade
     }
 
     /// Isolated (contention-free) single-pipeline service time for a
@@ -148,6 +153,31 @@ impl CardCostModel {
     /// to stream through the pipeline again before new work lands.
     pub fn restart_seconds(&self, shape: &RequestShape) -> f64 {
         self.seconds_per_token * shape.seq_len as f64
+    }
+
+    /// The card's current fault-injected calibration shift (1 when
+    /// healthy).
+    pub fn degrade_factor(&self) -> f64 {
+        self.degrade
+    }
+
+    /// Sets the card's calibration shift to `factor` (absolute, not
+    /// cumulative) and recalibrates [`CardCostModel::seconds_per_token`]
+    /// so policy rankings and restart penalties track the degradation.
+    /// The swap stall is untouched — the host link is not the part that
+    /// degraded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is below 1 or not finite.
+    pub(crate) fn set_degrade(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degrade factors must be finite and at least 1"
+        );
+        self.degrade = factor;
+        self.seconds_per_token =
+            self.service_seconds(&CALIBRATION_SHAPE) / CALIBRATION_SHAPE.work_tokens() as f64;
     }
 }
 
@@ -519,6 +549,31 @@ mod tests {
         ); // 2 jobs
         let pc = cost.price_plan(&tiny, &[0, 0, 1, 1], &views, 0.0);
         assert_eq!(pc.width, 2, "a shard carries at least one job");
+    }
+
+    #[test]
+    fn degrade_stretches_every_service_term_and_unit_factor_is_identity() {
+        let fleet = FleetConfig::standard(1).build().unwrap();
+        let cost = CostModel::for_fleet(&fleet);
+        let s = shape();
+        let healthy = cost.card(0).clone();
+        let mut unit = healthy.clone();
+        unit.set_degrade(1.0);
+        // ×1.0 is the bitwise identity on finite floats: a card degraded
+        // by factor 1 prices exactly like one never touched.
+        assert_eq!(unit.job_seconds(&s, 1), healthy.job_seconds(&s, 1));
+        assert_eq!(unit.seconds_per_token(), healthy.seconds_per_token());
+        assert_eq!(unit.restart_seconds(&s), healthy.restart_seconds(&s));
+        let mut slow = healthy.clone();
+        slow.set_degrade(2.0);
+        assert_eq!(slow.degrade_factor(), 2.0);
+        assert!((slow.job_seconds(&s, 1) - 2.0 * healthy.job_seconds(&s, 1)).abs() < 1e-15);
+        assert!(
+            (slow.seconds_per_token() - 2.0 * healthy.seconds_per_token()).abs() < 1e-12,
+            "the calibrated per-token estimate must track degradation"
+        );
+        // The host link did not degrade: swaps price the same.
+        assert_eq!(slow.swap_seconds(&s), healthy.swap_seconds(&s));
     }
 
     #[test]

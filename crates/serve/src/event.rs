@@ -8,12 +8,14 @@
 //!   in-flight completion with an O(log n) binary heap. Heaps only break
 //!   ties deterministically if the ordering key is total, so events order
 //!   by `(time, kind, card, request id, shard id)` with
-//!   `Arrival < Completion < Preemption < Warmed < ScaleCheck` — never
+//!   `Arrival < Completion < Preemption < Warmed < ScaleCheck <
+//!   CardDeath < CardDegrade < CardRevive` — never
 //!   by insertion order, which is an implementation accident. The
 //!   extension points ride *after* `Completion` on purpose: a completion
 //!   at the same instant must drain first, so a preemption check never
-//!   evicts a job that was already done, and a warm-up or scaling check
-//!   never beats the event that made the capacity decision.
+//!   evicts a job that was already done, a warm-up or scaling check
+//!   never beats the event that made the capacity decision, and a fault
+//!   never claims a job that finished at the same instant.
 //! - [`PriorityQueue`] keeps the waiting set ordered by
 //!   [`Request::rank_key`]: class rank first, then request id. It stores
 //!   only `(id, arena index)` pairs — one sorted lane per class, consumed
@@ -92,12 +94,39 @@ pub enum Event {
     /// quiet gap between arrivals would defer the park to the next
     /// arrival, silently overcharging idle energy for the whole gap.
     ScaleCheck,
+    /// Card `card` fails: every in-flight shard on it is lost and its
+    /// unfinished jobs requeue through the preemption/remnant machinery.
+    /// Sorts after `ScaleCheck` so a completion at the same instant
+    /// drains first — a job finishing exactly as the card dies counts as
+    /// completed, never as lost.
+    CardDeath {
+        /// The card that fails.
+        card: usize,
+    },
+    /// Card `card`'s calibration shifts: every future admission on it is
+    /// stretched by `factor` (≥ 1 — e.g. a memory module dropping to a
+    /// degraded rank). The shared cost model re-snapshots so planners
+    /// and admission keep charging identical floats.
+    CardDegrade {
+        /// The card whose calibration shifts.
+        card: usize,
+        /// Multiplier applied to the card's service times.
+        factor: f64,
+    },
+    /// A dead card is replaced/repaired: it rejoins the fleet cold
+    /// (weights lost) after a warm-up, exactly like an autoscaler wake.
+    CardRevive {
+        /// The card that recovers.
+        card: usize,
+        /// Seconds before the revived card is dispatchable.
+        warmup_s: f64,
+    },
 }
 
 impl Event {
     /// Number of event kinds (the length of [`Event::KIND_NAMES`] and of
     /// the kernel's per-kind counters).
-    pub const KIND_COUNT: usize = 5;
+    pub const KIND_COUNT: usize = 8;
 
     /// Stable kind labels, indexed by [`Event::kind_index`] — tie-break
     /// order, the same order the heap delivers equal-time events in.
@@ -107,6 +136,9 @@ impl Event {
         "preemption",
         "warmed",
         "scale_check",
+        "card_death",
+        "card_degrade",
+        "card_revive",
     ];
 
     /// This event's kind index (the heap's equal-time tie-break rank;
@@ -118,6 +150,9 @@ impl Event {
             Event::Preemption { .. } => 2,
             Event::Warmed { .. } => 3,
             Event::ScaleCheck => 4,
+            Event::CardDeath { .. } => 5,
+            Event::CardDegrade { .. } => 6,
+            Event::CardRevive { .. } => 7,
         }
     }
 }
@@ -171,7 +206,8 @@ impl Ord for HeapEntry {
 /// A deterministic min-heap of future events.
 ///
 /// Pops in `(time, Arrival < Completion < Preemption < Warmed <
-/// ScaleCheck, card index, request id, shard id)` order — the fixed
+/// ScaleCheck < CardDeath < CardDegrade < CardRevive, card index,
+/// request id, shard id)` order — the fixed
 /// tie-breaking the simulator's determinism contract is stated against.
 /// Times must be finite.
 #[derive(Debug, Default)]
@@ -286,6 +322,58 @@ impl EventQueue {
             id: 0,
             shard: 0,
             event: Event::ScaleCheck,
+        }));
+    }
+
+    /// Schedules the failure of `card` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn push_card_death(&mut self, time: f64, card: usize) {
+        assert!(time.is_finite(), "event times must be finite");
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            kind: 5,
+            card,
+            id: 0,
+            shard: 0,
+            event: Event::CardDeath { card },
+        }));
+    }
+
+    /// Schedules a calibration shift of `card` by `factor` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn push_card_degrade(&mut self, time: f64, card: usize, factor: f64) {
+        assert!(time.is_finite(), "event times must be finite");
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            kind: 6,
+            card,
+            id: 0,
+            shard: 0,
+            event: Event::CardDegrade { card, factor },
+        }));
+    }
+
+    /// Schedules the revival of dead `card` at `time`; it becomes
+    /// dispatchable `warmup_s` later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn push_card_revive(&mut self, time: f64, card: usize, warmup_s: f64) {
+        assert!(time.is_finite(), "event times must be finite");
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            kind: 7,
+            card,
+            id: 0,
+            shard: 0,
+            event: Event::CardRevive { card, warmup_s },
         }));
     }
 
@@ -599,6 +687,9 @@ mod tests {
                 Event::Preemption { id } => (2, 0, id, 0),
                 Event::Warmed { card } => (3, card, 0, 0),
                 Event::ScaleCheck => (4, 0, 0, 0),
+                Event::CardDeath { card } => (5, card, 0, 0),
+                Event::CardDegrade { card, .. } => (6, card, 0, 0),
+                Event::CardRevive { card, .. } => (7, card, 0, 0),
             })
             .collect();
         assert_eq!(
@@ -633,9 +724,42 @@ mod tests {
                 Event::Preemption { .. } => 2,
                 Event::Warmed { .. } => 3,
                 Event::ScaleCheck => 4,
+                Event::CardDeath { .. } => 5,
+                Event::CardDegrade { .. } => 6,
+                Event::CardRevive { .. } => 7,
             })
             .collect();
         assert_eq!(kinds, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn faults_sort_after_every_other_kind_at_one_instant() {
+        // A completion at the exact instant of a card death drains first
+        // (a job finishing as the card dies counts as completed), and a
+        // revival of another card orders after the death — so degraded-
+        // mode dispatch always sees settled capacity.
+        let mut q = EventQueue::new();
+        q.push_card_revive(1.0, 2, 2.0);
+        q.push_card_degrade(1.0, 1, 1.5);
+        q.push_card_death(1.0, 0);
+        q.push_scale_check(1.0);
+        q.push_completion(1.0, 0, 5, 0, 5);
+        q.push_arrival(1.0, 0, 2);
+        let kinds: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| e.kind_index())
+            .collect();
+        assert_eq!(kinds, [0, 1, 4, 5, 6, 7]);
+        // Equal-time deaths order by card index.
+        let mut q = EventQueue::new();
+        q.push_card_death(2.0, 3);
+        q.push_card_death(2.0, 1);
+        let cards: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::CardDeath { card } => card,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(cards, [1, 3]);
     }
 
     #[test]

@@ -192,6 +192,10 @@ pub struct Card {
     preempted: u64,
     /// Whether the card is currently powered (autoscaling parks cards).
     powered: bool,
+    /// Whether the card is dead: it failed ([`Card::fail`]) and has not
+    /// been revived. Dead cards are never dispatchable and the
+    /// autoscaler skips them when waking capacity.
+    dead: bool,
     /// End of the current warm-up; the card dispatches only once `now`
     /// reaches it.
     available_at: f64,
@@ -220,6 +224,7 @@ impl Card {
             served: 0,
             preempted: 0,
             powered: true,
+            dead: false,
             available_at: 0.0,
             powered_since: 0.0,
             powered_seconds: 0.0,
@@ -283,12 +288,18 @@ impl Card {
         self.powered
     }
 
-    /// Whether the card can take work at `now`: powered and past the end
-    /// of its warm-up. The simulator zeroes the
+    /// Whether the card is dead: failed and not yet revived.
+    pub fn dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Whether the card can take work at `now`: powered, not dead, and
+    /// past the end of its warm-up. The simulator zeroes the
     /// [`CardView`](crate::policy::CardView) pipeline count of
-    /// non-dispatchable cards, so no policy ever routes to a parked card.
+    /// non-dispatchable cards, so no policy ever routes to a parked or
+    /// dead card.
     pub fn dispatchable(&self, now: f64) -> bool {
-        self.powered && now >= self.available_at
+        self.powered && !self.dead && now >= self.available_at
     }
 
     /// How long the card has been dispatchable with *all* pipelines idle,
@@ -600,10 +611,28 @@ impl Card {
     /// returned for this request; `now` must lie inside the admission's
     /// service window.
     pub(crate) fn preempt(&mut self, admission: &Admission, dispatched: f64, now: f64) -> usize {
+        self.preempted += 1;
+        self.release(admission, dispatched, now)
+    }
+
+    /// Evicts an in-flight shard because the card failed at `now`: the
+    /// same checkpoint-and-release arithmetic as [`Card::preempt`], but
+    /// the eviction is charged to the run's fault counters, not the
+    /// card's preemption counter — a death is not a scheduling decision.
+    pub(crate) fn fail_evict(&mut self, admission: &Admission, dispatched: f64, now: f64) -> usize {
+        self.release(admission, dispatched, now)
+    }
+
+    /// Releases one in-flight shard at `now`, refunding the never-run
+    /// tail, and returns how many *additional* whole jobs drained before
+    /// `now` — the checkpoint the requeued request carries forward. The
+    /// partially-run job is lost: checkpoint granularity is one attention
+    /// job, the unit the paper's pipeline streams atomically.
+    fn release(&mut self, admission: &Admission, dispatched: f64, now: f64) -> usize {
         let released = admission.finish - now;
         assert!(
             released > 0.0 && now >= dispatched,
-            "preemption time {now} outside service window [{dispatched}, {}]",
+            "eviction time {now} outside service window [{dispatched}, {}]",
             admission.finish
         );
         self.agenda.release_after(admission.pipeline, now);
@@ -611,7 +640,6 @@ impl Card {
         self.busy_seconds -= released;
         self.energy_joules -= self.accelerator().power_watts() / self.pipelines() as f64 * released;
         self.served -= 1;
-        self.preempted += 1;
 
         // Evicted mid-swap: the family never finished streaming in, so
         // the card's weights are torn — not resident — and the swap-in
@@ -629,6 +657,46 @@ impl Card {
         } else {
             (progressed / admission.per_job_seconds).floor() as usize
         }
+    }
+
+    /// Kills the card at `now`. Every in-flight shard must already have
+    /// been evicted through [`Card::fail_evict`]; the powered clock
+    /// closes (a dead card draws nothing), the residency tears, and the
+    /// card refuses dispatch until [`Card::revive`]. Parked cards can
+    /// die too — they just skip the clock arithmetic.
+    pub(crate) fn fail(&mut self, now: f64) {
+        assert!(
+            self.agenda.horizon() <= now,
+            "cannot kill a card before evicting its in-flight work"
+        );
+        if self.powered {
+            self.powered_seconds += now - self.powered_since;
+            self.powered = false;
+        }
+        self.resident = None;
+        self.dead = true;
+    }
+
+    /// Returns a dead card to service at `now`: it powers back up cold
+    /// (residency lost in the failure) and becomes dispatchable after
+    /// `warmup_s`, exactly like an autoscaler wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the card is not dead.
+    pub(crate) fn revive(&mut self, now: f64, warmup_s: f64) {
+        assert!(self.dead, "only a dead card can be revived");
+        self.dead = false;
+        self.power_on(now, warmup_s);
+    }
+
+    /// Shifts the card's calibration: service times stretch by `factor`
+    /// (≥ 1, absolute not cumulative) from the next admission on. The
+    /// simulator re-snapshots the fleet's shared
+    /// [`CostModel`](crate::cost::CostModel) right after, so planning
+    /// keeps pricing exactly what admission charges.
+    pub(crate) fn degrade_by(&mut self, factor: f64) {
+        self.cost.set_degrade(factor);
     }
 }
 
@@ -1038,6 +1106,59 @@ mod tests {
             .admit_jobs(&second, 5, 3, 2, drained, false, &mut placements);
         assert_eq!(b.stall_seconds, 0.0, "preemptions > 0 alone must not bill");
         assert!((a.finish - b.finish - restart).abs() < 1e-12);
+    }
+
+    #[test]
+    fn death_and_revival_cycle_accounts_like_preemption() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let r = request(0, shape());
+        let a = fleet.card_mut(0).admit(&r, 0.0, true, &mut placements);
+        // The card dies 2.5 jobs past the stall: 2 whole jobs checkpoint,
+        // the eviction refunds the tail like a preemption would, but the
+        // preemption counter stays untouched — a death is not a
+        // scheduling decision.
+        let now = a.stall_seconds + 2.5 * a.per_job_seconds;
+        let done = fleet.card_mut(0).fail_evict(&a, 0.0, now);
+        assert_eq!(done, 2);
+        fleet.card_mut(0).fail(now);
+        let card = &fleet.cards()[0];
+        assert!(card.dead());
+        assert_eq!(card.preempted(), 0, "fault evictions are not preemptions");
+        assert!(!card.dispatchable(now));
+        assert_eq!(card.served(), 0);
+        assert_eq!(card.resident_family(), None, "death tears the residency");
+        assert!(
+            (card.powered_seconds() - now).abs() < 1e-12,
+            "a dead card stops accruing powered time"
+        );
+        // Revival powers the card back up cold, after a warm-up.
+        fleet.card_mut(0).revive(now + 5.0, 2.0);
+        let card = &fleet.cards()[0];
+        assert!(!card.dead());
+        assert!(!card.dispatchable(now + 6.0), "still warming");
+        assert!(card.dispatchable(now + 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before evicting")]
+    fn killing_a_busy_card_without_eviction_is_rejected() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let mut placements = Vec::new();
+        let a = fleet
+            .card_mut(0)
+            .admit(&request(0, shape()), 0.0, false, &mut placements);
+        fleet.card_mut(0).fail(a.finish * 0.5);
+    }
+
+    #[test]
+    fn degrade_delegates_to_the_cost_model() {
+        let mut fleet = FleetConfig::standard(1).build().unwrap();
+        let before = fleet.cards()[0].job_seconds(&shape(), 1);
+        fleet.card_mut(0).degrade_by(2.0);
+        let card = &fleet.cards()[0];
+        assert_eq!(card.cost_model().degrade_factor(), 2.0);
+        assert_eq!(card.job_seconds(&shape(), 1), 2.0 * before);
     }
 
     #[test]

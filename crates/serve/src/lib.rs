@@ -66,9 +66,22 @@
 //! leaves every report byte-identical. For very long traces,
 //! [`trace::TelemetryMode::Streaming`] swaps the exact per-request
 //! latency vectors for fixed-memory P² quantile sketches and a bounded
-//! time-bucketed gauge histogram. `docs/serving.md` in the repository
-//! root walks the architecture, a scenario cookbook, and the benchmark
-//! JSON schema.
+//! time-bucketed gauge histogram.
+//!
+//! The fleet is also **mortal**: a seeded [`fault::FaultPlan`] injects
+//! card deaths (in-flight shards evicted and requeued as checkpointed
+//! remnants, the card's queue drained by the survivors), calibration
+//! degrades (the shared cost model re-snapshots, so dispatch prices the
+//! slower card truthfully), and revivals — all as first-class kernel
+//! events, so a faulted run is exactly as deterministic as a healthy
+//! one. Traffic can be **session-stateful**: [`session::SessionTraffic`]
+//! turns an arrival process into multi-turn conversations (per-turn
+//! context growth, think-time gaps, a heavy-tenant/interactive mix) and
+//! [`policy::SessionAffinity`] keeps a conversation's turns on its home
+//! card until capacity pressure evicts the binding; reports then carry
+//! per-session latency and a Jain fairness index. `docs/serving.md` in
+//! the repository root walks the architecture, a scenario cookbook, and
+//! the benchmark JSON schema.
 //!
 //! # Examples
 //!
@@ -96,22 +109,26 @@
 pub mod arrival;
 pub mod cost;
 pub mod event;
+pub mod fault;
 pub mod fleet;
 pub mod json;
 pub mod metrics;
 pub mod policy;
 pub mod request;
 pub mod scale;
+pub mod session;
 pub mod sim;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use cost::{CardCostModel, CostModel, PlanCost};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fleet::{CardGroup, FleetConfig};
-pub use metrics::ServeReport;
-pub use policy::{DispatchPolicy, ShardedLeastLoaded, ShardedShortestJobFirst};
+pub use metrics::{FaultSummary, ServeReport, SessionSummary};
+pub use policy::{DispatchPolicy, SessionAffinity, ShardedLeastLoaded, ShardedShortestJobFirst};
 pub use request::Request;
 pub use scale::{Autoscaler, AutoscalerConfig, ScaleEvent};
+pub use session::{SessionProfile, SessionTraffic};
 pub use sim::{serve, simulate, AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
 pub use swat_workloads::RequestClass;
 pub use trace::{

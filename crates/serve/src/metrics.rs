@@ -260,6 +260,138 @@ impl CostPrediction {
     }
 }
 
+/// Tally of injected faults and their fallout, attached to a report only
+/// when the run carried a non-empty [`FaultPlan`](crate::fault::FaultPlan)
+/// — fault-free runs omit the block entirely, keeping their JSON
+/// byte-identical to pre-fault releases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSummary {
+    /// Card-death events delivered (a death aimed at an already-dead
+    /// card is a no-op and not counted).
+    pub card_deaths: u64,
+    /// Calibration-degrade events delivered.
+    pub degrades: u64,
+    /// Revivals that actually resurrected a dead card.
+    pub revivals: u64,
+    /// In-flight shards evicted by card deaths (each is requeued as a
+    /// checkpointed remnant, not lost work — the count measures blast
+    /// radius, not data loss).
+    pub shards_lost: u64,
+    /// Requests stranded un-served because the whole fleet died. Always
+    /// 0 while at least one card survives or revives: the simulator
+    /// requeues evicted work and drains it on whatever capacity remains.
+    pub failed: usize,
+}
+
+impl FaultSummary {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("card_deaths", Json::UInt(self.card_deaths)),
+            ("degrades", Json::UInt(self.degrades)),
+            ("revivals", Json::UInt(self.revivals)),
+            ("shards_lost", Json::UInt(self.shards_lost)),
+            ("failed", Json::Int(self.failed as i64)),
+        ])
+    }
+}
+
+/// Finds (or inserts) the per-session accumulator row for a session id,
+/// keeping the vector sorted by id so the fold is deterministic.
+fn session_slot(per: &mut Vec<(u64, usize, f64)>, session: u64) -> usize {
+    match per.binary_search_by_key(&session, |e| e.0) {
+        Ok(i) => i,
+        Err(i) => {
+            per.insert(i, (session, 0, 0.0));
+            i
+        }
+    }
+}
+
+/// Per-conversation accounting, attached to a report only when the
+/// traffic carried session ids (some request with `session != 0`) —
+/// sessionless runs omit the block so their JSON stays byte-identical to
+/// pre-session releases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSummary {
+    /// Distinct sessions observed across completed, rejected, and failed
+    /// requests.
+    pub sessions: usize,
+    /// Session-tagged requests (turns) that completed.
+    pub turns_completed: usize,
+    /// Mean completed turns per session.
+    pub mean_turns: f64,
+    /// Distribution of **per-session mean** latencies — each session
+    /// contributes one sample, so a heavy tenant's thousand turns cannot
+    /// drown out an interactive user's five (`None` when no
+    /// session-tagged request completed).
+    pub latency: Option<LatencySummary>,
+    /// Jain's fairness index over per-session completed-turn counts:
+    /// `(Σx)² / (n·Σx²)` — 1 when every session got equal service,
+    /// `1/n` when one session got everything, and (by convention) 1 when
+    /// nothing completed at all.
+    pub fairness: f64,
+}
+
+impl SessionSummary {
+    /// Folds session-tagged requests into per-conversation statistics.
+    /// Returns `None` when nothing carried a session id, which is what
+    /// keeps sessionless reports untouched.
+    pub fn from_requests(
+        completed: &[CompletedRequest],
+        rejected: &[Request],
+        failed: &[Request],
+    ) -> Option<SessionSummary> {
+        // (session id, completed turns, summed latency), sorted by id.
+        let mut per: Vec<(u64, usize, f64)> = Vec::new();
+        for c in completed.iter().filter(|c| c.request.session != 0) {
+            let i = session_slot(&mut per, c.request.session);
+            per[i].1 += 1;
+            per[i].2 += c.latency();
+        }
+        // Sessions whose every turn was shed or stranded still count as
+        // sessions (with zero completed turns) — fairness must see them.
+        for r in rejected.iter().chain(failed).filter(|r| r.session != 0) {
+            session_slot(&mut per, r.session);
+        }
+        if per.is_empty() {
+            return None;
+        }
+        let turns_completed: usize = per.iter().map(|e| e.1).sum();
+        let n = per.len() as f64;
+        let sum: f64 = per.iter().map(|e| e.1 as f64).sum();
+        let sumsq: f64 = per.iter().map(|e| (e.1 as f64) * (e.1 as f64)).sum();
+        let means: Vec<f64> = per
+            .iter()
+            .filter(|e| e.1 > 0)
+            .map(|e| e.2 / e.1 as f64)
+            .collect();
+        Some(SessionSummary {
+            sessions: per.len(),
+            turns_completed,
+            mean_turns: turns_completed as f64 / n,
+            latency: (!means.is_empty()).then(|| LatencySummary::from_latencies(means)),
+            fairness: if sumsq > 0.0 {
+                sum * sum / (n * sumsq)
+            } else {
+                1.0
+            },
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sessions", Json::Int(self.sessions as i64)),
+            ("turns_completed", Json::Int(self.turns_completed as i64)),
+            ("mean_turns", Json::Num(self.mean_turns)),
+            (
+                "latency",
+                Json::maybe(self.latency, LatencySummary::to_json),
+            ),
+            ("fairness_jain", Json::Num(self.fairness)),
+        ])
+    }
+}
+
 /// Per-card accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CardSummary {
@@ -473,26 +605,45 @@ pub struct ServeReport {
     /// [`TelemetryMode::Streaming`](crate::trace::TelemetryMode) runs
     /// (`None` under Exact, whose JSON must stay byte-identical).
     pub telemetry: Option<TelemetrySummary>,
+    /// Requests stranded un-served because every card died mid-run
+    /// (0 whenever the fleet survived; counted in `offered` and charged
+    /// against [`ServeReport::slo_attainment`]). Serialized inside the
+    /// `faults` block — a fault-free report never mentions it.
+    pub failed: usize,
+    /// Fault-injection tally, `Some` exactly when the run carried a
+    /// non-empty fault plan.
+    pub faults: Option<FaultSummary>,
+    /// Per-session accounting, `Some` exactly when the traffic carried
+    /// session ids. Exact-telemetry runs only — the streaming path keeps
+    /// bounded state and cannot group per conversation.
+    pub sessions: Option<SessionSummary>,
 }
 
 impl ServeReport {
     /// Assembles the report from raw simulation outputs. `rejected` holds
-    /// the requests admission control shed (empty when the knob is off).
-    /// A run with zero completions — every request shed — produces a
-    /// fully finite report: zero makespan and throughput, `None` latency.
+    /// the requests admission control shed (empty when the knob is off);
+    /// `failed` holds requests stranded when every card died (empty on
+    /// any run the fleet survived). Both count toward `offered` — and
+    /// toward each class's offered tally — so attainment cannot be
+    /// flattered by losing traffic. A run with zero completions — every
+    /// request shed — produces a fully finite report: zero makespan and
+    /// throughput, `None` latency. The session block is derived here
+    /// (`Some` only when some request carried a session id).
     // One argument per raw simulation output: bundling them into a
-    // struct would just move the same nine names one level down.
+    // struct would just move the same names one level down.
     #[allow(clippy::too_many_arguments)]
     pub fn assemble(
         policy: &str,
         arrivals: &str,
         completed: &[CompletedRequest],
         rejected: &[Request],
+        failed: &[Request],
         queue: QueueSummary,
         cards: Vec<CardSummary>,
         preemptions: Vec<PreemptionRecord>,
         scaling: Vec<ScaleEvent>,
         cost_prediction: Option<CostPrediction>,
+        faults: Option<FaultSummary>,
         placements: Vec<(usize, Placement)>,
     ) -> ServeReport {
         let latencies: Vec<f64> = completed.iter().map(CompletedRequest::latency).collect();
@@ -517,12 +668,13 @@ impl ServeReport {
                     .filter(|c| c.request.class == class)
                     .collect();
                 let shed = rejected.iter().filter(|r| r.class == class).count();
-                if done.is_empty() && shed == 0 {
+                let lost = failed.iter().filter(|r| r.class == class).count();
+                if done.is_empty() && shed == 0 && lost == 0 {
                     return None;
                 }
                 Some(ClassSummary {
                     class,
-                    offered: done.len() + shed,
+                    offered: done.len() + shed + lost,
                     completed: done.len(),
                     rejected: shed,
                     slo_violations: done.iter().filter(|c| !c.met_slo()).count(),
@@ -550,7 +702,7 @@ impl ServeReport {
         ServeReport {
             policy: policy.to_string(),
             arrivals: arrivals.to_string(),
-            offered: completed.len() + rejected.len(),
+            offered: completed.len() + rejected.len() + failed.len(),
             completed: completed.len(),
             rejected: rejected.len(),
             sharded_requests: completed.iter().filter(|c| c.shards > 1).count(),
@@ -575,6 +727,9 @@ impl ServeReport {
             cost_prediction,
             placements,
             telemetry: None,
+            failed: failed.len(),
+            faults,
+            sessions: SessionSummary::from_requests(completed, rejected, failed),
         }
     }
 
@@ -616,9 +771,11 @@ impl ServeReport {
     /// request shed by admission control never met its objective, so
     /// shedding 90% of traffic cannot report perfect attainment — the
     /// aggressive-admission failure mode the old completions-only ratio
-    /// hid (and which divided 0/0 into NaN on a fully-shed run). The
-    /// empty case is defined explicitly: a report with nothing offered
-    /// has no request that missed its SLO, so attainment is 1.
+    /// hid (and which divided 0/0 into NaN on a fully-shed run). Requests
+    /// stranded by a fleet-wide death (`failed`) sit in the denominator
+    /// for the same reason. The empty case is defined explicitly: a
+    /// report with nothing offered has no request that missed its SLO,
+    /// so attainment is 1.
     pub fn slo_attainment(&self) -> f64 {
         if self.offered == 0 {
             return 1.0;
@@ -632,6 +789,9 @@ impl ServeReport {
     /// are emitted only when the run actually fanned a request out
     /// (`max_shards > 1`), so reports from whole-request policies and
     /// `max_shards = 1` runs serialize byte-for-byte as they always did.
+    /// The `faults` and `sessions` blocks follow the same rule: present
+    /// only when a fault plan was injected / the traffic carried session
+    /// ids.
     pub fn to_json(&self) -> Json {
         let mut pairs: Vec<(&'static str, Json)> = vec![
             ("policy", Json::Str(self.policy.clone())),
@@ -709,6 +869,16 @@ impl ServeReport {
                 Json::arr(self.cards.iter().map(CardSummary::to_json)),
             ),
         ]);
+        // Fault and session blocks exist only when the run injected
+        // faults / carried session ids, so every pre-existing scenario
+        // serializes byte-for-byte as before (the `failed` count lives
+        // inside the fault block — it cannot be non-zero without one).
+        if let Some(f) = self.faults {
+            pairs.push(("faults", f.to_json()));
+        }
+        if let Some(s) = &self.sessions {
+            pairs.push(("sessions", s.to_json()));
+        }
         if let Some(t) = &self.telemetry {
             pairs.push(("telemetry", t.to_json()));
         }
@@ -787,6 +957,7 @@ mod tests {
             "poisson",
             &runs,
             &[],
+            &[],
             QueueSummary {
                 max_depth: 2,
                 mean_depth: 0.5,
@@ -796,6 +967,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -834,6 +1006,7 @@ mod tests {
             "poisson",
             &runs,
             &[],
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -856,6 +1029,7 @@ mod tests {
                 powered_cards: 2,
             }],
             None,
+            None,
             Vec::new(),
         );
         assert_eq!(report.preemption_count(), 1);
@@ -875,6 +1049,7 @@ mod tests {
             "poisson",
             &runs,
             &shed,
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -884,6 +1059,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -911,6 +1087,7 @@ mod tests {
             "poisson",
             &[],
             &shed,
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -920,6 +1097,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -942,6 +1120,7 @@ mod tests {
             "poisson",
             &[],
             &[],
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -951,6 +1130,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -970,6 +1150,7 @@ mod tests {
             "poisson",
             &runs,
             &shed,
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -979,6 +1160,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -996,6 +1178,7 @@ mod tests {
             "poisson",
             &runs,
             &[],
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -1005,6 +1188,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -1024,6 +1208,7 @@ mod tests {
             "poisson",
             &[completed(0, 0.0, 0.1)],
             &[],
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -1033,6 +1218,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -1049,6 +1235,7 @@ mod tests {
             "poisson",
             &[completed(0, 0.0, 0.1), wide],
             &[],
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -1063,6 +1250,7 @@ mod tests {
                 mean_abs_error_s: 0.0,
                 max_error_s: 0.0,
             }),
+            None,
             Vec::new(),
         );
         assert_eq!(fanned.shard_widths, [1, 0, 1]);
@@ -1090,6 +1278,7 @@ mod tests {
             "poisson",
             &runs,
             &[],
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -1099,6 +1288,7 @@ mod tests {
             vec![card_summary(0, 0)],
             preemptions,
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -1123,6 +1313,7 @@ mod tests {
             "poisson",
             &runs,
             &[],
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -1138,6 +1329,7 @@ mod tests {
                 jobs_checkpointed: 4,
             }],
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -1175,6 +1367,7 @@ mod tests {
             "poisson",
             &runs,
             &[],
+            &[],
             QueueSummary {
                 max_depth: 0,
                 mean_depth: 0.0,
@@ -1184,6 +1377,7 @@ mod tests {
             vec![card_summary(0, 0)],
             Vec::new(),
             Vec::new(),
+            None,
             None,
             Vec::new(),
         );
@@ -1210,6 +1404,171 @@ mod tests {
         assert!(json.contains("\"quantile_estimator\": \"p2\""));
         assert!(json.contains("\"bucket_s\": 0.5"));
         assert!(json.contains("\"queue_mean\": 1.5"));
+    }
+
+    #[test]
+    fn fault_block_serializes_only_when_a_plan_ran() {
+        let runs = [completed(0, 0.0, 0.1)];
+        let mut report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            &[],
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+                total_samples: 0,
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            None,
+            None,
+            Vec::new(),
+        );
+        let json = report.to_json().pretty();
+        assert!(!json.contains("\"faults\""), "fault-free JSON is untouched");
+        assert!(!json.contains("\"failed\""));
+        report.faults = Some(FaultSummary {
+            card_deaths: 2,
+            degrades: 1,
+            revivals: 1,
+            shards_lost: 5,
+            failed: 0,
+        });
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"faults\""));
+        assert!(json.contains("\"card_deaths\": 2"));
+        assert!(json.contains("\"shards_lost\": 5"));
+        assert!(json.contains("\"failed\": 0"));
+    }
+
+    #[test]
+    fn failed_requests_count_against_offered_and_attainment() {
+        // One on-time completion, one request stranded by a dead fleet:
+        // offered is 2 and attainment 0.5, exactly as if it were shed.
+        let runs = [completed(0, 0.0, 1e-4)];
+        let lost = [Request::classed(1, 0.0, shape(), RequestClass::Batch)];
+        let report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            &[],
+            &lost,
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+                total_samples: 0,
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            None,
+            Some(FaultSummary {
+                card_deaths: 1,
+                degrades: 0,
+                revivals: 0,
+                shards_lost: 0,
+                failed: 1,
+            }),
+            Vec::new(),
+        );
+        assert_eq!((report.offered, report.completed, report.failed), (2, 1, 1));
+        assert!((report.slo_attainment() - 0.5).abs() < 1e-12);
+        // The stranded request's class still shows up, with the loss
+        // visible as offered minus completed minus rejected.
+        let batch = report.class(RequestClass::Batch).unwrap();
+        assert_eq!((batch.offered, batch.completed, batch.rejected), (1, 0, 0));
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"failed\": 1"));
+    }
+
+    fn session_completed(id: u64, session: u64, arrival: f64, finished: f64) -> CompletedRequest {
+        CompletedRequest {
+            request: Request::new(id, arrival, shape()).with_session(session),
+            dispatched: arrival,
+            finished,
+            card: 0,
+            pipeline: 0,
+            shards: 1,
+        }
+    }
+
+    #[test]
+    fn session_summary_folds_per_conversation() {
+        // Session 1: two turns, latencies 1.0 and 3.0 (mean 2.0).
+        // Session 2: one turn, latency 4.0. Session 3: fully shed.
+        let runs = [
+            session_completed(0, 1, 0.0, 1.0),
+            session_completed(1, 1, 1.0, 4.0),
+            session_completed(2, 2, 0.0, 4.0),
+        ];
+        let shed = [Request::new(3, 0.0, shape()).with_session(3)];
+        let s = SessionSummary::from_requests(&runs, &shed, &[]).unwrap();
+        assert_eq!(s.sessions, 3, "a fully-shed session still counts");
+        assert_eq!(s.turns_completed, 3);
+        assert!((s.mean_turns - 1.0).abs() < 1e-12);
+        let latency = s.latency.unwrap();
+        // One sample per session: means are {2.0, 4.0}.
+        assert!((latency.mean - 3.0).abs() < 1e-12);
+        assert!((latency.max - 4.0).abs() < 1e-12);
+        // Jain over per-session turn counts {2, 1, 0}: 9 / (3 · 5).
+        assert!((s.fairness - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_fairness_is_one_at_equal_service_and_vacuously() {
+        let equal = [
+            session_completed(0, 1, 0.0, 1.0),
+            session_completed(1, 2, 0.0, 1.0),
+        ];
+        let s = SessionSummary::from_requests(&equal, &[], &[]).unwrap();
+        assert!((s.fairness - 1.0).abs() < 1e-12);
+        // Every turn shed: no completions, fairness defined as 1.
+        let shed = [Request::new(0, 0.0, shape()).with_session(7)];
+        let starved = SessionSummary::from_requests(&[], &shed, &[]).unwrap();
+        assert_eq!(starved.latency, None);
+        assert_eq!(starved.fairness, 1.0);
+        assert_eq!(starved.turns_completed, 0);
+    }
+
+    #[test]
+    fn session_block_serializes_only_when_traffic_carried_ids() {
+        // Sessionless traffic: `from_requests` returns None and the JSON
+        // has no sessions block at all.
+        let plain = [completed(0, 0.0, 0.1)];
+        assert_eq!(SessionSummary::from_requests(&plain, &[], &[]), None);
+        let runs = [
+            session_completed(0, 1, 0.0, 1.0),
+            session_completed(1, 2, 0.0, 2.0),
+        ];
+        let report = ServeReport::assemble(
+            "fifo",
+            "poisson",
+            &runs,
+            &[],
+            &[],
+            QueueSummary {
+                max_depth: 0,
+                mean_depth: 0.0,
+                timeline: Vec::new(),
+                total_samples: 0,
+            },
+            vec![card_summary(0, 0)],
+            Vec::new(),
+            Vec::new(),
+            None,
+            None,
+            Vec::new(),
+        );
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"sessions\""));
+        assert!(json.contains("\"turns_completed\": 2"));
+        assert!(json.contains("\"mean_turns\": 1"));
+        assert!(json.contains("\"fairness_jain\": 1"));
     }
 
     #[test]

@@ -492,6 +492,160 @@ impl DispatchPolicy for HeadAffinity {
     }
 }
 
+/// How much slower the home card's priced single-shard finish may be
+/// (relative to the best idle card's) before [`SessionAffinity`] gives up
+/// stickiness and defects. 1.5 keeps a conversation home through ordinary
+/// load imbalance — residency is worth a moderately later finish — but
+/// lets a turn escape a card that a degrade or a cold weight swap has
+/// made substantially worse.
+const DEFECTION_MARGIN: f64 = 1.5;
+
+/// Sticky session→card residency: the first turn of a conversation binds
+/// the session to the card that would finish it soonest, and later turns
+/// go home while the home card has an idle pipeline — standing in for
+/// per-conversation KV/context residency, where every defection pays a
+/// context re-stream. Three pressures can move a session:
+///
+/// - **home busy** (no idle pipeline, which includes a dead card — the
+///   simulator zeroes a dead card's idle pipelines): the turn falls back
+///   to the soonest-finishing idle card and the binding migrates with it;
+/// - **priced defection** (split-aware path only): the shared
+///   [`CostModel`] prices the turn on the home card against the best
+///   idle card — swap stalls and degrade factors included — and the turn
+///   defects when home costs more than `DEFECTION_MARGIN` (1.5)× the
+///   alternative;
+/// - **capacity pressure**: each card holds at most `capacity_per_card`
+///   bindings; binding one more evicts the card's least-recently-used
+///   session (its next turn re-binds wherever dispatch sends it).
+///
+/// Sessionless requests (`session == 0`) take the [`LeastLoaded`] path
+/// bit-for-bit, so this policy over an untagged trace reproduces
+/// `least-loaded` exactly (modulo the report's policy name) — the
+/// reduction the chaos suite pins. Deliberately not in
+/// [`all_policies`]: it only differs from `least-loaded` on
+/// session-tagged traffic, which the standard sweeps do not carry.
+#[derive(Debug, Clone)]
+pub struct SessionAffinity {
+    /// Most sessions one card keeps resident state for (≥ 1).
+    pub capacity_per_card: usize,
+    /// `(session, card, last-use sequence)`, sorted by session id.
+    bindings: Vec<(u64, usize, u64)>,
+    /// Monotone use counter driving the LRU eviction order.
+    seq: u64,
+}
+
+impl SessionAffinity {
+    /// An affinity policy keeping up to `capacity_per_card` sessions
+    /// resident per card.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_per_card` is zero.
+    pub fn new(capacity_per_card: usize) -> SessionAffinity {
+        assert!(
+            capacity_per_card > 0,
+            "cards must hold at least one session"
+        );
+        SessionAffinity {
+            capacity_per_card,
+            bindings: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// The card `session` is currently bound to, if any.
+    pub fn home(&self, session: u64) -> Option<usize> {
+        self.bindings
+            .binary_search_by_key(&session, |b| b.0)
+            .ok()
+            .map(|i| self.bindings[i].1)
+    }
+
+    /// Sessions currently bound (across all cards).
+    pub fn bound_sessions(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Records that `session` was just served on `card`, migrating or
+    /// creating its binding and evicting the card's least-recently-used
+    /// session beyond capacity.
+    fn bind(&mut self, session: u64, card: usize) {
+        self.seq += 1;
+        match self.bindings.binary_search_by_key(&session, |b| b.0) {
+            Ok(i) => {
+                self.bindings[i].1 = card;
+                self.bindings[i].2 = self.seq;
+            }
+            Err(i) => {
+                self.bindings.insert(i, (session, card, self.seq));
+                let on_card = self.bindings.iter().filter(|b| b.1 == card).count();
+                if on_card > self.capacity_per_card {
+                    let lru = self
+                        .bindings
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| b.1 == card)
+                        .min_by_key(|(_, b)| b.2)
+                        .map(|(j, _)| j)
+                        .expect("the card holds at least the new binding");
+                    self.bindings.remove(lru);
+                }
+            }
+        }
+    }
+}
+
+impl DispatchPolicy for SessionAffinity {
+    fn name(&self) -> &'static str {
+        "session-affinity"
+    }
+
+    fn choose(&mut self, now: f64, queue: QueueView<'_>, cards: &[CardView]) -> Option<Dispatch> {
+        let request = *queue.first()?;
+        if request.session == 0 {
+            return LeastLoaded.choose(now, queue, cards);
+        }
+        let fallback = soonest_idle(cards, &request.shape)?;
+        let pick = match self.home(request.session) {
+            Some(home) if cards[home].idle_pipelines > 0 => home,
+            _ => fallback,
+        };
+        self.bind(request.session, pick);
+        Some((0, pick))
+    }
+
+    fn choose_sharded(
+        &mut self,
+        now: f64,
+        queue: QueueView<'_>,
+        cards: &[CardView],
+        cost: &CostModel,
+    ) -> Option<ShardedDispatch> {
+        let request = *queue.first()?;
+        if request.session == 0 {
+            return LeastLoaded
+                .choose(now, queue, cards)
+                .map(|(qi, card)| (qi, vec![card]));
+        }
+        let fallback = soonest_idle(cards, &request.shape)?;
+        let pick = match self.home(request.session) {
+            Some(home) if cards[home].idle_pipelines > 0 && home != fallback => {
+                let home_cost = cost.price_plan(&request, &[home], cards, now).fan_in - now;
+                let fall_cost = cost.price_plan(&request, &[fallback], cards, now).fan_in - now;
+                if home_cost <= DEFECTION_MARGIN * fall_cost {
+                    home
+                } else {
+                    fallback
+                }
+            }
+            Some(home) if cards[home].idle_pipelines > 0 => home,
+            _ => fallback,
+        };
+        self.bind(request.session, pick);
+        Some((0, vec![pick]))
+    }
+}
+
 /// Every built-in policy, boxed, for sweeps.
 pub fn all_policies() -> Vec<Box<dyn DispatchPolicy>> {
     vec![
@@ -838,6 +992,152 @@ mod tests {
         assert!(
             homes.len() >= 2,
             "families must not all share one card: {homes:?}"
+        );
+    }
+
+    #[test]
+    fn session_affinity_reduces_to_least_loaded_on_sessionless_traffic() {
+        // Untagged requests must take the least-loaded path pick-for-pick
+        // — the reduction the chaos suite pins at the report level.
+        let cost = model(3);
+        for backlogs in [[0.0, 3.0, 1.0], [5.0, 0.5, 2.0], [1.0, 1.0, 1.0]] {
+            let queue = [request(0, 2048), request(1, 512)];
+            let cards = [
+                view(0, 1, backlogs[0]),
+                view(1, 2, backlogs[1]),
+                view(2, 1, backlogs[2]),
+            ];
+            let mut affinity = SessionAffinity::new(4);
+            let mut baseline = LeastLoaded;
+            assert_eq!(
+                affinity.choose(0.0, QueueView::flat(&queue), &cards),
+                baseline.choose(0.0, QueueView::flat(&queue), &cards)
+            );
+            let sharded = affinity.choose_sharded(0.0, QueueView::flat(&queue), &cards, &cost);
+            let base = baseline
+                .choose(0.0, QueueView::flat(&queue), &cards)
+                .map(|(qi, c)| (qi, vec![c]));
+            assert_eq!(sharded, base);
+            assert_eq!(affinity.bound_sessions(), 0, "session 0 never binds");
+        }
+    }
+
+    #[test]
+    fn session_affinity_sticks_to_home_while_it_has_an_idle_pipeline() {
+        let mut p = SessionAffinity::new(4);
+        // First turn: no binding yet, lands on the soonest card (1, the
+        // lighter backlog) and binds there.
+        let turn = [request(0, 1024).with_session(7)];
+        let cards = [view(0, 2, 4.0), view(1, 2, 1.0)];
+        assert_eq!(p.choose(0.0, QueueView::flat(&turn), &cards), Some((0, 1)));
+        assert_eq!(p.home(7), Some(1));
+        // Later turn: card 0 is now the lighter card, but home still has
+        // an idle pipeline, so the session stays put.
+        let cards = [view(0, 2, 0.0), view(1, 1, 6.0)];
+        assert_eq!(p.choose(9.0, QueueView::flat(&turn), &cards), Some((0, 1)));
+        assert_eq!(p.home(7), Some(1));
+        // The priced path agrees when nothing prices the home past the
+        // defection margin (homogeneous cards, warm everywhere).
+        let cost = model(2);
+        let mut warm = [view(0, 2, 0.0), view(1, 1, 6.0)];
+        warm[0].resident = Some(turn[0].shape.family());
+        warm[1].resident = Some(turn[0].shape.family());
+        assert_eq!(
+            p.choose_sharded(9.0, QueueView::flat(&turn), &warm, &cost),
+            Some((0, vec![1]))
+        );
+    }
+
+    #[test]
+    fn session_affinity_migrates_when_home_is_busy_or_dead() {
+        let mut p = SessionAffinity::new(4);
+        let turn = [request(0, 1024).with_session(3)];
+        let cards = [view(0, 2, 2.0), view(1, 2, 0.0)];
+        assert_eq!(p.choose(0.0, QueueView::flat(&turn), &cards), Some((0, 1)));
+        // Home (card 1) loses its pipelines — a saturated or dead card
+        // looks the same to the policy: zero idle pipelines. The turn
+        // falls back to the soonest idle card and the binding follows.
+        let cards = [view(0, 2, 2.0), view(1, 0, 0.0)];
+        assert_eq!(p.choose(5.0, QueueView::flat(&turn), &cards), Some((0, 0)));
+        assert_eq!(p.home(3), Some(0), "the binding migrates with the turn");
+        // Whole fleet full: the policy waits rather than inventing a slot.
+        let cards = [view(0, 0, 2.0), view(1, 0, 0.0)];
+        assert_eq!(p.choose(6.0, QueueView::flat(&turn), &cards), None);
+    }
+
+    #[test]
+    fn session_affinity_evicts_the_lru_binding_under_capacity_pressure() {
+        let mut p = SessionAffinity::new(2);
+        let cards = [view(0, 2, 0.0)];
+        for session in 1..=3u64 {
+            let turn = [request(session, 512).with_session(session)];
+            assert_eq!(p.choose(0.0, QueueView::flat(&turn), &cards), Some((0, 0)));
+        }
+        // Capacity 2 on the only card: binding session 3 evicted the
+        // least-recently-used session (1); 2 and 3 remain resident.
+        assert_eq!(p.bound_sessions(), 2);
+        assert_eq!(p.home(1), None, "LRU session evicted");
+        assert_eq!(p.home(2), Some(0));
+        assert_eq!(p.home(3), Some(0));
+        // Re-touching session 2 before a new arrival protects it: now 3
+        // is the LRU and gets evicted instead.
+        let turn = [request(9, 512).with_session(2)];
+        assert_eq!(p.choose(1.0, QueueView::flat(&turn), &cards), Some((0, 0)));
+        let turn = [request(10, 512).with_session(4)];
+        assert_eq!(p.choose(2.0, QueueView::flat(&turn), &cards), Some((0, 0)));
+        assert_eq!(p.home(3), None);
+        assert_eq!(p.home(2), Some(0));
+        assert_eq!(p.home(4), Some(0));
+    }
+
+    #[test]
+    fn session_affinity_defects_when_the_home_swap_dominates() {
+        // Heavy weights next to light compute (as in the adaptive-width
+        // cold-card test): serving the turn on the cold home card pays a
+        // swap that prices it past the defection margin, while the warm
+        // fallback serves immediately. The priced path defects and the
+        // binding migrates.
+        let cost = model(2);
+        let r = Request::new(
+            0,
+            0.0,
+            RequestShape {
+                seq_len: 128, // light compute next to heads² weights
+                heads: 16,
+                layers: 2,
+                batch: 1,
+            },
+        )
+        .with_session(11);
+        let swap = cost.card(1).swap_seconds(&r.shape);
+        let service = cost.card(0).job_seconds(&r.shape, 1) * r.shape.jobs() as f64;
+        assert!(
+            swap > (super::DEFECTION_MARGIN - 1.0) * service,
+            "premise: the swap prices the cold home past the margin"
+        );
+        let mut p = SessionAffinity::new(4);
+        // Bind the session to card 1 while card 0 is saturated.
+        let turn = [r];
+        let cards = [view(0, 0, 0.0), view(1, 2, 0.0)];
+        assert_eq!(p.choose(0.0, QueueView::flat(&turn), &cards), Some((0, 1)));
+        // Next turn: both cards idle, the family resident only on card 0.
+        // Home (1) is cold — the swap-burdened price defects the turn.
+        let mut cards = [view(0, 2, 0.0), view(1, 2, 0.0)];
+        cards[0].resident = Some(r.shape.family());
+        assert_eq!(
+            p.choose_sharded(4.0, QueueView::flat(&turn), &cards, &cost),
+            Some((0, vec![0]))
+        );
+        assert_eq!(p.home(11), Some(0), "defection migrates the binding");
+        // Warm the home back up and the defection objection vanishes.
+        cards[1].resident = Some(r.shape.family());
+        let turn = [r.with_session(12)];
+        let busy = [view(0, 0, 0.0), view(1, 2, 0.0)];
+        assert_eq!(p.choose(5.0, QueueView::flat(&turn), &busy), Some((0, 1)));
+        assert_eq!(
+            p.choose_sharded(6.0, QueueView::flat(&turn), &cards, &cost),
+            Some((0, vec![1])),
+            "a warm home within the margin keeps the session"
         );
     }
 }

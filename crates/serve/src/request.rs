@@ -35,6 +35,12 @@ pub struct Request {
     /// of a once-preempted request, which is what keying the penalty on
     /// `preemptions > 0` used to charge.
     pub pending_restart: bool,
+    /// Conversation this request belongs to, or 0 for sessionless
+    /// traffic. Session ids are 1-based so the zero default keeps every
+    /// existing generator (and its serialized output) untouched; the
+    /// metrics layer only builds a session summary when some request
+    /// carries a non-zero id.
+    pub session: u64,
 }
 
 impl Request {
@@ -78,7 +84,16 @@ impl Request {
             jobs_end: shape.jobs(),
             preemptions: 0,
             pending_restart: false,
+            session: 0,
         }
+    }
+
+    /// Tags this request with a conversation id (1-based; 0 means
+    /// sessionless). Used by [`crate::session::SessionTraffic`] and the
+    /// affinity-aware policies.
+    pub fn with_session(mut self, session: u64) -> Request {
+        self.session = session;
+        self
     }
 
     /// The total order the priority queue serves in: class rank first,
@@ -207,6 +222,19 @@ mod tests {
             ..r
         };
         assert_eq!(shard_remnant.remaining_jobs(), 3);
+    }
+
+    #[test]
+    fn sessions_default_to_zero_and_tag_without_reranking() {
+        let r = Request::classed(4, 0.5, shape(), RequestClass::Batch);
+        assert_eq!(r.session, 0, "generators stay sessionless by default");
+        let tagged = r.with_session(9);
+        assert_eq!(tagged.session, 9);
+        assert_eq!(
+            tagged.rank_key(),
+            r.rank_key(),
+            "sessions do not jump the queue"
+        );
     }
 
     #[test]

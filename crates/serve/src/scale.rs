@@ -181,8 +181,13 @@ impl Autoscaler {
         }
         let mut powered = fleet.cards().iter().filter(|c| c.powered()).count();
         if queue_depth > self.cfg.up_queue_per_card * powered {
-            let Some(card) = fleet.cards().iter().position(|c| !c.powered()) else {
-                return; // everything already powered: saturated
+            // Dead cards read as unpowered (a failure closes the power
+            // clock), which makes this rule double as fault recovery: if
+            // faults killed the whole powered pool, `powered` is zero and
+            // any queued work wakes the first *non-dead* parked card —
+            // waking a dead one would strand the warm-up forever.
+            let Some(card) = fleet.cards().iter().position(|c| !c.powered() && !c.dead()) else {
+                return; // everything alive already powered: saturated
             };
             fleet.card_mut(card).power_on(now, self.cfg.warmup_s);
             events.push_warmed(now + self.cfg.warmup_s, card);
@@ -359,6 +364,31 @@ mod tests {
         // Once card 1 drains it parks immediately at threshold 0.
         scaler.evaluate(a.finish, 0, &mut f, &mut events);
         assert!(f.cards()[1].powered(), "floor of 1 card holds");
+    }
+
+    #[test]
+    fn dead_cards_are_skipped_when_scaling_up() {
+        let mut f = fleet(3);
+        let mut events = EventQueue::new();
+        let mut scaler = Autoscaler::new(AutoscalerConfig::standard());
+        scaler.begin(&mut f, 0.0);
+        // The whole powered pool dies (card 0), and a parked card dies
+        // too (card 1). Queued work must wake the surviving parked card,
+        // never a corpse — a dead card's warm-up would strand forever.
+        f.card_mut(0).fail(0.5);
+        f.card_mut(1).fail(0.5);
+        scaler.evaluate(1.0, 3, &mut f, &mut events);
+        assert!(f.cards()[2].powered(), "the survivor wakes");
+        assert!(!f.cards()[0].powered() && !f.cards()[1].powered());
+        assert_eq!(events.len(), 1, "its warm-up is scheduled");
+        // With every card dead, queued work finds nothing to wake.
+        let mut all_dead = fleet(2);
+        let mut scaler = Autoscaler::new(AutoscalerConfig::standard());
+        scaler.begin(&mut all_dead, 0.0);
+        all_dead.card_mut(0).fail(0.5);
+        all_dead.card_mut(1).fail(0.5);
+        scaler.evaluate(1.0, 10, &mut all_dead, &mut events);
+        assert_eq!(all_dead.powered_cards(), 0);
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! The discrete-event simulation loop.
 //!
-//! Five event kinds drive time forward: a request **arrives** (enters the
-//! priority queue — or is shed by admission control), a pipeline
+//! Eight event kinds drive time forward: a request **arrives** (enters
+//! the priority queue — or is shed by admission control), a pipeline
 //! **drains** (capacity frees), a **preemption check** fires (a waiting
 //! interactive request's patience ran out), a **warm-up** completes
-//! (an autoscaled card becomes dispatchable), and a **scaling check**
+//! (an autoscaled card becomes dispatchable), a **scaling check**
 //! wakes the autoscaler when an idle card reaches park eligibility
-//! inside a quiet gap. A **dispatch** follows every
+//! inside a quiet gap, and three seeded **fault** kinds — a card
+//! **dies** (its in-flight shards requeue as remnants; see
+//! [`crate::fault::FaultPlan`]), a card **degrades** (its calibration
+//! stretches and the shared cost model re-snapshots), a dead card
+//! **revives** (cold, after a warm-up). A **dispatch** follows every
 //! event batch: the policy assigns queued requests to cards whenever both
 //! a request and an idle pipeline exist. A dispatched request is split
 //! into one or more **shards** — because its `batch × layers × heads`
@@ -46,10 +50,11 @@
 use crate::arrival::ArrivalProcess;
 use crate::cost::CostModel;
 use crate::event::{Event, EventQueue, PriorityQueue};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::fleet::{Admission, Card, Fleet, FleetConfig};
 use crate::metrics::{
-    CardSummary, ClassSummary, CostPrediction, PreemptionRecord, QueueSample, QueueSummary,
-    ServeReport, TelemetrySummary,
+    CardSummary, ClassSummary, CostPrediction, FaultSummary, PreemptionRecord, QueueSample,
+    QueueSummary, ServeReport, TelemetrySummary,
 };
 use crate::policy::{CardView, DispatchPolicy};
 use crate::request::{CompletedRequest, Request};
@@ -277,6 +282,7 @@ pub struct Simulation<'a> {
     preemption: PreemptionControl,
     autoscale: Option<AutoscalerConfig>,
     telemetry: TelemetryMode,
+    faults: FaultPlan,
 }
 
 impl<'a> Simulation<'a> {
@@ -292,6 +298,7 @@ impl<'a> Simulation<'a> {
             preemption: PreemptionControl::disabled(),
             autoscale: None,
             telemetry: TelemetryMode::Exact,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -326,6 +333,19 @@ impl<'a> Simulation<'a> {
     /// follows queue depth from there.
     pub fn autoscale(mut self, config: AutoscalerConfig) -> Simulation<'a> {
         self.autoscale = Some(config);
+        self
+    }
+
+    /// Injects a seeded [`FaultPlan`]: card deaths, calibration
+    /// degradation, revivals. Faults are delivered as kernel events from
+    /// the same deterministic heap as everything else (ordered after
+    /// completions at an equal instant), so a faulted run is exactly as
+    /// reproducible as a healthy one. Fault times earlier than the first
+    /// arrival are clamped to it — a fault cannot precede the trace —
+    /// and faults scheduled past the natural drain never fire. The empty
+    /// plan is bitwise identical to not calling this at all.
+    pub fn faults(mut self, plan: FaultPlan) -> Simulation<'a> {
+        self.faults = plan;
         self
     }
 
@@ -453,8 +473,10 @@ impl<'a> Simulation<'a> {
         let mut fleet: Fleet = self.fleet.build().expect("invalid fleet configuration");
         // The shared predictive cost model: the same per-card timing the
         // cards charge, snapshotted for the planner (policies price shard
-        // plans against it, cost-aware preemption prices victims).
-        let cost = CostModel::for_fleet(&fleet);
+        // plans against it, cost-aware preemption prices victims). A
+        // degrade fault re-snapshots it, so planning keeps charging
+        // exactly what admission charges.
+        let mut cost = CostModel::for_fleet(&fleet);
         let t0 = requests[0].arrival;
         let mut scaler = self.autoscale.map(Autoscaler::new);
         match scaler.as_mut() {
@@ -531,6 +553,28 @@ impl<'a> Simulation<'a> {
         let mut events = EventQueue::new();
         events.push_arrival(requests[0].arrival, 0, requests[0].id);
         let mut arrivals_done = false;
+
+        // The whole fault plan is scheduled up-front: fault times are
+        // fixed by the plan, not by simulation state, so they belong in
+        // the heap from the start. Times before the first arrival clamp
+        // to it (a fault cannot precede the trace).
+        self.faults.validate(fleet.cards().len());
+        for f in self.faults.events() {
+            let time = f.time.max(t0);
+            match f.kind {
+                FaultKind::Death => events.push_card_death(time, f.card),
+                FaultKind::Degrade { factor } => events.push_card_degrade(time, f.card, factor),
+                FaultKind::Revive { warmup_s } => events.push_card_revive(time, f.card, warmup_s),
+            }
+        }
+        // Delivered-fault counters for the report's `faults` block.
+        let mut fault_deaths = 0u64;
+        let mut fault_degrades = 0u64;
+        let mut fault_revivals = 0u64;
+        let mut fault_shards_lost = 0u64;
+        // Scratch for the shards a death evicts (collected before the
+        // table is mutated).
+        let mut death_victims: Vec<(u32, u32)> = Vec::new();
 
         while let Some((now, first)) = events.pop() {
             // +1 for the entry just popped: the heap's peak population
@@ -677,6 +721,103 @@ impl<'a> Simulation<'a> {
                         }
                     }
                     Event::ScaleCheck => {}
+                    Event::CardDeath { card } => {
+                        // Killing an already-dead card is an uncounted
+                        // no-op (a storm may schedule overlapping deaths).
+                        if !fleet.cards()[card].dead() {
+                            // Every live shard on the card is lost. Its
+                            // checkpointed jobs survive (checkpoints live
+                            // off-card — the same durability preemption
+                            // assumes) and the unfinished tail requeues as
+                            // a remnant, exactly like a preemption, except
+                            // nothing is charged to the preemption
+                            // counters: a death is not a scheduling
+                            // decision. `table.live` is id-sorted, so the
+                            // eviction order is deterministic.
+                            death_victims.clear();
+                            for &fi in &table.live {
+                                let mut node = table.flights[fi as usize].head;
+                                while node != NIL {
+                                    let n = &table.shards.nodes[node as usize];
+                                    if n.slot.card == card {
+                                        death_victims.push((fi, n.slot.shard));
+                                    }
+                                    node = n.next;
+                                }
+                            }
+                            let shards_lost = death_victims.len();
+                            for &(fi, shard_id) in &death_victims {
+                                let fi_us = fi as usize;
+                                let slot = table
+                                    .unlink_shard(fi_us, shard_id)
+                                    .expect("death victim was just found live");
+                                live_shards -= 1;
+                                let done = fleet.card_mut(card).fail_evict(
+                                    &slot.admission,
+                                    slot.dispatched,
+                                    now,
+                                );
+                                let done = done.min(slot.jobs - 1);
+                                // The remnant owes one restart penalty;
+                                // its next admission pays it. Unlike
+                                // preemption, `Request::preemptions` is
+                                // not bumped — the per-card preemption
+                                // invariants stay exact under faults.
+                                table.requests[fi_us].pending_restart = true;
+                                let a2 = slot.first_job + done;
+                                let b2 = slot.first_job + slot.jobs;
+                                let rank = table.requests[fi_us].rank_key();
+                                let (jd, je) = if queue.remove(rank).is_some() {
+                                    // Merge with an already-queued remnant
+                                    // (an earlier shard of this request
+                                    // died or was preempted): keep the
+                                    // combined job count anchored at the
+                                    // lower offset.
+                                    let r = &table.requests[fi_us];
+                                    let jobs = (r.jobs_end - r.jobs_done) + (b2 - a2);
+                                    let jd = r.jobs_done.min(a2);
+                                    (jd, jd + jobs)
+                                } else {
+                                    (a2, b2)
+                                };
+                                table.requests[fi_us].jobs_done = jd;
+                                table.requests[fi_us].jobs_end = je;
+                                table.flights[fi_us].queued_jobs = je - jd;
+                                queue.push(&table.requests[fi_us], fi);
+                            }
+                            fleet.card_mut(card).fail(now);
+                            stale[card] = true;
+                            fault_deaths += 1;
+                            fault_shards_lost += shards_lost as u64;
+                            if live {
+                                sink.card_death(now, card, shards_lost);
+                            }
+                        }
+                    }
+                    Event::CardDegrade { card, factor } => {
+                        fleet.card_mut(card).degrade_by(factor);
+                        // Re-snapshot the shared planner model so shard
+                        // pricing and cost-aware preemption keep charging
+                        // the same floats admission now does.
+                        cost = CostModel::for_fleet(&fleet);
+                        stale[card] = true;
+                        fault_degrades += 1;
+                        if live {
+                            sink.card_degrade(now, card, factor);
+                        }
+                    }
+                    Event::CardRevive { card, warmup_s } => {
+                        // Reviving a live card is an uncounted no-op.
+                        if fleet.cards()[card].dead() {
+                            fleet.card_mut(card).revive(now, warmup_s);
+                            events.push_warmed(now + warmup_s, card);
+                            stale[card] = true;
+                            fault_revivals += 1;
+                            if live {
+                                sink.card_revive(now, card);
+                            }
+                        }
+                    }
                 }
                 next = (events.next_time() == Some(now))
                     .then(|| events.pop().expect("peeked event must pop").1);
@@ -904,7 +1045,32 @@ impl<'a> Simulation<'a> {
                 break;
             }
         }
-        assert!(queue.is_empty(), "drained simulation left requests queued");
+        // A drained run leaves nothing queued — unless faults killed the
+        // entire fleet, in which case the heap exhausts with work still
+        // waiting and no card to run it. Those requests fail: a terminal
+        // state distinct from rejection (they were admitted) that keeps
+        // the conservation law exact.
+        let mut failed: Vec<Request> = Vec::new();
+        if !queue.is_empty() {
+            assert!(
+                fleet.cards().iter().all(Card::dead),
+                "drained simulation left requests queued"
+            );
+            while !queue.is_empty() {
+                let fi = queue.take(0) as usize;
+                if table.flights[fi].live {
+                    // A remnant whose sibling shards died too: clear its
+                    // fan-in row so the live index empties.
+                    table.flights[fi].live = false;
+                    table.flights[fi].queued_jobs = 0;
+                    table.remove_live(fi as u32);
+                }
+                if live {
+                    sink.failed(last_event, &table.requests[fi]);
+                }
+                failed.push(table.requests[fi]);
+            }
+        }
         assert!(
             table.live.is_empty(),
             "drained simulation left work in flight"
@@ -920,6 +1086,15 @@ impl<'a> Simulation<'a> {
         }
 
         let scaling = scaler.map_or_else(Vec::new, Autoscaler::into_log);
+        // The faults block exists exactly when a plan was injected, so
+        // fault-free reports keep their bytes.
+        let faults = (!self.faults.is_empty()).then_some(FaultSummary {
+            card_deaths: fault_deaths,
+            degrades: fault_degrades,
+            revivals: fault_revivals,
+            shards_lost: fault_shards_lost,
+            failed: failed.len(),
+        });
         let cost_prediction = (priced_plans > 0).then_some(CostPrediction {
             plans: priced_plans,
             mean_abs_error_s: prediction_abs_error / priced_plans.max(1) as f64,
@@ -949,7 +1124,10 @@ impl<'a> Simulation<'a> {
                 mut completed,
                 rejected,
             } => {
-                assert_eq!(completed.len() + rejected.len(), requests.len());
+                assert_eq!(
+                    completed.len() + rejected.len() + failed.len(),
+                    requests.len()
+                );
 
                 // Stable output order regardless of completion
                 // interleaving.
@@ -968,26 +1146,33 @@ impl<'a> Simulation<'a> {
                     &self.arrivals_label,
                     &completed,
                     &rejected,
+                    &failed,
                     queue_of(span),
                     cards_of(&fleet, span),
                     preemptions,
                     scaling,
                     cost_prediction,
+                    faults,
                     placements,
                 )
             }
             Accum::Streaming(stats) => {
-                assert_eq!(stats.completed + stats.rejected, requests.len());
+                assert_eq!(
+                    stats.completed + stats.rejected + failed.len(),
+                    requests.len()
+                );
                 let makespan_end = requests[0].arrival.max(stats.last_finish);
                 let span = makespan_end - requests[0].arrival;
                 stats.into_report(
                     policy.name(),
                     &self.arrivals_label,
+                    failed.len(),
                     queue_of(span),
                     cards_of(&fleet, span),
                     preemptions,
                     scaling,
                     cost_prediction,
+                    faults,
                 )
             }
         }
@@ -1272,16 +1457,20 @@ impl StreamingAccum {
     /// Builds the report from the sketches — the same shape
     /// [`ServeReport::assemble`] produces, with percentiles estimated
     /// instead of exact and the gauge histogram attached as `telemetry`.
+    /// Session summaries are unavailable in streaming mode (per-session
+    /// state is unbounded), so `sessions` stays `None`.
     #[allow(clippy::too_many_arguments)]
     fn into_report(
         self,
         policy: &str,
         arrivals: &str,
+        failed: usize,
         queue: QueueSummary,
         cards: Vec<CardSummary>,
         preemptions: Vec<PreemptionRecord>,
         scaling: Vec<ScaleEvent>,
         cost_prediction: Option<CostPrediction>,
+        faults: Option<FaultSummary>,
     ) -> ServeReport {
         let makespan = if self.completed == 0 {
             0.0
@@ -1310,9 +1499,10 @@ impl StreamingAccum {
         ServeReport {
             policy: policy.to_string(),
             arrivals: arrivals.to_string(),
-            offered: self.completed + self.rejected,
+            offered: self.completed + self.rejected + failed,
             completed: self.completed,
             rejected: self.rejected,
+            failed,
             sharded_requests: self.sharded_requests,
             max_shards: self.shard_widths.len(),
             shard_widths: self.shard_widths,
@@ -1333,6 +1523,8 @@ impl StreamingAccum {
             preemptions,
             scaling,
             cost_prediction,
+            faults,
+            sessions: None,
             placements: Vec::new(),
             telemetry: Some(telemetry),
         }
@@ -1766,6 +1958,7 @@ mod tests {
             "trace",
             &completed,
             &[],
+            &[],
             QueueSummary {
                 max_depth,
                 mean_depth: depth_integral / span,
@@ -1775,6 +1968,7 @@ mod tests {
             cards,
             Vec::new(),
             Vec::new(),
+            None,
             None,
             Vec::new(),
         )
@@ -2447,5 +2641,263 @@ mod tests {
         let mut requests = traffic(1).requests(10);
         requests[3].id = requests[7].id;
         let _ = simulate(&FleetConfig::standard(1), &mut Fifo, &requests, false);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_invisible() {
+        // `FaultPlan::none()` must reduce to the historical fault-free
+        // kernel exactly: same report, same JSON bytes, no faults block.
+        let fleet = FleetConfig::standard(2);
+        let requests = traffic(19).requests(200);
+        let plain = simulate(&fleet, &mut LeastLoaded, &requests, false);
+        let gated = Simulation::new(&fleet)
+            .faults(crate::fault::FaultPlan::none())
+            .run(&mut LeastLoaded, &requests);
+        assert_eq!(plain, gated);
+        let json = gated.to_json().pretty();
+        assert_eq!(plain.to_json().pretty(), json);
+        assert!(!json.contains("\"faults\""), "no block without a plan");
+    }
+
+    #[test]
+    fn card_death_loses_shards_but_the_survivor_finishes_the_trace() {
+        // Two cards, one killed mid-run with work in flight: the lost
+        // shards requeue through the remnant machinery and the surviving
+        // card completes every request. Nothing fails — failure needs a
+        // dead *fleet*, not a dead card.
+        let fleet = FleetConfig::standard(2);
+        let requests = overload(13, 250);
+        let kill_at = requests[40].arrival;
+        let run = || {
+            Simulation::new(&fleet)
+                .faults(crate::fault::FaultPlan::none().kill(kill_at, 0))
+                .run(&mut LeastLoaded, &requests)
+        };
+        let report = run();
+        assert_eq!(report, run(), "faulted runs stay deterministic");
+        assert_eq!(report.completed, requests.len());
+        assert_eq!(report.failed, 0);
+        let faults = report.faults.as_ref().expect("a plan ran");
+        assert_eq!(faults.card_deaths, 1);
+        assert!(faults.shards_lost > 0, "the card died with work in flight");
+        assert_eq!(faults.failed, 0);
+        // The corpse stops serving: every completion after the death sits
+        // on the survivor.
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"card_deaths\": 1"));
+        assert!(report.cards[1].served > 0);
+    }
+
+    #[test]
+    fn a_dead_fleet_drains_the_queue_into_failed() {
+        // Kill the only card while traffic is still arriving: whatever
+        // cannot be served is conserved as `failed`, the report says so,
+        // and attainment charges every failure.
+        let fleet = FleetConfig::standard(1);
+        let requests = overload(9, 120);
+        let kill_at = requests[30].arrival;
+        let report = Simulation::new(&fleet)
+            .faults(crate::fault::FaultPlan::none().kill(kill_at, 0))
+            .run(&mut Fifo, &requests);
+        assert!(report.failed > 0, "a dead fleet must strand work");
+        assert_eq!(
+            report.completed + report.rejected + report.failed,
+            requests.len()
+        );
+        assert_eq!(report.offered, requests.len());
+        let faults = report.faults.as_ref().expect("a plan ran");
+        assert_eq!(faults.failed, report.failed);
+        assert!(report.slo_attainment() < 1.0);
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"failed\""));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn revival_rejoins_a_dead_card_to_service() {
+        // Card 0 dies before it can serve anything and revives mid-trace:
+        // its entire served count comes from life after death.
+        let fleet = FleetConfig::standard(2);
+        let requests = overload(23, 300);
+        let t0 = requests[0].arrival;
+        let mid = requests[150].arrival;
+        let report = Simulation::new(&fleet)
+            .faults(
+                crate::fault::FaultPlan::none()
+                    .kill(t0, 0)
+                    .revive(mid, 0, 0.5),
+            )
+            .run(&mut LeastLoaded, &requests);
+        assert_eq!(report.completed, requests.len());
+        let faults = report.faults.as_ref().expect("a plan ran");
+        assert_eq!(faults.card_deaths, 1);
+        assert_eq!(faults.revivals, 1);
+        assert!(
+            report.cards[0].served > 0,
+            "the revived card must rejoin service"
+        );
+    }
+
+    #[test]
+    fn degrade_stretches_service_and_a_unit_factor_is_identity() {
+        let fleet = FleetConfig::standard(1);
+        let requests = overload(5, 200);
+        let t0 = requests[0].arrival;
+        let healthy = simulate(&fleet, &mut Fifo, &requests, false);
+        // A 3× calibration shift from the first arrival on the only card:
+        // the whole schedule stretches.
+        let slow = Simulation::new(&fleet)
+            .faults(crate::fault::FaultPlan::none().degrade(t0, 0, 3.0))
+            .run(&mut Fifo, &requests);
+        assert_eq!(slow.completed, requests.len());
+        assert_eq!(slow.faults.as_ref().unwrap().degrades, 1);
+        assert!(
+            slow.latency.unwrap().p50 > healthy.latency.unwrap().p50,
+            "a degraded card must serve slower"
+        );
+        assert!(slow.makespan > healthy.makespan);
+        // A ×1.0 "degrade" records the event but must not move a single
+        // bit of the schedule.
+        let mut unit = Simulation::new(&fleet)
+            .faults(crate::fault::FaultPlan::none().degrade(t0, 0, 1.0))
+            .run(&mut Fifo, &requests);
+        assert_eq!(unit.faults.as_ref().unwrap().degrades, 1);
+        unit.faults = None;
+        assert_eq!(unit, healthy, "×1.0 degrade is schedule identity");
+    }
+
+    #[test]
+    fn eviction_storms_recycle_flight_slots_without_double_service() {
+        use crate::policy::ShardedLeastLoaded;
+        // Repeated kill/revive cycles on both cards while a sharded
+        // policy with aggressive preemption churns the FlightTable and
+        // ShardArena: every slot is recycled many times over, and the
+        // run must still serve each request exactly once, deterministically.
+        let fleet = FleetConfig::standard(2);
+        let requests = bursty_lulls(43, 300, 2.5);
+        let t0 = requests[0].arrival;
+        let span = requests.last().unwrap().arrival - t0;
+        let mut plan = crate::fault::FaultPlan::none();
+        for cycle in 0..4 {
+            let base = t0 + span * (0.1 + 0.2 * cycle as f64);
+            let card = cycle % 2;
+            plan = plan.kill(base, card).revive(base + span * 0.05, card, 0.2);
+        }
+        let run = || {
+            Simulation::new(&fleet)
+                .faults(plan.clone())
+                .preemption(PreemptionControl::after_wait(0.05))
+                .run(&mut ShardedLeastLoaded::new(4), &requests)
+        };
+        let report = run();
+        assert_eq!(report, run(), "storms stay deterministic");
+        assert_eq!(report.to_json().pretty(), run().to_json().pretty());
+        assert_eq!(
+            report.completed + report.rejected + report.failed,
+            requests.len(),
+            "conservation through the storm"
+        );
+        let faults = report.faults.as_ref().expect("a plan ran");
+        assert_eq!(faults.card_deaths, 4);
+        assert_eq!(faults.revivals, 4);
+        assert_eq!(report.offered, requests.len());
+    }
+
+    #[test]
+    fn dead_cards_wake_the_autoscaler() {
+        use crate::scale::AutoscalerConfig;
+        // Light traffic on an elastic fleet: only the min-cards floor
+        // (card 0) ever powers, the spare stays parked. Killing the
+        // whole powered pool mid-trace must read as powered == 0 to the
+        // up-rule, which then wakes the *non-dead* spare — no deadlock,
+        // everything completes.
+        let fleet = FleetConfig::standard(2);
+        let spec = TrafficSpec {
+            arrivals: ArrivalProcess::poisson(10.0),
+            mix: RequestMix::Interactive,
+            seed: 27,
+        };
+        let requests = spec.requests(200);
+        let kill_at = requests[100].arrival;
+        let report = Simulation::new(&fleet)
+            .autoscale(AutoscalerConfig::standard())
+            .faults(crate::fault::FaultPlan::none().kill(kill_at, 0))
+            .run(&mut LeastLoaded, &requests);
+        assert_eq!(
+            report.completed + report.rejected + report.failed,
+            requests.len()
+        );
+        assert_eq!(report.failed, 0, "spares must absorb the loss");
+        assert!(
+            report
+                .scaling
+                .iter()
+                .any(|e| e.powered_on && e.time >= kill_at),
+            "the death must force a power-up"
+        );
+    }
+
+    #[test]
+    fn session_traffic_surfaces_fairness_and_strips_cleanly() {
+        use crate::session::{SessionProfile, SessionTraffic};
+        let spec = SessionTraffic {
+            arrivals: ArrivalProcess::poisson(10.0),
+            profile: SessionProfile::standard(),
+            seed: 31,
+        };
+        let tagged = spec.requests(60);
+        let plain = spec.requests_sessionless(60);
+        let fleet = FleetConfig::standard(2);
+        let mut with_sessions = simulate(&fleet, &mut LeastLoaded, &tagged, false);
+        let without = simulate(&fleet, &mut LeastLoaded, &plain, false);
+        let sessions = with_sessions.sessions.clone().expect("tagged traffic");
+        assert_eq!(sessions.sessions, 60);
+        assert_eq!(sessions.turns_completed, with_sessions.completed);
+        assert!(sessions.fairness > 0.0 && sessions.fairness <= 1.0);
+        let json = with_sessions.to_json().pretty();
+        assert!(json.contains("\"fairness_jain\""));
+        assert!(
+            !without.to_json().pretty().contains("\"sessions\""),
+            "untagged traffic keeps the historical schema"
+        );
+        // Session tags never steer a session-blind policy: modulo the
+        // sessions block, the two runs are bitwise identical.
+        with_sessions.sessions = None;
+        assert_eq!(with_sessions, without);
+    }
+
+    #[test]
+    fn session_affinity_completes_a_flash_crowd_and_reports_stickiness() {
+        use crate::policy::SessionAffinity;
+        use crate::session::{SessionProfile, SessionTraffic};
+        // The serve_sweep affinity scenario in miniature: a flash crowd
+        // of conversations served with and without sticky residency.
+        let spec = SessionTraffic {
+            arrivals: ArrivalProcess::flash_crowd(4.0, 60.0, 5.0, 2.0),
+            profile: SessionProfile::standard(),
+            seed: 47,
+        };
+        let requests = spec.requests(80);
+        let fleet = FleetConfig::standard(2);
+        let run = || Simulation::new(&fleet).run(&mut SessionAffinity::new(64), &requests);
+        let sticky = run();
+        assert_eq!(sticky, run(), "affinity runs stay deterministic");
+        let loose = simulate(&fleet, &mut LeastLoaded, &requests, false);
+        assert_eq!(sticky.policy, "session-affinity");
+        assert_eq!(sticky.completed, requests.len());
+        assert_eq!(loose.completed, requests.len());
+        for report in [&sticky, &loose] {
+            let s = report.sessions.as_ref().expect("tagged traffic");
+            assert_eq!(s.sessions, 80);
+            assert!(s.fairness > 0.0 && s.fairness <= 1.0);
+        }
+        // Sessionless traffic reduces the affinity policy to
+        // least-loaded bit for bit (modulo the policy name).
+        let plain = spec.requests_sessionless(80);
+        let mut reduced = Simulation::new(&fleet).run(&mut SessionAffinity::new(64), &plain);
+        let baseline = simulate(&fleet, &mut LeastLoaded, &plain, false);
+        assert_eq!(reduced.policy, "session-affinity");
+        reduced.policy = baseline.policy.clone();
+        assert_eq!(reduced, baseline);
     }
 }

@@ -8,9 +8,12 @@
 //!    semantically interesting instant: arrival, admission shed, dispatch
 //!    (with the chosen shard plan and the planner's predicted fan-in),
 //!    per-shard start/finish, fan-in, preemption (with the victim's
-//!    predicted eviction cost under cost-aware selection), warm-up, and
-//!    autoscaler decisions, plus a per-event-batch gauge sample (queue
-//!    depth, in-flight shards, powered cards, energy). Sinks observe; they
+//!    predicted eviction cost under cost-aware selection), warm-up,
+//!    autoscaler decisions, and injected faults (card death with its
+//!    shard blast radius, calibration degrade, revival, and requests
+//!    stranded by a fleet-wide outage), plus a per-event-batch gauge
+//!    sample (queue depth, in-flight shards, powered cards, energy).
+//!    Sinks observe; they
 //!    never feed back into the schedule, so a run with any sink attached
 //!    is bitwise identical to the same run without one (proven by
 //!    proptest). The default [`NullSink`] reports `enabled() == false`,
@@ -182,6 +185,30 @@ pub trait TraceSink {
         let _ = event;
     }
 
+    /// An injected fault killed `card`, evicting `shards_lost` in-flight
+    /// shards (each requeued as a checkpointed remnant).
+    fn card_death(&mut self, now: f64, card: usize, shards_lost: usize) {
+        let _ = (now, card, shards_lost);
+    }
+
+    /// An injected fault stretched `card`'s calibration by `factor`
+    /// (subsequent jobs run that much slower; the cost model re-snapshots).
+    fn card_degrade(&mut self, now: f64, card: usize, factor: f64) {
+        let _ = (now, card, factor);
+    }
+
+    /// An injected revival brought a dead card back (it still owes its
+    /// warm-up before becoming dispatchable).
+    fn card_revive(&mut self, now: f64, card: usize) {
+        let _ = (now, card);
+    }
+
+    /// The run drained with `request` still queued and every card dead —
+    /// the request is stranded and counted as failed.
+    fn failed(&mut self, now: f64, request: &Request) {
+        let _ = (now, request);
+    }
+
     /// Gauge sample after an event batch settled.
     fn gauges(&mut self, now: f64, sample: &GaugeSample) {
         let _ = (now, sample);
@@ -294,6 +321,38 @@ pub enum TraceEvent {
         t: f64,
         /// The sample.
         sample: GaugeSample,
+    },
+    /// [`TraceSink::card_death`].
+    CardDeath {
+        /// Event time.
+        t: f64,
+        /// Card index.
+        card: usize,
+        /// In-flight shards evicted by the death.
+        shards_lost: usize,
+    },
+    /// [`TraceSink::card_degrade`].
+    CardDegrade {
+        /// Event time.
+        t: f64,
+        /// Card index.
+        card: usize,
+        /// Calibration stretch factor (≥ 1).
+        factor: f64,
+    },
+    /// [`TraceSink::card_revive`].
+    CardRevive {
+        /// Event time.
+        t: f64,
+        /// Card index.
+        card: usize,
+    },
+    /// [`TraceSink::failed`].
+    Failed {
+        /// Event time.
+        t: f64,
+        /// Stranded request id.
+        id: u64,
     },
 }
 
@@ -409,6 +468,33 @@ impl TraceSink for RecordingSink {
         self.events.push(TraceEvent::Gauges {
             t: now,
             sample: *sample,
+        });
+    }
+
+    fn card_death(&mut self, now: f64, card: usize, shards_lost: usize) {
+        self.events.push(TraceEvent::CardDeath {
+            t: now,
+            card,
+            shards_lost,
+        });
+    }
+
+    fn card_degrade(&mut self, now: f64, card: usize, factor: f64) {
+        self.events.push(TraceEvent::CardDegrade {
+            t: now,
+            card,
+            factor,
+        });
+    }
+
+    fn card_revive(&mut self, now: f64, card: usize) {
+        self.events.push(TraceEvent::CardRevive { t: now, card });
+    }
+
+    fn failed(&mut self, now: f64, request: &Request) {
+        self.events.push(TraceEvent::Failed {
+            t: now,
+            id: request.id,
         });
     }
 }
@@ -688,6 +774,60 @@ impl TraceSink for ChromeTraceSink {
             ("powered_cards", Json::Int(event.powered_cards as i64)),
         ]);
         self.instant(name, event.time, event.card, 0, "p", args);
+    }
+
+    fn card_death(&mut self, now: f64, card: usize, shards_lost: usize) {
+        // Close every span still open on the dead card — their shards
+        // were evicted, and an unclosed span would render as running
+        // forever.
+        let victims: Vec<(u64, u32)> = self
+            .open
+            .iter()
+            .filter(|(_, span)| span.card == card)
+            .map(|(&k, _)| k)
+            .collect();
+        for (id, shard) in victims {
+            let span = self.open.remove(&(id, shard)).expect("just listed");
+            self.close_span(format!("req {id} (killed)"), now, id, shard, span);
+        }
+        self.instant(
+            "card-death",
+            now,
+            card,
+            0,
+            "p",
+            Json::obj([("shards_lost", Json::Int(shards_lost as i64))]),
+        );
+    }
+
+    fn card_degrade(&mut self, now: f64, card: usize, factor: f64) {
+        self.instant(
+            "card-degrade",
+            now,
+            card,
+            0,
+            "p",
+            Json::obj([("factor", Json::Num(factor))]),
+        );
+    }
+
+    fn card_revive(&mut self, now: f64, card: usize) {
+        self.instant(
+            "card-revive",
+            now,
+            card,
+            0,
+            "p",
+            Json::obj([("card", Json::Int(card as i64))]),
+        );
+    }
+
+    fn failed(&mut self, now: f64, request: &Request) {
+        let args = Json::obj([
+            ("request", Json::UInt(request.id)),
+            ("class", Json::Str(request.class.name().into())),
+        ]);
+        self.instant("failed", now, self.fleet_pid, 0, "p", args);
     }
 
     fn gauges(&mut self, now: f64, sample: &GaugeSample) {
@@ -1147,6 +1287,44 @@ mod tests {
     }
 
     #[test]
+    fn p2_crosses_the_five_sample_boundary_exactly() {
+        // Every count in 1..=4 must report the exact nearest-rank
+        // quantile regardless of insertion order; the fifth observation
+        // flips the sketch to marker mode, whose first estimate is the
+        // true median of the five (markers start at the sorted sample).
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let mut q50 = P2Quantile::new(0.5);
+        let mut q99 = P2Quantile::new(0.99);
+        for (i, &x) in xs.iter().enumerate() {
+            q50.observe(x);
+            q99.observe(x);
+            let mut sorted = xs[..=i].to_vec();
+            sorted.sort_by(f64::total_cmp);
+            if i < 4 {
+                assert_eq!(q50.value(), percentile(&sorted, 0.5), "count {}", i + 1);
+                assert_eq!(q99.value(), percentile(&sorted, 0.99), "count {}", i + 1);
+            }
+        }
+        assert_eq!(q50.count(), 5);
+        assert_eq!(q50.value(), 3.0, "first marker-mode estimate is exact");
+        assert_eq!(
+            q99.value(),
+            3.0,
+            "marker mode reads the middle marker until it drifts toward p"
+        );
+        // The q99 middle marker then climbs toward the tail as mass
+        // accumulates above it.
+        for _ in 0..20 {
+            q99.observe(5.0);
+        }
+        assert!(
+            q99.value() > 3.0 && q99.value() <= 5.0,
+            "q99 estimate drifts up: {}",
+            q99.value()
+        );
+    }
+
+    #[test]
     fn p2_tracks_uniform_quantiles() {
         // Uniform [0, 1) via SplitMix64: the p-quantile is p.
         let mut rng = SplitMix64::new(7);
@@ -1309,18 +1487,75 @@ mod tests {
     }
 
     #[test]
+    fn chrome_sink_closes_spans_killed_by_card_death() {
+        let fleet = FleetConfig::standard(2);
+        let mut sink = ChromeTraceSink::new(&fleet);
+        sink.shard_start(0.0, 1, 0, 0, 0, 2, 4.0);
+        sink.shard_start(0.0, 2, 0, 1, 0, 2, 4.0);
+        sink.card_death(1.0, 0, 1);
+        // Only card 0's span closes; card 1's survives the fault.
+        assert_eq!((sink.open_spans(), sink.span_count()), (1, 1));
+        sink.card_degrade(1.5, 1, 2.0);
+        sink.card_revive(3.0, 0);
+        let text = sink.clone().into_json().pretty();
+        assert!(text.contains("(killed)"));
+        assert!(text.contains("\"card-death\""));
+        assert!(text.contains("\"shards_lost\": 1"));
+        assert!(text.contains("\"card-degrade\""));
+        assert!(text.contains("\"factor\": 2"));
+        assert!(text.contains("\"card-revive\""));
+    }
+
+    #[test]
+    fn recording_sink_captures_fault_hooks() {
+        use crate::request::Request;
+        use swat_workloads::RequestShape;
+        let mut sink = RecordingSink::new();
+        sink.card_death(1.0, 0, 3);
+        sink.card_degrade(2.0, 1, 1.5);
+        sink.card_revive(3.0, 0);
+        let shape = RequestShape {
+            seq_len: 128,
+            heads: 1,
+            layers: 1,
+            batch: 1,
+        };
+        sink.failed(4.0, &Request::new(9, 0.0, shape));
+        assert_eq!(
+            sink.events,
+            vec![
+                TraceEvent::CardDeath {
+                    t: 1.0,
+                    card: 0,
+                    shards_lost: 3
+                },
+                TraceEvent::CardDegrade {
+                    t: 2.0,
+                    card: 1,
+                    factor: 1.5
+                },
+                TraceEvent::CardRevive { t: 3.0, card: 0 },
+                TraceEvent::Failed { t: 4.0, id: 9 },
+            ]
+        );
+    }
+
+    #[test]
     fn kernel_counters_serialize_by_kind() {
         let c = KernelCounters {
-            events_by_kind: [10, 5, 2, 1, 0],
+            events_by_kind: [10, 5, 2, 1, 0, 3, 1, 1],
             tombstoned_completions: 1,
             sim_span_s: 2.5,
             ..KernelCounters::default()
         };
-        assert_eq!(c.events_total(), 18);
+        assert_eq!(c.events_total(), 23);
         let text = c.to_json().pretty();
-        assert!(text.contains("\"total\": 18"));
+        assert!(text.contains("\"total\": 23"));
         assert!(text.contains("\"arrival\": 10"));
         assert!(text.contains("\"scale_check\": 0"));
+        assert!(text.contains("\"card_death\": 3"));
+        assert!(text.contains("\"card_degrade\": 1"));
+        assert!(text.contains("\"card_revive\": 1"));
         assert!(text.contains("\"tombstoned_completions\": 1"));
     }
 

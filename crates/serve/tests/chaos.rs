@@ -1,0 +1,293 @@
+//! Chaos properties: seeded fault storms crossed with every serving
+//! feature — admission, preemption, autoscaling, sharded dispatch,
+//! session affinity — must never lose, duplicate, or nondeterministically
+//! reorder work.
+//!
+//! The invariants here are the recovery machinery's contract:
+//!
+//! - **conservation** — every offered request is completed, rejected, or
+//!   failed, exactly once, however many cards die under it;
+//! - **determinism** — a faulted run's full JSON report is byte-identical
+//!   across repeated runs;
+//! - **reductions** — an empty fault plan is bitwise invisible, and the
+//!   session-affinity policy over untagged traffic is bitwise
+//!   least-loaded (modulo the policy name).
+
+use proptest::prelude::*;
+use swat_serve::arrival::ArrivalProcess;
+use swat_serve::fault::FaultPlan;
+use swat_serve::fleet::FleetConfig;
+use swat_serve::policy::{
+    DispatchPolicy, Fifo, LeastLoaded, SessionAffinity, ShardedLeastLoaded, ShortestJobFirst,
+};
+use swat_serve::scale::AutoscalerConfig;
+use swat_serve::session::{SessionProfile, SessionTraffic};
+use swat_serve::sim::{simulate, AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
+use swat_serve::ServeReport;
+use swat_workloads::RequestMix;
+
+fn policy_by_index(i: usize) -> Box<dyn DispatchPolicy> {
+    match i {
+        0 => Box::new(Fifo),
+        1 => Box::new(LeastLoaded),
+        2 => Box::new(ShortestJobFirst),
+        3 => Box::new(ShardedLeastLoaded::new(4)),
+        _ => Box::new(SessionAffinity::new(8)),
+    }
+}
+
+fn any_arrivals() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (20.0f64..200.0).prop_map(ArrivalProcess::poisson),
+        (10.0f64..100.0).prop_map(ArrivalProcess::bursty),
+        (5.0f64..40.0).prop_map(|base| ArrivalProcess::diurnal(base, 4.0 * base)),
+        (5.0f64..20.0).prop_map(|base| ArrivalProcess::flash_crowd(base, 8.0 * base, 0.2, 0.3)),
+    ]
+}
+
+/// Runs one chaos cell: random traffic through a storm of seeded faults
+/// with admission, preemption, and autoscaling toggled independently.
+#[allow(clippy::too_many_arguments)]
+fn chaos_run(
+    cards: usize,
+    policy_idx: usize,
+    arrivals: ArrivalProcess,
+    seed: u64,
+    faults: usize,
+    admission_cap: Option<usize>,
+    preempt: bool,
+    autoscale: bool,
+) -> (ServeReport, usize) {
+    let fleet = FleetConfig::standard(cards);
+    let spec = TrafficSpec {
+        arrivals,
+        mix: RequestMix::Production,
+        seed,
+    };
+    let requests = spec.requests(80);
+    let t0 = requests[0].arrival;
+    let span = (requests.last().unwrap().arrival - t0).max(0.1);
+    // Storm times are offsets from zero; traffic starts near zero too,
+    // so deaths, degrades and revivals land all through the trace.
+    let plan = FaultPlan::storm(seed ^ 0xC4A0_5000, cards, t0 + span, faults);
+    let mut sim = Simulation::new(&fleet).faults(plan.clone());
+    if let Some(cap) = admission_cap {
+        sim = sim.admission(AdmissionControl::shed_background_at(cap));
+    }
+    if preempt {
+        sim = sim.preemption(PreemptionControl::after_wait(0.05));
+    }
+    if autoscale {
+        sim = sim.autoscale(AutoscalerConfig::standard());
+    }
+    let mut policy = policy_by_index(policy_idx);
+    let report = sim.run(&mut *policy, &requests);
+    (report, if plan.is_empty() { 0 } else { requests.len() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation and internal consistency through arbitrary fault
+    /// storms: nothing is lost, nothing is served twice, the fault block
+    /// appears exactly when a plan ran, and the preemption ledger still
+    /// balances per card.
+    #[test]
+    fn storms_conserve_every_request(
+        cards in 1usize..4,
+        policy_idx in 0usize..5,
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+        faults in 0usize..9,
+        admission_cap in prop_oneof![Just(None), (4usize..32).prop_map(Some)],
+        preempt in any::<bool>(),
+        autoscale in any::<bool>(),
+    ) {
+        let (report, offered_if_faulted) = chaos_run(
+            cards, policy_idx, arrivals, seed, faults, admission_cap, preempt, autoscale,
+        );
+        prop_assert_eq!(report.offered, 80);
+        prop_assert_eq!(
+            report.completed + report.rejected + report.failed,
+            report.offered,
+            "conservation: {} + {} + {}",
+            report.completed, report.rejected, report.failed
+        );
+        // The fault block gates on the plan, not on whether a fault bit:
+        // an empty plan has no block, a non-empty plan always writes one.
+        match &report.faults {
+            Some(f) => {
+                prop_assert!(offered_if_faulted > 0, "block without a plan");
+                prop_assert_eq!(f.failed, report.failed);
+            }
+            None => {
+                prop_assert_eq!(offered_if_faulted, 0);
+                prop_assert_eq!(report.failed, 0, "failures need a fault plan");
+            }
+        }
+        // Fault evictions are not preemptions: the per-card preempted
+        // counters still reconcile exactly against the preemption log.
+        let preempted_on_cards: u64 = report.cards.iter().map(|c| c.preempted).sum();
+        prop_assert_eq!(preempted_on_cards as usize, report.preemptions.len());
+        // Work the fleet lost is visible per class too: class ledgers
+        // fold their failures into offered.
+        let class_offered: usize = report.classes.iter().map(|c| c.offered).sum();
+        let class_done: usize = report.classes.iter().map(|c| c.completed).sum();
+        prop_assert_eq!(class_offered, report.offered);
+        prop_assert_eq!(class_done, report.completed);
+        let json = report.to_json().pretty();
+        prop_assert!(!json.contains("NaN") && !json.contains("inf"), "non-finite JSON");
+    }
+
+    /// Byte determinism under chaos: the identical cell re-run must
+    /// produce the identical pretty-printed JSON report.
+    #[test]
+    fn storms_are_byte_deterministic(
+        cards in 1usize..4,
+        policy_idx in 0usize..5,
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+        faults in 1usize..9,
+        preempt in any::<bool>(),
+        autoscale in any::<bool>(),
+    ) {
+        let run = || chaos_run(
+            cards, policy_idx, arrivals, seed, faults, Some(16), preempt, autoscale,
+        ).0;
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+    }
+
+    /// Reduction: an empty fault plan must be bitwise invisible — same
+    /// report, same JSON bytes, no fault block — under any policy.
+    #[test]
+    fn empty_plans_reduce_to_the_fault_free_kernel(
+        cards in 1usize..4,
+        policy_idx in 0usize..5,
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+    ) {
+        let fleet = FleetConfig::standard(cards);
+        let spec = TrafficSpec { arrivals, mix: RequestMix::Production, seed };
+        let requests = spec.requests(60);
+        let plain = simulate(&fleet, &mut *policy_by_index(policy_idx), &requests, false);
+        let gated = Simulation::new(&fleet)
+            .faults(FaultPlan::none())
+            .run(&mut *policy_by_index(policy_idx), &requests);
+        prop_assert_eq!(&plain, &gated);
+        let json = gated.to_json().pretty();
+        prop_assert_eq!(plain.to_json().pretty(), json.clone());
+        prop_assert!(!json.contains("\"faults\""));
+    }
+
+    /// Reduction: session affinity over untagged traffic is bitwise
+    /// least-loaded, modulo the policy name — even through a fault storm.
+    #[test]
+    fn affinity_off_reduces_to_least_loaded(
+        cards in 1usize..4,
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+        faults in 0usize..6,
+    ) {
+        let fleet = FleetConfig::standard(cards);
+        let spec = SessionTraffic {
+            arrivals,
+            profile: SessionProfile::standard(),
+            seed,
+        };
+        let requests = spec.requests_sessionless(24);
+        let t0 = requests[0].arrival;
+        let span = (requests.last().unwrap().arrival - t0).max(0.1);
+        let plan = FaultPlan::storm(seed ^ 0xC4A0_5001, cards, t0 + span, faults);
+        let run = |policy: &mut dyn DispatchPolicy| {
+            Simulation::new(&fleet)
+                .faults(plan.clone())
+                .run(policy, &requests)
+        };
+        let baseline = run(&mut LeastLoaded);
+        let mut sticky = run(&mut SessionAffinity::new(8));
+        prop_assert_eq!(&sticky.policy, "session-affinity");
+        sticky.policy = baseline.policy.clone();
+        prop_assert_eq!(sticky, baseline);
+    }
+
+    /// Session ledgers stay consistent through chaos: every session in
+    /// the trace is accounted, completed turns reconcile with the run's
+    /// completions, and Jain fairness stays in (0, 1].
+    #[test]
+    fn session_ledgers_survive_storms(
+        cards in 1usize..4,
+        seed in any::<u64>(),
+        faults in 0usize..6,
+        heavy_pct in 0u8..40,
+    ) {
+        let fleet = FleetConfig::standard(cards);
+        let profile = SessionProfile {
+            heavy_pct,
+            ..SessionProfile::standard()
+        };
+        let spec = SessionTraffic {
+            arrivals: ArrivalProcess::poisson(30.0),
+            profile,
+            seed,
+        };
+        let requests = spec.requests(24);
+        let t0 = requests[0].arrival;
+        let span = (requests.last().unwrap().arrival - t0).max(0.1);
+        let plan = FaultPlan::storm(seed ^ 0xC4A0_5002, cards, t0 + span, faults);
+        let report = Simulation::new(&fleet)
+            .faults(plan)
+            .run(&mut SessionAffinity::new(8), &requests);
+        prop_assert_eq!(
+            report.completed + report.rejected + report.failed,
+            requests.len()
+        );
+        let sessions = report.sessions.as_ref().expect("tagged traffic");
+        prop_assert_eq!(sessions.sessions, 24, "every session is accounted");
+        prop_assert_eq!(sessions.turns_completed, report.completed);
+        prop_assert!(
+            sessions.fairness > 0.0 && sessions.fairness <= 1.0,
+            "Jain index out of range: {}", sessions.fairness
+        );
+    }
+}
+
+/// The long haul: a 100k-request trace through a 12-event fault storm
+/// with sharding, preemption, admission and autoscaling all on, twice,
+/// byte-compared. Run with `cargo test -p swat-serve --test chaos
+/// --release -- --ignored`.
+#[test]
+#[ignore = "soak test: ~100k requests, run explicitly in CI"]
+fn soak_100k_requests_through_a_fault_storm() {
+    let fleet = FleetConfig::standard(4);
+    let spec = TrafficSpec {
+        arrivals: ArrivalProcess::diurnal(40.0, 160.0),
+        mix: RequestMix::Production,
+        seed: 0x5EED_50AC,
+    };
+    let requests = spec.requests(100_000);
+    let t0 = requests[0].arrival;
+    let span = requests.last().unwrap().arrival - t0;
+    let plan = FaultPlan::storm(0x5EED_50AC, 4, t0 + span, 12);
+    let run = || {
+        Simulation::new(&fleet)
+            .faults(plan.clone())
+            .admission(AdmissionControl::shed_background_at(256))
+            .preemption(PreemptionControl::after_wait(0.05))
+            .autoscale(AutoscalerConfig::standard())
+            .run(&mut ShardedLeastLoaded::new(4), &requests)
+    };
+    let a = run();
+    assert_eq!(
+        a.completed + a.rejected + a.failed,
+        requests.len(),
+        "conservation over 100k requests"
+    );
+    let faults = a.faults.as_ref().expect("a storm ran");
+    assert!(faults.card_deaths + faults.degrades + faults.revivals > 0);
+    let b = run();
+    assert_eq!(a, b, "soak runs must be identical");
+    assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+}

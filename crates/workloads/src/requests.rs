@@ -204,6 +204,104 @@ impl RequestMix {
     }
 }
 
+/// How multi-turn conversations are shaped: turns per session, think-time
+/// between turns, the heavy-tenant fraction, and per-turn context growth.
+///
+/// A session is one user's conversation. Most sessions are
+/// **interactive** — short [`RequestMix::Interactive`]-style turns whose
+/// sequence length grows each turn as the accumulated context is
+/// re-attended. A configurable minority are **heavy tenants**:
+/// document-scale turns ([`RequestMix::Document`] shapes at
+/// [`RequestClass::Batch`] priority) that grow faster and hog capacity —
+/// the population a fairness metric exists to watch.
+///
+/// The profile only draws *shapes and counts*; arrival times and session
+/// ids are the serving layer's business (`swat-serve`'s
+/// `session::SessionTraffic`), which keeps this crate free of any clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionProfile {
+    /// Fewest turns a session runs (≥ 1).
+    pub min_turns: usize,
+    /// Most turns a session runs (≥ `min_turns`).
+    pub max_turns: usize,
+    /// Mean think-time between a turn's completion-independent arrival
+    /// and the next, seconds (exponentially distributed by the caller).
+    pub think_mean_s: f64,
+    /// Sessions out of 100 that are heavy tenants.
+    pub heavy_pct: u8,
+}
+
+impl SessionProfile {
+    /// The default conversation population: 2–8 turns, 2 s mean think
+    /// time, 10 % heavy tenants.
+    pub fn standard() -> SessionProfile {
+        SessionProfile {
+            min_turns: 2,
+            max_turns: 8,
+            think_mean_s: 2.0,
+            heavy_pct: 10,
+        }
+    }
+
+    /// A purely interactive population (no heavy tenants) — the control
+    /// arm for fairness experiments.
+    pub fn interactive_only() -> SessionProfile {
+        SessionProfile {
+            heavy_pct: 0,
+            ..SessionProfile::standard()
+        }
+    }
+
+    /// Checks the parameters are usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero/inverted turn range, a non-positive think time,
+    /// or a heavy share above 100 %.
+    pub fn validate(&self) {
+        assert!(self.min_turns >= 1, "sessions need at least one turn");
+        assert!(
+            self.max_turns >= self.min_turns,
+            "max_turns must be >= min_turns"
+        );
+        assert!(
+            self.think_mean_s.is_finite() && self.think_mean_s > 0.0,
+            "think time must be positive and finite"
+        );
+        assert!(self.heavy_pct <= 100, "heavy share is a percentage");
+    }
+
+    /// Draws how many turns a session runs (uniform over the range).
+    pub fn draw_turns(&self, rng: &mut SplitMix64) -> usize {
+        self.min_turns + rng.next_below((self.max_turns - self.min_turns + 1) as u64) as usize
+    }
+
+    /// Draws whether a session is a heavy tenant.
+    pub fn draw_heavy(&self, rng: &mut SplitMix64) -> bool {
+        rng.next_below(100) < u64::from(self.heavy_pct)
+    }
+
+    /// Draws the shape and class of turn `turn` (0-based) of a session.
+    /// Later turns re-attend the conversation so far, so sequence length
+    /// grows linearly with the turn index — capped at the 16 K-token
+    /// ceiling every SWAT preset admits.
+    pub fn turn_shape(
+        &self,
+        rng: &mut SplitMix64,
+        heavy: bool,
+        turn: usize,
+    ) -> (RequestShape, RequestClass) {
+        let (mut shape, class) = if heavy {
+            RequestMix::Document.sample_classed(rng)
+        } else {
+            RequestMix::Interactive.sample_classed(rng)
+        };
+        let growth_per_turn = if heavy { 512 } else { 256 };
+        shape.seq_len = (shape.seq_len + growth_per_turn * turn).min(16384);
+        (shape, class)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +385,55 @@ mod tests {
             seen.insert(RequestMix::Production.sample_classed(&mut rng).1);
         }
         assert_eq!(seen.len(), 3, "production must mix all classes: {seen:?}");
+    }
+
+    #[test]
+    fn session_profiles_draw_admissible_growing_turns() {
+        let p = SessionProfile::standard();
+        p.validate();
+        let mut rng = SplitMix64::new(31);
+        for _ in 0..100 {
+            let turns = p.draw_turns(&mut rng);
+            assert!((p.min_turns..=p.max_turns).contains(&turns));
+            let heavy = p.draw_heavy(&mut rng);
+            for turn in 0..turns {
+                let (shape, class) = p.turn_shape(&mut rng, heavy, turn);
+                assert!((512..=16384).contains(&shape.seq_len), "{shape:?}");
+                if heavy {
+                    assert_eq!(class, RequestClass::Batch);
+                } else {
+                    assert_eq!(class, RequestClass::Interactive);
+                }
+            }
+        }
+        // Deep conversations saturate at the admissible ceiling.
+        let (deep, _) = p.turn_shape(&mut SplitMix64::new(1), false, 64);
+        assert_eq!(deep.seq_len, 16384);
+    }
+
+    #[test]
+    fn heavy_share_is_calibrated_and_interactive_only_has_none() {
+        let p = SessionProfile::standard();
+        let mut rng = SplitMix64::new(5);
+        let heavy = (0..2_000).filter(|_| p.draw_heavy(&mut rng)).count();
+        assert!(
+            (120..=280).contains(&heavy),
+            "10% of 2000 within noise, got {heavy}"
+        );
+        let solo = SessionProfile::interactive_only();
+        solo.validate();
+        let mut rng = SplitMix64::new(6);
+        assert!((0..500).all(|_| !solo.draw_heavy(&mut rng)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one turn")]
+    fn zero_turn_sessions_rejected() {
+        SessionProfile {
+            min_turns: 0,
+            ..SessionProfile::standard()
+        }
+        .validate();
     }
 
     #[test]
