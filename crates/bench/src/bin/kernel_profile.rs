@@ -14,11 +14,15 @@
 //! ```
 //!
 //! `requests` (default 10 000) scales every scenario; CI smoke-tests the
-//! binary at 500. A seventh **headline** cell reruns the homogeneous
+//! binary at 500. The final **headline** cell reruns the homogeneous
 //! baseline at `headline` requests (default 1 000 000) — the
 //! million-request kernel measurement — so the artifact records both the
 //! per-regime counters and the sustained events/sec the arena-backed
-//! event loop reaches at scale. CI smokes the headline at 100 000.
+//! event loop reaches at scale. CI smokes the headline at 100 000. A
+//! **decode-loop** cell exercises the token-level step kernel (multi-step
+//! plans with early exit under continuous batching), so the
+//! `step_complete` counter and the decode-regime heap/queue peaks are on
+//! the record alongside the one-shot regimes.
 
 use std::time::Instant;
 
@@ -26,11 +30,11 @@ use swat_bench::{banner, print_table};
 use swat_serve::arrival::ArrivalProcess;
 use swat_serve::fleet::FleetConfig;
 use swat_serve::json::Json;
-use swat_serve::policy::{LeastLoaded, ShardedLeastLoaded};
+use swat_serve::policy::{LeastLoaded, ShardedLeastLoaded, ShardedShortestJobFirst};
 use swat_serve::scale::AutoscalerConfig;
 use swat_serve::sim::{AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
 use swat_serve::trace::TelemetryMode;
-use swat_workloads::RequestMix;
+use swat_workloads::{DecodeMix, RequestMix};
 
 /// Default requests per scenario.
 const DEFAULT_REQUESTS: usize = 10_000;
@@ -60,6 +64,9 @@ struct Scenario<'a> {
     /// Requests for this scenario — `requests` for the per-regime cells,
     /// `headline` for the million-request cell.
     count: usize,
+    /// Decode plans layered over the traffic — `None` keeps the
+    /// scenario's requests one-shot.
+    decode: Option<DecodeMix>,
 }
 
 fn main() {
@@ -117,6 +124,7 @@ fn main() {
             policy: Box::new(LeastLoaded),
             spec: poisson,
             count: requests,
+            decode: None,
         },
         Scenario {
             name: "priority-shed",
@@ -126,6 +134,7 @@ fn main() {
             policy: Box::new(LeastLoaded),
             spec: overload,
             count: requests,
+            decode: None,
         },
         Scenario {
             name: "preemption",
@@ -135,6 +144,7 @@ fn main() {
             policy: Box::new(LeastLoaded),
             spec: lulls,
             count: requests,
+            decode: None,
         },
         Scenario {
             name: "autoscale",
@@ -144,6 +154,7 @@ fn main() {
             policy: Box::new(LeastLoaded),
             spec: diurnal,
             count: requests,
+            decode: None,
         },
         Scenario {
             name: "sharded-adaptive",
@@ -151,6 +162,7 @@ fn main() {
             policy: Box::new(ShardedLeastLoaded::new(4)),
             spec: light,
             count: requests,
+            decode: None,
         },
         Scenario {
             name: "homogeneous-streaming",
@@ -160,6 +172,23 @@ fn main() {
             policy: Box::new(LeastLoaded),
             spec: poisson,
             count: requests,
+            decode: None,
+        },
+        // The decode regime: multi-step plans with early exit on the
+        // sharded SJF policy, mirroring serve_sweep's scenario 10 mix.
+        // Every step fans back in through `StepComplete`, so this is the
+        // one cell whose `step_complete` counter is non-zero.
+        Scenario {
+            name: "decode-loop",
+            sim: Simulation::new(&sharded_fleet).arrivals_label(label(&light)),
+            policy: Box::new(ShardedShortestJobFirst::new(4)),
+            spec: light,
+            count: requests,
+            decode: Some(DecodeMix {
+                min_steps: 2,
+                max_steps: 6,
+                exit_prob: 0.2,
+            }),
         },
         // The headline: the steady-state baseline at `headline` requests.
         // Same regime as "homogeneous", three orders of magnitude more
@@ -171,6 +200,7 @@ fn main() {
             policy: Box::new(LeastLoaded),
             spec: poisson,
             count: headline,
+            decode: None,
         },
     ];
 
@@ -183,7 +213,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for mut scenario in scenarios {
-        let traffic = scenario.spec.requests(scenario.count);
+        let traffic = match &scenario.decode {
+            Some(mix) => scenario.spec.decode_requests(scenario.count, mix),
+            None => scenario.spec.requests(scenario.count),
+        };
         let started = Instant::now();
         let (report, counters) = scenario.sim.run_profiled(&mut *scenario.policy, &traffic);
         let wall = started.elapsed().as_secs_f64();

@@ -2,7 +2,7 @@
 //! (scenario × arrival process × dispatch policy) combination, emitting
 //! `BENCH_serve.json`.
 //!
-//! Nine scenarios exercise `swat-serve` end to end:
+//! Ten scenarios exercise `swat-serve` end to end:
 //!
 //! 1. **homogeneous** — the PR 1 baseline: 6 dual-pipeline FP16 cards,
 //!    Poisson/bursty/diurnal production traffic, all four policies;
@@ -37,7 +37,14 @@
 //!    in-flight shards lost and a later revival, and a 2× calibration
 //!    degrade the cost model re-snapshots — fault/recovery counts and
 //!    degraded-mode service in the JSON, next to the fault-free
-//!    control run.
+//!    control run;
+//! 10. **decode** — a decode-heavy interactive mix (2–6 steps per
+//!     request, seeded early exit) near saturation on the
+//!     bandwidth-binned fleet: continuous batching (step remnants
+//!     requeue and fresh requests overtake between steps) vs whole-job
+//!     queueing (run-to-completion), adaptive vs fixed per-step width,
+//!     and an early-exit-off control — with TTFT, steps/request, and
+//!     early-exit rates in the JSON's `decode` blocks.
 //!
 //! Every sweep cell is an independent simulation with its own seeded
 //! generator, so the cells run on a scoped thread pool (`--jobs N`).
@@ -68,8 +75,10 @@ use swat_serve::policy::{
 };
 use swat_serve::scale::AutoscalerConfig;
 use swat_serve::session::{SessionProfile, SessionTraffic};
-use swat_serve::sim::{AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
-use swat_workloads::RequestMix;
+use swat_serve::sim::{
+    AdmissionControl, DecodeBatching, PreemptionControl, Simulation, TrafficSpec,
+};
+use swat_workloads::{DecodeMix, RequestMix};
 
 /// Default requests per sweep cell.
 const DEFAULT_REQUESTS: usize = 10_000;
@@ -236,10 +245,14 @@ fn summary_row(scenario: &str, report: &ServeReport) -> Vec<String> {
 fn usage(problem: &str) -> ! {
     eprintln!("serve_sweep: {problem}");
     eprintln!("usage: serve_sweep [--jobs N] [seed] [requests]");
-    eprintln!("  --jobs N  worker threads for sweep cells (default 1; output is");
-    eprintln!("            byte-identical for every N)");
+    eprintln!("  --jobs N  worker threads for the 43 sweep cells (default 1;");
+    eprintln!("            output is byte-identical for every N)");
     eprintln!("  seed      u64 sweep seed (default 0x5EED)");
     eprintln!("  requests  requests per sweep cell (default {DEFAULT_REQUESTS}, must be > 0)");
+    eprintln!();
+    eprintln!("sweeps ten scenarios: homogeneous, heterogeneous, priority, preemption,");
+    eprintln!("autoscale, sharded, adaptive-width, sessions, faults, and decode (the");
+    eprintln!("token-level step loop: batching-mode and width-discipline A/B cells).");
     std::process::exit(2);
 }
 
@@ -346,9 +359,22 @@ fn main() {
     // times, so recovery happens under the peak.
     let fault_fleet = FleetConfig::standard(4);
     let fault_arrivals = ArrivalProcess::diurnal(3.0, 14.0);
+    // Decode scenario: the same bandwidth-binned fleet as adaptive-width,
+    // but every request owes 2–6 decode steps (seeded early exit at 20%
+    // per boundary, expected ≈2.9 steps), so ≈28 rps saturates where the
+    // one-shot mix took 80. Poisson load just under that keeps the queue
+    // deep enough that *when* a remnant re-enters matters: continuous
+    // batching lets short fresh requests overtake a long decode between
+    // its steps, whole-job queueing holds the card run-to-completion.
+    let decode_arrivals = ArrivalProcess::poisson(24.0);
+    let decode_mix = RequestMix::Interactive;
+    let decode_steps = (2u32, 6u32);
+    let decode_exit_prob = 0.2f64;
+    let decode_max = 4usize;
 
     banner(format!(
-        "serve_sweep — {requests} requests/cell, 9 scenarios on FP16/FP32 fleets (seed {seed:#x})"
+        "serve_sweep — {requests} requests/cell, 10 scenarios / 43 cells on FP16/FP32 fleets \
+         (seed {seed:#x})"
     ));
 
     // Phase 1: enqueue every cell as an owned closure. Indices into
@@ -606,6 +632,48 @@ fn main() {
             (report, counters.events_total())
         }));
         s9_cells.push((cells.len() - 1, label));
+    }
+
+    // Scenario 10: token-level decode near saturation — batching mode
+    // A/B, width discipline A/B, and an early-exit-off control. Every
+    // cell serves byte-identical base traffic (plans ride a decorrelated
+    // substream), so differences are pure step scheduling.
+    let mut s10_cells = Vec::new();
+    for (label, whole_job, fixed, exit_prob) in [
+        ("continuous/adaptive-4", false, false, decode_exit_prob),
+        ("whole-job/adaptive-4", true, false, decode_exit_prob),
+        ("continuous/fixed-4", false, true, decode_exit_prob),
+        ("continuous/no-exit", false, false, 0.0),
+    ] {
+        let fleet = binned_fleet.clone();
+        cells.push(Box::new(move || {
+            let spec = TrafficSpec {
+                arrivals: decode_arrivals,
+                mix: decode_mix,
+                seed,
+            };
+            let plans = DecodeMix {
+                min_steps: decode_steps.0,
+                max_steps: decode_steps.1,
+                exit_prob,
+            };
+            let mut policy: Box<dyn swat_serve::DispatchPolicy> = if fixed {
+                Box::new(ShardedShortestJobFirst::fixed(decode_max))
+            } else {
+                Box::new(ShardedShortestJobFirst::new(decode_max))
+            };
+            let batching = if whole_job {
+                DecodeBatching::WholeJob
+            } else {
+                DecodeBatching::Continuous
+            };
+            let (report, counters) = Simulation::new(&fleet)
+                .arrivals_label(format!("{}/{}", decode_arrivals.name(), decode_mix.name()))
+                .decode_batching(batching)
+                .run_profiled(&mut *policy, &spec.decode_requests(requests, &plans));
+            (report, counters.events_total())
+        }));
+        s10_cells.push((cells.len() - 1, label));
     }
 
     // Phase 2: run the cells. Each is its own seeded simulation, so the
@@ -877,6 +945,44 @@ fn main() {
         ("runs", Json::Arr(runs)),
     ]));
 
+    let mut runs = Vec::new();
+    let mut decode_rows = Vec::new();
+    for &(i, label) in &s10_cells {
+        let report = &outs[i].report;
+        rows.push(summary_row(&format!("decode/{label}"), report));
+        let d = report
+            .decode
+            .as_ref()
+            .expect("decode traffic is multi-step");
+        decode_rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", d.mean_steps),
+            format!("{:.0}%", d.early_exit_rate * 100.0),
+            ms(d.ttft.map(|l| l.p50)),
+            ms(d.ttft.map(|l| l.p99)),
+            ms(report.latency.map(|l| l.p50)),
+            ms(report.latency.map(|l| l.p99)),
+            format!("{:.2}%", report.slo_attainment() * 100.0),
+        ]);
+        runs.push(annotated_run(report, decode_arrivals, "admit-all", label));
+    }
+    let (events, wall) = scenario_stats(&s10_cells.iter().map(|c| c.0).collect::<Vec<_>>());
+    scenario_timing("decode", runs.len(), events, wall);
+    scenarios.push(Json::obj([
+        ("scenario", Json::Str("decode".into())),
+        ("fleet", fleet_json(&binned_fleet)),
+        ("max_shards", Json::Int(decode_max as i64)),
+        (
+            "decode_mix",
+            Json::obj([
+                ("min_steps", Json::Int(decode_steps.0 as i64)),
+                ("max_steps", Json::Int(decode_steps.1 as i64)),
+                ("exit_prob", Json::Num(decode_exit_prob)),
+            ]),
+        ),
+        ("runs", Json::Arr(runs)),
+    ]));
+
     print_table(
         &[
             "scenario", "arrivals", "policy", "rps", "p50 ms", "p95 ms", "p99 ms", "util", "max q",
@@ -964,6 +1070,23 @@ fn main() {
             "slo attain",
         ],
         &fault_rows,
+    );
+    println!(
+        "\ndecode scenario, step batching and width discipline near saturation \
+         (sharded SJF, 4 bandwidth-binned cards):"
+    );
+    print_table(
+        &[
+            "cell",
+            "mean steps",
+            "exits",
+            "ttft p50 ms",
+            "ttft p99 ms",
+            "p50 ms",
+            "p99 ms",
+            "slo attain",
+        ],
+        &decode_rows,
     );
 
     let doc = Json::obj([

@@ -394,6 +394,36 @@ impl CostModel {
         };
         lost + model.restart_seconds(shape) + re_swap
     }
+
+    /// Expected decode service `request` still owes **beyond** its
+    /// current step, in isolated single-pipeline seconds on `card`:
+    /// expected future steps × the shape's per-step service time, with
+    /// the plan's early-exit survival probabilities folded in (see
+    /// [`swat_workloads::DecodePlan::expected_steps_from`]). Exactly
+    /// zero for a one-shot request — the term every decode-aware
+    /// ranking adds must vanish on pre-decode traffic so those rankings
+    /// reduce bitwise.
+    pub fn expected_future_decode_seconds(&self, card: usize, request: &Request) -> f64 {
+        let future = request.expected_remaining_steps() - 1.0;
+        if future <= 0.0 {
+            return 0.0;
+        }
+        future * self.cards[card].service_seconds(&request.shape)
+    }
+
+    /// Predicted remaining decode work of `request` on `card`, isolated
+    /// single-pipeline seconds: the current fragment's remaining jobs
+    /// plus the expected future steps. This is the remaining-*steps*
+    /// price decode-aware victim selection ranks by — a 32-step decode
+    /// on its first step is a far bigger capacity commitment than the
+    /// identical shape served one-shot, which a remaining-jobs price
+    /// cannot see. For a one-shot request it degenerates to the
+    /// fragment's isolated service time exactly.
+    pub fn remaining_decode_seconds(&self, card: usize, request: &Request) -> f64 {
+        let per_job = self.cards[card].job_seconds(&request.shape, 1);
+        per_job * request.remaining_jobs() as f64
+            + self.expected_future_decode_seconds(card, request)
+    }
 }
 
 #[cfg(test)]
@@ -603,5 +633,70 @@ mod tests {
         );
         let stalled = cost.preemption_cost(0, &s, 0.25 * per, per, per, 8, false);
         assert!((stalled - (0.25 * per + restart)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_pricing_vanishes_on_one_shot_requests() {
+        let fleet = FleetConfig::standard(1).build().unwrap();
+        let cost = CostModel::for_fleet(&fleet);
+        let r = Request::new(0, 0.0, shape());
+        assert_eq!(
+            cost.expected_future_decode_seconds(0, &r),
+            0.0,
+            "one-shot future term must be exactly zero"
+        );
+        assert_eq!(
+            cost.remaining_decode_seconds(0, &r),
+            cost.card(0).job_seconds(&r.shape, 1) * r.remaining_jobs() as f64,
+            "one-shot remaining-steps price is the fragment price exactly"
+        );
+        // A preempted one-shot remnant keeps the reduction.
+        let remnant = Request {
+            jobs_done: 3,
+            preemptions: 1,
+            ..r
+        };
+        assert_eq!(cost.expected_future_decode_seconds(0, &remnant), 0.0);
+    }
+
+    #[test]
+    fn decode_pricing_charges_expected_future_steps() {
+        use swat_workloads::DecodePlan;
+        let fleet = FleetConfig::standard(1).build().unwrap();
+        let cost = CostModel::for_fleet(&fleet);
+        let s = shape();
+        let per_step = cost.card(0).service_seconds(&s);
+        let r = Request::new(0, 0.0, s).with_decode(DecodePlan {
+            steps: 4,
+            exit_prob: 0.0,
+            exit_seed: 0,
+        });
+        assert!(
+            (cost.expected_future_decode_seconds(0, &r) - 3.0 * per_step).abs() < 1e-12,
+            "three full steps follow the current one"
+        );
+        assert!(
+            (cost.remaining_decode_seconds(0, &r) - 4.0 * per_step).abs() < 1e-12,
+            "current grid plus three future steps"
+        );
+        // Early exit discounts the future: expected steps from step 0 of
+        // 4 at p = 0.5 is 1.875, so 0.875 future steps.
+        let exiting = Request::new(1, 0.0, s).with_decode(DecodePlan {
+            steps: 4,
+            exit_prob: 0.5,
+            exit_seed: 7,
+        });
+        assert!(
+            (cost.expected_future_decode_seconds(0, &exiting) - 0.875 * per_step).abs() < 1e-12
+        );
+        // The cursor advances the price toward zero.
+        let almost_done = Request { steps_done: 3, ..r };
+        assert_eq!(cost.expected_future_decode_seconds(0, &almost_done), 0.0);
+        // Mid-step progress shrinks only the fragment term.
+        let mid = Request { jobs_done: 4, ..r };
+        assert!(
+            cost.remaining_decode_seconds(0, &mid) < cost.remaining_decode_seconds(0, &r),
+            "checkpointed jobs come off the fragment"
+        );
     }
 }

@@ -8,14 +8,18 @@
 //!   in-flight completion with an O(log n) binary heap. Heaps only break
 //!   ties deterministically if the ordering key is total, so events order
 //!   by `(time, kind, card, request id, shard id)` with
-//!   `Arrival < Completion < Preemption < Warmed < ScaleCheck <
-//!   CardDeath < CardDegrade < CardRevive` — never
+//!   `Arrival < Completion < StepComplete < Preemption < Warmed <
+//!   ScaleCheck < CardDeath < CardDegrade < CardRevive` — never
 //!   by insertion order, which is an implementation accident. The
 //!   extension points ride *after* `Completion` on purpose: a completion
-//!   at the same instant must drain first, so a preemption check never
+//!   at the same instant must drain first, so a step boundary sees every
+//!   sibling shard that drained with it, a preemption check never
 //!   evicts a job that was already done, a warm-up or scaling check
 //!   never beats the event that made the capacity decision, and a fault
 //!   never claims a job that finished at the same instant.
+//!   `StepComplete` takes the slot right after `Completion`: it is
+//!   pushed at a fan-in instant and must requeue the decode remnant
+//!   before any same-instant preemption, scaling, or fault logic runs.
 //! - [`PriorityQueue`] keeps the waiting set ordered by
 //!   [`Request::rank_key`]: class rank first, then request id. It stores
 //!   only `(id, arena index)` pairs — one sorted lane per class, consumed
@@ -69,6 +73,25 @@ pub enum Event {
         /// Dense arena index of the request, so delivery needs no
         /// id-to-slot lookup. Not part of the ordering key: it is
         /// redundant with `id`, which already breaks the tie.
+        index: u32,
+    },
+    /// A non-final decode step of request `id` fanned in at this instant
+    /// (its last shard's completion pushed this event at the same
+    /// timestamp), and the next step re-enters service: through the
+    /// dispatch queue under continuous batching, or re-admitted in place
+    /// under whole-job queueing. Sorts right after `Completion` so every
+    /// completion at the instant — including the one that produced it —
+    /// drains before the remnant requeues, and before any same-instant
+    /// preemption, scaling, or fault event can observe the request
+    /// without either a shard in flight or a queue slot.
+    StepComplete {
+        /// Card whose shard drained last (the fan-in card) — the card a
+        /// whole-job run re-admits the next step on.
+        card: usize,
+        /// Id of the request whose step finished.
+        id: u64,
+        /// Dense arena index of the request (same contract as
+        /// `Completion::index`).
         index: u32,
     },
     /// A preemption check: the request with this id has waited past the
@@ -126,13 +149,14 @@ pub enum Event {
 impl Event {
     /// Number of event kinds (the length of [`Event::KIND_NAMES`] and of
     /// the kernel's per-kind counters).
-    pub const KIND_COUNT: usize = 8;
+    pub const KIND_COUNT: usize = 9;
 
     /// Stable kind labels, indexed by [`Event::kind_index`] — tie-break
     /// order, the same order the heap delivers equal-time events in.
     pub const KIND_NAMES: [&'static str; Event::KIND_COUNT] = [
         "arrival",
         "completion",
+        "step_complete",
         "preemption",
         "warmed",
         "scale_check",
@@ -147,12 +171,13 @@ impl Event {
         match self {
             Event::Arrival { .. } => 0,
             Event::Completion { .. } => 1,
-            Event::Preemption { .. } => 2,
-            Event::Warmed { .. } => 3,
-            Event::ScaleCheck => 4,
-            Event::CardDeath { .. } => 5,
-            Event::CardDegrade { .. } => 6,
-            Event::CardRevive { .. } => 7,
+            Event::StepComplete { .. } => 2,
+            Event::Preemption { .. } => 3,
+            Event::Warmed { .. } => 4,
+            Event::ScaleCheck => 5,
+            Event::CardDeath { .. } => 6,
+            Event::CardDegrade { .. } => 7,
+            Event::CardRevive { .. } => 8,
         }
     }
 }
@@ -205,9 +230,9 @@ impl Ord for HeapEntry {
 
 /// A deterministic min-heap of future events.
 ///
-/// Pops in `(time, Arrival < Completion < Preemption < Warmed <
-/// ScaleCheck < CardDeath < CardDegrade < CardRevive, card index,
-/// request id, shard id)` order — the fixed
+/// Pops in `(time, Arrival < Completion < StepComplete < Preemption <
+/// Warmed < ScaleCheck < CardDeath < CardDegrade < CardRevive, card
+/// index, request id, shard id)` order — the fixed
 /// tie-breaking the simulator's determinism contract is stated against.
 /// Times must be finite.
 #[derive(Debug, Default)]
@@ -273,6 +298,27 @@ impl EventQueue {
         }));
     }
 
+    /// Schedules the step boundary of request `id` at `time` — pushed by
+    /// the fan-in of a non-final decode step, always at the fan-in's own
+    /// timestamp, on the fan-in card. At most one per request can be
+    /// pending (a request runs one step at a time), so the zero shard
+    /// tie-break can never collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn push_step_complete(&mut self, time: f64, card: usize, id: u64, index: u32) {
+        assert!(time.is_finite(), "event times must be finite");
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            kind: 2,
+            card,
+            id,
+            shard: 0,
+            event: Event::StepComplete { card, id, index },
+        }));
+    }
+
     /// Schedules a preemption check for waiting request `id` at `time`.
     ///
     /// # Panics
@@ -282,7 +328,7 @@ impl EventQueue {
         assert!(time.is_finite(), "event times must be finite");
         self.heap.push(Reverse(HeapEntry {
             time,
-            kind: 2,
+            kind: 3,
             card: 0,
             id,
             shard: 0,
@@ -300,7 +346,7 @@ impl EventQueue {
         assert!(time.is_finite(), "event times must be finite");
         self.heap.push(Reverse(HeapEntry {
             time,
-            kind: 3,
+            kind: 4,
             card,
             id: 0,
             shard: 0,
@@ -317,7 +363,7 @@ impl EventQueue {
         assert!(time.is_finite(), "event times must be finite");
         self.heap.push(Reverse(HeapEntry {
             time,
-            kind: 4,
+            kind: 5,
             card: 0,
             id: 0,
             shard: 0,
@@ -334,7 +380,7 @@ impl EventQueue {
         assert!(time.is_finite(), "event times must be finite");
         self.heap.push(Reverse(HeapEntry {
             time,
-            kind: 5,
+            kind: 6,
             card,
             id: 0,
             shard: 0,
@@ -351,7 +397,7 @@ impl EventQueue {
         assert!(time.is_finite(), "event times must be finite");
         self.heap.push(Reverse(HeapEntry {
             time,
-            kind: 6,
+            kind: 7,
             card,
             id: 0,
             shard: 0,
@@ -369,7 +415,7 @@ impl EventQueue {
         assert!(time.is_finite(), "event times must be finite");
         self.heap.push(Reverse(HeapEntry {
             time,
-            kind: 7,
+            kind: 8,
             card,
             id: 0,
             shard: 0,
@@ -684,12 +730,13 @@ mod tests {
                 Event::Completion {
                     card, id, shard, ..
                 } => (1, card, id, shard),
-                Event::Preemption { id } => (2, 0, id, 0),
-                Event::Warmed { card } => (3, card, 0, 0),
-                Event::ScaleCheck => (4, 0, 0, 0),
-                Event::CardDeath { card } => (5, card, 0, 0),
-                Event::CardDegrade { card, .. } => (6, card, 0, 0),
-                Event::CardRevive { card, .. } => (7, card, 0, 0),
+                Event::StepComplete { card, id, .. } => (2, card, id, 0),
+                Event::Preemption { id } => (3, 0, id, 0),
+                Event::Warmed { card } => (4, card, 0, 0),
+                Event::ScaleCheck => (5, 0, 0, 0),
+                Event::CardDeath { card } => (6, card, 0, 0),
+                Event::CardDegrade { card, .. } => (7, card, 0, 0),
+                Event::CardRevive { card, .. } => (8, card, 0, 0),
             })
             .collect();
         assert_eq!(
@@ -707,29 +754,23 @@ mod tests {
 
     #[test]
     fn preemption_and_warmup_sort_after_completions() {
-        // All five kinds at one instant: arrivals first, then
-        // completions, then preemption checks, then warm-ups, then
-        // scaling checks — so a finished job is never chosen as a
-        // preemption victim and capacity controllers see settled state.
+        // The first six kinds at one instant: arrivals first, then
+        // completions, then step boundaries, then preemption checks,
+        // then warm-ups, then scaling checks — so a step boundary sees
+        // every sibling completion drained, a finished job is never
+        // chosen as a preemption victim, and capacity controllers see
+        // settled state.
         let mut q = EventQueue::new();
         q.push_scale_check(1.0);
         q.push_warmed(1.0, 3);
         q.push_preemption(1.0, 9);
+        q.push_step_complete(1.0, 0, 5, 5);
         q.push_completion(1.0, 0, 5, 0, 5);
         q.push_arrival(1.0, 0, 2);
-        let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::Arrival { .. } => 0,
-                Event::Completion { .. } => 1,
-                Event::Preemption { .. } => 2,
-                Event::Warmed { .. } => 3,
-                Event::ScaleCheck => 4,
-                Event::CardDeath { .. } => 5,
-                Event::CardDegrade { .. } => 6,
-                Event::CardRevive { .. } => 7,
-            })
+        let kinds: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| e.kind_index())
             .collect();
-        assert_eq!(kinds, [0, 1, 2, 3, 4]);
+        assert_eq!(kinds, [0, 1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -748,7 +789,7 @@ mod tests {
         let kinds: Vec<usize> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| e.kind_index())
             .collect();
-        assert_eq!(kinds, [0, 1, 4, 5, 6, 7]);
+        assert_eq!(kinds, [0, 1, 5, 6, 7, 8]);
         // Equal-time deaths order by card index.
         let mut q = EventQueue::new();
         q.push_card_death(2.0, 3);

@@ -124,12 +124,14 @@ pub use arrival::ArrivalProcess;
 pub use cost::{CardCostModel, CostModel, PlanCost};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fleet::{CardGroup, FleetConfig};
-pub use metrics::{FaultSummary, ServeReport, SessionSummary};
+pub use metrics::{DecodeSummary, FaultSummary, ServeReport, SessionSummary};
 pub use policy::{DispatchPolicy, SessionAffinity, ShardedLeastLoaded, ShardedShortestJobFirst};
 pub use request::Request;
 pub use scale::{Autoscaler, AutoscalerConfig, ScaleEvent};
 pub use session::{SessionProfile, SessionTraffic};
-pub use sim::{serve, simulate, AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
+pub use sim::{
+    serve, simulate, AdmissionControl, DecodeBatching, PreemptionControl, Simulation, TrafficSpec,
+};
 pub use swat_workloads::RequestClass;
 pub use trace::{
     ChromeTraceSink, GaugeSample, KernelCounters, NullSink, RecordingSink, TelemetryMode,

@@ -392,6 +392,118 @@ impl SessionSummary {
     }
 }
 
+/// Token-level decode accounting, attached to a report only when some
+/// completion carried a multi-step decode plan — one-shot runs omit the
+/// block entirely so their JSON stays byte-identical to pre-decode
+/// releases. Exact-telemetry runs only (the streaming path keeps bounded
+/// state and cannot hold per-request step samples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeSummary {
+    /// Completions that carried a multi-step decode plan.
+    pub decode_requests: usize,
+    /// Decode steps executed across every completion (one-shot
+    /// completions count their single step).
+    pub steps_completed: u64,
+    /// Mean executed steps per completion.
+    pub mean_steps: f64,
+    /// Completions by executed step count: `steps_histogram[s - 1]`
+    /// completions ran exactly `s` steps.
+    pub steps_histogram: Vec<usize>,
+    /// Completions that left before their plan's full step count.
+    pub early_exits: usize,
+    /// `early_exits` over `decode_requests` (0 when no decode request
+    /// completed).
+    pub early_exit_rate: f64,
+    /// Time-to-first-step (arrival to first fan-in) over all completions
+    /// — the interactive-latency number a decode loop exists to protect.
+    pub ttft: Option<LatencySummary>,
+    /// Per-request mean time between consecutive step fan-ins, over
+    /// completions that ran at least two steps (`None` when none did).
+    pub step_interval: Option<LatencySummary>,
+    /// Arrival-to-final-completion latency over decode completions only
+    /// — read next to `ttft` to see what the tail steps cost.
+    pub total_latency: Option<LatencySummary>,
+}
+
+impl DecodeSummary {
+    /// Folds completions into decode statistics. Returns `None` when
+    /// every completion was one-shot, which is what keeps pre-decode
+    /// reports untouched.
+    pub fn from_completions(completed: &[CompletedRequest]) -> Option<DecodeSummary> {
+        if completed.iter().all(|c| c.request.decode.is_one_shot()) {
+            return None;
+        }
+        let steps_completed: u64 = completed
+            .iter()
+            .map(|c| u64::from(c.request.steps_done))
+            .sum();
+        let max_steps = completed
+            .iter()
+            .map(|c| c.request.steps_done as usize)
+            .max()
+            .unwrap_or(0);
+        let mut steps_histogram = vec![0usize; max_steps];
+        for c in completed {
+            steps_histogram[c.request.steps_done as usize - 1] += 1;
+        }
+        let decode: Vec<&CompletedRequest> = completed
+            .iter()
+            .filter(|c| !c.request.decode.is_one_shot())
+            .collect();
+        let early_exits = decode.iter().filter(|c| c.early_exit()).count();
+        let intervals: Vec<f64> = decode
+            .iter()
+            .filter(|c| c.request.steps_done >= 2)
+            .map(|c| (c.finished - c.first_step_finished) / f64::from(c.request.steps_done - 1))
+            .collect();
+        Some(DecodeSummary {
+            decode_requests: decode.len(),
+            steps_completed,
+            mean_steps: steps_completed as f64 / completed.len() as f64,
+            steps_histogram,
+            early_exits,
+            early_exit_rate: if decode.is_empty() {
+                0.0
+            } else {
+                early_exits as f64 / decode.len() as f64
+            },
+            ttft: (!completed.is_empty()).then(|| {
+                LatencySummary::from_latencies(
+                    completed.iter().map(CompletedRequest::ttft).collect(),
+                )
+            }),
+            step_interval: (!intervals.is_empty())
+                .then(|| LatencySummary::from_latencies(intervals)),
+            total_latency: (!decode.is_empty()).then(|| {
+                LatencySummary::from_latencies(decode.iter().map(|c| c.latency()).collect())
+            }),
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("decode_requests", Json::Int(self.decode_requests as i64)),
+            ("steps_completed", Json::Int(self.steps_completed as i64)),
+            ("mean_steps", Json::Num(self.mean_steps)),
+            (
+                "steps_histogram",
+                Json::arr(self.steps_histogram.iter().map(|&n| Json::Int(n as i64))),
+            ),
+            ("early_exits", Json::Int(self.early_exits as i64)),
+            ("early_exit_rate", Json::Num(self.early_exit_rate)),
+            ("ttft", Json::maybe(self.ttft, LatencySummary::to_json)),
+            (
+                "step_interval",
+                Json::maybe(self.step_interval, LatencySummary::to_json),
+            ),
+            (
+                "total_latency",
+                Json::maybe(self.total_latency, LatencySummary::to_json),
+            ),
+        ])
+    }
+}
+
 /// Per-card accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CardSummary {
@@ -617,6 +729,10 @@ pub struct ServeReport {
     /// session ids. Exact-telemetry runs only — the streaming path keeps
     /// bounded state and cannot group per conversation.
     pub sessions: Option<SessionSummary>,
+    /// Token-level decode accounting, `Some` exactly when some
+    /// completion carried a multi-step decode plan. Exact-telemetry runs
+    /// only, like `sessions`.
+    pub decode: Option<DecodeSummary>,
 }
 
 impl ServeReport {
@@ -730,6 +846,7 @@ impl ServeReport {
             failed: failed.len(),
             faults,
             sessions: SessionSummary::from_requests(completed, rejected, failed),
+            decode: DecodeSummary::from_completions(completed),
         }
     }
 
@@ -789,8 +906,9 @@ impl ServeReport {
     /// are emitted only when the run actually fanned a request out
     /// (`max_shards > 1`), so reports from whole-request policies and
     /// `max_shards = 1` runs serialize byte-for-byte as they always did.
-    /// The `faults` and `sessions` blocks follow the same rule: present
-    /// only when a fault plan was injected / the traffic carried session
+    /// The `decode`, `faults`, and `sessions` blocks follow the same
+    /// rule: present only when a completion carried a multi-step decode
+    /// plan / a fault plan was injected / the traffic carried session
     /// ids.
     pub fn to_json(&self) -> Json {
         let mut pairs: Vec<(&'static str, Json)> = vec![
@@ -869,10 +987,14 @@ impl ServeReport {
                 Json::arr(self.cards.iter().map(CardSummary::to_json)),
             ),
         ]);
-        // Fault and session blocks exist only when the run injected
-        // faults / carried session ids, so every pre-existing scenario
-        // serializes byte-for-byte as before (the `failed` count lives
-        // inside the fault block — it cannot be non-zero without one).
+        // Decode, fault, and session blocks exist only when the run
+        // carried multi-step plans / injected faults / carried session
+        // ids, so every pre-existing scenario serializes byte-for-byte
+        // as before (the `failed` count lives inside the fault block —
+        // it cannot be non-zero without one).
+        if let Some(d) = &self.decode {
+            pairs.push(("decode", d.to_json()));
+        }
         if let Some(f) = self.faults {
             pairs.push(("faults", f.to_json()));
         }
@@ -925,6 +1047,7 @@ mod tests {
             request: Request::new(id, arrival, shape()),
             dispatched: arrival,
             finished,
+            first_step_finished: finished,
             card: 0,
             pipeline: 0,
             shards: 1,
@@ -1491,6 +1614,7 @@ mod tests {
             request: Request::new(id, arrival, shape()).with_session(session),
             dispatched: arrival,
             finished,
+            first_step_finished: finished,
             card: 0,
             pipeline: 0,
             shards: 1,

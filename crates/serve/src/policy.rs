@@ -202,6 +202,11 @@ pub fn shard_targets(
 /// order, so the width-1 plan is exactly the whole-request pick and
 /// `max_shards == 1` reduces bitwise to the unsharded policy. Returns
 /// `None` when every pipeline is busy.
+///
+/// Because each decode step dispatches separately (a step boundary
+/// requeues the remnant under continuous batching), the width is
+/// re-chosen **per step**: a decode may fan wide while the fleet is
+/// idle and narrow automatically as arrivals pile up mid-decode.
 pub fn adaptive_shard_targets(
     cards: &[CardView],
     request: &Request,
@@ -277,9 +282,10 @@ impl DispatchPolicy for LeastLoaded {
     }
 }
 
-/// Serves the smallest waiting request first (by attended tokens, a
-/// card-independent work proxy), onto the card that would finish it
-/// soonest. Minimizes mean latency at the cost of starving large
+/// Serves the smallest waiting request first (by expected remaining
+/// decode work — attended tokens per step times early-exit-weighted
+/// remaining steps, a card-independent work proxy), onto the card that
+/// would finish it soonest. Minimizes mean latency at the cost of starving large
 /// documents under pressure — the classic SJF trade, visible directly in
 /// the p99/p50 gap. Only reorders *within* the highest waiting class, so
 /// a tiny background job never jumps an interactive one.
@@ -287,14 +293,26 @@ impl DispatchPolicy for LeastLoaded {
 pub struct ShortestJobFirst;
 
 /// The smallest waiting request within the highest waiting class — the
-/// SJF pick, shared by the whole-request and sharded variants.
+/// SJF pick, shared by the whole-request and sharded variants. "Small"
+/// is *predicted remaining decode work*
+/// ([`Request::expected_remaining_work`]): remaining steps weighted by
+/// the early-exit survival curve, times the per-step token grid. For
+/// one-shot requests that value is exactly `work_tokens() as f64`, so
+/// the classic ranking is preserved bitwise; for decode remnants
+/// requeued at a step boundary it lets a short fresh request overtake a
+/// long decode mid-flight — the reordering continuous batching needs to
+/// win on interactive p99.
 fn shortest_in_head_class<'a>(queue: QueueView<'a>) -> Option<(usize, &'a Request)> {
     let head_class = queue.first()?.class;
     queue
         .iter()
         .enumerate()
         .take_while(|(_, r)| r.class == head_class)
-        .min_by_key(|(i, r)| (r.shape.work_tokens(), *i))
+        .min_by(|(i, a), (j, b)| {
+            a.expected_remaining_work()
+                .total_cmp(&b.expected_remaining_work())
+                .then(i.cmp(j))
+        })
 }
 
 impl DispatchPolicy for ShortestJobFirst {
@@ -793,6 +811,40 @@ mod tests {
         assert_eq!(
             ShortestJobFirst.choose(0.0, QueueView::flat(&queue), &cards),
             Some((1, 0))
+        );
+    }
+
+    #[test]
+    fn sjf_ranks_by_expected_remaining_decode_work() {
+        use swat_workloads::DecodePlan;
+        // A small shape with a deep decode plan owes more predicted work
+        // than a bigger one-shot request — SJF must look past the
+        // per-step grid. 512 × 16 jobs ≈ tiny per step, but 8 certain
+        // steps outweigh one 2048-token step.
+        let deep = request(0, 512).with_decode(DecodePlan {
+            steps: 8,
+            exit_prob: 0.0,
+            exit_seed: 0,
+        });
+        let one_shot = request(1, 2048);
+        let cards = [view(0, 1, 0.0)];
+        assert_eq!(
+            ShortestJobFirst.choose(0.0, QueueView::flat(&[deep, one_shot]), &cards),
+            Some((1, 0)),
+            "expected remaining steps dominate the per-step size"
+        );
+        // A near-certain early exit collapses the expectation back down.
+        let exiting = Request {
+            decode: DecodePlan {
+                exit_prob: 0.99,
+                ..deep.decode
+            },
+            ..deep
+        };
+        assert_eq!(
+            ShortestJobFirst.choose(0.0, QueueView::flat(&[exiting, request(1, 2048)]), &cards),
+            Some((0, 0)),
+            "early exit discounts future steps"
         );
     }
 

@@ -1,6 +1,6 @@
 //! Requests: a shape plus arrival metadata and a priority class.
 
-use swat_workloads::{RequestClass, RequestShape};
+use swat_workloads::{DecodePlan, RequestClass, RequestShape};
 
 /// One attention-inference request in flight through the fleet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +41,16 @@ pub struct Request {
     /// metrics layer only builds a session summary when some request
     /// carries a non-zero id.
     pub session: u64,
+    /// Token-level decode plan: how many generation steps the request
+    /// runs and its seeded early-exit process. Defaults to
+    /// [`DecodePlan::one_shot`] — one step, no exits — which reduces the
+    /// whole decode machinery bitwise to the classic one-shot lifecycle.
+    pub decode: DecodePlan,
+    /// Decode steps already fanned in — the step cursor the simulator's
+    /// flight table advances. The job range (`jobs_done..jobs_end`)
+    /// always describes the *current* step only; finished steps release
+    /// their pipelines and this counter is all that remembers them.
+    pub steps_done: u32,
 }
 
 impl Request {
@@ -85,7 +95,16 @@ impl Request {
             preemptions: 0,
             pending_restart: false,
             session: 0,
+            decode: DecodePlan::one_shot(),
+            steps_done: 0,
         }
+    }
+
+    /// Attaches a decode plan (see [`DecodePlan`]); the default is the
+    /// one-shot plan every constructor installs.
+    pub fn with_decode(mut self, decode: DecodePlan) -> Request {
+        self.decode = decode;
+        self
     }
 
     /// Tags this request with a conversation id (1-based; 0 means
@@ -112,6 +131,25 @@ impl Request {
     pub fn remaining_jobs(&self) -> usize {
         self.jobs_end - self.jobs_done
     }
+
+    /// Expected decode steps still to run (counting the current one),
+    /// with the plan's early-exit probability folded in — see
+    /// [`DecodePlan::expected_steps_from`]. Exactly 1 for every one-shot
+    /// request, preempted or fresh.
+    pub fn expected_remaining_steps(&self) -> f64 {
+        self.decode.expected_steps_from(self.steps_done)
+    }
+
+    /// Predicted remaining decode work in attended tokens: the shape's
+    /// per-step work times the expected remaining steps. This is the
+    /// card-independent size proxy decode-aware shortest-job-first ranks
+    /// by; for a one-shot request it equals
+    /// [`RequestShape::work_tokens`] converted to `f64` exactly (the
+    /// grid is far below 2⁵³ tokens), so pre-decode SJF orders reproduce
+    /// bitwise.
+    pub fn expected_remaining_work(&self) -> f64 {
+        self.shape.work_tokens() as f64 * self.expected_remaining_steps()
+    }
 }
 
 /// A served request, as recorded by the simulator.
@@ -133,6 +171,10 @@ pub struct CompletedRequest {
     /// request served whole, more when a split-aware policy fanned its
     /// jobs out across several pipelines.
     pub shards: u32,
+    /// When the request's **first** decode step fanned in — the
+    /// time-to-first-token instant. Equals `finished` for a one-shot
+    /// request (its only step is its last).
+    pub first_step_finished: f64,
 }
 
 impl CompletedRequest {
@@ -150,6 +192,18 @@ impl CompletedRequest {
     /// Whether the latency objective was met.
     pub fn met_slo(&self) -> bool {
         self.latency() <= self.request.slo_seconds
+    }
+
+    /// Arrival to the first decode step's fan-in — time to first token.
+    /// Equals [`CompletedRequest::latency`] for one-shot requests.
+    pub fn ttft(&self) -> f64 {
+        self.first_step_finished - self.request.arrival
+    }
+
+    /// Whether the request's seeded early exit fired before its step
+    /// budget ran out.
+    pub fn early_exit(&self) -> bool {
+        self.request.steps_done < self.request.decode.steps
     }
 }
 
@@ -239,16 +293,77 @@ mod tests {
 
     #[test]
     fn completed_request_accessors() {
+        // A completion's step cursor counts the executed steps, so even
+        // a one-shot record carries `steps_done: 1`.
         let c = CompletedRequest {
-            request: Request::new(0, 1.0, shape()),
+            request: Request {
+                steps_done: 1,
+                ..Request::new(0, 1.0, shape())
+            },
             dispatched: 1.5,
             finished: 2.0,
             card: 0,
             pipeline: 0,
             shards: 1,
+            first_step_finished: 2.0,
         };
         assert!((c.latency() - 1.0).abs() < 1e-12);
         assert!((c.queue_delay() - 0.5).abs() < 1e-12);
         assert!(!c.met_slo() || c.request.slo_seconds >= 1.0);
+        assert_eq!(c.ttft(), c.latency(), "one-shot: first token is the last");
+        assert!(!c.early_exit());
+    }
+
+    #[test]
+    fn requests_default_to_the_one_shot_plan() {
+        let r = Request::classed(3, 0.0, shape(), RequestClass::Batch);
+        assert!(r.decode.is_one_shot());
+        assert_eq!(r.steps_done, 0);
+        assert_eq!(r.expected_remaining_steps(), 1.0);
+        assert_eq!(
+            r.expected_remaining_work(),
+            r.shape.work_tokens() as f64,
+            "one-shot SJF key reduces to the token count exactly"
+        );
+        // A preempted one-shot remnant keeps the reduction: its step
+        // count is untouched by job-range surgery.
+        let remnant = Request {
+            jobs_done: 7,
+            preemptions: 1,
+            ..r
+        };
+        assert_eq!(
+            remnant.expected_remaining_work(),
+            r.expected_remaining_work()
+        );
+    }
+
+    #[test]
+    fn decode_plans_scale_the_expected_work() {
+        let plan = DecodePlan {
+            steps: 4,
+            exit_prob: 0.0,
+            exit_seed: 9,
+        };
+        let r = Request::new(0, 0.0, shape()).with_decode(plan);
+        assert_eq!(r.decode, plan);
+        assert_eq!(
+            r.expected_remaining_work(),
+            4.0 * r.shape.work_tokens() as f64
+        );
+        let mid = Request { steps_done: 3, ..r };
+        assert_eq!(mid.expected_remaining_work(), r.shape.work_tokens() as f64);
+        // An early-exit completion is visible on the record.
+        let c = CompletedRequest {
+            request: Request { steps_done: 2, ..r },
+            dispatched: 0.0,
+            finished: 3.0,
+            card: 0,
+            pipeline: 0,
+            shards: 1,
+            first_step_finished: 1.0,
+        };
+        assert!(c.early_exit());
+        assert_eq!(c.ttft(), 1.0);
     }
 }

@@ -100,6 +100,27 @@ impl TrafficSpec {
             })
             .collect()
     }
+
+    /// The first `n` requests with decode plans sampled from `decode`.
+    ///
+    /// Plans draw from their own decorrelated substream
+    /// (`seed ^ 0xDEC0_DE00`), so arrival times and shapes are
+    /// byte-identical to [`TrafficSpec::requests`] — attaching a decode
+    /// mix never perturbs the base traffic. A one-shot `decode`
+    /// ([`DecodeMix::one_shot`](swat_workloads::DecodeMix::one_shot))
+    /// still consumes the same two draws per request but produces inert
+    /// plans, keeping A/B sweeps aligned.
+    pub fn decode_requests(&self, n: usize, decode: &swat_workloads::DecodeMix) -> Vec<Request> {
+        decode.validate();
+        let mut rng = SplitMix64::new(self.seed ^ 0xDEC0_DE00);
+        self.requests(n)
+            .into_iter()
+            .map(|r| {
+                let plan = decode.sample_plan(&mut rng);
+                r.with_decode(plan)
+            })
+            .collect()
+    }
 }
 
 /// The overload valve: whether (and when) the fleet refuses work instead
@@ -283,6 +304,38 @@ pub struct Simulation<'a> {
     autoscale: Option<AutoscalerConfig>,
     telemetry: TelemetryMode,
     faults: FaultPlan,
+    decode_batching: DecodeBatching,
+}
+
+/// How a multi-step decode request re-enters the fleet at each step
+/// boundary. Irrelevant for one-shot traffic (no step boundaries exist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodeBatching {
+    /// **Continuous batching** (the default): a finished step releases
+    /// its pipelines and the remnant goes back through the dispatch
+    /// queue, interleaving with new arrivals. Short fresh requests can
+    /// overtake a long decode between its steps — the behaviour that
+    /// wins on interactive tail latency — and each step's fan-out width
+    /// is re-planned by the policy.
+    #[default]
+    Continuous,
+    /// **Whole-job queueing**: the next step re-admits immediately on
+    /// the card the previous step fanned in on, holding the request's
+    /// claim until the plan runs out (or exits early). Arrivals wait;
+    /// this is the classic run-to-completion baseline. If the card
+    /// cannot take the step (died or was parked at the same instant),
+    /// the remnant falls back to the dispatch queue.
+    WholeJob,
+}
+
+impl DecodeBatching {
+    /// Sweep-facing label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecodeBatching::Continuous => "continuous",
+            DecodeBatching::WholeJob => "whole-job",
+        }
+    }
 }
 
 impl<'a> Simulation<'a> {
@@ -299,6 +352,7 @@ impl<'a> Simulation<'a> {
             autoscale: None,
             telemetry: TelemetryMode::Exact,
             faults: FaultPlan::none(),
+            decode_batching: DecodeBatching::Continuous,
         }
     }
 
@@ -366,6 +420,15 @@ impl<'a> Simulation<'a> {
     /// The configured telemetry mode.
     pub fn telemetry_mode(&self) -> TelemetryMode {
         self.telemetry
+    }
+
+    /// Sets how decode remnants re-enter the fleet at step boundaries
+    /// (default [`DecodeBatching::Continuous`]). A no-op for one-shot
+    /// traffic: both modes are bitwise identical when no request owes a
+    /// second step.
+    pub fn decode_batching(mut self, mode: DecodeBatching) -> Simulation<'a> {
+        self.decode_batching = mode;
+        self
     }
 
     /// Runs `requests` (sorted by arrival) through the fleet under
@@ -643,27 +706,145 @@ impl<'a> Simulation<'a> {
                                 }
                                 let meta = &table.flights[fi];
                                 if meta.shard_count == 0 && meta.queued_jobs == 0 {
-                                    // Fan-in: the request's last
-                                    // outstanding shard just drained.
-                                    let record = CompletedRequest {
-                                        request: table.requests[fi],
-                                        dispatched: meta.dispatched,
-                                        finished: now,
-                                        card: slot.card,
-                                        pipeline: slot.pipeline,
-                                        shards: meta.max_width,
-                                    };
-                                    table.flights[fi].live = false;
-                                    table.remove_live(index);
-                                    if live {
-                                        sink.fan_in(now, &record);
+                                    // Fan-in: the current decode step's
+                                    // last outstanding shard drained.
+                                    table.requests[fi].steps_done += 1;
+                                    if table.requests[fi].steps_done == 1 {
+                                        table.flights[fi].first_step_finish = now;
                                     }
-                                    accum.complete(record);
+                                    let request = &table.requests[fi];
+                                    let finished_naturally =
+                                        request.steps_done >= request.decode.steps;
+                                    // `exits_after` never draws for a
+                                    // zero-probability plan, so one-shot
+                                    // traffic touches no RNG here.
+                                    let exits = !finished_naturally
+                                        && request.decode.exits_after(request.steps_done - 1);
+                                    if finished_naturally || exits {
+                                        let meta = &table.flights[fi];
+                                        let record = CompletedRequest {
+                                            request: *request,
+                                            dispatched: meta.dispatched,
+                                            finished: now,
+                                            first_step_finished: meta.first_step_finish,
+                                            card: slot.card,
+                                            pipeline: slot.pipeline,
+                                            shards: meta.max_width,
+                                        };
+                                        table.flights[fi].live = false;
+                                        table.remove_live(index);
+                                        if live {
+                                            sink.fan_in(now, &record);
+                                        }
+                                        accum.complete(record);
+                                    } else {
+                                        // More steps owed. The remnant
+                                        // re-enters dispatch when this
+                                        // StepComplete delivers — ordered
+                                        // after every completion at `now`
+                                        // and before any preemption,
+                                        // scaling, or fault. The flight
+                                        // stays live with an empty shard
+                                        // chain, keeping the termination
+                                        // check honest.
+                                        events.push_step_complete(now, slot.card, id, index);
+                                    }
                                 }
                             }
                         }
                         if !live_slot {
                             counters.tombstoned_completions += 1;
+                        }
+                    }
+                    Event::StepComplete { card, id, index } => {
+                        let fi = index as usize;
+                        debug_assert_eq!(table.requests[fi].id, id);
+                        debug_assert!(
+                            table.flights[fi].live && table.flights[fi].shard_count == 0,
+                            "a step boundary found shards still in flight"
+                        );
+                        // Rewind the job cursor: the next step re-runs
+                        // the full attention grid.
+                        let jobs = table.requests[fi].shape.jobs();
+                        table.requests[fi].jobs_done = 0;
+                        table.requests[fi].jobs_end = jobs;
+                        if live {
+                            sink.step_complete(now, id, table.requests[fi].steps_done, card);
+                        }
+                        let whole_job_card = match self.decode_batching {
+                            DecodeBatching::Continuous => None,
+                            DecodeBatching::WholeJob => {
+                                let c = &fleet.cards()[card];
+                                (c.dispatchable(now) && c.idle_pipelines(now) > 0).then_some(card)
+                            }
+                        };
+                        if let Some(card) = whole_job_card {
+                            // Whole-job queueing: re-admit the full next
+                            // step on the fan-in card without a queue
+                            // round trip. Kind ordering delivers this
+                            // event after every completion at `now` and
+                            // before any fault or scaling decision, so
+                            // the pipeline the step just freed is still
+                            // free and the card still alive; a dead or
+                            // parked card falls through to the queue.
+                            let streams = {
+                                let c = &fleet.cards()[card];
+                                c.pipelines() - c.idle_pipelines(now) + 1
+                            };
+                            counters.dispatches += 1;
+                            counters.shards_dispatched += 1;
+                            if live {
+                                sink.dispatch(now, &table.requests[fi], &[card], None);
+                            }
+                            scratch.clear();
+                            let admission = fleet.card_mut(card).admit_jobs(
+                                &table.requests[fi],
+                                0,
+                                jobs,
+                                streams,
+                                now,
+                                self.trace,
+                                &mut scratch,
+                            );
+                            table.requests[fi].pending_restart = false;
+                            if self.trace {
+                                placements.extend(scratch.drain(..).map(|p| (card, p)));
+                            }
+                            let shard = table.flights[fi].next_shard;
+                            table.flights[fi].next_shard += 1;
+                            table.flights[fi].dispatched = now;
+                            table.append_shard(
+                                fi,
+                                ShardSlot {
+                                    shard,
+                                    card,
+                                    pipeline: admission.pipeline,
+                                    dispatched: now,
+                                    first_job: 0,
+                                    jobs,
+                                    admission,
+                                },
+                            );
+                            live_shards += 1;
+                            if live {
+                                sink.shard_start(
+                                    now,
+                                    id,
+                                    shard,
+                                    card,
+                                    admission.pipeline,
+                                    jobs,
+                                    admission.finish,
+                                );
+                            }
+                            events.push_completion(admission.finish, card, id, shard, index);
+                            stale[card] = true;
+                        } else {
+                            // Continuous batching: the remnant rejoins
+                            // the dispatch queue and competes with new
+                            // arrivals; the policy re-plans its width.
+                            table.flights[fi].queued_jobs = jobs;
+                            queue.push(&table.requests[fi], index);
                         }
                     }
                     Event::Preemption { id } => {
@@ -1525,6 +1706,7 @@ impl StreamingAccum {
             cost_prediction,
             faults,
             sessions: None,
+            decode: None,
             placements: Vec::new(),
             telemetry: Some(telemetry),
         }
@@ -1543,6 +1725,11 @@ const NIL: u32 = u32::MAX;
 struct FlightMeta {
     /// When a card most recently started executing a fragment of it.
     dispatched: f64,
+    /// When the request's first decode step fanned in (0.0 until then —
+    /// completions are strictly positive, so 0.0 cannot collide). The
+    /// eventual [`CompletedRequest::first_step_finished`]; for one-shot
+    /// requests it equals the completion instant.
+    first_step_finish: f64,
     /// Jobs carried by a requeued preempted remnant currently waiting in
     /// the priority queue (0 when nothing is queued).
     queued_jobs: usize,
@@ -1567,6 +1754,7 @@ struct FlightMeta {
 impl FlightMeta {
     const EMPTY: FlightMeta = FlightMeta {
         dispatched: 0.0,
+        first_step_finish: 0.0,
         queued_jobs: 0,
         next_shard: 0,
         max_width: 0,
@@ -1909,6 +2097,7 @@ mod tests {
                         request,
                         dispatched: now,
                         finished: admission.finish,
+                        first_step_finished: admission.finish,
                         card,
                         pipeline: admission.pipeline,
                         shards: 1,
@@ -2899,5 +3088,100 @@ mod tests {
         assert_eq!(reduced.policy, "session-affinity");
         reduced.policy = baseline.policy.clone();
         assert_eq!(reduced, baseline);
+    }
+
+    #[test]
+    fn decode_plans_run_every_step_without_early_exit() {
+        // A fixed three-step plan with early exit disabled: every
+        // completion executes exactly its plan, and the report's decode
+        // block accounts for each step.
+        let plans = swat_workloads::DecodeMix {
+            min_steps: 3,
+            max_steps: 3,
+            exit_prob: 0.0,
+        };
+        let requests = traffic(19).decode_requests(120, &plans);
+        let fleet = FleetConfig::standard(2);
+        let report = Simulation::new(&fleet).run(&mut LeastLoaded, &requests);
+        assert_eq!(report.completed, 120);
+        let decode = report.decode.as_ref().expect("multi-step traffic");
+        assert_eq!(decode.decode_requests, 120);
+        assert_eq!(decode.steps_completed, 360, "every plan runs all 3 steps");
+        assert_eq!(decode.mean_steps, 3.0);
+        assert_eq!(decode.early_exits, 0);
+        assert_eq!(decode.steps_histogram, vec![0, 0, 120]);
+        // The first step lands strictly before the last of three.
+        let ttft = decode.ttft.as_ref().expect("completions");
+        let total = decode.total_latency.as_ref().expect("completions");
+        assert!(ttft.p50 < total.p50);
+        assert!(decode.step_interval.is_some(), "three-step runs have gaps");
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"decode\"") && json.contains("\"steps_histogram\""));
+    }
+
+    #[test]
+    fn early_exit_shortens_decode_runs() {
+        // The same base traffic with an aggressive exit draw leaves
+        // earlier on average — and never runs past its plan.
+        let spec = traffic(23);
+        let full = spec.decode_requests(
+            150,
+            &swat_workloads::DecodeMix {
+                min_steps: 2,
+                max_steps: 6,
+                exit_prob: 0.0,
+            },
+        );
+        let exiting = spec.decode_requests(
+            150,
+            &swat_workloads::DecodeMix {
+                min_steps: 2,
+                max_steps: 6,
+                exit_prob: 0.6,
+            },
+        );
+        let fleet = FleetConfig::standard(2);
+        let run = |requests: &[Request]| Simulation::new(&fleet).run(&mut LeastLoaded, requests);
+        let patient = run(&full).decode.expect("multi-step traffic");
+        let eager = run(&exiting).decode.expect("multi-step traffic");
+        assert_eq!(patient.early_exits, 0);
+        assert!(eager.early_exits > 0, "a 60% draw fires somewhere");
+        assert!(eager.mean_steps < patient.mean_steps);
+        assert!(eager.early_exit_rate > 0.0 && eager.early_exit_rate <= 1.0);
+        // Early exit only ever removes steps: the histogram never
+        // reaches past the plan ceiling.
+        assert!(eager.steps_histogram.len() <= 6);
+    }
+
+    #[test]
+    fn whole_job_batching_is_deterministic_and_steps_match_continuous() {
+        // Step counts are plan-driven (the exit draws depend only on the
+        // per-request substream and the step cursor), so both batching
+        // modes execute identical step totals — they differ only in when
+        // the remnant re-enters service.
+        let plans = swat_workloads::DecodeMix {
+            min_steps: 2,
+            max_steps: 5,
+            exit_prob: 0.3,
+        };
+        let requests = traffic(29).decode_requests(120, &plans);
+        let fleet = FleetConfig::standard(2);
+        let run = |mode: DecodeBatching| {
+            Simulation::new(&fleet)
+                .decode_batching(mode)
+                .run(&mut LeastLoaded, &requests)
+        };
+        let whole = run(DecodeBatching::WholeJob);
+        assert_eq!(whole, run(DecodeBatching::WholeJob), "deterministic");
+        let continuous = run(DecodeBatching::Continuous);
+        assert_eq!(whole.completed, 120);
+        assert_eq!(continuous.completed, 120);
+        let (w, c) = (
+            whole.decode.as_ref().expect("multi-step traffic"),
+            continuous.decode.as_ref().expect("multi-step traffic"),
+        );
+        assert_eq!(w.steps_completed, c.steps_completed);
+        assert_eq!(w.early_exits, c.early_exits);
+        assert_eq!(w.steps_histogram, c.steps_histogram);
     }
 }

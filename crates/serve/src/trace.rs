@@ -160,6 +160,14 @@ pub trait TraceSink {
         let _ = (now, completion);
     }
 
+    /// One decode step of request `id` fanned in with more steps owed —
+    /// `step` steps are now done and the remnant goes back through
+    /// dispatch. Never fires for one-shot requests (their single step
+    /// is the completion, reported via [`TraceSink::fan_in`]).
+    fn step_complete(&mut self, now: f64, id: u64, step: u32, card: usize) {
+        let _ = (now, id, step, card);
+    }
+
     /// A background shard was checkpointed and requeued. `victim_cost_s`
     /// is the cost model's eviction price under
     /// [`cost_aware`](crate::sim::PreemptionControl::cost_aware) victim
@@ -289,6 +297,17 @@ pub enum TraceEvent {
         id: u64,
         /// Arrival-to-completion latency.
         latency_s: f64,
+    },
+    /// [`TraceSink::step_complete`].
+    StepComplete {
+        /// Event time.
+        t: f64,
+        /// Request id.
+        id: u64,
+        /// Decode steps done after this fan-in.
+        step: u32,
+        /// Card the step fanned in on.
+        card: usize,
     },
     /// [`TraceSink::preempted`].
     Preempted {
@@ -436,6 +455,15 @@ impl TraceSink for RecordingSink {
             t: now,
             id: completion.request.id,
             latency_s: completion.latency(),
+        });
+    }
+
+    fn step_complete(&mut self, now: f64, id: u64, step: u32, card: usize) {
+        self.events.push(TraceEvent::StepComplete {
+            t: now,
+            id,
+            step,
+            card,
         });
     }
 
@@ -723,6 +751,14 @@ impl TraceSink for ChromeTraceSink {
         if let Some(span) = self.open.remove(&(id, shard)) {
             self.close_span(format!("req {id}"), now, id, shard, span);
         }
+    }
+
+    fn step_complete(&mut self, now: f64, id: u64, step: u32, card: usize) {
+        let args = Json::obj([
+            ("request", Json::UInt(id)),
+            ("step", Json::Int(step as i64)),
+        ]);
+        self.instant("step", now, card, 0, "p", args);
     }
 
     fn preempted(
@@ -1543,15 +1579,16 @@ mod tests {
     #[test]
     fn kernel_counters_serialize_by_kind() {
         let c = KernelCounters {
-            events_by_kind: [10, 5, 2, 1, 0, 3, 1, 1],
+            events_by_kind: [10, 5, 4, 2, 1, 0, 3, 1, 1],
             tombstoned_completions: 1,
             sim_span_s: 2.5,
             ..KernelCounters::default()
         };
-        assert_eq!(c.events_total(), 23);
+        assert_eq!(c.events_total(), 27);
         let text = c.to_json().pretty();
-        assert!(text.contains("\"total\": 23"));
+        assert!(text.contains("\"total\": 27"));
         assert!(text.contains("\"arrival\": 10"));
+        assert!(text.contains("\"step_complete\": 4"));
         assert!(text.contains("\"scale_check\": 0"));
         assert!(text.contains("\"card_death\": 3"));
         assert!(text.contains("\"card_degrade\": 1"));

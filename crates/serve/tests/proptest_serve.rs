@@ -5,16 +5,20 @@
 use proptest::prelude::*;
 use swat_serve::arrival::ArrivalProcess;
 use swat_serve::cost::CostModel;
+use swat_serve::fault::FaultPlan;
 use swat_serve::fleet::{CardGroup, FleetConfig};
 use swat_serve::metrics::percentile;
+use swat_serve::policy::SessionAffinity;
 use swat_serve::policy::{
     shard_targets, CardView, DispatchPolicy, Fifo, HeadAffinity, LeastLoaded, ShardedLeastLoaded,
     ShardedShortestJobFirst, ShortestJobFirst,
 };
 use swat_serve::scale::AutoscalerConfig;
-use swat_serve::sim::{simulate, AdmissionControl, PreemptionControl, Simulation, TrafficSpec};
+use swat_serve::sim::{
+    simulate, AdmissionControl, DecodeBatching, PreemptionControl, Simulation, TrafficSpec,
+};
 use swat_serve::trace::{ChromeTraceSink, RecordingSink, TelemetryMode, TraceEvent};
-use swat_workloads::{RequestClass, RequestMix, RequestShape};
+use swat_workloads::{DecodeMix, RequestClass, RequestMix, RequestShape};
 
 /// A random heterogeneous fleet: an FP16 dual-pipeline group next to an
 /// FP32 single-pipeline group (either may dominate, but never both empty).
@@ -746,6 +750,111 @@ proptest! {
         // The drained kernel accounts for every request: shed at arrival
         // or completed, with nothing stranded in the arena.
         prop_assert_eq!(first.completed + first.rejected, requests.len());
+    }
+
+    /// The decode-loop invariant: one-step plans with early exit disabled
+    /// reduce **bitwise** to the one-shot kernel. The decode run's JSON
+    /// is byte-identical to the plain run's, the trace stream carries no
+    /// step events, the report attaches no decode block, and the batching
+    /// mode is inert — whole-job and continuous agree exactly on one-shot
+    /// traffic.
+    #[test]
+    fn one_step_decode_reduces_bitwise_to_one_shot(
+        cards in 1usize..4,
+        max_shards in 1usize..5,
+        threshold in 0.02f64..0.3,
+        arrivals in any_arrivals(),
+        mix in any_mix(),
+        seed in any::<u64>(),
+    ) {
+        let spec = TrafficSpec { arrivals, mix, seed };
+        let plain = spec.requests(70);
+        // Same base traffic — the plans ride a decorrelated substream, so
+        // arrival times, shapes and classes are untouched.
+        let decoded = spec.decode_requests(70, &DecodeMix::one_shot());
+        let fleet = FleetConfig::standard(cards);
+        let sim = |batching| {
+            Simulation::new(&fleet)
+                .preemption(PreemptionControl::after_wait(threshold))
+                .decode_batching(batching)
+        };
+        let base = sim(DecodeBatching::Continuous)
+            .run(&mut ShardedShortestJobFirst::new(max_shards), &plain);
+        let mut recorder = RecordingSink::new();
+        let one_step = sim(DecodeBatching::Continuous).run_traced(
+            &mut ShardedShortestJobFirst::new(max_shards),
+            &decoded,
+            &mut recorder,
+        );
+        prop_assert_eq!(base.to_json().pretty(), one_step.to_json().pretty());
+        prop_assert!(one_step.decode.is_none(), "one-shot runs carry no decode block");
+        prop_assert!(!one_step.to_json().pretty().contains("\"decode\""));
+        prop_assert_eq!(
+            recorder.events.iter()
+                .filter(|e| matches!(e, TraceEvent::StepComplete { .. }))
+                .count(),
+            0,
+            "one-step plans never cross a step boundary"
+        );
+        let whole = sim(DecodeBatching::WholeJob)
+            .run(&mut ShardedShortestJobFirst::new(max_shards), &decoded);
+        prop_assert_eq!(&one_step, &whole);
+        prop_assert_eq!(one_step.to_json().pretty(), whole.to_json().pretty());
+    }
+
+    /// Decode runs stay bitwise seed-deterministic under the full elastic
+    /// stack at once — admission budgets, checkpoint-and-requeue
+    /// preemption, the autoscaler, a seeded fault storm and session
+    /// affinity — in both step-batching modes, across random step ranges
+    /// and early-exit probabilities.
+    #[test]
+    fn decode_runs_seed_deterministic_under_full_stack(
+        cards in 2usize..5,
+        min_steps in 1u32..4,
+        extra_steps in 0u32..4,
+        exit_prob in 0.0f64..0.9,
+        whole_job in any::<bool>(),
+        threshold in 0.02f64..0.3,
+        arrivals in any_arrivals(),
+        seed in any::<u64>(),
+    ) {
+        let plans = DecodeMix {
+            min_steps,
+            max_steps: min_steps + extra_steps,
+            exit_prob,
+        };
+        let spec = TrafficSpec { arrivals, mix: RequestMix::Production, seed };
+        let requests = spec.decode_requests(70, &plans);
+        let fleet = FleetConfig::standard(cards);
+        let batching = if whole_job {
+            DecodeBatching::WholeJob
+        } else {
+            DecodeBatching::Continuous
+        };
+        let run = || {
+            let mut policy = SessionAffinity::new(8);
+            Simulation::new(&fleet)
+                .admission(AdmissionControl::shed_background_at(24))
+                .preemption(PreemptionControl::after_wait(threshold))
+                .autoscale(AutoscalerConfig::standard().with_min_cards(1))
+                .faults(FaultPlan::storm(seed ^ 0x00DE_C0DE, cards, 30.0, 8))
+                .decode_batching(batching)
+                .run(&mut policy, &requests)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+        // The drained kernel still accounts for every request.
+        prop_assert_eq!(a.completed + a.rejected, requests.len());
+        // Multi-step plans attach the decode block whenever anything
+        // completed; pure one-shot mixes never do.
+        if min_steps > 1 && a.completed > 0 {
+            prop_assert!(a.decode.is_some(), "decode traffic reports a decode block");
+        }
+        if min_steps == 1 && extra_steps == 0 {
+            prop_assert!(a.decode.is_none(), "one-shot traffic stays gated off");
+        }
     }
 }
 

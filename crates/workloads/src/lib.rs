@@ -32,4 +32,4 @@ pub mod records;
 pub mod requests;
 pub mod tasks;
 
-pub use requests::{RequestClass, RequestMix, RequestShape, SessionProfile};
+pub use requests::{DecodeMix, DecodePlan, RequestClass, RequestMix, RequestShape, SessionProfile};

@@ -204,6 +204,150 @@ impl RequestMix {
     }
 }
 
+/// A request's token-level decode plan: how many generation steps it
+/// runs and the seeded early-exit process that may finish it sooner.
+///
+/// Each decode step re-runs the request's full attention-job grid
+/// ([`RequestShape::jobs`] jobs over the current context), so the
+/// per-step job count is the shape's job count and a plan of `steps = 1`
+/// is exactly the classic one-shot request. Early exit models a decoder
+/// that detects convergence before exhausting its step budget: after
+/// every non-final step the plan draws from a per-request `SplitMix64`
+/// substream (seeded at generation time, never from the serving layer's
+/// clock or queue state) and stops with probability `exit_prob`. Draw
+/// `k` is the `k + 1`-th output of `SplitMix64::new(exit_seed)`, so
+/// replaying a request always replays its exits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodePlan {
+    /// Decode steps the request runs if it never exits early (≥ 1).
+    pub steps: u32,
+    /// Probability of stopping after each non-final step, in `[0, 1)`.
+    pub exit_prob: f64,
+    /// Seed of the request's private early-exit draw stream.
+    pub exit_seed: u64,
+}
+
+impl DecodePlan {
+    /// The classic one-shot plan: one step, early exit disabled. Every
+    /// request defaults to it, which is what keeps pre-decode traces —
+    /// and their serialized reports — bitwise identical.
+    pub fn one_shot() -> DecodePlan {
+        DecodePlan {
+            steps: 1,
+            exit_prob: 0.0,
+            exit_seed: 0,
+        }
+    }
+
+    /// Whether this plan reduces to the one-shot path: a single step
+    /// (early exit has no non-final boundary to fire at).
+    pub fn is_one_shot(&self) -> bool {
+        self.steps <= 1
+    }
+
+    /// Checks the plan is usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero steps or an exit probability outside `[0, 1)`.
+    pub fn validate(&self) {
+        assert!(self.steps >= 1, "a decode plan needs at least one step");
+        assert!(
+            self.exit_prob.is_finite() && (0.0..1.0).contains(&self.exit_prob),
+            "early-exit probability must be in [0, 1)"
+        );
+    }
+
+    /// The plan's `step`-th early-exit draw (0-based), a unit uniform
+    /// from the request's private substream.
+    pub fn exit_draw(&self, step: u32) -> f64 {
+        let mut rng = SplitMix64::new(self.exit_seed);
+        let mut z = rng.next_u64();
+        for _ in 0..step {
+            z = rng.next_u64();
+        }
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Whether the request stops after finishing step `step` (0-based).
+    /// Never true when early exit is disabled, and the caller never asks
+    /// about the final step (finishing it completes the request anyway).
+    pub fn exits_after(&self, step: u32) -> bool {
+        self.exit_prob > 0.0 && self.exit_draw(step) < self.exit_prob
+    }
+
+    /// Expected number of decode steps still to run when `done` steps
+    /// have fanned in, counting the step currently queued or in flight —
+    /// `Σ_{j=0}^{M-1} (1 − exit_prob)^j` over the `M = steps − done`
+    /// steps left. Exactly 1 for any one-shot request (preempted or
+    /// not), which is what lets decode-aware rankings reduce bitwise to
+    /// the pre-decode keys.
+    pub fn expected_steps_from(&self, done: u32) -> f64 {
+        let remaining = self.steps.saturating_sub(done);
+        let mut expected = 0.0;
+        let mut survive = 1.0;
+        for _ in 0..remaining {
+            expected += survive;
+            survive *= 1.0 - self.exit_prob;
+        }
+        expected
+    }
+}
+
+/// A seeded population of decode plans: steps uniform over a range, one
+/// shared early-exit probability, and a fresh substream seed per draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeMix {
+    /// Fewest steps a plan runs (≥ 1).
+    pub min_steps: u32,
+    /// Most steps a plan runs (≥ `min_steps`).
+    pub max_steps: u32,
+    /// Early-exit probability every plan carries, in `[0, 1)`.
+    pub exit_prob: f64,
+}
+
+impl DecodeMix {
+    /// The degenerate mix every plan of which is the one-shot plan.
+    pub fn one_shot() -> DecodeMix {
+        DecodeMix {
+            min_steps: 1,
+            max_steps: 1,
+            exit_prob: 0.0,
+        }
+    }
+
+    /// Checks the parameters are usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero/inverted step range or an exit probability
+    /// outside `[0, 1)`.
+    pub fn validate(&self) {
+        assert!(self.min_steps >= 1, "decode plans need at least one step");
+        assert!(
+            self.max_steps >= self.min_steps,
+            "max_steps must be >= min_steps"
+        );
+        assert!(
+            self.exit_prob.is_finite() && (0.0..1.0).contains(&self.exit_prob),
+            "early-exit probability must be in [0, 1)"
+        );
+    }
+
+    /// Draws one plan: steps uniform over the range, a fresh exit seed.
+    /// Always consumes exactly two RNG outputs, so a trace's plans stay
+    /// aligned however the range or probability is tuned.
+    pub fn sample_plan(&self, rng: &mut SplitMix64) -> DecodePlan {
+        let span = (self.max_steps - self.min_steps + 1) as u64;
+        let steps = self.min_steps + rng.next_below(span) as u32;
+        DecodePlan {
+            steps,
+            exit_prob: self.exit_prob,
+            exit_seed: rng.next_u64(),
+        }
+    }
+}
+
 /// How multi-turn conversations are shaped: turns per session, think-time
 /// between turns, the heavy-tenant fraction, and per-turn context growth.
 ///
@@ -432,6 +576,120 @@ mod tests {
         SessionProfile {
             min_turns: 0,
             ..SessionProfile::standard()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn one_shot_decode_plans_are_inert() {
+        let plan = DecodePlan::one_shot();
+        plan.validate();
+        assert!(plan.is_one_shot());
+        assert_eq!(plan.expected_steps_from(0), 1.0);
+        assert!(!plan.exits_after(0), "disabled early exit never fires");
+        // Exactly 1 even when early exit is armed: the sum has a single
+        // (1 − p)^0 term, so decode-aware rankings reduce bitwise.
+        let armed = DecodePlan {
+            exit_prob: 0.7,
+            exit_seed: 99,
+            ..plan
+        };
+        assert_eq!(armed.expected_steps_from(0), 1.0);
+    }
+
+    #[test]
+    fn exit_draws_are_a_replayable_substream() {
+        let plan = DecodePlan {
+            steps: 8,
+            exit_prob: 0.3,
+            exit_seed: 1234,
+        };
+        plan.validate();
+        let draws: Vec<f64> = (0..8).map(|s| plan.exit_draw(s)).collect();
+        assert_eq!(
+            draws,
+            (0..8).map(|s| plan.exit_draw(s)).collect::<Vec<_>>(),
+            "draw k is a pure function of (seed, k)"
+        );
+        assert!(draws.iter().all(|d| (0.0..1.0).contains(d)));
+        // Draw k must be the k+1-th output of the seeded stream.
+        let mut rng = SplitMix64::new(plan.exit_seed);
+        for &d in &draws {
+            let z = rng.next_u64();
+            assert_eq!(d, (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64));
+        }
+        let other = DecodePlan {
+            exit_seed: 1235,
+            ..plan
+        };
+        assert_ne!(draws[0], other.exit_draw(0), "seeds separate substreams");
+    }
+
+    #[test]
+    fn expected_steps_fold_in_the_exit_probability() {
+        let plan = DecodePlan {
+            steps: 4,
+            exit_prob: 0.5,
+            exit_seed: 0,
+        };
+        // 1 + 0.5 + 0.25 + 0.125.
+        assert!((plan.expected_steps_from(0) - 1.875).abs() < 1e-12);
+        assert!((plan.expected_steps_from(2) - 1.5).abs() < 1e-12);
+        assert_eq!(plan.expected_steps_from(4), 0.0, "nothing left to run");
+        let certain = DecodePlan {
+            exit_prob: 0.0,
+            ..plan
+        };
+        assert_eq!(certain.expected_steps_from(0), 4.0);
+        assert_eq!(certain.expected_steps_from(3), 1.0);
+    }
+
+    #[test]
+    fn decode_mixes_sample_plans_in_range() {
+        let mix = DecodeMix {
+            min_steps: 2,
+            max_steps: 6,
+            exit_prob: 0.25,
+        };
+        mix.validate();
+        let mut rng = SplitMix64::new(77);
+        let plans: Vec<DecodePlan> = (0..200).map(|_| mix.sample_plan(&mut rng)).collect();
+        assert!(plans
+            .iter()
+            .all(|p| (2..=6).contains(&p.steps) && p.exit_prob == 0.25));
+        assert!(plans.iter().any(|p| p.steps == 2));
+        assert!(plans.iter().any(|p| p.steps == 6));
+        let seeds: std::collections::BTreeSet<u64> = plans.iter().map(|p| p.exit_seed).collect();
+        assert!(seeds.len() > 190, "exit seeds are (almost surely) distinct");
+        let mut replay = SplitMix64::new(77);
+        assert_eq!(
+            (0..200)
+                .map(|_| mix.sample_plan(&mut replay))
+                .collect::<Vec<_>>(),
+            plans
+        );
+        DecodeMix::one_shot().validate();
+        assert!(DecodeMix::one_shot().sample_plan(&mut rng).is_one_shot());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_step_decode_plans_rejected() {
+        DecodePlan {
+            steps: 0,
+            exit_prob: 0.0,
+            exit_seed: 0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1)")]
+    fn certain_exit_probability_rejected() {
+        DecodeMix {
+            min_steps: 1,
+            max_steps: 2,
+            exit_prob: 1.0,
         }
         .validate();
     }
