@@ -1,0 +1,643 @@
+//! Capacity-planning autotuner: a deterministic, seeded search over a
+//! [`ScenarioSpec`] template's free axes, emitting a Pareto frontier
+//! into `BENCH_plan.json`.
+//!
+//! The question production operators ask — *fewest cards / least energy
+//! to hold p99 under X ms at Y rps* — has no closed form once
+//! per-request compute is variable (decode steps with seeded early
+//! exit), so this binary answers it by searched simulation:
+//!
+//! 1. **Template** — a decode-heavy production workload on a standard
+//!    FP16 fleet, as a declarative spec. Four axes are free: fleet size
+//!    (`cards`), shard-width cap (`max_shards`), autoscaling (off or
+//!    min-2-cards), and decode batching (continuous vs whole-job).
+//! 2. **Prune** — before simulating anything, the PR-5 cost model
+//!    prices the template trace once (demand-seconds at expected decode
+//!    steps per request) and every candidate whose fleet cannot clear
+//!    that demand inside the trace span — utilization estimate
+//!    `rho = demand_s / (span_s × pipelines) ≥ 1` — is skipped as
+//!    saturated. Pruned candidates are counted and listed in the JSON.
+//! 3. **Search** — a seeded grid over the axes, then deterministic
+//!    refinement generations: every frontier point proposes its
+//!    one-axis neighbours (cards ± 1, adjacent shard cap, toggles),
+//!    novel proposals are pruned or simulated, and the frontier is
+//!    recomputed — until a generation yields nothing new or the
+//!    simulation budget runs out. Surviving cells run on the shared
+//!    `--jobs` scoped-thread pool; per-generation CPU-seconds go to
+//!    stderr through the same accounting as `serve_sweep`'s scenarios.
+//! 4. **Frontier** — the non-dominated set over (cards ↓, energy ↓,
+//!    p99 ↓, SLO attainment ↑), plus a recommendation: the fewest-cards
+//!    (then least-energy) frontier point holding p99 under the target.
+//!
+//! Every step is seeded and order-fixed, so `BENCH_plan.json` and
+//! stdout are byte-identical across runs and `--jobs` values — CI
+//! sha-compares a double run.
+//!
+//! ```text
+//! cargo run --release -p swat-bench --bin capacity_plan \
+//!     [--jobs N] [--budget B] [--rps X] [--p99-ms Y] [seed] [requests]
+//! ```
+
+use swat_bench::{banner, print_table, run_cells, scenario_timing, Cell};
+use swat_serve::arrival::ArrivalProcess;
+use swat_serve::cost::CostModel;
+use swat_serve::json::Json;
+use swat_serve::metrics::ServeReport;
+use swat_serve::scale::AutoscalerConfig;
+use swat_serve::scenario::{FleetSpec, PolicySpec, ScenarioSpec, TrafficModel};
+use swat_serve::sim::DecodeBatching;
+use swat_workloads::{DecodeMix, RequestMix};
+
+/// Default requests per simulated cell.
+const DEFAULT_REQUESTS: usize = 4_000;
+/// Default simulation budget (cells actually run, pruned ones are free).
+const DEFAULT_BUDGET: usize = 64;
+/// Default offered load the plan must hold.
+const DEFAULT_RPS: f64 = 4.0;
+/// Default p99 target for the recommendation, milliseconds. The
+/// production mix's document-scale requests owe multi-second intrinsic
+/// service once decode steps are layered on, so tail targets are
+/// seconds-scale; 10 s is where shard width starts saving whole cards.
+const DEFAULT_P99_MS: f64 = 10_000.0;
+/// Largest fleet the search will propose.
+const MAX_CARDS: usize = 12;
+/// The shard-width axis (refinement moves between adjacent entries).
+const SHARD_AXIS: [usize; 3] = [1, 2, 4];
+/// The fleet-size axis of the initial grid.
+const CARD_AXIS: [usize; 5] = [2, 3, 4, 6, 8];
+/// Refinement-generation cap; the search normally converges first.
+const MAX_GENERATIONS: usize = 8;
+
+/// One point in the search space: the template's four free axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Candidate {
+    cards: usize,
+    max_shards: usize,
+    autoscale: bool,
+    whole_job: bool,
+}
+
+impl Candidate {
+    /// Stable config key — sort order of `Candidate` is the tuple order,
+    /// so every listing in stdout and JSON is `--jobs`-independent.
+    fn key(&self) -> String {
+        format!(
+            "c{}-s{}-{}-{}",
+            self.cards,
+            self.max_shards,
+            if self.autoscale { "elastic" } else { "static" },
+            if self.whole_job {
+                "whole-job"
+            } else {
+                "continuous"
+            }
+        )
+    }
+
+    /// One-axis neighbours, clamped to the search space.
+    fn neighbours(&self) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        if self.cards > 1 {
+            out.push(Candidate {
+                cards: self.cards - 1,
+                ..*self
+            });
+        }
+        if self.cards < MAX_CARDS {
+            out.push(Candidate {
+                cards: self.cards + 1,
+                ..*self
+            });
+        }
+        if let Some(i) = SHARD_AXIS.iter().position(|&s| s == self.max_shards) {
+            if i > 0 {
+                out.push(Candidate {
+                    max_shards: SHARD_AXIS[i - 1],
+                    ..*self
+                });
+            }
+            if i + 1 < SHARD_AXIS.len() {
+                out.push(Candidate {
+                    max_shards: SHARD_AXIS[i + 1],
+                    ..*self
+                });
+            }
+        }
+        out.push(Candidate {
+            autoscale: !self.autoscale,
+            ..*self
+        });
+        out.push(Candidate {
+            whole_job: !self.whole_job,
+            ..*self
+        });
+        out
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("config", Json::Str(self.key())),
+            ("cards", Json::Int(self.cards as i64)),
+            ("max_shards", Json::Int(self.max_shards as i64)),
+            ("autoscale", Json::Bool(self.autoscale)),
+            ("batching", Json::Str(self.batching().name().into())),
+        ])
+    }
+
+    fn batching(&self) -> DecodeBatching {
+        if self.whole_job {
+            DecodeBatching::WholeJob
+        } else {
+            DecodeBatching::Continuous
+        }
+    }
+}
+
+/// The template workload every candidate serves: decode-heavy production
+/// traffic (2–6 steps, 20% early exit — ≈2.9 expected steps) at `rps` on
+/// a standard FP16 fleet. Only the candidate's axes vary.
+fn spec_for(c: Candidate, rps: f64, seed: u64, requests: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: c.key(),
+        fleet: FleetSpec::standard(c.cards),
+        arrivals: ArrivalProcess::poisson(rps),
+        traffic: TrafficModel::Mix {
+            mix: RequestMix::Production,
+            decode: Some(DecodeMix {
+                min_steps: 2,
+                max_steps: 6,
+                exit_prob: 0.2,
+            }),
+        },
+        policy: PolicySpec::ShardedShortestJobFirst {
+            max_shards: c.max_shards,
+            adaptive: true,
+        },
+        autoscale: c
+            .autoscale
+            .then(|| AutoscalerConfig::standard().with_min_cards(c.cards.min(2))),
+        batching: c.batching(),
+        seed,
+        requests,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// A simulated point's planning metrics.
+struct Point {
+    candidate: Candidate,
+    rho: f64,
+    report: ServeReport,
+}
+
+impl Point {
+    fn p99_ms(&self) -> Option<f64> {
+        self.report.latency.map(|l| l.p99 * 1e3)
+    }
+
+    fn energy_j(&self) -> f64 {
+        self.report.total_energy_joules()
+    }
+
+    fn slo(&self) -> f64 {
+        self.report.slo_attainment()
+    }
+}
+
+/// Whether `a` Pareto-dominates `b` on (cards ↓, energy ↓, p99 ↓,
+/// SLO attainment ↑). Only defined for points with a latency
+/// distribution; a fully-shed point dominates nothing.
+fn dominates(a: &Point, b: &Point) -> bool {
+    let (Some(ap), Some(bp)) = (a.p99_ms(), b.p99_ms()) else {
+        return false;
+    };
+    let no_worse = a.candidate.cards <= b.candidate.cards
+        && a.energy_j() <= b.energy_j()
+        && ap <= bp
+        && a.slo() >= b.slo();
+    let strictly_better = a.candidate.cards < b.candidate.cards
+        || a.energy_j() < b.energy_j()
+        || ap < bp
+        || a.slo() > b.slo();
+    no_worse && strictly_better
+}
+
+/// Indices of the non-dominated points (frontier), in `points` order.
+fn frontier_of(points: &[Point]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            points[i].p99_ms().is_some()
+                && (0..points.len()).all(|j| j == i || !dominates(&points[j], &points[i]))
+        })
+        .collect()
+}
+
+/// Prints the usage line and exits with status 2 — unparseable arguments
+/// should read as operator error, not a crash.
+fn usage(problem: &str) -> ! {
+    eprintln!("capacity_plan: {problem}");
+    eprintln!(
+        "usage: capacity_plan [--jobs N] [--budget B] [--rps X] [--p99-ms Y] [seed] [requests]"
+    );
+    eprintln!("  --jobs N    worker threads for simulated cells (default 1;");
+    eprintln!("              output is byte-identical for every N)");
+    eprintln!(
+        "  --budget B  max cells to simulate across all generations (default {DEFAULT_BUDGET})"
+    );
+    eprintln!("  --rps X     offered load the plan must hold (default {DEFAULT_RPS})");
+    eprintln!("  --p99-ms Y  p99 target for the recommendation (default {DEFAULT_P99_MS})");
+    eprintln!("  seed        u64 search seed (default 0x5EED)");
+    eprintln!(
+        "  requests    requests per simulated cell (default {DEFAULT_REQUESTS}, must be > 0)"
+    );
+    eprintln!();
+    eprintln!("searches fleet size x shard cap x autoscale x batching for the fewest-");
+    eprintln!("cards / least-energy configurations holding the p99 target, pruning");
+    eprintln!("cost-model-saturated fleets before simulation; emits BENCH_plan.json.");
+    std::process::exit(2);
+}
+
+fn parse_flag_value(
+    args: &mut impl Iterator<Item = String>,
+    arg: &str,
+    flag: &str,
+) -> Option<String> {
+    let rest = arg.strip_prefix(flag)?;
+    match rest.strip_prefix('=') {
+        Some(v) => Some(v.to_string()),
+        None if rest.is_empty() => Some(
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value"))),
+        ),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut seed: Option<u64> = None;
+    let mut requests: Option<usize> = None;
+    let mut jobs = 1usize;
+    let mut budget = DEFAULT_BUDGET;
+    let mut rps = DEFAULT_RPS;
+    let mut p99_target_ms = DEFAULT_P99_MS;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(value) = parse_flag_value(&mut args, &arg, "--jobs") {
+            jobs = value.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                usage(&format!("--jobs must be a positive integer, got {value:?}"))
+            });
+        } else if let Some(value) = parse_flag_value(&mut args, &arg, "--budget") {
+            budget = value.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                usage(&format!(
+                    "--budget must be a positive integer, got {value:?}"
+                ))
+            });
+        } else if let Some(value) = parse_flag_value(&mut args, &arg, "--rps") {
+            rps = value
+                .parse()
+                .ok()
+                .filter(|x: &f64| x.is_finite() && *x > 0.0)
+                .unwrap_or_else(|| {
+                    usage(&format!("--rps must be a positive number, got {value:?}"))
+                });
+        } else if let Some(value) = parse_flag_value(&mut args, &arg, "--p99-ms") {
+            p99_target_ms = value
+                .parse()
+                .ok()
+                .filter(|x: &f64| x.is_finite() && *x > 0.0)
+                .unwrap_or_else(|| {
+                    usage(&format!(
+                        "--p99-ms must be a positive number, got {value:?}"
+                    ))
+                });
+        } else if arg.starts_with("--") {
+            usage(&format!("unexpected argument {arg:?}"));
+        } else if seed.is_none() {
+            seed = Some(arg.parse().unwrap_or_else(|_| {
+                usage(&format!("seed must be an unsigned integer, got {arg:?}"))
+            }));
+        } else if requests.is_none() {
+            requests = Some(arg.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                usage(&format!("requests must be a positive integer, got {arg:?}"))
+            }));
+        } else {
+            usage(&format!("unexpected argument {arg:?}"));
+        }
+    }
+    let seed = seed.unwrap_or(0x5EED);
+    let requests = requests.unwrap_or(DEFAULT_REQUESTS);
+
+    banner(format!(
+        "capacity_plan — hold p99 < {p99_target_ms:.0} ms at {rps} rps, \
+         {requests} requests/cell, budget {budget} cells (seed {seed:#x})"
+    ));
+
+    // Price the template trace once: the workload (and so its
+    // demand-seconds) is identical for every candidate — only the fleet
+    // serving it varies — so the saturation estimate reduces to a
+    // per-fleet-size utilization check. Expected decode steps (not the
+    // seeded realization) keep the estimate a *forecast*, exactly what a
+    // planner would have before running anything.
+    let reference = spec_for(
+        Candidate {
+            cards: 1,
+            max_shards: 1,
+            autoscale: false,
+            whole_job: false,
+        },
+        rps,
+        seed,
+        requests,
+    );
+    let one_card = reference.fleet.config();
+    let pipelines_per_card = one_card.total_pipelines();
+    let cost = CostModel::for_fleet(&one_card.build().expect("one standard card builds"));
+    let trace = reference.trace();
+    let span_s = trace.last().expect("non-empty trace").arrival - trace[0].arrival;
+    let demand_s: f64 = trace
+        .iter()
+        .map(|r| cost.card(0).service_seconds(&r.shape) * r.decode.expected_steps_from(0))
+        .sum();
+    let rho_for = |cards: usize| demand_s / (span_s * (cards * pipelines_per_card) as f64);
+    println!(
+        "template: {:.1} demand-seconds over a {:.1} s trace span \
+         ({} requests, expected decode steps priced per request)",
+        demand_s, span_s, requests
+    );
+    println!(
+        "pruning:  rho(cards) = demand / (span x 2 x cards) >= 1 is saturated; \
+         rho(1) = {:.2}",
+        rho_for(1)
+    );
+
+    // The initial grid, then frontier-neighbourhood refinement. All
+    // bookkeeping is in sorted candidate order so nothing downstream
+    // depends on --jobs scheduling.
+    let mut proposals: Vec<Candidate> = Vec::new();
+    for cards in CARD_AXIS {
+        for max_shards in SHARD_AXIS {
+            for autoscale in [false, true] {
+                for whole_job in [false, true] {
+                    proposals.push(Candidate {
+                        cards,
+                        max_shards,
+                        autoscale,
+                        whole_job,
+                    });
+                }
+            }
+        }
+    }
+    proposals.sort();
+
+    let mut seen: Vec<Candidate> = Vec::new();
+    let mut pruned: Vec<(Candidate, f64)> = Vec::new();
+    let mut points: Vec<Point> = Vec::new();
+    let mut generations = 0usize;
+    let mut budget_exhausted = false;
+
+    while !proposals.is_empty() && generations < MAX_GENERATIONS {
+        // Partition this generation's novel proposals into saturated
+        // (pruned, never simulated) and runnable.
+        let mut runnable: Vec<Candidate> = Vec::new();
+        for c in proposals.drain(..) {
+            if seen.contains(&c) {
+                continue;
+            }
+            seen.push(c);
+            let rho = rho_for(c.cards);
+            if rho >= 1.0 {
+                pruned.push((c, rho));
+            } else {
+                runnable.push(c);
+            }
+        }
+        let remaining = budget.saturating_sub(points.len());
+        if runnable.len() > remaining {
+            runnable.truncate(remaining);
+            budget_exhausted = true;
+        }
+        if runnable.is_empty() {
+            break;
+        }
+
+        let cells: Vec<Cell<(Candidate, ServeReport, u64)>> = runnable
+            .iter()
+            .map(|&c| {
+                let spec = spec_for(c, rps, seed, requests);
+                let cell: Cell<(Candidate, ServeReport, u64)> = Box::new(move || {
+                    let (report, counters) = spec
+                        .run_profiled()
+                        .expect("planner template specs are valid");
+                    (c, report, counters.events_total())
+                });
+                cell
+            })
+            .collect();
+        let outs = run_cells(cells, jobs);
+        let events = outs.iter().map(|o| o.value.2).sum::<u64>();
+        let wall = outs.iter().map(|o| o.wall_s).sum::<f64>();
+        scenario_timing(&format!("plan-gen{generations}"), outs.len(), events, wall);
+        for out in outs {
+            let (candidate, report, _) = out.value;
+            points.push(Point {
+                candidate,
+                rho: rho_for(candidate.cards),
+                report,
+            });
+        }
+        points.sort_by_key(|p| p.candidate);
+        generations += 1;
+        if budget_exhausted {
+            break;
+        }
+
+        // Next generation: every frontier point's one-axis neighbours.
+        let frontier = frontier_of(&points);
+        proposals = frontier
+            .iter()
+            .flat_map(|&i| points[i].candidate.neighbours())
+            .collect();
+        proposals.sort();
+        proposals.dedup();
+    }
+
+    let frontier = frontier_of(&points);
+    let on_frontier = |i: usize| frontier.contains(&i);
+
+    // The recommendation: fewest cards, then least energy, among
+    // frontier points holding the p99 target.
+    let recommendation = frontier
+        .iter()
+        .copied()
+        .filter(|&i| points[i].p99_ms().is_some_and(|p| p <= p99_target_ms))
+        .min_by(|&a, &b| {
+            let pa = &points[a];
+            let pb = &points[b];
+            pa.candidate
+                .cards
+                .cmp(&pb.candidate.cards)
+                .then(pa.energy_j().total_cmp(&pb.energy_j()))
+                .then(pa.candidate.cmp(&pb.candidate))
+        });
+
+    let fmt_ms = |v: Option<f64>| v.map_or("-".to_string(), |p| format!("{p:.1}"));
+    println!(
+        "\nsearch: {} candidates explored, {} pruned as saturated, {} simulated, \
+         {generations} generations{}",
+        seen.len(),
+        pruned.len(),
+        points.len(),
+        if budget_exhausted {
+            " (budget exhausted)"
+        } else {
+            ""
+        }
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            vec![
+                p.candidate.key(),
+                format!("{:.2}", p.rho),
+                format!("{:.1}", p.report.throughput_rps),
+                fmt_ms(p.p99_ms()),
+                format!("{:.2}%", p.slo() * 100.0),
+                format!("{:.1}", p.energy_j()),
+                if on_frontier(i) { "*" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "config",
+            "rho",
+            "rps",
+            "p99 ms",
+            "slo attain",
+            "J",
+            "pareto",
+        ],
+        &rows,
+    );
+    match recommendation {
+        Some(i) => {
+            let p = &points[i];
+            println!(
+                "\nplan: {} — {} cards hold p99 {} ms (target {p99_target_ms:.0} ms) \
+                 at {:.1} J",
+                p.candidate.key(),
+                p.candidate.cards,
+                fmt_ms(p.p99_ms()),
+                p.energy_j()
+            );
+        }
+        None => println!(
+            "\nplan: no searched configuration holds p99 < {p99_target_ms:.0} ms \
+             at {rps} rps — raise the budget or the fleet cap"
+        ),
+    }
+
+    let point_json = |i: usize, p: &Point| {
+        let mut pairs = match p.candidate.to_json() {
+            Json::Obj(pairs) => pairs,
+            other => unreachable!("candidate json is an object, got {other:?}"),
+        };
+        pairs.extend([
+            ("rho".to_string(), Json::Num(p.rho)),
+            (
+                "throughput_rps".to_string(),
+                Json::Num(p.report.throughput_rps),
+            ),
+            ("p99_ms".to_string(), Json::maybe(p.p99_ms(), Json::Num)),
+            ("slo_attainment".to_string(), Json::Num(p.slo())),
+            ("energy_j".to_string(), Json::Num(p.energy_j())),
+            (
+                "completed".to_string(),
+                Json::Int(p.report.completed as i64),
+            ),
+            ("rejected".to_string(), Json::Int(p.report.rejected as i64)),
+            ("pareto".to_string(), Json::Bool(on_frontier(i))),
+        ]);
+        Json::Obj(pairs)
+    };
+
+    let doc = Json::obj([
+        ("bench", Json::Str("capacity_plan".into())),
+        ("seed", Json::UInt(seed)),
+        ("requests_per_cell", Json::Int(requests as i64)),
+        (
+            "target",
+            Json::obj([
+                ("rps", Json::Num(rps)),
+                ("p99_ms", Json::Num(p99_target_ms)),
+            ]),
+        ),
+        ("template", reference.to_json()),
+        (
+            "axes",
+            Json::obj([
+                (
+                    "cards",
+                    Json::arr(CARD_AXIS.iter().map(|&c| Json::Int(c as i64))),
+                ),
+                (
+                    "max_shards",
+                    Json::arr(SHARD_AXIS.iter().map(|&s| Json::Int(s as i64))),
+                ),
+                (
+                    "autoscale",
+                    Json::arr([Json::Bool(false), Json::Bool(true)]),
+                ),
+                (
+                    "batching",
+                    Json::arr([
+                        Json::Str("continuous".into()),
+                        Json::Str("whole-job".into()),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "pruning_rule",
+            Json::Str("rho = demand_seconds / (span_seconds * pipelines) >= 1".into()),
+        ),
+        ("demand_seconds", Json::Num(demand_s)),
+        ("span_seconds", Json::Num(span_s)),
+        ("pipelines_per_card", Json::Int(pipelines_per_card as i64)),
+        ("explored", Json::Int(seen.len() as i64)),
+        ("pruned", Json::Int(pruned.len() as i64)),
+        ("simulated", Json::Int(points.len() as i64)),
+        ("generations", Json::Int(generations as i64)),
+        ("budget", Json::Int(budget as i64)),
+        ("budget_exhausted", Json::Bool(budget_exhausted)),
+        (
+            "pruned_configs",
+            Json::arr(pruned.iter().map(|&(c, rho)| {
+                let mut pairs = match c.to_json() {
+                    Json::Obj(pairs) => pairs,
+                    other => unreachable!("candidate json is an object, got {other:?}"),
+                };
+                pairs.push(("rho".to_string(), Json::Num(rho)));
+                Json::Obj(pairs)
+            })),
+        ),
+        (
+            "points",
+            Json::arr(points.iter().enumerate().map(|(i, p)| point_json(i, p))),
+        ),
+        (
+            "frontier",
+            Json::arr(frontier.iter().map(|&i| point_json(i, &points[i]))),
+        ),
+        (
+            "recommendation",
+            Json::maybe(recommendation, |i| point_json(i, &points[i])),
+        ),
+    ]);
+
+    let path = "BENCH_plan.json";
+    std::fs::write(path, doc.pretty()).expect("write BENCH_plan.json");
+    println!("\nwrote {path}");
+}

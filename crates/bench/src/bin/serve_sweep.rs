@@ -2,6 +2,13 @@
 //! (scenario × arrival process × dispatch policy) combination, emitting
 //! `BENCH_serve.json`.
 //!
+//! Every sweep cell is a declarative [`ScenarioSpec`] value — fleet
+//! shape, arrivals, traffic, policy, and controller knobs as plain data
+//! (`swat_serve::scenario`) — and this binary is just the catalogue of
+//! specs plus table/JSON assembly. New studies are new spec values, not
+//! new simulation-driving code, and `--scenario <name>` runs any single
+//! scenario's cells alone.
+//!
 //! Ten scenarios exercise `swat-serve` end to end:
 //!
 //! 1. **homogeneous** — the PR 1 baseline: 6 dual-pipeline FP16 cards,
@@ -47,95 +54,558 @@
 //!     early-exit rates in the JSON's `decode` blocks.
 //!
 //! Every sweep cell is an independent simulation with its own seeded
-//! generator, so the cells run on a scoped thread pool (`--jobs N`).
-//! Results are collected by cell index and every table and JSON byte is
-//! assembled sequentially after the pool joins: output is bitwise
-//! identical for a fixed `seed` regardless of `--jobs`. Per-scenario
-//! timing and kernel events/sec go to **stderr** only, so the tables on
-//! stdout and the JSON artifact stay byte-identical run to run.
+//! generator, so the cells run on the shared scoped thread pool
+//! (`--jobs N`). Results are collected by cell index and every table and
+//! JSON byte is assembled sequentially after the pool joins: output is
+//! bitwise identical for a fixed `seed` regardless of `--jobs`.
+//! Per-scenario timing and kernel events/sec go to **stderr** only, so
+//! the tables on stdout and the JSON artifact stay byte-identical run to
+//! run.
 //!
 //! ```text
-//! cargo run --release -p swat-bench --bin serve_sweep [--jobs N] [seed] [requests]
+//! cargo run --release -p swat-bench --bin serve_sweep \
+//!     [--jobs N] [--scenario NAME] [seed] [requests]
 //! ```
 //!
 //! `requests` (default 10 000) scales every run; CI smoke-tests the
 //! binary at 500 and cross-checks `--jobs 4` against `--jobs 1`.
 
-use swat::SwatConfig;
-use swat_bench::{banner, print_table};
-use swat_hw::MemoryInterface;
+use swat_bench::{banner, print_table, run_cells, scenario_timing, Cell};
 use swat_serve::arrival::ArrivalProcess;
-use swat_serve::fault::FaultPlan;
-use swat_serve::fleet::{CardGroup, FleetConfig};
+use swat_serve::fleet::FleetConfig;
 use swat_serve::json::Json;
 use swat_serve::metrics::ServeReport;
-use swat_serve::policy::{
-    all_policies, LeastLoaded, SessionAffinity, ShardedLeastLoaded, ShardedShortestJobFirst,
-    ShortestJobFirst,
-};
 use swat_serve::scale::AutoscalerConfig;
-use swat_serve::session::{SessionProfile, SessionTraffic};
-use swat_serve::sim::{
-    AdmissionControl, DecodeBatching, PreemptionControl, Simulation, TrafficSpec,
+use swat_serve::scenario::{
+    FaultKindSpec, FaultSpec, FleetSpec, PolicySpec, PreemptionSpec, ScenarioSpec, TrafficModel,
 };
-use swat_workloads::{DecodeMix, RequestMix};
+use swat_serve::sim::{AdmissionControl, DecodeBatching};
+use swat_workloads::{DecodeMix, RequestMix, SessionProfile};
 
 /// Default requests per sweep cell.
 const DEFAULT_REQUESTS: usize = 10_000;
 
-/// A deferred sweep cell: owns everything it needs (fleet clone, arrival
-/// process, policy recipe) so the pool can run it on any worker thread.
-type Cell = Box<dyn FnOnce() -> (ServeReport, u64) + Send>;
+/// The four whole-request policies every baseline scenario sweeps, in
+/// `all_policies()` order.
+const ALL_POLICIES: [PolicySpec; 4] = [
+    PolicySpec::Fifo,
+    PolicySpec::LeastLoaded,
+    PolicySpec::ShortestJobFirst,
+    PolicySpec::HeadAffinity,
+];
 
-/// One executed cell: the deterministic report plus the two
-/// non-deterministic side channels (kernel event count is deterministic,
-/// wall-clock is not — it only ever reaches stderr).
-struct CellOut {
-    report: ServeReport,
-    events: u64,
-    wall_s: f64,
+/// Which extra table (printed below the main summary) a scenario feeds.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ExtraTable {
+    None,
+    Fanout,
+    Width,
+    Autoscale,
+    Priority,
+    Sessions,
+    Faults,
+    Decode,
 }
 
-/// Runs every cell on a scoped thread pool of `jobs` workers and returns
-/// the results indexed exactly like the input. Workers claim cells from a
-/// shared atomic cursor, so a slow cell never blocks an idle worker; with
-/// `--jobs 1` the cells run in order on one worker. Nothing downstream
-/// can observe the execution order: all output assembly happens after the
-/// scope joins, reading this vector in cell-index order.
-fn run_cells(cells: Vec<Cell>, jobs: usize) -> Vec<CellOut> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+/// One sweep cell: the spec to run plus the labels the report alone
+/// cannot recover (row label, admission / elastic annotations, and the
+/// bare cell label the scenario's extra table keys on).
+struct CellDef {
+    spec: ScenarioSpec,
+    row: String,
+    admission: String,
+    elastic: String,
+    label: String,
+}
 
-    let queue: Vec<Mutex<Option<Cell>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let slots: Vec<Mutex<Option<CellOut>>> = queue.iter().map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    let workers = jobs.min(queue.len()).max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= queue.len() {
-                    break;
-                }
-                let cell = queue[i]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("each cell runs once");
-                let started = std::time::Instant::now();
-                let (report, events) = cell();
-                *slots[i].lock().unwrap() = Some(CellOut {
-                    report,
-                    events,
-                    wall_s: started.elapsed().as_secs_f64(),
-                });
-            });
+impl CellDef {
+    /// A baseline cell (no per-cell controls): row label is the scenario
+    /// name, admission "admit-all", elastic "none".
+    fn baseline(spec: ScenarioSpec, scenario: &str) -> CellDef {
+        CellDef {
+            spec,
+            row: scenario.to_string(),
+            admission: "admit-all".to_string(),
+            elastic: "none".to_string(),
+            label: String::new(),
         }
+    }
+
+    /// A control-A/B cell: row label `{scenario}/{label}`, the label
+    /// annotated as the elastic setting.
+    fn elastic(spec: ScenarioSpec, prefix: &str, label: &str) -> CellDef {
+        CellDef {
+            spec,
+            row: format!("{prefix}/{label}"),
+            admission: "admit-all".to_string(),
+            elastic: label.to_string(),
+            label: label.to_string(),
+        }
+    }
+
+    /// An admission-A/B cell: row label `{scenario}/{label}`, the label
+    /// annotated as the admission setting.
+    fn admission(spec: ScenarioSpec, prefix: &str, label: &str) -> CellDef {
+        CellDef {
+            spec,
+            row: format!("{prefix}/{label}"),
+            admission: label.to_string(),
+            elastic: "none".to_string(),
+            label: label.to_string(),
+        }
+    }
+}
+
+/// One sweep scenario: a name, the shared fleet, scenario-level JSON
+/// annotations (inserted between `fleet` and `runs`), the extra table it
+/// feeds, and its cells.
+struct ScenarioDef {
+    name: &'static str,
+    fleet: FleetSpec,
+    extras: Vec<(&'static str, Json)>,
+    table: ExtraTable,
+    cells: Vec<CellDef>,
+}
+
+/// The full sweep catalogue: ten scenarios, 43 cells, every one a
+/// [`ScenarioSpec`] value.
+fn sweep_scenarios(seed: u64, requests: usize) -> Vec<ScenarioDef> {
+    let mut defs = Vec::new();
+
+    // A spec with the sweep-wide defaults filled in; scenarios override
+    // the fields they study.
+    let base = |name: String, fleet: FleetSpec, arrivals: ArrivalProcess| ScenarioSpec {
+        name,
+        fleet,
+        arrivals,
+        traffic: TrafficModel::mix(RequestMix::Production),
+        seed,
+        requests,
+        ..ScenarioSpec::default()
+    };
+
+    // The production mix averages ≈0.6 s of single-pipeline service per
+    // request, so 12 FP16 pipelines sustain ≈20 rps. Rates target ≈70%
+    // mean utilization — with transient overload inside bursts (4× base)
+    // and at the diurnal peak (1.2× capacity), where queues visibly form.
+    let homogeneous = FleetSpec::standard(6);
+    let homogeneous_arrivals = [
+        ArrivalProcess::poisson(14.0),
+        ArrivalProcess::bursty(8.0),
+        ArrivalProcess::diurnal(4.0, 24.0),
+    ];
+    defs.push(ScenarioDef {
+        name: "homogeneous",
+        fleet: homogeneous.clone(),
+        extras: vec![("admission_queue_cap", Json::Null)],
+        table: ExtraTable::None,
+        cells: homogeneous_arrivals
+            .iter()
+            .flat_map(|&arrivals| ALL_POLICIES.iter().map(move |&policy| (arrivals, policy)))
+            .map(|(arrivals, policy)| {
+                let spec = ScenarioSpec {
+                    policy,
+                    ..base("homogeneous".to_string(), homogeneous.clone(), arrivals)
+                };
+                CellDef::baseline(spec, "homogeneous")
+            })
+            .collect(),
     });
-    slots
+
+    // The mixed fleet trades two FP16 duals for four FP32 singles:
+    // ≈11 FP16-equivalent pipelines, so rates scale down accordingly.
+    let heterogeneous = FleetSpec::mixed_precision(4, 4);
+    let heterogeneous_arrivals = [ArrivalProcess::poisson(12.0), ArrivalProcess::bursty(7.0)];
+    defs.push(ScenarioDef {
+        name: "heterogeneous",
+        fleet: heterogeneous.clone(),
+        extras: vec![("admission_queue_cap", Json::Null)],
+        table: ExtraTable::None,
+        cells: heterogeneous_arrivals
+            .iter()
+            .flat_map(|&arrivals| ALL_POLICIES.iter().map(move |&policy| (arrivals, policy)))
+            .map(|(arrivals, policy)| {
+                let spec = ScenarioSpec {
+                    policy,
+                    ..base("heterogeneous".to_string(), heterogeneous.clone(), arrivals)
+                };
+                CellDef::baseline(spec, "heterogeneous")
+            })
+            .collect(),
+    });
+
+    // Priority scenario: sustained bursts past capacity, where admission
+    // control earns its keep by shedding background filler.
+    let priority_arrivals = ArrivalProcess::bursty(12.0);
+    let background_cap = 32usize;
+    defs.push(ScenarioDef {
+        name: "priority",
+        fleet: homogeneous.clone(),
+        extras: vec![("admission_queue_cap", Json::Int(background_cap as i64))],
+        table: ExtraTable::Priority,
+        cells: [
+            ("admit-all", AdmissionControl::admit_all()),
+            (
+                "shed-background",
+                AdmissionControl::shed_background_at(background_cap),
+            ),
+        ]
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("every cell ran"))
-        .collect()
+        .map(|(label, admission)| {
+            let spec = ScenarioSpec {
+                admission,
+                ..base(
+                    format!("priority/{label}"),
+                    homogeneous.clone(),
+                    priority_arrivals,
+                )
+            };
+            CellDef::admission(spec, "priority", label)
+        })
+        .collect(),
+    });
+
+    // Preemption scenario: bursty traffic with real lulls — background
+    // work gets dispatched between bursts, then interactive bursts arrive
+    // to find the pipelines occupied, which is the only regime where
+    // checkpoint-and-requeue has victims to take. Base rate well under
+    // the two-card capacity (≈6.6 rps) so the lulls genuinely drain.
+    let preemption_fleet = FleetSpec::standard(2);
+    let preemption_arrivals = ArrivalProcess::bursty(2.5);
+    let patience = 0.1f64;
+    defs.push(ScenarioDef {
+        name: "preemption",
+        fleet: preemption_fleet.clone(),
+        extras: vec![("preemption_wait_s", Json::Num(patience))],
+        table: ExtraTable::None,
+        cells: [
+            ("run-to-completion", PreemptionSpec::Disabled),
+            (
+                "preempt-100ms",
+                PreemptionSpec::AfterWait {
+                    threshold_s: patience,
+                },
+            ),
+        ]
+        .into_iter()
+        .map(|(label, preemption)| {
+            let spec = ScenarioSpec {
+                preemption,
+                ..base(
+                    format!("preemption/{label}"),
+                    preemption_fleet.clone(),
+                    preemption_arrivals,
+                )
+            };
+            CellDef::elastic(spec, "preemption", label)
+        })
+        .collect(),
+    });
+
+    // Autoscale scenario: a compressed diurnal ramp on the 6-card fleet.
+    // The static fleet pays idle power all "night", the elastic one parks
+    // down to 2 cards and pays warm-up latency (and some SLO attainment)
+    // on the morning ramp instead.
+    let autoscale_arrivals = ArrivalProcess::diurnal(3.0, 22.0);
+    let scaler_cfg = AutoscalerConfig::standard().with_min_cards(2);
+    defs.push(ScenarioDef {
+        name: "autoscale",
+        fleet: homogeneous.clone(),
+        extras: vec![(
+            "autoscaler",
+            Json::obj([
+                ("min_cards", Json::Int(scaler_cfg.min_cards as i64)),
+                (
+                    "up_queue_per_card",
+                    Json::Int(scaler_cfg.up_queue_per_card as i64),
+                ),
+                ("down_idle_s", Json::Num(scaler_cfg.down_idle_s)),
+                ("warmup_s", Json::Num(scaler_cfg.warmup_s)),
+            ]),
+        )],
+        table: ExtraTable::Autoscale,
+        cells: [("static", None), ("autoscale-min2", Some(scaler_cfg))]
+            .into_iter()
+            .map(|(label, autoscale)| {
+                let spec = ScenarioSpec {
+                    autoscale,
+                    ..base(
+                        format!("autoscale/{label}"),
+                        homogeneous.clone(),
+                        autoscale_arrivals,
+                    )
+                };
+                CellDef::elastic(spec, "autoscale", label)
+            })
+            .collect(),
+    });
+
+    // Sharded scenario: light load on the 4-card fleet leaves idle
+    // pipelines at most dispatches — exactly when splitting a request's
+    // independent attention jobs across them pays off in latency.
+    let sharded_fleet = FleetSpec::standard(4);
+    let sharded_arrivals = ArrivalProcess::poisson(6.0);
+    let sharded_max = 4usize;
+    defs.push(ScenarioDef {
+        name: "sharded",
+        fleet: sharded_fleet.clone(),
+        extras: vec![("max_shards", Json::Int(sharded_max as i64))],
+        table: ExtraTable::Fanout,
+        cells: [
+            ("whole", PolicySpec::LeastLoaded),
+            (
+                "sharded-4",
+                PolicySpec::ShardedLeastLoaded {
+                    max_shards: sharded_max,
+                    adaptive: true,
+                },
+            ),
+            ("whole", PolicySpec::ShortestJobFirst),
+            (
+                "sharded-4",
+                PolicySpec::ShardedShortestJobFirst {
+                    max_shards: sharded_max,
+                    adaptive: true,
+                },
+            ),
+        ]
+        .into_iter()
+        .map(|(label, policy)| {
+            let spec = ScenarioSpec {
+                policy,
+                ..base(
+                    format!("sharded/{label}"),
+                    sharded_fleet.clone(),
+                    sharded_arrivals,
+                )
+            };
+            CellDef::elastic(spec, "sharded", label)
+        })
+        .collect(),
+    });
+
+    // Adaptive-width scenario: bandwidth-binned cards (1.2 GB/s against
+    // the ~1.15 GB/s one FP16 pipeline streams), so two co-located shards
+    // oversubscribe the interface and stretch ~1.9×. Interactive Poisson
+    // load near the fixed policy's saturation point keeps the queue deep,
+    // where pipeline-seconds are the scarce resource: fixed fan-out burns
+    // the stretch on every wide dispatch, the cost-model planner prices
+    // the backlog, backs off to narrow plans, and sustains the rate.
+    let binned_fleet = FleetSpec::binned(4, 1.2e9);
+    let adaptive_arrivals = ArrivalProcess::poisson(80.0);
+    let adaptive_max = 4usize;
+    defs.push(ScenarioDef {
+        name: "adaptive-width",
+        fleet: binned_fleet.clone(),
+        extras: vec![("max_shards", Json::Int(adaptive_max as i64))],
+        table: ExtraTable::Width,
+        cells: [
+            ("fixed-4", false, false),
+            ("adaptive-4", true, false),
+            ("fixed-4", false, true),
+            ("adaptive-4", true, true),
+        ]
+        .into_iter()
+        .map(|(label, adaptive, sjf)| {
+            let policy = if sjf {
+                PolicySpec::ShardedShortestJobFirst {
+                    max_shards: adaptive_max,
+                    adaptive,
+                }
+            } else {
+                PolicySpec::ShardedLeastLoaded {
+                    max_shards: adaptive_max,
+                    adaptive,
+                }
+            };
+            let spec = ScenarioSpec {
+                policy,
+                traffic: TrafficModel::mix(RequestMix::Interactive),
+                ..base(
+                    format!("adaptive/{label}"),
+                    binned_fleet.clone(),
+                    adaptive_arrivals,
+                )
+            };
+            CellDef::elastic(spec, "adaptive", label)
+        })
+        .collect(),
+    });
+
+    // Sessions scenario: a flash crowd of conversations — session *starts*
+    // spike 10× at the onset and relax over the decay — served with and
+    // without sticky session→card residency. Sessions average ≈5 turns
+    // (standard profile), so the cell sees roughly `requests` turns. Both
+    // cells serve the identical tagged conversation trace (open-loop
+    // arrivals make it policy-independent), so any difference is pure
+    // dispatch.
+    let session_fleet = FleetSpec::standard(4);
+    let session_arrivals = ArrivalProcess::flash_crowd(2.0, 20.0, 30.0, 5.0);
+    let session_profile = SessionProfile::standard();
+    let affinity_cap = 64usize;
+    let sessions_per_cell = (requests / 5).max(1);
+    defs.push(ScenarioDef {
+        name: "sessions",
+        fleet: session_fleet.clone(),
+        extras: vec![
+            (
+                "profile",
+                Json::obj([
+                    ("min_turns", Json::Int(session_profile.min_turns as i64)),
+                    ("max_turns", Json::Int(session_profile.max_turns as i64)),
+                    ("think_mean_s", Json::Num(session_profile.think_mean_s)),
+                    ("heavy_pct", Json::Int(session_profile.heavy_pct as i64)),
+                ]),
+            ),
+            ("sessions_per_run", Json::Int(sessions_per_cell as i64)),
+            ("affinity_capacity_per_card", Json::Int(affinity_cap as i64)),
+        ],
+        table: ExtraTable::Sessions,
+        cells: [
+            ("affinity-off", PolicySpec::LeastLoaded),
+            (
+                "affinity-on",
+                PolicySpec::SessionAffinity {
+                    capacity_per_card: affinity_cap,
+                },
+            ),
+        ]
+        .into_iter()
+        .map(|(label, policy)| {
+            let spec = ScenarioSpec {
+                policy,
+                traffic: TrafficModel::Sessions {
+                    profile: session_profile,
+                },
+                requests: sessions_per_cell,
+                ..base(
+                    format!("sessions/{label}"),
+                    session_fleet.clone(),
+                    session_arrivals,
+                )
+            };
+            CellDef::elastic(spec, "sessions", label)
+        })
+        .collect(),
+    });
+
+    // Faults scenario: the same trace served fault-free, through a card
+    // death (in-flight shards lost, remnants requeued, a revival later),
+    // and through a 2× calibration degrade — all at seeded mid-diurnal
+    // times (fractions of the trace span), so recovery happens under the
+    // peak at any `requests`.
+    let fault_fleet = FleetSpec::standard(4);
+    let fault_arrivals = ArrivalProcess::diurnal(3.0, 14.0);
+    defs.push(ScenarioDef {
+        name: "faults",
+        fleet: fault_fleet.clone(),
+        extras: vec![],
+        table: ExtraTable::Faults,
+        cells: [
+            ("fault-free", vec![]),
+            (
+                "card-death",
+                vec![
+                    FaultSpec {
+                        at_frac: 0.4,
+                        card: 0,
+                        kind: FaultKindSpec::Kill,
+                    },
+                    FaultSpec {
+                        at_frac: 0.7,
+                        card: 0,
+                        kind: FaultKindSpec::Revive { warmup_s: 2.0 },
+                    },
+                ],
+            ),
+            (
+                "degrade-2x",
+                vec![FaultSpec {
+                    at_frac: 0.4,
+                    card: 0,
+                    kind: FaultKindSpec::Degrade { factor: 2.0 },
+                }],
+            ),
+        ]
+        .into_iter()
+        .map(|(label, faults)| {
+            let spec = ScenarioSpec {
+                faults,
+                ..base(
+                    format!("faults/{label}"),
+                    fault_fleet.clone(),
+                    fault_arrivals,
+                )
+            };
+            CellDef::elastic(spec, "faults", label)
+        })
+        .collect(),
+    });
+
+    // Decode scenario: the same bandwidth-binned fleet as adaptive-width,
+    // but every request owes 2–6 decode steps (seeded early exit at 20%
+    // per boundary, expected ≈2.9 steps), so ≈28 rps saturates where the
+    // one-shot mix took 80. Poisson load just under that keeps the queue
+    // deep enough that *when* a remnant re-enters matters: continuous
+    // batching lets short fresh requests overtake a long decode between
+    // its steps, whole-job queueing holds the card run-to-completion.
+    let decode_arrivals = ArrivalProcess::poisson(24.0);
+    let decode_steps = (2u32, 6u32);
+    let decode_exit_prob = 0.2f64;
+    let decode_max = 4usize;
+    defs.push(ScenarioDef {
+        name: "decode",
+        fleet: binned_fleet.clone(),
+        extras: vec![
+            ("max_shards", Json::Int(decode_max as i64)),
+            (
+                "decode_mix",
+                Json::obj([
+                    ("min_steps", Json::Int(decode_steps.0 as i64)),
+                    ("max_steps", Json::Int(decode_steps.1 as i64)),
+                    ("exit_prob", Json::Num(decode_exit_prob)),
+                ]),
+            ),
+        ],
+        table: ExtraTable::Decode,
+        cells: [
+            ("continuous/adaptive-4", false, false, decode_exit_prob),
+            ("whole-job/adaptive-4", true, false, decode_exit_prob),
+            ("continuous/fixed-4", false, true, decode_exit_prob),
+            ("continuous/no-exit", false, false, 0.0),
+        ]
+        .into_iter()
+        .map(|(label, whole_job, fixed, exit_prob)| {
+            let spec = ScenarioSpec {
+                policy: PolicySpec::ShardedShortestJobFirst {
+                    max_shards: decode_max,
+                    adaptive: !fixed,
+                },
+                traffic: TrafficModel::Mix {
+                    mix: RequestMix::Interactive,
+                    decode: Some(DecodeMix {
+                        min_steps: decode_steps.0,
+                        max_steps: decode_steps.1,
+                        exit_prob,
+                    }),
+                },
+                batching: if whole_job {
+                    DecodeBatching::WholeJob
+                } else {
+                    DecodeBatching::Continuous
+                },
+                ..base(
+                    format!("decode/{label}"),
+                    binned_fleet.clone(),
+                    decode_arrivals,
+                )
+            };
+            CellDef::elastic(spec, "decode", label)
+        })
+        .collect(),
+    });
+
+    defs
 }
 
 fn fleet_json(fleet: &FleetConfig) -> Json {
@@ -153,43 +623,6 @@ fn fleet_json(fleet: &FleetConfig) -> Json {
             })),
         ),
     ])
-}
-
-fn run_cell(
-    fleet: &FleetConfig,
-    arrivals: ArrivalProcess,
-    policy: &mut dyn swat_serve::DispatchPolicy,
-    admission: AdmissionControl,
-    seed: u64,
-    requests: usize,
-) -> (ServeReport, u64) {
-    let spec = TrafficSpec {
-        arrivals,
-        mix: RequestMix::Production,
-        seed,
-    };
-    let (report, counters) = Simulation::new(fleet)
-        .arrivals_label(format!("{}/{}", arrivals.name(), spec.mix.name()))
-        .admission(admission)
-        .run_profiled(policy, &spec.requests(requests));
-    (report, counters.events_total())
-}
-
-/// Reports a scenario's compute cost to stderr. `wall` is the sum of the
-/// scenario's per-cell wall-clock times — CPU-seconds under `--jobs N`,
-/// elapsed time under `--jobs 1`. stdout (the tables) and
-/// `BENCH_serve.json` stay byte-identical — CI's sha-compare and any
-/// `2>/dev/null` consumer are unaffected.
-fn scenario_timing(scenario: &str, runs: usize, events: u64, wall: f64) {
-    let rate = if wall > 0.0 {
-        events as f64 / wall
-    } else {
-        0.0
-    };
-    eprintln!(
-        "timing: {scenario:<14} {runs:>2} runs  {events:>9} kernel events  \
-         {wall:>6.2} s wall  {rate:>9.0} events/s"
-    );
 }
 
 /// One run's JSON, annotated with the inputs the report alone cannot
@@ -244,11 +677,14 @@ fn summary_row(scenario: &str, report: &ServeReport) -> Vec<String> {
 /// should read as operator error, not a crash.
 fn usage(problem: &str) -> ! {
     eprintln!("serve_sweep: {problem}");
-    eprintln!("usage: serve_sweep [--jobs N] [seed] [requests]");
-    eprintln!("  --jobs N  worker threads for the 43 sweep cells (default 1;");
-    eprintln!("            output is byte-identical for every N)");
-    eprintln!("  seed      u64 sweep seed (default 0x5EED)");
-    eprintln!("  requests  requests per sweep cell (default {DEFAULT_REQUESTS}, must be > 0)");
+    eprintln!("usage: serve_sweep [--jobs N] [--scenario NAME] [seed] [requests]");
+    eprintln!("  --jobs N         worker threads for the sweep cells (default 1;");
+    eprintln!("                   output is byte-identical for every N)");
+    eprintln!("  --scenario NAME  run a single scenario's cells (default: all ten)");
+    eprintln!("  seed             u64 sweep seed (default 0x5EED)");
+    eprintln!(
+        "  requests         requests per sweep cell (default {DEFAULT_REQUESTS}, must be > 0)"
+    );
     eprintln!();
     eprintln!("sweeps ten scenarios: homogeneous, heterogeneous, priority, preemption,");
     eprintln!("autoscale, sharded, adaptive-width, sessions, faults, and decode (the");
@@ -260,6 +696,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut requests: Option<usize> = None;
     let mut jobs = 1usize;
+    let mut filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if let Some(rest) = arg.strip_prefix("--jobs") {
@@ -273,6 +710,15 @@ fn main() {
             jobs = value.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
                 usage(&format!("--jobs must be a positive integer, got {value:?}"))
             });
+        } else if let Some(rest) = arg.strip_prefix("--scenario") {
+            let value = match rest.strip_prefix('=') {
+                Some(v) => v.to_string(),
+                None if rest.is_empty() => args
+                    .next()
+                    .unwrap_or_else(|| usage("--scenario needs a value")),
+                _ => usage(&format!("unexpected argument {arg:?}")),
+            };
+            filter = Some(value);
         } else if seed.is_none() {
             seed = Some(arg.parse().unwrap_or_else(|_| {
                 usage(&format!("seed must be an unsigned integer, got {arg:?}"))
@@ -288,700 +734,185 @@ fn main() {
     let seed = seed.unwrap_or(0x5EED);
     let requests = requests.unwrap_or(DEFAULT_REQUESTS);
 
-    // The production mix averages ≈0.6 s of single-pipeline service per
-    // request, so 12 FP16 pipelines sustain ≈20 rps. Rates target ≈70%
-    // mean utilization — with transient overload inside bursts (4× base)
-    // and at the diurnal peak (1.2× capacity), where queues visibly form.
-    let homogeneous = FleetConfig::standard(6);
-    let homogeneous_arrivals = [
-        ArrivalProcess::poisson(14.0),
-        ArrivalProcess::bursty(8.0),
-        ArrivalProcess::diurnal(4.0, 24.0),
-    ];
-    // The mixed fleet trades two FP16 duals for four FP32 singles:
-    // ≈11 FP16-equivalent pipelines, so rates scale down accordingly.
-    let heterogeneous = FleetConfig::mixed_precision(4, 4);
-    let heterogeneous_arrivals = [ArrivalProcess::poisson(12.0), ArrivalProcess::bursty(7.0)];
-    // Priority scenario: sustained bursts past capacity, where admission
-    // control earns its keep by shedding background filler.
-    let priority_arrivals = ArrivalProcess::bursty(12.0);
-    let background_cap = 32usize;
-    // Preemption scenario: bursty traffic with real lulls — background
-    // work gets dispatched between bursts, then interactive bursts arrive
-    // to find the pipelines occupied, which is the only regime where
-    // checkpoint-and-requeue has victims to take. Base rate well under
-    // the two-card capacity (≈6.6 rps) so the lulls genuinely drain.
-    let preemption_fleet = FleetConfig::standard(2);
-    let preemption_arrivals = ArrivalProcess::bursty(2.5);
-    let patience = 0.1f64;
-    // Autoscale scenario: a compressed diurnal ramp on the 6-card fleet.
-    // The static fleet pays idle power all "night", the elastic one parks
-    // down to 2 cards and pays warm-up latency (and some SLO attainment)
-    // on the morning ramp instead.
-    let autoscale_arrivals = ArrivalProcess::diurnal(3.0, 22.0);
-    let scaler_cfg = AutoscalerConfig::standard().with_min_cards(2);
-    // Sharded scenario: light load on the 4-card fleet leaves idle
-    // pipelines at most dispatches — exactly when splitting a request's
-    // independent attention jobs across them pays off in latency.
-    let sharded_fleet = FleetConfig::standard(4);
-    let sharded_arrivals = ArrivalProcess::poisson(6.0);
-    let sharded_max = 4usize;
-    // Adaptive-width scenario: bandwidth-binned cards (1.2 GB/s against
-    // the ~1.15 GB/s one FP16 pipeline streams), so two co-located shards
-    // oversubscribe the interface and stretch ~1.9×. Interactive Poisson
-    // load near the fixed policy's saturation point keeps the queue deep,
-    // where pipeline-seconds are the scarce resource: fixed fan-out burns
-    // the stretch on every wide dispatch, the cost-model planner prices
-    // the backlog, backs off to narrow plans, and sustains the rate.
-    let binned_fleet = FleetConfig {
-        groups: vec![CardGroup::new(
-            4,
-            SwatConfig::bigbird_dual_fp16(),
-            MemoryInterface::new(1.2e9),
-        )],
-        host_link: MemoryInterface::pcie4_x16(),
-    };
-    let adaptive_arrivals = ArrivalProcess::poisson(80.0);
-    let adaptive_mix = RequestMix::Interactive;
-    let adaptive_max = 4usize;
-    // Sessions scenario: a flash crowd of conversations — session *starts*
-    // spike 10× at the onset and relax over the decay — served with and
-    // without sticky session→card residency. Sessions average ≈5 turns
-    // (standard profile), so the cell sees roughly `requests` turns.
-    let session_fleet = FleetConfig::standard(4);
-    let session_arrivals = ArrivalProcess::flash_crowd(2.0, 20.0, 30.0, 5.0);
-    let session_profile = SessionProfile::standard();
-    let affinity_cap = 64usize;
-    let sessions_per_cell = (requests / 5).max(1);
-    // Faults scenario: the same trace served fault-free, through a card
-    // death (in-flight shards lost, remnants requeued, a revival later),
-    // and through a 2× calibration degrade — all at seeded mid-diurnal
-    // times, so recovery happens under the peak.
-    let fault_fleet = FleetConfig::standard(4);
-    let fault_arrivals = ArrivalProcess::diurnal(3.0, 14.0);
-    // Decode scenario: the same bandwidth-binned fleet as adaptive-width,
-    // but every request owes 2–6 decode steps (seeded early exit at 20%
-    // per boundary, expected ≈2.9 steps), so ≈28 rps saturates where the
-    // one-shot mix took 80. Poisson load just under that keeps the queue
-    // deep enough that *when* a remnant re-enters matters: continuous
-    // batching lets short fresh requests overtake a long decode between
-    // its steps, whole-job queueing holds the card run-to-completion.
-    let decode_arrivals = ArrivalProcess::poisson(24.0);
-    let decode_mix = RequestMix::Interactive;
-    let decode_steps = (2u32, 6u32);
-    let decode_exit_prob = 0.2f64;
-    let decode_max = 4usize;
+    let mut defs = sweep_scenarios(seed, requests);
+    if let Some(name) = &filter {
+        let names = defs.iter().map(|d| d.name).collect::<Vec<_>>().join(", ");
+        defs.retain(|d| d.name == name.as_str());
+        if defs.is_empty() {
+            usage(&format!("unknown scenario {name:?} (valid: {names})"));
+        }
+    }
+    let total_cells: usize = defs.iter().map(|d| d.cells.len()).sum();
 
     banner(format!(
-        "serve_sweep — {requests} requests/cell, 10 scenarios / 43 cells on FP16/FP32 fleets \
-         (seed {seed:#x})"
+        "serve_sweep — {requests} requests/cell, {} scenarios / {total_cells} cells on \
+         FP16/FP32 fleets (seed {seed:#x})",
+        defs.len()
     ));
 
-    // Phase 1: enqueue every cell as an owned closure. Indices into
-    // `cells` are recorded per scenario so phase 3 can assemble rows,
-    // extra tables, and JSON in exactly the order the sequential sweep
-    // used — the executed order (phase 2) is unobservable.
-    let mut cells: Vec<Cell> = Vec::new();
-
-    // Scenario 1: homogeneous baseline.
-    let mut s1_cells = Vec::new();
-    for arrivals in homogeneous_arrivals {
-        for pi in 0..all_policies().len() {
-            let fleet = homogeneous.clone();
+    // Phase 1: enqueue every cell as an owned closure over its spec.
+    // Cell indices are contiguous per scenario, so phase 3 can assemble
+    // rows, extra tables, and JSON in exactly the order the sequential
+    // sweep used — the executed order (phase 2) is unobservable.
+    let mut cells: Vec<Cell<(ServeReport, u64)>> = Vec::new();
+    let mut ranges = Vec::new();
+    for def in &defs {
+        let start = cells.len();
+        for cell in &def.cells {
+            let spec = cell.spec.clone();
             cells.push(Box::new(move || {
-                let mut policy = all_policies().remove(pi);
-                run_cell(
-                    &fleet,
-                    arrivals,
-                    &mut *policy,
-                    AdmissionControl::admit_all(),
-                    seed,
-                    requests,
-                )
+                let (report, counters) = spec
+                    .run_profiled()
+                    .expect("sweep catalogue specs are valid");
+                (report, counters.events_total())
             }));
-            s1_cells.push((cells.len() - 1, arrivals));
         }
+        ranges.push(start..cells.len());
     }
 
-    // Scenario 2: heterogeneous fleet.
-    let mut s2_cells = Vec::new();
-    for arrivals in heterogeneous_arrivals {
-        for pi in 0..all_policies().len() {
-            let fleet = heterogeneous.clone();
-            cells.push(Box::new(move || {
-                let mut policy = all_policies().remove(pi);
-                run_cell(
-                    &fleet,
-                    arrivals,
-                    &mut *policy,
-                    AdmissionControl::admit_all(),
-                    seed,
-                    requests,
-                )
-            }));
-            s2_cells.push((cells.len() - 1, arrivals));
-        }
-    }
-
-    // Scenario 3: priority classes under overload, admission on vs off.
-    let mut s3_cells = Vec::new();
-    for (label, cap) in [
-        ("admit-all", None),
-        ("shed-background", Some(background_cap)),
-    ] {
-        let fleet = homogeneous.clone();
-        cells.push(Box::new(move || {
-            let admission = match cap {
-                Some(depth) => AdmissionControl::shed_background_at(depth),
-                None => AdmissionControl::admit_all(),
-            };
-            run_cell(
-                &fleet,
-                priority_arrivals,
-                &mut LeastLoaded,
-                admission,
-                seed,
-                requests,
-            )
-        }));
-        s3_cells.push((cells.len() - 1, label));
-    }
-
-    // Scenario 4: preemption on vs off.
-    let mut s4_cells = Vec::new();
-    for (label, wait) in [
-        ("run-to-completion", None),
-        ("preempt-100ms", Some(patience)),
-    ] {
-        let fleet = preemption_fleet.clone();
-        cells.push(Box::new(move || {
-            let spec = TrafficSpec {
-                arrivals: preemption_arrivals,
-                mix: RequestMix::Production,
-                seed,
-            };
-            let preemption = match wait {
-                Some(w) => PreemptionControl::after_wait(w),
-                None => PreemptionControl::disabled(),
-            };
-            let (report, counters) = Simulation::new(&fleet)
-                .arrivals_label(format!(
-                    "{}/{}",
-                    preemption_arrivals.name(),
-                    spec.mix.name()
-                ))
-                .preemption(preemption)
-                .run_profiled(&mut LeastLoaded, &spec.requests(requests));
-            (report, counters.events_total())
-        }));
-        s4_cells.push((cells.len() - 1, label));
-    }
-
-    // Scenario 5: autoscale on vs off.
-    let mut s5_cells = Vec::new();
-    for (label, scale) in [("static", None), ("autoscale-min2", Some(scaler_cfg))] {
-        let fleet = homogeneous.clone();
-        cells.push(Box::new(move || {
-            let spec = TrafficSpec {
-                arrivals: autoscale_arrivals,
-                mix: RequestMix::Production,
-                seed,
-            };
-            let mut sim = Simulation::new(&fleet).arrivals_label(format!(
-                "{}/{}",
-                autoscale_arrivals.name(),
-                spec.mix.name()
-            ));
-            if let Some(cfg) = scale {
-                sim = sim.autoscale(cfg);
-            }
-            let (report, counters) = sim.run_profiled(&mut LeastLoaded, &spec.requests(requests));
-            (report, counters.events_total())
-        }));
-        s5_cells.push((cells.len() - 1, label));
-    }
-
-    // Scenario 6: sharded vs whole-request dispatch. The policy is built
-    // inside the cell (trait objects need not cross threads).
-    type PolicyRecipe = Box<dyn Fn() -> Box<dyn swat_serve::DispatchPolicy> + Send>;
-    let sharded_recipes: Vec<(&str, PolicyRecipe)> = vec![
-        ("whole", Box::new(|| Box::new(LeastLoaded))),
-        (
-            "sharded-4",
-            Box::new(move || Box::new(ShardedLeastLoaded::new(sharded_max))),
-        ),
-        ("whole", Box::new(|| Box::new(ShortestJobFirst))),
-        (
-            "sharded-4",
-            Box::new(move || Box::new(ShardedShortestJobFirst::new(sharded_max))),
-        ),
-    ];
-    let mut s6_cells = Vec::new();
-    for (label, recipe) in sharded_recipes {
-        let fleet = sharded_fleet.clone();
-        cells.push(Box::new(move || {
-            let mut policy = recipe();
-            run_cell(
-                &fleet,
-                sharded_arrivals,
-                &mut *policy,
-                AdmissionControl::admit_all(),
-                seed,
-                requests,
-            )
-        }));
-        s6_cells.push((cells.len() - 1, label));
-    }
-
-    // Scenario 7: adaptive vs fixed shard width under a deep queue.
-    let adaptive_recipes: Vec<(&str, PolicyRecipe)> = vec![
-        (
-            "fixed-4",
-            Box::new(move || Box::new(ShardedLeastLoaded::fixed(adaptive_max))),
-        ),
-        (
-            "adaptive-4",
-            Box::new(move || Box::new(ShardedLeastLoaded::new(adaptive_max))),
-        ),
-        (
-            "fixed-4",
-            Box::new(move || Box::new(ShardedShortestJobFirst::fixed(adaptive_max))),
-        ),
-        (
-            "adaptive-4",
-            Box::new(move || Box::new(ShardedShortestJobFirst::new(adaptive_max))),
-        ),
-    ];
-    let mut s7_cells = Vec::new();
-    for (label, recipe) in adaptive_recipes {
-        let fleet = binned_fleet.clone();
-        cells.push(Box::new(move || {
-            let spec = TrafficSpec {
-                arrivals: adaptive_arrivals,
-                mix: adaptive_mix,
-                seed,
-            };
-            let mut policy = recipe();
-            let (report, counters) = Simulation::new(&fleet)
-                .arrivals_label(format!(
-                    "{}/{}",
-                    adaptive_arrivals.name(),
-                    adaptive_mix.name()
-                ))
-                .run_profiled(&mut *policy, &spec.requests(requests));
-            (report, counters.events_total())
-        }));
-        s7_cells.push((cells.len() - 1, label));
-    }
-
-    // Scenario 8: session affinity on vs off under a flash crowd. Both
-    // cells serve the identical tagged conversation trace (open-loop
-    // arrivals make it policy-independent), so any difference is pure
-    // dispatch.
-    let session_recipes: Vec<(&str, PolicyRecipe)> = vec![
-        ("affinity-off", Box::new(|| Box::new(LeastLoaded))),
-        (
-            "affinity-on",
-            Box::new(move || Box::new(SessionAffinity::new(affinity_cap))),
-        ),
-    ];
-    let mut s8_cells = Vec::new();
-    for (label, recipe) in session_recipes {
-        let fleet = session_fleet.clone();
-        cells.push(Box::new(move || {
-            let spec = SessionTraffic {
-                arrivals: session_arrivals,
-                profile: session_profile,
-                seed,
-            };
-            let mut policy = recipe();
-            let (report, counters) = Simulation::new(&fleet)
-                .arrivals_label(format!("{}/sessions", session_arrivals.name()))
-                .run_profiled(&mut *policy, &spec.requests(sessions_per_cell));
-            (report, counters.events_total())
-        }));
-        s8_cells.push((cells.len() - 1, label));
-    }
-
-    // Scenario 9: seeded faults mid-diurnal. The plan's times are derived
-    // from the trace itself (fractions of its span), so the same faults
-    // land at the same phase of the diurnal cycle at any `requests`.
-    let mut s9_cells = Vec::new();
-    for (label, mode) in [("fault-free", 0u8), ("card-death", 1), ("degrade-2x", 2)] {
-        let fleet = fault_fleet.clone();
-        cells.push(Box::new(move || {
-            let spec = TrafficSpec {
-                arrivals: fault_arrivals,
-                mix: RequestMix::Production,
-                seed,
-            };
-            let trace = spec.requests(requests);
-            let t0 = trace[0].arrival;
-            let span = trace.last().unwrap().arrival - t0;
-            let plan = match mode {
-                1 => FaultPlan::none()
-                    .kill(t0 + span * 0.4, 0)
-                    .revive(t0 + span * 0.7, 0, 2.0),
-                2 => FaultPlan::none().degrade(t0 + span * 0.4, 0, 2.0),
-                _ => FaultPlan::none(),
-            };
-            let (report, counters) = Simulation::new(&fleet)
-                .arrivals_label(format!("{}/{}", fault_arrivals.name(), spec.mix.name()))
-                .faults(plan)
-                .run_profiled(&mut LeastLoaded, &trace);
-            (report, counters.events_total())
-        }));
-        s9_cells.push((cells.len() - 1, label));
-    }
-
-    // Scenario 10: token-level decode near saturation — batching mode
-    // A/B, width discipline A/B, and an early-exit-off control. Every
-    // cell serves byte-identical base traffic (plans ride a decorrelated
-    // substream), so differences are pure step scheduling.
-    let mut s10_cells = Vec::new();
-    for (label, whole_job, fixed, exit_prob) in [
-        ("continuous/adaptive-4", false, false, decode_exit_prob),
-        ("whole-job/adaptive-4", true, false, decode_exit_prob),
-        ("continuous/fixed-4", false, true, decode_exit_prob),
-        ("continuous/no-exit", false, false, 0.0),
-    ] {
-        let fleet = binned_fleet.clone();
-        cells.push(Box::new(move || {
-            let spec = TrafficSpec {
-                arrivals: decode_arrivals,
-                mix: decode_mix,
-                seed,
-            };
-            let plans = DecodeMix {
-                min_steps: decode_steps.0,
-                max_steps: decode_steps.1,
-                exit_prob,
-            };
-            let mut policy: Box<dyn swat_serve::DispatchPolicy> = if fixed {
-                Box::new(ShardedShortestJobFirst::fixed(decode_max))
-            } else {
-                Box::new(ShardedShortestJobFirst::new(decode_max))
-            };
-            let batching = if whole_job {
-                DecodeBatching::WholeJob
-            } else {
-                DecodeBatching::Continuous
-            };
-            let (report, counters) = Simulation::new(&fleet)
-                .arrivals_label(format!("{}/{}", decode_arrivals.name(), decode_mix.name()))
-                .decode_batching(batching)
-                .run_profiled(&mut *policy, &spec.decode_requests(requests, &plans));
-            (report, counters.events_total())
-        }));
-        s10_cells.push((cells.len() - 1, label));
-    }
-
-    // Phase 2: run the cells. Each is its own seeded simulation, so the
-    // pool introduces no cross-cell state.
+    // Phase 2: run the cells on the shared pool. Each is its own seeded
+    // simulation, so the pool introduces no cross-cell state.
     let outs = run_cells(cells, jobs);
-    let scenario_stats = |indices: &[usize]| {
-        let events = indices.iter().map(|&i| outs[i].events).sum::<u64>();
-        let wall = indices.iter().map(|&i| outs[i].wall_s).sum::<f64>();
-        (events, wall)
-    };
 
     // Phase 3: assemble every byte of stdout and JSON in the sequential
     // sweep's order.
     let mut rows = Vec::new();
     let mut scenarios = Vec::new();
-
-    let mut runs = Vec::new();
-    for &(i, arrivals) in &s1_cells {
-        rows.push(summary_row("homogeneous", &outs[i].report));
-        runs.push(annotated_run(
-            &outs[i].report,
-            arrivals,
-            "admit-all",
-            "none",
-        ));
-    }
-    let (events, wall) = scenario_stats(&s1_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("homogeneous", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("homogeneous".into())),
-        ("fleet", fleet_json(&homogeneous)),
-        ("admission_queue_cap", Json::Null),
-        ("runs", Json::Arr(runs)),
-    ]));
-
-    let mut runs = Vec::new();
-    for &(i, arrivals) in &s2_cells {
-        rows.push(summary_row("heterogeneous", &outs[i].report));
-        runs.push(annotated_run(
-            &outs[i].report,
-            arrivals,
-            "admit-all",
-            "none",
-        ));
-    }
-    let (events, wall) = scenario_stats(&s2_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("heterogeneous", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("heterogeneous".into())),
-        ("fleet", fleet_json(&heterogeneous)),
-        ("admission_queue_cap", Json::Null),
-        ("runs", Json::Arr(runs)),
-    ]));
-
-    let mut runs = Vec::new();
-    let mut class_rows = Vec::new();
-    for &(i, label) in &s3_cells {
-        let report = &outs[i].report;
-        rows.push(summary_row(&format!("priority/{label}"), report));
-        for class in &report.classes {
-            let latency = class.latency;
-            class_rows.push(vec![
-                label.to_string(),
-                class.class.name().to_string(),
-                format!("{}", class.offered),
-                format!("{}", class.completed),
-                format!("{}", class.rejected),
-                format!("{}", class.slo_violations),
-                ms(latency.map(|l| l.p50)),
-                ms(latency.map(|l| l.p95)),
-                ms(latency.map(|l| l.p99)),
-            ]);
-        }
-        runs.push(annotated_run(report, priority_arrivals, label, "none"));
-    }
-    let (events, wall) = scenario_stats(&s3_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("priority", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("priority".into())),
-        ("fleet", fleet_json(&homogeneous)),
-        ("admission_queue_cap", Json::Int(background_cap as i64)),
-        ("runs", Json::Arr(runs)),
-    ]));
-
-    let mut runs = Vec::new();
-    for &(i, label) in &s4_cells {
-        rows.push(summary_row(&format!("preemption/{label}"), &outs[i].report));
-        runs.push(annotated_run(
-            &outs[i].report,
-            preemption_arrivals,
-            "admit-all",
-            label,
-        ));
-    }
-    let (events, wall) = scenario_stats(&s4_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("preemption", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("preemption".into())),
-        ("fleet", fleet_json(&preemption_fleet)),
-        ("preemption_wait_s", Json::Num(patience)),
-        ("runs", Json::Arr(runs)),
-    ]));
-
-    let mut runs = Vec::new();
-    let mut tradeoff_rows = Vec::new();
-    for &(i, label) in &s5_cells {
-        let report = &outs[i].report;
-        rows.push(summary_row(&format!("autoscale/{label}"), report));
-        tradeoff_rows.push(vec![
-            label.to_string(),
-            format!("{}", report.scaling.len()),
-            format!("{:.1}", report.energy_joules),
-            format!("{:.1}", report.idle_energy_joules),
-            format!("{:.1}", report.total_energy_joules()),
-            format!("{:.2}%", report.slo_attainment() * 100.0),
-            ms(report.latency.map(|l| l.p99)),
-        ]);
-        runs.push(annotated_run(
-            report,
-            autoscale_arrivals,
-            "admit-all",
-            label,
-        ));
-    }
-    let (events, wall) = scenario_stats(&s5_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("autoscale", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("autoscale".into())),
-        ("fleet", fleet_json(&homogeneous)),
-        (
-            "autoscaler",
-            Json::obj([
-                ("min_cards", Json::Int(scaler_cfg.min_cards as i64)),
-                (
-                    "up_queue_per_card",
-                    Json::Int(scaler_cfg.up_queue_per_card as i64),
-                ),
-                ("down_idle_s", Json::Num(scaler_cfg.down_idle_s)),
-                ("warmup_s", Json::Num(scaler_cfg.warmup_s)),
-            ]),
-        ),
-        ("runs", Json::Arr(runs)),
-    ]));
-
-    let mut runs = Vec::new();
     let mut fanout_rows = Vec::new();
-    for &(i, label) in &s6_cells {
-        let report = &outs[i].report;
-        rows.push(summary_row(&format!("sharded/{label}"), report));
-        fanout_rows.push(vec![
-            report.policy.clone(),
-            format!("{}", report.sharded_requests),
-            format!("{}", report.max_shards),
-            ms(report.latency.map(|l| l.p50)),
-            ms(report.latency.map(|l| l.p99)),
-            format!("{:.2}%", report.slo_attainment() * 100.0),
-        ]);
-        runs.push(annotated_run(report, sharded_arrivals, "admit-all", label));
-    }
-    let (events, wall) = scenario_stats(&s6_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("sharded", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("sharded".into())),
-        ("fleet", fleet_json(&sharded_fleet)),
-        ("max_shards", Json::Int(sharded_max as i64)),
-        ("runs", Json::Arr(runs)),
-    ]));
-
-    let mut runs = Vec::new();
     let mut width_rows = Vec::new();
-    for &(i, label) in &s7_cells {
-        let report = &outs[i].report;
-        rows.push(summary_row(&format!("adaptive/{label}"), report));
-        let widths = report
-            .shard_widths
-            .iter()
-            .enumerate()
-            .map(|(w, n)| format!("{}:{n}", w + 1))
-            .collect::<Vec<_>>()
-            .join(" ");
-        width_rows.push(vec![
-            report.policy.clone(),
-            widths,
-            ms(report.latency.map(|l| l.p50)),
-            ms(report.latency.map(|l| l.p99)),
-            format!("{:.2}%", report.slo_attainment() * 100.0),
-            report
-                .cost_prediction
-                .map_or("-".to_string(), |p| format!("{:.1e}", p.max_error_s)),
-        ]);
-        runs.push(annotated_run(report, adaptive_arrivals, "admit-all", label));
-    }
-    let (events, wall) = scenario_stats(&s7_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("adaptive-width", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("adaptive-width".into())),
-        ("fleet", fleet_json(&binned_fleet)),
-        ("max_shards", Json::Int(adaptive_max as i64)),
-        ("runs", Json::Arr(runs)),
-    ]));
-
-    let mut runs = Vec::new();
+    let mut tradeoff_rows = Vec::new();
+    let mut class_rows = Vec::new();
     let mut session_rows = Vec::new();
-    for &(i, label) in &s8_cells {
-        let report = &outs[i].report;
-        rows.push(summary_row(&format!("sessions/{label}"), report));
-        let s = report.sessions.as_ref().expect("session traffic is tagged");
-        session_rows.push(vec![
-            report.policy.clone(),
-            format!("{}", s.sessions),
-            format!("{:.1}", s.mean_turns),
-            ms(s.latency.map(|l| l.p50)),
-            ms(s.latency.map(|l| l.p99)),
-            format!("{:.3}", s.fairness),
-        ]);
-        runs.push(annotated_run(report, session_arrivals, "admit-all", label));
-    }
-    let (events, wall) = scenario_stats(&s8_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("sessions", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("sessions".into())),
-        ("fleet", fleet_json(&session_fleet)),
-        (
-            "profile",
-            Json::obj([
-                ("min_turns", Json::Int(session_profile.min_turns as i64)),
-                ("max_turns", Json::Int(session_profile.max_turns as i64)),
-                ("think_mean_s", Json::Num(session_profile.think_mean_s)),
-                ("heavy_pct", Json::Int(session_profile.heavy_pct as i64)),
-            ]),
-        ),
-        ("sessions_per_run", Json::Int(sessions_per_cell as i64)),
-        ("affinity_capacity_per_card", Json::Int(affinity_cap as i64)),
-        ("runs", Json::Arr(runs)),
-    ]));
-
-    let mut runs = Vec::new();
     let mut fault_rows = Vec::new();
-    for &(i, label) in &s9_cells {
-        let report = &outs[i].report;
-        rows.push(summary_row(&format!("faults/{label}"), report));
-        let (deaths, degrades, revivals, lost, failed) = match &report.faults {
-            Some(f) => (
-                f.card_deaths,
-                f.degrades,
-                f.revivals,
-                f.shards_lost,
-                f.failed,
-            ),
-            None => (0, 0, 0, 0, 0),
-        };
-        fault_rows.push(vec![
-            label.to_string(),
-            format!("{deaths}"),
-            format!("{degrades}"),
-            format!("{revivals}"),
-            format!("{lost}"),
-            format!("{failed}"),
-            ms(report.latency.map(|l| l.p99)),
-            format!("{:.2}%", report.slo_attainment() * 100.0),
-        ]);
-        runs.push(annotated_run(report, fault_arrivals, "admit-all", label));
-    }
-    let (events, wall) = scenario_stats(&s9_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("faults", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("faults".into())),
-        ("fleet", fleet_json(&fault_fleet)),
-        ("runs", Json::Arr(runs)),
-    ]));
-
-    let mut runs = Vec::new();
     let mut decode_rows = Vec::new();
-    for &(i, label) in &s10_cells {
-        let report = &outs[i].report;
-        rows.push(summary_row(&format!("decode/{label}"), report));
-        let d = report
-            .decode
-            .as_ref()
-            .expect("decode traffic is multi-step");
-        decode_rows.push(vec![
-            label.to_string(),
-            format!("{:.2}", d.mean_steps),
-            format!("{:.0}%", d.early_exit_rate * 100.0),
-            ms(d.ttft.map(|l| l.p50)),
-            ms(d.ttft.map(|l| l.p99)),
-            ms(report.latency.map(|l| l.p50)),
-            ms(report.latency.map(|l| l.p99)),
-            format!("{:.2}%", report.slo_attainment() * 100.0),
-        ]);
-        runs.push(annotated_run(report, decode_arrivals, "admit-all", label));
+
+    for (def, range) in defs.iter().zip(&ranges) {
+        let mut runs = Vec::new();
+        for (cell, out) in def.cells.iter().zip(&outs[range.clone()]) {
+            let report = &out.value.0;
+            rows.push(summary_row(&cell.row, report));
+            runs.push(annotated_run(
+                report,
+                cell.spec.arrivals,
+                &cell.admission,
+                &cell.elastic,
+            ));
+            match def.table {
+                ExtraTable::None => {}
+                ExtraTable::Fanout => fanout_rows.push(vec![
+                    report.policy.clone(),
+                    format!("{}", report.sharded_requests),
+                    format!("{}", report.max_shards),
+                    ms(report.latency.map(|l| l.p50)),
+                    ms(report.latency.map(|l| l.p99)),
+                    format!("{:.2}%", report.slo_attainment() * 100.0),
+                ]),
+                ExtraTable::Width => {
+                    let widths = report
+                        .shard_widths
+                        .iter()
+                        .enumerate()
+                        .map(|(w, n)| format!("{}:{n}", w + 1))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    width_rows.push(vec![
+                        report.policy.clone(),
+                        widths,
+                        ms(report.latency.map(|l| l.p50)),
+                        ms(report.latency.map(|l| l.p99)),
+                        format!("{:.2}%", report.slo_attainment() * 100.0),
+                        report
+                            .cost_prediction
+                            .map_or("-".to_string(), |p| format!("{:.1e}", p.max_error_s)),
+                    ]);
+                }
+                ExtraTable::Autoscale => tradeoff_rows.push(vec![
+                    cell.label.clone(),
+                    format!("{}", report.scaling.len()),
+                    format!("{:.1}", report.energy_joules),
+                    format!("{:.1}", report.idle_energy_joules),
+                    format!("{:.1}", report.total_energy_joules()),
+                    format!("{:.2}%", report.slo_attainment() * 100.0),
+                    ms(report.latency.map(|l| l.p99)),
+                ]),
+                ExtraTable::Priority => {
+                    for class in &report.classes {
+                        let latency = class.latency;
+                        class_rows.push(vec![
+                            cell.label.clone(),
+                            class.class.name().to_string(),
+                            format!("{}", class.offered),
+                            format!("{}", class.completed),
+                            format!("{}", class.rejected),
+                            format!("{}", class.slo_violations),
+                            ms(latency.map(|l| l.p50)),
+                            ms(latency.map(|l| l.p95)),
+                            ms(latency.map(|l| l.p99)),
+                        ]);
+                    }
+                }
+                ExtraTable::Sessions => {
+                    let s = report.sessions.as_ref().expect("session traffic is tagged");
+                    session_rows.push(vec![
+                        report.policy.clone(),
+                        format!("{}", s.sessions),
+                        format!("{:.1}", s.mean_turns),
+                        ms(s.latency.map(|l| l.p50)),
+                        ms(s.latency.map(|l| l.p99)),
+                        format!("{:.3}", s.fairness),
+                    ]);
+                }
+                ExtraTable::Faults => {
+                    let (deaths, degrades, revivals, lost, failed) = match &report.faults {
+                        Some(f) => (
+                            f.card_deaths,
+                            f.degrades,
+                            f.revivals,
+                            f.shards_lost,
+                            f.failed,
+                        ),
+                        None => (0, 0, 0, 0, 0),
+                    };
+                    fault_rows.push(vec![
+                        cell.label.clone(),
+                        format!("{deaths}"),
+                        format!("{degrades}"),
+                        format!("{revivals}"),
+                        format!("{lost}"),
+                        format!("{failed}"),
+                        ms(report.latency.map(|l| l.p99)),
+                        format!("{:.2}%", report.slo_attainment() * 100.0),
+                    ]);
+                }
+                ExtraTable::Decode => {
+                    let d = report
+                        .decode
+                        .as_ref()
+                        .expect("decode traffic is multi-step");
+                    decode_rows.push(vec![
+                        cell.label.clone(),
+                        format!("{:.2}", d.mean_steps),
+                        format!("{:.0}%", d.early_exit_rate * 100.0),
+                        ms(d.ttft.map(|l| l.p50)),
+                        ms(d.ttft.map(|l| l.p99)),
+                        ms(report.latency.map(|l| l.p50)),
+                        ms(report.latency.map(|l| l.p99)),
+                        format!("{:.2}%", report.slo_attainment() * 100.0),
+                    ]);
+                }
+            }
+        }
+        let events = outs[range.clone()].iter().map(|o| o.value.1).sum::<u64>();
+        let wall = outs[range.clone()].iter().map(|o| o.wall_s).sum::<f64>();
+        scenario_timing(def.name, runs.len(), events, wall);
+        let mut pairs = vec![
+            ("scenario", Json::Str(def.name.into())),
+            ("fleet", fleet_json(&def.fleet.config())),
+        ];
+        pairs.extend(def.extras.iter().cloned());
+        pairs.push(("runs", Json::Arr(runs)));
+        scenarios.push(Json::obj(pairs));
     }
-    let (events, wall) = scenario_stats(&s10_cells.iter().map(|c| c.0).collect::<Vec<_>>());
-    scenario_timing("decode", runs.len(), events, wall);
-    scenarios.push(Json::obj([
-        ("scenario", Json::Str("decode".into())),
-        ("fleet", fleet_json(&binned_fleet)),
-        ("max_shards", Json::Int(decode_max as i64)),
-        (
-            "decode_mix",
-            Json::obj([
-                ("min_steps", Json::Int(decode_steps.0 as i64)),
-                ("max_steps", Json::Int(decode_steps.1 as i64)),
-                ("exit_prob", Json::Num(decode_exit_prob)),
-            ]),
-        ),
-        ("runs", Json::Arr(runs)),
-    ]));
 
     print_table(
         &[
@@ -990,104 +921,118 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nsharded scenario, fan-out vs whole-request (poisson, 4 cards):");
-    print_table(
-        &[
-            "policy",
-            "sharded reqs",
-            "max shards",
-            "p50 ms",
-            "p99 ms",
-            "slo attain",
-        ],
-        &fanout_rows,
-    );
-    println!(
-        "\nadaptive-width scenario, fan-out discipline under a deep queue \
-         (poisson, 4 bandwidth-binned cards):"
-    );
-    print_table(
-        &[
-            "policy",
-            "width:count",
-            "p50 ms",
-            "p99 ms",
-            "slo attain",
-            "pred err s",
-        ],
-        &width_rows,
-    );
-    println!("\nautoscale scenario, energy vs SLO (least-loaded, diurnal ramp):");
-    print_table(
-        &[
-            "fleet",
-            "scale events",
-            "active J",
-            "idle J",
-            "total J",
-            "slo attain",
-            "p99 ms",
-        ],
-        &tradeoff_rows,
-    );
-    println!("\npriority scenario, per class (least-loaded, bursty overload):");
-    print_table(
-        &[
-            "admission",
-            "class",
-            "offered",
-            "done",
-            "shed",
-            "slo viol",
-            "p50 ms",
-            "p95 ms",
-            "p99 ms",
-        ],
-        &class_rows,
-    );
-    println!("\nsessions scenario, sticky affinity vs least-loaded (flash crowd, 4 cards):");
-    print_table(
-        &[
-            "policy",
-            "sessions",
-            "mean turns",
-            "sess p50 ms",
-            "sess p99 ms",
-            "jain",
-        ],
-        &session_rows,
-    );
-    println!("\nfaults scenario, seeded card faults mid-diurnal (least-loaded, 4 cards):");
-    print_table(
-        &[
-            "plan",
-            "deaths",
-            "degrades",
-            "revivals",
-            "shards lost",
-            "failed",
-            "p99 ms",
-            "slo attain",
-        ],
-        &fault_rows,
-    );
-    println!(
-        "\ndecode scenario, step batching and width discipline near saturation \
-         (sharded SJF, 4 bandwidth-binned cards):"
-    );
-    print_table(
-        &[
-            "cell",
-            "mean steps",
-            "exits",
-            "ttft p50 ms",
-            "ttft p99 ms",
-            "p50 ms",
-            "p99 ms",
-            "slo attain",
-        ],
-        &decode_rows,
-    );
+    if !fanout_rows.is_empty() {
+        println!("\nsharded scenario, fan-out vs whole-request (poisson, 4 cards):");
+        print_table(
+            &[
+                "policy",
+                "sharded reqs",
+                "max shards",
+                "p50 ms",
+                "p99 ms",
+                "slo attain",
+            ],
+            &fanout_rows,
+        );
+    }
+    if !width_rows.is_empty() {
+        println!(
+            "\nadaptive-width scenario, fan-out discipline under a deep queue \
+             (poisson, 4 bandwidth-binned cards):"
+        );
+        print_table(
+            &[
+                "policy",
+                "width:count",
+                "p50 ms",
+                "p99 ms",
+                "slo attain",
+                "pred err s",
+            ],
+            &width_rows,
+        );
+    }
+    if !tradeoff_rows.is_empty() {
+        println!("\nautoscale scenario, energy vs SLO (least-loaded, diurnal ramp):");
+        print_table(
+            &[
+                "fleet",
+                "scale events",
+                "active J",
+                "idle J",
+                "total J",
+                "slo attain",
+                "p99 ms",
+            ],
+            &tradeoff_rows,
+        );
+    }
+    if !class_rows.is_empty() {
+        println!("\npriority scenario, per class (least-loaded, bursty overload):");
+        print_table(
+            &[
+                "admission",
+                "class",
+                "offered",
+                "done",
+                "shed",
+                "slo viol",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+            ],
+            &class_rows,
+        );
+    }
+    if !session_rows.is_empty() {
+        println!("\nsessions scenario, sticky affinity vs least-loaded (flash crowd, 4 cards):");
+        print_table(
+            &[
+                "policy",
+                "sessions",
+                "mean turns",
+                "sess p50 ms",
+                "sess p99 ms",
+                "jain",
+            ],
+            &session_rows,
+        );
+    }
+    if !fault_rows.is_empty() {
+        println!("\nfaults scenario, seeded card faults mid-diurnal (least-loaded, 4 cards):");
+        print_table(
+            &[
+                "plan",
+                "deaths",
+                "degrades",
+                "revivals",
+                "shards lost",
+                "failed",
+                "p99 ms",
+                "slo attain",
+            ],
+            &fault_rows,
+        );
+    }
+    if !decode_rows.is_empty() {
+        println!(
+            "\ndecode scenario, step batching and width discipline near saturation \
+             (sharded SJF, 4 bandwidth-binned cards):"
+        );
+        print_table(
+            &[
+                "cell",
+                "mean steps",
+                "exits",
+                "ttft p50 ms",
+                "ttft p99 ms",
+                "p50 ms",
+                "p99 ms",
+                "slo attain",
+            ],
+            &decode_rows,
+        );
+    }
 
     let doc = Json::obj([
         ("bench", Json::Str("serve_sweep".into())),

@@ -19,12 +19,94 @@
 //! | `precision` | extension — binary16 vs Q-format fixed point |
 //! | `accuracy_proxy` | extension — trained ridge-readout accuracy per pattern |
 //! | `gantt`   | ASCII pipeline-occupancy view of the Table 1 schedule |
-//! | `serve_sweep` | extension — multi-card request-serving sweep, emits `BENCH_serve.json` |
+//! | `serve_sweep` | extension — multi-card request-serving sweep over declarative scenario specs, emits `BENCH_serve.json` |
+//! | `capacity_plan` | extension — deterministic capacity-planning autotuner (cost-model-pruned search, Pareto frontier), emits `BENCH_plan.json` |
 //! | `kernel_profile` | extension — event-kernel self-profiling (events by kind, peaks, events/sec), emits `BENCH_kernel.json` |
 //!
 //! Criterion micro-benchmarks of the actual kernels live in `benches/`.
 
 use std::fmt::Display;
+
+/// A deferred simulation cell for [`run_cells`]: owns everything it needs
+/// so the pool can run it on any worker thread.
+pub type Cell<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// One executed cell: the (deterministic) value it produced plus the one
+/// non-deterministic side channel — the cell's own wall-clock, which only
+/// ever reaches stderr via [`scenario_timing`].
+pub struct CellOut<T> {
+    /// Whatever the cell computed (a report, a tuned point, …).
+    pub value: T,
+    /// The cell's wall-clock seconds *on its worker*. Summing these over
+    /// a scenario gives CPU-seconds regardless of `--jobs`, so timing
+    /// lines stay meaningful — and comparable — at any parallelism.
+    pub wall_s: f64,
+}
+
+/// Runs every cell on a scoped thread pool of `jobs` workers and returns
+/// the results indexed exactly like the input. Workers claim cells from a
+/// shared atomic cursor, so a slow cell never blocks an idle worker; with
+/// `--jobs 1` the cells run in order on one worker. Nothing downstream
+/// can observe the execution order: all output assembly happens after the
+/// scope joins, reading this vector in cell-index order.
+///
+/// Shared by `serve_sweep` (sweep cells) and `capacity_plan` (autotuner
+/// cells): both get per-cell wall-clock measured inside the worker, so
+/// [`scenario_timing`]'s summed CPU-seconds cover autotuner-launched
+/// cells exactly like hand-enumerated sweep cells.
+pub fn run_cells<T: Send>(cells: Vec<Cell<T>>, jobs: usize) -> Vec<CellOut<T>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let queue: Vec<Mutex<Option<Cell<T>>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<CellOut<T>>>> = queue.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = jobs.min(queue.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= queue.len() {
+                    break;
+                }
+                let cell = queue[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each cell runs once");
+                let started = std::time::Instant::now();
+                let value = cell();
+                *slots[i].lock().unwrap() = Some(CellOut {
+                    value,
+                    wall_s: started.elapsed().as_secs_f64(),
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every cell ran"))
+        .collect()
+}
+
+/// Reports a scenario's (or autotuner generation's) compute cost to
+/// stderr. `wall` is the sum of the per-cell wall-clock times from
+/// [`run_cells`] — CPU-seconds under `--jobs N`, elapsed time under
+/// `--jobs 1`. stdout (the tables) and the JSON artifacts stay
+/// byte-identical — CI's sha-compare and any `2>/dev/null` consumer are
+/// unaffected.
+pub fn scenario_timing(scenario: &str, runs: usize, events: u64, wall: f64) {
+    let rate = if wall > 0.0 {
+        events as f64 / wall
+    } else {
+        0.0
+    };
+    eprintln!(
+        "timing: {scenario:<14} {runs:>2} runs  {events:>9} kernel events  \
+         {wall:>6.2} s wall  {rate:>9.0} events/s"
+    );
+}
 
 /// Prints a right-aligned table: a header row then data rows, columns sized
 /// to fit.

@@ -111,6 +111,204 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parses a JSON document — the inverse of [`Json::pretty`] for
+    /// everything this writer can emit. Numbers without a fraction,
+    /// exponent, or sign that fit `i64`/`u64` parse as [`Json::Int`] /
+    /// [`Json::UInt`]; everything else numeric parses as [`Json::Num`]
+    /// through Rust's round-trip float parsing, so
+    /// `Json::parse(&doc.pretty())` reproduces `doc` up to the
+    /// `Int(1)`-vs-`Num(1.0)` representation of whole numbers (which
+    /// print identically). Non-finite tokens (`NaN`, `Infinity`) are
+    /// rejected, mirroring the writer's finiteness invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-offset-annotated message on malformed input or
+    /// trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", byte as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(bytes, pos, b"null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, b"true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                pairs.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        // The writer never emits surrogate pairs (it
+                        // escapes only C0 controls), so a lone BMP code
+                        // point is the whole story here.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid code point {code:#x}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one whole UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                let c = rest.chars().next().expect("non-empty rest");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number");
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    if !fractional {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+    }
+    match text.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+        _ => Err(format!("malformed number {text:?} at byte {start}")),
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -178,5 +376,59 @@ mod tests {
     #[should_panic(expected = "must be finite")]
     fn rejects_nan() {
         let _ = Json::Num(f64::NAN).pretty();
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let doc = Json::obj([
+            ("name", Json::Str("serve \"sweep\"\n".into())),
+            ("count", Json::Int(-3)),
+            ("seed", Json::UInt(u64::MAX)),
+            ("ratio", Json::Num(1.0 / 3.0)),
+            ("rate", Json::Num(4.6e-11)),
+            ("flags", Json::arr([Json::Bool(true), Json::Null])),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj([])),
+            ("nested", Json::obj([("k", Json::arr([Json::Int(1)]))])),
+        ]);
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        // Whole-number floats re-parse as integers; nothing here is one,
+        // so the round trip is exact — including the second hop.
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.pretty(), doc.pretty());
+    }
+
+    #[test]
+    fn parse_normalizes_whole_floats_to_ints() {
+        // `Num(2.0)` prints as `2`, which re-parses as `Int(2)` — the
+        // printed bytes are identical either way.
+        let doc = Json::arr([Json::Num(2.0)]);
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(parsed, Json::arr([Json::Int(2)]));
+        assert_eq!(parsed.pretty(), doc.pretty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "nul",
+            "1.2.3",
+            "NaN",
+            "Infinity",
+            "[] x",
+            "\"\\q\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_unicode_and_escapes() {
+        let parsed = Json::parse("\"héllo \\u0041\\n\"").unwrap();
+        assert_eq!(parsed, Json::Str("héllo A\n".into()));
     }
 }

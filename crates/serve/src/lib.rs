@@ -116,6 +116,7 @@ pub mod metrics;
 pub mod policy;
 pub mod request;
 pub mod scale;
+pub mod scenario;
 pub mod session;
 pub mod sim;
 pub mod trace;
@@ -128,6 +129,10 @@ pub use metrics::{DecodeSummary, FaultSummary, ServeReport, SessionSummary};
 pub use policy::{DispatchPolicy, SessionAffinity, ShardedLeastLoaded, ShardedShortestJobFirst};
 pub use request::Request;
 pub use scale::{Autoscaler, AutoscalerConfig, ScaleEvent};
+pub use scenario::{
+    CardDesign, CardGroupSpec, FaultKindSpec, FaultSpec, FleetSpec, MemorySpec, PolicySpec,
+    PreemptionSpec, ScenarioSpec, TrafficModel,
+};
 pub use session::{SessionProfile, SessionTraffic};
 pub use sim::{
     serve, simulate, AdmissionControl, DecodeBatching, PreemptionControl, Simulation, TrafficSpec,
